@@ -1,0 +1,47 @@
+"""Ablation: real-time vs daily first observation.
+
+The paper's conclusion calls for "robust, scalable, and real-time data
+collection solutions" because 67.4 % of Discord URLs die before the
+first daily check.  This bench runs the
+:class:`~repro.extensions.realtime.RealTimeCollector` (hourly
+poll-and-visit) against the same world and compares first-observation
+success with the paper's end-of-day monitor.
+"""
+
+from repro.extensions.realtime import RealTimeCollector, compare_with_daily
+from repro.reporting.tables import format_table
+
+
+def test_ablation_realtime(benchmark, bench_study, emit):
+    study, dataset = bench_study
+
+    def run():
+        collector = RealTimeCollector(study.world)
+        collector.run(dataset.n_days)
+        return collector
+
+    collector = benchmark.pedantic(run, rounds=1, iterations=1)
+    comparison = compare_with_daily(collector, dataset)
+
+    rows = [
+        [
+            platform,
+            f"{rates['daily']:.1%}",
+            f"{rates['realtime']:.1%}",
+            f"{rates['realtime'] - rates['daily']:+.1%}",
+        ]
+        for platform, rates in comparison.items()
+    ]
+    emit(
+        "ablation_realtime",
+        format_table(
+            ["platform", "daily first-obs alive", "real-time alive", "gain"],
+            rows,
+            title="Ablation: real-time vs daily first observation "
+            "(paper conclusion)",
+        ),
+    )
+
+    assert comparison["discord"]["realtime"] > (
+        comparison["discord"]["daily"] + 0.3
+    )

@@ -1,0 +1,25 @@
+"""Fig 1: group URLs discovered per day (all / unique / new).
+
+Expected shape: Discord leads new-URLs-per-day (paper median 5,664 vs
+1,817 Telegram vs 1,111 WhatsApp); Telegram leads all-shares-per-day
+(its URLs are re-shared across several days).
+"""
+
+from repro.analysis.sharing import daily_discovery
+from repro.reporting import render_fig1
+
+
+def test_fig1(benchmark, bench_dataset, emit):
+    text = benchmark(render_fig1, bench_dataset)
+    emit("fig1", text)
+
+    new = {
+        p: daily_discovery(bench_dataset, p).median_new
+        for p in ("whatsapp", "telegram", "discord")
+    }
+    assert new["discord"] > new["telegram"] > new["whatsapp"]
+    alls = {
+        p: daily_discovery(bench_dataset, p).median_all
+        for p in ("whatsapp", "telegram", "discord")
+    }
+    assert alls["telegram"] == max(alls.values())

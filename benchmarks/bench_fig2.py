@@ -1,0 +1,25 @@
+"""Fig 2: CDF of tweets per group URL.
+
+Expected shape: ~half of WhatsApp/Telegram URLs and ~62 % of Discord
+URLs are shared exactly once; Telegram has by far the heaviest tail
+(the paper found 14 URLs with more than 10 K tweets at full scale).
+"""
+
+from repro.analysis.sharing import tweets_per_url
+from repro.reporting import render_fig2
+
+
+def test_fig2(benchmark, bench_dataset, emit):
+    text = benchmark(render_fig2, bench_dataset)
+    emit("fig2", text)
+
+    dists = {
+        p: tweets_per_url(bench_dataset, p)
+        for p in ("whatsapp", "telegram", "discord")
+    }
+    assert abs(dists["whatsapp"].single_share_frac - 0.50) < 0.06
+    assert abs(dists["telegram"].single_share_frac - 0.50) < 0.06
+    assert abs(dists["discord"].single_share_frac - 0.62) < 0.06
+    assert dists["telegram"].mean_shares == max(
+        d.mean_shares for d in dists.values()
+    )

@@ -1,0 +1,30 @@
+"""Fig 3: hashtag / mention / retweet prevalence vs the control.
+
+Expected shape: hashtags rare everywhere (13-24 %); mentions prevalent
+(68-84 %); retweet shares ordered Telegram (76 %) > Discord (50 %) >
+WhatsApp (33 %).
+"""
+
+from repro.analysis.content import control_prevalence, entity_prevalence
+from repro.reporting import render_fig3
+
+
+def test_fig3(benchmark, bench_dataset, emit):
+    text = benchmark(render_fig3, bench_dataset)
+    emit("fig3", text)
+
+    res = {
+        p: entity_prevalence(bench_dataset, p)
+        for p in ("whatsapp", "telegram", "discord")
+    }
+    control = control_prevalence(bench_dataset)
+    assert (
+        res["telegram"].retweet_frac
+        > res["discord"].retweet_frac
+        > res["whatsapp"].retweet_frac
+    )
+    for prevalence in res.values():
+        assert prevalence.mention_frac > 0.5
+        assert prevalence.hashtag_frac < 0.35
+    assert abs(control.hashtag_frac - 0.13) < 0.03
+    assert abs(control.mention_frac - 0.76) < 0.03

@@ -1,0 +1,25 @@
+"""Fig 4: tweet-language distribution per platform.
+
+Expected shape: English tops everywhere (26/35/47 %); Spanish and
+Portuguese follow on WhatsApp, Arabic and Turkish on Telegram, and
+Japanese holds a remarkable ~27 % on Discord.
+"""
+
+from repro.analysis.language import language_shares
+from repro.reporting import render_fig4
+
+
+def test_fig4(benchmark, bench_dataset, emit):
+    text = benchmark(render_fig4, bench_dataset)
+    emit("fig4", text)
+
+    shares = {
+        p: language_shares(bench_dataset, p)
+        for p in ("whatsapp", "telegram", "discord")
+    }
+    for platform_shares in shares.values():
+        assert platform_shares.top == "en"
+    assert shares["discord"].share("ja") > 0.18
+    assert shares["telegram"].share("ar") > 0.08
+    assert shares["whatsapp"].share("es") > 0.08
+    assert shares["whatsapp"].share("pt") > 0.08

@@ -1,0 +1,24 @@
+"""Fig 5: staleness — group age when first shared on Twitter.
+
+Expected shape: WhatsApp groups are "fresh" (76 % shared on their
+creation day, only 10 % older than a year); Telegram/Discord advertise
+older groups (< 30 % same-day, 25-29 % older than a year).
+"""
+
+from repro.analysis.staleness import staleness
+from repro.reporting import render_fig5
+
+
+def test_fig5(benchmark, bench_dataset, emit):
+    text = benchmark(render_fig5, bench_dataset)
+    emit("fig5", text)
+
+    res = {
+        p: staleness(bench_dataset, p)
+        for p in ("whatsapp", "telegram", "discord")
+    }
+    assert res["whatsapp"].same_day_frac > 0.6
+    assert res["telegram"].same_day_frac < 0.4
+    assert res["discord"].same_day_frac < 0.4
+    assert res["whatsapp"].over_year_frac < res["telegram"].over_year_frac
+    assert res["whatsapp"].over_year_frac < res["discord"].over_year_frac

@@ -1,0 +1,24 @@
+"""Fig 6: URL accessibility — lifetimes and revocations per day.
+
+Expected shape: 27/20/68 % of WhatsApp/Telegram/Discord URLs revoked
+within the window; almost all Discord revocations happen before the
+first daily observation (1-day invite auto-expiry).
+"""
+
+from repro.analysis.revocation import revocation
+from repro.reporting import render_fig6
+
+
+def test_fig6(benchmark, bench_dataset, emit):
+    text = benchmark(render_fig6, bench_dataset)
+    emit("fig6", text)
+
+    res = {
+        p: revocation(bench_dataset, p)
+        for p in ("whatsapp", "telegram", "discord")
+    }
+    assert abs(res["whatsapp"].revoked_frac - 0.273) < 0.05
+    assert abs(res["telegram"].revoked_frac - 0.204) < 0.05
+    assert abs(res["discord"].revoked_frac - 0.684) < 0.05
+    assert res["discord"].before_first_obs_frac > 0.55
+    assert res["whatsapp"].before_first_obs_frac < 0.12

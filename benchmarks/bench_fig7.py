@@ -1,0 +1,28 @@
+"""Fig 7: membership — sizes, online fractions, growth.
+
+Expected shape: Telegram groups are up to 4 orders of magnitude larger
+than WhatsApp's (capped at 257, ~5 % at the cap); Discord members are
+online in larger proportion than Telegram's; more groups grow than
+shrink on every platform.
+"""
+
+from repro.analysis.membership import membership
+from repro.platforms.whatsapp import WHATSAPP_MAX_MEMBERS
+from repro.reporting import render_fig7
+
+
+def test_fig7(benchmark, bench_dataset, emit):
+    text = benchmark(render_fig7, bench_dataset)
+    emit("fig7", text)
+
+    wa = membership(bench_dataset, "whatsapp", member_cap=WHATSAPP_MAX_MEMBERS)
+    tg = membership(bench_dataset, "telegram")
+    dc = membership(bench_dataset, "discord")
+
+    assert wa.size_cdf.values.max() <= WHATSAPP_MAX_MEMBERS
+    assert tg.size_cdf.quantile(0.99) > 20 * wa.size_cdf.quantile(0.99)
+    # "up to 4 orders of magnitude" larger at the extreme (Fig 7a).
+    assert tg.size_cdf.values.max() > 100 * wa.size_cdf.values.max()
+    assert dc.online_frac_cdf.median > 2 * tg.online_frac_cdf.median
+    for res in (wa, tg, dc):
+        assert res.growing_frac > res.shrinking_frac

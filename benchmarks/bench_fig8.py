@@ -1,0 +1,23 @@
+"""Fig 8: message-type mix in joined groups.
+
+Expected shape: text dominates (78/85/96 %); stickers are a WhatsApp
+speciality (~10 %); Discord is the most text-only platform.
+"""
+
+from repro.analysis.messages import message_types
+from repro.platforms.base import MessageType
+from repro.reporting import render_fig8
+
+
+def test_fig8(benchmark, bench_dataset, emit):
+    text = benchmark(render_fig8, bench_dataset)
+    emit("fig8", text)
+
+    mixes = {
+        p: message_types(bench_dataset, p)
+        for p in ("whatsapp", "telegram", "discord")
+    }
+    assert abs(mixes["whatsapp"].fraction(MessageType.TEXT) - 0.78) < 0.04
+    assert abs(mixes["telegram"].fraction(MessageType.TEXT) - 0.85) < 0.04
+    assert abs(mixes["discord"].fraction(MessageType.TEXT) - 0.96) < 0.03
+    assert mixes["whatsapp"].fraction(MessageType.STICKER) > 0.06

@@ -1,0 +1,29 @@
+"""Fig 9: message volume per group and per user.
+
+Expected shape: Telegram groups are the least active per day (~25 %
+above 10 msgs/day vs ~60 % elsewhere), yet its posting is the most
+concentrated: WhatsApp's top-1 % posters hold ~31 % of messages versus
+~60 % on Telegram/Discord.
+"""
+
+from repro.analysis.messages import group_activity, user_activity
+from repro.reporting import render_fig9
+
+
+def test_fig9(benchmark, bench_dataset, emit):
+    text = benchmark(render_fig9, bench_dataset)
+    emit("fig9", text)
+
+    grp = {
+        p: group_activity(bench_dataset, p)
+        for p in ("whatsapp", "telegram", "discord")
+    }
+    usr = {
+        p: user_activity(bench_dataset, p)
+        for p in ("whatsapp", "telegram", "discord")
+    }
+    assert grp["telegram"].over_10_frac < grp["whatsapp"].over_10_frac
+    assert grp["telegram"].over_10_frac < grp["discord"].over_10_frac
+    assert usr["whatsapp"].top1pct_share < usr["telegram"].top1pct_share
+    assert usr["whatsapp"].top1pct_share < usr["discord"].top1pct_share
+    assert abs(usr["whatsapp"].top1pct_share - 0.31) < 0.10

@@ -1,0 +1,9 @@
+"""Table 1: platform characteristics (static capability descriptors)."""
+
+from repro.reporting import render_table1
+
+
+def test_table1(benchmark, emit):
+    text = benchmark(render_table1)
+    emit("table1", text)
+    assert "WhatsApp" in text

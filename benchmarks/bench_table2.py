@@ -1,0 +1,20 @@
+"""Table 2: dataset overview — the headline volumes of the study.
+
+Expected shape: Discord contributes the most group URLs, Telegram the
+most tweets (and tweets per URL), WhatsApp the fewest of both, despite
+being the largest platform — the paper's "WhatsApp is the most private"
+observation.
+"""
+
+from repro.reporting import render_table2
+
+
+def test_table2(benchmark, bench_dataset, emit):
+    text = benchmark(render_table2, bench_dataset)
+    emit("table2", text)
+
+    urls = {
+        p: len(bench_dataset.records_for(p))
+        for p in ("whatsapp", "telegram", "discord")
+    }
+    assert urls["discord"] > urls["telegram"] > urls["whatsapp"]

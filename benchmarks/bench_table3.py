@@ -1,0 +1,32 @@
+"""Table 3: LDA topics of English tweets, per platform.
+
+Expected shape: group-advertisement topics dominate everywhere;
+crypto appears on WhatsApp and Telegram but not Discord; sex topics are
+Telegram-specific; gaming/hentai are Discord-specific; and no
+politics-related topic emerges (the paper's footnote 1).
+"""
+
+from repro.analysis.topics import extract_topics
+from repro.reporting import render_table3
+
+
+def test_table3(benchmark, bench_dataset, emit):
+    def run():
+        return {
+            platform: extract_topics(
+                bench_dataset, platform, n_topics=10, n_iter=40, seed=1
+            )
+            for platform in ("whatsapp", "telegram", "discord")
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("table3", render_table3(results))
+
+    labels = {p: set(r.labels()) for p, r in results.items()}
+    assert any("advertisement" in l.lower() or "advertising" in l.lower()
+               for l in labels["whatsapp"])
+    assert "Sex" in labels["telegram"]
+    assert "Hentai" in labels["discord"]
+    assert "Cryptocurrencies" not in labels["discord"]
+    for platform_labels in labels.values():
+        assert not any("politic" in l.lower() for l in platform_labels)

@@ -1,0 +1,19 @@
+"""Table 5: Discord linked-account breakdown.
+
+Expected shape: Twitch leads (paper: 20.4 %), Steam second, Facebook
+and Skype at the bottom (< 1 %).
+"""
+
+from repro.analysis.privacy import discord_linked_accounts
+from repro.reporting import render_table5
+
+
+def test_table5(benchmark, bench_dataset, emit):
+    text = benchmark(render_table5, bench_dataset)
+    emit("table5", text)
+
+    breakdown = discord_linked_accounts(bench_dataset)
+    fracs = {name: frac for name, _, frac in breakdown.rows}
+    assert max(fracs, key=fracs.get) == "twitch"
+    assert fracs["twitch"] > fracs["steam"] > fracs["facebook"]
+    assert fracs["facebook"] < 0.02

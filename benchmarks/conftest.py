@@ -1,0 +1,52 @@
+"""Benchmark fixtures: one shared study at bench scale.
+
+The dataset is built once per session (it is the expensive part) so
+each bench times only its analysis and prints the paper-vs-measured
+table.  Rendered outputs are also written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.study import Study, StudyConfig
+
+#: Bench scale: 2 % of the paper's tweet volume, full message rates.
+BENCH_CONFIG = StudyConfig(
+    seed=7,
+    n_days=38,
+    scale=0.02,
+    message_scale=0.5,
+    join_day=10,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_study():
+    """The shared bench study (world + pipeline), already run."""
+    study = Study(BENCH_CONFIG)
+    dataset = study.run()
+    return study, dataset
+
+
+@pytest.fixture(scope="session")
+def bench_dataset(bench_study):
+    """The dataset of the shared bench study."""
+    return bench_study[1]
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Callable that prints a rendered table and persists it to results/."""
+
+    def _emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

@@ -1,0 +1,90 @@
+"""Scenario: how fast do shared group URLs die, and what does it mean
+for researchers?
+
+The paper's Section 5 takeaway: "the ephemeral nature of messaging
+platforms' groups should be taken into consideration in future
+research".  This example quantifies that: it runs the campaign, then
+reports per-platform URL survival — how many URLs a researcher who
+crawls Twitter with a delay of 0/1/3/7 days would still find alive.
+
+Run:
+    python examples/ephemerality_report.py
+"""
+
+from repro import Study, StudyConfig
+from repro.analysis.revocation import revocation
+from repro.reporting import render_fig6
+from repro.reporting.tables import format_table
+
+PLATFORMS = ("whatsapp", "telegram", "discord")
+DELAYS = (0, 1, 3, 7)
+
+
+def survival_after(dataset, platform, delay_days):
+    """Fraction of URLs still alive ``delay_days`` after discovery.
+
+    Snapshots are consecutive daily observations that stop at the first
+    revocation, so the URL's state at discovery+delay is: the snapshot
+    taken that day if one exists, dead if monitoring already ended with
+    a revocation, and unknown (excluded) if the study window ended
+    while the URL was still alive.
+    """
+    alive = total = 0
+    for record in dataset.records_for(platform):
+        snaps = dataset.snapshots.get(record.canonical)
+        if not snaps:
+            continue
+        target_day = snaps[0].day + delay_days
+        if target_day <= snaps[-1].day:
+            total += 1
+            alive += snaps[target_day - snaps[0].day].alive
+        elif not snaps[-1].alive:
+            total += 1  # revoked before the target day
+    return alive / total if total else 0.0
+
+
+def main() -> None:
+    config = StudyConfig(seed=17, scale=0.01, message_scale=0.05)
+    print("Running the measurement campaign ...")
+    dataset = Study(config).run()
+
+    print()
+    print(render_fig6(dataset))
+
+    rows = []
+    for platform in PLATFORMS:
+        rows.append(
+            [platform]
+            + [f"{survival_after(dataset, platform, d):.0%}" for d in DELAYS]
+        )
+    print()
+    print(
+        format_table(
+            ["platform"] + [f"alive after {d}d" for d in DELAYS],
+            rows,
+            title="URL survival vs crawl delay (what a slower crawler loses)",
+        )
+    )
+
+    print()
+    print("Implications for dataset collection (paper Section 8):")
+    dc = revocation(dataset, "discord")
+    print(
+        f"  * {dc.before_first_obs_frac:.0%} of Discord URLs are already dead"
+        " at the first daily check — real-time collection is mandatory"
+        " for Discord."
+    )
+    wa = revocation(dataset, "whatsapp")
+    print(
+        f"  * WhatsApp URLs last longer (median lifetime"
+        f" {wa.lifetime_cdf.median:.0f} days among revoked URLs), so daily"
+        " crawls suffice there."
+    )
+    print(
+        "  * Researchers should archive group metadata at discovery time;"
+        " a week-later recrawl misses a large fraction of the catalogue."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Scenario: audit PII exposure across the three messaging platforms.
+
+Reproduces Section 6 as a standalone tool: runs the measurement
+campaign, collects every observed PII leak as a typed record, and
+prints Table 4, Table 5, and a breakdown by *observation channel* —
+including the paper's most alarming finding, that WhatsApp exposes
+group creators' phone numbers on the public landing page, before any
+join.
+
+All phone numbers are one-way hashed at the observation boundary; this
+audit never sees a raw number.
+
+Run:
+    python examples/privacy_audit.py
+"""
+
+from collections import Counter
+
+from repro import Study, StudyConfig
+from repro.analysis.privacy import collect_exposures
+from repro.reporting import render_table4, render_table5
+from repro.reporting.tables import format_table
+
+
+def main() -> None:
+    config = StudyConfig(seed=29, scale=0.01, message_scale=0.2)
+    print("Running the measurement campaign ...")
+    dataset = Study(config).run()
+
+    print()
+    print(render_table4(dataset))
+    print()
+    print(render_table5(dataset))
+
+    exposures = collect_exposures(dataset)
+    by_channel = Counter((e.platform, e.source.value) for e in exposures)
+    rows = [
+        [platform, source, f"{count:,}"]
+        for (platform, source), count in sorted(by_channel.items())
+    ]
+    print()
+    print(
+        format_table(
+            ["platform", "observation channel", "#PII records"],
+            rows,
+            title="PII exposure by observation channel",
+        )
+    )
+
+    landing = by_channel.get(("whatsapp", "landing_page"), 0)
+    print()
+    print(
+        f"Alarming: {landing:,} WhatsApp creator phone numbers were exposed"
+        " on public landing pages — visible to anyone holding the URL,"
+        " no account or join required."
+    )
+    countries = Counter(
+        e.country for e in exposures if e.platform == "whatsapp" and e.country
+    )
+    top = ", ".join(f"{c} ({n:,})" for c, n in countries.most_common(5))
+    print(f"Top countries of exposed WhatsApp numbers: {top}")
+
+
+if __name__ == "__main__":
+    main()

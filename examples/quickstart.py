@@ -1,0 +1,59 @@
+"""Quickstart: run a scaled-down measurement campaign end to end.
+
+Reproduces the paper's pipeline at 1 % of the original tweet volume —
+discover group URLs on (simulated) Twitter for 38 days, monitor every
+group daily, join a sample, collect messages — and prints the dataset
+overview (Table 2) plus the headline findings.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import Study, StudyConfig
+from repro.analysis.revocation import revocation
+from repro.analysis.sharing import daily_discovery
+from repro.reporting import render_fig1, render_table2
+
+PLATFORMS = ("whatsapp", "telegram", "discord")
+
+
+def main() -> None:
+    config = StudyConfig(seed=7, scale=0.01, message_scale=0.1)
+    print(
+        f"Running a {config.n_days}-day campaign at scale={config.scale} "
+        f"(seed={config.seed}) ..."
+    )
+    dataset = Study(config).run()
+
+    print()
+    print(render_table2(dataset))
+    print()
+    print(render_fig1(dataset))
+    print()
+
+    print("Key findings (paper Section 1):")
+    new_per_day = {
+        p: daily_discovery(dataset, p).median_new for p in PLATFORMS
+    }
+    print(
+        "  1. Twitter is a rich discovery source: per day we find, in the"
+        f" median, {new_per_day['whatsapp']:.0f} WhatsApp,"
+        f" {new_per_day['telegram']:.0f} Telegram and"
+        f" {new_per_day['discord']:.0f} Discord groups (at this scale)."
+    )
+    revoked = {p: revocation(dataset, p).revoked_frac for p in PLATFORMS}
+    print(
+        "  2. Group URLs are ephemeral:"
+        f" {revoked['whatsapp']:.0%} of WhatsApp,"
+        f" {revoked['telegram']:.0%} of Telegram and"
+        f" {revoked['discord']:.0%} of Discord URLs died within the window."
+    )
+    wa_users = len(dataset.users_for("whatsapp"))
+    print(
+        "  3. PII leaks everywhere: the phone number of every one of the"
+        f" {wa_users:,} observed WhatsApp users was exposed (stored hashed)."
+    )
+
+
+if __name__ == "__main__":
+    main()

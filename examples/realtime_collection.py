@@ -1,0 +1,69 @@
+"""Scenario: real-time collection vs the paper's daily monitor.
+
+The paper's conclusion calls for "robust, scalable, and real-time data
+collection solutions", because 67 % of Discord invite URLs are already
+dead at the first *daily* observation.  This example runs both
+collectors over the same simulated world and shows how much of the
+ephemeral catalogue the real-time collector (hourly poll-and-visit,
+from :mod:`repro.extensions.realtime`) saves.
+
+Run:
+    python examples/realtime_collection.py
+"""
+
+from repro import Study, StudyConfig
+from repro.extensions.realtime import RealTimeCollector, compare_with_daily
+from repro.reporting.tables import format_table
+
+
+def main() -> None:
+    config = StudyConfig(seed=31, scale=0.01, message_scale=0.05)
+    print("Running the paper's batch pipeline (daily monitor) ...")
+    study = Study(config)
+    dataset = study.run()
+
+    print("Running the real-time collector over the same world ...")
+    collector = RealTimeCollector(study.world)
+    collector.run(config.n_days)
+
+    comparison = compare_with_daily(collector, dataset)
+    rows = [
+        [
+            platform,
+            f"{rates['daily']:.1%}",
+            f"{rates['realtime']:.1%}",
+            f"{rates['realtime'] - rates['daily']:+.1%}",
+        ]
+        for platform, rates in comparison.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["platform", "daily monitor", "real-time collector", "gain"],
+            rows,
+            title="First-observation success (URL alive when first visited)",
+        )
+    )
+
+    saved = sum(
+        1
+        for obs in collector.observations.values()
+        if obs.platform == "discord" and obs.alive
+    )
+    total_dc = sum(
+        1 for obs in collector.observations.values() if obs.platform == "discord"
+    )
+    print()
+    print(
+        f"The real-time collector archived metadata for {saved:,} of"
+        f" {total_dc:,} Discord servers before their invites expired —"
+        " the daily monitor never sees two-thirds of them."
+    )
+    print(
+        "Takeaway: for ephemeral platforms, metadata must be captured at"
+        " discovery time, not on a daily batch schedule."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment has no `wheel` package and no network, so
+PEP 517 editable installs fail with "invalid command 'bdist_wheel'";
+this shim enables `pip install -e . --no-use-pep517`.
+"""
+
+from setuptools import setup
+
+setup()

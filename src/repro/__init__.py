@@ -1,0 +1,25 @@
+"""repro — reproduction of "Demystifying the Messaging Platforms'
+Ecosystem Through the Lens of Twitter" (IMC 2020).
+
+Public entry points:
+
+* :class:`repro.core.Study` / :class:`repro.core.StudyConfig` — run the
+  full 38-day measurement campaign against a simulated ecosystem.
+* :mod:`repro.analysis` — every analysis of Sections 4-6, one function
+  per table/figure.
+* :mod:`repro.reporting` — renderers that print the paper's tables and
+  figure series.
+
+Quickstart::
+
+    from repro import Study, StudyConfig
+
+    dataset = Study(StudyConfig(seed=7, scale=0.01)).run()
+    print(len(dataset.records), "group URLs discovered")
+"""
+
+from repro.core.study import Study, StudyConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["Study", "StudyConfig", "__version__"]

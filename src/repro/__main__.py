@@ -1,0 +1,155 @@
+"""Command-line interface: run a campaign and print tables/figures.
+
+Usage::
+
+    python -m repro                       # 1 % study, all tables+figures
+    python -m repro --scale 0.02 --seed 7
+    python -m repro --only table2 fig6    # subset of outputs
+    python -m repro --topics              # include Table 3 (LDA; slower)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.analysis.topics import extract_topics
+from repro.core.study import Study, StudyConfig
+from repro.reporting import (
+    render_fig1,
+    render_fig2,
+    render_fig3,
+    render_fig4,
+    render_fig5,
+    render_fig6,
+    render_fig7,
+    render_fig8,
+    render_fig9,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+)
+from repro.reporting.figures import render_interplay
+
+RENDERERS: Dict[str, Callable] = {
+    "interplay": render_interplay,
+    "table2": render_table2,
+    "table4": render_table4,
+    "table5": render_table5,
+    "fig1": render_fig1,
+    "fig2": render_fig2,
+    "fig3": render_fig3,
+    "fig4": render_fig4,
+    "fig5": render_fig5,
+    "fig6": render_fig6,
+    "fig7": render_fig7,
+    "fig8": render_fig8,
+    "fig9": render_fig9,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce 'Demystifying the Messaging Platforms' Ecosystem "
+            "Through the Lens of Twitter' (IMC 2020) on a simulated "
+            "ecosystem."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=7, help="study seed")
+    parser.add_argument(
+        "--scale", type=float, default=0.01,
+        help="tweet-volume scale (1.0 = paper scale)",
+    )
+    parser.add_argument(
+        "--message-scale", type=float, default=0.1,
+        help="in-group message-volume scale",
+    )
+    parser.add_argument(
+        "--days", type=int, default=38, help="campaign length in days"
+    )
+    parser.add_argument(
+        "--only", nargs="*", choices=sorted(RENDERERS), default=None,
+        help="render only these outputs",
+    )
+    parser.add_argument(
+        "--topics", action="store_true",
+        help="also run the Table 3 LDA topic extraction (slower)",
+    )
+    parser.add_argument(
+        "--validate", action="store_true",
+        help="print the calibration self-check (paper vs measured)",
+    )
+    parser.add_argument(
+        "--save", metavar="PATH", default=None,
+        help="save the collected dataset to a JSON(.gz) file",
+    )
+    parser.add_argument(
+        "--export-csv", metavar="DIR", default=None,
+        help="export every figure's data series as CSV into DIR",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    config = StudyConfig(
+        seed=args.seed,
+        n_days=args.days,
+        scale=args.scale,
+        message_scale=args.message_scale,
+        join_day=min(10, args.days - 1),
+    )
+    print(
+        f"# Running {config.n_days}-day study: seed={config.seed} "
+        f"scale={config.scale} message_scale={config.message_scale}",
+        file=sys.stderr,
+    )
+    start = time.time()
+    dataset = Study(config).run()
+    print(f"# Study complete in {time.time() - start:.1f}s", file=sys.stderr)
+
+    print(render_table1())
+    names = args.only if args.only else sorted(RENDERERS)
+    for name in names:
+        print()
+        print(RENDERERS[name](dataset))
+
+    if args.topics:
+        print()
+        results = {
+            platform: extract_topics(
+                dataset, platform, n_topics=10, n_iter=40, seed=args.seed
+            )
+            for platform in ("whatsapp", "telegram", "discord")
+        }
+        print(render_table3(results))
+
+    if args.validate:
+        from repro.validation import render_validation_report, validate_dataset
+
+        print()
+        print(render_validation_report(validate_dataset(dataset)))
+
+    if args.save:
+        from repro.io import save_dataset
+
+        save_dataset(dataset, args.save)
+        print(f"# Dataset saved to {args.save}", file=sys.stderr)
+
+    if args.export_csv:
+        from repro.io import export_all_csv
+
+        paths = export_all_csv(dataset, args.export_csv)
+        print(f"# {len(paths)} CSV files written to {args.export_csv}",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

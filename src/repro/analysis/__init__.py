@@ -1,0 +1,57 @@
+"""Analyses of Sections 4-6 — one module per table/figure family.
+
+Every function takes a :class:`~repro.core.dataset.StudyDataset` (the
+measurement pipeline's output) and returns a small result dataclass;
+:mod:`repro.reporting` renders those as the paper's tables and figure
+series.
+
+Module map:
+
+=================  =====================================================
+Module             Reproduces
+=================  =====================================================
+``sharing``        Fig 1 (URLs/day), Fig 2 (tweets-per-URL CDF)
+``interplay``      RQ1 cross-platform tweets/authors (Table 2 totals)
+``content``        Fig 3 (hashtags / mentions / retweets vs control)
+``language``       Fig 4 (tweet languages)
+``topics``         Table 3 (LDA topics of English tweets)
+``staleness``      Fig 5 (group age when shared)
+``revocation``     Fig 6 (lifetime + revoked per day)
+``membership``     Fig 7 (sizes, online fractions, growth), creators,
+                   WhatsApp group countries
+``messages``       Fig 8 (message types), Fig 9 (volumes per group/user)
+``privacy``        Tables 4 & 5 (PII exposure)
+``lda``            Latent Dirichlet Allocation (collapsed Gibbs)
+``stats``          ECDFs, quantiles, concentration shares
+=================  =====================================================
+"""
+
+from repro.analysis import (
+    content,
+    interplay,
+    language,
+    lda,
+    membership,
+    messages,
+    privacy,
+    revocation,
+    sharing,
+    staleness,
+    stats,
+    topics,
+)
+
+__all__ = [
+    "content",
+    "interplay",
+    "language",
+    "lda",
+    "membership",
+    "messages",
+    "privacy",
+    "revocation",
+    "sharing",
+    "staleness",
+    "stats",
+    "topics",
+]

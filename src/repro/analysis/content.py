@@ -1,0 +1,65 @@
+"""Tweet-mechanism prevalence: hashtags, mentions, retweets (Fig 3).
+
+For each platform's group-sharing tweets — and for the control
+dataset — the fraction of tweets carrying at least one hashtag, at
+least one mention, and the fraction that are retweets, plus the
+more-than-one prevalences the paper quotes in the text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.dataset import StudyDataset
+from repro.twitter.model import Tweet
+
+__all__ = ["EntityPrevalence", "entity_prevalence", "control_prevalence"]
+
+
+@dataclass(frozen=True)
+class EntityPrevalence:
+    """Fig 3 statistics for one tweet source.
+
+    Attributes:
+        source: Platform name or ``"control"``.
+        n_tweets: Tweets analysed.
+        hashtag_frac: P(tweet has >= 1 hashtag).
+        multi_hashtag_frac: P(tweet has >= 2 hashtags).
+        mention_frac: P(tweet has >= 1 mention).
+        multi_mention_frac: P(tweet has >= 2 mentions).
+        retweet_frac: P(tweet is a retweet).
+    """
+
+    source: str
+    n_tweets: int
+    hashtag_frac: float
+    multi_hashtag_frac: float
+    mention_frac: float
+    multi_mention_frac: float
+    retweet_frac: float
+
+
+def _prevalence(source: str, tweets: Sequence[Tweet]) -> EntityPrevalence:
+    n = len(tweets)
+    if n == 0:
+        raise ValueError(f"no tweets to analyse for source {source!r}")
+    return EntityPrevalence(
+        source=source,
+        n_tweets=n,
+        hashtag_frac=sum(1 for t in tweets if len(t.hashtags) >= 1) / n,
+        multi_hashtag_frac=sum(1 for t in tweets if len(t.hashtags) >= 2) / n,
+        mention_frac=sum(1 for t in tweets if len(t.mentions) >= 1) / n,
+        multi_mention_frac=sum(1 for t in tweets if len(t.mentions) >= 2) / n,
+        retweet_frac=sum(1 for t in tweets if t.is_retweet) / n,
+    )
+
+
+def entity_prevalence(dataset: StudyDataset, platform: str) -> EntityPrevalence:
+    """Fig 3 statistics for one platform's group-sharing tweets."""
+    return _prevalence(platform, dataset.tweets_for(platform))
+
+
+def control_prevalence(dataset: StudyDataset) -> EntityPrevalence:
+    """Fig 3 statistics for the control dataset."""
+    return _prevalence("control", dataset.control_tweets)

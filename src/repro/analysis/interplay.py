@@ -1,0 +1,107 @@
+"""Cross-platform interplay (the paper's first research question).
+
+"What is the interplay between Twitter and the different messaging
+platforms?"  Beyond the per-platform statistics, two signals connect
+the platforms *through* Twitter:
+
+* **cross-posted tweets** — single tweets advertising groups from more
+  than one messaging platform at once;
+* **cross-platform sharers** — Twitter accounts that share group URLs
+  of several platforms over the window.
+
+Both are why Table 2's total row (2,234,128 tweets, 806,372 users) is
+smaller than the per-platform sum: the totals deduplicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set, Tuple
+
+from repro.core.dataset import StudyDataset
+from repro.core.patterns import extract_group_urls
+
+__all__ = ["InterplayResult", "interplay"]
+
+PLATFORMS = ("whatsapp", "telegram", "discord")
+
+
+@dataclass(frozen=True)
+class InterplayResult:
+    """Cross-platform sharing statistics.
+
+    Attributes:
+        n_tweets_total: Distinct collected tweets (deduplicated).
+        n_tweets_sum: Sum of the per-platform tweet counts.
+        multi_platform_tweets: Tweets carrying URLs of >= 2 platforms.
+        n_authors_total: Distinct authors across all platforms.
+        n_authors_sum: Sum of per-platform distinct-author counts.
+        cross_platform_authors: Authors sharing >= 2 platforms' URLs.
+        platform_pair_tweets: (platform A, platform B) -> tweets
+            carrying URLs of both.
+    """
+
+    n_tweets_total: int
+    n_tweets_sum: int
+    multi_platform_tweets: int
+    n_authors_total: int
+    n_authors_sum: int
+    cross_platform_authors: int
+    platform_pair_tweets: Dict[Tuple[str, str], int]
+
+    @property
+    def tweet_dedup_frac(self) -> float:
+        """How much smaller the total tweet row is than the sum."""
+        if self.n_tweets_sum == 0:
+            return 0.0
+        return 1.0 - self.n_tweets_total / self.n_tweets_sum
+
+    @property
+    def author_dedup_frac(self) -> float:
+        """How much smaller the total user row is than the sum."""
+        if self.n_authors_sum == 0:
+            return 0.0
+        return 1.0 - self.n_authors_total / self.n_authors_sum
+
+
+def interplay(dataset: StudyDataset) -> InterplayResult:
+    """Compute the cross-platform interplay statistics."""
+    authors_by_platform: Dict[str, Set[int]] = {p: set() for p in PLATFORMS}
+    tweets_by_platform: Dict[str, Set[int]] = {p: set() for p in PLATFORMS}
+    multi_platform = 0
+    pair_tweets: Dict[Tuple[str, str], int] = {}
+
+    for tweet in dataset.tweets.values():
+        platforms = sorted(
+            {g.platform for g in extract_group_urls(tweet.urls)}
+        )
+        for platform in platforms:
+            tweets_by_platform[platform].add(tweet.tweet_id)
+            authors_by_platform[platform].add(tweet.author_id)
+        if len(platforms) >= 2:
+            multi_platform += 1
+            for i, a in enumerate(platforms):
+                for b in platforms[i + 1:]:
+                    pair_tweets[(a, b)] = pair_tweets.get((a, b), 0) + 1
+
+    all_authors: Set[int] = set()
+    author_platform_count: Dict[int, int] = {}
+    for platform in PLATFORMS:
+        all_authors |= authors_by_platform[platform]
+        for author in authors_by_platform[platform]:
+            author_platform_count[author] = (
+                author_platform_count.get(author, 0) + 1
+            )
+    cross_authors = sum(
+        1 for count in author_platform_count.values() if count >= 2
+    )
+
+    return InterplayResult(
+        n_tweets_total=len(dataset.tweets),
+        n_tweets_sum=sum(len(s) for s in tweets_by_platform.values()),
+        multi_platform_tweets=multi_platform,
+        n_authors_total=len(all_authors),
+        n_authors_sum=sum(len(s) for s in authors_by_platform.values()),
+        cross_platform_authors=cross_authors,
+        platform_pair_tweets=pair_tweets,
+    )

@@ -1,0 +1,67 @@
+"""Tweet-language distribution (Fig 4).
+
+The paper reads the language field Twitter's API attaches to every
+tweet; so does this analysis.  English dominates on every platform
+(26 / 35 / 47 %), with platform-specific runners-up: Spanish and
+Portuguese on WhatsApp, Arabic and Turkish on Telegram, and — notably —
+Japanese at 27 % on Discord.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.dataset import StudyDataset
+from repro.twitter.model import Tweet
+
+__all__ = ["LanguageShares", "language_shares", "control_language_shares"]
+
+
+@dataclass(frozen=True)
+class LanguageShares:
+    """Language mix of one tweet source, most common first.
+
+    Attributes:
+        source: Platform name or ``"control"``.
+        n_tweets: Tweets analysed.
+        shares: (language, fraction) pairs, descending.
+    """
+
+    source: str
+    n_tweets: int
+    shares: Tuple[Tuple[str, float], ...]
+
+    def share(self, lang: str) -> float:
+        """The fraction of tweets in ``lang`` (0.0 if absent)."""
+        for language, frac in self.shares:
+            if language == lang:
+                return frac
+        return 0.0
+
+    @property
+    def top(self) -> str:
+        """The most common language."""
+        return self.shares[0][0]
+
+
+def _shares(source: str, tweets: Sequence[Tweet]) -> LanguageShares:
+    if not tweets:
+        raise ValueError(f"no tweets to analyse for source {source!r}")
+    counts = Counter(tweet.lang for tweet in tweets)
+    n = len(tweets)
+    ordered = tuple(
+        (lang, count / n) for lang, count in counts.most_common()
+    )
+    return LanguageShares(source=source, n_tweets=n, shares=ordered)
+
+
+def language_shares(dataset: StudyDataset, platform: str) -> LanguageShares:
+    """Fig 4 language mix for one platform's group-sharing tweets."""
+    return _shares(platform, dataset.tweets_for(platform))
+
+
+def control_language_shares(dataset: StudyDataset) -> LanguageShares:
+    """Language mix of the control dataset."""
+    return _shares("control", dataset.control_tweets)

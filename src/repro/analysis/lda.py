@@ -1,0 +1,177 @@
+"""Latent Dirichlet Allocation via collapsed Gibbs sampling.
+
+The paper extracts ten topics per platform from the English tweets
+with LDA [Blei et al. 2003].  This is a from-scratch implementation —
+no external topic-modeling dependency — using the standard collapsed
+Gibbs sampler: topic assignments z are resampled token by token from
+
+    p(z = k | rest) ∝ (n_dk + alpha) * (n_kw + beta) / (n_k + V*beta)
+
+The inner loop is deliberately plain Python over small arrays: for the
+corpus sizes the benches use (10^4-10^5 tokens) this converges in
+seconds and stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["LDAResult", "fit_lda"]
+
+
+@dataclass
+class LDAResult:
+    """A fitted LDA model.
+
+    Attributes:
+        vocab: Index -> word.
+        topic_word: (k, V) topic-word count matrix.
+        doc_topic: (D, k) document-topic count matrix.
+        alpha: Document-topic smoothing used.
+        beta: Topic-word smoothing used.
+    """
+
+    vocab: List[str]
+    topic_word: np.ndarray
+    doc_topic: np.ndarray
+    alpha: float
+    beta: float
+
+    @property
+    def n_topics(self) -> int:
+        """Number of topics k."""
+        return self.topic_word.shape[0]
+
+    def top_terms(self, topic: int, n: int = 10) -> List[str]:
+        """The ``n`` most probable words of ``topic``."""
+        order = np.argsort(self.topic_word[topic])[::-1][:n]
+        return [self.vocab[i] for i in order]
+
+    def dominant_topics(self) -> np.ndarray:
+        """Per-document argmax topic (the paper's per-tweet topic match)."""
+        return np.argmax(self.doc_topic, axis=1)
+
+    def topic_doc_shares(self) -> np.ndarray:
+        """Fraction of documents whose dominant topic is each topic."""
+        dominant = self.dominant_topics()
+        counts = np.bincount(dominant, minlength=self.n_topics)
+        total = max(len(dominant), 1)
+        return counts / total
+
+    def topic_word_dist(self, topic: int) -> np.ndarray:
+        """The smoothed word distribution of one topic."""
+        counts = self.topic_word[topic] + self.beta
+        return counts / counts.sum()
+
+
+def fit_lda(
+    docs: Sequence[Sequence[str]],
+    n_topics: int = 10,
+    n_iter: int = 50,
+    alpha: float = 0.1,
+    beta: float = 0.01,
+    seed: int = 0,
+) -> LDAResult:
+    """Fit LDA with collapsed Gibbs sampling.
+
+    Args:
+        docs: Tokenised documents (already stop-word filtered).
+        n_topics: Number of topics k (the paper uses 10).
+        n_iter: Gibbs sweeps over the corpus.
+        alpha: Symmetric document-topic Dirichlet prior.
+        beta: Symmetric topic-word Dirichlet prior.
+        seed: RNG seed; fits are deterministic given (docs, seed).
+
+    Returns:
+        The fitted :class:`LDAResult`.  Empty documents are allowed and
+        simply contribute nothing.
+    """
+    if n_topics < 1:
+        raise ValueError(f"n_topics must be >= 1, got {n_topics}")
+    if n_iter < 1:
+        raise ValueError(f"n_iter must be >= 1, got {n_iter}")
+
+    word_index: Dict[str, int] = {}
+    corpus: List[List[int]] = []
+    for doc in docs:
+        encoded = []
+        for word in doc:
+            idx = word_index.get(word)
+            if idx is None:
+                idx = len(word_index)
+                word_index[word] = idx
+            encoded.append(idx)
+        corpus.append(encoded)
+
+    n_docs = len(corpus)
+    n_words = len(word_index)
+    vocab = [""] * n_words
+    for word, idx in word_index.items():
+        vocab[idx] = word
+
+    doc_topic = np.zeros((n_docs, n_topics), dtype=np.int64)
+    topic_word = np.zeros((n_topics, max(n_words, 1)), dtype=np.int64)
+    topic_totals = np.zeros(n_topics, dtype=np.int64)
+
+    rng = random.Random(seed)
+    assignments: List[List[int]] = []
+    for d, doc in enumerate(corpus):
+        doc_assign = []
+        for w in doc:
+            z = rng.randrange(n_topics)
+            doc_assign.append(z)
+            doc_topic[d, z] += 1
+            topic_word[z, w] += 1
+            topic_totals[z] += 1
+        assignments.append(doc_assign)
+
+    if n_words == 0:
+        return LDAResult(vocab, topic_word, doc_topic, alpha, beta)
+
+    # Plain-python views of the hot counters (faster than numpy scalars
+    # in the per-token loop).
+    dt = doc_topic.tolist()
+    tw = topic_word.tolist()
+    tt = topic_totals.tolist()
+    v_beta = n_words * beta
+    rand = rng.random
+
+    for _ in range(n_iter):
+        for d, doc in enumerate(corpus):
+            doc_counts = dt[d]
+            doc_assign = assignments[d]
+            for i, w in enumerate(doc):
+                z = doc_assign[i]
+                doc_counts[z] -= 1
+                tw[z][w] -= 1
+                tt[z] -= 1
+
+                total = 0.0
+                weights = [0.0] * n_topics
+                for k in range(n_topics):
+                    p = (doc_counts[k] + alpha) * (tw[k][w] + beta) / (
+                        tt[k] + v_beta
+                    )
+                    total += p
+                    weights[k] = total
+                target = rand() * total
+                z_new = 0
+                while weights[z_new] < target:
+                    z_new += 1
+
+                doc_assign[i] = z_new
+                doc_counts[z_new] += 1
+                tw[z_new][w] += 1
+                tt[z_new] += 1
+
+    return LDAResult(
+        vocab=vocab,
+        topic_word=np.asarray(tw, dtype=np.int64),
+        doc_topic=np.asarray(dt, dtype=np.int64),
+        alpha=alpha,
+        beta=beta,
+    )

@@ -1,0 +1,164 @@
+"""Group membership: sizes, online members, growth, creators, countries.
+
+Covers Fig 7 plus the Section 5 prose analyses:
+
+* sizes and online-member fractions from each group's *first* daily
+  snapshot;
+* growth as the member-count difference between the first and last
+  observation;
+* creator multiplicity — WhatsApp creators are identified by the
+  hashed phone number the landing page leaks, Discord creators by the
+  API-visible creator id, Telegram creators only for joined groups;
+* WhatsApp group countries from the creators' dialing codes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.stats import ECDF, ecdf
+from repro.core.dataset import StudyDataset
+from repro.privacy.phone import country_of_dialing_code
+
+__all__ = [
+    "MembershipResult",
+    "CreatorStats",
+    "membership",
+    "creator_stats",
+    "whatsapp_countries",
+]
+
+
+@dataclass(frozen=True)
+class MembershipResult:
+    """Fig 7 statistics for one platform.
+
+    Attributes:
+        platform: Messaging platform.
+        size_cdf: ECDF of member counts at first observation (Fig 7a).
+        online_frac_cdf: ECDF of online/total at first observation
+            (Fig 7b; None for WhatsApp which exposes no online counts).
+        growth_cdf: ECDF of (last - first) member counts (Fig 7c).
+        growing_frac / flat_frac / shrinking_frac: Trend shares.
+        at_cap_frac: Groups at the platform's member limit.
+        max_growth: Largest observed member-count change.
+    """
+
+    platform: str
+    size_cdf: ECDF
+    online_frac_cdf: Optional[ECDF]
+    growth_cdf: ECDF
+    growing_frac: float
+    flat_frac: float
+    shrinking_frac: float
+    at_cap_frac: float
+    max_growth: float
+
+
+@dataclass(frozen=True)
+class CreatorStats:
+    """Section 5 "Group Creators" statistics for one platform."""
+
+    platform: str
+    n_groups: int
+    n_creators: int
+    single_group_frac: float
+    multi_group_frac: float
+    max_groups_per_creator: int
+
+
+def membership(
+    dataset: StudyDataset, platform: str, member_cap: Optional[int] = None
+) -> MembershipResult:
+    """Compute Fig 7 for one platform."""
+    sizes: List[float] = []
+    online_fracs: List[float] = []
+    growths: List[float] = []
+    for record in dataset.records_for(platform):
+        snaps = [s for s in dataset.snapshots.get(record.canonical, []) if s.alive]
+        if not snaps:
+            continue
+        first, last = snaps[0], snaps[-1]
+        if first.size is None:
+            continue
+        sizes.append(float(first.size))
+        if first.online is not None and first.size > 0:
+            online_fracs.append(first.online / first.size)
+        # Growth needs at least two observations; single-snapshot groups
+        # (e.g. instantly-expiring Discord invites) carry no signal.
+        if len(snaps) >= 2 and last.size is not None:
+            growths.append(float(last.size - first.size))
+    if not sizes:
+        raise ValueError(f"no alive snapshots for {platform}")
+    growth_arr = np.asarray(growths) if growths else np.zeros(1)
+    size_arr = np.asarray(sizes)
+    at_cap = (
+        float(np.mean(size_arr >= member_cap)) if member_cap else 0.0
+    )
+    return MembershipResult(
+        platform=platform,
+        size_cdf=ecdf(size_arr),
+        online_frac_cdf=ecdf(online_fracs) if online_fracs else None,
+        growth_cdf=ecdf(growth_arr),
+        growing_frac=float(np.mean(growth_arr > 0)),
+        flat_frac=float(np.mean(growth_arr == 0)),
+        shrinking_frac=float(np.mean(growth_arr < 0)),
+        at_cap_frac=at_cap,
+        max_growth=float(np.abs(growth_arr).max()),
+    )
+
+
+def _creator_keys(dataset: StudyDataset, platform: str) -> List[str]:
+    """One creator identity per observable group."""
+    keys: List[str] = []
+    if platform == "telegram":
+        for data in dataset.joined_for(platform):
+            if data.creator_id:
+                keys.append(data.creator_id)
+        return keys
+    for record in dataset.records_for(platform):
+        for snap in dataset.snapshots.get(record.canonical, []):
+            if not snap.alive:
+                continue
+            if platform == "whatsapp" and snap.creator_phone_hash is not None:
+                keys.append(snap.creator_phone_hash.digest)
+                break
+            if platform == "discord" and snap.creator_id:
+                keys.append(snap.creator_id)
+                break
+    return keys
+
+
+def creator_stats(dataset: StudyDataset, platform: str) -> CreatorStats:
+    """Section 5 creator-multiplicity statistics for one platform."""
+    keys = _creator_keys(dataset, platform)
+    if not keys:
+        raise ValueError(f"no creator information for {platform}")
+    counts = Counter(keys)
+    per_creator = np.asarray(list(counts.values()))
+    return CreatorStats(
+        platform=platform,
+        n_groups=len(keys),
+        n_creators=len(counts),
+        single_group_frac=float(np.mean(per_creator == 1)),
+        multi_group_frac=float(np.mean(per_creator >= 2)),
+        max_groups_per_creator=int(per_creator.max()),
+    )
+
+
+def whatsapp_countries(dataset: StudyDataset) -> List[Tuple[str, int]]:
+    """WhatsApp groups per creator country, descending (Section 5)."""
+    counter: Counter = Counter()
+    for record in dataset.records_for("whatsapp"):
+        for snap in dataset.snapshots.get(record.canonical, []):
+            if snap.alive and snap.creator_dialing_code:
+                country = country_of_dialing_code(snap.creator_dialing_code)
+                counter[country or snap.creator_dialing_code] += 1
+                break
+    if not counter:
+        raise ValueError("no WhatsApp creator country codes observed")
+    return counter.most_common()

@@ -1,0 +1,76 @@
+"""URL revocation and lifetime analysis (Fig 6, Section 5).
+
+A URL's lifetime is the time from its discovery on Twitter until the
+daily monitor finds the revocation notice.  URLs whose *first* daily
+observation already fails were "revoked before our first observation"
+— the paper's strongest ephemerality signal (67.4 % of all Discord
+URLs, thanks to the 1-day default invite expiry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.stats import ECDF, ecdf
+from repro.core.dataset import StudyDataset
+
+__all__ = ["RevocationResult", "revocation"]
+
+
+@dataclass(frozen=True)
+class RevocationResult:
+    """Fig 6 statistics for one platform.
+
+    Attributes:
+        platform: Messaging platform.
+        n_urls: Monitored URLs.
+        revoked_frac: Fraction revoked at some point in the window.
+        before_first_obs_frac: Fraction of *all* URLs already dead at
+            their first daily observation.
+        lifetime_cdf: ECDF of accessible days for revoked URLs (0 means
+            dead before first observation).
+        revoked_per_day: Day index -> revocations detected that day.
+    """
+
+    platform: str
+    n_urls: int
+    revoked_frac: float
+    before_first_obs_frac: float
+    lifetime_cdf: ECDF
+    revoked_per_day: Dict[int, int]
+
+
+def revocation(dataset: StudyDataset, platform: str) -> RevocationResult:
+    """Compute Fig 6 for one platform."""
+    lifetimes: List[float] = []
+    revoked_per_day: Dict[int, int] = {}
+    n_urls = 0
+    n_revoked = 0
+    n_before_first = 0
+    for record in dataset.records_for(platform):
+        snaps = dataset.snapshots.get(record.canonical)
+        if not snaps:
+            continue
+        n_urls += 1
+        last = snaps[-1]
+        if last.alive:
+            continue
+        n_revoked += 1
+        revoked_per_day[last.day] = revoked_per_day.get(last.day, 0) + 1
+        alive_days = sum(1 for snap in snaps if snap.alive)
+        if alive_days == 0:
+            n_before_first += 1
+        lifetimes.append(float(alive_days))
+    if n_urls == 0:
+        raise ValueError(f"no monitored URLs for {platform}")
+    return RevocationResult(
+        platform=platform,
+        n_urls=n_urls,
+        revoked_frac=n_revoked / n_urls,
+        before_first_obs_frac=n_before_first / n_urls,
+        lifetime_cdf=ecdf(lifetimes) if lifetimes else ecdf([]),
+        revoked_per_day=revoked_per_day,
+    )

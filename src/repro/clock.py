@@ -1,0 +1,77 @@
+"""Simulated time for the measurement campaign.
+
+The paper's study window runs from 2020-04-08 through 2020-05-15: 38
+days of hourly Search polls, continuous Streaming collection, and one
+metadata snapshot per group per day.  The simulator represents time as a
+float number of **days since the study start** (day 0 = 2020-04-08
+00:00 UTC); group creation dates before the study are negative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date, timedelta
+from typing import Iterator
+
+__all__ = ["STUDY_START", "STUDY_DAYS", "SimClock", "sim_day_to_date"]
+
+#: First day of the paper's data collection.
+STUDY_START = date(2020, 4, 8)
+
+#: Length of the collection window in days (2020-04-08 .. 2020-05-15).
+STUDY_DAYS = 38
+
+#: Hours between consecutive Search API polls (the paper polled hourly).
+SEARCH_POLL_HOURS = 1
+
+#: Lookback window of the Search API, in days.
+SEARCH_WINDOW_DAYS = 7.0
+
+
+def sim_day_to_date(t: float) -> date:
+    """Convert a simulation time (days since study start) to a calendar date."""
+    return STUDY_START + timedelta(days=int(t // 1))
+
+
+@dataclass
+class SimClock:
+    """Tracks the current simulation time within the study window.
+
+    Attributes:
+        n_days: Total number of days in the campaign.
+        t: Current time in days since the study start.
+    """
+
+    n_days: int = STUDY_DAYS
+    t: float = field(default=0.0)
+
+    @property
+    def day(self) -> int:
+        """The current whole day index (0-based)."""
+        return int(self.t)
+
+    @property
+    def today(self) -> date:
+        """The current calendar date."""
+        return sim_day_to_date(self.t)
+
+    def advance_hours(self, hours: float) -> None:
+        """Move the clock forward by ``hours``."""
+        self.t += hours / 24.0
+
+    def advance_to_day(self, day: int) -> None:
+        """Jump to the start of ``day`` (must not move backwards)."""
+        if day < self.t:
+            raise ValueError(f"clock cannot move backwards: {day} < {self.t}")
+        self.t = float(day)
+
+    def days(self) -> Iterator[int]:
+        """Iterate over the remaining whole days of the campaign."""
+        while self.day < self.n_days:
+            yield self.day
+            self.advance_to_day(self.day + 1)
+
+    @property
+    def finished(self) -> bool:
+        """True once the campaign window has been fully consumed."""
+        return self.t >= self.n_days

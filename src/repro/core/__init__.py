@@ -1,0 +1,45 @@
+"""The paper's measurement pipeline (its primary contribution).
+
+Five stages, mirroring Section 3:
+
+1. :mod:`~repro.core.patterns` — the six invite-URL patterns and their
+   extraction/canonicalisation from tweets.
+2. :mod:`~repro.core.discovery` — hourly Search polls merged with the
+   Streaming API into a deduplicated URL catalogue.
+3. :mod:`~repro.core.monitor` — one metadata snapshot per discovered
+   group per day, until revocation.
+4. :mod:`~repro.core.joiner` — joining a uniform-random sample of
+   groups under each platform's constraints, collecting messages and
+   user observations.
+5. :mod:`~repro.core.study` — the end-to-end orchestrator producing a
+   :class:`~repro.core.dataset.StudyDataset` for the analyses.
+"""
+
+from repro.core.dataset import JoinedGroupData, Snapshot, StudyDataset, UserObservation
+from repro.core.discovery import DiscoveryEngine, URLRecord
+from repro.core.joiner import GroupJoiner
+from repro.core.monitor import MetadataMonitor
+from repro.core.patterns import (
+    DEFAULT_PATTERNS,
+    GroupURL,
+    extract_group_urls,
+    platform_of_url,
+)
+from repro.core.study import Study, StudyConfig
+
+__all__ = [
+    "DEFAULT_PATTERNS",
+    "DiscoveryEngine",
+    "GroupJoiner",
+    "GroupURL",
+    "JoinedGroupData",
+    "MetadataMonitor",
+    "Snapshot",
+    "Study",
+    "StudyConfig",
+    "StudyDataset",
+    "URLRecord",
+    "UserObservation",
+    "extract_group_urls",
+    "platform_of_url",
+]

@@ -1,0 +1,157 @@
+"""The study's collected dataset — input to every analysis.
+
+Everything the analyses of Sections 4-6 consume is normalised into
+this container by the orchestrator: the discovery catalogue, the daily
+monitor snapshots, the joined-group aggregates, user observations, and
+the control tweets.  Raw phone numbers never appear here — only
+:class:`~repro.privacy.hashing.HashedPhone` digests (plus the dialing
+code, which the paper keeps for the country analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.discovery import URLRecord
+from repro.platforms.base import GroupKind, MessageType
+from repro.privacy.hashing import HashedPhone
+from repro.twitter.model import Tweet
+
+__all__ = ["Snapshot", "JoinedGroupData", "UserObservation", "StudyDataset"]
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One daily metadata observation of one group URL.
+
+    Attributes:
+        canonical: The URL's deduplication key.
+        day: Whole-day index of the observation.
+        t: Exact observation time.
+        alive: False if the landing page showed a revocation notice.
+        size: Member count (None when revoked / not exposed).
+        online: Online members (Telegram/Discord only).
+        title: Group title.
+        kind: Chat-room kind, where the platform exposes it.
+        creator_dialing_code: WhatsApp: creator's country dialing code.
+        creator_phone_hash: WhatsApp: hashed creator phone number.
+        creator_id: Discord: creator's user id (API-visible).
+        created_t: Discord: server creation time (API-visible).
+    """
+
+    canonical: str
+    day: int
+    t: float
+    alive: bool
+    size: Optional[int] = None
+    online: Optional[int] = None
+    title: str = ""
+    kind: Optional[GroupKind] = None
+    creator_dialing_code: str = ""
+    creator_phone_hash: Optional[HashedPhone] = None
+    creator_id: str = ""
+    created_t: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class UserObservation:
+    """What the pipeline observed about one platform user.
+
+    Attributes:
+        platform: Messaging platform.
+        user_id: Platform-local user id.
+        phone_hash: Hashed phone, if the platform exposed one.
+        country: Country derived from the phone's dialing code ('' if
+            no phone was exposed).
+        linked_accounts: (external platform, handle) pairs (Discord).
+        via: How the user was observed ('member_list' or 'poster').
+    """
+
+    platform: str
+    user_id: str
+    phone_hash: Optional[HashedPhone] = None
+    country: str = ""
+    linked_accounts: Tuple = ()
+    via: str = "poster"
+
+
+@dataclass
+class JoinedGroupData:
+    """Aggregates collected from one joined group (Section 3.3).
+
+    Message bodies are aggregated at collection time (type counts,
+    per-day counts, per-sender counts) so a study over millions of
+    messages stays memory-bounded.
+    """
+
+    platform: str
+    canonical: str
+    gid: str
+    join_t: float
+    kind: Optional[GroupKind] = None
+    created_t: Optional[float] = None
+    size_at_join: Optional[int] = None
+    n_messages: int = 0
+    type_counts: Dict[MessageType, int] = field(default_factory=dict)
+    daily_counts: Dict[int, int] = field(default_factory=dict)
+    sender_counts: Dict[str, int] = field(default_factory=dict)
+    member_ids: List[str] = field(default_factory=list)
+    member_list_hidden: bool = False
+    #: Creator user id, where the platform exposes it post-join.
+    creator_id: str = ""
+
+    @property
+    def n_senders(self) -> int:
+        """Distinct users who posted at least one collected message."""
+        return len(self.sender_counts)
+
+    @property
+    def observation_days(self) -> float:
+        """Days of history the message collection covers."""
+        if not self.daily_counts:
+            return 0.0
+        return float(max(self.daily_counts) - min(self.daily_counts) + 1)
+
+
+@dataclass
+class StudyDataset:
+    """The complete output of one measurement campaign."""
+
+    n_days: int
+    scale: float
+    #: Thinning factor applied to collected message volumes; analyses
+    #: divide per-day rates by it to report paper-comparable numbers.
+    message_scale: float = 1.0
+    #: canonical -> discovery record (URL catalogue).
+    records: Dict[str, URLRecord] = field(default_factory=dict)
+    #: tweet_id -> tweet, for every collected group-sharing tweet.
+    tweets: Dict[int, Tweet] = field(default_factory=dict)
+    #: The control dataset (sample-stream tweets, pattern-free).
+    control_tweets: List[Tweet] = field(default_factory=list)
+    #: canonical -> chronological daily snapshots.
+    snapshots: Dict[str, List[Snapshot]] = field(default_factory=dict)
+    #: Data from every joined group.
+    joined: List[JoinedGroupData] = field(default_factory=list)
+    #: (platform, user_id) -> user observation.
+    users: Dict[Tuple[str, str], UserObservation] = field(default_factory=dict)
+
+    def records_for(self, platform: str) -> List[URLRecord]:
+        """Discovery records for one platform."""
+        return [r for r in self.records.values() if r.platform == platform]
+
+    def joined_for(self, platform: str) -> List[JoinedGroupData]:
+        """Joined-group data for one platform."""
+        return [j for j in self.joined if j.platform == platform]
+
+    def users_for(self, platform: str) -> List[UserObservation]:
+        """User observations for one platform."""
+        return [u for u in self.users.values() if u.platform == platform]
+
+    def tweets_for(self, platform: str) -> List[Tweet]:
+        """Distinct collected tweets sharing URLs of one platform."""
+        seen: Dict[int, Tweet] = {}
+        for record in self.records_for(platform):
+            for tid, _ in record.shares:
+                seen[tid] = self.tweets[tid]
+        return list(seen.values())

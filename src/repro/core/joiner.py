@@ -1,0 +1,334 @@
+"""Joining sampled groups and collecting in-group data (Section 3.3).
+
+The paper joined 416 WhatsApp groups, 100 Telegram groups, and 100
+Discord servers, selected uniformly at random, each platform under its
+own constraints:
+
+* WhatsApp — no API; Web-client accounts, each banned somewhere between
+  250 and 300 joined groups, so several accounts (SIM cards) are needed
+  for 416 groups.  Only post-join messages are visible.
+* Telegram — official API; full history since creation; member lists
+  hidden by admins in most groups; phone numbers visible only on opt-in.
+* Discord — bots cannot self-join, so a regular user account is used
+  (limit: 100 servers).  Full history; profiles leak linked accounts.
+
+Messages are aggregated at collection time (counts by type, day, and
+sender); raw phone numbers are hashed on sight.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dataset import JoinedGroupData, UserObservation
+from repro.core.discovery import URLRecord
+from repro.errors import (
+    GroupFullError,
+    JoinLimitError,
+    MemberListHiddenError,
+    RevokedURLError,
+    UnknownURLError,
+)
+from repro.platforms.base import Message
+from repro.platforms.discord import DiscordAPI, DiscordService
+from repro.platforms.telegram import TelegramAPI, TelegramService, TelegramWebClient
+from repro.platforms.whatsapp import WhatsAppAccount, WhatsAppService
+from repro.privacy.hashing import PhoneHasher
+from repro.rng import derive_rng
+
+__all__ = ["GroupJoiner", "DEFAULT_JOIN_TARGETS"]
+
+#: The paper's joined-group counts per platform.
+DEFAULT_JOIN_TARGETS: Dict[str, int] = {
+    "whatsapp": 416,
+    "telegram": 100,
+    "discord": 100,
+}
+
+
+class GroupJoiner:
+    """Joins a uniform-random sample of discovered groups per platform."""
+
+    def __init__(
+        self,
+        whatsapp: WhatsAppService,
+        telegram: TelegramService,
+        discord: DiscordService,
+        hasher: PhoneHasher,
+        seed: int,
+        member_fetch_cap: int = 5_000,
+    ) -> None:
+        self._services = {
+            "whatsapp": whatsapp,
+            "telegram": telegram,
+            "discord": discord,
+        }
+        self._hasher = hasher
+        self._seed = seed
+        self._member_fetch_cap = member_fetch_cap
+        self._wa_accounts: List[WhatsAppAccount] = []
+        self._tg_api = TelegramAPI(telegram, "tg-study-account")
+        self._tg_web = TelegramWebClient(telegram)
+        self._dc_apis: List[DiscordAPI] = []
+        #: canonical -> (platform-specific join handle info)
+        self._joined: List[Tuple[URLRecord, float, object]] = []
+
+    # -- joining -------------------------------------------------------------
+
+    def join_sample(
+        self,
+        records: Sequence[URLRecord],
+        targets: Dict[str, int],
+        join_t: float,
+    ) -> int:
+        """Join up to ``targets[platform]`` groups per platform.
+
+        Candidates are shuffled uniformly at random; dead invites
+        encountered at join time are skipped (and do not count).
+        Returns the number of groups actually joined.
+        """
+        rng = derive_rng(self._seed, "joiner/sample")
+        joined = 0
+        for platform, target in targets.items():
+            candidates = [r for r in records if r.platform == platform]
+            order = rng.permutation(len(candidates))
+            count = 0
+            for idx in order:
+                if count >= target:
+                    break
+                record = candidates[int(idx)]
+                handle = self._join_one(platform, record, join_t)
+                if handle is not None:
+                    self._joined.append((record, join_t, handle))
+                    count += 1
+            joined += count
+        return joined
+
+    def _join_one(
+        self, platform: str, record: URLRecord, join_t: float
+    ) -> Optional[object]:
+        try:
+            if platform == "whatsapp":
+                return self._join_whatsapp(record, join_t)
+            if platform == "telegram":
+                self._tg_api.join(record.url, join_t)
+                return self._tg_api
+            return self._join_discord(record, join_t)
+        except (RevokedURLError, UnknownURLError, GroupFullError):
+            return None
+
+    def _join_whatsapp(self, record: URLRecord, join_t: float) -> WhatsAppAccount:
+        while True:
+            if not self._wa_accounts:
+                self._new_wa_account()
+            account = self._wa_accounts[-1]
+            try:
+                account.join(record.url, join_t)
+                return account
+            except JoinLimitError:
+                self._new_wa_account()
+
+    def _new_wa_account(self) -> None:
+        account_id = f"wa-study-{len(self._wa_accounts)}"
+        self._wa_accounts.append(
+            WhatsAppAccount(self._services["whatsapp"], account_id)
+        )
+
+    def _join_discord(self, record: URLRecord, join_t: float) -> DiscordAPI:
+        while True:
+            if not self._dc_apis:
+                self._new_dc_api()
+            api = self._dc_apis[-1]
+            try:
+                api.join(record.url, join_t)
+                return api
+            except JoinLimitError:
+                self._new_dc_api()
+
+    def _new_dc_api(self) -> None:
+        account_id = f"dc-study-{len(self._dc_apis)}"
+        self._dc_apis.append(DiscordAPI(self._services["discord"], account_id))
+
+    @property
+    def n_joined(self) -> int:
+        """Groups joined so far."""
+        return len(self._joined)
+
+    # -- collection --------------------------------------------------------
+
+    def collect(
+        self, until_t: float, message_scale: float = 1.0
+    ) -> Tuple[List[JoinedGroupData], Dict[Tuple[str, str], UserObservation]]:
+        """Collect messages and user observations from all joined groups."""
+        joined_data: List[JoinedGroupData] = []
+        users: Dict[Tuple[str, str], UserObservation] = {}
+        for record, join_t, handle in self._joined:
+            if record.platform == "whatsapp":
+                data = self._collect_whatsapp(
+                    record, join_t, handle, until_t, message_scale, users
+                )
+            elif record.platform == "telegram":
+                data = self._collect_telegram(
+                    record, join_t, until_t, message_scale, users
+                )
+            else:
+                data = self._collect_discord(
+                    record, join_t, handle, until_t, message_scale, users
+                )
+            joined_data.append(data)
+        return joined_data, users
+
+    def _aggregate_messages(
+        self, data: JoinedGroupData, messages: Iterable[Message]
+    ) -> None:
+        for message in messages:
+            data.n_messages += 1
+            data.type_counts[message.mtype] = (
+                data.type_counts.get(message.mtype, 0) + 1
+            )
+            day = int(np.floor(message.t))
+            data.daily_counts[day] = data.daily_counts.get(day, 0) + 1
+            data.sender_counts[message.sender_id] = (
+                data.sender_counts.get(message.sender_id, 0) + 1
+            )
+
+    def _collect_whatsapp(
+        self,
+        record: URLRecord,
+        join_t: float,
+        account: WhatsAppAccount,
+        until_t: float,
+        message_scale: float,
+        users: Dict[Tuple[str, str], UserObservation],
+    ) -> JoinedGroupData:
+        gid = self._services["whatsapp"].group_by_invite(record.code).gid
+        data = JoinedGroupData(
+            platform="whatsapp",
+            canonical=record.canonical,
+            gid=gid,
+            join_t=join_t,
+            created_t=account.creation_date(gid),
+        )
+        self._aggregate_messages(
+            data,
+            account.messages(gid, until_t, scale=message_scale, with_text=False),
+        )
+        phones = account.member_phone_numbers(gid, until_t)
+        data.member_ids = list(phones)
+        data.size_at_join = len(phones)
+        for user_id, phone in phones.items():
+            hashed = self._hasher.record(phone)
+            users.setdefault(
+                ("whatsapp", user_id),
+                UserObservation(
+                    platform="whatsapp",
+                    user_id=user_id,
+                    phone_hash=hashed,
+                    country=hashed.country,
+                    via="member_list",
+                ),
+            )
+        return data
+
+    def _collect_telegram(
+        self,
+        record: URLRecord,
+        join_t: float,
+        until_t: float,
+        message_scale: float,
+        users: Dict[Tuple[str, str], UserObservation],
+    ) -> JoinedGroupData:
+        api = self._tg_api
+        gid = self._services["telegram"].group_by_invite(record.code).gid
+        data = JoinedGroupData(
+            platform="telegram",
+            canonical=record.canonical,
+            gid=gid,
+            join_t=join_t,
+            kind=api.kind(gid),
+            created_t=api.creation_date(gid),
+            creator_id=api.creator(gid),
+        )
+        self._aggregate_messages(
+            data, api.history(gid, until_t, scale=message_scale, with_text=False)
+        )
+        # Total size comes from the group's public web page (the paper's
+        # 688 K Telegram members include groups with hidden member lists).
+        try:
+            data.size_at_join = self._tg_web.preview(record.url, join_t).size
+        except (RevokedURLError, UnknownURLError):
+            pass
+        try:
+            member_ids = api.members(gid, until_t)
+            data.member_ids = member_ids[: self._member_fetch_cap]
+            for user_id in data.member_ids:
+                self._observe_telegram_user(api, user_id, "member_list", users)
+        except MemberListHiddenError:
+            data.member_list_hidden = True
+        for user_id in data.sender_counts:
+            self._observe_telegram_user(api, user_id, "poster", users)
+        return data
+
+    def _observe_telegram_user(
+        self,
+        api: TelegramAPI,
+        user_id: str,
+        via: str,
+        users: Dict[Tuple[str, str], UserObservation],
+    ) -> None:
+        key = ("telegram", user_id)
+        if key in users:
+            return
+        info = api.get_user(user_id)
+        hashed = self._hasher.record(info.phone) if info.phone else None
+        users[key] = UserObservation(
+            platform="telegram",
+            user_id=user_id,
+            phone_hash=hashed,
+            country=hashed.country if hashed else "",
+            via=via,
+        )
+
+    def _collect_discord(
+        self,
+        record: URLRecord,
+        join_t: float,
+        api: DiscordAPI,
+        until_t: float,
+        message_scale: float,
+        users: Dict[Tuple[str, str], UserObservation],
+    ) -> JoinedGroupData:
+        service = self._services["discord"]
+        gid = service.group_by_invite(record.code).gid
+        data = JoinedGroupData(
+            platform="discord",
+            canonical=record.canonical,
+            gid=gid,
+            join_t=join_t,
+        )
+        # Invite metadata (creation date, size) was read at join time;
+        # re-reading may fail if the invite has since expired.
+        try:
+            info = api.get_invite(record.url, join_t)
+            data.created_t = info.created_t
+            data.size_at_join = info.size
+            data.creator_id = info.creator_id
+        except (RevokedURLError, UnknownURLError):
+            pass
+        self._aggregate_messages(
+            data, api.history(gid, until_t, scale=message_scale, with_text=False)
+        )
+        for user_id in data.sender_counts:
+            key = ("discord", user_id)
+            if key in users:
+                continue
+            info_user = api.get_user(user_id)
+            users[key] = UserObservation(
+                platform="discord",
+                user_id=user_id,
+                linked_accounts=info_user.linked_accounts,
+                via="poster",
+            )
+        return data

@@ -1,0 +1,123 @@
+"""Daily group-metadata monitoring (Section 3.2).
+
+From the day a URL is discovered until it is revoked, the monitor
+visits it once per day through the cheapest observation channel each
+platform offers *without joining*:
+
+* WhatsApp — Web-client landing page (title, size, creator phone).
+* Telegram — group web page (title, size, online count, kind).
+* Discord — REST ``get_invite`` (title, sizes, creator, creation date).
+
+Revoked landing pages show nothing but the revocation notice, so the
+monitor records a dead snapshot and drops the URL from its active set.
+Creator phone numbers are hashed before storage (ethics protocol).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.core.dataset import Snapshot
+from repro.core.discovery import URLRecord
+from repro.errors import RevokedURLError, UnknownURLError
+from repro.platforms.base import GroupKind
+from repro.platforms.discord import DiscordAPI
+from repro.platforms.telegram import TelegramWebClient
+from repro.platforms.whatsapp import WhatsAppWebClient
+from repro.privacy.hashing import PhoneHasher
+
+__all__ = ["MetadataMonitor", "MONITOR_HOUR_FRAC"]
+
+#: Fraction of the day at which the daily snapshot is taken (a late
+#: evening pass over the whole catalogue).
+MONITOR_HOUR_FRAC = 0.98
+
+
+class MetadataMonitor:
+    """Tracks every discovered URL with one snapshot per day."""
+
+    def __init__(
+        self,
+        whatsapp: WhatsAppWebClient,
+        telegram: TelegramWebClient,
+        discord: DiscordAPI,
+        hasher: PhoneHasher,
+    ) -> None:
+        self._whatsapp = whatsapp
+        self._telegram = telegram
+        self._discord = discord
+        self._hasher = hasher
+        #: canonical -> snapshots, chronological.
+        self.snapshots: Dict[str, List[Snapshot]] = {}
+        self._dead: set = set()
+
+    def observe_day(self, day: int, records: Iterable[URLRecord]) -> None:
+        """Take the day's snapshot of every live, already-discovered URL."""
+        t = day + MONITOR_HOUR_FRAC
+        for record in records:
+            if record.canonical in self._dead:
+                continue
+            if record.first_seen_t > t:
+                continue  # not discovered yet at observation time
+            snapshot = self._observe_one(record, day, t)
+            self.snapshots.setdefault(record.canonical, []).append(snapshot)
+            if not snapshot.alive:
+                self._dead.add(record.canonical)
+
+    def _observe_one(self, record: URLRecord, day: int, t: float) -> Snapshot:
+        try:
+            if record.platform == "whatsapp":
+                return self._observe_whatsapp(record, day, t)
+            if record.platform == "telegram":
+                return self._observe_telegram(record, day, t)
+            return self._observe_discord(record, day, t)
+        except (RevokedURLError, UnknownURLError):
+            return Snapshot(
+                canonical=record.canonical, day=day, t=t, alive=False
+            )
+
+    def _observe_whatsapp(self, record: URLRecord, day: int, t: float) -> Snapshot:
+        preview = self._whatsapp.preview(record.url, t)
+        return Snapshot(
+            canonical=record.canonical,
+            day=day,
+            t=t,
+            alive=True,
+            size=preview.size,
+            title=preview.title,
+            kind=GroupKind.GROUP,
+            creator_dialing_code=preview.creator_dialing_code,
+            creator_phone_hash=self._hasher.record(preview.creator_phone),
+        )
+
+    def _observe_telegram(self, record: URLRecord, day: int, t: float) -> Snapshot:
+        preview = self._telegram.preview(record.url, t)
+        return Snapshot(
+            canonical=record.canonical,
+            day=day,
+            t=t,
+            alive=True,
+            size=preview.size,
+            online=preview.online,
+            title=preview.title,
+            kind=preview.kind,
+        )
+
+    def _observe_discord(self, record: URLRecord, day: int, t: float) -> Snapshot:
+        info = self._discord.get_invite(record.url, t)
+        return Snapshot(
+            canonical=record.canonical,
+            day=day,
+            t=t,
+            alive=True,
+            size=info.size,
+            online=info.online,
+            title=info.title,
+            kind=GroupKind.SERVER,
+            creator_id=info.creator_id,
+            created_t=info.created_t,
+        )
+
+    def is_dead(self, canonical: str) -> bool:
+        """True if the monitor has seen this URL's revocation."""
+        return canonical in self._dead

@@ -1,0 +1,102 @@
+"""Invite-URL patterns and extraction (Section 3.1).
+
+The paper compiled six URL patterns by reviewing each platform's
+documentation: ``chat.whatsapp.com/``, ``t.me/``, ``telegram.me/``,
+``telegram.org/``, ``discord.gg/``, and ``discord.com/``.  This module
+holds those patterns (fed verbatim to the Twitter APIs) and extracts
+canonical group identities from matched tweets so that the same group
+shared under different URL variants (``t.me/x`` vs ``telegram.me/x``)
+deduplicates to one record.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_PATTERNS",
+    "GroupURL",
+    "extract_group_urls",
+    "platform_of_url",
+]
+
+#: The six search patterns, exactly as the paper queried Twitter.
+DEFAULT_PATTERNS: Tuple[str, ...] = (
+    "chat.whatsapp.com/",
+    "t.me/",
+    "telegram.me/",
+    "telegram.org/",
+    "discord.gg/",
+    "discord.com/",
+)
+
+#: (platform, compiled regex) in match-priority order.  Discord's
+#: ``discord.com`` pattern is restricted to ``/invite/`` paths when
+#: extracting ids (the search pattern is broader, as in the paper, but
+#: non-invite discord.com links carry no group id).
+_PLATFORM_RES: Tuple[Tuple[str, re.Pattern], ...] = (
+    (
+        "whatsapp",
+        re.compile(r"chat\.whatsapp\.com/(?:invite/)?([A-Za-z0-9]{8,32})"),
+    ),
+    (
+        "telegram",
+        re.compile(
+            r"(?:t\.me|telegram\.me|telegram\.org)/"
+            r"(?:joinchat/)?([A-Za-z0-9_]{4,40})"
+        ),
+    ),
+    (
+        "discord",
+        re.compile(r"(?:discord\.gg|discord\.com/invite)/([A-Za-z0-9]{2,16})"),
+    ),
+)
+
+
+@dataclass(frozen=True)
+class GroupURL:
+    """A group URL extracted from a tweet.
+
+    Attributes:
+        platform: Messaging platform the URL belongs to.
+        code: The platform-local invite code / public name.
+        url: The URL as it appeared in the tweet.
+    """
+
+    platform: str
+    code: str
+    url: str
+
+    @property
+    def canonical(self) -> str:
+        """Deduplication key: platform plus invite code."""
+        return f"{self.platform}:{self.code}"
+
+
+def platform_of_url(url: str) -> Optional[str]:
+    """Return the platform a URL belongs to, or None."""
+    for platform, regex in _PLATFORM_RES:
+        if regex.search(url):
+            return platform
+    return None
+
+
+def extract_group_urls(urls: Iterable[str]) -> List[GroupURL]:
+    """Extract every group URL from an iterable of URL strings.
+
+    A single tweet can carry several group URLs (even for different
+    platforms); all are returned, duplicates included — callers that
+    want per-tweet deduplication can key on :attr:`GroupURL.canonical`.
+    """
+    found: List[GroupURL] = []
+    for url in urls:
+        for platform, regex in _PLATFORM_RES:
+            match = regex.search(url)
+            if match:
+                found.append(
+                    GroupURL(platform=platform, code=match.group(1), url=url)
+                )
+                break
+    return found

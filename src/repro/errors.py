@@ -1,0 +1,59 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Platform simulators raise the
+more specific subclasses to mirror the failure modes the paper's data
+collection encountered (revoked invite URLs, join limits, API access
+restrictions).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A study or simulation configuration value is invalid."""
+
+
+class UnknownURLError(ReproError):
+    """An invite URL does not correspond to any group on the platform."""
+
+
+class RevokedURLError(ReproError):
+    """The invite URL exists but has been revoked.
+
+    Mirrors the landing page "revocation notice" the paper describes:
+    once revoked, no metadata beyond the revocation itself is visible.
+    """
+
+
+class JoinLimitError(ReproError):
+    """The account hit the platform's limit on number of joined groups."""
+
+
+class GroupFullError(ReproError):
+    """The group is at its member cap and accepts no new members.
+
+    The paper notes WhatsApp groups "become full, hence not shared on
+    Twitter to attract more members" — a full group's invite link still
+    resolves, but joining fails.
+    """
+
+
+class NotAMemberError(ReproError):
+    """The requested data is only visible to members of the group."""
+
+
+class MemberListHiddenError(ReproError):
+    """Group administrators hid the member list (Telegram feature)."""
+
+
+class BotRestrictionError(ReproError):
+    """Discord forbids bots from joining servers on their own."""
+
+
+class APIRateLimitError(ReproError):
+    """The platform API rejected the call due to rate limiting."""

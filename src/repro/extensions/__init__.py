@@ -1,0 +1,27 @@
+"""Extensions implementing the paper's Section 8 future-work agenda.
+
+* :mod:`~repro.extensions.focused` — focused collection of groups on a
+  specific topic (the paper: "selecting groups related to specific
+  interesting topics like politics and COVID-19").
+* :mod:`~repro.extensions.toxicity` — a lexicon-based toxicity scorer
+  standing in for Google's Perspective API (the paper: "assess the
+  prevalence of toxic content ... by leveraging Google's Perspective
+  API"), plus the per-platform toxicity analysis built on it.
+* :mod:`~repro.extensions.realtime` — the "robust, scalable, real-time
+  data collection solution" the paper's conclusion calls for: hourly
+  discovery with immediate metadata capture, beating the daily monitor
+  on ephemeral (especially Discord) invites.
+"""
+
+from repro.extensions.focused import FocusedCollector, TopicFilter
+from repro.extensions.realtime import RealTimeCollector, compare_with_daily
+from repro.extensions.toxicity import ToxicityScorer, platform_toxicity
+
+__all__ = [
+    "FocusedCollector",
+    "RealTimeCollector",
+    "TopicFilter",
+    "ToxicityScorer",
+    "compare_with_daily",
+    "platform_toxicity",
+]

@@ -1,0 +1,160 @@
+"""Focused topical collection (paper Section 8, future work).
+
+The paper plans "a focused data collection within groups by selecting
+groups related to specific interesting topics".  This module implements
+that on top of the public pipeline output: a :class:`TopicFilter`
+classifies each discovered URL from the text of the tweets that shared
+it, and a :class:`FocusedCollector` assembles the per-topic catalogue
+with its monitoring series, ready for downstream analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from repro.core.dataset import Snapshot, StudyDataset
+from repro.core.discovery import URLRecord
+from repro.text.tokenize import tokenize_for_lda
+
+__all__ = ["TopicFilter", "FocusedGroup", "FocusedCollector", "BUILTIN_TOPICS"]
+
+#: Ready-made keyword filters for the topics the paper calls out.
+BUILTIN_TOPICS: Dict[str, FrozenSet[str]] = {
+    "cryptocurrency": frozenset(
+        "bitcoin btc ethereum eth crypto cryptocurrency usdt trx trc"
+        " airdrop token tokens sats defi blockchain coin".split()
+    ),
+    "gaming": frozenset(
+        "gaming game games nintendo fortnite tournament clan squad"
+        " pokemon raid battle gamedev indiegames".split()
+    ),
+    "adult": frozenset(
+        "sex porn nude hentai nsfw onlyfans cam girls boobs pussy".split()
+    ),
+    "moneymaking": frozenset(
+        "earn money cash income forex profit trading payout rich"
+        " hustle legit".split()
+    ),
+}
+
+
+@dataclass(frozen=True)
+class TopicFilter:
+    """Classifies discovered URLs by the vocabulary of their tweets.
+
+    Attributes:
+        name: Topic label.
+        keywords: Lowercase keyword set; a tweet matches if its token
+            stream intersects it.
+        min_share_frac: Minimum fraction of a URL's tweets that must
+            match for the URL to be classified under the topic.
+    """
+
+    name: str
+    keywords: FrozenSet[str]
+    min_share_frac: float = 0.25
+
+    def tweet_matches(self, text: str) -> bool:
+        """True if the tweet's tokens intersect the keyword set."""
+        return bool(self.keywords & set(tokenize_for_lda(text)))
+
+    def record_matches(self, dataset: StudyDataset, record: URLRecord) -> bool:
+        """True if enough of the URL's sharing tweets match the topic."""
+        if not record.shares:
+            return False
+        hits = sum(
+            1
+            for tweet_id, _ in record.shares
+            if self.tweet_matches(dataset.tweets[tweet_id].text)
+        )
+        return hits >= max(1, int(record.n_shares * self.min_share_frac))
+
+    @classmethod
+    def builtin(cls, name: str, min_share_frac: float = 0.25) -> "TopicFilter":
+        """A filter from :data:`BUILTIN_TOPICS` by name."""
+        if name not in BUILTIN_TOPICS:
+            raise KeyError(
+                f"unknown builtin topic {name!r}; "
+                f"available: {sorted(BUILTIN_TOPICS)}"
+            )
+        return cls(
+            name=name, keywords=BUILTIN_TOPICS[name],
+            min_share_frac=min_share_frac,
+        )
+
+
+@dataclass
+class FocusedGroup:
+    """One group selected by a topic filter, with its observations."""
+
+    record: URLRecord
+    snapshots: List[Snapshot] = field(default_factory=list)
+
+    @property
+    def platform(self) -> str:
+        return self.record.platform
+
+    @property
+    def alive_sizes(self) -> List[int]:
+        """Member counts across the alive daily observations."""
+        return [s.size for s in self.snapshots if s.alive and s.size is not None]
+
+    @property
+    def growth(self) -> Optional[int]:
+        """Member change between first and last alive observation."""
+        sizes = self.alive_sizes
+        if len(sizes) < 2:
+            return None
+        return sizes[-1] - sizes[0]
+
+
+class FocusedCollector:
+    """Selects and packages the groups matching a topic filter."""
+
+    def __init__(self, topic: TopicFilter) -> None:
+        self.topic = topic
+
+    def collect(
+        self,
+        dataset: StudyDataset,
+        platforms: Sequence[str] = ("whatsapp", "telegram", "discord"),
+        english_only: bool = True,
+    ) -> Dict[str, List[FocusedGroup]]:
+        """Return the per-platform catalogue of matching groups."""
+        catalogue: Dict[str, List[FocusedGroup]] = {p: [] for p in platforms}
+        for platform in platforms:
+            for record in dataset.records_for(platform):
+                if english_only and not any(
+                    dataset.tweets[tid].lang == "en" for tid, _ in record.shares
+                ):
+                    continue
+                if not self.topic.record_matches(dataset, record):
+                    continue
+                catalogue[platform].append(
+                    FocusedGroup(
+                        record=record,
+                        snapshots=list(
+                            dataset.snapshots.get(record.canonical, [])
+                        ),
+                    )
+                )
+        return catalogue
+
+    def prevalence(
+        self, dataset: StudyDataset, platform: str, english_only: bool = True
+    ) -> float:
+        """Fraction of the platform's (English) URLs matching the topic."""
+        records = dataset.records_for(platform)
+        if english_only:
+            records = [
+                r
+                for r in records
+                if any(dataset.tweets[tid].lang == "en" for tid, _ in r.shares)
+            ]
+        if not records:
+            return 0.0
+        matching = sum(
+            1 for r in records if self.topic.record_matches(dataset, r)
+        )
+        return matching / len(records)

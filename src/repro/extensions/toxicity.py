@@ -1,0 +1,125 @@
+"""Toxicity scoring (paper Section 8, future work).
+
+The paper plans to "assess the prevalence of toxic content shared
+within such groups (i.e., by leveraging Google's Perspective API)".
+The Perspective API is a closed service, so this extension substitutes
+a transparent lexicon scorer with the same interface shape: text in,
+score in [0, 1] out.  It is calibrated on the generative vocabularies —
+the adult-content topics that the paper found on Telegram (and hentai
+on Discord) carry the toxic lexicon, so the per-platform shape (toxic
+prevalence: Telegram > Discord > WhatsApp) follows the paper's topic
+findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence
+
+import numpy as np
+
+from repro.core.dataset import StudyDataset
+from repro.text.tokenize import tokenize
+
+__all__ = ["ToxicityScorer", "PlatformToxicity", "platform_toxicity"]
+
+#: Strongly toxic/explicit terms (score weight 1.0).
+_TOXIC_TERMS: FrozenSet[str] = frozenset(
+    "fuck pussy cum nude boobs porn sex nsfw lewd hentai".split()
+)
+
+#: Milder suggestive terms (score weight 0.4).
+_SUGGESTIVE_TERMS: FrozenSet[str] = frozenset(
+    "girls hot leaked premium butt waifu cam onlyfans xxx snap".split()
+)
+
+
+@dataclass(frozen=True)
+class PlatformToxicity:
+    """Toxicity summary for one platform's group-sharing tweets.
+
+    Attributes:
+        platform: Messaging platform.
+        n_scored: Tweets scored.
+        mean_score: Mean toxicity score.
+        toxic_frac: Fraction of tweets above the toxic threshold.
+    """
+
+    platform: str
+    n_scored: int
+    mean_score: float
+    toxic_frac: float
+
+
+class ToxicityScorer:
+    """Perspective-API-shaped lexicon scorer.
+
+    ``score`` maps a text to [0, 1]; the score saturates with the
+    number of toxic hits, mirroring how a probability-of-toxicity API
+    behaves on increasingly explicit text.
+    """
+
+    def __init__(
+        self,
+        toxic_terms: FrozenSet[str] = _TOXIC_TERMS,
+        suggestive_terms: FrozenSet[str] = _SUGGESTIVE_TERMS,
+        threshold: float = 0.5,
+    ) -> None:
+        if not 0.0 < threshold < 1.0:
+            raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+        self._toxic = toxic_terms
+        self._suggestive = suggestive_terms
+        self.threshold = threshold
+
+    def score(self, text: str) -> float:
+        """Toxicity score of ``text`` in [0, 1]."""
+        tokens = tokenize(text)
+        if not tokens:
+            return 0.0
+        weight = sum(
+            1.0 if token in self._toxic else 0.4
+            for token in tokens
+            if token in self._toxic or token in self._suggestive
+        )
+        # Saturating map: one strong hit ~0.63, two ~0.86, ...
+        return float(1.0 - np.exp(-weight))
+
+    def is_toxic(self, text: str) -> bool:
+        """True if the score exceeds the configured threshold."""
+        return self.score(text) > self.threshold
+
+    def score_many(self, texts: Sequence[str]) -> np.ndarray:
+        """Vector of scores for a batch of texts."""
+        return np.array([self.score(text) for text in texts])
+
+
+def platform_toxicity(
+    dataset: StudyDataset,
+    scorer: ToxicityScorer = None,
+    english_only: bool = True,
+) -> Dict[str, PlatformToxicity]:
+    """Score every platform's group-sharing tweets.
+
+    Returns per-platform summaries; with the default scorer the paper's
+    topic findings imply toxic prevalence Telegram > Discord > WhatsApp
+    (sex topics are 23 % of Telegram's English tweets, hentai 9 % of
+    Discord's, and WhatsApp's topics are money-centric).
+    """
+    scorer = scorer or ToxicityScorer()
+    results: Dict[str, PlatformToxicity] = {}
+    for platform in ("whatsapp", "telegram", "discord"):
+        texts: List[str] = [
+            tweet.text
+            for tweet in dataset.tweets_for(platform)
+            if not english_only or tweet.lang == "en"
+        ]
+        if not texts:
+            raise ValueError(f"no tweets to score for {platform}")
+        scores = scorer.score_many(texts)
+        results[platform] = PlatformToxicity(
+            platform=platform,
+            n_scored=len(texts),
+            mean_score=float(scores.mean()),
+            toxic_frac=float(np.mean(scores > scorer.threshold)),
+        )
+    return results

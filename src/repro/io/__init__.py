@@ -1,0 +1,20 @@
+"""Dataset persistence and export.
+
+A measurement campaign is expensive relative to its analyses, so the
+collected :class:`~repro.core.dataset.StudyDataset` can be saved to a
+single JSON file and reloaded later
+(:func:`~repro.io.serialize.save_dataset` /
+:func:`~repro.io.serialize.load_dataset`), and every analysis series
+can be exported as CSV for external plotting
+(:mod:`repro.io.export`).
+"""
+
+from repro.io.export import export_all_csv, export_figure_csv
+from repro.io.serialize import load_dataset, save_dataset
+
+__all__ = [
+    "export_all_csv",
+    "export_figure_csv",
+    "load_dataset",
+    "save_dataset",
+]

@@ -1,0 +1,146 @@
+"""CSV export of every figure's data series.
+
+For users who want to re-plot the paper's figures with their own
+tooling: each ``figN.csv`` contains the exact series the corresponding
+figure plots (daily counts for Fig 1, ECDF points for the CDF figures,
+category fractions for Figs 3/4/8).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.analysis.content import control_prevalence, entity_prevalence
+from repro.analysis.language import language_shares
+from repro.analysis.membership import membership
+from repro.analysis.messages import group_activity, message_types, user_activity
+from repro.analysis.revocation import revocation
+from repro.analysis.sharing import daily_discovery, tweets_per_url
+from repro.analysis.staleness import staleness
+from repro.core.dataset import StudyDataset
+
+__all__ = ["export_figure_csv", "export_all_csv", "FIGURES"]
+
+PLATFORMS = ("whatsapp", "telegram", "discord")
+
+
+def _write_csv(path: Path, header: Sequence[str], rows) -> None:
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def _fig1_rows(dataset: StudyDataset):
+    for platform in PLATFORMS:
+        series = daily_discovery(dataset, platform)
+        for day in series.days:
+            yield (
+                platform, day, series.all_counts[day],
+                series.unique_counts[day], series.new_counts[day],
+            )
+
+
+def _fig2_rows(dataset: StudyDataset):
+    for platform in PLATFORMS:
+        for x, p in tweets_per_url(dataset, platform).cdf.series():
+            yield platform, x, p
+
+
+def _fig3_rows(dataset: StudyDataset):
+    results = [entity_prevalence(dataset, p) for p in PLATFORMS]
+    results.append(control_prevalence(dataset))
+    for res in results:
+        yield (
+            res.source, res.hashtag_frac, res.multi_hashtag_frac,
+            res.mention_frac, res.multi_mention_frac, res.retweet_frac,
+        )
+
+
+def _fig4_rows(dataset: StudyDataset):
+    for platform in PLATFORMS:
+        for lang, frac in language_shares(dataset, platform).shares:
+            yield platform, lang, frac
+
+
+def _fig5_rows(dataset: StudyDataset):
+    for platform in PLATFORMS:
+        for x, p in staleness(dataset, platform).cdf.series():
+            yield platform, x, p
+
+
+def _fig6_rows(dataset: StudyDataset):
+    for platform in PLATFORMS:
+        res = revocation(dataset, platform)
+        for day in sorted(res.revoked_per_day):
+            yield platform, day, res.revoked_per_day[day]
+
+
+def _fig7_rows(dataset: StudyDataset):
+    for platform in PLATFORMS:
+        res = membership(dataset, platform)
+        for x, p in res.size_cdf.series():
+            yield platform, "size", x, p
+        if res.online_frac_cdf is not None:
+            for x, p in res.online_frac_cdf.series():
+                yield platform, "online_frac", x, p
+        for x, p in res.growth_cdf.series():
+            yield platform, "growth", x, p
+
+
+def _fig8_rows(dataset: StudyDataset):
+    for platform in PLATFORMS:
+        for mtype, frac in message_types(dataset, platform).fractions:
+            yield platform, mtype.value, frac
+
+
+def _fig9_rows(dataset: StudyDataset):
+    for platform in PLATFORMS:
+        for x, p in group_activity(dataset, platform).rate_cdf.series():
+            yield platform, "msgs_per_group_day", x, p
+        for x, p in user_activity(dataset, platform).count_cdf.series():
+            yield platform, "msgs_per_user", x, p
+
+
+#: Figure name -> (CSV header, row generator).
+FIGURES: Dict[str, tuple] = {
+    "fig1": (("platform", "day", "all", "unique", "new"), _fig1_rows),
+    "fig2": (("platform", "tweets_per_url", "cdf"), _fig2_rows),
+    "fig3": (
+        ("source", "hashtag", "multi_hashtag", "mention", "multi_mention",
+         "retweet"),
+        _fig3_rows,
+    ),
+    "fig4": (("platform", "language", "share"), _fig4_rows),
+    "fig5": (("platform", "staleness_days", "cdf"), _fig5_rows),
+    "fig6": (("platform", "day", "revocations"), _fig6_rows),
+    "fig7": (("platform", "series", "value", "cdf"), _fig7_rows),
+    "fig8": (("platform", "message_type", "share"), _fig8_rows),
+    "fig9": (("platform", "series", "value", "cdf"), _fig9_rows),
+}
+
+
+def export_figure_csv(
+    dataset: StudyDataset, figure: str, directory: Union[str, os.PathLike]
+) -> Path:
+    """Write one figure's series to ``<directory>/<figure>.csv``."""
+    if figure not in FIGURES:
+        raise KeyError(f"unknown figure {figure!r}; available: {sorted(FIGURES)}")
+    header, rows = FIGURES[figure]
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{figure}.csv"
+    _write_csv(path, header, rows(dataset))
+    return path
+
+
+def export_all_csv(
+    dataset: StudyDataset, directory: Union[str, os.PathLike]
+) -> List[Path]:
+    """Write every figure's series; returns the written paths."""
+    return [
+        export_figure_csv(dataset, figure, directory) for figure in FIGURES
+    ]

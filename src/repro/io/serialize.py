@@ -1,0 +1,291 @@
+"""StudyDataset JSON persistence.
+
+The full dataset round-trips through a single JSON document (optionally
+gzip-compressed when the path ends in ``.gz``): discovery records,
+tweets, control tweets, daily snapshots, joined-group aggregates, and
+user observations.  Hashed phones serialise as (country, dialing code,
+digest) — consistent with the ethics protocol, no raw number ever
+touches disk.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.dataset import (
+    JoinedGroupData,
+    Snapshot,
+    StudyDataset,
+    UserObservation,
+)
+from repro.core.discovery import URLRecord
+from repro.platforms.base import GroupKind, MessageType
+from repro.privacy.hashing import HashedPhone
+from repro.privacy.pii import LinkedAccount
+from repro.twitter.model import Tweet
+
+__all__ = ["save_dataset", "load_dataset", "FORMAT_VERSION"]
+
+#: Bumped on any incompatible change to the on-disk layout.
+FORMAT_VERSION = 1
+
+
+# -- encoding ----------------------------------------------------------------
+
+
+def _tweet_to_dict(tweet: Tweet) -> Dict[str, Any]:
+    return {
+        "id": tweet.tweet_id,
+        "author": tweet.author_id,
+        "t": tweet.t,
+        "text": tweet.text,
+        "lang": tweet.lang,
+        "hashtags": list(tweet.hashtags),
+        "mentions": list(tweet.mentions),
+        "urls": list(tweet.urls),
+        "rt_of": tweet.retweet_of,
+    }
+
+
+def _record_to_dict(record: URLRecord) -> Dict[str, Any]:
+    return {
+        "canonical": record.canonical,
+        "platform": record.platform,
+        "code": record.code,
+        "url": record.url,
+        "first_seen_t": record.first_seen_t,
+        "shares": record.shares,
+        "via_search": record.via_search,
+        "via_stream": record.via_stream,
+    }
+
+
+def _hashed_phone_to_dict(phone: Optional[HashedPhone]) -> Optional[Dict[str, str]]:
+    if phone is None:
+        return None
+    return {
+        "country": phone.country,
+        "dialing_code": phone.dialing_code,
+        "digest": phone.digest,
+    }
+
+
+def _snapshot_to_dict(snap: Snapshot) -> Dict[str, Any]:
+    return {
+        "canonical": snap.canonical,
+        "day": snap.day,
+        "t": snap.t,
+        "alive": snap.alive,
+        "size": snap.size,
+        "online": snap.online,
+        "title": snap.title,
+        "kind": snap.kind.value if snap.kind else None,
+        "creator_dialing_code": snap.creator_dialing_code,
+        "creator_phone_hash": _hashed_phone_to_dict(snap.creator_phone_hash),
+        "creator_id": snap.creator_id,
+        "created_t": snap.created_t,
+    }
+
+
+def _joined_to_dict(data: JoinedGroupData) -> Dict[str, Any]:
+    return {
+        "platform": data.platform,
+        "canonical": data.canonical,
+        "gid": data.gid,
+        "join_t": data.join_t,
+        "kind": data.kind.value if data.kind else None,
+        "created_t": data.created_t,
+        "size_at_join": data.size_at_join,
+        "n_messages": data.n_messages,
+        "type_counts": {
+            mtype.value: count for mtype, count in data.type_counts.items()
+        },
+        "daily_counts": {str(day): c for day, c in data.daily_counts.items()},
+        "sender_counts": data.sender_counts,
+        "member_ids": data.member_ids,
+        "member_list_hidden": data.member_list_hidden,
+        "creator_id": data.creator_id,
+    }
+
+
+def _user_to_dict(obs: UserObservation) -> Dict[str, Any]:
+    return {
+        "platform": obs.platform,
+        "user_id": obs.user_id,
+        "phone_hash": _hashed_phone_to_dict(obs.phone_hash),
+        "country": obs.country,
+        "linked_accounts": [
+            {"platform": a.platform, "handle": a.handle}
+            for a in obs.linked_accounts
+        ],
+        "via": obs.via,
+    }
+
+
+def save_dataset(dataset: StudyDataset, path: Union[str, os.PathLike]) -> None:
+    """Write the dataset to ``path`` (gzip when it ends in ``.gz``)."""
+    document = {
+        "format_version": FORMAT_VERSION,
+        "n_days": dataset.n_days,
+        "scale": dataset.scale,
+        "message_scale": dataset.message_scale,
+        "records": [_record_to_dict(r) for r in dataset.records.values()],
+        "tweets": [_tweet_to_dict(t) for t in dataset.tweets.values()],
+        "control_tweets": [_tweet_to_dict(t) for t in dataset.control_tweets],
+        "snapshots": {
+            canonical: [_snapshot_to_dict(s) for s in snaps]
+            for canonical, snaps in dataset.snapshots.items()
+        },
+        "joined": [_joined_to_dict(j) for j in dataset.joined],
+        "users": [_user_to_dict(u) for u in dataset.users.values()],
+    }
+    payload = json.dumps(document, separators=(",", ":"))
+    path = os.fspath(path)
+    if path.endswith(".gz"):
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write(payload)
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+
+
+# -- decoding ----------------------------------------------------------------
+
+
+def _tweet_from_dict(item: Dict[str, Any]) -> Tweet:
+    return Tweet(
+        tweet_id=item["id"],
+        author_id=item["author"],
+        t=item["t"],
+        text=item["text"],
+        lang=item["lang"],
+        hashtags=tuple(item["hashtags"]),
+        mentions=tuple(item["mentions"]),
+        urls=tuple(item["urls"]),
+        retweet_of=item["rt_of"],
+    )
+
+
+def _record_from_dict(item: Dict[str, Any]) -> URLRecord:
+    return URLRecord(
+        canonical=item["canonical"],
+        platform=item["platform"],
+        code=item["code"],
+        url=item["url"],
+        first_seen_t=item["first_seen_t"],
+        shares=[tuple(pair) for pair in item["shares"]],
+        via_search=item["via_search"],
+        via_stream=item["via_stream"],
+    )
+
+
+def _hashed_phone_from_dict(
+    item: Optional[Dict[str, str]],
+) -> Optional[HashedPhone]:
+    if item is None:
+        return None
+    return HashedPhone(
+        country=item["country"],
+        dialing_code=item["dialing_code"],
+        digest=item["digest"],
+    )
+
+
+def _snapshot_from_dict(item: Dict[str, Any]) -> Snapshot:
+    return Snapshot(
+        canonical=item["canonical"],
+        day=item["day"],
+        t=item["t"],
+        alive=item["alive"],
+        size=item["size"],
+        online=item["online"],
+        title=item["title"],
+        kind=GroupKind(item["kind"]) if item["kind"] else None,
+        creator_dialing_code=item["creator_dialing_code"],
+        creator_phone_hash=_hashed_phone_from_dict(item["creator_phone_hash"]),
+        creator_id=item["creator_id"],
+        created_t=item["created_t"],
+    )
+
+
+def _joined_from_dict(item: Dict[str, Any]) -> JoinedGroupData:
+    return JoinedGroupData(
+        platform=item["platform"],
+        canonical=item["canonical"],
+        gid=item["gid"],
+        join_t=item["join_t"],
+        kind=GroupKind(item["kind"]) if item["kind"] else None,
+        created_t=item["created_t"],
+        size_at_join=item["size_at_join"],
+        n_messages=item["n_messages"],
+        type_counts={
+            MessageType(value): count
+            for value, count in item["type_counts"].items()
+        },
+        daily_counts={int(day): c for day, c in item["daily_counts"].items()},
+        sender_counts=item["sender_counts"],
+        member_ids=item["member_ids"],
+        member_list_hidden=item["member_list_hidden"],
+        creator_id=item["creator_id"],
+    )
+
+
+def _user_from_dict(item: Dict[str, Any]) -> UserObservation:
+    return UserObservation(
+        platform=item["platform"],
+        user_id=item["user_id"],
+        phone_hash=_hashed_phone_from_dict(item["phone_hash"]),
+        country=item["country"],
+        linked_accounts=tuple(
+            LinkedAccount(platform=a["platform"], handle=a["handle"])
+            for a in item["linked_accounts"]
+        ),
+        via=item["via"],
+    )
+
+
+def load_dataset(path: Union[str, os.PathLike]) -> StudyDataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    path = os.fspath(path)
+    if path.endswith(".gz"):
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            document = json.load(handle)
+    else:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported dataset format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+
+    dataset = StudyDataset(
+        n_days=document["n_days"],
+        scale=document["scale"],
+        message_scale=document["message_scale"],
+    )
+    dataset.records = {
+        item["canonical"]: _record_from_dict(item)
+        for item in document["records"]
+    }
+    dataset.tweets = {
+        item["id"]: _tweet_from_dict(item) for item in document["tweets"]
+    }
+    dataset.control_tweets = [
+        _tweet_from_dict(item) for item in document["control_tweets"]
+    ]
+    dataset.snapshots = {
+        canonical: [_snapshot_from_dict(s) for s in snaps]
+        for canonical, snaps in document["snapshots"].items()
+    }
+    dataset.joined = [_joined_from_dict(item) for item in document["joined"]]
+    dataset.users = {
+        (item["platform"], item["user_id"]): _user_from_dict(item)
+        for item in document["users"]
+    }
+    return dataset

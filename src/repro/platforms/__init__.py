@@ -1,0 +1,41 @@
+"""Simulated messaging platforms: WhatsApp, Telegram, and Discord.
+
+Each platform package exposes (a) a *service* holding the simulated
+ground truth (groups, trajectories, users) and (b) the *observation
+clients* the paper's pipeline used — web-client landing-page previews
+for WhatsApp/Telegram, REST-style APIs for Telegram/Discord — with the
+same access restrictions (join limits, hidden member lists, bot
+restrictions, invite expiry) the authors had to work around.
+"""
+
+from repro.platforms.base import (
+    GroupKind,
+    GroupPlan,
+    GroupRecord,
+    Message,
+    MessageType,
+    PlatformCapabilities,
+    PlatformService,
+    UserProfile,
+)
+from repro.platforms.discord import DiscordAPI, DiscordService
+from repro.platforms.telegram import TelegramAPI, TelegramService, TelegramWebClient
+from repro.platforms.whatsapp import WhatsAppService, WhatsAppWebClient
+
+__all__ = [
+    "DiscordAPI",
+    "DiscordService",
+    "GroupKind",
+    "GroupPlan",
+    "GroupRecord",
+    "Message",
+    "MessageType",
+    "PlatformCapabilities",
+    "PlatformService",
+    "TelegramAPI",
+    "TelegramService",
+    "TelegramWebClient",
+    "UserProfile",
+    "WhatsAppService",
+    "WhatsAppWebClient",
+]

@@ -1,0 +1,547 @@
+"""Common ground-truth model shared by the three platform simulators.
+
+Design
+------
+The simulator must support the paper's full 38-day campaign over up to
+hundreds of thousands of groups without materialising every message and
+member up front.  Each group therefore carries a :class:`GroupPlan` — a
+small set of sampled trajectory parameters — and the heavy artefacts
+(daily sizes, member rosters, message histories, user profiles) are
+computed *lazily and deterministically* from the study seed plus stable
+string keys (see :mod:`repro.rng`).  Accessing the same group twice
+yields identical data, regardless of access order.
+
+The *observation boundary* is enforced by the per-platform clients
+(``web.py`` / ``api.py`` modules); this module is the ground truth they
+observe.
+"""
+
+from __future__ import annotations
+
+import enum
+import string
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import UnknownURLError
+from repro.privacy.phone import PhoneNumber, random_phone
+from repro.rng import derive_rng, stable_hash, stable_uniform
+from repro.text.topicbank import COMMON_TERMS, LANGUAGE_VOCAB, PLATFORM_TOPICS
+
+__all__ = [
+    "GroupKind",
+    "GroupPlan",
+    "GroupRecord",
+    "Message",
+    "MessageType",
+    "PlatformCapabilities",
+    "PlatformService",
+    "PlatformUserModel",
+    "UserProfile",
+]
+
+#: Cap on how many roster members are materialised for one group; very
+#: large Telegram groups/channels are sampled down to this many (the
+#: paper likewise never enumerated 200 K-member groups in full).
+ROSTER_MATERIALISE_CAP = 50_000
+
+#: Cap (days) on how far back a message-history fetch will materialise.
+HISTORY_DAYS_CAP = 365
+
+
+class MessageType(enum.Enum):
+    """Content type of a message (Table 1's supported-content row)."""
+
+    TEXT = "text"
+    IMAGE = "image"
+    VIDEO = "video"
+    AUDIO = "audio"
+    STICKER = "sticker"
+    DOCUMENT = "document"
+    CONTACT = "contact"
+    LOCATION = "location"
+    SERVICE = "service"  # join/leave/edit notices (Telegram "other")
+
+
+class GroupKind(enum.Enum):
+    """Public chat-room flavours across the three platforms."""
+
+    GROUP = "group"      # WhatsApp group / Telegram group
+    CHANNEL = "channel"  # Telegram channel (few-to-many)
+    SERVER = "server"    # Discord server (guild)
+
+
+@dataclass(frozen=True)
+class PlatformCapabilities:
+    """Static platform characteristics (the rows of Table 1)."""
+
+    name: str
+    initial_release: str
+    user_base: str
+    registration: str
+    public_chat_options: str
+    max_members: int
+    has_data_api: bool
+    message_forwarding: str
+    end_to_end_encryption: str
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single message inside a group.
+
+    Attributes:
+        message_id: Platform-unique id.
+        group_id: Group the message was posted in.
+        sender_id: Platform-local user id of the author.
+        t: Simulation time of posting (days since study start; may be
+            negative for history predating the study).
+        mtype: Content type.
+        text: Body text (empty for most non-text types).
+    """
+
+    message_id: str
+    group_id: str
+    sender_id: str
+    t: float
+    mtype: MessageType
+    text: str = ""
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """Ground-truth profile of a platform user.
+
+    What an observer can actually *see* of this profile depends on the
+    platform client used (e.g. Telegram hides ``phone`` unless
+    ``phone_visible``); the clients enforce that, not this dataclass.
+    """
+
+    user_id: str
+    display_name: str
+    country: str
+    phone: Optional[PhoneNumber] = None
+    phone_visible: bool = False
+    linked_accounts: Tuple = ()
+
+
+@dataclass
+class GroupPlan:
+    """Sampled life plan of one group — everything lazy evaluation needs.
+
+    Attributes:
+        gid: Platform-unique group id.
+        kind: Group/channel/server.
+        title: Group title shown on landing pages.
+        topic_label: Generative topic (drives message text).
+        lang: Dominant language of the group.
+        creator_id: Platform-local user id of the creator.
+        created_t: Creation time (days since study start; negative means
+            the group predates the study — the "staleness" of Fig 5).
+        anchor_t: Trajectory anchor: the time of the group's first share
+            on Twitter; ``size0`` is the member count at this time.
+        size0: Member count at ``anchor_t``.
+        slope: Net member growth per day (negative = shrinking).
+        revoke_t: Time the invite URL dies (None = never during study).
+        msg_rate: Mean messages per day.
+        online_frac: Mean fraction of members online at any instant.
+        active_frac: Fraction of members who ever post.
+        sender_zipf: Zipf exponent of the per-member posting skew.
+        member_cap: Platform's member limit for this chat kind.
+    """
+
+    gid: str
+    kind: GroupKind
+    title: str
+    topic_label: str
+    lang: str
+    creator_id: str
+    created_t: float
+    anchor_t: float
+    size0: int
+    slope: float
+    revoke_t: Optional[float]
+    msg_rate: float
+    online_frac: float
+    active_frac: float
+    sender_zipf: float
+    member_cap: int
+
+
+@dataclass(frozen=True)
+class PlatformUserModel:
+    """Parameters for materialising user profiles on one platform.
+
+    Attributes:
+        population: Size of the platform's user-id space from which
+            group rosters draw (controls cross-group overlap).
+        countries: Country codes for profile sampling.
+        country_probs: Matching probabilities.
+        has_phone: Whether accounts are registered with a phone number.
+        phone_visible_prob: Probability the phone is visible to other
+            users (Telegram's opt-in; 1.0 on WhatsApp, 0.0 on Discord).
+        linked_account_prob: Probability a profile links >=1 external
+            account (Discord only).
+        linked_platform_weights: Relative weights of Table 5 platforms.
+    """
+
+    population: int
+    countries: Tuple[str, ...]
+    country_probs: Tuple[float, ...]
+    has_phone: bool
+    phone_visible_prob: float = 0.0
+    linked_account_prob: float = 0.0
+    linked_platform_weights: Tuple[Tuple[str, float], ...] = ()
+
+
+_ALPHANUM = string.ascii_letters + string.digits
+
+
+def _encode_token(key: str, length: int) -> str:
+    """Derive a stable alphanumeric token of ``length`` chars from a key."""
+    rng = np.random.default_rng(stable_hash(key))
+    idx = rng.integers(0, len(_ALPHANUM), size=length)
+    return "".join(_ALPHANUM[i] for i in idx)
+
+
+# Message-type mixes per platform, calibrated to Fig 8.
+_TYPE_MIXES: Dict[str, Tuple[Tuple[MessageType, float], ...]] = {
+    "whatsapp": (
+        (MessageType.TEXT, 0.78),
+        (MessageType.STICKER, 0.10),
+        (MessageType.IMAGE, 0.065),
+        (MessageType.VIDEO, 0.030),
+        (MessageType.AUDIO, 0.015),
+        (MessageType.DOCUMENT, 0.005),
+        (MessageType.CONTACT, 0.002),
+        (MessageType.LOCATION, 0.003),
+    ),
+    "telegram": (
+        (MessageType.TEXT, 0.85),
+        (MessageType.IMAGE, 0.050),
+        (MessageType.VIDEO, 0.030),
+        (MessageType.STICKER, 0.020),
+        (MessageType.AUDIO, 0.010),
+        (MessageType.DOCUMENT, 0.010),
+        (MessageType.SERVICE, 0.030),
+    ),
+    "discord": (
+        (MessageType.TEXT, 0.96),
+        (MessageType.IMAGE, 0.030),
+        (MessageType.VIDEO, 0.005),
+        (MessageType.DOCUMENT, 0.005),
+    ),
+}
+
+
+class GroupRecord:
+    """Ground truth of one group: plan + lazy materialisation.
+
+    All accessors are pure functions of (study seed, gid, arguments), so
+    repeated observation — e.g. the daily monitor hitting the landing
+    page 38 times — is consistent.
+    """
+
+    def __init__(self, plan: GroupPlan, platform: "PlatformService") -> None:
+        self.plan = plan
+        self._platform = platform
+        self._roster: Optional[List[str]] = None
+        self._sender_cum: Optional[np.ndarray] = None  # truncated-Zipf CDF
+
+    # -- identity -----------------------------------------------------
+
+    @property
+    def gid(self) -> str:
+        return self.plan.gid
+
+    @property
+    def title(self) -> str:
+        return self.plan.title
+
+    @property
+    def kind(self) -> GroupKind:
+        return self.plan.kind
+
+    @property
+    def creator_id(self) -> str:
+        return self.plan.creator_id
+
+    @property
+    def created_t(self) -> float:
+        return self.plan.created_t
+
+    # -- trajectory ---------------------------------------------------
+
+    def is_revoked_at(self, t: float) -> bool:
+        """True once the invite URL has died."""
+        return self.plan.revoke_t is not None and t >= self.plan.revoke_t
+
+    def size_on(self, t: float) -> int:
+        """Member count at time ``t`` (piecewise-linear with jitter)."""
+        plan = self.plan
+        dt = max(t - plan.anchor_t, 0.0)
+        base = plan.size0 + plan.slope * dt
+        # Small deterministic day-to-day wiggle (+-1 %) so daily
+        # snapshots are not perfectly linear.
+        wiggle = 1.0 + 0.02 * (stable_uniform(f"{plan.gid}/size/{int(t)}") - 0.5)
+        return int(np.clip(round(base * wiggle), 1, plan.member_cap))
+
+    def online_on(self, t: float) -> int:
+        """Members online at time ``t`` (Telegram/Discord expose this)."""
+        size = self.size_on(t)
+        jitter = 0.5 + stable_uniform(f"{self.plan.gid}/online/{int(t)}")
+        online = int(round(size * self.plan.online_frac * jitter))
+        return int(np.clip(online, 0, size))
+
+    # -- roster -------------------------------------------------------
+
+    def roster(self, t: float) -> List[str]:
+        """Member user ids at time ``t`` (capped materialisation).
+
+        The roster is a deterministic sample from the platform's user-id
+        space; its prefix is stable over time, so a growing group keeps
+        its earlier members.
+        """
+        size = min(self.size_on(t), ROSTER_MATERIALISE_CAP)
+        if self._roster is None or len(self._roster) < size:
+            rng = derive_rng(
+                self._platform.seed, f"{self._platform.name}/roster/{self.gid}"
+            )
+            want = max(size, len(self._roster or ()))
+            # Draw with a margin, dedup preserving order, keep `want`.
+            draw = rng.integers(0, self._platform.user_model.population,
+                                size=int(want * 1.5) + 16)
+            seen: Dict[int, None] = {}
+            for uid in draw:
+                seen.setdefault(int(uid), None)
+                if len(seen) >= want:
+                    break
+            self._roster = [self._platform.format_user_id(u) for u in seen]
+        members = self._roster[:size]
+        # The creator is always a member.
+        if self.plan.creator_id not in members:
+            members = [self.plan.creator_id] + members[: max(size - 1, 0)]
+        return members
+
+    def active_members(self, t: float) -> List[str]:
+        """The subset of members who ever post (``active_frac``)."""
+        roster = self.roster(t)
+        n_active = max(1, int(round(len(roster) * self.plan.active_frac)))
+        if self.kind is GroupKind.CHANNEL:
+            # Channels are few-to-many: only the creator and a handful
+            # of administrators post.
+            n_active = min(len(roster), 3)
+        return roster[:n_active]
+
+    # -- messages -----------------------------------------------------
+
+    def message_count_on(self, day: int, scale: float = 1.0) -> int:
+        """Number of messages posted on whole day ``day``."""
+        if day < int(np.floor(self.plan.created_t)):
+            return 0
+        if self.plan.revoke_t is not None and day > self.plan.revoke_t:
+            # A dead invite URL does not imply a dead group, but revoked
+            # groups in our world wind down: activity stops.
+            return 0
+        rng = derive_rng(
+            self._platform.seed,
+            f"{self._platform.name}/msgcount/{self.gid}/{day}",
+        )
+        return int(rng.poisson(self.plan.msg_rate * scale))
+
+    def messages_between(
+        self, t0: float, t1: float, scale: float = 1.0, with_text: bool = True
+    ) -> Iterator[Message]:
+        """Yield the messages posted in [t0, t1), oldest first.
+
+        ``scale`` thins the per-day Poisson rate — the study-level
+        message scale factor.  History older than
+        :data:`HISTORY_DAYS_CAP` days before ``t1`` is not materialised.
+        ``with_text=False`` skips body-text generation (several times
+        faster) for consumers that only aggregate counts.
+        """
+        t0 = max(t0, self.plan.created_t, t1 - HISTORY_DAYS_CAP)
+        first_day = int(np.floor(t0))
+        last_day = int(np.ceil(t1))
+        senders = self.active_members(t1)
+        # Posting frequency follows a Zipf law over the active members,
+        # truncated to the pool (sampled via the cumulative weights —
+        # exponents <= 1 are valid, unlike numpy's unbounded sampler).
+        if self._sender_cum is None or len(self._sender_cum) != len(senders):
+            weights = np.arange(1, len(senders) + 1, dtype=float)
+            weights **= -self.plan.sender_zipf
+            self._sender_cum = np.cumsum(weights)
+        cum = self._sender_cum
+        for day in range(first_day, last_day):
+            count = self.message_count_on(day, scale)
+            if count == 0:
+                continue
+            rng = derive_rng(
+                self._platform.seed,
+                f"{self._platform.name}/msgs/{self.gid}/{day}",
+            )
+            times = np.sort(day + rng.random(count))
+            ranks = np.searchsorted(cum, rng.random(count) * cum[-1])
+            types, probs = self._platform.type_mix
+            type_idx = rng.choice(len(types), size=count, p=probs)
+            for i in range(count):
+                t = float(times[i])
+                if not (t0 <= t < t1):
+                    continue
+                mtype = types[int(type_idx[i])]
+                text = ""
+                if with_text and mtype is MessageType.TEXT:
+                    text = self._sample_text(rng)
+                yield Message(
+                    message_id=f"{self.gid}/m{day}.{i}",
+                    group_id=self.gid,
+                    sender_id=senders[int(ranks[i])],
+                    t=t,
+                    mtype=mtype,
+                    text=text,
+                )
+
+    def _sample_text(self, rng: np.random.Generator) -> str:
+        vocab = self._platform.topic_vocab(self.plan.topic_label, self.plan.lang)
+        n_words = int(rng.integers(2, 9))
+        idx = rng.integers(0, len(vocab), size=n_words)
+        return " ".join(vocab[i] for i in idx)
+
+
+class PlatformService:
+    """Base class for the three platform ground-truth services.
+
+    Subclasses set :attr:`name`, :attr:`capabilities`, and invite-URL
+    encoding, and may add platform-specific state (e.g. Discord invite
+    expiry bookkeeping).
+    """
+
+    name: str = "base"
+    capabilities: PlatformCapabilities
+
+    def __init__(self, seed: int, user_model: PlatformUserModel) -> None:
+        self.seed = seed
+        self.user_model = user_model
+        self._groups: Dict[str, GroupRecord] = {}
+        self._invite_to_gid: Dict[str, str] = {}
+        self._profiles: Dict[str, UserProfile] = {}
+        types_probs = _TYPE_MIXES[self.name]
+        self.type_mix: Tuple[Tuple[MessageType, ...], np.ndarray] = (
+            tuple(t for t, _ in types_probs),
+            np.array([p for _, p in types_probs]) /
+            sum(p for _, p in types_probs),
+        )
+        self._topic_vocabs: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+
+    # -- groups -------------------------------------------------------
+
+    def register_group(self, plan: GroupPlan) -> GroupRecord:
+        """Add a group to the platform and index its invite code."""
+        record = GroupRecord(plan, self)
+        self._groups[plan.gid] = record
+        self._invite_to_gid[self.invite_code(plan.gid)] = plan.gid
+        return record
+
+    def group(self, gid: str) -> GroupRecord:
+        """Look a group up by its id."""
+        try:
+            return self._groups[gid]
+        except KeyError:
+            raise UnknownURLError(f"no such group on {self.name}: {gid}") from None
+
+    def group_by_invite(self, code: str) -> GroupRecord:
+        """Resolve an invite code to its group."""
+        gid = self._invite_to_gid.get(code)
+        if gid is None:
+            raise UnknownURLError(f"unknown {self.name} invite code: {code}")
+        return self._groups[gid]
+
+    def groups(self) -> Sequence[GroupRecord]:
+        """All registered groups (ground truth; tests only)."""
+        return list(self._groups.values())
+
+    # -- invite codes / URLs -------------------------------------------
+
+    #: Length of the invite token; subclasses override.
+    invite_code_length: int = 16
+
+    def invite_code(self, gid: str) -> str:
+        """The stable invite token for a group id."""
+        return _encode_token(f"{self.name}/invite/{gid}", self.invite_code_length)
+
+    def invite_url(self, gid: str) -> str:
+        """The full shareable invite URL; subclasses override."""
+        raise NotImplementedError
+
+    # -- users ----------------------------------------------------------
+
+    def format_user_id(self, number: int) -> str:
+        """Render a numeric population index as a platform user id."""
+        return f"{self.name[:2]}u{number}"
+
+    def user_profile(self, user_id: str) -> UserProfile:
+        """Materialise (and cache) the ground-truth profile of a user."""
+        profile = self._profiles.get(user_id)
+        if profile is None:
+            profile = self._materialise_profile(user_id)
+            self._profiles[user_id] = profile
+        return profile
+
+    def _materialise_profile(self, user_id: str) -> UserProfile:
+        model = self.user_model
+        rng = derive_rng(self.seed, f"{self.name}/profile/{user_id}")
+        country = model.countries[
+            int(rng.choice(len(model.countries), p=np.asarray(model.country_probs)))
+        ]
+        phone = random_phone(rng, country) if model.has_phone else None
+        phone_visible = bool(
+            model.has_phone and rng.random() < model.phone_visible_prob
+        )
+        linked: Tuple = ()
+        if model.linked_account_prob and rng.random() < model.linked_account_prob:
+            linked = self._sample_linked_accounts(rng, user_id)
+        return UserProfile(
+            user_id=user_id,
+            display_name=f"user_{stable_hash(user_id) % 10**8:08d}",
+            country=country,
+            phone=phone,
+            phone_visible=phone_visible,
+            linked_accounts=linked,
+        )
+
+    def _sample_linked_accounts(
+        self, rng: np.random.Generator, user_id: str
+    ) -> Tuple:
+        from repro.privacy.pii import LinkedAccount  # local: avoid cycle
+
+        names = [n for n, _ in self.user_model.linked_platform_weights]
+        weights = np.array(
+            [w for _, w in self.user_model.linked_platform_weights], dtype=float
+        )
+        probs = weights / weights.sum()
+        n_links = min(1 + int(rng.poisson(1.4)), len(names))
+        picks = rng.choice(len(names), size=n_links, replace=False, p=probs)
+        return tuple(
+            LinkedAccount(platform=names[int(i)], handle=f"{names[int(i)]}_{user_id}")
+            for i in picks
+        )
+
+    # -- text generation -------------------------------------------------
+
+    def topic_vocab(self, topic_label: str, lang: str) -> Tuple[str, ...]:
+        """Vocabulary for message text of a given topic and language."""
+        key = (topic_label, lang)
+        vocab = self._topic_vocabs.get(key)
+        if vocab is None:
+            if lang == "en":
+                terms: Tuple[str, ...] = ()
+                for spec in PLATFORM_TOPICS.get(self.name, ()):
+                    if spec.label == topic_label:
+                        terms = terms + spec.terms
+                vocab = (terms or COMMON_TERMS) + COMMON_TERMS
+            else:
+                vocab = LANGUAGE_VOCAB.get(lang, LANGUAGE_VOCAB["und"])
+            self._topic_vocabs[key] = vocab
+        return vocab

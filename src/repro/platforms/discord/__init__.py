@@ -1,0 +1,25 @@
+"""Simulated Discord: service (ground truth) + REST API observers."""
+
+from repro.platforms.discord.api import (
+    DiscordAPI,
+    DiscordBot,
+    DiscordInviteInfo,
+    DiscordUserInfo,
+)
+from repro.platforms.discord.service import (
+    DISCORD_CAPABILITIES,
+    DISCORD_MAX_MEMBERS,
+    DISCORD_USER_SERVER_LIMIT,
+    DiscordService,
+)
+
+__all__ = [
+    "DISCORD_CAPABILITIES",
+    "DISCORD_MAX_MEMBERS",
+    "DISCORD_USER_SERVER_LIMIT",
+    "DiscordAPI",
+    "DiscordBot",
+    "DiscordInviteInfo",
+    "DiscordService",
+    "DiscordUserInfo",
+]

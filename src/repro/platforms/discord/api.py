@@ -1,0 +1,164 @@
+"""Discord REST API observers.
+
+Two observer flavours, matching the paper's Section 3.3:
+
+* :class:`DiscordBot` — a bot application.  Bots *cannot join servers
+  on their own* (an administrator must add them), which is exactly why
+  the authors fell back to a dedicated user account; we reproduce the
+  restriction so the pipeline has to make the same choice.
+* :class:`DiscordAPI` — a regular user account.  It can join up to 100
+  servers, read messages on all channels since server creation, and
+  fetch user profiles *including connected external accounts*.
+
+Invite metadata (title, member counts, creator, creation date) is
+available to anyone without joining, via ``get_invite``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import (
+    BotRestrictionError,
+    JoinLimitError,
+    NotAMemberError,
+    RevokedURLError,
+)
+from repro.platforms.base import GroupRecord, Message
+from repro.platforms.discord.service import (
+    DISCORD_USER_SERVER_LIMIT,
+    DiscordService,
+)
+
+__all__ = ["DiscordAPI", "DiscordBot", "DiscordInviteInfo", "DiscordUserInfo"]
+
+
+@dataclass(frozen=True)
+class DiscordInviteInfo:
+    """Metadata the REST API returns for an invite, without joining.
+
+    Attributes:
+        title: Server name.
+        size: Total member count.
+        online: Members currently online.
+        creator_id: User id of the server creator.
+        created_t: Server creation time (days since study start).
+    """
+
+    title: str
+    size: int
+    online: int
+    creator_id: str
+    created_t: float
+
+
+@dataclass(frozen=True)
+class DiscordUserInfo:
+    """A Discord profile as exposed to fellow server members.
+
+    ``linked_accounts`` is the Section 6 PII leak: tuples of
+    (external platform, handle).
+    """
+
+    user_id: str
+    display_name: str
+    linked_accounts: Tuple
+
+
+class DiscordBot:
+    """A bot application — deliberately unable to join servers itself."""
+
+    def __init__(self, service: DiscordService, bot_id: str) -> None:
+        self._service = service
+        self.bot_id = bot_id
+
+    def join(self, url: str, t: float) -> GroupRecord:
+        """Bots cannot self-join; always raises."""
+        raise BotRestrictionError(
+            "Discord bots cannot join servers on their own; a server "
+            "administrator must add them"
+        )
+
+
+class DiscordAPI:
+    """A regular user account speaking the Discord REST API."""
+
+    def __init__(self, service: DiscordService, account_id: str) -> None:
+        self._service = service
+        self.account_id = account_id
+        self._joined: Dict[str, float] = {}
+
+    # -- no-join observation -------------------------------------------
+
+    def get_invite(self, url: str, t: float) -> DiscordInviteInfo:
+        """Resolve an invite URL to server metadata without joining.
+
+        Raises:
+            UnknownURLError: The code never existed.
+            RevokedURLError: The invite expired or was revoked.
+        """
+        code = DiscordService.parse_invite_url(url)
+        record = self._service.group_by_invite(code)
+        if record.is_revoked_at(t):
+            raise RevokedURLError(f"discord invite expired/revoked: {url}")
+        return DiscordInviteInfo(
+            title=record.title,
+            size=record.size_on(t),
+            online=record.online_on(t),
+            creator_id=record.creator_id,
+            created_t=record.created_t,
+        )
+
+    # -- membership ------------------------------------------------------
+
+    @property
+    def joined_gids(self) -> List[str]:
+        """Ids of the servers this account has joined."""
+        return list(self._joined)
+
+    def join(self, url: str, t: float) -> GroupRecord:
+        """Join the server behind ``url`` with this user account.
+
+        Raises:
+            JoinLimitError: Already in 100 servers (the platform cap —
+                the reason the paper joined exactly 100).
+            RevokedURLError: The invite is dead.
+        """
+        if len(self._joined) >= DISCORD_USER_SERVER_LIMIT:
+            raise JoinLimitError(
+                f"account {self.account_id} is already in "
+                f"{DISCORD_USER_SERVER_LIMIT} servers"
+            )
+        code = DiscordService.parse_invite_url(url)
+        record = self._service.group_by_invite(code)
+        if record.is_revoked_at(t):
+            raise RevokedURLError(f"discord invite expired/revoked: {url}")
+        self._joined.setdefault(record.gid, t)
+        return record
+
+    def _require_membership(self, gid: str) -> float:
+        if gid not in self._joined:
+            raise NotAMemberError(
+                f"account {self.account_id} has not joined server {gid}"
+            )
+        return self._joined[gid]
+
+    def history(
+        self, gid: str, until: float, scale: float = 1.0, with_text: bool = True
+    ) -> Iterator[Message]:
+        """All messages on the server's channels since creation."""
+        self._require_membership(gid)
+        record = self._service.group(gid)
+        return record.messages_between(
+            record.created_t, until, scale=scale, with_text=with_text
+        )
+
+    def get_user(self, user_id: str) -> DiscordUserInfo:
+        """Fetch a profile, exposing connected external accounts."""
+        profile = self._service.user_profile(user_id)
+        return DiscordUserInfo(
+            user_id=profile.user_id,
+            display_name=profile.display_name,
+            linked_accounts=profile.linked_accounts,
+        )

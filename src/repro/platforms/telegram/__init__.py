@@ -1,0 +1,18 @@
+"""Simulated Telegram: service, Web-client preview, and data API."""
+
+from repro.platforms.telegram.api import TelegramAPI
+from repro.platforms.telegram.service import (
+    TELEGRAM_CAPABILITIES,
+    TELEGRAM_GROUP_MAX_MEMBERS,
+    TelegramService,
+)
+from repro.platforms.telegram.web import TelegramPreview, TelegramWebClient
+
+__all__ = [
+    "TELEGRAM_CAPABILITIES",
+    "TELEGRAM_GROUP_MAX_MEMBERS",
+    "TelegramAPI",
+    "TelegramPreview",
+    "TelegramService",
+    "TelegramWebClient",
+]

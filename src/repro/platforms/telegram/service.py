@@ -1,0 +1,93 @@
+"""Telegram ground-truth service.
+
+Telegram has two public chat-room flavours: *groups* (many-to-many, up
+to 200 K members) and *channels* (few-to-many, unlimited members).  The
+paper treats both uniformly as "groups" for its analyses; we keep the
+distinction in :class:`~repro.platforms.base.GroupKind` because it
+drives who can post (channels: creator + admins only) and hence the
+active-member statistics of Section 5.
+
+Invite URLs come in several shapes — ``t.me/<name>``,
+``t.me/joinchat/<hash>``, ``telegram.me/<name>`` — matching the URL
+patterns the paper searched Twitter for.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.platforms.base import (
+    PlatformCapabilities,
+    PlatformService,
+    PlatformUserModel,
+)
+from repro.rng import stable_uniform
+
+__all__ = [
+    "TELEGRAM_CAPABILITIES",
+    "TELEGRAM_GROUP_MAX_MEMBERS",
+    "TELEGRAM_CHANNEL_MAX_MEMBERS",
+    "TelegramService",
+]
+
+TELEGRAM_GROUP_MAX_MEMBERS = 200_000
+#: Channels are unlimited; use a large finite cap for simulation.
+TELEGRAM_CHANNEL_MAX_MEMBERS = 5_000_000
+
+#: Fraction of groups whose administrators hide the member list.  The
+#: paper obtained member lists in only 24 of its 100 joined groups.
+MEMBER_LIST_HIDDEN_PROB = 0.76
+
+TELEGRAM_CAPABILITIES = PlatformCapabilities(
+    name="Telegram",
+    initial_release="August 2013",
+    user_base="400 Million",
+    registration="Phone",
+    public_chat_options="Groups and Channels",
+    max_members=TELEGRAM_GROUP_MAX_MEMBERS,
+    has_data_api=True,
+    message_forwarding="Yes",
+    end_to_end_encryption='Only for "secret" chats',
+)
+
+_INVITE_RE = re.compile(
+    r"(?:https?://)?(?:t\.me|telegram\.me|telegram\.org)/"
+    r"(?:joinchat/)?([A-Za-z0-9_]{4,40})"
+)
+
+
+class TelegramService(PlatformService):
+    """Ground truth for the simulated Telegram platform."""
+
+    name = "telegram"
+    capabilities = TELEGRAM_CAPABILITIES
+    invite_code_length = 16
+
+    def __init__(self, seed: int, user_model: PlatformUserModel) -> None:
+        super().__init__(seed, user_model)
+
+    def invite_url(self, gid: str) -> str:
+        """A shareable URL, rotating between the pattern variants.
+
+        The variant is a stable function of the group id so repeated
+        calls agree; all variants resolve to the same group.
+        """
+        code = self.invite_code(gid)
+        u = stable_uniform(f"telegram/urlvariant/{gid}")
+        if u < 0.55:
+            return f"https://t.me/{code}"
+        if u < 0.85:
+            return f"https://t.me/joinchat/{code}"
+        return f"https://telegram.me/{code}"
+
+    @staticmethod
+    def parse_invite_url(url: str) -> str:
+        """Extract the invite code / public name from a Telegram URL."""
+        match = _INVITE_RE.search(url)
+        if not match:
+            raise ValueError(f"not a Telegram group URL: {url!r}")
+        return match.group(1)
+
+    def member_list_hidden(self, gid: str) -> bool:
+        """Whether this group's admins hid the member list."""
+        return stable_uniform(f"telegram/hidden/{gid}") < MEMBER_LIST_HIDDEN_PROB

@@ -1,0 +1,59 @@
+"""Telegram Web-client preview (no account required).
+
+The paper's custom scraper fetched each group's web page to record the
+title, member count, number of members online, and whether the chat
+room is a channel or a group (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RevokedURLError
+from repro.platforms.base import GroupKind
+from repro.platforms.telegram.service import TelegramService
+
+__all__ = ["TelegramPreview", "TelegramWebClient"]
+
+
+@dataclass(frozen=True)
+class TelegramPreview:
+    """What the Telegram web page for a group shows without joining.
+
+    Attributes:
+        title: Group/channel title.
+        size: Member count at the time of the visit.
+        online: Members online at the time of the visit.
+        kind: Whether the chat room is a channel or a group.
+    """
+
+    title: str
+    size: int
+    online: int
+    kind: GroupKind
+
+
+class TelegramWebClient:
+    """Read-only web-page scraper for Telegram groups and channels."""
+
+    def __init__(self, service: TelegramService) -> None:
+        self._service = service
+
+    def preview(self, url: str, t: float) -> TelegramPreview:
+        """Fetch and parse the group's web page at time ``t``.
+
+        Raises:
+            UnknownURLError: The URL never existed.
+            RevokedURLError: The invite has been revoked / the group
+                deleted; the page shows nothing else.
+        """
+        code = TelegramService.parse_invite_url(url)
+        record = self._service.group_by_invite(code)
+        if record.is_revoked_at(t):
+            raise RevokedURLError(f"telegram URL revoked: {url}")
+        return TelegramPreview(
+            title=record.title,
+            size=record.size_on(t),
+            online=record.online_on(t),
+            kind=record.kind,
+        )

@@ -1,0 +1,21 @@
+"""Simulated WhatsApp: service (ground truth) + Web-client observer."""
+
+from repro.platforms.whatsapp.service import (
+    WHATSAPP_CAPABILITIES,
+    WHATSAPP_MAX_MEMBERS,
+    WhatsAppService,
+)
+from repro.platforms.whatsapp.web import (
+    WhatsAppAccount,
+    WhatsAppPreview,
+    WhatsAppWebClient,
+)
+
+__all__ = [
+    "WHATSAPP_CAPABILITIES",
+    "WHATSAPP_MAX_MEMBERS",
+    "WhatsAppAccount",
+    "WhatsAppPreview",
+    "WhatsAppService",
+    "WhatsAppWebClient",
+]

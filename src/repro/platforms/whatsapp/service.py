@@ -1,0 +1,62 @@
+"""WhatsApp ground-truth service.
+
+WhatsApp is the largest, most closed platform of the three: no data
+API, phone-number registration, a 257-member cap on groups, and invite
+URLs of the form ``https://chat.whatsapp.com/<gID>`` where gID is a
+22-character token minted when the group is created.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.platforms.base import (
+    PlatformCapabilities,
+    PlatformService,
+    PlatformUserModel,
+)
+
+__all__ = ["WHATSAPP_CAPABILITIES", "WHATSAPP_MAX_MEMBERS", "WhatsAppService"]
+
+#: The paper empirically reports groups "simultaneously with up to 257
+#: users" and uses 257 as the cap in Section 5.
+WHATSAPP_MAX_MEMBERS = 257
+
+WHATSAPP_CAPABILITIES = PlatformCapabilities(
+    name="WhatsApp",
+    initial_release="January 2009",
+    user_base="2 Billion",
+    registration="Phone",
+    public_chat_options="Groups",
+    max_members=WHATSAPP_MAX_MEMBERS,
+    has_data_api=False,  # only a Business API
+    message_forwarding="Yes (up to 5 groups)",
+    end_to_end_encryption="Yes",
+)
+
+_INVITE_RE = re.compile(
+    r"(?:https?://)?chat\.whatsapp\.com/(?:invite/)?([A-Za-z0-9]{8,32})"
+)
+
+
+class WhatsAppService(PlatformService):
+    """Ground truth for the simulated WhatsApp platform."""
+
+    name = "whatsapp"
+    capabilities = WHATSAPP_CAPABILITIES
+    invite_code_length = 22
+
+    def __init__(self, seed: int, user_model: PlatformUserModel) -> None:
+        super().__init__(seed, user_model)
+
+    def invite_url(self, gid: str) -> str:
+        """The shareable group URL (``chat.whatsapp.com/<gID>``)."""
+        return f"https://chat.whatsapp.com/{self.invite_code(gid)}"
+
+    @staticmethod
+    def parse_invite_url(url: str) -> str:
+        """Extract the invite code from a WhatsApp group URL."""
+        match = _INVITE_RE.search(url)
+        if not match:
+            raise ValueError(f"not a WhatsApp group URL: {url!r}")
+        return match.group(1)

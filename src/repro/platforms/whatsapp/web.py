@@ -1,0 +1,174 @@
+"""WhatsApp Web-client observer.
+
+Reproduces the paper's two observation channels:
+
+* **Landing-page preview** (Section 3.2): opening a group URL without
+  joining reveals the group title, current size, and — alarmingly — the
+  creator's phone number (and hence country code).  This is the basis
+  of the WhatsApp PII findings in Section 6.
+* **Joined-group collection** (Section 3.3): after joining via the Web
+  client, messages posted *after the join date* and the phone numbers
+  of all members become visible.  A single account can join roughly
+  250-300 groups before being banned; :class:`WhatsAppAccount` models
+  that limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+from repro.errors import (
+    GroupFullError,
+    JoinLimitError,
+    NotAMemberError,
+    RevokedURLError,
+)
+from repro.platforms.base import GroupRecord, Message
+from repro.platforms.whatsapp.service import WhatsAppService
+from repro.privacy.phone import PhoneNumber
+from repro.rng import derive_rng
+
+__all__ = ["WhatsAppPreview", "WhatsAppWebClient", "WhatsAppAccount"]
+
+
+@dataclass(frozen=True)
+class WhatsAppPreview:
+    """What the group-URL landing page shows without joining.
+
+    Attributes:
+        title: Group title.
+        size: Member count at the time of the visit.
+        creator_dialing_code: Country dialing code of the creator's
+            phone (the paper derives group countries from this).
+        creator_phone: The creator's full phone number.  WhatsApp
+            exposes this to *anyone* holding the URL; the measurement
+            pipeline must hash it before storage (Section 3.4 ethics).
+    """
+
+    title: str
+    size: int
+    creator_dialing_code: str
+    creator_phone: PhoneNumber
+
+
+class WhatsAppWebClient:
+    """Read-only landing-page scraper (no account required)."""
+
+    def __init__(self, service: WhatsAppService) -> None:
+        self._service = service
+
+    def preview(self, url: str, t: float) -> WhatsAppPreview:
+        """Scrape the landing page of ``url`` at time ``t``.
+
+        Raises:
+            UnknownURLError: The URL never existed.
+            RevokedURLError: The URL has been revoked; the landing page
+                shows only the revocation notice.
+        """
+        code = WhatsAppService.parse_invite_url(url)
+        record = self._service.group_by_invite(code)
+        if record.is_revoked_at(t):
+            raise RevokedURLError(f"whatsapp URL revoked: {url}")
+        creator = self._service.user_profile(record.creator_id)
+        assert creator.phone is not None  # WhatsApp registration requires one
+        return WhatsAppPreview(
+            title=record.title,
+            size=record.size_on(t),
+            creator_dialing_code=creator.phone.dialing_code,
+            creator_phone=creator.phone,
+        )
+
+
+class WhatsAppAccount:
+    """A phone-registered account used to join groups and read messages.
+
+    Attributes:
+        account_id: Identifier of the account (one per SIM card in the
+            paper's setup).
+    """
+
+    def __init__(self, service: WhatsAppService, account_id: str) -> None:
+        self._service = service
+        self.account_id = account_id
+        self._joined: Dict[str, float] = {}  # gid -> join time
+        # The empirical ban threshold is "between 250 and 300 groups";
+        # each account draws its own limit from that range.
+        rng = derive_rng(service.seed, f"whatsapp/account/{account_id}")
+        self._join_limit = int(rng.integers(250, 301))
+
+    @property
+    def join_limit(self) -> int:
+        """This account's empirically-drawn ban threshold."""
+        return self._join_limit
+
+    @property
+    def joined_gids(self) -> List[str]:
+        """Ids of the groups this account is currently a member of."""
+        return list(self._joined)
+
+    def join(self, url: str, t: float) -> GroupRecord:
+        """Click "Join" on the landing page of ``url`` at time ``t``.
+
+        Raises:
+            JoinLimitError: The account hit its ban threshold.
+            RevokedURLError: The invite is dead.
+            GroupFullError: The group sits at WhatsApp's member cap.
+        """
+        if len(self._joined) >= self._join_limit:
+            raise JoinLimitError(
+                f"account {self.account_id} reached its limit of "
+                f"{self._join_limit} WhatsApp groups"
+            )
+        code = WhatsAppService.parse_invite_url(url)
+        record = self._service.group_by_invite(code)
+        if record.is_revoked_at(t):
+            raise RevokedURLError(f"whatsapp URL revoked: {url}")
+        if record.gid not in self._joined and (
+            record.size_on(t) >= record.plan.member_cap
+        ):
+            raise GroupFullError(
+                f"whatsapp group {record.gid} is full "
+                f"({record.plan.member_cap} members)"
+            )
+        self._joined.setdefault(record.gid, t)
+        return record
+
+    def _require_membership(self, gid: str) -> float:
+        if gid not in self._joined:
+            raise NotAMemberError(
+                f"account {self.account_id} is not a member of {gid}"
+            )
+        return self._joined[gid]
+
+    def creation_date(self, gid: str) -> float:
+        """Group creation time — visible only after joining."""
+        self._require_membership(gid)
+        return self._service.group(gid).created_t
+
+    def messages(
+        self, gid: str, until: float, scale: float = 1.0, with_text: bool = True
+    ) -> Iterator[Message]:
+        """Messages shared after this account joined (WhatsApp shows no
+        pre-join history), up to time ``until``."""
+        joined_at = self._require_membership(gid)
+        record = self._service.group(gid)
+        return record.messages_between(
+            joined_at, until, scale=scale, with_text=with_text
+        )
+
+    def member_phone_numbers(self, gid: str, t: float) -> Dict[str, PhoneNumber]:
+        """Phone numbers of all group members (visible to any member).
+
+        This is the paper's headline WhatsApp PII leak: joining a group
+        reveals every member's phone number.  Callers must hash before
+        storing.
+        """
+        self._require_membership(gid)
+        record = self._service.group(gid)
+        numbers: Dict[str, PhoneNumber] = {}
+        for user_id in record.roster(t):
+            profile = self._service.user_profile(user_id)
+            if profile.phone is not None:
+                numbers[user_id] = profile.phone
+        return numbers

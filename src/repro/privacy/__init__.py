@@ -1,0 +1,36 @@
+"""Privacy substrate: phone numbers, one-way hashing, and PII records.
+
+The paper's ethics protocol stores phone numbers only as one-way hashes
+and never attempts de-anonymisation.  This package provides the same
+machinery for the reproduction: an E.164-style phone-number model with
+country dialing codes (WhatsApp leaks the creator's country code on the
+group landing page), a salted one-way hasher, and typed PII exposure
+records used by :mod:`repro.analysis.privacy`.
+"""
+
+from repro.privacy.hashing import PhoneHasher, hash_phone
+from repro.privacy.phone import (
+    COUNTRY_DIALING_CODES,
+    PhoneNumber,
+    country_of_dialing_code,
+    random_phone,
+)
+from repro.privacy.pii import (
+    ExposureSource,
+    LinkedAccount,
+    PIIExposure,
+    PIIKind,
+)
+
+__all__ = [
+    "COUNTRY_DIALING_CODES",
+    "ExposureSource",
+    "LinkedAccount",
+    "PIIExposure",
+    "PIIKind",
+    "PhoneHasher",
+    "PhoneNumber",
+    "country_of_dialing_code",
+    "hash_phone",
+    "random_phone",
+]

@@ -1,0 +1,69 @@
+"""One-way hashing of phone numbers (the paper's ethics protocol).
+
+The authors "do not store users' phone numbers as such, but use one-way
+hashes of such data" (Section 3.4).  The reproduction enforces the same
+rule: the measurement pipeline never stores a raw number — every phone
+that crosses the observation boundary is hashed through a
+:class:`PhoneHasher` first.  The *country dialing code* is kept in the
+clear (the paper stores it for the country analysis), everything after
+it is hashed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.privacy.phone import PhoneNumber
+
+__all__ = ["PhoneHasher", "hash_phone"]
+
+
+def hash_phone(phone: PhoneNumber, salt: str = "") -> str:
+    """Return a salted SHA-256 hex digest of the phone's E.164 form."""
+    payload = (salt + phone.e164).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+class PhoneHasher:
+    """Salted one-way hasher that preserves the country dialing code.
+
+    Identical numbers map to identical hashes (so unique-user counting
+    still works) while the raw subscriber number is unrecoverable.
+    """
+
+    def __init__(self, salt: str = "repro-imc20") -> None:
+        if not salt:
+            raise ValueError("a non-empty salt is required")
+        self._salt = salt
+
+    def hash(self, phone: PhoneNumber) -> str:
+        """Hash a phone number, returning the hex digest."""
+        return hash_phone(phone, self._salt)
+
+    def record(self, phone: PhoneNumber) -> "HashedPhone":
+        """Produce the storable record: (country code in clear, hash)."""
+        return HashedPhone(
+            country=phone.country,
+            dialing_code=phone.dialing_code,
+            digest=self.hash(phone),
+        )
+
+
+class HashedPhone:
+    """What the pipeline is allowed to keep about a phone number."""
+
+    __slots__ = ("country", "dialing_code", "digest")
+
+    def __init__(self, country: str, dialing_code: str, digest: str) -> None:
+        self.country = country
+        self.dialing_code = dialing_code
+        self.digest = digest
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, HashedPhone) and self.digest == other.digest
+
+    def __hash__(self) -> int:
+        return hash(self.digest)
+
+    def __repr__(self) -> str:
+        return f"HashedPhone(country={self.country!r}, digest={self.digest[:10]}…)"

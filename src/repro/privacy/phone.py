@@ -1,0 +1,126 @@
+"""E.164-style phone numbers with country dialing codes.
+
+WhatsApp and Telegram accounts are registered with phone numbers, and
+the paper derives the *country* of WhatsApp group creators from the
+dialing code exposed on the group landing page (Section 5, "Group
+Countries").  This module models phone numbers with enough structure to
+reproduce that analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "COUNTRY_DIALING_CODES",
+    "PhoneNumber",
+    "country_of_dialing_code",
+    "random_phone",
+]
+
+#: ISO 3166-1 alpha-2 country code -> international dialing code.
+#: Covers every country named in the paper plus a broad long tail so the
+#: simulated population is not artificially concentrated.
+COUNTRY_DIALING_CODES = {
+    "BR": "55",   # Brazil       (top WhatsApp-creator country in the paper)
+    "NG": "234",  # Nigeria
+    "ID": "62",   # Indonesia
+    "IN": "91",   # India
+    "SA": "966",  # Saudi Arabia
+    "MX": "52",   # Mexico
+    "AR": "54",   # Argentina
+    "US": "1",
+    "GB": "44",
+    "DE": "49",
+    "FR": "33",
+    "ES": "34",
+    "PT": "351",
+    "IT": "39",
+    "TR": "90",
+    "RU": "7",
+    "EG": "20",
+    "PK": "92",
+    "BD": "880",
+    "KE": "254",
+    "ZA": "27",
+    "GH": "233",
+    "CO": "57",
+    "PE": "51",
+    "CL": "56",
+    "VE": "58",
+    "MA": "212",
+    "DZ": "213",
+    "IQ": "964",
+    "IR": "98",
+    "AE": "971",
+    "KW": "965",
+    "QA": "974",
+    "JP": "81",
+    "KR": "82",
+    "CN": "86",
+    "TH": "66",
+    "VN": "84",
+    "PH": "63",
+    "MY": "60",
+    "AU": "61",
+    "CA": "1",
+    "NL": "31",
+    "BE": "32",
+    "SE": "46",
+    "PL": "48",
+    "UA": "380",
+    "RO": "40",
+    "GR": "30",
+    "IL": "972",
+}
+
+#: Reverse map; for shared codes (US/CA both use "1") the first country
+#: registered above wins, matching the ambiguity of real dialing codes.
+_CODE_TO_COUNTRY: dict = {}
+for _cc, _code in COUNTRY_DIALING_CODES.items():
+    _CODE_TO_COUNTRY.setdefault(_code, _cc)
+
+
+def country_of_dialing_code(code: str) -> str:
+    """Return the ISO country for a dialing code ('' if unknown)."""
+    return _CODE_TO_COUNTRY.get(code, "")
+
+
+@dataclass(frozen=True)
+class PhoneNumber:
+    """An international phone number.
+
+    Attributes:
+        country: ISO 3166-1 alpha-2 country code.
+        dialing_code: International dialing prefix (without '+').
+        subscriber: National subscriber number (digits).
+    """
+
+    country: str
+    dialing_code: str
+    subscriber: str
+
+    @property
+    def e164(self) -> str:
+        """The number in E.164 form, e.g. ``+5531912345678``."""
+        return f"+{self.dialing_code}{self.subscriber}"
+
+    def __str__(self) -> str:
+        return self.e164
+
+
+def random_phone(rng: np.random.Generator, country: str) -> PhoneNumber:
+    """Generate a random phone number registered in ``country``.
+
+    Unknown countries fall back to a generic 9-digit subscriber number
+    with dialing code ``000`` so simulation never fails on an exotic
+    country draw.
+    """
+    code = COUNTRY_DIALING_CODES.get(country, "000")
+    subscriber = "".join(str(d) for d in rng.integers(0, 10, size=9))
+    # Avoid leading zero so the E.164 form is well-formed.
+    if subscriber[0] == "0":
+        subscriber = "9" + subscriber[1:]
+    return PhoneNumber(country=country, dialing_code=code, subscriber=subscriber)

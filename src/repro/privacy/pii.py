@@ -1,0 +1,81 @@
+"""Typed PII-exposure records.
+
+Section 6 of the paper catalogues what each platform exposes: WhatsApp
+leaks phone numbers of members *and* of group creators (even to
+non-members), Telegram exposes phones only for the ~0.68 % of users who
+opt in, and Discord exposes linked social-media accounts for ~30 % of
+users.  These records are the normalised output of that observation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["PIIKind", "ExposureSource", "LinkedAccount", "PIIExposure"]
+
+
+class PIIKind(enum.Enum):
+    """The category of personally identifiable information exposed."""
+
+    PHONE_NUMBER = "phone_number"
+    LINKED_ACCOUNT = "linked_account"
+
+
+class ExposureSource(enum.Enum):
+    """How the PII became visible to the measurement pipeline."""
+
+    #: Visible on the group landing page without joining (WhatsApp
+    #: exposes the creator's phone number this way).
+    LANDING_PAGE = "landing_page"
+    #: Visible to any member after joining the group.
+    GROUP_MEMBERSHIP = "group_membership"
+    #: Returned by the platform's API for a user profile.
+    API_PROFILE = "api_profile"
+
+
+#: External platforms a Discord profile can link to (Table 5).
+LINKABLE_PLATFORMS = (
+    "twitch",
+    "steam",
+    "twitter",
+    "spotify",
+    "youtube",
+    "battlenet",
+    "xbox",
+    "reddit",
+    "leagueoflegends",
+    "skype",
+    "facebook",
+)
+
+
+@dataclass(frozen=True)
+class LinkedAccount:
+    """A social-media account linked to a messaging-platform profile."""
+
+    platform: str
+    handle: str
+
+
+@dataclass(frozen=True)
+class PIIExposure:
+    """One observed PII leak.
+
+    Attributes:
+        platform: Messaging platform the leak was observed on.
+        user_id: Platform-local user id the PII belongs to.
+        kind: Category of the leaked information.
+        source: Observation channel through which it leaked.
+        value: The stored (already-sanitised) value — a phone-hash digest
+            for :attr:`PIIKind.PHONE_NUMBER`, a ``platform:handle`` string
+            for :attr:`PIIKind.LINKED_ACCOUNT`.
+        country: Country dialing-code-derived country (phones only).
+    """
+
+    platform: str
+    user_id: str
+    kind: PIIKind
+    source: ExposureSource
+    value: str
+    country: str = ""

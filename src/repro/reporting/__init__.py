@@ -1,0 +1,48 @@
+"""Reporting: renders the paper's tables and figures as text.
+
+Each ``render_*`` function takes analysis results (or the dataset) and
+returns a formatted string showing the measured values side by side
+with the paper's published numbers (from
+:mod:`repro.reporting.paper_values`), so every bench prints a direct
+paper-vs-measured comparison.
+"""
+
+from repro.reporting.figures import (
+    render_fig1,
+    render_fig2,
+    render_fig3,
+    render_fig4,
+    render_fig5,
+    render_fig6,
+    render_fig7,
+    render_fig8,
+    render_fig9,
+    render_interplay,
+)
+from repro.reporting.tables import (
+    format_table,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+)
+
+__all__ = [
+    "format_table",
+    "render_fig1",
+    "render_fig2",
+    "render_fig3",
+    "render_fig4",
+    "render_fig5",
+    "render_fig6",
+    "render_fig7",
+    "render_fig8",
+    "render_fig9",
+    "render_interplay",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "render_table5",
+]

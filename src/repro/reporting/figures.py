@@ -1,0 +1,278 @@
+"""Figure renderers (Figs 1-9): the same series the paper plots.
+
+Each renderer returns a text block with the figure's key statistics,
+its measured series (quantiles of the CDFs the paper plots), and the
+paper's published reference values for direct comparison.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.analysis.content import control_prevalence, entity_prevalence
+from repro.analysis.language import control_language_shares, language_shares
+from repro.analysis.membership import membership, whatsapp_countries
+from repro.analysis.messages import group_activity, message_types, user_activity
+from repro.analysis.revocation import revocation
+from repro.analysis.sharing import daily_discovery, tweets_per_url
+from repro.analysis.staleness import staleness
+from repro.analysis.stats import ECDF
+from repro.core.dataset import StudyDataset
+from repro.platforms.whatsapp import WHATSAPP_MAX_MEMBERS
+from repro.reporting import paper_values as paper
+from repro.reporting.tables import format_table
+
+__all__ = [
+    "render_fig1", "render_fig2", "render_fig3", "render_fig4",
+    "render_fig5", "render_fig6", "render_fig7", "render_fig8",
+    "render_fig9", "render_interplay",
+]
+
+PLATFORMS = ("whatsapp", "telegram", "discord")
+
+
+def _cdf_points(cdf: ECDF, quantiles: Sequence[float]) -> str:
+    return "  ".join(f"p{int(q * 100)}={cdf.quantile(q):,.4g}" for q in quantiles)
+
+
+def render_interplay(dataset: StudyDataset) -> str:
+    """RQ1: cross-platform tweets and authors (Table 2's total row)."""
+    from repro.analysis.interplay import interplay
+
+    result = interplay(dataset)
+    lines = [
+        "Cross-platform interplay (RQ1)",
+        f"  tweets:  {result.n_tweets_total:,} distinct vs "
+        f"{result.n_tweets_sum:,} per-platform sum "
+        f"(dedup {result.tweet_dedup_frac:.1%})",
+        f"  authors: {result.n_authors_total:,} distinct vs "
+        f"{result.n_authors_sum:,} per-platform sum "
+        f"(dedup {result.author_dedup_frac:.1%}; paper ~2.6%)",
+        f"  multi-platform tweets: {result.multi_platform_tweets:,}",
+        f"  cross-platform sharers: {result.cross_platform_authors:,}",
+    ]
+    for (a, b), count in sorted(result.platform_pair_tweets.items()):
+        lines.append(f"    {a} + {b}: {count:,} tweets")
+    return "\n".join(lines)
+
+
+def render_fig1(dataset: StudyDataset) -> str:
+    """Fig 1: group URLs discovered per day (all / unique / new)."""
+    rows = []
+    for platform in PLATFORMS:
+        series = daily_discovery(dataset, platform)
+        rows.append(
+            [
+                platform,
+                f"{series.median_all:,.0f}",
+                f"{series.median_unique:,.0f}",
+                f"{series.median_new:,.0f}",
+                f"{paper.FIG1_MEDIAN_NEW[platform] * dataset.scale:,.0f}",
+            ]
+        )
+    return format_table(
+        ["platform", "median all/day", "median unique/day",
+         "median new/day", "paper new/day (scaled)"],
+        rows,
+        title="Fig 1: URLs discovered per day",
+    )
+
+
+def render_fig2(dataset: StudyDataset) -> str:
+    """Fig 2: CDF of tweets per group URL."""
+    rows = []
+    for platform in PLATFORMS:
+        dist = tweets_per_url(dataset, platform)
+        rows.append(
+            [
+                platform,
+                f"{dist.single_share_frac:.0%}",
+                f"{paper.FIG2_SINGLE_SHARE[platform]:.0%}",
+                f"{dist.mean_shares:.1f}",
+                f"{dist.max_shares:,}",
+                _cdf_points(dist.cdf, (0.5, 0.9, 0.99)),
+            ]
+        )
+    return format_table(
+        ["platform", "shared once", "paper", "mean", "max", "CDF points"],
+        rows,
+        title="Fig 2: tweets per group URL",
+    )
+
+
+def render_fig3(dataset: StudyDataset) -> str:
+    """Fig 3: hashtag / mention / retweet prevalence vs control."""
+    rows = []
+    results = [entity_prevalence(dataset, p) for p in PLATFORMS]
+    results.append(control_prevalence(dataset))
+    for res in results:
+        p_hash, p_mention, p_rt = paper.FIG3[res.source]
+        rows.append(
+            [
+                res.source,
+                f"{res.hashtag_frac:.0%} (paper {p_hash:.0%})",
+                f"{res.mention_frac:.0%} (paper {p_mention:.0%})",
+                f"{res.retweet_frac:.0%}"
+                + (f" (paper {p_rt:.0%})" if p_rt is not None else " (paper n/a)"),
+                f"{res.multi_hashtag_frac:.0%}",
+                f"{res.multi_mention_frac:.0%}",
+            ]
+        )
+    return format_table(
+        ["source", ">=1 hashtag", ">=1 mention", "retweets",
+         ">=2 hashtags", ">=2 mentions"],
+        rows,
+        title="Fig 3: tweet-mechanism prevalence",
+    )
+
+
+def render_fig4(dataset: StudyDataset) -> str:
+    """Fig 4: tweet language shares."""
+    lines: List[str] = ["Fig 4: tweet languages (top 5 per source)"]
+    for platform in PLATFORMS:
+        shares = language_shares(dataset, platform)
+        top = ", ".join(f"{lang} {frac:.0%}" for lang, frac in shares.shares[:5])
+        ref = ", ".join(
+            f"{lang} {frac:.0%}" for lang, frac in paper.FIG4_TOP_LANGS[platform]
+        )
+        lines.append(f"  {platform:<9} measured: {top}")
+        lines.append(f"  {'':<9} paper:    {ref}")
+    control = control_language_shares(dataset)
+    top = ", ".join(f"{lang} {frac:.0%}" for lang, frac in control.shares[:5])
+    lines.append(f"  {'control':<9} measured: {top}")
+    return "\n".join(lines)
+
+
+def render_fig5(dataset: StudyDataset) -> str:
+    """Fig 5: staleness (group age at first share)."""
+    rows = []
+    for platform in PLATFORMS:
+        res = staleness(dataset, platform)
+        p_same, p_year = paper.FIG5[platform]
+        rows.append(
+            [
+                platform,
+                f"{res.n_groups:,}",
+                f"{res.same_day_frac:.0%} (paper {p_same:.0%})",
+                f"{res.over_year_frac:.0%} (paper {p_year:.0%})",
+                f"{res.max_staleness_days:,.0f}d",
+                _cdf_points(res.cdf, (0.5, 0.9)),
+            ]
+        )
+    return format_table(
+        ["platform", "n", "same-day", ">1 year", "oldest", "CDF points"],
+        rows,
+        title="Fig 5: staleness of shared groups",
+    )
+
+
+def render_fig6(dataset: StudyDataset) -> str:
+    """Fig 6: URL lifetime and revocation."""
+    rows = []
+    for platform in PLATFORMS:
+        res = revocation(dataset, platform)
+        p_rev, p_before = paper.FIG6[platform]
+        lifetime = (
+            _cdf_points(res.lifetime_cdf, (0.5, 0.9))
+            if res.lifetime_cdf.n
+            else "-"
+        )
+        rows.append(
+            [
+                platform,
+                f"{res.n_urls:,}",
+                f"{res.revoked_frac:.1%} (paper {p_rev:.1%})",
+                f"{res.before_first_obs_frac:.1%} (paper {p_before:.1%})",
+                lifetime,
+            ]
+        )
+    return format_table(
+        ["platform", "monitored", "revoked", "dead at 1st obs",
+         "lifetime days (revoked)"],
+        rows,
+        title="Fig 6: group-URL accessibility",
+    )
+
+
+def render_fig7(dataset: StudyDataset) -> str:
+    """Fig 7: members, online fraction, and growth."""
+    rows = []
+    for platform in PLATFORMS:
+        cap = WHATSAPP_MAX_MEMBERS if platform == "whatsapp" else None
+        res = membership(dataset, platform, member_cap=cap)
+        p_grow, p_shrink = paper.FIG7_TRENDS[platform]
+        online = (
+            _cdf_points(res.online_frac_cdf, (0.5, 0.9))
+            if res.online_frac_cdf is not None
+            else "n/a"
+        )
+        rows.append(
+            [
+                platform,
+                _cdf_points(res.size_cdf, (0.5, 0.9, 0.99)),
+                online,
+                f"{res.growing_frac:.0%}/{res.shrinking_frac:.0%} "
+                f"(paper {p_grow:.0%}/{p_shrink:.0%})",
+                f"{res.max_growth:,.0f}",
+            ]
+        )
+    return format_table(
+        ["platform", "size CDF", "online-frac CDF",
+         "growing/shrinking", "max |change|"],
+        rows,
+        title="Fig 7: membership and growth",
+    )
+
+
+def render_fig8(dataset: StudyDataset) -> str:
+    """Fig 8: message-type mix."""
+    rows = []
+    for platform in PLATFORMS:
+        mix = message_types(dataset, platform)
+        top = "  ".join(
+            f"{mtype.value}={frac:.1%}" for mtype, frac in mix.fractions[:5]
+        )
+        rows.append(
+            [
+                platform,
+                f"{mix.n_messages:,}",
+                f"{mix.fractions[0][1]:.0%} "
+                f"(paper {paper.FIG8_TEXT_FRAC[platform]:.0%})",
+                top,
+            ]
+        )
+    return format_table(
+        ["platform", "#messages", "text share", "type mix"],
+        rows,
+        title="Fig 8: message types in joined groups",
+    )
+
+
+def render_fig9(dataset: StudyDataset) -> str:
+    """Fig 9: message volumes per group and per user."""
+    rows = []
+    for platform in PLATFORMS:
+        grp = group_activity(dataset, platform)
+        usr = user_activity(dataset, platform)
+        p_top1, p_le10, p_poster = paper.FIG9[platform]
+        poster = (
+            f"{usr.poster_frac:.0%} (paper {p_poster:.0%})"
+            if usr.poster_frac is not None
+            else "n/a"
+        )
+        rows.append(
+            [
+                platform,
+                f"{grp.over_10_frac:.0%}",
+                f"{grp.max_rate:,.0f}",
+                f"{usr.top1pct_share:.0%} (paper {p_top1:.0%})",
+                f"{usr.le_10_frac:.0%} (paper {p_le10:.0%})",
+                poster,
+            ]
+        )
+    return format_table(
+        ["platform", "groups >10 msg/day", "max msg/day",
+         "top-1% share", "<=10 msgs users", "posters/members"],
+        rows,
+        title="Fig 9: message volume per group and user",
+    )

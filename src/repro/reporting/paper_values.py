@@ -1,0 +1,120 @@
+"""The paper's published numbers, for paper-vs-measured comparisons.
+
+Single source of truth for every figure/table reference value the
+benches and EXPERIMENTS.md quote.  Keys are platform names.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE2",
+    "FIG1_MEDIAN_NEW",
+    "FIG2_SINGLE_SHARE",
+    "FIG3",
+    "FIG4_TOP_LANGS",
+    "FIG5",
+    "FIG6",
+    "FIG7_TRENDS",
+    "FIG8_TEXT_FRAC",
+    "FIG9",
+    "TABLE4",
+    "TABLE5",
+    "CREATORS",
+    "WHATSAPP_COUNTRIES",
+]
+
+#: Table 2 — (tweets, twitter users, group URLs, joined, messages, users).
+TABLE2 = {
+    "whatsapp": (239_807, 88_119, 45_718, 416, 476_059, 20_906),
+    "telegram": (1_224_540, 398_816, 78_105, 100, 3_148_826, 688_343),
+    "discord": (779_685, 340_702, 227_712, 100, 4_630_184, 52_463),
+}
+
+#: Fig 1c — median newly discovered group URLs per day.
+FIG1_MEDIAN_NEW = {"whatsapp": 1111, "telegram": 1817, "discord": 5664}
+
+#: Fig 2 — fraction of URLs shared exactly once.
+FIG2_SINGLE_SHARE = {"whatsapp": 0.50, "telegram": 0.50, "discord": 0.62}
+
+#: Fig 3 — (hashtag %, mention %, retweet %) of tweets; control has no
+#: published retweet number (None).
+FIG3 = {
+    "whatsapp": (0.13, 0.73, 0.33),
+    "telegram": (0.24, 0.84, 0.76),
+    "discord": (0.14, 0.68, 0.50),
+    "control": (0.13, 0.76, None),
+}
+
+#: Fig 4 — the languages the paper calls out, with shares.
+FIG4_TOP_LANGS = {
+    "whatsapp": (("en", 0.26), ("es", 0.16), ("pt", 0.14)),
+    "telegram": (("en", 0.35), ("ar", 0.15), ("tr", 0.08)),
+    "discord": (("en", 0.47), ("ja", 0.27)),
+}
+
+#: Fig 5 — (same-day share %, older-than-one-year %).
+FIG5 = {
+    "whatsapp": (0.76, 0.10),
+    "telegram": (0.28, 0.29),   # "less than 30 %" same day
+    "discord": (0.30, 0.256),
+}
+
+#: Fig 6 — (revoked %, revoked before first observation %).
+FIG6 = {
+    "whatsapp": (0.273, 0.064),
+    "telegram": (0.204, 0.163),
+    "discord": (0.684, 0.674),
+}
+
+#: Fig 7c — (growing %, shrinking %).
+FIG7_TRENDS = {
+    "whatsapp": (0.51, 0.38),
+    "telegram": (0.53, 0.24),
+    "discord": (0.54, 0.19),
+}
+
+#: Fig 8 — share of text messages.
+FIG8_TEXT_FRAC = {"whatsapp": 0.78, "telegram": 0.85, "discord": 0.96}
+
+#: Fig 9 — (top-1 % poster share of messages, posters with <= 10 msgs,
+#: posters / members).
+FIG9 = {
+    "whatsapp": (0.31, 0.658, 0.594),
+    "telegram": (0.60, 0.829, 0.146),
+    "discord": (0.63, 0.701, 0.658),
+}
+
+#: Table 4 — (users observed, phones exposed, phone %, linked %).
+TABLE4 = {
+    "whatsapp": (54_984, 54_984, 1.0, 0.0),
+    "telegram": (74_479, 509, 0.0068, 0.0),
+    "discord": (25_701, 0, 0.0, 0.30),
+}
+
+#: Table 5 — Discord linked-platform exposure fractions.
+TABLE5 = {
+    "twitch": 0.204,
+    "steam": 0.122,
+    "twitter": 0.089,
+    "spotify": 0.080,
+    "youtube": 0.066,
+    "battlenet": 0.052,
+    "xbox": 0.037,
+    "reddit": 0.030,
+    "leagueoflegends": 0.024,
+    "skype": 0.006,
+    "facebook": 0.005,
+}
+
+#: Section 5 — (creators, single-group creator %, max groups/creator).
+CREATORS = {
+    "whatsapp": (34_078, 0.927, 28),
+    "telegram": (100, 1.00, 1),
+    "discord": (49_753, 0.959, 61),
+}
+
+#: Section 5 — WhatsApp groups per creator country (top 7).
+WHATSAPP_COUNTRIES = (
+    ("BR", 7_718), ("NG", 4_719), ("ID", 3_430), ("IN", 2_731),
+    ("SA", 2_574), ("MX", 2_081), ("AR", 1_366),
+)

@@ -1,0 +1,204 @@
+"""Table renderers (Tables 1-5).
+
+Plain-text, monospaced tables with measured values next to the paper's
+published numbers.  Absolute counts are expected to differ by the
+study's scale factor; the renderers also show the paper value scaled
+down for an apples-to-apples comparison where that is meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.privacy import (
+    LinkedAccountBreakdown,
+    PlatformPIISummary,
+    discord_linked_accounts,
+    pii_summary,
+)
+from repro.analysis.topics import TopicModelResult
+from repro.core.dataset import StudyDataset
+from repro.platforms.discord import DISCORD_CAPABILITIES
+from repro.platforms.telegram import TELEGRAM_CAPABILITIES
+from repro.platforms.whatsapp import WHATSAPP_CAPABILITIES
+from repro.reporting import paper_values as paper
+
+__all__ = [
+    "format_table",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "render_table5",
+]
+
+PLATFORMS = ("whatsapp", "telegram", "discord")
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned plain-text table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_table1() -> str:
+    """Table 1: static platform characteristics."""
+    caps = (WHATSAPP_CAPABILITIES, TELEGRAM_CAPABILITIES, DISCORD_CAPABILITIES)
+    rows = [
+        ["Initial release date"] + [c.initial_release for c in caps],
+        ["User base"] + [c.user_base for c in caps],
+        ["Registration method"] + [c.registration for c in caps],
+        ["Options for public chats"] + [c.public_chat_options for c in caps],
+        ["Max #members"] + [f"{c.max_members:,}" for c in caps],
+        ["API for data collection?"]
+        + ["Yes" if c.has_data_api else "No (only Business API)" for c in caps],
+        ["Message forwarding"] + [c.message_forwarding for c in caps],
+        ["End-to-end encryption"] + [c.end_to_end_encryption for c in caps],
+    ]
+    return format_table(
+        ["Characteristic"] + [c.name for c in caps],
+        rows,
+        title="Table 1: Platform characteristics",
+    )
+
+
+def render_table2(dataset: StudyDataset) -> str:
+    """Table 2: dataset overview, measured vs paper (scaled)."""
+    scale = dataset.scale
+    rows = []
+    for platform in PLATFORMS:
+        records = dataset.records_for(platform)
+        tweets = dataset.tweets_for(platform)
+        authors = {t.author_id for t in tweets}
+        joined = dataset.joined_for(platform)
+        messages = sum(j.n_messages for j in joined)
+        users = dataset.users_for(platform)
+        p_tweets, p_users, p_urls, p_joined, p_msgs, p_gusers = paper.TABLE2[
+            platform
+        ]
+        rows.append(
+            [
+                platform,
+                f"{len(tweets):,} (paper*s {p_tweets * scale:,.0f})",
+                f"{len(authors):,} (paper*s {p_users * scale:,.0f})",
+                f"{len(records):,} (paper*s {p_urls * scale:,.0f})",
+                f"{len(joined):,} (paper {p_joined})",
+                f"{messages:,}",
+                f"{len(users):,}",
+            ]
+        )
+    from repro.analysis.interplay import interplay  # local: avoid cycle
+
+    totals = interplay(dataset)
+    rows.append(
+        [
+            "total",
+            f"{totals.n_tweets_total:,} (dedup -{totals.tweet_dedup_frac:.1%})",
+            f"{totals.n_authors_total:,} "
+            f"(dedup -{totals.author_dedup_frac:.1%})",
+            f"{len(dataset.records):,}",
+            f"{len(dataset.joined):,}",
+            f"{sum(j.n_messages for j in dataset.joined):,}",
+            f"{len(dataset.users):,}",
+        ]
+    )
+    return format_table(
+        ["platform", "#tweets", "#twitter-users", "#group-URLs",
+         "#joined", "#messages", "#users"],
+        rows,
+        title=f"Table 2: Dataset overview (scale={scale}, paper values "
+        "scaled by s where volume-like)",
+    )
+
+
+def render_table3(results: Dict[str, TopicModelResult]) -> str:
+    """Table 3: extracted LDA topics per platform."""
+    sections: List[str] = []
+    for platform, result in results.items():
+        rows = [
+            [
+                topic.index,
+                topic.label,
+                f"{topic.share:.0%}",
+                " ".join(topic.top_terms[:8]),
+            ]
+            for topic in result.topics
+        ]
+        sections.append(
+            format_table(
+                ["#", "label", "share", "top terms"],
+                rows,
+                title=(
+                    f"Table 3 [{platform}]: LDA topics from "
+                    f"{result.n_documents:,} English tweets"
+                ),
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def render_table4(dataset: StudyDataset) -> str:
+    """Table 4: PII exposure summary, measured vs paper."""
+    rows = []
+    for platform in PLATFORMS:
+        summary = pii_summary(dataset, platform)
+        _, p_phones, p_phone_frac, p_linked_frac = paper.TABLE4[platform]
+        phones = (
+            f"{summary.phones_exposed:,} ({summary.phone_frac:.1%}; "
+            f"paper {p_phone_frac:.1%})"
+            if summary.phones_exposed
+            else "-"
+        )
+        linked = (
+            f"{summary.linked_exposed:,} ({summary.linked_frac:.0%}; "
+            f"paper {p_linked_frac:.0%})"
+            if summary.linked_exposed
+            else "-"
+        )
+        observed = f"{summary.members_observed:,} members"
+        if summary.creators_observed:
+            observed += f" + {summary.creators_observed:,} creators"
+        rows.append([platform, observed, phones, linked])
+    return format_table(
+        ["platform", "users observed", "phone numbers", "linked accounts"],
+        rows,
+        title="Table 4: Exposed PII per platform",
+    )
+
+
+def render_table5(dataset: StudyDataset) -> str:
+    """Table 5: Discord linked-account breakdown, measured vs paper."""
+    breakdown = discord_linked_accounts(dataset)
+    rows = []
+    for platform, count, frac in breakdown.rows:
+        p_frac = paper.TABLE5.get(platform)
+        rows.append(
+            [
+                platform,
+                f"{count:,}",
+                f"{frac:.1%}",
+                f"{p_frac:.1%}" if p_frac is not None else "?",
+            ]
+        )
+    return format_table(
+        ["linked platform", "#users", "measured %", "paper %"],
+        rows,
+        title=f"Table 5: Exposed external accounts of "
+        f"{breakdown.n_users:,} Discord users",
+    )

@@ -1,0 +1,55 @@
+"""Deterministic random-number utilities.
+
+The whole simulation must be reproducible from a single integer seed, and
+large parts of the world (message histories, member rosters, user
+profiles) are materialised *lazily*, on first access, long after the seed
+was consumed.  To keep laziness and determinism compatible, every lazy
+object derives its own :class:`numpy.random.Generator` from the study
+seed plus a stable string key (e.g. ``"whatsapp/group/WA00042/messages"``)
+rather than drawing from a shared stream whose state would depend on
+access order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["derive_seed", "derive_rng", "stable_hash", "stable_uniform"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def stable_hash(key: str) -> int:
+    """Return a stable 64-bit hash of ``key``.
+
+    Python's builtin ``hash`` is salted per process, so it cannot be used
+    for reproducible derivation; this uses BLAKE2b instead.
+    """
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def derive_seed(root_seed: int, key: str) -> int:
+    """Derive a child seed from ``root_seed`` and a string ``key``.
+
+    The same (seed, key) pair always yields the same child seed, and
+    distinct keys yield (with overwhelming probability) distinct seeds.
+    """
+    return (stable_hash(key) ^ (root_seed * 0x9E3779B97F4A7C15)) & _MASK64
+
+
+def derive_rng(root_seed: int, key: str) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for (``root_seed``, ``key``)."""
+    return np.random.default_rng(derive_seed(root_seed, key))
+
+
+def stable_uniform(key: str, salt: str = "") -> float:
+    """Map a string key to a uniform float in [0, 1).
+
+    Used to make per-item coin flips (e.g. "is this tweet indexed by the
+    Search API?") that are stable across repeated queries: the same tweet
+    id always lands on the same side of the threshold.
+    """
+    return stable_hash(salt + "|" + key) / float(1 << 64)

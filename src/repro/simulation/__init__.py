@@ -1,0 +1,25 @@
+"""The generative world model behind the simulated ecosystem.
+
+This package is the substitution for the live 2020 internet: a seeded,
+day-by-day generative model of group creation, invite-URL sharing on
+Twitter, group growth/decay, invite revocation, and in-group messaging,
+calibrated to every marginal the paper reports (see
+:mod:`repro.simulation.calibration` for the full list with paper
+references).  The measurement pipeline in :mod:`repro.core` observes
+this world only through the platform and Twitter APIs.
+"""
+
+from repro.simulation.calibration import (
+    CALIBRATIONS,
+    ControlCalibration,
+    PlatformCalibration,
+)
+from repro.simulation.world import World, WorldConfig
+
+__all__ = [
+    "CALIBRATIONS",
+    "ControlCalibration",
+    "PlatformCalibration",
+    "World",
+    "WorldConfig",
+]

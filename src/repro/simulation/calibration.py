@@ -1,0 +1,345 @@
+"""Calibration constants: every generative parameter, tied to the paper.
+
+Each :class:`PlatformCalibration` field cites the paper statistic it is
+derived from.  Full-scale volumes reproduce Table 2; the study scale
+factor (see :class:`repro.core.study.StudyConfig`) multiplies the
+volume-like fields linearly while leaving all proportions untouched, so
+analyses recover the paper's *shapes* at any scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = ["PlatformCalibration", "ControlCalibration", "CALIBRATIONS", "CONTROL"]
+
+
+@dataclass(frozen=True)
+class PlatformCalibration:
+    """All generative parameters for one messaging platform.
+
+    Volume fields are **full scale** (scale = 1.0 reproduces the
+    paper's absolute counts); everything else is a proportion or a
+    distribution parameter.
+    """
+
+    name: str
+
+    # ---- Twitter-side volumes (Table 2) --------------------------------
+    #: New group URLs first shared per day (total URLs / 38 days).
+    new_urls_per_day: float
+    #: Mean number of tweets sharing each URL (Table 2 tweets / URLs).
+    mean_tweets_per_url: float
+    #: Probability a URL is shared exactly once (Fig 2: ~0.5/0.5/0.62).
+    single_share_prob: float
+    #: Lomax (Pareto-II) shape for the multi-share tail (Fig 2 CDF).
+    share_tail_shape: float
+    #: Lomax scale, tuned so the conditional mean matches Table 2.
+    share_tail_scale: float
+    #: Geometric "extra share day offset" success prob (Fig 1: Telegram
+    #: URLs recur across several days; WhatsApp/Discord mostly same-day).
+    share_day_geom_p: float
+    #: Ratio of distinct tweet authors to tweets (Table 2 users/tweets).
+    users_per_tweet: float
+
+    # ---- tweet entity prevalence (Fig 3) --------------------------------
+    hashtag_prob: float          # P(>=1 hashtag)
+    multi_hashtag_prob: float    # P(>=2 hashtags)
+    mention_prob: float          # P(>=1 mention)
+    multi_mention_prob: float    # P(>=2 mentions)
+    retweet_frac: float          # fraction of tweets that are retweets
+
+    # ---- languages (Fig 4) ----------------------------------------------
+    languages: Tuple[Tuple[str, float], ...]
+
+    # ---- group life cycle -------------------------------------------------
+    #: P(group created the same day it is first shared) (Fig 5).
+    staleness_same_day_prob: float
+    #: P(group older than one year when shared) (Fig 5).
+    staleness_over_year_prob: float
+    #: Lognormal (mu, sigma) of the in-between staleness, days.
+    staleness_lognorm: Tuple[float, float]
+    #: P(a group's URL ever dies).  Slightly higher than the paper's
+    #: *observed* revoked fraction (Fig 6): URLs whose sampled death
+    #: falls past the window's end — or past the last daily check —
+    #: are never observed as revoked, exactly as in the real study.
+    revoked_prob: float
+    #: P(revocation happens before the first daily observation | revoked)
+    #: (Fig 6a: 6.4/16.3/67.4 % of *all* groups).
+    revoked_before_first_obs_frac: float
+    #: Mean extra lifetime (days) for URLs that die later (Fig 6a).
+    revoked_later_mean_days: float
+
+    # ---- membership (Fig 7) -----------------------------------------------
+    member_cap: int
+    #: Lognormal (mu, sigma) of group size at first share.
+    size_lognorm: Tuple[float, float]
+    #: Point mass of groups sitting exactly at the member cap (WhatsApp:
+    #: "only 5 % of groups reach the limit").
+    at_cap_prob: float
+    #: P(growing), P(flat), P(shrinking) between first and last
+    #: observation (Fig 7c: 51/53/54 % grow; 38/24/19 % shrink).
+    trend_probs: Tuple[float, float, float]
+    #: Lognormal (mu, sigma) of |relative size change per day|.
+    growth_rate_lognorm: Tuple[float, float]
+    #: Beta (a, b) of the online-member fraction (Fig 7b; 0 disables —
+    #: WhatsApp exposes no online counts).
+    online_beta: Tuple[float, float]
+
+    # ---- messaging (Figs 8, 9) ---------------------------------------------
+    #: Lognormal (mu, sigma) of the group's messages/day rate (Fig 9a).
+    msg_rate_lognorm: Tuple[float, float]
+    #: Fraction of members who ever post (59.4/14.6/65.8 %).
+    active_frac_beta: Tuple[float, float]
+    #: Zipf exponent of per-member posting frequency (Fig 9b; top-1 % of
+    #: users post 31/60/63 % of messages).
+    sender_zipf: float
+
+    # ---- structure -------------------------------------------------------
+    #: P(a chat room is a broadcast channel) (Telegram only).
+    channel_prob: float
+    #: Fraction of creators who create exactly one group (Section 5:
+    #: 92.7 % on WhatsApp, 95.9 % on Discord; all 100 observed Telegram
+    #: creators were single-group).
+    single_creator_frac: float
+
+    # ---- user model -------------------------------------------------------
+    user_population: int
+    countries: Tuple[Tuple[str, float], ...]
+    has_phone: bool
+    phone_visible_prob: float
+    linked_account_prob: float
+    linked_platform_weights: Tuple[Tuple[str, float], ...] = ()
+
+    # ---- joining (Section 3.3) ---------------------------------------------
+    #: Number of groups the paper joined on this platform.
+    paper_join_count: int = 0
+
+
+#: Probability that an original invite tweet also advertises a group
+#: from a *second* platform (cross-posting).  Together with the shared
+#: author pool this reproduces Table 2's total-row deduplication: the
+#: paper's 2,234,128 total tweets are below the per-platform sum
+#: because multi-platform tweets count once in the total.
+CROSS_SHARE_PROB = 0.02
+
+#: Probability a share tweet's author comes from the shared
+#: cross-platform author pool rather than the platform's own pool
+#: (the paper's 806,372 total users are ~2.6 % below the sum).
+CROSS_AUTHOR_PROB = 0.05
+
+
+@dataclass(frozen=True)
+class ControlCalibration:
+    """The control dataset (1 % sample stream) generative parameters."""
+
+    #: Control tweets per day at full scale (1,797,914 / 38).
+    tweets_per_day: float = 1_797_914 / 38
+    hashtag_prob: float = 0.13
+    multi_hashtag_prob: float = 0.05
+    mention_prob: float = 0.76
+    multi_mention_prob: float = 0.12
+    #: Not reported numerically in the paper (Fig 3c bar only); set to a
+    #: typical Twitter-wide retweet share. Recorded in EXPERIMENTS.md.
+    retweet_frac: float = 0.45
+    languages: Tuple[Tuple[str, float], ...] = (
+        ("en", 0.33), ("ja", 0.12), ("es", 0.10), ("pt", 0.07),
+        ("ar", 0.06), ("tr", 0.04), ("id", 0.05), ("hi", 0.04),
+        ("fr", 0.04), ("ru", 0.03), ("de", 0.03), ("und", 0.09),
+    )
+
+
+_TABLE5_WEIGHTS: Tuple[Tuple[str, float], ...] = (
+    # Table 5: percentage of Discord users exposing each linked platform.
+    ("twitch", 20.4),
+    ("steam", 12.2),
+    ("twitter", 8.9),
+    ("spotify", 8.0),
+    ("youtube", 6.6),
+    ("battlenet", 5.2),
+    ("xbox", 3.7),
+    ("reddit", 3.0),
+    ("leagueoflegends", 2.4),
+    ("skype", 0.6),
+    ("facebook", 0.5),
+)
+
+_WHATSAPP = PlatformCalibration(
+    name="whatsapp",
+    # Table 2: 45,718 URLs, 239,807 tweets, 88,119 users over 38 days.
+    new_urls_per_day=45_718 / 38,
+    mean_tweets_per_url=239_807 / 45_718,
+    single_share_prob=0.50,
+    share_tail_shape=1.6,
+    share_tail_scale=4.4,
+    share_day_geom_p=0.60,
+    users_per_tweet=88_119 / 239_807,
+    hashtag_prob=0.13,
+    multi_hashtag_prob=0.04,
+    mention_prob=0.73,
+    multi_mention_prob=0.20,
+    retweet_frac=0.33,
+    languages=(
+        ("en", 0.26), ("es", 0.16), ("pt", 0.14), ("id", 0.08),
+        ("ar", 0.06), ("hi", 0.06), ("tr", 0.04), ("fr", 0.04),
+        ("ru", 0.02), ("de", 0.02), ("ja", 0.01), ("und", 0.11),
+    ),
+    staleness_same_day_prob=0.76,
+    staleness_over_year_prob=0.10,
+    staleness_lognorm=(3.4, 1.5),
+    revoked_prob=0.32,
+    revoked_before_first_obs_frac=0.20,
+    revoked_later_mean_days=6.0,
+    member_cap=257,
+    size_lognorm=(3.7, 1.1),
+    at_cap_prob=0.05,
+    trend_probs=(0.51, 0.11, 0.38),
+    growth_rate_lognorm=(-4.4, 1.2),
+    online_beta=(0.0, 0.0),
+    # Median ~15 msgs/day, mean ~41 (476 K messages / 416 groups / ~28
+    # observed days), ~60 % of groups above 10/day (Fig 9a).
+    msg_rate_lognorm=(2.7, 1.4),
+    active_frac_beta=(8.0, 3.0),
+    sender_zipf=0.9,
+    channel_prob=0.0,
+    single_creator_frac=0.927,
+    user_population=2_000_000,
+    countries=(
+        # Section 5 "Group Countries": BR 7718, NG 4719, ID 3430,
+        # IN 2731, SA 2574, MX 2081, AR 1366 of 34,078 creators.
+        ("BR", 0.2265), ("NG", 0.1385), ("ID", 0.1007), ("IN", 0.0801),
+        ("SA", 0.0755), ("MX", 0.0611), ("AR", 0.0401), ("US", 0.0400),
+        ("EG", 0.0300), ("PK", 0.0300), ("CO", 0.0250), ("ZA", 0.0200),
+        ("GH", 0.0200), ("TR", 0.0200), ("KE", 0.0150), ("MA", 0.0150),
+        ("PE", 0.0150), ("IQ", 0.0150), ("AE", 0.0100), ("DZ", 0.0100),
+        ("ES", 0.0100), ("VE", 0.0100), ("KW", 0.0050), ("PT", 0.0050),
+        ("GB", 0.0050), ("CL", 0.0475),
+    ),
+    has_phone=True,
+    phone_visible_prob=1.0,
+    linked_account_prob=0.0,
+    paper_join_count=416,
+)
+
+_TELEGRAM = PlatformCalibration(
+    name="telegram",
+    # Table 2: 78,105 URLs, 1,224,540 tweets, 398,816 users.
+    new_urls_per_day=78_105 / 38,
+    mean_tweets_per_url=1_224_540 / 78_105,
+    single_share_prob=0.50,
+    share_tail_shape=1.35,
+    share_tail_scale=13.0,
+    share_day_geom_p=0.35,
+    users_per_tweet=398_816 / 1_224_540,
+    hashtag_prob=0.24,
+    multi_hashtag_prob=0.10,
+    mention_prob=0.84,
+    multi_mention_prob=0.14,
+    retweet_frac=0.76,
+    languages=(
+        ("en", 0.35), ("ar", 0.15), ("tr", 0.08), ("ru", 0.08),
+        ("es", 0.06), ("pt", 0.04), ("id", 0.05), ("hi", 0.04),
+        ("ja", 0.02), ("fr", 0.03), ("de", 0.02), ("und", 0.08),
+    ),
+    staleness_same_day_prob=0.28,
+    staleness_over_year_prob=0.29,
+    staleness_lognorm=(4.2, 1.4),
+    revoked_prob=0.22,
+    revoked_before_first_obs_frac=0.78,
+    revoked_later_mean_days=7.0,
+    member_cap=200_000,
+    size_lognorm=(4.94, 2.0),
+    at_cap_prob=0.0,
+    trend_probs=(0.53, 0.23, 0.24),
+    growth_rate_lognorm=(-4.6, 1.4),
+    online_beta=(1.2, 12.0),
+    # Median ~3 msgs/day (only ~25 % of groups above 10/day, Fig 9a)
+    # with a heavy tail towards the paper's 31 K messages/group mean.
+    msg_rate_lognorm=(1.1, 1.7),
+    active_frac_beta=(3.0, 6.0),
+    sender_zipf=0.9,
+    channel_prob=0.30,
+    single_creator_frac=0.995,
+    user_population=10_000_000,
+    countries=(
+        ("RU", 0.14), ("IR", 0.12), ("TR", 0.10), ("IN", 0.08),
+        ("US", 0.07), ("SA", 0.06), ("EG", 0.06), ("ID", 0.05),
+        ("BR", 0.05), ("UA", 0.04), ("IQ", 0.04), ("AE", 0.03),
+        ("DE", 0.03), ("ES", 0.02), ("GB", 0.02), ("PK", 0.03),
+        ("NG", 0.02), ("MX", 0.02), ("AR", 0.02), ("FR", 0.02),
+        ("IT", 0.02), ("KW", 0.02), ("QA", 0.01), ("MA", 0.03),
+    ),
+    has_phone=True,
+    # "A phone number is only shown within the platform if the user
+    # explicitly opts-in" — observed for 0.68 % of users.
+    phone_visible_prob=0.0068,
+    linked_account_prob=0.0,
+    paper_join_count=100,
+)
+
+_DISCORD = PlatformCalibration(
+    name="discord",
+    # Table 2: 227,712 URLs, 779,685 tweets, 340,702 users.
+    new_urls_per_day=227_712 / 38,
+    mean_tweets_per_url=779_685 / 227_712,
+    single_share_prob=0.62,
+    share_tail_shape=1.8,
+    share_tail_scale=4.2,
+    share_day_geom_p=0.70,
+    users_per_tweet=340_702 / 779_685,
+    hashtag_prob=0.14,
+    multi_hashtag_prob=0.07,
+    mention_prob=0.68,
+    multi_mention_prob=0.15,
+    retweet_frac=0.50,
+    languages=(
+        ("en", 0.47), ("ja", 0.27), ("es", 0.05), ("pt", 0.04),
+        ("fr", 0.04), ("de", 0.03), ("ru", 0.02), ("tr", 0.01),
+        ("id", 0.02), ("ar", 0.01), ("und", 0.04),
+    ),
+    staleness_same_day_prob=0.30,
+    staleness_over_year_prob=0.256,
+    staleness_lognorm=(4.0, 1.4),
+    # Fig 6: 68.4 % revoked, 67.4 % already dead at first observation —
+    # the 1-day default invite expiry at work.
+    revoked_prob=0.72,
+    revoked_before_first_obs_frac=0.985,
+    revoked_later_mean_days=5.0,
+    member_cap=250_000,
+    size_lognorm=(4.09, 1.9),
+    at_cap_prob=0.0,
+    trend_probs=(0.54, 0.27, 0.19),
+    growth_rate_lognorm=(-4.6, 1.3),
+    online_beta=(2.0, 4.0),
+    # Median ~15 msgs/day, heavy tail (mean ~53/day, towards the 46 K
+    # messages/server of Table 2; "some groups with >2,000 msgs/day").
+    msg_rate_lognorm=(2.7, 1.6),
+    active_frac_beta=(6.5, 3.5),
+    sender_zipf=0.95,
+    channel_prob=0.0,
+    single_creator_frac=0.959,
+    user_population=2_000_000,
+    countries=(
+        ("US", 0.35), ("JP", 0.20), ("GB", 0.07), ("DE", 0.06),
+        ("FR", 0.05), ("BR", 0.05), ("CA", 0.04), ("RU", 0.03),
+        ("AU", 0.03), ("ES", 0.02), ("MX", 0.02), ("SE", 0.02),
+        ("PL", 0.02), ("NL", 0.02), ("KR", 0.02),
+    ),
+    has_phone=False,
+    phone_visible_prob=0.0,
+    # Section 6: 30 % of observed Discord users expose >=1 linked account.
+    linked_account_prob=0.30,
+    linked_platform_weights=_TABLE5_WEIGHTS,
+    paper_join_count=100,
+)
+
+#: Calibrations keyed by platform name.
+CALIBRATIONS: Dict[str, PlatformCalibration] = {
+    "whatsapp": _WHATSAPP,
+    "telegram": _TELEGRAM,
+    "discord": _DISCORD,
+}
+
+#: Control-dataset calibration.
+CONTROL = ControlCalibration()

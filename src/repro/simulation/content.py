@@ -1,0 +1,177 @@
+"""Tweet text and entity generation.
+
+English tweets advertising a group are composed from the group's topic
+vocabulary (Table 3's generative specs, see
+:mod:`repro.text.topicbank`), so the paper's LDA analysis can recover
+the published topic structure.  Non-English tweets draw from small
+per-language vocabularies; the Fig 4 analysis reads the *lang tag*, not
+the body.  Hashtag/mention counts follow the two calibration points the
+paper reports per platform (Fig 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.simulation.calibration import ControlCalibration, PlatformCalibration
+from repro.simulation.distributions import sample_entity_count
+from repro.rng import stable_uniform
+from repro.text.topicbank import (
+    COMMON_TERMS,
+    LANGUAGE_VOCAB,
+    PLATFORM_TOPICS,
+    TopicSpec,
+    language_bank,
+)
+
+__all__ = ["ComposedTweet", "TweetComposer", "compose_control_text"]
+
+
+@dataclass(frozen=True)
+class ComposedTweet:
+    """The textual payload of a tweet before it gets an id/author/time."""
+
+    text: str
+    hashtags: Tuple[str, ...]
+    mentions: Tuple[str, ...]
+
+
+class TweetComposer:
+    """Composes invite-sharing tweets for one platform."""
+
+    def __init__(self, platform: str, cal: PlatformCalibration) -> None:
+        self._platform = platform
+        self._cal = cal
+        self._topics = PLATFORM_TOPICS[platform]
+
+    def topic(self, index: int) -> TopicSpec:
+        """The generative topic spec at ``index``."""
+        return self._topics[index]
+
+    def compose(
+        self,
+        rng: np.random.Generator,
+        topic_index: int,
+        lang: str,
+        url: str,
+    ) -> ComposedTweet:
+        """Compose one original (non-retweet) invite tweet."""
+        cal = self._cal
+        spec = self._topics[topic_index]
+        lang_spec = self._language_topic(lang, url)
+        body = self._body_words(rng, spec, lang, lang_spec)
+
+        if lang_spec is not None:
+            hashtag_source: Tuple[str, ...] = lang_spec.terms
+        elif lang == "en":
+            hashtag_source = spec.terms
+        else:
+            hashtag_source = LANGUAGE_VOCAB.get(lang, LANGUAGE_VOCAB["und"])
+        n_hashtags = sample_entity_count(
+            rng, cal.hashtag_prob, cal.multi_hashtag_prob
+        )
+        hashtags = self._pick_hashtags(rng, hashtag_source, n_hashtags)
+
+        n_mentions = sample_entity_count(
+            rng, cal.mention_prob, cal.multi_mention_prob
+        )
+        mentions = tuple(
+            f"user{int(rng.integers(1, 10_000_000))}" for _ in range(n_mentions)
+        )
+
+        parts = [" ".join(body)]
+        parts.extend("#" + tag for tag in hashtags)
+        parts.extend("@" + name for name in mentions)
+        parts.append(url)
+        return ComposedTweet(
+            text=" ".join(parts), hashtags=hashtags, mentions=mentions
+        )
+
+    def _language_topic(self, lang: str, url: str) -> Optional[TopicSpec]:
+        """The (platform, language) bank topic for this group, if any.
+
+        The paper's non-English analyses (Spanish, Portuguese) find
+        topics that do not exist in English — COVID-19 and politics.
+        The pick is a stable function of the URL so every share of the
+        same group stays on one topic.
+        """
+        bank = language_bank(self._platform, lang)
+        if not bank:
+            return None
+        total = sum(spec.share for spec in bank)
+        target = stable_uniform(f"{self._platform}/{url}/langtopic") * total
+        running = 0.0
+        for spec in bank:
+            running += spec.share
+            if target < running:
+                return spec
+        return bank[-1]
+
+    def _body_words(
+        self,
+        rng: np.random.Generator,
+        spec: TopicSpec,
+        lang: str,
+        lang_spec: Optional[TopicSpec] = None,
+    ) -> Tuple[str, ...]:
+        if lang == "en":
+            n_topic = int(rng.integers(5, 10))
+            n_common = int(rng.integers(1, 4))
+            topic_idx = rng.integers(0, len(spec.terms), size=n_topic)
+            common_idx = rng.integers(0, len(COMMON_TERMS), size=n_common)
+            words = [spec.terms[i] for i in topic_idx]
+            words += [COMMON_TERMS[i] for i in common_idx]
+            return tuple(words)
+        vocab = LANGUAGE_VOCAB.get(lang, LANGUAGE_VOCAB["und"])
+        if lang_spec is not None:
+            n_topic = int(rng.integers(5, 9))
+            n_filler = int(rng.integers(1, 4))
+            topic_idx = rng.integers(0, len(lang_spec.terms), size=n_topic)
+            filler_idx = rng.integers(0, len(vocab), size=n_filler)
+            words = [lang_spec.terms[i] for i in topic_idx]
+            words += [vocab[i] for i in filler_idx]
+            return tuple(words)
+        n_words = int(rng.integers(4, 9))
+        idx = rng.integers(0, len(vocab), size=n_words)
+        return tuple(vocab[i] for i in idx)
+
+    def _pick_hashtags(
+        self,
+        rng: np.random.Generator,
+        source: Tuple[str, ...],
+        count: int,
+    ) -> Tuple[str, ...]:
+        if count <= 0:
+            return ()
+        idx = rng.integers(0, len(source), size=count)
+        return tuple(source[i] for i in idx)
+
+
+def compose_control_text(
+    rng: np.random.Generator, cal: ControlCalibration, lang: str
+) -> ComposedTweet:
+    """Compose one background (control-dataset) tweet with entities."""
+    vocab = (
+        COMMON_TERMS if lang == "en"
+        else LANGUAGE_VOCAB.get(lang, LANGUAGE_VOCAB["und"])
+    )
+    n_words = int(rng.integers(4, 12))
+    words = [vocab[i] for i in rng.integers(0, len(vocab), size=n_words)]
+
+    n_hashtags = sample_entity_count(rng, cal.hashtag_prob, cal.multi_hashtag_prob)
+    hashtags = tuple(
+        str(vocab[int(rng.integers(0, len(vocab)))]) for _ in range(n_hashtags)
+    )
+    n_mentions = sample_entity_count(rng, cal.mention_prob, cal.multi_mention_prob)
+    mentions = tuple(
+        f"user{int(rng.integers(1, 10_000_000))}" for _ in range(n_mentions)
+    )
+    parts = [" ".join(words)]
+    parts.extend("#" + tag for tag in hashtags)
+    parts.extend("@" + name for name in mentions)
+    return ComposedTweet(
+        text=" ".join(parts), hashtags=hashtags, mentions=mentions
+    )

@@ -1,0 +1,204 @@
+"""Samplers translating calibration constants into concrete draws.
+
+Each function here implements one marginal of the generative model; the
+calibration rationale (which paper statistic a parameter reproduces)
+lives with the constants in :mod:`repro.simulation.calibration`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.simulation.calibration import PlatformCalibration
+
+__all__ = [
+    "author_pool_size",
+    "sample_active_frac",
+    "sample_entity_count",
+    "sample_msg_rate",
+    "sample_online_frac",
+    "sample_revocation_time",
+    "sample_shares_per_url",
+    "sample_size",
+    "sample_slope",
+    "sample_staleness_days",
+]
+
+#: Hard cap on tweets sharing a single URL (the paper's most-shared
+#: Telegram URLs exceeded 10 K tweets at full scale).
+MAX_SHARES_PER_URL = 30_000
+
+
+#: Telegram topics whose URLs dominate the most-shared tail: the paper
+#: examined the 14 Telegram URLs with >10 K tweets and found 11 about
+#: pornography, 2 about cryptocurrencies, and 1 general discussion.
+VIRAL_TELEGRAM_TOPICS = frozenset({"Sex", "Cryptocurrencies"})
+
+
+def sample_shares_per_url(
+    rng: np.random.Generator,
+    cal: PlatformCalibration,
+    max_shares: Optional[int] = None,
+    topic_label: str = "",
+) -> int:
+    """How many tweets will share this URL (Fig 2's distribution).
+
+    A point mass at one share plus a Lomax (Pareto-II) tail starting at
+    two, whose scale is tuned so the overall mean matches Table 2.
+    ``max_shares`` caps the tail; scaled-down studies pass a
+    proportionally smaller cap so one mega-URL cannot dominate a small
+    study more than the paper's 10 K-tweet URLs dominated the real one.
+
+    On Telegram, sex and cryptocurrency groups get a *heavier* tail with
+    the same mean (smaller shape, smaller scale), reproducing the
+    paper's finding that the most-shared URLs are almost all porn or
+    crypto, without shifting Table 3's per-tweet topic shares.
+    """
+    cap = MAX_SHARES_PER_URL if max_shares is None else max_shares
+    if rng.random() < cal.single_share_prob:
+        return 1
+    shape, scale = cal.share_tail_shape, cal.share_tail_scale
+    if cal.name == "telegram" and topic_label in VIRAL_TELEGRAM_TOPICS:
+        mean_tail = scale / (shape - 1.0)
+        shape = 1.13
+        scale = mean_tail * (shape - 1.0)  # mean preserved
+        # The viral tail is allowed to run further before the scaled
+        # cap clamps it (the paper's >10 K-tweet URLs are these).
+        cap = min(cap * 3, MAX_SHARES_PER_URL)
+    tail = rng.pareto(shape) * scale
+    return int(min(2 + tail, cap))
+
+
+def sample_staleness_days(
+    rng: np.random.Generator, cal: PlatformCalibration
+) -> float:
+    """Days between group creation and its first share on Twitter (Fig 5)."""
+    u = rng.random()
+    if u < cal.staleness_same_day_prob:
+        return float(rng.random())  # created earlier the same day
+    if u < cal.staleness_same_day_prob + cal.staleness_over_year_prob:
+        return 365.0 + float(rng.exponential(400.0))
+    mu, sigma = cal.staleness_lognorm
+    middle = float(rng.lognormal(mu, sigma))
+    return float(np.clip(middle, 1.0, 365.0))
+
+
+def sample_revocation_time(
+    rng: np.random.Generator,
+    cal: PlatformCalibration,
+    share_t: float,
+) -> Optional[float]:
+    """When (if ever) the invite URL dies (Fig 6).
+
+    Returns an absolute simulation time, or None for URLs that survive.
+    "Instant" deaths land within the share day — before the monitor's
+    end-of-day first observation — reproducing the
+    revoked-before-first-observation mass (67.4 % of all Discord URLs).
+    """
+    if rng.random() >= cal.revoked_prob:
+        return None
+    if rng.random() < cal.revoked_before_first_obs_frac:
+        return share_t + float(rng.uniform(0.01, 0.1))
+    # Dies later: at least one daily observation succeeds first.
+    return share_t + 1.0 + float(rng.exponential(cal.revoked_later_mean_days))
+
+
+def sample_size(rng: np.random.Generator, cal: PlatformCalibration,
+                member_cap: Optional[int] = None) -> int:
+    """Group size at the time of first share (Fig 7a)."""
+    cap = member_cap if member_cap is not None else cal.member_cap
+    if cal.at_cap_prob and rng.random() < cal.at_cap_prob:
+        return cap
+    mu, sigma = cal.size_lognorm
+    return int(np.clip(round(rng.lognormal(mu, sigma)), 2, cap))
+
+
+def sample_slope(
+    rng: np.random.Generator, cal: PlatformCalibration, size: int
+) -> float:
+    """Net members/day during the observation window (Fig 7c).
+
+    Trend (grow/flat/shrink) is categorical; the magnitude is a
+    lognormal *relative* daily rate so large groups can move by the
+    tens of thousands the paper observed on Telegram and Discord.
+    """
+    p_grow, p_flat, _ = cal.trend_probs
+    u = rng.random()
+    if p_grow <= u < p_grow + p_flat:
+        return 0.0
+    mu, sigma = cal.growth_rate_lognorm
+    rate = float(rng.lognormal(mu, sigma))
+    slope = size * rate
+    return slope if u < p_grow else -slope
+
+
+def sample_msg_rate(rng: np.random.Generator, cal: PlatformCalibration) -> float:
+    """Mean messages/day for a group (Fig 9a).
+
+    Capped at 3,000/day — the paper observes "some groups with more
+    than 2,000 messages per day" but nothing unbounded.
+    """
+    mu, sigma = cal.msg_rate_lognorm
+    return float(min(rng.lognormal(mu, sigma), 3000.0))
+
+
+def sample_online_frac(
+    rng: np.random.Generator, cal: PlatformCalibration
+) -> float:
+    """Mean fraction of members online (Fig 7b); 0 if not exposed."""
+    a, b = cal.online_beta
+    if a <= 0.0:
+        return 0.0
+    return float(rng.beta(a, b))
+
+
+def sample_active_frac(
+    rng: np.random.Generator, cal: PlatformCalibration
+) -> float:
+    """Fraction of members who ever post (Section 5, "active members")."""
+    a, b = cal.active_frac_beta
+    return float(rng.beta(a, b))
+
+
+def sample_entity_count(
+    rng: np.random.Generator, p_ge1: float, p_ge2: float
+) -> int:
+    """Number of hashtags or mentions on a tweet (Fig 3).
+
+    Calibrated on the two reported points: P(count >= 1) and
+    P(count >= 2); counts beyond two follow a small Poisson tail.
+    """
+    u = rng.random()
+    if u >= p_ge1:
+        return 0
+    if u >= p_ge2:
+        return 1
+    return 2 + int(rng.poisson(0.7))
+
+
+def author_pool_size(expected_tweets: float, users_per_tweet: float) -> int:
+    """Size of the author pool reproducing Table 2's users/tweets ratio.
+
+    Authors are drawn uniformly from a pool of size U; the expected
+    number of *distinct* authors among T tweets is U(1 - e^(-T/U)).
+    Solving (1 - e^(-x))/x = users_per_tweet for x = T/U gives the pool
+    size that makes the distinct-author count match the paper.
+    """
+    if not 0.0 < users_per_tweet < 1.0:
+        return max(int(expected_tweets), 1)
+
+    def ratio(x: float) -> float:
+        return (1.0 - math.exp(-x)) / x
+
+    lo, hi = 1e-9, 60.0
+    for _ in range(80):
+        mid = (lo + hi) / 2.0
+        if ratio(mid) > users_per_tweet:
+            lo = mid  # ratio decreases in x; need larger x
+        else:
+            hi = mid
+    x = (lo + hi) / 2.0
+    return max(int(round(expected_tweets / x)), 1)

@@ -1,0 +1,475 @@
+"""The day-by-day world generator.
+
+``World`` owns the three platform services and the Twitter service and
+advances them through the 38-day study window one day at a time:
+
+1. New groups are born on each platform (Poisson around the calibrated
+   per-day URL discovery rates) with a full sampled *life plan* —
+   creation date in the past (staleness), size trajectory, invite
+   revocation time, and messaging behaviour.
+2. Each group's invite URL is shared in one or more tweets, spread over
+   the following days; later shares may be retweets of the first.
+3. Background (non-group) tweets are generated for the control stream.
+
+Everything derives from the study seed; generating the same day twice
+is an error, but two worlds with the same config are identical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.clock import STUDY_DAYS
+from repro.errors import ConfigError
+from repro.platforms.base import GroupKind, GroupPlan, PlatformService
+from repro.platforms.discord import DiscordService
+from repro.platforms.telegram import TelegramService
+from repro.platforms.telegram.service import TELEGRAM_CHANNEL_MAX_MEMBERS
+from repro.platforms.whatsapp import WhatsAppService
+from repro.rng import derive_rng
+from repro.simulation.calibration import (
+    CALIBRATIONS,
+    CONTROL,
+    CROSS_AUTHOR_PROB,
+    CROSS_SHARE_PROB,
+    PlatformCalibration,
+)
+from repro.simulation.content import TweetComposer, compose_control_text
+from repro.simulation.distributions import (
+    MAX_SHARES_PER_URL,
+    author_pool_size,
+    sample_active_frac,
+    sample_msg_rate,
+    sample_online_frac,
+    sample_revocation_time,
+    sample_shares_per_url,
+    sample_size,
+    sample_slope,
+    sample_staleness_days,
+)
+from repro.simulation.population import AuthorPool, CreatorAssigner, build_user_model
+from repro.text.topicbank import topic_shares
+from repro.twitter.model import Tweet
+from repro.twitter.service import TwitterService
+
+__all__ = ["World", "WorldConfig", "ShareEvent", "URLTruth"]
+
+_GID_PREFIXES = {"whatsapp": "WA", "telegram": "TG", "discord": "DC"}
+_SERVICE_CLASSES = {
+    "whatsapp": WhatsAppService,
+    "telegram": TelegramService,
+    "discord": DiscordService,
+}
+_AUTHOR_POOL_BASES = {
+    "whatsapp": 1_000_000_000,
+    "telegram": 2_000_000_000,
+    "discord": 3_000_000_000,
+    "control": 4_000_000_000,
+}
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Configuration of the generative world.
+
+    Attributes:
+        seed: Root seed; everything derives from it.
+        n_days: Length of the study window (the paper's was 38).
+        scale: Linear scale on all tweet/URL volumes (1.0 = paper scale).
+        control_sample_rate: The sample-stream rate the pipeline should
+            use.  The real study sampled 1 % of the full firehose; we
+            generate a 100x-smaller background firehose and sample it at
+            a correspondingly higher rate, preserving the control
+            dataset's size relative to ``scale`` (documented
+            substitution).
+        control_oversample: Background volume relative to the control
+            target, i.e. 1 / control_sample_rate.
+    """
+
+    seed: int = 7
+    n_days: int = STUDY_DAYS
+    scale: float = 0.01
+    control_sample_rate: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.n_days < 1:
+            raise ConfigError(f"n_days must be >= 1, got {self.n_days}")
+        if not 0.0 < self.scale <= 1.0:
+            raise ConfigError(f"scale must be in (0, 1], got {self.scale}")
+        if not 0.0 < self.control_sample_rate <= 1.0:
+            raise ConfigError(
+                "control_sample_rate must be in (0, 1], got "
+                f"{self.control_sample_rate}"
+            )
+
+    @property
+    def control_oversample(self) -> float:
+        return 1.0 / self.control_sample_rate
+
+
+@dataclass(frozen=True)
+class ShareEvent:
+    """One scheduled tweet sharing a group URL."""
+
+    platform: str
+    gid: str
+    url: str
+    topic_index: int
+    lang: str
+    t: float
+    is_first: bool
+
+
+@dataclass
+class URLTruth:
+    """Ground truth about one shared URL (for validation only).
+
+    The measurement pipeline must *not* read these — it observes the
+    world through the APIs; tests compare its estimates against this.
+    """
+
+    platform: str
+    gid: str
+    url: str
+    first_share_t: float
+    n_shares_scheduled: int
+    created_t: float
+    revoke_t: Optional[float]
+
+
+class World:
+    """The simulated ecosystem, generated one day at a time."""
+
+    def __init__(self, config: WorldConfig) -> None:
+        self.config = config
+        self.twitter = TwitterService()
+        self.platforms: Dict[str, PlatformService] = {}
+        self._composers: Dict[str, TweetComposer] = {}
+        self._author_pools: Dict[str, AuthorPool] = {}
+        self._creator_assigners: Dict[str, CreatorAssigner] = {}
+        self._topic_probs: Dict[str, np.ndarray] = {}
+        self._lang_choices: Dict[str, Tuple[Tuple[str, ...], np.ndarray]] = {}
+        self._retweet_probs: Dict[str, float] = {}
+        self._group_counters: Dict[str, int] = {}
+        self._pending: Dict[int, List[ShareEvent]] = {}
+        self._first_tweets: Dict[str, Tweet] = {}
+        self._last_control_tweet_id: Optional[int] = None
+        self._tweet_seq = 0
+        self._generated_through = -1
+        self.truths: Dict[str, URLTruth] = {}
+        # Scale the mega-URL cap with volume (see sample_shares_per_url).
+        self._share_cap = max(300, int(MAX_SHARES_PER_URL * config.scale))
+        # Cross-platform machinery: a shared author pool (users who
+        # tweet about several platforms) and per-platform buffers of
+        # recently created URLs available for cross-posting.
+        total_expected_tweets = sum(
+            cal.new_urls_per_day * config.n_days * config.scale
+            * cal.mean_tweets_per_url
+            for cal in CALIBRATIONS.values()
+        )
+        self._shared_author_pool = AuthorPool(
+            5_000_000_000,
+            author_pool_size(
+                max(total_expected_tweets * CROSS_AUTHOR_PROB, 10.0), 0.4
+            ),
+        )
+        self._recent_urls: Dict[str, List[str]] = {
+            name: [] for name in CALIBRATIONS
+        }
+
+        for name, cal in CALIBRATIONS.items():
+            service_cls = _SERVICE_CLASSES[name]
+            self.platforms[name] = service_cls(config.seed, build_user_model(cal))
+            self._composers[name] = TweetComposer(name, cal)
+            expected_tweets = (
+                cal.new_urls_per_day * config.n_days * config.scale
+                * cal.mean_tweets_per_url
+            )
+            self._author_pools[name] = AuthorPool(
+                _AUTHOR_POOL_BASES[name],
+                author_pool_size(max(expected_tweets, 10.0), cal.users_per_tweet),
+            )
+            self._creator_assigners[name] = CreatorAssigner(
+                derive_rng(config.seed, f"world/creators/{name}"),
+                cal.user_population,
+                cal.single_creator_frac,
+                self.platforms[name].format_user_id,
+            )
+            self._topic_probs[name] = np.asarray(topic_shares(name))
+            langs = tuple(lang for lang, _ in cal.languages)
+            probs = np.array([p for _, p in cal.languages], dtype=float)
+            self._lang_choices[name] = (langs, probs / probs.sum())
+            # Only non-first shares can be retweets; rescale so the
+            # overall retweet fraction hits the Fig 3c target.
+            nonfirst_frac = 1.0 - 1.0 / cal.mean_tweets_per_url
+            self._retweet_probs[name] = min(
+                cal.retweet_frac / max(nonfirst_frac, 1e-9), 0.98
+            )
+            self._group_counters[name] = 0
+
+        ctrl_langs = tuple(lang for lang, _ in CONTROL.languages)
+        ctrl_probs = np.array([p for _, p in CONTROL.languages], dtype=float)
+        self._control_langs = (ctrl_langs, ctrl_probs / ctrl_probs.sum())
+        self._control_pool = AuthorPool(
+            _AUTHOR_POOL_BASES["control"],
+            author_pool_size(
+                CONTROL.tweets_per_day * config.n_days * config.scale
+                * config.control_oversample,
+                0.6,
+            ),
+        )
+
+    # -- public API -------------------------------------------------------
+
+    def platform(self, name: str) -> PlatformService:
+        """The ground-truth service for a platform name."""
+        return self.platforms[name]
+
+    def generate_day(self, day: int) -> None:
+        """Generate all of day ``day``'s groups and tweets (in order)."""
+        if day != self._generated_through + 1:
+            raise ConfigError(
+                f"days must be generated in order: expected "
+                f"{self._generated_through + 1}, got {day}"
+            )
+        rng = derive_rng(self.config.seed, f"world/day/{day}")
+
+        for name, cal in CALIBRATIONS.items():
+            n_new = int(rng.poisson(cal.new_urls_per_day * self.config.scale))
+            for _ in range(n_new):
+                self._spawn_group(day, name, cal, rng)
+
+        entries: List[Tuple[float, str, object]] = [
+            (event.t, "share", event) for event in self._pending.pop(day, [])
+        ]
+        n_control = int(
+            rng.poisson(
+                CONTROL.tweets_per_day * self.config.scale
+                * self.config.control_oversample
+            )
+        )
+        entries.extend(
+            (day + float(rng.random()), "control", None) for _ in range(n_control)
+        )
+        entries.sort(key=lambda item: item[0])
+
+        tweets: List[Tweet] = []
+        for t, kind, payload in entries:
+            if kind == "share":
+                tweets.append(self._compose_share_tweet(payload, rng))
+            else:
+                tweets.append(self._compose_control_tweet(t, rng))
+        self.twitter.post_many(tweets)
+        self._generated_through = day
+
+    def generate_all(self) -> None:
+        """Generate the whole study window."""
+        for day in range(self._generated_through + 1, self.config.n_days):
+            self.generate_day(day)
+
+    def ground_truth(self) -> Dict[str, URLTruth]:
+        """Per-URL ground truth (validation only; not pipeline input)."""
+        return self.truths
+
+    # -- group spawning -----------------------------------------------------
+
+    def _spawn_group(
+        self,
+        day: int,
+        name: str,
+        cal: PlatformCalibration,
+        rng: np.random.Generator,
+    ) -> None:
+        service = self.platforms[name]
+        counter = self._group_counters[name]
+        self._group_counters[name] = counter + 1
+        gid = f"{_GID_PREFIXES[name]}{counter:07d}"
+
+        first_t = day + float(rng.random())
+        kind = GroupKind.SERVER if name == "discord" else GroupKind.GROUP
+        member_cap = cal.member_cap
+        if name == "telegram":
+            if rng.random() < cal.channel_prob:
+                kind = GroupKind.CHANNEL
+                member_cap = TELEGRAM_CHANNEL_MAX_MEMBERS
+
+        topic_index = int(rng.choice(len(self._topic_probs[name]),
+                                     p=self._topic_probs[name]))
+        spec = self._composers[name].topic(topic_index)
+        langs, lang_probs = self._lang_choices[name]
+        lang = langs[int(rng.choice(len(langs), p=lang_probs))]
+
+        size0 = sample_size(rng, cal, member_cap)
+        plan = GroupPlan(
+            gid=gid,
+            kind=kind,
+            title=f"{spec.label} {counter}",
+            topic_label=spec.label,
+            lang=lang,
+            creator_id=self._creator_assigners[name].assign(),
+            created_t=first_t - sample_staleness_days(rng, cal),
+            anchor_t=first_t,
+            size0=size0,
+            slope=sample_slope(rng, cal, size0),
+            revoke_t=sample_revocation_time(rng, cal, first_t),
+            msg_rate=sample_msg_rate(rng, cal),
+            online_frac=sample_online_frac(rng, cal),
+            active_frac=sample_active_frac(rng, cal),
+            sender_zipf=cal.sender_zipf,
+            member_cap=member_cap,
+        )
+        record = service.register_group(plan)
+        url = service.invite_url(gid)
+        recent = self._recent_urls[name]
+        recent.append(url)
+        if len(recent) > 200:
+            del recent[0]
+
+        n_shares = sample_shares_per_url(
+            rng, cal, self._share_cap, topic_label=spec.label
+        )
+        self.truths[url] = URLTruth(
+            platform=name,
+            gid=gid,
+            url=url,
+            first_share_t=first_t,
+            n_shares_scheduled=n_shares,
+            created_t=plan.created_t,
+            revoke_t=plan.revoke_t,
+        )
+        self._schedule_shares(
+            name, gid, url, topic_index, lang, first_t, n_shares, cal, rng
+        )
+
+    def _schedule_shares(
+        self,
+        name: str,
+        gid: str,
+        url: str,
+        topic_index: int,
+        lang: str,
+        first_t: float,
+        n_shares: int,
+        cal: PlatformCalibration,
+        rng: np.random.Generator,
+    ) -> None:
+        first_day = int(first_t)
+        self._pending.setdefault(first_day, []).append(
+            ShareEvent(name, gid, url, topic_index, lang, first_t, True)
+        )
+        if n_shares <= 1:
+            return
+        offsets = rng.geometric(cal.share_day_geom_p, size=n_shares - 1) - 1
+        hours = rng.random(n_shares - 1)
+        for offset, hour in zip(offsets, hours):
+            share_day = first_day + int(offset)
+            if share_day >= self.config.n_days:
+                continue
+            if share_day == first_day:
+                # Keep same-day extra shares after the first share so
+                # retweets always follow their original.
+                t = first_t + (first_day + 1 - first_t) * float(hour)
+            else:
+                t = share_day + float(hour)
+            self._pending.setdefault(share_day, []).append(
+                ShareEvent(name, gid, url, topic_index, lang, t, False)
+            )
+
+    # -- tweet composition -----------------------------------------------
+
+    def _next_tweet_id(self) -> int:
+        self._tweet_seq += 1
+        return self._tweet_seq
+
+    def _cross_post_url(
+        self, platform: str, rng: np.random.Generator
+    ) -> Optional[str]:
+        """A recently shared URL from a *different* platform, or None."""
+        others = [
+            name for name in self._recent_urls
+            if name != platform and self._recent_urls[name]
+        ]
+        if not others:
+            return None
+        source = others[int(rng.integers(0, len(others)))]
+        urls = self._recent_urls[source]
+        return urls[int(rng.integers(0, len(urls)))]
+
+    def _compose_share_tweet(
+        self, event: ShareEvent, rng: np.random.Generator
+    ) -> Tweet:
+        if rng.random() < CROSS_AUTHOR_PROB:
+            author = self._shared_author_pool.draw(rng)
+        else:
+            author = self._author_pools[event.platform].draw(rng)
+        original = self._first_tweets.get(event.url)
+        if (
+            not event.is_first
+            and original is not None
+            and rng.random() < self._retweet_probs[event.platform]
+        ):
+            tweet = Tweet(
+                tweet_id=self._next_tweet_id(),
+                author_id=author,
+                t=event.t,
+                text=f"RT: {original.text}",
+                lang=original.lang,
+                hashtags=original.hashtags,
+                mentions=original.mentions,
+                urls=original.urls,
+                retweet_of=original.tweet_id,
+            )
+            return tweet
+
+        composed = self._composers[event.platform].compose(
+            rng, event.topic_index, event.lang, event.url
+        )
+        urls = (event.url,)
+        text = composed.text
+        if rng.random() < CROSS_SHARE_PROB:
+            extra = self._cross_post_url(event.platform, rng)
+            if extra is not None:
+                urls = (event.url, extra)
+                text = f"{text} {extra}"
+        tweet = Tweet(
+            tweet_id=self._next_tweet_id(),
+            author_id=author,
+            t=event.t,
+            text=text,
+            lang=event.lang,
+            hashtags=composed.hashtags,
+            mentions=composed.mentions,
+            urls=urls,
+        )
+        if event.is_first:
+            self._first_tweets[event.url] = tweet
+        return tweet
+
+    def _compose_control_tweet(self, t: float, rng: np.random.Generator) -> Tweet:
+        author = self._control_pool.draw(rng)
+        langs, probs = self._control_langs
+        lang = langs[int(rng.choice(len(langs), p=probs))]
+        retweet_of = None
+        if (
+            self._last_control_tweet_id is not None
+            and rng.random() < CONTROL.retweet_frac
+        ):
+            retweet_of = self._last_control_tweet_id
+        composed = compose_control_text(rng, CONTROL, lang)
+        tweet = Tweet(
+            tweet_id=self._next_tweet_id(),
+            author_id=author,
+            t=t,
+            text=("RT: " + composed.text) if retweet_of else composed.text,
+            lang=lang,
+            hashtags=composed.hashtags,
+            mentions=composed.mentions,
+            urls=(),
+            retweet_of=retweet_of,
+        )
+        self._last_control_tweet_id = tweet.tweet_id
+        return tweet

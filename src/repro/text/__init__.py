@@ -1,0 +1,19 @@
+"""Text processing: tokenisation, stop words, language ID, topic bank.
+
+Used on both sides of the reproduction: the simulator generates tweet
+and message text from topic vocabularies, and the analysis pipeline
+tokenises that text, removes stop words, and runs LDA over it — exactly
+the preprocessing the paper applies before topic modeling (Section 4).
+"""
+
+from repro.text.langid import detect_language
+from repro.text.stopwords import ENGLISH_STOPWORDS, is_stopword
+from repro.text.tokenize import tokenize, tokenize_for_lda
+
+__all__ = [
+    "ENGLISH_STOPWORDS",
+    "detect_language",
+    "is_stopword",
+    "tokenize",
+    "tokenize_for_lda",
+]

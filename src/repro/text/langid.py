@@ -1,0 +1,64 @@
+"""Naive language identification.
+
+The paper reads the language field Twitter's API attaches to every
+tweet; our simulated Twitter does the same, so the main pipeline never
+needs to *detect* language.  This detector exists for the messages
+collected inside groups (which carry no language tag) and for
+validating that generated text is consistent with its declared tag.
+
+It is a tiny stop-word / script classifier — enough to separate the
+languages the paper reports (en, es, pt, ar, tr, ja, ...), not a
+general-purpose detector.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict
+
+__all__ = ["detect_language"]
+
+_MARKERS: Dict[str, frozenset] = {
+    "en": frozenset(
+        "the and you for join free money this that with group make have".split()
+    ),
+    "es": frozenset(
+        "que los las una del por para grupo gratis dinero este unete hola".split()
+    ),
+    "pt": frozenset(
+        "que não uma com para grupo por mais você dinheiro entre aqui".split()
+    ),
+    "tr": frozenset(
+        "bir ve bu için grup katıl ücretsiz para daha sohbet kanal".split()
+    ),
+    "fr": frozenset(
+        "les des une pour dans groupe gratuit argent rejoindre vous avec".split()
+    ),
+    "id": frozenset(
+        "yang dan untuk grup gratis uang gabung dengan dari ini kami".split()
+    ),
+}
+
+_ARABIC_RE = re.compile(r"[؀-ۿ]")
+_JAPANESE_RE = re.compile(r"[぀-ヿ一-鿿]")
+_CYRILLIC_RE = re.compile(r"[Ѐ-ӿ]")
+
+
+def detect_language(text: str) -> str:
+    """Return a best-effort ISO 639-1 language code ('und' if unknown)."""
+    if _ARABIC_RE.search(text):
+        return "ar"
+    if _JAPANESE_RE.search(text):
+        return "ja"
+    if _CYRILLIC_RE.search(text):
+        return "ru"
+
+    words = set(re.findall(r"[a-zà-ÿığşç]+", text.lower()))
+    if not words:
+        return "und"
+    best_lang, best_score = "und", 0
+    for lang, markers in _MARKERS.items():
+        score = len(words & markers)
+        if score > best_score:
+            best_lang, best_score = lang, score
+    return best_lang

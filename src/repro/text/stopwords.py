@@ -1,0 +1,35 @@
+"""English stop-word list.
+
+The paper removes stop words from English tweets before running LDA.
+This list covers the standard closed-class English vocabulary plus the
+handful of Twitter-specific tokens (``rt``, ``https``…) that would
+otherwise dominate topics.  Note the paper's own topic terms include
+words like "will", "can", "don" — their stop list evidently kept some
+of these, so ours is deliberately conservative and keeps them too.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ENGLISH_STOPWORDS", "is_stopword"]
+
+ENGLISH_STOPWORDS = frozenset(
+    """
+    a about above after again against all am an and any are aren as at be
+    because been before being below between both but by could couldn did
+    didn do does doesn doing down during each few for from further had
+    hadn has hasn have haven having he her here hers herself him himself
+    his how i if in into is isn it its itself let me more most mustn my
+    myself no nor not of off on once only or other ought our ours
+    ourselves out over own same shan she should shouldn so some such than
+    that the their theirs them themselves then there these they this
+    those through to too under until up very was wasn we were weren what
+    when where which while who whom why with won would wouldn you your
+    yours yourself yourselves
+    rt amp http https www com
+    """.split()
+)
+
+
+def is_stopword(token: str) -> bool:
+    """Return True if ``token`` is an English stop word."""
+    return token in ENGLISH_STOPWORDS

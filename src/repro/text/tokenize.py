@@ -1,0 +1,39 @@
+"""Tweet/message tokenisation.
+
+Mirrors the preprocessing the paper applies before LDA: lowercase,
+strip URLs, mentions and punctuation, drop stop words and very short
+tokens.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.text.stopwords import is_stopword
+
+__all__ = ["tokenize", "tokenize_for_lda"]
+
+_URL_RE = re.compile(r"https?://\S+|\b[\w.-]+\.(?:com|me|gg|org)/\S*")
+_MENTION_RE = re.compile(r"@\w+")
+_TOKEN_RE = re.compile(r"[a-z][a-z0-9]+")
+
+
+def tokenize(text: str) -> List[str]:
+    """Split ``text`` into lowercase word tokens.
+
+    URLs and @-mentions are removed first; hashtags contribute their
+    bare word (``#crypto`` -> ``crypto``).
+    """
+    cleaned = _URL_RE.sub(" ", text.lower())
+    cleaned = _MENTION_RE.sub(" ", cleaned)
+    return _TOKEN_RE.findall(cleaned)
+
+
+def tokenize_for_lda(text: str, min_len: int = 3) -> List[str]:
+    """Tokenise and remove stop words / short tokens for topic modeling."""
+    return [
+        token
+        for token in tokenize(text)
+        if len(token) >= min_len and not is_stopword(token)
+    ]

@@ -1,0 +1,17 @@
+"""Simulated Twitter: the discovery lens of the whole study.
+
+The paper discovers messaging-platform groups by searching Twitter for
+invite-URL patterns with two APIs — the Search API (polled hourly, 7-day
+lookback) and the Streaming API (real time) — and merges the results
+because the two APIs return *different* subsets of matching tweets.
+This package reproduces that surface: a tweet store, both APIs with
+independent (deterministic) coverage gaps, and the 1 % sample stream
+used to build the control dataset.
+"""
+
+from repro.twitter.model import Tweet, TwitterUser
+from repro.twitter.search import SearchAPI
+from repro.twitter.service import TwitterService
+from repro.twitter.streaming import StreamingAPI
+
+__all__ = ["SearchAPI", "StreamingAPI", "Tweet", "TwitterService", "TwitterUser"]

@@ -1,0 +1,59 @@
+"""Tweet and Twitter-user data model.
+
+Only the fields the paper's analyses consume are modelled: text,
+language (as tagged by Twitter itself — the paper reads the API's
+``lang`` field), entities (hashtags, mentions, URLs) and retweet
+linkage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = ["Tweet", "TwitterUser"]
+
+
+@dataclass(frozen=True)
+class TwitterUser:
+    """A Twitter account.
+
+    Attributes:
+        user_id: Numeric account id.
+        screen_name: The @-handle.
+    """
+
+    user_id: int
+    screen_name: str
+
+
+@dataclass(frozen=True)
+class Tweet:
+    """A single tweet.
+
+    Attributes:
+        tweet_id: Unique id (monotone in posting time).
+        author_id: The posting account's id.
+        t: Posting time, in days since study start.
+        text: Tweet body (entities are also inlined in the text).
+        lang: Language tag as assigned by Twitter's detector.
+        hashtags: Hashtag strings, without '#'.
+        mentions: Mentioned screen names, without '@'.
+        urls: Expanded URLs contained in the tweet.
+        retweet_of: Original tweet id if this is a retweet, else None.
+    """
+
+    tweet_id: int
+    author_id: int
+    t: float
+    text: str
+    lang: str
+    hashtags: Tuple[str, ...] = ()
+    mentions: Tuple[str, ...] = ()
+    urls: Tuple[str, ...] = ()
+    retweet_of: Optional[int] = None
+
+    @property
+    def is_retweet(self) -> bool:
+        """True if this tweet is a retweet of another tweet."""
+        return self.retweet_of is not None

@@ -1,0 +1,67 @@
+"""Twitter Search API simulator.
+
+The real Search API returns matching tweets from (roughly) the past
+seven days, but its index is *incomplete*: the paper observed
+discrepancies between Search and Streaming results and merged both.
+We model incompleteness as a stable per-tweet coin flip — a tweet is
+either in the search index or it is not, consistently across repeated
+polls — with recall :data:`DEFAULT_SEARCH_RECALL`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.clock import SEARCH_WINDOW_DAYS
+from repro.rng import stable_uniform
+from repro.twitter.model import Tweet
+from repro.twitter.service import TwitterService, tweet_matches
+
+__all__ = ["SearchAPI", "DEFAULT_SEARCH_RECALL"]
+
+#: Fraction of tweets the search index covers.
+DEFAULT_SEARCH_RECALL = 0.93
+
+
+class SearchAPI:
+    """Polling interface over the simulated search index."""
+
+    def __init__(
+        self,
+        service: TwitterService,
+        recall: float = DEFAULT_SEARCH_RECALL,
+        salt: str = "search-index",
+    ) -> None:
+        if not 0.0 < recall <= 1.0:
+            raise ValueError(f"recall must be in (0, 1], got {recall}")
+        self._service = service
+        self._recall = recall
+        self._salt = salt
+
+    def indexed(self, tweet: Tweet) -> bool:
+        """Whether this tweet is present in the search index (stable)."""
+        return stable_uniform(str(tweet.tweet_id), self._salt) < self._recall
+
+    def search(
+        self,
+        patterns: Sequence[str],
+        now: float,
+        since: Optional[float] = None,
+    ) -> List[Tweet]:
+        """Return indexed tweets matching ``patterns``.
+
+        Args:
+            patterns: URL substrings to match (the paper's six).
+            now: Query time; results are limited to the API's 7-day
+                lookback window ending at ``now``.
+            since: Optional lower bound (like ``since_id``) so hourly
+                pollers do not re-fetch the whole window each time.
+        """
+        t0 = now - SEARCH_WINDOW_DAYS
+        if since is not None:
+            t0 = max(t0, since)
+        return [
+            tweet
+            for tweet in self._service.tweets_between(t0, now)
+            if tweet_matches(tweet, patterns) and self.indexed(tweet)
+        ]

@@ -1,0 +1,70 @@
+"""The simulated Twitter backend: a time-ordered tweet store.
+
+The store is append-mostly (the world generates tweets day by day) and
+supports efficient time-range queries via binary search, which is what
+both the Search and Streaming APIs are built on.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, List, Sequence
+
+from repro.twitter.model import Tweet
+
+__all__ = ["TwitterService", "tweet_matches"]
+
+
+def tweet_matches(tweet: Tweet, patterns: Sequence[str]) -> bool:
+    """True if any of the tweet's URLs contains any search pattern.
+
+    Patterns are plain URL prefixes/hosts (``chat.whatsapp.com/``,
+    ``t.me/``, ...), matching how the paper queried the Twitter APIs.
+    """
+    for url in tweet.urls:
+        for pattern in patterns:
+            if pattern in url:
+                return True
+    return False
+
+
+class TwitterService:
+    """Time-ordered store of all tweets in the simulated world."""
+
+    def __init__(self) -> None:
+        self._tweets: List[Tweet] = []
+        self._times: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._tweets)
+
+    def post(self, tweet: Tweet) -> None:
+        """Add one tweet; out-of-order inserts are supported but slow."""
+        if not self._times or tweet.t >= self._times[-1]:
+            self._tweets.append(tweet)
+            self._times.append(tweet.t)
+        else:
+            idx = bisect.bisect_right(self._times, tweet.t)
+            self._tweets.insert(idx, tweet)
+            self._times.insert(idx, tweet.t)
+
+    def post_many(self, tweets: Iterable[Tweet]) -> None:
+        """Bulk-add tweets (sorted internally for efficiency)."""
+        batch = sorted(tweets, key=lambda tw: tw.t)
+        if batch and self._times and batch[0].t < self._times[-1]:
+            # Rare slow path: merge.
+            for tweet in batch:
+                self.post(tweet)
+            return
+        self._tweets.extend(batch)
+        self._times.extend(tw.t for tw in batch)
+
+    def tweets_between(self, t0: float, t1: float) -> Sequence[Tweet]:
+        """All tweets with ``t0 <= t < t1`` (chronological)."""
+        lo = bisect.bisect_left(self._times, t0)
+        hi = bisect.bisect_left(self._times, t1)
+        return self._tweets[lo:hi]
+
+    def all_tweets(self) -> Sequence[Tweet]:
+        """The full store (ground truth; tests and world only)."""
+        return self._tweets

@@ -1,0 +1,70 @@
+"""Twitter Streaming API simulator.
+
+Two streams, as in the paper:
+
+* the **filtered stream** — real-time delivery of tweets matching the
+  URL patterns, with its own (stable, deterministic) delivery gaps,
+  independent of the Search index's gaps, so the merged Search+Stream
+  dataset is strictly larger than either source alone;
+* the **1 % sample stream** — an unfiltered uniform sample of all
+  tweets, the paper's control dataset.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.rng import stable_uniform
+from repro.twitter.model import Tweet
+from repro.twitter.service import TwitterService, tweet_matches
+
+__all__ = ["StreamingAPI", "DEFAULT_STREAM_RECALL", "SAMPLE_RATE"]
+
+#: Fraction of matching tweets the filtered stream actually delivers.
+DEFAULT_STREAM_RECALL = 0.90
+
+#: The public sample stream carries 1 % of all tweets.
+SAMPLE_RATE = 0.01
+
+
+class StreamingAPI:
+    """Real-time (window-at-a-time) interface over the tweet firehose."""
+
+    def __init__(
+        self,
+        service: TwitterService,
+        recall: float = DEFAULT_STREAM_RECALL,
+        salt: str = "stream-delivery",
+    ) -> None:
+        if not 0.0 < recall <= 1.0:
+            raise ValueError(f"recall must be in (0, 1], got {recall}")
+        self._service = service
+        self._recall = recall
+        self._salt = salt
+
+    def delivered(self, tweet: Tweet) -> bool:
+        """Whether the filtered stream delivers this tweet (stable)."""
+        return stable_uniform(str(tweet.tweet_id), self._salt) < self._recall
+
+    def filtered(
+        self, patterns: Sequence[str], t0: float, t1: float
+    ) -> List[Tweet]:
+        """Tweets matching ``patterns`` delivered during [t0, t1)."""
+        return [
+            tweet
+            for tweet in self._service.tweets_between(t0, t1)
+            if tweet_matches(tweet, patterns) and self.delivered(tweet)
+        ]
+
+    def sample(
+        self, t0: float, t1: float, rate: float = SAMPLE_RATE
+    ) -> List[Tweet]:
+        """A ``rate`` uniform sample of *all* tweets in [t0, t1).
+
+        This is the control dataset: no pattern filtering.
+        """
+        return [
+            tweet
+            for tweet in self._service.tweets_between(t0, t1)
+            if stable_uniform(str(tweet.tweet_id), "sample-stream") < rate
+        ]

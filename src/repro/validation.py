@@ -1,0 +1,161 @@
+"""Calibration self-check: measured dataset vs the paper's marginals.
+
+``validate_dataset`` recomputes the key statistics of a collected
+:class:`~repro.core.dataset.StudyDataset` and compares each against the
+paper's published value with a tolerance appropriate to the study's
+scale.  Used by CI, the CLI's ``--validate`` flag, and anyone changing
+calibration constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.content import entity_prevalence
+from repro.analysis.language import language_shares
+from repro.analysis.messages import message_types
+from repro.analysis.revocation import revocation
+from repro.analysis.sharing import tweets_per_url
+from repro.analysis.staleness import staleness
+from repro.core.dataset import StudyDataset
+from repro.platforms.base import MessageType
+from repro.reporting import paper_values as paper
+from repro.reporting.tables import format_table
+
+__all__ = ["CalibrationCheck", "validate_dataset", "render_validation_report"]
+
+PLATFORMS = ("whatsapp", "telegram", "discord")
+
+
+@dataclass(frozen=True)
+class CalibrationCheck:
+    """One paper-vs-measured comparison.
+
+    Attributes:
+        name: Statistic name (includes figure/table reference).
+        platform: Messaging platform ('' for cross-platform checks).
+        paper_value: The published value.
+        measured: The value recomputed from the dataset.
+        tolerance: Allowed absolute deviation.
+    """
+
+    name: str
+    platform: str
+    paper_value: float
+    measured: float
+    tolerance: float
+
+    @property
+    def ok(self) -> bool:
+        """Whether the measured value is within tolerance."""
+        return abs(self.measured - self.paper_value) <= self.tolerance + 1e-12
+
+
+def validate_dataset(dataset: StudyDataset) -> List[CalibrationCheck]:
+    """Run every calibration check against a collected dataset."""
+    checks: List[CalibrationCheck] = []
+
+    for platform in PLATFORMS:
+        # Fig 2: single-share fraction.
+        dist = tweets_per_url(dataset, platform)
+        checks.append(
+            CalibrationCheck(
+                name="fig2.single_share_frac",
+                platform=platform,
+                paper_value=paper.FIG2_SINGLE_SHARE[platform],
+                measured=dist.single_share_frac,
+                tolerance=0.07,
+            )
+        )
+
+        # Fig 3: entity prevalences.
+        prevalence = entity_prevalence(dataset, platform)
+        p_hash, p_mention, p_rt = paper.FIG3[platform]
+        checks.append(
+            CalibrationCheck(
+                "fig3.mention_frac", platform, p_mention,
+                prevalence.mention_frac, 0.08,
+            )
+        )
+        checks.append(
+            CalibrationCheck(
+                "fig3.retweet_frac", platform, p_rt,
+                prevalence.retweet_frac, 0.08,
+            )
+        )
+
+        # Fig 4: English share.
+        en_paper = dict(paper.FIG4_TOP_LANGS[platform])["en"]
+        checks.append(
+            CalibrationCheck(
+                "fig4.english_share", platform, en_paper,
+                language_shares(dataset, platform).share("en"), 0.12,
+            )
+        )
+
+        # Fig 5: staleness masses.
+        stale = staleness(dataset, platform)
+        p_same, p_year = paper.FIG5[platform]
+        checks.append(
+            CalibrationCheck(
+                "fig5.same_day_frac", platform, p_same,
+                stale.same_day_frac, 0.12,
+            )
+        )
+        checks.append(
+            CalibrationCheck(
+                "fig5.over_year_frac", platform, p_year,
+                stale.over_year_frac, 0.10,
+            )
+        )
+
+        # Fig 6: revocation masses.
+        revoked = revocation(dataset, platform)
+        p_rev, p_before = paper.FIG6[platform]
+        checks.append(
+            CalibrationCheck(
+                "fig6.revoked_frac", platform, p_rev,
+                revoked.revoked_frac, 0.07,
+            )
+        )
+        checks.append(
+            CalibrationCheck(
+                "fig6.before_first_obs_frac", platform, p_before,
+                revoked.before_first_obs_frac, 0.07,
+            )
+        )
+
+        # Fig 8: text share.
+        checks.append(
+            CalibrationCheck(
+                "fig8.text_frac", platform, paper.FIG8_TEXT_FRAC[platform],
+                message_types(dataset, platform).fraction(MessageType.TEXT),
+                0.05,
+            )
+        )
+
+    return checks
+
+
+def render_validation_report(checks: List[CalibrationCheck]) -> str:
+    """Render the checks as a table with a pass/fail verdict column."""
+    rows = [
+        [
+            check.name,
+            check.platform,
+            f"{check.paper_value:.3f}",
+            f"{check.measured:.3f}",
+            f"±{check.tolerance:.2f}",
+            "ok" if check.ok else "FAIL",
+        ]
+        for check in checks
+    ]
+    n_ok = sum(1 for check in checks if check.ok)
+    return format_table(
+        ["check", "platform", "paper", "measured", "tolerance", "verdict"],
+        rows,
+        title=(
+            f"Calibration self-check: {n_ok}/{len(checks)} within tolerance"
+        ),
+    )

@@ -1,0 +1,44 @@
+"""Shared fixtures: worlds and study datasets at test-friendly scales.
+
+Building a study is the expensive part of the suite, so the datasets
+are session-scoped and shared read-only across test modules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.study import Study, StudyConfig
+from repro.simulation.world import World, WorldConfig
+
+#: Scale/duration used by the shared small study.
+SMALL_CONFIG = StudyConfig(
+    seed=2,
+    n_days=14,
+    scale=0.01,
+    message_scale=0.05,
+    join_targets={"whatsapp": 60, "telegram": 40, "discord": 40},
+    join_day=4,
+)
+
+
+@pytest.fixture(scope="session")
+def small_study():
+    """A small but complete study (pipeline + world), already run."""
+    study = Study(SMALL_CONFIG)
+    dataset = study.run()
+    return study, dataset
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_study):
+    """The dataset of the shared small study."""
+    return small_study[1]
+
+
+@pytest.fixture(scope="session")
+def tiny_world():
+    """A fully generated 6-day world (no pipeline attached)."""
+    world = World(WorldConfig(seed=3, n_days=6, scale=0.004))
+    world.generate_all()
+    return world

@@ -1,0 +1,95 @@
+"""Test helpers: hand-built platform services and group plans."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.platforms.base import GroupKind, GroupPlan, PlatformUserModel
+from repro.platforms.discord import DiscordService
+from repro.platforms.telegram import TelegramService
+from repro.platforms.whatsapp import WhatsAppService
+
+__all__ = [
+    "make_plan",
+    "make_whatsapp",
+    "make_telegram",
+    "make_discord",
+    "SIMPLE_USER_MODEL",
+]
+
+SIMPLE_USER_MODEL = PlatformUserModel(
+    population=10_000,
+    countries=("BR", "US", "IN"),
+    country_probs=(0.5, 0.3, 0.2),
+    has_phone=True,
+    phone_visible_prob=1.0,
+)
+
+NO_PHONE_MODEL = PlatformUserModel(
+    population=10_000,
+    countries=("US", "JP"),
+    country_probs=(0.6, 0.4),
+    has_phone=False,
+    linked_account_prob=0.5,
+    linked_platform_weights=(("twitch", 2.0), ("steam", 1.0)),
+)
+
+
+def make_plan(
+    gid: str = "G0000001",
+    kind: GroupKind = GroupKind.GROUP,
+    creator_id: str = "whu42",
+    created_t: float = -10.0,
+    anchor_t: float = 1.5,
+    size0: int = 50,
+    slope: float = 1.0,
+    revoke_t: Optional[float] = None,
+    msg_rate: float = 12.0,
+    online_frac: float = 0.2,
+    active_frac: float = 0.5,
+    sender_zipf: float = 1.1,
+    member_cap: int = 257,
+    topic_label: str = "Cryptocurrencies",
+    lang: str = "en",
+) -> GroupPlan:
+    """A GroupPlan with sensible defaults, overridable per test."""
+    return GroupPlan(
+        gid=gid,
+        kind=kind,
+        title=f"{topic_label} {gid}",
+        topic_label=topic_label,
+        lang=lang,
+        creator_id=creator_id,
+        created_t=created_t,
+        anchor_t=anchor_t,
+        size0=size0,
+        slope=slope,
+        revoke_t=revoke_t,
+        msg_rate=msg_rate,
+        online_frac=online_frac,
+        active_frac=active_frac,
+        sender_zipf=sender_zipf,
+        member_cap=member_cap,
+    )
+
+
+def make_whatsapp(seed: int = 5) -> WhatsAppService:
+    """A WhatsApp service with the simple user model."""
+    return WhatsAppService(seed, SIMPLE_USER_MODEL)
+
+
+def make_telegram(seed: int = 5, phone_visible_prob: float = 0.5) -> TelegramService:
+    """A Telegram service with adjustable phone-visibility opt-in."""
+    model = PlatformUserModel(
+        population=10_000,
+        countries=("RU", "TR", "IR"),
+        country_probs=(0.4, 0.3, 0.3),
+        has_phone=True,
+        phone_visible_prob=phone_visible_prob,
+    )
+    return TelegramService(seed, model)
+
+
+def make_discord(seed: int = 5) -> DiscordService:
+    """A Discord service with linked accounts enabled."""
+    return DiscordService(seed, NO_PHONE_MODEL)

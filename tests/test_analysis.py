@@ -1,0 +1,380 @@
+"""Tests for the Section 4-6 analyses, run on the shared small study.
+
+These assert structural invariants and the paper's *qualitative*
+orderings (who wins) rather than exact percentages — at test scale the
+sample is small, so quantitative assertions use wide tolerances.
+"""
+
+import pytest
+
+from repro.analysis.content import control_prevalence, entity_prevalence
+from repro.analysis.language import control_language_shares, language_shares
+from repro.analysis.membership import (
+    creator_stats,
+    membership,
+    whatsapp_countries,
+)
+from repro.analysis.messages import group_activity, message_types, user_activity
+from repro.analysis.revocation import revocation
+from repro.analysis.sharing import daily_discovery, tweets_per_url
+from repro.analysis.staleness import staleness
+from repro.platforms.base import MessageType
+from repro.platforms.whatsapp import WHATSAPP_MAX_MEMBERS
+
+PLATFORMS = ("whatsapp", "telegram", "discord")
+
+
+class TestSharing:
+    def test_daily_series_lengths(self, small_dataset):
+        for platform in PLATFORMS:
+            series = daily_discovery(small_dataset, platform)
+            n = small_dataset.n_days
+            assert len(series.all_counts) == n
+            assert len(series.unique_counts) == n
+            assert len(series.new_counts) == n
+
+    def test_new_totals_match_record_count(self, small_dataset):
+        for platform in PLATFORMS:
+            series = daily_discovery(small_dataset, platform)
+            assert sum(series.new_counts) == len(
+                small_dataset.records_for(platform)
+            )
+
+    def test_all_geq_unique_geq_new(self, small_dataset):
+        for platform in PLATFORMS:
+            series = daily_discovery(small_dataset, platform)
+            for day in range(small_dataset.n_days):
+                assert (
+                    series.all_counts[day]
+                    >= series.unique_counts[day]
+                    >= series.new_counts[day]
+                )
+
+    def test_discord_has_most_new_urls(self, small_dataset):
+        # Fig 1c ordering: Discord > Telegram > WhatsApp.
+        medians = {
+            p: daily_discovery(small_dataset, p).median_new for p in PLATFORMS
+        }
+        assert medians["discord"] > medians["telegram"] > medians["whatsapp"]
+
+    def test_telegram_shared_most_often(self, small_dataset):
+        # Fig 1a: Telegram URLs are shared the most times per day.
+        medians = {
+            p: daily_discovery(small_dataset, p).median_all for p in PLATFORMS
+        }
+        assert medians["telegram"] == max(medians.values())
+
+    def test_share_distribution_basics(self, small_dataset):
+        for platform in PLATFORMS:
+            dist = tweets_per_url(small_dataset, platform)
+            assert dist.cdf.values.min() >= 1
+            assert dist.mean_shares >= 1.0
+            assert 0.0 <= dist.single_share_frac <= 1.0
+
+    def test_discord_has_most_single_share_urls(self, small_dataset):
+        # Fig 2: 62 % of Discord URLs shared once vs ~50 % elsewhere.
+        fracs = {
+            p: tweets_per_url(small_dataset, p).single_share_frac
+            for p in PLATFORMS
+        }
+        assert fracs["discord"] > fracs["whatsapp"]
+        assert fracs["discord"] > fracs["telegram"]
+
+    def test_telegram_highest_mean_shares(self, small_dataset):
+        means = {
+            p: tweets_per_url(small_dataset, p).mean_shares for p in PLATFORMS
+        }
+        assert means["telegram"] == max(means.values())
+
+
+class TestContent:
+    def test_fractions_are_probabilities(self, small_dataset):
+        for platform in PLATFORMS:
+            res = entity_prevalence(small_dataset, platform)
+            for value in (
+                res.hashtag_frac, res.multi_hashtag_frac,
+                res.mention_frac, res.multi_mention_frac, res.retweet_frac,
+            ):
+                assert 0.0 <= value <= 1.0
+            assert res.multi_hashtag_frac <= res.hashtag_frac
+            assert res.multi_mention_frac <= res.mention_frac
+
+    def test_telegram_most_retweets(self, small_dataset):
+        # Fig 3c: Telegram leads on retweets (76 %).
+        results = {p: entity_prevalence(small_dataset, p) for p in PLATFORMS}
+        assert results["telegram"].retweet_frac == max(
+            r.retweet_frac for r in results.values()
+        )
+
+    def test_telegram_most_hashtags_among_originals(self, small_dataset):
+        # Fig 3a: Telegram leads on hashtags (24 % vs 13/14 %).  Tested
+        # on original (non-retweet) tweets: retweet trains inherit the
+        # original's entities, which at test scale lets a single viral
+        # tweet dominate the all-tweets statistic.
+        fracs = {}
+        for platform in PLATFORMS:
+            originals = [
+                t for t in small_dataset.tweets_for(platform) if not t.is_retweet
+            ]
+            fracs[platform] = sum(
+                1 for t in originals if t.hashtags
+            ) / len(originals)
+        assert fracs["telegram"] > fracs["whatsapp"]
+        assert fracs["telegram"] > fracs["discord"]
+        assert abs(fracs["telegram"] - 0.24) < 0.06
+
+    def test_whatsapp_fewest_retweets(self, small_dataset):
+        results = {p: entity_prevalence(small_dataset, p) for p in PLATFORMS}
+        assert results["whatsapp"].retweet_frac == min(
+            r.retweet_frac for r in results.values()
+        )
+
+    def test_mentions_prevalent_everywhere(self, small_dataset):
+        # Fig 3b: 68-84 % of tweets carry mentions.
+        for platform in PLATFORMS:
+            assert entity_prevalence(small_dataset, platform).mention_frac > 0.5
+
+    def test_control_prevalence(self, small_dataset):
+        res = control_prevalence(small_dataset)
+        assert res.source == "control"
+        assert abs(res.hashtag_frac - 0.13) < 0.05
+        assert abs(res.mention_frac - 0.76) < 0.05
+
+
+class TestLanguage:
+    def test_english_tops_every_platform(self, small_dataset):
+        # Fig 4: English is the most popular language everywhere.
+        for platform in PLATFORMS:
+            assert language_shares(small_dataset, platform).top == "en"
+
+    def test_japanese_is_discord_specialty(self, small_dataset):
+        # Fig 4: 27 % of Discord tweets are Japanese.
+        ja = {
+            p: language_shares(small_dataset, p).share("ja") for p in PLATFORMS
+        }
+        assert ja["discord"] > 0.15
+        assert ja["discord"] > 5 * ja["whatsapp"]
+
+    def test_arabic_strong_on_telegram(self, small_dataset):
+        shares = language_shares(small_dataset, "telegram")
+        assert shares.share("ar") > 0.08
+
+    def test_shares_sum_to_one(self, small_dataset):
+        for platform in PLATFORMS:
+            shares = language_shares(small_dataset, platform)
+            assert sum(f for _, f in shares.shares) == pytest.approx(1.0)
+
+    def test_control_languages(self, small_dataset):
+        shares = control_language_shares(small_dataset)
+        assert shares.top == "en"
+
+
+class TestStaleness:
+    def test_values_nonnegative(self, small_dataset):
+        for platform in PLATFORMS:
+            res = staleness(small_dataset, platform)
+            assert res.cdf.values.min() >= 0.0
+            assert res.n_groups > 0
+
+    def test_whatsapp_groups_freshest(self, small_dataset):
+        # Fig 5: 76 % of WhatsApp groups shared on their creation day,
+        # under 30 % for Telegram/Discord.
+        res = {p: staleness(small_dataset, p) for p in PLATFORMS}
+        assert res["whatsapp"].same_day_frac > 0.55
+        assert res["whatsapp"].same_day_frac > res["telegram"].same_day_frac
+        assert res["whatsapp"].same_day_frac > res["discord"].same_day_frac
+
+    def test_telegram_discord_have_old_groups(self, small_dataset):
+        for platform in ("telegram", "discord"):
+            assert staleness(small_dataset, platform).over_year_frac > 0.1
+
+    def test_discord_uses_all_monitored_groups(self, small_dataset):
+        # Discord creation dates come from the invite API (no join
+        # needed), so the sample is much larger than the joined set.
+        dc = staleness(small_dataset, "discord")
+        assert dc.n_groups > len(small_dataset.joined_for("discord"))
+
+
+class TestRevocation:
+    def test_fractions_are_probabilities(self, small_dataset):
+        for platform in PLATFORMS:
+            res = revocation(small_dataset, platform)
+            assert 0.0 <= res.before_first_obs_frac <= res.revoked_frac <= 1.0
+
+    def test_discord_most_ephemeral(self, small_dataset):
+        # Fig 6: 68 % of Discord URLs die vs 27 %/20 % for WA/TG.
+        res = {p: revocation(small_dataset, p) for p in PLATFORMS}
+        assert res["discord"].revoked_frac > 0.5
+        assert res["discord"].revoked_frac > 2 * res["whatsapp"].revoked_frac
+        assert res["discord"].revoked_frac > 2 * res["telegram"].revoked_frac
+
+    def test_discord_dies_before_first_observation(self, small_dataset):
+        res = revocation(small_dataset, "discord")
+        assert res.before_first_obs_frac > 0.8 * res.revoked_frac
+
+    def test_whatsapp_lifetimes_longer_than_discord(self, small_dataset):
+        wa = revocation(small_dataset, "whatsapp")
+        dc = revocation(small_dataset, "discord")
+        assert wa.lifetime_cdf.median > dc.lifetime_cdf.median
+
+    def test_revoked_per_day_totals(self, small_dataset):
+        for platform in PLATFORMS:
+            res = revocation(small_dataset, platform)
+            assert sum(res.revoked_per_day.values()) == res.lifetime_cdf.n
+
+
+class TestMembership:
+    def test_whatsapp_respects_cap(self, small_dataset):
+        res = membership(
+            small_dataset, "whatsapp", member_cap=WHATSAPP_MAX_MEMBERS
+        )
+        assert res.size_cdf.values.max() <= WHATSAPP_MAX_MEMBERS
+        assert 0.0 < res.at_cap_frac < 0.25
+
+    def test_telegram_largest_groups(self, small_dataset):
+        # Fig 7a: Telegram groups are orders of magnitude larger.
+        sizes = {
+            p: membership(small_dataset, p).size_cdf.quantile(0.95)
+            for p in PLATFORMS
+        }
+        assert sizes["telegram"] > sizes["discord"] > sizes["whatsapp"]
+
+    def test_online_fraction_exposure(self, small_dataset):
+        assert membership(small_dataset, "whatsapp").online_frac_cdf is None
+        for platform in ("telegram", "discord"):
+            cdf = membership(small_dataset, platform).online_frac_cdf
+            assert cdf is not None
+            assert 0.0 <= cdf.values.min() and cdf.values.max() <= 1.0
+
+    def test_discord_more_online_than_telegram(self, small_dataset):
+        # Fig 7b: Discord members are online in larger proportion.
+        tg = membership(small_dataset, "telegram").online_frac_cdf
+        dc = membership(small_dataset, "discord").online_frac_cdf
+        assert dc.median > 2 * tg.median
+
+    def test_more_groups_grow_than_shrink(self, small_dataset):
+        # Fig 7c: 51-54 % grow on every platform.
+        for platform in PLATFORMS:
+            res = membership(small_dataset, platform)
+            assert res.growing_frac > res.shrinking_frac
+
+    def test_trend_fractions_sum_to_one(self, small_dataset):
+        for platform in PLATFORMS:
+            res = membership(small_dataset, platform)
+            total = res.growing_frac + res.flat_frac + res.shrinking_frac
+            assert total == pytest.approx(1.0)
+
+
+class TestCreators:
+    def test_whatsapp_creators_identified_by_phone_hash(self, small_dataset):
+        stats = creator_stats(small_dataset, "whatsapp")
+        assert stats.n_creators <= stats.n_groups
+        assert stats.single_group_frac > 0.8
+
+    def test_discord_creators(self, small_dataset):
+        stats = creator_stats(small_dataset, "discord")
+        assert stats.single_group_frac > 0.8
+        assert stats.n_creators <= stats.n_groups
+
+    def test_telegram_creators_only_from_joined(self, small_dataset):
+        stats = creator_stats(small_dataset, "telegram")
+        assert stats.n_groups == len(small_dataset.joined_for("telegram"))
+
+    def test_whatsapp_countries_brazil_heavy(self, small_dataset):
+        # Section 5: Brazil leads the WhatsApp country ranking.  At test
+        # scale a single serial creator can skew the per-group count, so
+        # Brazil is asserted to lead by distinct creators and to stay in
+        # the top 3 by groups.
+        by_groups = [country for country, _ in whatsapp_countries(small_dataset)]
+        assert "BR" in by_groups[:3]
+        creators_by_country: dict = {}
+        for record in small_dataset.records_for("whatsapp"):
+            for snap in small_dataset.snapshots.get(record.canonical, []):
+                if snap.alive and snap.creator_phone_hash is not None:
+                    creators_by_country.setdefault(
+                        snap.creator_phone_hash.country, set()
+                    ).add(snap.creator_phone_hash.digest)
+                    break
+        counts = {c: len(s) for c, s in creators_by_country.items()}
+        assert max(counts, key=counts.get) == "BR"
+
+
+class TestMessages:
+    def test_text_dominates_everywhere(self, small_dataset):
+        # Fig 8: text is 78/85/96 % of messages.
+        for platform in PLATFORMS:
+            mix = message_types(small_dataset, platform)
+            assert mix.fractions[0][0] is MessageType.TEXT
+            assert mix.fraction(MessageType.TEXT) > 0.6
+
+    def test_discord_most_text_heavy(self, small_dataset):
+        fracs = {
+            p: message_types(small_dataset, p).fraction(MessageType.TEXT)
+            for p in PLATFORMS
+        }
+        assert fracs["discord"] > fracs["telegram"] > fracs["whatsapp"]
+
+    def test_stickers_are_whatsapp_specialty(self, small_dataset):
+        # Fig 8: stickers are ~10 % of WhatsApp messages.
+        wa = message_types(small_dataset, "whatsapp")
+        dc = message_types(small_dataset, "discord")
+        assert wa.fraction(MessageType.STICKER) > 0.04
+        assert dc.fraction(MessageType.STICKER) == 0.0
+
+    def test_type_fractions_sum_to_one(self, small_dataset):
+        for platform in PLATFORMS:
+            mix = message_types(small_dataset, platform)
+            assert sum(f for _, f in mix.fractions) == pytest.approx(1.0)
+
+    def test_group_activity_descaled(self, small_dataset):
+        for platform in PLATFORMS:
+            res = group_activity(small_dataset, platform)
+            assert res.rate_cdf.n == len(small_dataset.joined_for(platform))
+            assert res.max_rate >= res.rate_cdf.median
+
+    def test_telegram_groups_least_active(self, small_dataset):
+        # Fig 9a: only ~25 % of Telegram groups exceed 10 msgs/day.
+        res = {p: group_activity(small_dataset, p) for p in PLATFORMS}
+        assert res["telegram"].over_10_frac < res["whatsapp"].over_10_frac
+        assert res["telegram"].over_10_frac < res["discord"].over_10_frac
+
+    def test_user_activity_counts(self, small_dataset):
+        for platform in PLATFORMS:
+            res = user_activity(small_dataset, platform)
+            assert res.n_posters > 0
+            assert res.count_cdf.values.min() >= 1
+            assert 0.0 <= res.top1pct_share <= 1.0
+
+    def test_whatsapp_least_concentrated(self, small_dataset):
+        # Fig 9b: WhatsApp's top 1 % hold 31 % vs 60/63 % on TG/DC.
+        res = {p: user_activity(small_dataset, p) for p in PLATFORMS}
+        assert res["whatsapp"].top1pct_share < res["telegram"].top1pct_share
+        assert res["whatsapp"].top1pct_share < res["discord"].top1pct_share
+
+
+class TestTopSharedUrls:
+    def test_sorted_and_bounded(self, small_dataset):
+        from repro.analysis.sharing import top_shared_urls
+
+        top = top_shared_urls(small_dataset, "telegram", n=10)
+        assert len(top) == 10
+        shares = [u.n_shares for u in top]
+        assert shares == sorted(shares, reverse=True)
+        assert shares[0] == max(
+            r.n_shares for r in small_dataset.records_for("telegram")
+        )
+
+    def test_categories_from_known_set(self, small_dataset):
+        from repro.analysis.sharing import top_shared_urls
+
+        for url in top_shared_urls(small_dataset, "telegram", n=20):
+            assert url.category in ("pornography", "cryptocurrency", "general")
+
+    def test_custom_classifier(self, small_dataset):
+        from repro.analysis.sharing import top_shared_urls
+
+        top = top_shared_urls(
+            small_dataset, "discord", n=5,
+            classifier=lambda dataset, record: "custom",
+        )
+        assert all(u.category == "custom" for u in top)

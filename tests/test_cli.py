@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import RENDERERS, build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.seed == 7
+        assert args.scale == 0.01
+        assert args.only is None
+
+    def test_only_validates_names(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--only", "nonsense"])
+
+    def test_all_renderers_exposed(self):
+        assert {"table2", "table4", "table5"} <= set(RENDERERS)
+        assert {f"fig{i}" for i in range(1, 10)} <= set(RENDERERS)
+
+
+class TestMain:
+    def test_small_run(self, capsys):
+        exit_code = main(
+            [
+                "--seed", "3", "--scale", "0.002", "--days", "6",
+                "--message-scale", "0.05", "--only", "table2", "fig6",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out          # always printed
+        assert "Table 2" in out
+        assert "Fig 6" in out
+        assert "Fig 1" not in out        # not requested
+
+
+class TestMainSideOutputs:
+    def test_save_and_export_flags(self, tmp_path, capsys):
+        save_path = tmp_path / "ds.json.gz"
+        csv_dir = tmp_path / "csv"
+        exit_code = main(
+            [
+                "--seed", "4", "--scale", "0.004", "--days", "8",
+                "--message-scale", "0.05", "--only", "table2",
+                "--save", str(save_path), "--export-csv", str(csv_dir),
+            ]
+        )
+        assert exit_code == 0
+        assert save_path.exists()
+        assert len(list(csv_dir.glob("fig*.csv"))) == 9
+
+        from repro.io import load_dataset
+
+        loaded = load_dataset(save_path)
+        assert loaded.n_days == 8
+
+    def test_validate_flag(self, capsys):
+        exit_code = main(
+            [
+                "--seed", "4", "--scale", "0.004", "--days", "8",
+                "--message-scale", "0.05", "--only", "table2", "--validate",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Calibration self-check" in out

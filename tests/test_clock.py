@@ -1,0 +1,65 @@
+"""Tests for the simulation clock."""
+
+from datetime import date
+
+import pytest
+
+from repro.clock import STUDY_DAYS, STUDY_START, SimClock, sim_day_to_date
+
+
+class TestConstants:
+    def test_study_start_matches_paper(self):
+        assert STUDY_START == date(2020, 4, 8)
+
+    def test_window_is_38_days(self):
+        assert STUDY_DAYS == 38
+
+    def test_window_ends_may_15(self):
+        # Day 37 is the last collection day: 2020-05-15.
+        assert sim_day_to_date(37) == date(2020, 5, 15)
+
+
+class TestSimDayToDate:
+    def test_day_zero(self):
+        assert sim_day_to_date(0.0) == STUDY_START
+
+    def test_fractional_day_rounds_down(self):
+        assert sim_day_to_date(0.99) == STUDY_START
+
+    def test_next_day(self):
+        assert sim_day_to_date(1.0) == date(2020, 4, 9)
+
+
+class TestSimClock:
+    def test_initial_state(self):
+        clock = SimClock()
+        assert clock.t == 0.0
+        assert clock.day == 0
+        assert not clock.finished
+
+    def test_advance_hours(self):
+        clock = SimClock()
+        clock.advance_hours(12)
+        assert clock.t == pytest.approx(0.5)
+        assert clock.day == 0
+
+    def test_advance_to_day(self):
+        clock = SimClock()
+        clock.advance_to_day(5)
+        assert clock.day == 5
+
+    def test_advance_backwards_rejected(self):
+        clock = SimClock()
+        clock.advance_to_day(3)
+        with pytest.raises(ValueError):
+            clock.advance_to_day(2)
+
+    def test_days_iterator_covers_window(self):
+        clock = SimClock(n_days=5)
+        assert list(clock.days()) == [0, 1, 2, 3, 4]
+        assert clock.finished
+
+    def test_today_is_calendar_date(self):
+        clock = SimClock()
+        clock.advance_to_day(7)
+        assert clock.today == date(2020, 4, 15)

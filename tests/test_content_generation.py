@@ -1,0 +1,87 @@
+"""Tests for tweet text/entity composition (simulation.content)."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.calibration import CALIBRATIONS, CONTROL
+from repro.simulation.content import TweetComposer, compose_control_text
+from repro.text.topicbank import LANGUAGE_VOCAB, PLATFORM_TOPICS
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestTweetComposer:
+    def _composer(self, platform="whatsapp"):
+        return TweetComposer(platform, CALIBRATIONS[platform])
+
+    def test_url_embedded_in_text(self):
+        composer = self._composer()
+        url = "https://chat.whatsapp.com/XyZ123456789"
+        composed = composer.compose(rng(), 0, "en", url)
+        assert url in composed.text
+
+    def test_english_text_uses_topic_vocab(self):
+        composer = self._composer()
+        spec = PLATFORM_TOPICS["whatsapp"][0]  # Forex training
+        hits = 0
+        for i in range(30):
+            composed = composer.compose(rng(i), 0, "en", "https://t.me/x")
+            if any(term in composed.text for term in spec.terms[:5]):
+                hits += 1
+        assert hits > 20
+
+    def test_non_english_uses_language_vocab(self):
+        composer = self._composer()
+        composed = composer.compose(rng(), 0, "ja", "https://t.me/x")
+        body = composed.text.split("https://")[0]
+        assert any(word in body for word in LANGUAGE_VOCAB["ja"])
+
+    def test_hashtags_inlined_with_hash(self):
+        composer = self._composer("telegram")
+        for i in range(50):
+            composed = composer.compose(rng(i), 2, "en", "https://t.me/x")
+            for tag in composed.hashtags:
+                assert f"#{tag}" in composed.text
+
+    def test_mentions_inlined_with_at(self):
+        composer = self._composer()
+        for i in range(20):
+            composed = composer.compose(rng(i), 0, "en", "https://t.me/x")
+            for name in composed.mentions:
+                assert f"@{name}" in composed.text
+
+    def test_mention_prevalence_calibrated(self):
+        composer = self._composer("telegram")
+        r = rng(1)
+        with_mentions = sum(
+            1
+            for _ in range(3000)
+            if composer.compose(r, 0, "en", "u").mentions
+        )
+        assert abs(with_mentions / 3000 - 0.84) < 0.03
+
+    def test_topic_accessor(self):
+        composer = self._composer("discord")
+        assert composer.topic(3).label == "Advertising Discord groups"
+
+
+class TestControlText:
+    def test_no_group_urls(self):
+        for i in range(50):
+            composed = compose_control_text(rng(i), CONTROL, "en")
+            for pattern in ("whatsapp.com", "t.me", "discord.gg"):
+                assert pattern not in composed.text
+
+    def test_entities_present_at_calibrated_rate(self):
+        r = rng(2)
+        n = 3000
+        with_hash = sum(
+            1 for _ in range(n) if compose_control_text(r, CONTROL, "en").hashtags
+        )
+        assert abs(with_hash / n - CONTROL.hashtag_prob) < 0.03
+
+    def test_language_vocab_used(self):
+        composed = compose_control_text(rng(), CONTROL, "tr")
+        assert any(w in composed.text for w in LANGUAGE_VOCAB["tr"])

@@ -1,0 +1,125 @@
+"""Determinism and order-independence invariants.
+
+The whole library's correctness argument rests on: (1) a study is a
+pure function of its config, and (2) lazy materialisation is
+order-independent.  These tests attack both properties directly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.study import Study, StudyConfig
+from repro.simulation.world import World, WorldConfig
+
+from tests.helpers import make_plan, make_whatsapp
+
+
+class TestWorldDeterminism:
+    def test_stepwise_equals_generate_all(self):
+        config = WorldConfig(seed=13, n_days=4, scale=0.003)
+        stepwise = World(config)
+        for day in range(4):
+            stepwise.generate_day(day)
+        allatonce = World(config)
+        allatonce.generate_all()
+        a = [(t.tweet_id, t.t, t.text) for t in stepwise.twitter.all_tweets()]
+        b = [(t.tweet_id, t.t, t.text) for t in allatonce.twitter.all_tweets()]
+        assert a == b
+
+    def test_ground_truth_identical_across_instances(self):
+        config = WorldConfig(seed=13, n_days=3, scale=0.003)
+        world_a, world_b = World(config), World(config)
+        world_a.generate_all()
+        world_b.generate_all()
+        truths_a = {
+            url: (t.created_t, t.revoke_t, t.n_shares_scheduled)
+            for url, t in world_a.ground_truth().items()
+        }
+        truths_b = {
+            url: (t.created_t, t.revoke_t, t.n_shares_scheduled)
+            for url, t in world_b.ground_truth().items()
+        }
+        assert truths_a == truths_b
+
+
+class TestLazyOrderIndependence:
+    def test_roster_before_or_after_messages(self):
+        plan = make_plan(gid="WAx", size0=40, msg_rate=30.0)
+
+        service_a = make_whatsapp(seed=4)
+        record_a = service_a.register_group(plan)
+        roster_first = record_a.roster(5.0)
+        msgs_a = [m.message_id for m in record_a.messages_between(2.0, 5.0)]
+
+        service_b = make_whatsapp(seed=4)
+        record_b = service_b.register_group(plan)
+        msgs_b = [m.message_id for m in record_b.messages_between(2.0, 5.0)]
+        roster_second = record_b.roster(5.0)
+
+        assert roster_first == roster_second
+        assert msgs_a == msgs_b
+
+    def test_profile_access_order_irrelevant(self):
+        service_a = make_whatsapp(seed=5)
+        first = [service_a.user_profile(f"whu{i}").phone for i in range(10)]
+
+        service_b = make_whatsapp(seed=5)
+        second = [
+            service_b.user_profile(f"whu{i}").phone for i in reversed(range(10))
+        ]
+        assert first == list(reversed(second))
+
+    def test_message_window_composition(self):
+        # Fetching [2, 8) equals fetching [2, 5) + [5, 8).
+        service = make_whatsapp(seed=6)
+        record = service.register_group(make_plan(msg_rate=40.0))
+        whole = [m.message_id for m in record.messages_between(2.0, 8.0)]
+        parts = [m.message_id for m in record.messages_between(2.0, 5.0)]
+        parts += [m.message_id for m in record.messages_between(5.0, 8.0)]
+        assert whole == parts
+
+
+class TestStudyDeterminism:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        config = StudyConfig(
+            seed=19, n_days=5, scale=0.003, message_scale=0.05, join_day=2,
+            join_targets={"whatsapp": 8, "telegram": 8, "discord": 8},
+        )
+        return Study(config).run(), Study(config).run()
+
+    def test_discovery_identical(self, pair):
+        ds_a, ds_b = pair
+        assert set(ds_a.records) == set(ds_b.records)
+        for canonical in ds_a.records:
+            assert ds_a.records[canonical].shares == (
+                ds_b.records[canonical].shares
+            )
+
+    def test_snapshots_identical(self, pair):
+        ds_a, ds_b = pair
+        assert ds_a.snapshots == ds_b.snapshots
+
+    def test_joined_identical(self, pair):
+        ds_a, ds_b = pair
+        assert [(j.canonical, j.n_messages, j.sender_counts)
+                for j in ds_a.joined] == [
+            (j.canonical, j.n_messages, j.sender_counts) for j in ds_b.joined
+        ]
+
+    def test_users_identical(self, pair):
+        ds_a, ds_b = pair
+        assert ds_a.users == ds_b.users
+
+    def test_seed_sensitivity(self):
+        base = StudyConfig(
+            seed=19, n_days=3, scale=0.003, message_scale=0.05, join_day=1,
+            join_targets={"whatsapp": 2, "telegram": 2, "discord": 2},
+        )
+        other = StudyConfig(
+            seed=20, n_days=3, scale=0.003, message_scale=0.05, join_day=1,
+            join_targets={"whatsapp": 2, "telegram": 2, "discord": 2},
+        )
+        ds_a = Study(base).run()
+        ds_b = Study(other).run()
+        assert set(ds_a.records) != set(ds_b.records)

@@ -1,0 +1,120 @@
+"""Tests for the Discord simulator: service, REST API, bot restriction."""
+
+import pytest
+
+from repro.errors import (
+    BotRestrictionError,
+    JoinLimitError,
+    NotAMemberError,
+    RevokedURLError,
+)
+from repro.platforms.discord import (
+    DISCORD_CAPABILITIES,
+    DISCORD_USER_SERVER_LIMIT,
+    DiscordAPI,
+    DiscordBot,
+    DiscordService,
+)
+
+from tests.helpers import make_discord, make_plan
+
+
+class TestService:
+    def test_capabilities_match_table1(self):
+        caps = DISCORD_CAPABILITIES
+        assert caps.registration == "Email"
+        assert caps.has_data_api
+        assert caps.end_to_end_encryption == "No"
+        assert caps.max_members == 250_000
+
+    def test_invite_url_variants(self):
+        service = make_discord()
+        urls = [service.invite_url(f"DC{i}") for i in range(50)]
+        assert any("discord.gg/" in url for url in urls)
+        assert any("discord.com/invite/" in url for url in urls)
+        for i, url in enumerate(urls):
+            assert DiscordService.parse_invite_url(url) == service.invite_code(
+                f"DC{i}"
+            )
+
+    def test_invite_code_is_short(self):
+        service = make_discord()
+        assert len(service.invite_code("DC1")) == 8
+
+    def test_parse_rejects_non_invite_discord_urls(self):
+        with pytest.raises(ValueError):
+            DiscordService.parse_invite_url("https://discord.com/channels/1/2")
+
+
+class TestBot:
+    def test_bot_cannot_join(self):
+        # The paper had to use a user account because bots cannot join
+        # servers on their own.
+        service = make_discord()
+        service.register_group(make_plan(gid="DC1", creator_id="diu1"))
+        bot = DiscordBot(service, "bot-1")
+        with pytest.raises(BotRestrictionError):
+            bot.join(service.invite_url("DC1"), 2.0)
+
+
+class TestAPI:
+    def _setup(self, **kwargs):
+        service = make_discord()
+        kwargs.setdefault("creator_id", "diu1")
+        record = service.register_group(make_plan(gid="DC1", **kwargs))
+        return service, record, DiscordAPI(service, "acct")
+
+    def test_get_invite_without_joining(self):
+        service, record, api = self._setup(created_t=-40.0, online_frac=0.4)
+        info = api.get_invite(service.invite_url("DC1"), 2.0)
+        assert info.size == record.size_on(2.0)
+        assert 0 <= info.online <= info.size
+        assert info.creator_id == "diu1"
+        assert info.created_t == -40.0
+
+    def test_get_invite_expired_raises(self):
+        service, _, api = self._setup(revoke_t=1.2)
+        with pytest.raises(RevokedURLError):
+            api.get_invite(service.invite_url("DC1"), 2.0)
+
+    def test_join_and_history_since_creation(self):
+        service, _, api = self._setup(created_t=-15.0, msg_rate=30.0)
+        api.join(service.invite_url("DC1"), 3.0)
+        messages = list(api.history("DC1", 5.0))
+        assert any(m.t < 3.0 for m in messages)
+
+    def test_history_requires_membership(self):
+        _, _, api = self._setup()
+        with pytest.raises(NotAMemberError):
+            list(api.history("DC1", 5.0))
+
+    def test_join_limit_is_100(self):
+        service = make_discord()
+        api = DiscordAPI(service, "acct")
+        for i in range(DISCORD_USER_SERVER_LIMIT):
+            service.register_group(make_plan(gid=f"DC{i}", creator_id="diu1"))
+            api.join(service.invite_url(f"DC{i}"), 1.0)
+        service.register_group(make_plan(gid="DCover", creator_id="diu1"))
+        with pytest.raises(JoinLimitError):
+            api.join(service.invite_url("DCover"), 2.0)
+
+    def test_join_revoked_raises(self):
+        service, _, api = self._setup(revoke_t=0.5)
+        with pytest.raises(RevokedURLError):
+            api.join(service.invite_url("DC1"), 2.0)
+
+    def test_user_profiles_expose_linked_accounts(self):
+        service, record, api = self._setup(size0=100)
+        api.join(service.invite_url("DC1"), 2.0)
+        infos = [api.get_user(u) for u in record.roster(2.0)]
+        with_links = [i for i in infos if i.linked_accounts]
+        assert with_links  # model links 50 % of users
+        for info in with_links:
+            for account in info.linked_accounts:
+                assert account.platform in ("twitch", "steam")
+
+    def test_user_profiles_never_expose_phone(self):
+        service, record, api = self._setup()
+        api.join(service.invite_url("DC1"), 2.0)
+        info = api.get_user(record.roster(2.0)[0])
+        assert not hasattr(info, "phone")

@@ -1,0 +1,137 @@
+"""Tests for the Search+Stream discovery engine."""
+
+import pytest
+
+from repro.core.discovery import DiscoveryEngine
+from repro.twitter import SearchAPI, StreamingAPI, Tweet, TwitterService
+
+WA_URL = "https://chat.whatsapp.com/AbCdEfGh1234"
+TG_URL = "https://t.me/joinchat/XyZw9876"
+
+
+def tweet(tweet_id, t, urls=(), author=1):
+    return Tweet(
+        tweet_id=tweet_id, author_id=author, t=t, text="x", lang="en",
+        urls=tuple(urls),
+    )
+
+
+def make_engine(service, search_recall=1.0, stream_recall=1.0,
+                use_search=True, use_stream=True):
+    search = SearchAPI(service, recall=search_recall) if use_search else None
+    stream = StreamingAPI(service, recall=stream_recall) if use_stream else None
+    return DiscoveryEngine(search, stream)
+
+
+class TestConstruction:
+    def test_requires_at_least_one_api(self):
+        with pytest.raises(ValueError):
+            DiscoveryEngine(None, None)
+
+
+class TestCollection:
+    def test_discovers_urls(self):
+        service = TwitterService()
+        service.post(tweet(1, 0.3, [WA_URL]))
+        service.post(tweet(2, 0.6, [TG_URL]))
+        engine = make_engine(service)
+        engine.run_day(0)
+        assert len(engine.records) == 2
+        platforms = {r.platform for r in engine.records.values()}
+        assert platforms == {"whatsapp", "telegram"}
+
+    def test_dedup_across_search_and_stream(self):
+        service = TwitterService()
+        service.post(tweet(1, 0.3, [WA_URL]))
+        engine = make_engine(service)
+        engine.run_day(0)
+        record = next(iter(engine.records.values()))
+        assert record.n_shares == 1  # one tweet, despite two sources
+        assert record.via_search == 1
+        assert record.via_stream == 1
+
+    def test_first_seen_is_earliest_share(self):
+        service = TwitterService()
+        service.post(tweet(1, 0.7, [WA_URL]))
+        service.post(tweet(2, 0.2, [WA_URL]))
+        engine = make_engine(service)
+        engine.run_day(0)
+        record = next(iter(engine.records.values()))
+        assert record.first_seen_t == pytest.approx(0.2)
+        assert record.n_shares == 2
+
+    def test_merge_recovers_single_api_misses(self):
+        service = TwitterService()
+        service.post_many(
+            [tweet(i, 0.001 * i, [WA_URL]) for i in range(1000)]
+        )
+        engine = make_engine(service, search_recall=0.9, stream_recall=0.9)
+        engine.run_day(0)
+        record = next(iter(engine.records.values()))
+        # Merged coverage should exceed either single API's expected 90 %.
+        assert record.n_shares > 950
+
+    def test_search_only_engine_works(self):
+        service = TwitterService()
+        service.post(tweet(1, 0.5, [WA_URL]))
+        engine = make_engine(service, use_stream=False)
+        engine.run_day(0)
+        assert len(engine.records) == 1
+        assert next(iter(engine.records.values())).via_stream == 0
+
+    def test_stream_only_engine_works(self):
+        service = TwitterService()
+        service.post(tweet(1, 0.5, [WA_URL]))
+        engine = make_engine(service, use_search=False)
+        engine.run_day(0)
+        assert len(engine.records) == 1
+
+    def test_multi_day_accumulation(self):
+        service = TwitterService()
+        service.post(tweet(1, 0.5, [WA_URL]))
+        service.post(tweet(2, 1.5, [WA_URL]))
+        service.post(tweet(3, 1.7, [TG_URL]))
+        engine = make_engine(service)
+        engine.run_day(0)
+        assert len(engine.records) == 1
+        engine.run_day(1)
+        assert len(engine.records) == 2
+        wa = engine.records["whatsapp:AbCdEfGh1234"]
+        assert wa.n_shares == 2
+        assert wa.share_days == [0, 1]
+
+    def test_non_matching_tweets_ignored(self):
+        service = TwitterService()
+        service.post(tweet(1, 0.5, ["https://example.com/x"]))
+        engine = make_engine(service)
+        engine.run_day(0)
+        assert not engine.records
+        assert not engine.tweets
+
+
+class TestSummaries:
+    def _engine(self):
+        service = TwitterService()
+        service.post(tweet(1, 0.2, [WA_URL], author=10))
+        service.post(tweet(2, 0.4, [WA_URL], author=11))
+        service.post(tweet(3, 0.6, [TG_URL], author=10))
+        engine = make_engine(service)
+        engine.run_day(0)
+        return engine
+
+    def test_n_tweets_total_and_per_platform(self):
+        engine = self._engine()
+        assert engine.n_tweets() == 3
+        assert engine.n_tweets("whatsapp") == 2
+        assert engine.n_tweets("telegram") == 1
+
+    def test_n_authors(self):
+        engine = self._engine()
+        assert engine.n_authors() == 2
+        assert engine.n_authors("whatsapp") == 2
+        assert engine.n_authors("telegram") == 1
+
+    def test_records_for(self):
+        engine = self._engine()
+        assert len(engine.records_for("whatsapp")) == 1
+        assert not engine.records_for("discord")

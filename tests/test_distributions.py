@@ -1,0 +1,230 @@
+"""Tests for the generative samplers (distributions module)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.calibration import CALIBRATIONS
+from repro.simulation.distributions import (
+    MAX_SHARES_PER_URL,
+    author_pool_size,
+    sample_active_frac,
+    sample_entity_count,
+    sample_msg_rate,
+    sample_online_frac,
+    sample_revocation_time,
+    sample_shares_per_url,
+    sample_size,
+    sample_slope,
+    sample_staleness_days,
+)
+
+WA = CALIBRATIONS["whatsapp"]
+TG = CALIBRATIONS["telegram"]
+DC = CALIBRATIONS["discord"]
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestSharesPerUrl:
+    def test_minimum_is_one(self):
+        r = rng()
+        assert all(sample_shares_per_url(r, WA) >= 1 for _ in range(500))
+
+    def test_capped(self):
+        r = rng()
+        assert all(
+            sample_shares_per_url(r, TG) <= MAX_SHARES_PER_URL for _ in range(2000)
+        )
+
+    def test_single_share_fraction(self):
+        r = rng()
+        draws = [sample_shares_per_url(r, DC) for _ in range(5000)]
+        frac_single = np.mean(np.asarray(draws) == 1)
+        assert abs(frac_single - DC.single_share_prob) < 0.03
+
+    def test_telegram_heavier_tail_than_discord(self):
+        r = rng(1)
+        tg = np.mean([sample_shares_per_url(r, TG) for _ in range(20000)])
+        dc = np.mean([sample_shares_per_url(r, DC) for _ in range(20000)])
+        assert tg > 2 * dc
+
+
+class TestStaleness:
+    def test_nonnegative(self):
+        r = rng()
+        assert all(sample_staleness_days(r, TG) >= 0 for _ in range(500))
+
+    def test_same_day_mass(self):
+        r = rng()
+        draws = np.array([sample_staleness_days(r, WA) for _ in range(5000)])
+        assert abs(np.mean(draws < 1.0) - WA.staleness_same_day_prob) < 0.03
+
+    def test_over_year_mass(self):
+        r = rng()
+        draws = np.array([sample_staleness_days(r, TG) for _ in range(5000)])
+        assert abs(np.mean(draws > 365) - TG.staleness_over_year_prob) < 0.03
+
+    def test_whatsapp_fresher_than_telegram(self):
+        r = rng(2)
+        wa = np.median([sample_staleness_days(r, WA) for _ in range(3000)])
+        tg = np.median([sample_staleness_days(r, TG) for _ in range(3000)])
+        assert wa < tg
+
+
+class TestRevocation:
+    def test_none_for_survivors(self):
+        r = rng()
+        draws = [sample_revocation_time(r, WA, 5.0) for _ in range(5000)]
+        none_frac = sum(1 for d in draws if d is None) / len(draws)
+        assert abs(none_frac - (1 - WA.revoked_prob)) < 0.03
+
+    def test_revocation_after_share(self):
+        r = rng()
+        for _ in range(500):
+            t = sample_revocation_time(r, DC, 3.0)
+            if t is not None:
+                assert t > 3.0
+
+    def test_discord_mostly_instant(self):
+        r = rng()
+        draws = [sample_revocation_time(r, DC, 0.0) for _ in range(5000)]
+        revoked = [d for d in draws if d is not None]
+        instant = sum(1 for d in revoked if d < 0.2) / len(revoked)
+        assert instant > 0.9
+
+    def test_whatsapp_mostly_delayed(self):
+        r = rng()
+        draws = [sample_revocation_time(r, WA, 0.0) for _ in range(5000)]
+        revoked = [d for d in draws if d is not None]
+        delayed = sum(1 for d in revoked if d > 1.0) / len(revoked)
+        assert delayed > 0.7
+
+
+class TestSize:
+    def test_within_bounds(self):
+        r = rng()
+        for _ in range(500):
+            assert 2 <= sample_size(r, WA) <= WA.member_cap
+
+    def test_whatsapp_at_cap_mass(self):
+        r = rng()
+        draws = np.array([sample_size(r, WA) for _ in range(5000)])
+        at_cap = np.mean(draws == WA.member_cap)
+        # 5 % point mass plus the clipped lognormal tail.
+        assert 0.05 <= at_cap < 0.18
+
+    def test_discord_mostly_small(self):
+        # Fig 7a: ~60 % of Discord groups below 100 members.
+        r = rng()
+        draws = np.array([sample_size(r, DC) for _ in range(5000)])
+        assert 0.5 < np.mean(draws < 100) < 0.7
+
+    def test_telegram_reaches_huge_sizes(self):
+        r = rng()
+        draws = np.array([sample_size(r, TG) for _ in range(20000)])
+        assert draws.max() > 50_000
+
+    def test_custom_cap_respected(self):
+        r = rng()
+        for _ in range(200):
+            assert sample_size(r, TG, member_cap=500) <= 500
+
+
+class TestSlope:
+    def test_trend_fractions(self):
+        r = rng()
+        slopes = np.array([sample_slope(r, DC, 100) for _ in range(5000)])
+        grow, flat, shrink = DC.trend_probs
+        assert abs(np.mean(slopes > 0) - grow) < 0.03
+        assert abs(np.mean(slopes == 0) - flat) < 0.03
+        assert abs(np.mean(slopes < 0) - shrink) < 0.03
+
+    def test_slope_scales_with_size(self):
+        r = rng(3)
+        small = np.mean(np.abs([sample_slope(r, TG, 10) for _ in range(3000)]))
+        large = np.mean(np.abs([sample_slope(r, TG, 10_000) for _ in range(3000)]))
+        assert large > 100 * small
+
+
+class TestRatesAndFractions:
+    def test_msg_rate_positive_and_capped(self):
+        r = rng()
+        draws = [sample_msg_rate(r, DC) for _ in range(3000)]
+        assert all(0 < d <= 3000 for d in draws)
+
+    def test_telegram_quieter_than_whatsapp(self):
+        # Fig 9a: ~60 % of WA groups above 10 msg/day vs ~25 % for TG.
+        r = rng(4)
+        wa = np.mean([sample_msg_rate(r, WA) > 10 for _ in range(4000)])
+        tg = np.mean([sample_msg_rate(r, TG) > 10 for _ in range(4000)])
+        assert wa > 0.45
+        assert tg < 0.4
+        assert wa > tg + 0.2
+
+    def test_online_frac_zero_for_whatsapp(self):
+        assert sample_online_frac(rng(), WA) == 0.0
+
+    def test_online_frac_in_unit_interval(self):
+        r = rng()
+        for cal in (TG, DC):
+            for _ in range(200):
+                assert 0.0 <= sample_online_frac(r, cal) <= 1.0
+
+    def test_discord_more_online_than_telegram(self):
+        # Fig 7b: Discord users are online in larger proportion.
+        r = rng(5)
+        dc = np.mean([sample_online_frac(r, DC) for _ in range(3000)])
+        tg = np.mean([sample_online_frac(r, TG) for _ in range(3000)])
+        assert dc > 2 * tg
+
+    def test_active_frac_in_unit_interval(self):
+        r = rng()
+        for cal in (WA, TG, DC):
+            for _ in range(200):
+                assert 0.0 <= sample_active_frac(r, cal) <= 1.0
+
+
+class TestEntityCount:
+    def test_marginals(self):
+        r = rng()
+        draws = np.array([sample_entity_count(r, 0.73, 0.20) for _ in range(20000)])
+        assert abs(np.mean(draws >= 1) - 0.73) < 0.02
+        assert abs(np.mean(draws >= 2) - 0.20) < 0.02
+
+    def test_zero_probability(self):
+        r = rng()
+        assert all(sample_entity_count(r, 0.0, 0.0) == 0 for _ in range(100))
+
+    @given(
+        st.floats(min_value=0.01, max_value=0.99),
+        st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=30)
+    def test_counts_nonnegative(self, p1, frac2):
+        p2 = p1 * frac2
+        r = rng(7)
+        assert all(sample_entity_count(r, p1, p2) >= 0 for _ in range(50))
+
+
+class TestAuthorPoolSize:
+    def test_matches_expected_distinct_count(self):
+        # Draw T authors uniformly from the solved pool size and verify
+        # the distinct count hits the target ratio.
+        target_ratio = 0.367  # WhatsApp users/tweets
+        n_tweets = 50_000
+        pool = author_pool_size(n_tweets, target_ratio)
+        r = rng(8)
+        authors = r.integers(0, pool, size=n_tweets)
+        ratio = len(np.unique(authors)) / n_tweets
+        assert abs(ratio - target_ratio) < 0.02
+
+    def test_degenerate_ratios(self):
+        assert author_pool_size(100, 1.0) == 100
+        assert author_pool_size(100, 0.0) == 100
+
+    def test_monotone_in_ratio(self):
+        assert author_pool_size(10_000, 0.8) > author_pool_size(10_000, 0.3)

@@ -1,0 +1,180 @@
+"""Edge-case and error-path tests across the library."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.content import control_prevalence, entity_prevalence
+from repro.analysis.language import language_shares
+from repro.analysis.messages import group_activity, message_types, user_activity
+from repro.analysis.revocation import revocation
+from repro.analysis.sharing import daily_discovery, tweets_per_url
+from repro.analysis.staleness import staleness
+from repro.analysis.stats import bootstrap_ci
+from repro.core.dataset import StudyDataset
+from repro.errors import (
+    APIRateLimitError,
+    BotRestrictionError,
+    ConfigError,
+    GroupFullError,
+    JoinLimitError,
+    MemberListHiddenError,
+    NotAMemberError,
+    ReproError,
+    RevokedURLError,
+    UnknownURLError,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            APIRateLimitError, BotRestrictionError, ConfigError,
+            GroupFullError, JoinLimitError, MemberListHiddenError,
+            NotAMemberError, RevokedURLError, UnknownURLError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+
+class TestEmptyDatasetAnalyses:
+    @pytest.fixture()
+    def empty(self):
+        return StudyDataset(n_days=5, scale=0.01)
+
+    def test_sharing_raises(self, empty):
+        with pytest.raises(ValueError):
+            tweets_per_url(empty, "whatsapp")
+
+    def test_daily_discovery_returns_zero_series(self, empty):
+        series = daily_discovery(empty, "whatsapp")
+        assert series.all_counts == [0] * 5
+        assert series.median_new == 0.0
+
+    def test_content_raises(self, empty):
+        with pytest.raises(ValueError):
+            entity_prevalence(empty, "telegram")
+        with pytest.raises(ValueError):
+            control_prevalence(empty)
+
+    def test_language_raises(self, empty):
+        with pytest.raises(ValueError):
+            language_shares(empty, "discord")
+
+    def test_staleness_raises(self, empty):
+        with pytest.raises(ValueError):
+            staleness(empty, "whatsapp")
+
+    def test_revocation_raises(self, empty):
+        with pytest.raises(ValueError):
+            revocation(empty, "discord")
+
+    def test_messages_raise(self, empty):
+        with pytest.raises(ValueError):
+            message_types(empty, "whatsapp")
+        with pytest.raises(ValueError):
+            group_activity(empty, "whatsapp")
+        with pytest.raises(ValueError):
+            user_activity(empty, "whatsapp")
+
+
+class TestBootstrapCI:
+    def test_contains_point_estimate(self):
+        rng = np.random.default_rng(0)
+        sample = rng.normal(10.0, 2.0, size=200)
+        lo, hi = bootstrap_ci(sample, np.mean, seed=1)
+        assert lo < sample.mean() < hi
+
+    def test_narrows_with_sample_size(self):
+        rng = np.random.default_rng(0)
+        small = rng.normal(0, 1, size=20)
+        large = rng.normal(0, 1, size=2000)
+        lo_s, hi_s = bootstrap_ci(small, np.mean, seed=2)
+        lo_l, hi_l = bootstrap_ci(large, np.mean, seed=2)
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_deterministic(self):
+        sample = [1.0, 2.0, 3.0, 4.0]
+        assert bootstrap_ci(sample, np.median, seed=3) == bootstrap_ci(
+            sample, np.median, seed=3
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([], np.mean)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], np.mean, confidence=1.0)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], np.mean, n_boot=5)
+
+    @given(
+        st.lists(st.floats(min_value=-100, max_value=100), min_size=3,
+                 max_size=50),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_interval_ordered(self, sample):
+        lo, hi = bootstrap_ci(sample, np.mean, n_boot=50, seed=4)
+        assert lo <= hi
+
+
+class TestGroupRecordBoundaries:
+    def test_size_at_exact_anchor(self):
+        from tests.helpers import make_plan, make_whatsapp
+
+        service = make_whatsapp()
+        record = service.register_group(
+            make_plan(size0=100, slope=10.0, anchor_t=5.0)
+        )
+        # At the anchor the size is size0 up to the +-1 % wiggle.
+        assert abs(record.size_on(5.0) - 100) <= 2
+
+    def test_messages_empty_window(self):
+        from tests.helpers import make_plan, make_whatsapp
+
+        service = make_whatsapp()
+        record = service.register_group(make_plan(msg_rate=50.0))
+        assert not list(record.messages_between(5.0, 5.0))
+
+    def test_zero_rate_group_is_silent(self):
+        from tests.helpers import make_plan, make_whatsapp
+
+        service = make_whatsapp()
+        record = service.register_group(make_plan(msg_rate=0.0))
+        assert not list(record.messages_between(0.0, 20.0))
+
+    def test_single_member_group(self):
+        from tests.helpers import make_plan, make_whatsapp
+
+        service = make_whatsapp()
+        record = service.register_group(
+            make_plan(size0=1, slope=0.0, msg_rate=20.0, active_frac=0.9)
+        )
+        senders = {
+            m.sender_id for m in record.messages_between(2.0, 6.0)
+        }
+        assert len(senders) == 1
+
+
+class TestWorldEdges:
+    def test_one_day_world(self):
+        from repro.simulation.world import World, WorldConfig
+
+        world = World(WorldConfig(seed=9, n_days=1, scale=0.003))
+        world.generate_all()
+        assert len(world.twitter) > 0
+        for truth in world.ground_truth().values():
+            assert 0.0 <= truth.first_share_t < 1.0
+
+    def test_smallest_scale_still_generates(self):
+        from repro.simulation.world import World, WorldConfig
+
+        world = World(WorldConfig(seed=9, n_days=3, scale=0.001))
+        world.generate_all()
+        # Poisson with tiny rates may produce zero WhatsApp groups but
+        # the world as a whole must not be empty.
+        assert len(world.twitter) > 0

@@ -1,0 +1,45 @@
+"""Smoke tests for the example scripts.
+
+Full example runs take tens of seconds each, so these tests only check
+that every script compiles, has a ``main`` entry point, and documents
+itself; the repository's CI runs them for real via the shell.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_at_least_five_examples():
+    assert len(EXAMPLE_FILES) >= 5
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+class TestExampleStructure:
+    def test_compiles(self, path):
+        compile(path.read_text(), str(path), "exec")
+
+    def test_has_module_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} lacks a docstring"
+
+    def test_has_main_guard(self, path):
+        source = path.read_text()
+        assert 'if __name__ == "__main__":' in source
+
+    def test_defines_main(self, path):
+        tree = ast.parse(path.read_text())
+        functions = {
+            node.name for node in tree.body if isinstance(node, ast.FunctionDef)
+        }
+        assert "main" in functions
+
+    def test_uses_public_api_only(self, path):
+        # Examples must not reach into ground truth (World internals).
+        source = path.read_text()
+        assert "ground_truth" not in source
+        assert "._groups" not in source

@@ -1,0 +1,124 @@
+"""Tests for the future-work extensions (focused collection, toxicity)."""
+
+import pytest
+
+from repro.extensions import (
+    FocusedCollector,
+    TopicFilter,
+    ToxicityScorer,
+    platform_toxicity,
+)
+from repro.extensions.focused import BUILTIN_TOPICS
+
+
+class TestTopicFilter:
+    def test_builtin_lookup(self):
+        topic = TopicFilter.builtin("cryptocurrency")
+        assert topic.name == "cryptocurrency"
+        assert "bitcoin" in topic.keywords
+
+    def test_unknown_builtin(self):
+        with pytest.raises(KeyError):
+            TopicFilter.builtin("astrology")
+
+    def test_tweet_matches(self):
+        topic = TopicFilter.builtin("cryptocurrency")
+        assert topic.tweet_matches("join our bitcoin trading group")
+        assert not topic.tweet_matches("cute cat pictures daily")
+
+    def test_builtin_topics_cover_paper_themes(self):
+        assert {"cryptocurrency", "gaming", "adult", "moneymaking"} <= set(
+            BUILTIN_TOPICS
+        )
+
+
+class TestFocusedCollector:
+    @pytest.fixture(scope="class")
+    def crypto_catalogue(self, small_dataset):
+        collector = FocusedCollector(TopicFilter.builtin("cryptocurrency"))
+        return collector, collector.collect(small_dataset)
+
+    def test_catalogue_structure(self, crypto_catalogue):
+        _, catalogue = crypto_catalogue
+        assert set(catalogue) == {"whatsapp", "telegram", "discord"}
+
+    def test_groups_carry_snapshots(self, crypto_catalogue):
+        _, catalogue = crypto_catalogue
+        groups = [g for groups in catalogue.values() for g in groups]
+        assert groups
+        assert any(g.snapshots for g in groups)
+
+    def test_crypto_is_wa_tg_phenomenon(self, small_dataset, crypto_catalogue):
+        # Table 3: crypto topics on WhatsApp/Telegram, none on Discord.
+        collector, _ = crypto_catalogue
+        prevalence = {
+            p: collector.prevalence(small_dataset, p)
+            for p in ("whatsapp", "telegram", "discord")
+        }
+        assert prevalence["telegram"] > prevalence["discord"]
+        assert prevalence["whatsapp"] > prevalence["discord"]
+
+    def test_gaming_is_discord_phenomenon(self, small_dataset):
+        collector = FocusedCollector(TopicFilter.builtin("gaming"))
+        prevalence = {
+            p: collector.prevalence(small_dataset, p)
+            for p in ("whatsapp", "telegram", "discord")
+        }
+        assert prevalence["discord"] > prevalence["whatsapp"]
+
+    def test_growth_computed_when_two_observations(self, crypto_catalogue):
+        _, catalogue = crypto_catalogue
+        for groups in catalogue.values():
+            for group in groups:
+                if len(group.alive_sizes) >= 2:
+                    assert group.growth == (
+                        group.alive_sizes[-1] - group.alive_sizes[0]
+                    )
+                else:
+                    assert group.growth is None
+
+
+class TestToxicityScorer:
+    def test_score_range(self):
+        scorer = ToxicityScorer()
+        assert scorer.score("") == 0.0
+        assert scorer.score("hello friendly world") == 0.0
+        assert 0.0 < scorer.score("hot nude girls") <= 1.0
+
+    def test_score_monotone_in_hits(self):
+        scorer = ToxicityScorer()
+        mild = scorer.score("girls chat")
+        strong = scorer.score("nude girls porn sex")
+        assert strong > mild
+
+    def test_is_toxic_threshold(self):
+        scorer = ToxicityScorer(threshold=0.5)
+        assert scorer.is_toxic("porn sex nude")
+        assert not scorer.is_toxic("join our study group")
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ToxicityScorer(threshold=0.0)
+
+    def test_score_many_shape(self):
+        scorer = ToxicityScorer()
+        scores = scorer.score_many(["a", "porn", "hello"])
+        assert scores.shape == (3,)
+
+
+class TestPlatformToxicity:
+    def test_telegram_most_toxic(self, small_dataset):
+        # Follows the paper's topic findings: sex topics are 23 % of
+        # Telegram's English tweets; WhatsApp's are money-centric.
+        results = platform_toxicity(small_dataset)
+        assert results["telegram"].toxic_frac > results["whatsapp"].toxic_frac
+        assert results["telegram"].mean_score > results["whatsapp"].mean_score
+
+    def test_discord_toxicity_from_hentai(self, small_dataset):
+        results = platform_toxicity(small_dataset)
+        assert results["discord"].toxic_frac > results["whatsapp"].toxic_frac
+
+    def test_counts_positive(self, small_dataset):
+        for summary in platform_toxicity(small_dataset).values():
+            assert summary.n_scored > 0
+            assert 0.0 <= summary.toxic_frac <= 1.0

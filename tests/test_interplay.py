@@ -1,0 +1,49 @@
+"""Tests for the cross-platform interplay analysis."""
+
+import pytest
+
+from repro.analysis.interplay import interplay
+
+
+class TestInterplay:
+    @pytest.fixture(scope="class")
+    def result(self, small_dataset):
+        return interplay(small_dataset)
+
+    def test_totals_deduplicate(self, result):
+        # Table 2's total rows are below the per-platform sums.
+        assert result.n_tweets_total <= result.n_tweets_sum
+        assert result.n_authors_total <= result.n_authors_sum
+
+    def test_cross_posted_tweets_exist(self, result):
+        assert result.multi_platform_tweets > 0
+
+    def test_cross_platform_authors_exist(self, result):
+        assert result.cross_platform_authors > 0
+
+    def test_dedup_fracs_small_but_positive(self, result):
+        # The paper's author dedup is ~2.6 %; ours is calibrated to the
+        # same order of magnitude.
+        assert 0.0 < result.author_dedup_frac < 0.15
+        assert 0.0 < result.tweet_dedup_frac < 0.10
+
+    def test_pair_counts_consistent(self, result):
+        assert sum(result.platform_pair_tweets.values()) >= (
+            result.multi_platform_tweets
+        )
+        for (a, b), count in result.platform_pair_tweets.items():
+            assert a < b  # canonical ordering
+            assert count > 0
+
+    def test_multi_platform_tweets_counted_once_in_total(self, result):
+        overlap = result.n_tweets_sum - result.n_tweets_total
+        assert overlap >= result.multi_platform_tweets
+
+
+class TestTable2TotalRow:
+    def test_total_row_rendered(self, small_dataset):
+        from repro.reporting import render_table2
+
+        text = render_table2(small_dataset)
+        assert "total" in text
+        assert "dedup" in text

@@ -1,0 +1,118 @@
+"""Tests for dataset persistence and CSV export."""
+
+import csv
+
+import pytest
+
+from repro.io import export_all_csv, export_figure_csv, load_dataset, save_dataset
+from repro.io.export import FIGURES
+from repro.io.serialize import FORMAT_VERSION
+
+
+class TestSerialization:
+    @pytest.fixture(scope="class")
+    def roundtripped(self, small_dataset, tmp_path_factory):
+        path = tmp_path_factory.mktemp("io") / "study.json"
+        save_dataset(small_dataset, path)
+        return load_dataset(path)
+
+    def test_dimensions_preserved(self, small_dataset, roundtripped):
+        assert roundtripped.n_days == small_dataset.n_days
+        assert roundtripped.scale == small_dataset.scale
+        assert roundtripped.message_scale == small_dataset.message_scale
+
+    def test_records_preserved(self, small_dataset, roundtripped):
+        assert set(roundtripped.records) == set(small_dataset.records)
+        for canonical, record in small_dataset.records.items():
+            loaded = roundtripped.records[canonical]
+            assert loaded.platform == record.platform
+            assert loaded.shares == record.shares
+            assert loaded.via_search == record.via_search
+
+    def test_tweets_preserved(self, small_dataset, roundtripped):
+        assert roundtripped.tweets == small_dataset.tweets
+        assert roundtripped.control_tweets == small_dataset.control_tweets
+
+    def test_snapshots_preserved(self, small_dataset, roundtripped):
+        assert set(roundtripped.snapshots) == set(small_dataset.snapshots)
+        canonical = next(iter(small_dataset.snapshots))
+        assert roundtripped.snapshots[canonical] == (
+            small_dataset.snapshots[canonical]
+        )
+
+    def test_joined_preserved(self, small_dataset, roundtripped):
+        assert len(roundtripped.joined) == len(small_dataset.joined)
+        for original, loaded in zip(small_dataset.joined, roundtripped.joined):
+            assert loaded.n_messages == original.n_messages
+            assert loaded.type_counts == original.type_counts
+            assert loaded.daily_counts == original.daily_counts
+            assert loaded.sender_counts == original.sender_counts
+
+    def test_users_preserved(self, small_dataset, roundtripped):
+        assert set(roundtripped.users) == set(small_dataset.users)
+        key = next(iter(small_dataset.users))
+        assert roundtripped.users[key] == small_dataset.users[key]
+
+    def test_analyses_agree_after_roundtrip(self, small_dataset, roundtripped):
+        from repro.analysis.revocation import revocation
+
+        for platform in ("whatsapp", "telegram", "discord"):
+            a = revocation(small_dataset, platform)
+            b = revocation(roundtripped, platform)
+            assert a.revoked_frac == b.revoked_frac
+            assert a.before_first_obs_frac == b.before_first_obs_frac
+
+    def test_gzip_roundtrip(self, small_dataset, tmp_path):
+        path = tmp_path / "study.json.gz"
+        save_dataset(small_dataset, path)
+        loaded = load_dataset(path)
+        assert len(loaded.records) == len(small_dataset.records)
+
+    def test_version_check(self, small_dataset, tmp_path):
+        path = tmp_path / "study.json"
+        save_dataset(small_dataset, path)
+        tampered = path.read_text().replace(
+            f'"format_version":{FORMAT_VERSION}', '"format_version":999'
+        )
+        path.write_text(tampered)
+        with pytest.raises(ValueError):
+            load_dataset(path)
+
+    def test_no_raw_phone_numbers_on_disk(self, small_dataset, tmp_path):
+        path = tmp_path / "study.json"
+        save_dataset(small_dataset, path)
+        assert '"+' not in path.read_text()  # no E.164 strings anywhere
+
+
+class TestExport:
+    def test_every_figure_exports(self, small_dataset, tmp_path):
+        paths = export_all_csv(small_dataset, tmp_path)
+        assert len(paths) == len(FIGURES)
+        for path in paths:
+            assert path.exists()
+            with open(path) as handle:
+                rows = list(csv.reader(handle))
+            assert len(rows) >= 2  # header + data
+
+    def test_fig1_row_count(self, small_dataset, tmp_path):
+        path = export_figure_csv(small_dataset, "fig1", tmp_path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        # One row per platform per day, plus header.
+        assert len(rows) == 1 + 3 * small_dataset.n_days
+
+    def test_fig4_shares_parse_as_floats(self, small_dataset, tmp_path):
+        path = export_figure_csv(small_dataset, "fig4", tmp_path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))[1:]
+        for _, _, share in rows:
+            assert 0.0 <= float(share) <= 1.0
+
+    def test_unknown_figure_rejected(self, small_dataset, tmp_path):
+        with pytest.raises(KeyError):
+            export_figure_csv(small_dataset, "fig99", tmp_path)
+
+    def test_directory_created(self, small_dataset, tmp_path):
+        nested = tmp_path / "a" / "b"
+        path = export_figure_csv(small_dataset, "fig8", nested)
+        assert path.exists()

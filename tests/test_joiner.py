@@ -1,0 +1,202 @@
+"""Tests for the group joiner and in-group collection."""
+
+import pytest
+
+from repro.core.discovery import URLRecord
+from repro.core.joiner import DEFAULT_JOIN_TARGETS, GroupJoiner
+from repro.platforms.base import GroupKind, MessageType
+from repro.privacy.hashing import PhoneHasher
+
+from tests.helpers import make_discord, make_plan, make_telegram, make_whatsapp
+
+
+def record_for(service, platform, gid, first_seen_t=0.1):
+    return URLRecord(
+        canonical=f"{platform}:{service.invite_code(gid)}",
+        platform=platform,
+        code=service.invite_code(gid),
+        url=service.invite_url(gid),
+        first_seen_t=first_seen_t,
+        shares=[(1, first_seen_t)],
+    )
+
+
+@pytest.fixture()
+def setup():
+    whatsapp = make_whatsapp()
+    telegram = make_telegram(phone_visible_prob=1.0)
+    discord = make_discord()
+    joiner = GroupJoiner(
+        whatsapp, telegram, discord, hasher=PhoneHasher("t"), seed=1,
+        member_fetch_cap=50,
+    )
+    return whatsapp, telegram, discord, joiner
+
+
+class TestDefaults:
+    def test_paper_join_targets(self):
+        assert DEFAULT_JOIN_TARGETS == {
+            "whatsapp": 416,
+            "telegram": 100,
+            "discord": 100,
+        }
+
+
+class TestJoining:
+    def test_joins_up_to_target(self, setup):
+        whatsapp, _, _, joiner = setup
+        records = []
+        for i in range(10):
+            whatsapp.register_group(make_plan(gid=f"WA{i}"))
+            records.append(record_for(whatsapp, "whatsapp", f"WA{i}"))
+        joined = joiner.join_sample(records, {"whatsapp": 4}, join_t=2.0)
+        assert joined == 4
+
+    def test_joins_all_when_fewer_candidates(self, setup):
+        whatsapp, _, _, joiner = setup
+        whatsapp.register_group(make_plan(gid="WA0"))
+        records = [record_for(whatsapp, "whatsapp", "WA0")]
+        assert joiner.join_sample(records, {"whatsapp": 99}, join_t=2.0) == 1
+
+    def test_dead_invites_skipped(self, setup):
+        whatsapp, _, _, joiner = setup
+        records = []
+        for i in range(6):
+            revoke = 1.0 if i % 2 else None
+            whatsapp.register_group(make_plan(gid=f"WA{i}", revoke_t=revoke))
+            records.append(record_for(whatsapp, "whatsapp", f"WA{i}"))
+        joined = joiner.join_sample(records, {"whatsapp": 6}, join_t=2.0)
+        assert joined == 3  # only the unrevoked half
+
+    def test_whatsapp_spawns_accounts_past_ban_limit(self, setup):
+        whatsapp, _, _, joiner = setup
+        n = 320  # above one account's 250-300 ban threshold
+        records = []
+        for i in range(n):
+            whatsapp.register_group(make_plan(gid=f"WA{i}", msg_rate=0.0))
+            records.append(record_for(whatsapp, "whatsapp", f"WA{i}"))
+        joined = joiner.join_sample(records, {"whatsapp": n}, join_t=2.0)
+        assert joined == n
+        assert len(joiner._wa_accounts) >= 2
+
+    def test_discord_spawns_accounts_past_100(self, setup):
+        _, _, discord, joiner = setup
+        n = 120
+        records = []
+        for i in range(n):
+            discord.register_group(
+                make_plan(gid=f"DC{i}", creator_id="diu1", msg_rate=0.0)
+            )
+            records.append(record_for(discord, "discord", f"DC{i}"))
+        joined = joiner.join_sample(records, {"discord": n}, join_t=2.0)
+        assert joined == n
+        assert len(joiner._dc_apis) == 2
+
+
+class TestCollection:
+    def test_whatsapp_collection(self, setup):
+        whatsapp, _, _, joiner = setup
+        whatsapp.register_group(
+            make_plan(gid="WA1", msg_rate=30.0, created_t=-5.0, size0=20)
+        )
+        records = [record_for(whatsapp, "whatsapp", "WA1")]
+        joiner.join_sample(records, {"whatsapp": 1}, join_t=2.0)
+        joined, users = joiner.collect(until_t=8.0)
+        (data,) = joined
+        assert data.platform == "whatsapp"
+        assert data.created_t == -5.0
+        assert data.n_messages > 0
+        # Only post-join days are counted (WhatsApp shows no history).
+        assert min(data.daily_counts) >= 2
+        assert data.size_at_join == len(data.member_ids)
+        # Every member's phone leaked (hashed) into the observations.
+        assert len(users) == len(data.member_ids)
+        assert all(u.phone_hash is not None for u in users.values())
+
+    def test_telegram_collection_visible_members(self, setup):
+        _, telegram, _, joiner = setup
+        gid = next(
+            f"TGV{i}"
+            for i in range(200)
+            if not telegram.member_list_hidden(f"TGV{i}")
+        )
+        telegram.register_group(
+            make_plan(gid=gid, msg_rate=20.0, created_t=-10.0, size0=30)
+        )
+        records = [record_for(telegram, "telegram", gid)]
+        joiner.join_sample(records, {"telegram": 1}, join_t=2.0)
+        joined, users = joiner.collect(until_t=6.0)
+        (data,) = joined
+        assert not data.member_list_hidden
+        assert data.member_ids
+        assert data.size_at_join is not None  # from the web preview
+        # History reaches back before the join (since creation).
+        assert min(data.daily_counts) < 2
+        assert users  # member profiles observed
+
+    def test_telegram_collection_hidden_members(self, setup):
+        _, telegram, _, joiner = setup
+        gid = next(
+            f"TGH{i}" for i in range(200) if telegram.member_list_hidden(f"TGH{i}")
+        )
+        telegram.register_group(make_plan(gid=gid, msg_rate=20.0, created_t=-3.0))
+        records = [record_for(telegram, "telegram", gid)]
+        joiner.join_sample(records, {"telegram": 1}, join_t=2.0)
+        joined, users = joiner.collect(until_t=6.0)
+        (data,) = joined
+        assert data.member_list_hidden
+        assert not data.member_ids
+        # Posters are still observed via their messages.
+        poster_users = [u for u in users.values() if u.via == "poster"]
+        assert poster_users
+
+    def test_discord_collection(self, setup):
+        _, _, discord, joiner = setup
+        discord.register_group(
+            make_plan(gid="DC1", creator_id="diu1", msg_rate=25.0,
+                      created_t=-8.0, size0=40)
+        )
+        records = [record_for(discord, "discord", "DC1")]
+        joiner.join_sample(records, {"discord": 1}, join_t=2.0)
+        joined, users = joiner.collect(until_t=6.0)
+        (data,) = joined
+        assert data.created_t == -8.0
+        assert data.creator_id == "diu1"
+        assert data.n_messages > 0
+        # Observed users are exactly the posters.
+        assert set(u.user_id for u in users.values()) == set(data.sender_counts)
+
+    def test_message_scale_thins_collection(self, setup):
+        whatsapp, _, _, joiner = setup
+        whatsapp.register_group(make_plan(gid="WA1", msg_rate=100.0))
+        records = [record_for(whatsapp, "whatsapp", "WA1")]
+        joiner.join_sample(records, {"whatsapp": 1}, join_t=2.0)
+        full, _ = joiner.collect(until_t=10.0, message_scale=1.0)
+        thin, _ = joiner.collect(until_t=10.0, message_scale=0.05)
+        assert thin[0].n_messages < full[0].n_messages / 5
+
+    def test_type_counts_sum_to_total(self, setup):
+        whatsapp, _, _, joiner = setup
+        whatsapp.register_group(make_plan(gid="WA1", msg_rate=50.0))
+        records = [record_for(whatsapp, "whatsapp", "WA1")]
+        joiner.join_sample(records, {"whatsapp": 1}, join_t=2.0)
+        joined, _ = joiner.collect(until_t=8.0)
+        (data,) = joined
+        assert sum(data.type_counts.values()) == data.n_messages
+        assert sum(data.daily_counts.values()) == data.n_messages
+        assert sum(data.sender_counts.values()) == data.n_messages
+
+    def test_member_fetch_cap_respected(self, setup):
+        _, telegram, _, joiner = setup
+        gid = next(
+            f"TGc{i}"
+            for i in range(300)
+            if not telegram.member_list_hidden(f"TGc{i}")
+        )
+        telegram.register_group(
+            make_plan(gid=gid, size0=500, member_cap=10_000, msg_rate=1.0)
+        )
+        records = [record_for(telegram, "telegram", gid)]
+        joiner.join_sample(records, {"telegram": 1}, join_t=2.0)
+        joined, _ = joiner.collect(until_t=4.0)
+        assert len(joined[0].member_ids) <= 50  # fixture cap

@@ -1,0 +1,116 @@
+"""Tests for the collapsed-Gibbs LDA implementation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.lda import fit_lda
+
+
+def planted_corpus(n_docs=120, words_per_doc=12, seed=0):
+    """Three well-separated topics with disjoint vocabularies."""
+    rng = np.random.default_rng(seed)
+    vocabs = [
+        [f"alpha{i}" for i in range(15)],
+        [f"beta{i}" for i in range(15)],
+        [f"gamma{i}" for i in range(15)],
+    ]
+    docs, labels = [], []
+    for d in range(n_docs):
+        topic = d % 3
+        vocab = vocabs[topic]
+        docs.append([vocab[i] for i in rng.integers(0, 15, words_per_doc)])
+        labels.append(topic)
+    return docs, labels, vocabs
+
+
+class TestValidation:
+    def test_n_topics_positive(self):
+        with pytest.raises(ValueError):
+            fit_lda([["a"]], n_topics=0)
+
+    def test_n_iter_positive(self):
+        with pytest.raises(ValueError):
+            fit_lda([["a"]], n_topics=2, n_iter=0)
+
+
+class TestEdgeCases:
+    def test_empty_corpus(self):
+        result = fit_lda([], n_topics=3)
+        assert result.n_topics == 3
+        assert result.vocab == []
+
+    def test_empty_documents_allowed(self):
+        result = fit_lda([[], ["word", "word2"], []], n_topics=2, n_iter=5)
+        assert len(result.vocab) == 2
+
+    def test_single_word_corpus(self):
+        result = fit_lda([["solo"]] * 5, n_topics=2, n_iter=5)
+        assert result.topic_word.sum() == 5
+
+
+class TestCounts:
+    def test_count_invariants(self):
+        docs, _, _ = planted_corpus(n_docs=30)
+        result = fit_lda(docs, n_topics=3, n_iter=10, seed=1)
+        n_tokens = sum(len(d) for d in docs)
+        assert result.topic_word.sum() == n_tokens
+        assert result.doc_topic.sum() == n_tokens
+        # Per-document counts match document lengths.
+        assert list(result.doc_topic.sum(axis=1)) == [len(d) for d in docs]
+        assert (result.topic_word >= 0).all()
+
+    def test_deterministic_given_seed(self):
+        docs, _, _ = planted_corpus(n_docs=30)
+        a = fit_lda(docs, n_topics=3, n_iter=10, seed=7)
+        b = fit_lda(docs, n_topics=3, n_iter=10, seed=7)
+        assert np.array_equal(a.topic_word, b.topic_word)
+
+    def test_seed_changes_fit(self):
+        docs, _, _ = planted_corpus(n_docs=30)
+        a = fit_lda(docs, n_topics=3, n_iter=3, seed=1)
+        b = fit_lda(docs, n_topics=3, n_iter=3, seed=2)
+        assert not np.array_equal(a.topic_word, b.topic_word)
+
+
+class TestRecovery:
+    def test_recovers_planted_topics(self):
+        docs, labels, vocabs = planted_corpus()
+        result = fit_lda(docs, n_topics=3, n_iter=60, seed=3)
+        # Each fitted topic's top terms should be drawn from one planted
+        # vocabulary almost exclusively.
+        prefixes = []
+        for topic in range(3):
+            top = result.top_terms(topic, 10)
+            counts = {
+                prefix: sum(1 for w in top if w.startswith(prefix))
+                for prefix in ("alpha", "beta", "gamma")
+            }
+            best = max(counts, key=counts.get)
+            assert counts[best] >= 8
+            prefixes.append(best)
+        assert set(prefixes) == {"alpha", "beta", "gamma"}
+
+    def test_dominant_topics_partition_documents(self):
+        docs, labels, _ = planted_corpus()
+        result = fit_lda(docs, n_topics=3, n_iter=60, seed=4)
+        dominant = result.dominant_topics()
+        # Documents with the same planted label get the same fitted topic.
+        agreement = 0
+        for planted in range(3):
+            idx = [i for i, lab in enumerate(labels) if lab == planted]
+            values, counts = np.unique(dominant[idx], return_counts=True)
+            agreement += counts.max()
+        assert agreement / len(docs) > 0.9
+
+    def test_topic_doc_shares_sum_to_one(self):
+        docs, _, _ = planted_corpus(n_docs=60)
+        result = fit_lda(docs, n_topics=3, n_iter=20, seed=5)
+        assert result.topic_doc_shares().sum() == pytest.approx(1.0)
+
+    def test_topic_word_dist_is_distribution(self):
+        docs, _, _ = planted_corpus(n_docs=30)
+        result = fit_lda(docs, n_topics=3, n_iter=10, seed=6)
+        for topic in range(3):
+            dist = result.topic_word_dist(topic)
+            assert dist.sum() == pytest.approx(1.0)
+            assert (dist > 0).all()  # smoothed

@@ -1,0 +1,136 @@
+"""Tests for the daily metadata monitor."""
+
+import pytest
+
+from repro.core.discovery import URLRecord
+from repro.core.monitor import MONITOR_HOUR_FRAC, MetadataMonitor
+from repro.platforms.base import GroupKind
+from repro.platforms.discord import DiscordAPI
+from repro.platforms.telegram import TelegramWebClient
+from repro.platforms.whatsapp import WhatsAppWebClient
+from repro.privacy.hashing import PhoneHasher
+
+from tests.helpers import make_discord, make_plan, make_telegram, make_whatsapp
+
+
+def record_for(service, platform, gid, first_seen_t=0.1):
+    return URLRecord(
+        canonical=f"{platform}:{service.invite_code(gid)}",
+        platform=platform,
+        code=service.invite_code(gid),
+        url=service.invite_url(gid),
+        first_seen_t=first_seen_t,
+        shares=[(1, first_seen_t)],
+    )
+
+
+@pytest.fixture()
+def services():
+    return make_whatsapp(), make_telegram(), make_discord()
+
+
+@pytest.fixture()
+def monitor(services):
+    whatsapp, telegram, discord = services
+    return MetadataMonitor(
+        whatsapp=WhatsAppWebClient(whatsapp),
+        telegram=TelegramWebClient(telegram),
+        discord=DiscordAPI(discord, "monitor"),
+        hasher=PhoneHasher("test"),
+    )
+
+
+class TestObservation:
+    def test_whatsapp_snapshot_fields(self, services, monitor):
+        whatsapp, _, _ = services
+        whatsapp.register_group(make_plan(gid="WA1", size0=50))
+        record = record_for(whatsapp, "whatsapp", "WA1")
+        monitor.observe_day(0, [record])
+        (snap,) = monitor.snapshots[record.canonical]
+        assert snap.alive
+        assert snap.size > 0
+        assert snap.creator_dialing_code
+        assert snap.creator_phone_hash is not None
+        assert snap.kind is GroupKind.GROUP
+
+    def test_whatsapp_phone_is_hashed_not_raw(self, services, monitor):
+        whatsapp, _, _ = services
+        whatsapp.register_group(make_plan(gid="WA1"))
+        record = record_for(whatsapp, "whatsapp", "WA1")
+        monitor.observe_day(0, [record])
+        (snap,) = monitor.snapshots[record.canonical]
+        assert len(snap.creator_phone_hash.digest) == 64
+
+    def test_telegram_snapshot_has_online(self, services, monitor):
+        _, telegram, _ = services
+        telegram.register_group(make_plan(gid="TG1", online_frac=0.3))
+        record = record_for(telegram, "telegram", "TG1")
+        monitor.observe_day(0, [record])
+        (snap,) = monitor.snapshots[record.canonical]
+        assert snap.online is not None
+        assert 0 <= snap.online <= snap.size
+
+    def test_discord_snapshot_has_creator_and_creation(self, services, monitor):
+        _, _, discord = services
+        discord.register_group(
+            make_plan(gid="DC1", creator_id="diu9", created_t=-33.0)
+        )
+        record = record_for(discord, "discord", "DC1")
+        monitor.observe_day(0, [record])
+        (snap,) = monitor.snapshots[record.canonical]
+        assert snap.creator_id == "diu9"
+        assert snap.created_t == -33.0
+
+    def test_daily_series_accumulates(self, services, monitor):
+        whatsapp, _, _ = services
+        whatsapp.register_group(make_plan(gid="WA1"))
+        record = record_for(whatsapp, "whatsapp", "WA1")
+        for day in range(5):
+            monitor.observe_day(day, [record])
+        snaps = monitor.snapshots[record.canonical]
+        assert [s.day for s in snaps] == [0, 1, 2, 3, 4]
+
+    def test_not_observed_before_discovery(self, services, monitor):
+        whatsapp, _, _ = services
+        whatsapp.register_group(make_plan(gid="WA1"))
+        record = record_for(whatsapp, "whatsapp", "WA1", first_seen_t=2.5)
+        monitor.observe_day(0, [record])
+        monitor.observe_day(1, [record])
+        assert record.canonical not in monitor.snapshots
+        monitor.observe_day(2, [record])
+        assert len(monitor.snapshots[record.canonical]) == 1
+
+
+class TestRevocation:
+    def test_revoked_snapshot_then_dropped(self, services, monitor):
+        whatsapp, _, _ = services
+        whatsapp.register_group(make_plan(gid="WA1", revoke_t=2.5))
+        record = record_for(whatsapp, "whatsapp", "WA1")
+        for day in range(5):
+            monitor.observe_day(day, [record])
+        snaps = monitor.snapshots[record.canonical]
+        assert [s.alive for s in snaps] == [True, True, False]
+        assert monitor.is_dead(record.canonical)
+
+    def test_dead_before_first_observation(self, services, monitor):
+        _, _, discord = services
+        # Dies within the discovery day, before the evening check.
+        discord.register_group(make_plan(gid="DC1", revoke_t=0.4))
+        record = record_for(discord, "discord", "DC1", first_seen_t=0.2)
+        monitor.observe_day(0, [record])
+        snaps = monitor.snapshots[record.canonical]
+        assert len(snaps) == 1
+        assert not snaps[0].alive
+
+    def test_revoked_snapshot_carries_no_metadata(self, services, monitor):
+        whatsapp, _, _ = services
+        whatsapp.register_group(make_plan(gid="WA1", revoke_t=0.2))
+        record = record_for(whatsapp, "whatsapp", "WA1")
+        monitor.observe_day(0, [record])
+        (snap,) = monitor.snapshots[record.canonical]
+        assert snap.size is None
+        assert snap.title == ""
+        assert snap.creator_phone_hash is None
+
+    def test_monitor_hour_is_late_evening(self):
+        assert 0.9 < MONITOR_HOUR_FRAC < 1.0

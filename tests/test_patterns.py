@@ -1,0 +1,100 @@
+"""Tests for URL-pattern extraction and canonicalisation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.patterns import (
+    DEFAULT_PATTERNS,
+    GroupURL,
+    extract_group_urls,
+    platform_of_url,
+)
+
+
+class TestDefaultPatterns:
+    def test_six_patterns_as_in_paper(self):
+        assert len(DEFAULT_PATTERNS) == 6
+        assert set(DEFAULT_PATTERNS) == {
+            "chat.whatsapp.com/",
+            "t.me/",
+            "telegram.me/",
+            "telegram.org/",
+            "discord.gg/",
+            "discord.com/",
+        }
+
+
+class TestPlatformOfUrl:
+    @pytest.mark.parametrize(
+        "url,platform",
+        [
+            ("https://chat.whatsapp.com/AbCdEf123456", "whatsapp"),
+            ("chat.whatsapp.com/invite/AbCdEf123456", "whatsapp"),
+            ("https://t.me/somegroup", "telegram"),
+            ("https://t.me/joinchat/XyZ123ab", "telegram"),
+            ("https://telegram.me/somegroup", "telegram"),
+            ("https://discord.gg/abc123", "discord"),
+            ("https://discord.com/invite/abc123", "discord"),
+        ],
+    )
+    def test_known_urls(self, url, platform):
+        assert platform_of_url(url) == platform
+
+    @pytest.mark.parametrize(
+        "url",
+        [
+            "https://example.com/x",
+            "https://twitter.com/user/status/1",
+            "",
+            "https://discord.com/channels/1/2/",  # no invite code
+        ],
+    )
+    def test_non_group_urls(self, url):
+        assert platform_of_url(url) is None
+
+
+class TestExtractGroupUrls:
+    def test_extracts_code(self):
+        found = extract_group_urls(["https://t.me/joinchat/AbCd1234"])
+        assert found == [
+            GroupURL(platform="telegram", code="AbCd1234",
+                     url="https://t.me/joinchat/AbCd1234")
+        ]
+
+    def test_canonical_key(self):
+        found = extract_group_urls(["https://discord.gg/xYz12345"])[0]
+        assert found.canonical == "discord:xYz12345"
+
+    def test_variants_canonicalise_together(self):
+        # t.me and telegram.me forms of the same name deduplicate.
+        a = extract_group_urls(["https://t.me/mygroup1"])[0]
+        b = extract_group_urls(["https://telegram.me/mygroup1"])[0]
+        assert a.canonical == b.canonical
+
+    def test_multiple_urls_one_tweet(self):
+        found = extract_group_urls(
+            [
+                "https://chat.whatsapp.com/AbCdEf123456",
+                "https://discord.gg/qqq111",
+                "https://example.com/ignore",
+            ]
+        )
+        assert [g.platform for g in found] == ["whatsapp", "discord"]
+
+    def test_empty_input(self):
+        assert extract_group_urls([]) == []
+
+    def test_duplicates_preserved(self):
+        url = "https://t.me/dupgroup"
+        assert len(extract_group_urls([url, url])) == 2
+
+    def test_whatsapp_code_length_bounds(self):
+        assert not extract_group_urls(["chat.whatsapp.com/short"])
+        assert extract_group_urls(["chat.whatsapp.com/longenough1"])
+
+    @given(st.lists(st.text(max_size=60), max_size=8))
+    def test_never_crashes_on_arbitrary_urls(self, urls):
+        for group_url in extract_group_urls(urls):
+            assert group_url.platform in ("whatsapp", "telegram", "discord")
+            assert group_url.code

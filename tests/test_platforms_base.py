@@ -1,0 +1,255 @@
+"""Tests for the shared platform ground-truth model (GroupRecord etc.)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnknownURLError
+from repro.platforms.base import (
+    GroupKind,
+    HISTORY_DAYS_CAP,
+    Message,
+    MessageType,
+    ROSTER_MATERIALISE_CAP,
+)
+
+from tests.helpers import make_discord, make_plan, make_telegram, make_whatsapp
+
+
+class TestRegistration:
+    def test_register_and_lookup(self):
+        service = make_whatsapp()
+        record = service.register_group(make_plan(gid="WA1"))
+        assert service.group("WA1") is record
+
+    def test_unknown_gid_raises(self):
+        with pytest.raises(UnknownURLError):
+            make_whatsapp().group("nope")
+
+    def test_invite_roundtrip(self):
+        service = make_whatsapp()
+        service.register_group(make_plan(gid="WA1"))
+        code = service.invite_code("WA1")
+        assert service.group_by_invite(code).gid == "WA1"
+
+    def test_unknown_invite_raises(self):
+        with pytest.raises(UnknownURLError):
+            make_whatsapp().group_by_invite("A" * 22)
+
+    def test_invite_code_stable(self):
+        service = make_whatsapp()
+        assert service.invite_code("WA1") == service.invite_code("WA1")
+
+    def test_invite_codes_unique(self):
+        service = make_whatsapp()
+        codes = {service.invite_code(f"WA{i}") for i in range(500)}
+        assert len(codes) == 500
+
+
+class TestTrajectory:
+    def test_size_grows_with_positive_slope(self):
+        service = make_whatsapp()
+        record = service.register_group(
+            make_plan(size0=50, slope=5.0, anchor_t=0.0, member_cap=100_000)
+        )
+        assert record.size_on(20.0) > record.size_on(0.0)
+
+    def test_size_respects_cap(self):
+        service = make_whatsapp()
+        record = service.register_group(
+            make_plan(size0=250, slope=100.0, member_cap=257)
+        )
+        assert record.size_on(30.0) <= 257
+
+    def test_size_never_below_one(self):
+        service = make_whatsapp()
+        record = service.register_group(make_plan(size0=5, slope=-50.0))
+        assert record.size_on(30.0) >= 1
+
+    def test_size_deterministic(self):
+        service = make_whatsapp()
+        record = service.register_group(make_plan())
+        assert record.size_on(3.0) == record.size_on(3.0)
+
+    def test_revocation_boundary(self):
+        service = make_whatsapp()
+        record = service.register_group(make_plan(revoke_t=5.0))
+        assert not record.is_revoked_at(4.99)
+        assert record.is_revoked_at(5.0)
+
+    def test_never_revoked(self):
+        service = make_whatsapp()
+        record = service.register_group(make_plan(revoke_t=None))
+        assert not record.is_revoked_at(1e9)
+
+    def test_online_bounded_by_size(self):
+        service = make_telegram()
+        record = service.register_group(make_plan(gid="TG1", online_frac=0.9))
+        for day in range(6):
+            assert 0 <= record.online_on(float(day)) <= record.size_on(float(day))
+
+
+class TestRoster:
+    def test_roster_size_matches_group_size(self):
+        service = make_whatsapp()
+        record = service.register_group(make_plan(size0=40, slope=0.0))
+        assert len(record.roster(2.0)) == record.size_on(2.0)
+
+    def test_roster_capped(self):
+        service = make_telegram()
+        record = service.register_group(
+            make_plan(gid="TG1", size0=ROSTER_MATERIALISE_CAP + 500,
+                      member_cap=200_000)
+        )
+        assert len(record.roster(2.0)) <= ROSTER_MATERIALISE_CAP
+
+    def test_roster_prefix_stable_over_growth(self):
+        service = make_whatsapp()
+        record = service.register_group(
+            make_plan(size0=30, slope=3.0, anchor_t=0.0, member_cap=100_000)
+        )
+        early = record.roster(1.0)
+        late = record.roster(10.0)
+        assert late[: len(early)] == early
+
+    def test_creator_always_member(self):
+        service = make_whatsapp()
+        record = service.register_group(make_plan(creator_id="whu99"))
+        assert "whu99" in record.roster(2.0)
+
+    def test_roster_ids_unique(self):
+        service = make_whatsapp()
+        record = service.register_group(make_plan(size0=200, member_cap=257))
+        roster = record.roster(2.0)
+        assert len(set(roster)) == len(roster)
+
+    def test_active_members_subset(self):
+        service = make_whatsapp()
+        record = service.register_group(make_plan(active_frac=0.3))
+        active = record.active_members(2.0)
+        assert set(active) <= set(record.roster(2.0))
+        assert len(active) >= 1
+
+    def test_channel_has_few_posters(self):
+        service = make_telegram()
+        record = service.register_group(
+            make_plan(gid="TG2", kind=GroupKind.CHANNEL, size0=5000,
+                      member_cap=1_000_000, active_frac=0.9)
+        )
+        assert len(record.active_members(2.0)) <= 3
+
+
+class TestMessages:
+    def _record(self, **kwargs):
+        service = make_whatsapp()
+        return service.register_group(make_plan(**kwargs))
+
+    def test_messages_deterministic(self):
+        record = self._record()
+        a = [m.message_id for m in record.messages_between(2.0, 5.0)]
+        b = [m.message_id for m in record.messages_between(2.0, 5.0)]
+        assert a == b
+
+    def test_messages_ordered_in_time(self):
+        record = self._record(msg_rate=30.0)
+        times = [m.t for m in record.messages_between(2.0, 6.0)]
+        assert times == sorted(times)
+
+    def test_messages_within_window(self):
+        record = self._record(msg_rate=30.0)
+        for message in record.messages_between(2.5, 4.5):
+            assert 2.5 <= message.t < 4.5
+
+    def test_no_messages_before_creation(self):
+        record = self._record(created_t=3.0, msg_rate=50.0)
+        assert not list(record.messages_between(0.0, 3.0))
+
+    def test_no_messages_after_revocation(self):
+        record = self._record(revoke_t=4.0, msg_rate=50.0)
+        assert not list(record.messages_between(6.0, 9.0))
+
+    def test_history_cap(self):
+        record = self._record(created_t=-2000.0, msg_rate=5.0)
+        messages = list(record.messages_between(-2000.0, 10.0))
+        assert all(m.t >= 10.0 - HISTORY_DAYS_CAP for m in messages)
+
+    def test_senders_are_active_members(self):
+        record = self._record(msg_rate=40.0)
+        active = set(record.active_members(6.0))
+        for message in record.messages_between(2.0, 6.0):
+            assert message.sender_id in active
+
+    def test_scale_thins_volume(self):
+        record = self._record(msg_rate=100.0)
+        full = len(list(record.messages_between(2.0, 8.0, scale=1.0)))
+        thin = len(list(record.messages_between(2.0, 8.0, scale=0.1)))
+        assert thin < full / 3
+
+    def test_with_text_false_skips_bodies(self):
+        record = self._record(msg_rate=40.0)
+        for message in record.messages_between(2.0, 4.0, with_text=False):
+            assert message.text == ""
+
+    def test_text_messages_have_topic_words(self):
+        record = self._record(msg_rate=60.0, topic_label="Cryptocurrencies")
+        texts = [
+            m.text
+            for m in record.messages_between(2.0, 6.0)
+            if m.mtype is MessageType.TEXT
+        ]
+        assert texts
+        joined = " ".join(texts)
+        assert any(word in joined for word in ("bitcoin", "crypto", "ethereum"))
+
+    def test_type_mix_mostly_text(self):
+        record = self._record(msg_rate=200.0)
+        messages = list(record.messages_between(2.0, 8.0))
+        text_frac = sum(
+            1 for m in messages if m.mtype is MessageType.TEXT
+        ) / len(messages)
+        assert 0.65 < text_frac < 0.9  # WhatsApp calibration is 78 %
+
+    def test_message_ids_unique(self):
+        record = self._record(msg_rate=80.0)
+        ids = [m.message_id for m in record.messages_between(2.0, 6.0)]
+        assert len(set(ids)) == len(ids)
+
+
+class TestUserProfiles:
+    def test_profile_cached_and_deterministic(self):
+        service = make_whatsapp()
+        assert service.user_profile("whu7") is service.user_profile("whu7")
+
+    def test_profile_deterministic_across_instances(self):
+        a = make_whatsapp(seed=9).user_profile("whu7")
+        b = make_whatsapp(seed=9).user_profile("whu7")
+        assert a.phone == b.phone
+        assert a.country == b.country
+
+    def test_phone_present_when_model_requires(self):
+        profile = make_whatsapp().user_profile("whu7")
+        assert profile.phone is not None
+        assert profile.phone.country == profile.country
+
+    def test_no_phone_on_discord_model(self):
+        profile = make_discord().user_profile("diu7")
+        assert profile.phone is None
+
+    def test_linked_accounts_only_on_discord_model(self):
+        service = make_discord()
+        linked = [
+            service.user_profile(f"diu{i}").linked_accounts for i in range(200)
+        ]
+        frac = sum(1 for accounts in linked if accounts) / len(linked)
+        assert 0.3 < frac < 0.7  # model prob is 0.5
+
+    def test_linked_account_platforms_valid(self):
+        service = make_discord()
+        for i in range(100):
+            for account in service.user_profile(f"diu{i}").linked_accounts:
+                assert account.platform in ("twitch", "steam")
+
+    def test_country_distribution_followed(self):
+        service = make_whatsapp()
+        countries = [service.user_profile(f"whu{i}").country for i in range(400)]
+        frac_br = countries.count("BR") / len(countries)
+        assert 0.4 < frac_br < 0.6  # model prob is 0.5

@@ -1,0 +1,109 @@
+"""Tests for author pools, creator assignment, and user models."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.calibration import CALIBRATIONS
+from repro.simulation.population import (
+    AuthorPool,
+    CreatorAssigner,
+    build_user_model,
+)
+
+
+class TestAuthorPool:
+    def test_draws_within_range(self):
+        pool = AuthorPool(base_id=1000, size=50)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            assert 1000 <= pool.draw(rng) < 1050
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            AuthorPool(0, 0)
+
+
+class TestCreatorAssigner:
+    def _assigner(self, single_frac=0.927, seed=0):
+        return CreatorAssigner(
+            np.random.default_rng(seed),
+            population=100_000,
+            single_creator_frac=single_frac,
+            format_user_id=lambda n: f"u{n}",
+        )
+
+    def _per_creator_counts(self, assigner, n):
+        counts = {}
+        for _ in range(n):
+            creator = assigner.assign()
+            counts[creator] = counts.get(creator, 0) + 1
+        return np.array(list(counts.values()))
+
+    def test_single_frac_validation(self):
+        with pytest.raises(ValueError):
+            self._assigner(single_frac=0.0)
+        with pytest.raises(ValueError):
+            self._assigner(single_frac=1.5)
+
+    def test_counts_groups(self):
+        assigner = self._assigner()
+        for _ in range(10):
+            assigner.assign()
+        assert assigner.n_groups_assigned == 10
+
+    def test_all_single_gives_distinct_creators(self):
+        assigner = self._assigner(single_frac=1.0)
+        creators = [assigner.assign() for _ in range(500)]
+        assert len(set(creators)) == 500
+
+    def test_single_creator_fraction_matches_paper(self):
+        # Section 5: 92.7 % of WhatsApp creators own a single group.
+        per_creator = self._per_creator_counts(self._assigner(seed=1), 30_000)
+        assert abs(np.mean(per_creator == 1) - 0.927) < 0.03
+
+    def test_heavy_tail_of_serial_creators(self):
+        # The paper observed creators with 28 (WhatsApp) and 61
+        # (Discord) groups.
+        per_creator = self._per_creator_counts(self._assigner(seed=2), 30_000)
+        assert per_creator.max() >= 10
+        assert per_creator.max() <= 61 + 1
+
+    def test_serial_groups_interleaved_over_time(self):
+        assigner = self._assigner(single_frac=0.5, seed=3)
+        creators = [assigner.assign() for _ in range(2000)]
+        # A serial creator's groups should not be consecutive: find one
+        # with >=3 groups and check their positions spread out.
+        positions = {}
+        for i, creator in enumerate(creators):
+            positions.setdefault(creator, []).append(i)
+        spread = [p for p in positions.values() if len(p) >= 3]
+        assert spread
+        assert any(p[-1] - p[0] > len(p) * 3 for p in spread)
+
+
+class TestBuildUserModel:
+    def test_probs_normalised(self):
+        for cal in CALIBRATIONS.values():
+            model = build_user_model(cal)
+            assert sum(model.country_probs) == pytest.approx(1.0)
+            assert len(model.countries) == len(model.country_probs)
+
+    def test_whatsapp_model_has_phone(self):
+        model = build_user_model(CALIBRATIONS["whatsapp"])
+        assert model.has_phone
+        assert model.phone_visible_prob == 1.0
+
+    def test_telegram_opt_in_rate(self):
+        model = build_user_model(CALIBRATIONS["telegram"])
+        assert model.phone_visible_prob == pytest.approx(0.0068)
+
+    def test_discord_model_phone_free_with_links(self):
+        model = build_user_model(CALIBRATIONS["discord"])
+        assert not model.has_phone
+        assert model.linked_account_prob == pytest.approx(0.30)
+        assert len(model.linked_platform_weights) == 11  # Table 5 rows
+
+    def test_brazil_tops_whatsapp_countries(self):
+        model = build_user_model(CALIBRATIONS["whatsapp"])
+        top = model.countries[int(np.argmax(model.country_probs))]
+        assert top == "BR"

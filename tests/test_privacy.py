@@ -1,0 +1,156 @@
+"""Tests for the privacy substrate: phones, hashing, PII records."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.privacy import (
+    COUNTRY_DIALING_CODES,
+    LinkedAccount,
+    PhoneHasher,
+    PhoneNumber,
+    PIIExposure,
+    PIIKind,
+    country_of_dialing_code,
+    hash_phone,
+    random_phone,
+)
+from repro.privacy.hashing import HashedPhone
+from repro.privacy.pii import ExposureSource, LINKABLE_PLATFORMS
+
+
+class TestDialingCodes:
+    def test_paper_countries_present(self):
+        for country in ("BR", "NG", "ID", "IN", "SA", "MX", "AR"):
+            assert country in COUNTRY_DIALING_CODES
+
+    def test_brazil_code(self):
+        assert COUNTRY_DIALING_CODES["BR"] == "55"
+
+    def test_reverse_lookup(self):
+        assert country_of_dialing_code("55") == "BR"
+        assert country_of_dialing_code("234") == "NG"
+
+    def test_unknown_code_gives_empty(self):
+        assert country_of_dialing_code("99999") == ""
+
+    def test_shared_code_resolves_to_first_registrant(self):
+        # US and CA share "1"; the first registered country wins.
+        assert country_of_dialing_code("1") == "US"
+
+
+class TestPhoneNumber:
+    def test_e164_format(self):
+        phone = PhoneNumber(country="BR", dialing_code="55", subscriber="31987654321")
+        assert phone.e164 == "+5531987654321"
+        assert str(phone) == phone.e164
+
+    def test_frozen(self):
+        phone = PhoneNumber("BR", "55", "123456789")
+        with pytest.raises(AttributeError):
+            phone.subscriber = "0"
+
+
+class TestRandomPhone:
+    def test_country_preserved(self):
+        rng = np.random.default_rng(0)
+        phone = random_phone(rng, "NG")
+        assert phone.country == "NG"
+        assert phone.dialing_code == "234"
+
+    def test_subscriber_is_nine_digits(self):
+        rng = np.random.default_rng(0)
+        phone = random_phone(rng, "BR")
+        assert len(phone.subscriber) == 9
+        assert phone.subscriber.isdigit()
+
+    def test_no_leading_zero(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            assert random_phone(rng, "IN").subscriber[0] != "0"
+
+    def test_unknown_country_falls_back(self):
+        rng = np.random.default_rng(0)
+        phone = random_phone(rng, "ZZ")
+        assert phone.dialing_code == "000"
+
+    def test_deterministic_given_rng(self):
+        a = random_phone(np.random.default_rng(1), "BR")
+        b = random_phone(np.random.default_rng(1), "BR")
+        assert a == b
+
+
+class TestHashing:
+    def _phone(self):
+        return PhoneNumber("BR", "55", "311234567")
+
+    def test_hash_is_hex_sha256(self):
+        digest = hash_phone(self._phone())
+        assert len(digest) == 64
+        int(digest, 16)  # parses as hex
+
+    def test_salt_changes_digest(self):
+        phone = self._phone()
+        assert hash_phone(phone, "a") != hash_phone(phone, "b")
+
+    def test_hasher_requires_salt(self):
+        with pytest.raises(ValueError):
+            PhoneHasher(salt="")
+
+    def test_same_phone_same_record(self):
+        hasher = PhoneHasher("s")
+        assert hasher.record(self._phone()) == hasher.record(self._phone())
+
+    def test_record_preserves_country_and_code(self):
+        record = PhoneHasher("s").record(self._phone())
+        assert record.country == "BR"
+        assert record.dialing_code == "55"
+
+    def test_record_does_not_contain_subscriber(self):
+        phone = self._phone()
+        record = PhoneHasher("s").record(phone)
+        assert phone.subscriber not in record.digest
+        assert not hasattr(record, "subscriber")
+
+    def test_hashed_phone_hashable(self):
+        hasher = PhoneHasher("s")
+        records = {hasher.record(self._phone()), hasher.record(self._phone())}
+        assert len(records) == 1
+
+    def test_distinct_numbers_distinct_digests(self):
+        hasher = PhoneHasher("s")
+        a = hasher.record(PhoneNumber("BR", "55", "311111111"))
+        b = hasher.record(PhoneNumber("BR", "55", "322222222"))
+        assert a != b
+
+    @given(st.text(alphabet="0123456789", min_size=6, max_size=12))
+    def test_hash_never_leaks_subscriber(self, subscriber):
+        phone = PhoneNumber("US", "1", subscriber)
+        digest = hash_phone(phone, "salt")
+        assert subscriber not in digest or len(subscriber) < 3
+
+
+class TestPIIRecords:
+    def test_table5_platforms_all_linkable(self):
+        for name in ("twitch", "steam", "twitter", "spotify", "youtube",
+                     "battlenet", "xbox", "reddit", "leagueoflegends",
+                     "skype", "facebook"):
+            assert name in LINKABLE_PLATFORMS
+
+    def test_exposure_dataclass(self):
+        exposure = PIIExposure(
+            platform="whatsapp",
+            user_id="whu1",
+            kind=PIIKind.PHONE_NUMBER,
+            source=ExposureSource.LANDING_PAGE,
+            value="ab" * 32,
+            country="BR",
+        )
+        assert exposure.kind is PIIKind.PHONE_NUMBER
+        assert exposure.country == "BR"
+
+    def test_linked_account_frozen(self):
+        account = LinkedAccount(platform="twitch", handle="x")
+        with pytest.raises(AttributeError):
+            account.handle = "y"

@@ -1,0 +1,87 @@
+"""Tests for the Table 4/5 PII analyses on the shared small study."""
+
+import pytest
+
+from repro.analysis.privacy import (
+    collect_exposures,
+    discord_linked_accounts,
+    pii_summary,
+)
+from repro.privacy.pii import ExposureSource, PIIKind
+
+
+class TestTable4:
+    def test_whatsapp_full_phone_exposure(self, small_dataset):
+        # Table 4: phone numbers for 100 % of observed WhatsApp users.
+        summary = pii_summary(small_dataset, "whatsapp")
+        assert summary.members_observed > 0
+        assert summary.phone_frac == pytest.approx(1.0)
+
+    def test_whatsapp_creators_observed_without_joining(self, small_dataset):
+        summary = pii_summary(small_dataset, "whatsapp")
+        assert summary.creators_observed > 0
+        assert summary.users_observed == (
+            summary.members_observed + summary.creators_observed
+        )
+
+    def test_telegram_opt_in_phone_rate(self, small_dataset):
+        # Table 4: 0.68 % of Telegram users expose a phone number.
+        summary = pii_summary(small_dataset, "telegram")
+        assert summary.members_observed > 0
+        assert summary.phone_frac < 0.03
+        assert summary.creators_observed == 0
+
+    def test_discord_no_phones_but_linked_accounts(self, small_dataset):
+        # Table 4: no Discord phones; ~30 % expose linked accounts.
+        summary = pii_summary(small_dataset, "discord")
+        assert summary.phones_exposed == 0
+        assert 0.15 < summary.linked_frac < 0.45
+
+    def test_no_linked_accounts_outside_discord(self, small_dataset):
+        for platform in ("whatsapp", "telegram"):
+            assert pii_summary(small_dataset, platform).linked_exposed == 0
+
+
+class TestTable5:
+    def test_breakdown_rows(self, small_dataset):
+        breakdown = discord_linked_accounts(small_dataset)
+        assert breakdown.n_users == len(small_dataset.users_for("discord"))
+        names = [name for name, _, _ in breakdown.rows]
+        assert "twitch" in names
+        # Table 5 ordering: Twitch is the most-linked platform.
+        assert names[0] == "twitch"
+
+    def test_fractions_relative_to_all_users(self, small_dataset):
+        breakdown = discord_linked_accounts(small_dataset)
+        for _, count, frac in breakdown.rows:
+            assert frac == pytest.approx(count / breakdown.n_users)
+            assert 0.0 < frac < 1.0
+
+
+class TestExposureRecords:
+    def test_exposures_typed_correctly(self, small_dataset):
+        exposures = collect_exposures(small_dataset)
+        assert exposures
+        kinds = {e.kind for e in exposures}
+        assert PIIKind.PHONE_NUMBER in kinds
+        assert PIIKind.LINKED_ACCOUNT in kinds
+
+    def test_landing_page_exposures_are_whatsapp(self, small_dataset):
+        exposures = collect_exposures(small_dataset)
+        landing = [
+            e for e in exposures if e.source is ExposureSource.LANDING_PAGE
+        ]
+        assert landing
+        assert all(e.platform == "whatsapp" for e in landing)
+
+    def test_phone_values_are_digests(self, small_dataset):
+        for exposure in collect_exposures(small_dataset):
+            if exposure.kind is PIIKind.PHONE_NUMBER:
+                assert len(exposure.value) == 64
+
+    def test_linked_account_values_qualified(self, small_dataset):
+        for exposure in collect_exposures(small_dataset):
+            if exposure.kind is PIIKind.LINKED_ACCOUNT:
+                platform, _, handle = exposure.value.partition(":")
+                assert platform and handle
+                assert exposure.platform == "discord"

@@ -1,0 +1,101 @@
+"""Tests for the table/figure renderers."""
+
+import pytest
+
+from repro.reporting import (
+    format_table,
+    render_fig1,
+    render_fig2,
+    render_fig3,
+    render_fig4,
+    render_fig5,
+    render_fig6,
+    render_fig7,
+    render_fig8,
+    render_fig9,
+    render_table1,
+    render_table2,
+    render_table4,
+    render_table5,
+)
+from repro.reporting import paper_values as paper
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [["xxx", "y"], ["z", "wwww"]])
+        pipe_lines = [l for l in text.splitlines() if "|" in l]
+        assert len(pipe_lines) == 3  # header + 2 rows
+        assert len({line.index("|") for line in pipe_lines}) == 1
+
+    def test_title_prepended(self):
+        text = format_table(["h"], [["v"]], title="My Title")
+        assert text.splitlines()[0] == "My Title"
+
+    def test_non_string_cells(self):
+        text = format_table(["n"], [[42], [3.5]])
+        assert "42" in text and "3.5" in text
+
+
+class TestTable1:
+    def test_static_render(self):
+        text = render_table1()
+        assert "WhatsApp" in text and "Telegram" in text and "Discord" in text
+        assert "257" in text        # WhatsApp member cap
+        assert "Email" in text      # Discord registration
+        assert "secret" in text     # Telegram e2e caveat
+
+
+class TestDatasetRenders:
+    @pytest.mark.parametrize(
+        "renderer",
+        [
+            render_table2, render_table4,
+            render_fig1, render_fig2, render_fig3, render_fig4,
+            render_fig5, render_fig6, render_fig7, render_fig8, render_fig9,
+        ],
+    )
+    def test_renders_all_platforms(self, small_dataset, renderer):
+        text = renderer(small_dataset)
+        for platform in ("whatsapp", "telegram", "discord"):
+            assert platform in text
+
+    def test_table5_is_discord_only(self, small_dataset):
+        text = render_table5(small_dataset)
+        assert "Discord" in text
+        assert "whatsapp" not in text
+
+    def test_table2_shows_scaled_paper_values(self, small_dataset):
+        assert "paper" in render_table2(small_dataset)
+
+    def test_fig3_includes_control(self, small_dataset):
+        assert "control" in render_fig3(small_dataset)
+
+    def test_fig6_quotes_paper_revocation(self, small_dataset):
+        text = render_fig6(small_dataset)
+        assert "68.4%" in text  # Discord's paper value
+
+    def test_table5_rows_ordered_like_paper(self, small_dataset):
+        text = render_table5(small_dataset)
+        assert text.index("twitch") < text.index("skype")
+
+
+class TestPaperValues:
+    def test_table2_totals(self):
+        tweets = sum(v[0] for v in paper.TABLE2.values())
+        urls = sum(v[2] for v in paper.TABLE2.values())
+        joined = sum(v[3] for v in paper.TABLE2.values())
+        # The paper's total row (2,234,128) is slightly below the
+        # per-platform sum: tweets carrying URLs of several platforms
+        # are counted once in the total.
+        assert abs(tweets - 2_234_128) / 2_234_128 < 0.005
+        assert urls == 351_535
+        assert joined == 616
+
+    def test_fig6_consistency(self):
+        for platform, (revoked, before) in paper.FIG6.items():
+            assert before <= revoked
+
+    def test_table5_fractions_below_linked_total(self):
+        # Each platform's share is below the max (twitch, 20.4 %).
+        assert max(paper.TABLE5.values()) == pytest.approx(0.204)

@@ -1,0 +1,201 @@
+"""Property-based round-trip tests for dataset serialization.
+
+Hypothesis builds small synthetic datasets (independent of the world
+generator) and asserts save→load is the identity on every field.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataset import (
+    JoinedGroupData,
+    Snapshot,
+    StudyDataset,
+    UserObservation,
+)
+from repro.core.discovery import URLRecord
+from repro.io import load_dataset, save_dataset
+from repro.platforms.base import GroupKind, MessageType
+from repro.privacy.hashing import HashedPhone
+from repro.privacy.pii import LinkedAccount
+from repro.twitter.model import Tweet
+
+_ids = st.integers(min_value=1, max_value=10**9)
+_times = st.floats(min_value=-400.0, max_value=40.0, allow_nan=False)
+_small_text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=0x2FFF),
+    max_size=40,
+)
+
+
+@st.composite
+def tweets(draw):
+    return Tweet(
+        tweet_id=draw(_ids),
+        author_id=draw(_ids),
+        t=draw(_times),
+        text=draw(_small_text),
+        lang=draw(st.sampled_from(["en", "es", "ja", "und"])),
+        hashtags=tuple(draw(st.lists(st.text(max_size=8), max_size=3))),
+        mentions=tuple(draw(st.lists(st.text(max_size=8), max_size=3))),
+        urls=tuple(draw(st.lists(_small_text, max_size=2))),
+        retweet_of=draw(st.none() | _ids),
+    )
+
+
+@st.composite
+def records(draw):
+    platform = draw(st.sampled_from(["whatsapp", "telegram", "discord"]))
+    code = draw(st.text(alphabet="abcXYZ019", min_size=4, max_size=12))
+    shares = draw(
+        st.lists(st.tuples(_ids, _times), min_size=1, max_size=5)
+    )
+    return URLRecord(
+        canonical=f"{platform}:{code}",
+        platform=platform,
+        code=code,
+        url=f"https://example.invalid/{code}",
+        first_seen_t=min(t for _, t in shares),
+        shares=shares,
+        via_search=draw(st.integers(0, 5)),
+        via_stream=draw(st.integers(0, 5)),
+    )
+
+
+@st.composite
+def hashed_phones(draw):
+    return HashedPhone(
+        country=draw(st.sampled_from(["BR", "US", ""])),
+        dialing_code=draw(st.sampled_from(["55", "1", ""])),
+        digest=draw(st.text(alphabet="0123456789abcdef", min_size=64,
+                            max_size=64)),
+    )
+
+
+@st.composite
+def snapshots(draw, canonical):
+    alive = draw(st.booleans())
+    return Snapshot(
+        canonical=canonical,
+        day=draw(st.integers(0, 37)),
+        t=draw(_times),
+        alive=alive,
+        size=draw(st.none() | st.integers(1, 10**6)),
+        online=draw(st.none() | st.integers(0, 10**5)),
+        title=draw(_small_text),
+        kind=draw(st.none() | st.sampled_from(list(GroupKind))),
+        creator_dialing_code=draw(st.sampled_from(["", "55", "91"])),
+        creator_phone_hash=draw(st.none() | hashed_phones()),
+        creator_id=draw(st.sampled_from(["", "diu4"])),
+        created_t=draw(st.none() | _times),
+    )
+
+
+@st.composite
+def joined_groups(draw):
+    platform = draw(st.sampled_from(["whatsapp", "telegram", "discord"]))
+    type_counts = draw(
+        st.dictionaries(
+            st.sampled_from(list(MessageType)), st.integers(1, 100),
+            max_size=4,
+        )
+    )
+    return JoinedGroupData(
+        platform=platform,
+        canonical=f"{platform}:xyz",
+        gid=draw(st.text(alphabet="ABC012", min_size=3, max_size=10)),
+        join_t=draw(_times),
+        kind=draw(st.none() | st.sampled_from(list(GroupKind))),
+        created_t=draw(st.none() | _times),
+        size_at_join=draw(st.none() | st.integers(1, 10**5)),
+        n_messages=sum(type_counts.values()),
+        type_counts=type_counts,
+        daily_counts=draw(
+            st.dictionaries(st.integers(-30, 37), st.integers(1, 50),
+                            max_size=5)
+        ),
+        sender_counts=draw(
+            st.dictionaries(st.text(max_size=10), st.integers(1, 50),
+                            max_size=5)
+        ),
+        member_ids=draw(st.lists(st.text(max_size=10), max_size=5)),
+        member_list_hidden=draw(st.booleans()),
+        creator_id=draw(st.sampled_from(["", "teu9"])),
+    )
+
+
+@st.composite
+def users(draw):
+    platform = draw(st.sampled_from(["whatsapp", "telegram", "discord"]))
+    return UserObservation(
+        platform=platform,
+        user_id=draw(st.text(min_size=1, max_size=12)),
+        phone_hash=draw(st.none() | hashed_phones()),
+        country=draw(st.sampled_from(["", "BR", "JP"])),
+        linked_accounts=tuple(
+            LinkedAccount(platform=name, handle=f"{name}_h")
+            for name in draw(
+                st.lists(st.sampled_from(["twitch", "steam"]), max_size=2,
+                         unique=True)
+            )
+        ),
+        via=draw(st.sampled_from(["poster", "member_list"])),
+    )
+
+
+@st.composite
+def datasets(draw):
+    dataset = StudyDataset(
+        n_days=draw(st.integers(1, 38)),
+        scale=draw(st.floats(min_value=0.001, max_value=1.0)),
+        message_scale=draw(st.floats(min_value=0.001, max_value=1.0)),
+    )
+    for record in draw(st.lists(records(), max_size=3)):
+        dataset.records[record.canonical] = record
+        dataset.snapshots[record.canonical] = draw(
+            st.lists(snapshots(record.canonical), max_size=3)
+        )
+    for tweet in draw(st.lists(tweets(), max_size=5, unique_by=lambda t: t.tweet_id)):
+        dataset.tweets[tweet.tweet_id] = tweet
+    dataset.control_tweets = draw(st.lists(tweets(), max_size=3))
+    dataset.joined = draw(st.lists(joined_groups(), max_size=3))
+    for user in draw(
+        st.lists(users(), max_size=3,
+                 unique_by=lambda u: (u.platform, u.user_id))
+    ):
+        dataset.users[(user.platform, user.user_id)] = user
+    return dataset
+
+
+@given(datasets())
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_save_load_identity(tmp_path_factory, dataset):
+    path = tmp_path_factory.mktemp("prop") / "ds.json"
+    save_dataset(dataset, path)
+    loaded = load_dataset(path)
+
+    assert loaded.n_days == dataset.n_days
+    assert loaded.scale == dataset.scale
+    assert loaded.message_scale == dataset.message_scale
+    assert loaded.tweets == dataset.tweets
+    assert loaded.control_tweets == dataset.control_tweets
+    assert loaded.snapshots == dataset.snapshots
+    assert loaded.users == dataset.users
+    assert set(loaded.records) == set(dataset.records)
+    for canonical, record in dataset.records.items():
+        other = loaded.records[canonical]
+        assert (other.platform, other.code, other.url) == (
+            record.platform, record.code, record.url
+        )
+        assert other.shares == record.shares
+    assert len(loaded.joined) == len(dataset.joined)
+    for original, other in zip(dataset.joined, loaded.joined):
+        assert other.type_counts == original.type_counts
+        assert other.daily_counts == original.daily_counts
+        assert other.sender_counts == original.sender_counts
+        assert other.member_ids == original.member_ids

@@ -1,0 +1,119 @@
+"""Tests for the statistics helpers (ECDF, concentration shares)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.stats import (
+    ecdf,
+    fraction_at_most,
+    share_of_top_fraction,
+)
+
+
+class TestECDF:
+    def test_basic(self):
+        cdf = ecdf([3, 1, 2])
+        assert list(cdf.values) == [1, 2, 3]
+        assert cdf.at(2) == pytest.approx(2 / 3)
+
+    def test_at_below_min_is_zero(self):
+        assert ecdf([5, 6]).at(4) == 0.0
+
+    def test_at_max_is_one(self):
+        assert ecdf([5, 6]).at(6) == 1.0
+
+    def test_median(self):
+        assert ecdf([1, 2, 3, 4, 5]).median == 3.0
+
+    def test_quantile_bounds(self):
+        cdf = ecdf([1, 2])
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_empty_raises_on_query(self):
+        cdf = ecdf([])
+        assert cdf.n == 0
+        with pytest.raises(ValueError):
+            cdf.at(0)
+        with pytest.raises(ValueError):
+            cdf.quantile(0.5)
+
+    def test_series_downsamples(self):
+        cdf = ecdf(range(1000))
+        series = cdf.series(max_points=50)
+        assert len(series) <= 50
+        assert series[0][0] == 0.0
+        assert series[-1][1] == 1.0
+
+    def test_series_empty(self):
+        assert ecdf([]).series() == []
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,
+                    max_size=100))
+    def test_probs_monotone(self, sample):
+        cdf = ecdf(sample)
+        assert np.all(np.diff(cdf.probs) >= 0)
+        assert cdf.probs[-1] == pytest.approx(1.0)
+
+    @given(
+        st.lists(st.floats(min_value=-100, max_value=100), min_size=1,
+                 max_size=50),
+        st.floats(min_value=-100, max_value=100),
+    )
+    def test_at_matches_definition(self, sample, x):
+        cdf = ecdf(sample)
+        expected = np.mean(np.asarray(sample) <= x)
+        assert cdf.at(x) == pytest.approx(expected)
+
+
+class TestFractionAtMost:
+    def test_basic(self):
+        assert fraction_at_most([1, 2, 3, 4], 2) == 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            fraction_at_most([], 1)
+
+
+class TestShareOfTopFraction:
+    def test_uniform_counts(self):
+        assert share_of_top_fraction([1] * 100, 0.01) == pytest.approx(0.01)
+
+    def test_concentrated(self):
+        counts = [100] + [1] * 99
+        assert share_of_top_fraction(counts, 0.01) == pytest.approx(100 / 199)
+
+    def test_at_least_one_item(self):
+        # Tiny samples: the single largest item counts as the "top 1 %".
+        assert share_of_top_fraction([5, 1], 0.01) == pytest.approx(5 / 6)
+
+    def test_full_fraction_is_everything(self):
+        assert share_of_top_fraction([3, 2, 1], 1.0) == pytest.approx(1.0)
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            share_of_top_fraction([1], 0.0)
+        with pytest.raises(ValueError):
+            share_of_top_fraction([1], 1.1)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            share_of_top_fraction([], 0.5)
+
+    def test_zero_total(self):
+        assert share_of_top_fraction([0, 0], 0.5) == 0.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1,
+                    max_size=100))
+    def test_share_bounded(self, counts):
+        share = share_of_top_fraction(counts, 0.1)
+        assert 0.0 <= share <= 1.0
+
+    @given(st.lists(st.integers(min_value=1, max_value=1000), min_size=2,
+                    max_size=100))
+    def test_monotone_in_fraction(self, counts):
+        low = share_of_top_fraction(counts, 0.1)
+        high = share_of_top_fraction(counts, 0.9)
+        assert high >= low

@@ -1,0 +1,113 @@
+"""Tests for the end-to-end study orchestrator (uses shared fixture)."""
+
+import pytest
+
+from repro.core.patterns import DEFAULT_PATTERNS
+from repro.core.study import Study, StudyConfig
+from repro.errors import ConfigError
+from repro.twitter.service import tweet_matches
+
+from tests.conftest import SMALL_CONFIG
+
+
+class TestStudyConfig:
+    def test_defaults(self):
+        config = StudyConfig()
+        assert config.n_days == 38
+        assert config.join_targets == {
+            "whatsapp": 416, "telegram": 100, "discord": 100,
+        }
+
+    def test_join_day_validation(self):
+        with pytest.raises(ConfigError):
+            StudyConfig(n_days=5, join_day=5)
+
+    def test_message_scale_validation(self):
+        with pytest.raises(ConfigError):
+            StudyConfig(message_scale=0.0)
+
+    def test_world_config_derivation(self):
+        config = StudyConfig(seed=9, n_days=10, scale=0.05, join_day=3)
+        world = config.world_config()
+        assert world.seed == 9
+        assert world.n_days == 10
+        assert world.scale == 0.05
+
+
+class TestStudyRun:
+    def test_dataset_dimensions(self, small_dataset):
+        assert small_dataset.n_days == SMALL_CONFIG.n_days
+        assert small_dataset.scale == SMALL_CONFIG.scale
+        assert small_dataset.message_scale == SMALL_CONFIG.message_scale
+
+    def test_all_platforms_discovered(self, small_dataset):
+        for platform in ("whatsapp", "telegram", "discord"):
+            assert small_dataset.records_for(platform)
+
+    def test_every_record_has_tweets(self, small_dataset):
+        for record in small_dataset.records.values():
+            assert record.n_shares >= 1
+            for tweet_id, _ in record.shares:
+                assert tweet_id in small_dataset.tweets
+
+    def test_every_discovered_url_is_monitored(self, small_dataset):
+        # Every record discovered before the last day gets >= 1 snapshot.
+        for record in small_dataset.records.values():
+            if record.first_seen_t < small_dataset.n_days - 1:
+                assert record.canonical in small_dataset.snapshots
+
+    def test_snapshots_stop_after_revocation(self, small_dataset):
+        for snaps in small_dataset.snapshots.values():
+            dead_seen = False
+            for snap in snaps:
+                assert not dead_seen, "snapshot after revocation"
+                dead_seen = not snap.alive
+
+    def test_snapshot_days_consecutive(self, small_dataset):
+        for snaps in small_dataset.snapshots.values():
+            days = [s.day for s in snaps]
+            assert days == list(range(days[0], days[0] + len(days)))
+
+    def test_joined_counts_bounded_by_targets(self, small_dataset):
+        for platform, target in SMALL_CONFIG.join_targets.items():
+            assert len(small_dataset.joined_for(platform)) <= target
+
+    def test_joined_groups_were_discovered(self, small_dataset):
+        for data in small_dataset.joined:
+            assert data.canonical in small_dataset.records
+
+    def test_control_tweets_pattern_free(self, small_dataset):
+        for tweet in small_dataset.control_tweets:
+            assert not tweet_matches(tweet, DEFAULT_PATTERNS)
+
+    def test_control_dataset_nonempty(self, small_dataset):
+        assert len(small_dataset.control_tweets) > 100
+
+    def test_user_observations_keyed_consistently(self, small_dataset):
+        for (platform, user_id), obs in small_dataset.users.items():
+            assert obs.platform == platform
+            assert obs.user_id == user_id
+
+    def test_no_raw_phone_numbers_in_dataset(self, small_dataset):
+        # Ethics: only hashes + dialing codes may be stored.
+        for obs in small_dataset.users.values():
+            if obs.phone_hash is not None:
+                assert len(obs.phone_hash.digest) == 64
+                assert not obs.phone_hash.digest.startswith("+")
+        for snaps in small_dataset.snapshots.values():
+            for snap in snaps:
+                if snap.creator_phone_hash is not None:
+                    assert len(snap.creator_phone_hash.digest) == 64
+
+    def test_deterministic_rerun(self):
+        config = StudyConfig(
+            seed=5, n_days=4, scale=0.003, message_scale=0.05, join_day=1,
+            join_targets={"whatsapp": 5, "telegram": 5, "discord": 5},
+        )
+        ds_a = Study(config).run()
+        ds_b = Study(config).run()
+        assert set(ds_a.records) == set(ds_b.records)
+        assert len(ds_a.tweets) == len(ds_b.tweets)
+        assert [j.n_messages for j in ds_a.joined] == [
+            j.n_messages for j in ds_b.joined
+        ]

@@ -1,0 +1,196 @@
+"""Tests for the Telegram simulator: service, web preview, data API."""
+
+import pytest
+
+from repro.errors import (
+    MemberListHiddenError,
+    NotAMemberError,
+    RevokedURLError,
+)
+from repro.platforms.base import GroupKind
+from repro.platforms.telegram import (
+    TELEGRAM_CAPABILITIES,
+    TelegramAPI,
+    TelegramService,
+    TelegramWebClient,
+)
+from repro.platforms.telegram.service import MEMBER_LIST_HIDDEN_PROB
+
+from tests.helpers import make_plan, make_telegram
+
+
+class TestService:
+    def test_capabilities_match_table1(self):
+        caps = TELEGRAM_CAPABILITIES
+        assert caps.registration == "Phone"
+        assert caps.has_data_api
+        assert "secret" in caps.end_to_end_encryption
+
+    def test_invite_url_variants_all_parse(self):
+        service = make_telegram()
+        seen_hosts = set()
+        for i in range(60):
+            url = service.invite_url(f"TG{i}")
+            seen_hosts.add(url.split("/")[2])
+            assert TelegramService.parse_invite_url(url) == service.invite_code(
+                f"TG{i}"
+            )
+        assert "t.me" in seen_hosts
+        assert "telegram.me" in seen_hosts
+
+    def test_joinchat_form_parses(self):
+        assert (
+            TelegramService.parse_invite_url("https://t.me/joinchat/AbCd1234")
+            == "AbCd1234"
+        )
+
+    def test_parse_rejects_whatsapp(self):
+        with pytest.raises(ValueError):
+            TelegramService.parse_invite_url("https://chat.whatsapp.com/AbCdEf123456")
+
+    def test_member_list_hidden_is_stable(self):
+        service = make_telegram()
+        assert service.member_list_hidden("TG1") == service.member_list_hidden("TG1")
+
+    def test_member_list_hidden_rate(self):
+        service = make_telegram()
+        hidden = sum(service.member_list_hidden(f"TG{i}") for i in range(2000))
+        assert abs(hidden / 2000 - MEMBER_LIST_HIDDEN_PROB) < 0.05
+
+
+class TestWebClient:
+    def _setup(self, **kwargs):
+        service = make_telegram()
+        record = service.register_group(make_plan(gid="TG1", **kwargs))
+        return service, record, TelegramWebClient(service)
+
+    def test_preview_fields(self):
+        service, record, client = self._setup(online_frac=0.3)
+        preview = client.preview(service.invite_url("TG1"), 2.0)
+        assert preview.size == record.size_on(2.0)
+        assert 0 <= preview.online <= preview.size
+        assert preview.kind is GroupKind.GROUP
+
+    def test_preview_reports_channel_kind(self):
+        service, record, client = self._setup(kind=GroupKind.CHANNEL)
+        preview = client.preview(service.invite_url("TG1"), 2.0)
+        assert preview.kind is GroupKind.CHANNEL
+
+    def test_revoked_preview_raises(self):
+        service, _, client = self._setup(revoke_t=1.5)
+        with pytest.raises(RevokedURLError):
+            client.preview(service.invite_url("TG1"), 2.0)
+
+
+class TestAPI:
+    def _setup(self, phone_visible_prob=0.5, **kwargs):
+        service = make_telegram(phone_visible_prob=phone_visible_prob)
+        record = service.register_group(make_plan(gid="TG1", **kwargs))
+        return service, record, TelegramAPI(service, "acct")
+
+    def test_join_and_kind(self):
+        service, _, api = self._setup()
+        api.join(service.invite_url("TG1"), 2.0)
+        assert api.kind("TG1") is GroupKind.GROUP
+        assert api.joined_gids == ["TG1"]
+
+    def test_join_revoked_raises(self):
+        service, _, api = self._setup(revoke_t=1.0)
+        with pytest.raises(RevokedURLError):
+            api.join(service.invite_url("TG1"), 2.0)
+
+    def test_history_includes_prejoin_messages(self):
+        # Telegram (unlike WhatsApp) serves history since creation.
+        service, _, api = self._setup(created_t=-20.0, msg_rate=30.0)
+        api.join(service.invite_url("TG1"), 4.0)
+        messages = list(api.history("TG1", 6.0))
+        assert any(m.t < 4.0 for m in messages)
+
+    def test_history_requires_membership(self):
+        _, _, api = self._setup()
+        with pytest.raises(NotAMemberError):
+            list(api.history("TG1", 5.0))
+
+    def test_creation_date_and_creator_after_join(self):
+        service, record, api = self._setup(created_t=-7.0, creator_id="teu5")
+        api.join(service.invite_url("TG1"), 2.0)
+        assert api.creation_date("TG1") == -7.0
+        assert api.creator("TG1") == "teu5"
+
+    def test_creator_requires_membership(self):
+        _, _, api = self._setup()
+        with pytest.raises(NotAMemberError):
+            api.creator("TG1")
+
+    def test_members_raise_when_hidden(self):
+        service = make_telegram()
+        api = TelegramAPI(service, "acct")
+        hidden_gid = next(
+            f"TGH{i}" for i in range(200) if service.member_list_hidden(f"TGH{i}")
+        )
+        service.register_group(make_plan(gid=hidden_gid))
+        api.join(service.invite_url(hidden_gid), 2.0)
+        with pytest.raises(MemberListHiddenError):
+            api.members(hidden_gid, 2.0)
+
+    def test_members_visible_when_not_hidden(self):
+        service = make_telegram()
+        api = TelegramAPI(service, "acct")
+        visible_gid = next(
+            f"TGV{i}"
+            for i in range(200)
+            if not service.member_list_hidden(f"TGV{i}")
+        )
+        record = service.register_group(make_plan(gid=visible_gid, size0=25))
+        api.join(service.invite_url(visible_gid), 2.0)
+        assert len(api.members(visible_gid, 2.0)) == record.size_on(2.0)
+
+    def test_phone_respects_opt_in(self):
+        # With opt-in probability 0, no profile exposes a phone.
+        service, record, api = self._setup(phone_visible_prob=0.0, size0=40)
+        api.join(service.invite_url("TG1"), 2.0)
+        for user_id in record.roster(2.0)[:20]:
+            assert api.get_user(user_id).phone is None
+
+    def test_phone_exposed_when_opted_in(self):
+        service, record, api = self._setup(phone_visible_prob=1.0, size0=40)
+        api.join(service.invite_url("TG1"), 2.0)
+        exposed = [
+            api.get_user(u).phone for u in record.roster(2.0)[:20]
+        ]
+        assert all(phone is not None for phone in exposed)
+
+
+class TestRateLimit:
+    def _setup(self, max_calls):
+        from repro.platforms.telegram import TelegramAPI
+        service = make_telegram()
+        service.register_group(make_plan(gid="TG1"))
+        return service, TelegramAPI(service, "acct", max_calls=max_calls)
+
+    def test_max_calls_validation(self):
+        from repro.platforms.telegram import TelegramAPI
+        with pytest.raises(ValueError):
+            TelegramAPI(make_telegram(), "acct", max_calls=0)
+
+    def test_flood_wait_after_quota(self):
+        from repro.errors import APIRateLimitError
+        service, api = self._setup(max_calls=2)
+        api.join(service.invite_url("TG1"), 2.0)     # call 1
+        api.creation_date("TG1")                     # call 2
+        with pytest.raises(APIRateLimitError):
+            api.kind("TG1")                          # call 3 -> flood wait
+
+    def test_reset_quota_restores_access(self):
+        service, api = self._setup(max_calls=2)
+        api.join(service.invite_url("TG1"), 2.0)
+        api.creation_date("TG1")
+        api.reset_quota()
+        assert api.kind("TG1") is not None
+
+    def test_unthrottled_by_default(self):
+        service, api = self._setup(max_calls=None)
+        api.join(service.invite_url("TG1"), 2.0)
+        for _ in range(500):
+            api.creation_date("TG1")
+        assert api.calls_made == 501

@@ -1,0 +1,156 @@
+"""Tests for the text stack: stopwords, tokenizer, language ID, topic bank."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text import (
+    ENGLISH_STOPWORDS,
+    detect_language,
+    is_stopword,
+    tokenize,
+    tokenize_for_lda,
+)
+from repro.text.topicbank import (
+    COMMON_TERMS,
+    LANGUAGE_VOCAB,
+    PLATFORM_TOPICS,
+    topic_shares,
+)
+
+
+class TestStopwords:
+    def test_common_words_are_stopwords(self):
+        for word in ("the", "and", "of", "a", "is"):
+            assert is_stopword(word)
+
+    def test_content_words_are_not(self):
+        for word in ("bitcoin", "group", "join", "hentai"):
+            assert not is_stopword(word)
+
+    def test_twitter_noise_filtered(self):
+        for word in ("rt", "https", "amp"):
+            assert is_stopword(word)
+
+    def test_frozen_set(self):
+        assert isinstance(ENGLISH_STOPWORDS, frozenset)
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Bitcoin GROUP") == ["bitcoin", "group"]
+
+    def test_strips_urls(self):
+        tokens = tokenize("join https://chat.whatsapp.com/AbCdEf123456 now")
+        assert "join" in tokens and "now" in tokens
+        assert all("whatsapp" not in t for t in tokens)
+
+    def test_strips_mentions(self):
+        assert "alice" not in tokenize("hey @alice join us")
+
+    def test_hashtags_contribute_word(self):
+        assert "crypto" in tokenize("#crypto is pumping")
+
+    def test_empty_text(self):
+        assert tokenize("") == []
+
+    def test_punctuation_ignored(self):
+        assert tokenize("join, now!!!") == ["join", "now"]
+
+    @given(st.text(max_size=200))
+    def test_tokens_are_lowercase_alnum(self, text):
+        for token in tokenize(text):
+            assert token == token.lower()
+            assert token[0].isalpha()
+
+
+class TestTokenizeForLda:
+    def test_removes_stopwords(self):
+        tokens = tokenize_for_lda("the bitcoin group is the best")
+        assert "the" not in tokens
+        assert "bitcoin" in tokens
+
+    def test_removes_short_tokens(self):
+        assert "ab" not in tokenize_for_lda("ab bitcoin")
+
+    def test_min_len_configurable(self):
+        assert "ab" in tokenize_for_lda("ab bitcoin", min_len=2)
+
+    @given(st.text(max_size=200))
+    def test_subset_of_tokenize(self, text):
+        assert set(tokenize_for_lda(text)) <= set(tokenize(text))
+
+
+class TestDetectLanguage:
+    def test_english(self):
+        assert detect_language("join the group and make money with you") == "en"
+
+    def test_spanish(self):
+        assert detect_language("unete al grupo gratis para ganar dinero") == "es"
+
+    def test_arabic_script(self):
+        assert detect_language("انضم مجموعة رابط") == "ar"
+
+    def test_japanese_script(self):
+        assert detect_language("サーバー に 参加") == "ja"
+
+    def test_cyrillic_script(self):
+        assert detect_language("группа бесплатно") == "ru"
+
+    def test_unknown(self):
+        assert detect_language("zxqv 123") == "und"
+
+    def test_empty(self):
+        assert detect_language("") == "und"
+
+
+class TestTopicBank:
+    def test_ten_topics_per_platform(self):
+        for platform in ("whatsapp", "telegram", "discord"):
+            assert len(PLATFORM_TOPICS[platform]) == 10
+
+    def test_shares_normalise_to_one(self):
+        for platform in PLATFORM_TOPICS:
+            assert sum(topic_shares(platform)) == pytest.approx(1.0)
+
+    def test_advertisement_is_dominant_whatsapp_topic(self):
+        # Table 3: "WhatsApp group advertisement" is 30 % of tweets.
+        specs = PLATFORM_TOPICS["whatsapp"]
+        top = max(specs, key=lambda s: s.share)
+        assert top.label == "WhatsApp group advertisement"
+
+    def test_sex_topics_only_on_telegram(self):
+        labels = {p: {s.label for s in specs} for p, specs in PLATFORM_TOPICS.items()}
+        assert "Sex" in labels["telegram"]
+        assert "Sex" not in labels["whatsapp"]
+        assert "Sex" not in labels["discord"]
+
+    def test_hentai_only_on_discord(self):
+        assert any(s.label == "Hentai" for s in PLATFORM_TOPICS["discord"])
+        assert not any(s.label == "Hentai" for s in PLATFORM_TOPICS["telegram"])
+
+    def test_crypto_on_whatsapp_and_telegram_not_discord(self):
+        # The paper's meso-topic: crypto exists on WA and TG, not DC.
+        def has_crypto(platform):
+            return any(
+                s.label == "Cryptocurrencies" for s in PLATFORM_TOPICS[platform]
+            )
+
+        assert has_crypto("whatsapp")
+        assert has_crypto("telegram")
+        assert not has_crypto("discord")
+
+    def test_terms_are_nonempty_lowercase(self):
+        for specs in PLATFORM_TOPICS.values():
+            for spec in specs:
+                assert spec.terms
+                for term in spec.terms:
+                    assert term == term.lower()
+
+    def test_paper_languages_have_vocab(self):
+        for lang in ("es", "pt", "ar", "tr", "ja"):
+            assert lang in LANGUAGE_VOCAB
+            assert LANGUAGE_VOCAB[lang]
+
+    def test_common_terms_exist(self):
+        assert len(COMMON_TERMS) >= 10

@@ -1,0 +1,80 @@
+"""Tests for the Table 3 topic-modeling analysis (LDA on tweets)."""
+
+import pytest
+
+from repro.analysis.topics import extract_topics, label_topics
+from repro.analysis.lda import fit_lda
+from repro.reporting.tables import render_table3
+from repro.text.topicbank import PLATFORM_TOPICS
+
+
+@pytest.fixture(scope="module")
+def whatsapp_topics(small_dataset):
+    return extract_topics(
+        small_dataset, "whatsapp", n_topics=10, n_iter=30, seed=1
+    )
+
+
+class TestExtractTopics:
+    def test_ten_topics(self, whatsapp_topics):
+        assert len(whatsapp_topics.topics) == 10
+
+    def test_shares_sum_to_one(self, whatsapp_topics):
+        assert sum(t.share for t in whatsapp_topics.topics) == pytest.approx(1.0)
+
+    def test_sorted_by_share(self, whatsapp_topics):
+        shares = [t.share for t in whatsapp_topics.topics]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_labels_come_from_bank(self, whatsapp_topics):
+        bank_labels = {s.label for s in PLATFORM_TOPICS["whatsapp"]}
+        for topic in whatsapp_topics.topics:
+            assert topic.label in bank_labels | {"(unmatched)"}
+
+    def test_majority_of_topics_labelled(self, whatsapp_topics):
+        labelled = [
+            t for t in whatsapp_topics.topics if t.label != "(unmatched)"
+        ]
+        assert len(labelled) >= 7
+
+    def test_advertisement_topic_recovered(self, whatsapp_topics):
+        # Table 3's dominant WhatsApp topic (30 % of tweets).
+        assert whatsapp_topics.share_of_label(
+            "WhatsApp group advertisement"
+        ) > 0.1
+
+    def test_no_politics_topic(self, whatsapp_topics):
+        # Paper: "we do not find any politics-related topics".
+        assert all("politic" not in t.label.lower()
+                   for t in whatsapp_topics.topics)
+
+    def test_top_terms_present(self, whatsapp_topics):
+        for topic in whatsapp_topics.topics:
+            assert len(topic.top_terms) == 10
+
+    def test_raises_without_english_tweets(self, small_dataset):
+        with pytest.raises(ValueError):
+            extract_topics(small_dataset, "whatsapp", n_topics=0)
+
+
+class TestLabelTopics:
+    def test_unmatched_below_threshold(self):
+        # A model over a vocabulary disjoint from the bank matches nothing.
+        docs = [[f"zz{i}" for i in range(8)] for _ in range(20)]
+        model = fit_lda(docs, n_topics=2, n_iter=10, seed=0)
+        labels = label_topics(model, "whatsapp")
+        assert all(label == "(unmatched)" for label, _ in labels)
+
+    def test_planted_bank_topic_matched(self):
+        spec = PLATFORM_TOPICS["discord"][-1]  # Hentai
+        docs = [list(spec.terms[:8]) for _ in range(30)]
+        model = fit_lda(docs, n_topics=2, n_iter=10, seed=0)
+        labels = label_topics(model, "discord")
+        assert any(label == spec.label for label, _ in labels)
+
+
+class TestRenderTable3:
+    def test_render(self, small_dataset, whatsapp_topics):
+        text = render_table3({"whatsapp": whatsapp_topics})
+        assert "Table 3 [whatsapp]" in text
+        assert "%" in text

@@ -1,0 +1,58 @@
+"""Tests for the calibration self-check."""
+
+import pytest
+
+from repro.validation import (
+    CalibrationCheck,
+    render_validation_report,
+    validate_dataset,
+)
+
+
+class TestCalibrationCheck:
+    def test_ok_within_tolerance(self):
+        check = CalibrationCheck("x", "whatsapp", 0.5, 0.52, 0.05)
+        assert check.ok
+
+    def test_fail_outside_tolerance(self):
+        check = CalibrationCheck("x", "whatsapp", 0.5, 0.60, 0.05)
+        assert not check.ok
+
+    def test_boundary_inclusive(self):
+        check = CalibrationCheck("x", "", 0.5, 0.55, 0.05)
+        assert check.ok
+
+
+class TestValidateDataset:
+    @pytest.fixture(scope="class")
+    def checks(self, small_dataset):
+        return validate_dataset(small_dataset)
+
+    def test_covers_all_platforms_and_figures(self, checks):
+        platforms = {check.platform for check in checks}
+        assert platforms == {"whatsapp", "telegram", "discord"}
+        names = {check.name for check in checks}
+        for figure in ("fig2", "fig3", "fig4", "fig5", "fig6", "fig8"):
+            assert any(name.startswith(figure) for name in names)
+
+    def test_vast_majority_pass_at_test_scale(self, checks):
+        # At 1 % scale a couple of checks may sit just outside the
+        # tolerance for a given seed; the bulk must hold.
+        n_ok = sum(1 for check in checks if check.ok)
+        assert n_ok / len(checks) > 0.85
+
+    def test_hard_invariants_always_pass(self, checks):
+        # Fig 8 text shares and Fig 6 revocations are the tightest
+        # calibrated statistics; they must pass at any scale.
+        for check in checks:
+            if check.name in ("fig8.text_frac", "fig6.revoked_frac"):
+                assert check.ok, check
+
+
+class TestRenderReport:
+    def test_report_renders(self, small_dataset):
+        checks = validate_dataset(small_dataset)
+        text = render_validation_report(checks)
+        assert "Calibration self-check" in text
+        assert "fig6.revoked_frac" in text
+        assert "whatsapp" in text

@@ -1,0 +1,177 @@
+"""Tests for the WhatsApp simulator: service, web client, accounts."""
+
+import pytest
+
+from repro.errors import JoinLimitError, NotAMemberError, RevokedURLError
+from repro.platforms.whatsapp import (
+    WHATSAPP_CAPABILITIES,
+    WHATSAPP_MAX_MEMBERS,
+    WhatsAppAccount,
+    WhatsAppService,
+    WhatsAppWebClient,
+)
+
+from tests.helpers import make_plan, make_whatsapp
+
+
+class TestService:
+    def test_capabilities_match_table1(self):
+        caps = WHATSAPP_CAPABILITIES
+        assert caps.registration == "Phone"
+        assert caps.max_members == 257
+        assert not caps.has_data_api
+        assert caps.end_to_end_encryption == "Yes"
+
+    def test_invite_url_pattern(self):
+        service = make_whatsapp()
+        url = service.invite_url("WA1")
+        assert url.startswith("https://chat.whatsapp.com/")
+        assert len(url.rsplit("/", 1)[1]) == 22
+
+    def test_parse_invite_url(self):
+        service = make_whatsapp()
+        url = service.invite_url("WA1")
+        assert WhatsAppService.parse_invite_url(url) == service.invite_code("WA1")
+
+    def test_parse_rejects_other_platforms(self):
+        with pytest.raises(ValueError):
+            WhatsAppService.parse_invite_url("https://t.me/something")
+
+    def test_parse_accepts_bare_host_form(self):
+        code = WhatsAppService.parse_invite_url("chat.whatsapp.com/AbCdEfGh1234")
+        assert code == "AbCdEfGh1234"
+
+
+class TestWebClient:
+    def _setup(self, **kwargs):
+        service = make_whatsapp()
+        record = service.register_group(make_plan(gid="WA1", **kwargs))
+        return service, record, WhatsAppWebClient(service)
+
+    def test_preview_fields(self):
+        service, record, client = self._setup(size0=80, slope=0.0)
+        preview = client.preview(service.invite_url("WA1"), 2.0)
+        assert preview.size == record.size_on(2.0)
+        assert preview.title == record.title
+        assert preview.creator_phone is not None
+        assert preview.creator_dialing_code == preview.creator_phone.dialing_code
+
+    def test_preview_leaks_creator_phone_without_joining(self):
+        # The paper's headline WhatsApp finding: the landing page shows
+        # the creator's phone number to non-members.
+        service, record, client = self._setup()
+        preview = client.preview(service.invite_url("WA1"), 2.0)
+        creator = service.user_profile(record.creator_id)
+        assert preview.creator_phone == creator.phone
+
+    def test_preview_of_revoked_url_raises(self):
+        service, _, client = self._setup(revoke_t=3.0)
+        with pytest.raises(RevokedURLError):
+            client.preview(service.invite_url("WA1"), 3.5)
+
+    def test_preview_alive_before_revocation(self):
+        service, _, client = self._setup(revoke_t=3.0)
+        assert client.preview(service.invite_url("WA1"), 2.9).size > 0
+
+
+class TestAccount:
+    def _setup(self, **kwargs):
+        service = make_whatsapp()
+        record = service.register_group(make_plan(gid="WA1", **kwargs))
+        return service, record, WhatsAppAccount(service, "acct-0")
+
+    def test_join_limit_in_empirical_range(self):
+        _, _, account = self._setup()
+        assert 250 <= account.join_limit <= 300
+
+    def test_join_and_membership(self):
+        service, record, account = self._setup()
+        joined = account.join(service.invite_url("WA1"), 2.0)
+        assert joined.gid == "WA1"
+        assert account.joined_gids == ["WA1"]
+
+    def test_join_revoked_raises(self):
+        service, _, account = self._setup(revoke_t=1.0)
+        with pytest.raises(RevokedURLError):
+            account.join(service.invite_url("WA1"), 2.0)
+
+    def test_join_limit_enforced(self):
+        service = make_whatsapp()
+        account = WhatsAppAccount(service, "acct-0")
+        for i in range(account.join_limit):
+            service.register_group(make_plan(gid=f"WA{i}"))
+            account.join(service.invite_url(f"WA{i}"), 1.9)
+        service.register_group(make_plan(gid="WAover"))
+        with pytest.raises(JoinLimitError):
+            account.join(service.invite_url("WAover"), 2.0)
+
+    def test_messages_require_membership(self):
+        _, _, account = self._setup()
+        with pytest.raises(NotAMemberError):
+            list(account.messages("WA1", 5.0))
+
+    def test_messages_only_after_join(self):
+        # WhatsApp shows no pre-join history (unlike Telegram/Discord).
+        service, _, account = self._setup(created_t=-30.0, msg_rate=40.0)
+        account.join(service.invite_url("WA1"), 4.0)
+        messages = list(account.messages("WA1", 8.0))
+        assert messages
+        assert all(m.t >= 4.0 for m in messages)
+
+    def test_creation_date_visible_after_join(self):
+        service, record, account = self._setup(created_t=-12.5)
+        account.join(service.invite_url("WA1"), 2.0)
+        assert account.creation_date("WA1") == -12.5
+
+    def test_creation_date_requires_membership(self):
+        _, _, account = self._setup()
+        with pytest.raises(NotAMemberError):
+            account.creation_date("WA1")
+
+    def test_member_phones_visible_after_join(self):
+        service, record, account = self._setup(size0=30)
+        account.join(service.invite_url("WA1"), 2.0)
+        phones = account.member_phone_numbers("WA1", 2.0)
+        assert len(phones) == record.size_on(2.0)
+        assert all(phone.e164.startswith("+") for phone in phones.values())
+
+    def test_member_phones_require_membership(self):
+        _, _, account = self._setup()
+        with pytest.raises(NotAMemberError):
+            account.member_phone_numbers("WA1", 2.0)
+
+    def test_rejoin_keeps_original_join_time(self):
+        service, _, account = self._setup(created_t=-30.0, msg_rate=40.0)
+        account.join(service.invite_url("WA1"), 3.0)
+        account.join(service.invite_url("WA1"), 6.0)
+        messages = list(account.messages("WA1", 8.0))
+        assert any(m.t < 6.0 for m in messages)
+
+
+class TestGroupFull:
+    def test_join_full_group_rejected(self):
+        from repro.errors import GroupFullError
+        from tests.helpers import make_plan, make_whatsapp
+        from repro.platforms.whatsapp import WhatsAppAccount
+
+        service = make_whatsapp()
+        service.register_group(
+            make_plan(gid="WAfull", size0=257, slope=0.0, member_cap=257)
+        )
+        account = WhatsAppAccount(service, "acct-full")
+        with pytest.raises(GroupFullError):
+            account.join(service.invite_url("WAfull"), 2.0)
+
+    def test_existing_member_unaffected_by_fullness(self):
+        from tests.helpers import make_plan, make_whatsapp
+        from repro.platforms.whatsapp import WhatsAppAccount
+
+        service = make_whatsapp()
+        service.register_group(
+            make_plan(gid="WAgrow", size0=200, slope=60.0, member_cap=257)
+        )
+        account = WhatsAppAccount(service, "acct-grow")
+        account.join(service.invite_url("WAgrow"), 0.0)
+        # The group fills up later; re-joining (a no-op) still works.
+        account.join(service.invite_url("WAgrow"), 10.0)
+        assert account.joined_gids == ["WAgrow"]

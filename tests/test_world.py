@@ -1,0 +1,143 @@
+"""Tests for the world generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.patterns import extract_group_urls
+from repro.errors import ConfigError
+from repro.simulation.calibration import CALIBRATIONS
+from repro.simulation.world import World, WorldConfig
+
+
+class TestWorldConfig:
+    def test_defaults_valid(self):
+        config = WorldConfig()
+        assert config.n_days == 38
+
+    def test_scale_validation(self):
+        with pytest.raises(ConfigError):
+            WorldConfig(scale=0.0)
+        with pytest.raises(ConfigError):
+            WorldConfig(scale=1.5)
+
+    def test_n_days_validation(self):
+        with pytest.raises(ConfigError):
+            WorldConfig(n_days=0)
+
+    def test_control_rate_validation(self):
+        with pytest.raises(ConfigError):
+            WorldConfig(control_sample_rate=0.0)
+
+    def test_oversample_inverse_of_rate(self):
+        assert WorldConfig(control_sample_rate=0.25).control_oversample == 4.0
+
+
+class TestGeneration:
+    def test_days_must_be_generated_in_order(self, tiny_world):
+        with pytest.raises(ConfigError):
+            tiny_world.generate_day(0)  # already generated
+
+    def test_skipping_days_rejected(self):
+        world = World(WorldConfig(seed=1, n_days=5, scale=0.002))
+        with pytest.raises(ConfigError):
+            world.generate_day(2)
+
+    def test_deterministic_given_seed(self):
+        config = WorldConfig(seed=42, n_days=3, scale=0.002)
+        world_a, world_b = World(config), World(config)
+        world_a.generate_all()
+        world_b.generate_all()
+        tweets_a = [(t.tweet_id, t.t, t.text) for t in world_a.twitter.all_tweets()]
+        tweets_b = [(t.tweet_id, t.t, t.text) for t in world_b.twitter.all_tweets()]
+        assert tweets_a == tweets_b
+
+    def test_different_seeds_differ(self):
+        world_a = World(WorldConfig(seed=1, n_days=2, scale=0.002))
+        world_b = World(WorldConfig(seed=2, n_days=2, scale=0.002))
+        world_a.generate_all()
+        world_b.generate_all()
+        assert len(world_a.twitter) != len(world_b.twitter) or [
+            t.text for t in world_a.twitter.all_tweets()
+        ] != [t.text for t in world_b.twitter.all_tweets()]
+
+    def test_tweets_sorted_by_time(self, tiny_world):
+        times = [t.t for t in tiny_world.twitter.all_tweets()]
+        assert times == sorted(times)
+
+    def test_tweet_ids_unique(self, tiny_world):
+        ids = [t.tweet_id for t in tiny_world.twitter.all_tweets()]
+        assert len(set(ids)) == len(ids)
+
+
+class TestGroundTruth:
+    def test_every_shared_url_registered_on_platform(self, tiny_world):
+        for truth in tiny_world.ground_truth().values():
+            service = tiny_world.platform(truth.platform)
+            record = service.group(truth.gid)
+            assert record.plan.created_t == truth.created_t
+
+    def test_urls_parse_to_their_platform(self, tiny_world):
+        for truth in tiny_world.ground_truth().values():
+            extracted = extract_group_urls([truth.url])
+            assert len(extracted) == 1
+            assert extracted[0].platform == truth.platform
+
+    def test_share_volumes_track_calibration(self, tiny_world):
+        config = tiny_world.config
+        truths = tiny_world.ground_truth().values()
+        for platform, cal in CALIBRATIONS.items():
+            count = sum(1 for t in truths if t.platform == platform)
+            expected = cal.new_urls_per_day * config.n_days * config.scale
+            assert 0.5 * expected < count < 1.6 * expected
+
+    def test_discord_dominates_url_counts(self, tiny_world):
+        # Table 2: Discord URLs outnumber Telegram outnumber WhatsApp.
+        counts = {p: 0 for p in CALIBRATIONS}
+        for truth in tiny_world.ground_truth().values():
+            counts[truth.platform] += 1
+        assert counts["discord"] > counts["telegram"] > counts["whatsapp"]
+
+    def test_first_share_within_window(self, tiny_world):
+        for truth in tiny_world.ground_truth().values():
+            assert 0.0 <= truth.first_share_t < tiny_world.config.n_days
+
+    def test_creation_never_after_first_share(self, tiny_world):
+        for truth in tiny_world.ground_truth().values():
+            assert truth.created_t <= truth.first_share_t
+
+
+class TestTweets:
+    def test_share_tweets_carry_their_url(self, tiny_world):
+        truths = tiny_world.ground_truth()
+        tweets_with_urls = [
+            t for t in tiny_world.twitter.all_tweets() if t.urls
+        ]
+        assert tweets_with_urls
+        for tweet in tweets_with_urls[:200]:
+            assert tweet.urls[0] in truths
+
+    def test_control_tweets_have_no_urls(self, tiny_world):
+        control = [
+            t for t in tiny_world.twitter.all_tweets() if not t.urls
+        ]
+        assert control  # background volume exists
+
+    def test_retweets_reference_existing_tweets(self, tiny_world):
+        all_ids = {t.tweet_id for t in tiny_world.twitter.all_tweets()}
+        retweets = [
+            t for t in tiny_world.twitter.all_tweets() if t.retweet_of is not None
+        ]
+        assert retweets
+        for tweet in retweets:
+            assert tweet.retweet_of in all_ids
+
+    def test_retweets_inherit_urls(self, tiny_world):
+        by_id = {t.tweet_id: t for t in tiny_world.twitter.all_tweets()}
+        for tweet in by_id.values():
+            if tweet.retweet_of is not None and tweet.urls:
+                assert tweet.urls == by_id[tweet.retweet_of].urls
+
+    def test_languages_are_tagged(self, tiny_world):
+        langs = {t.lang for t in tiny_world.twitter.all_tweets()}
+        assert "en" in langs
+        assert len(langs) >= 5
