@@ -1,0 +1,105 @@
+"""Benchmark: fault-subsystem overhead and hostile-weather resilience.
+
+Two questions.  First, cost: with faults disabled (the default), the
+pipeline must not pay for the subsystem's existence — the resilience
+executor and the idle proxies together must stay within 10 % of the
+bare pipeline.  Second, value: under the ``paper-like`` profile the
+campaign must absorb every injected fault and still produce a full
+dataset, which the emitted collection-health report documents.
+"""
+
+import time
+
+import pytest
+
+from repro.core.study import Study, StudyConfig
+from repro.reporting import render_health
+from repro.reporting.tables import format_table
+
+pytestmark = pytest.mark.faults
+
+#: Modest scale: large enough that per-call overhead would show, small
+#: enough that three rounds per variant stay cheap.
+_BASE = dict(
+    seed=7,
+    n_days=10,
+    scale=0.01,
+    message_scale=0.1,
+    join_day=3,
+)
+
+#: Relative overhead budget for the faults-off path, plus a small
+#: absolute floor so sub-second runs do not flake on timer noise.
+MAX_OVERHEAD_FRAC = 0.10
+ABS_EPSILON_S = 0.25
+
+
+def _best_of(n, fn):
+    best = float("inf")
+    result = None
+    for _ in range(n):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _run(**overrides):
+    config = StudyConfig(**{**_BASE, **overrides})
+    return Study(config).run()
+
+
+def test_faults_off_overhead_under_ten_percent(emit):
+    bare_s, _ = _best_of(3, _run)
+    none_s, none_ds = _best_of(3, lambda: _run(faults="none"))
+    paper_s, paper_ds = _best_of(1, lambda: _run(faults="paper-like"))
+
+    assert none_ds.health is None or none_ds.health.is_clean()
+    assert paper_ds.health is not None and not paper_ds.health.is_clean()
+
+    overhead = none_s - bare_s
+    rows = [
+        ("bare (faults=None)", f"{bare_s:.3f}", "-"),
+        ("profile none", f"{none_s:.3f}", f"{overhead / bare_s:+.1%}"),
+        ("profile paper-like", f"{paper_s:.3f}",
+         f"{(paper_s - bare_s) / bare_s:+.1%}"),
+    ]
+    emit(
+        "bench_faults",
+        format_table(
+            ("pipeline", "best of 3 (s)", "vs bare"),
+            rows,
+            title="Fault-subsystem overhead (10-day campaign)",
+        )
+        + "\n\n"
+        + render_health(paper_ds),
+    )
+
+    assert overhead <= max(MAX_OVERHEAD_FRAC * bare_s, ABS_EPSILON_S), (
+        f"faults-off overhead {overhead:.3f}s over bare {bare_s:.3f}s "
+        f"exceeds the {MAX_OVERHEAD_FRAC:.0%} budget"
+    )
+
+
+def test_paper_like_weather_is_absorbed(emit):
+    dataset = _run(faults="paper-like")
+    health = dataset.health
+    assert health.total("faults") > 0
+    # Every fault was either retried away or degraded to a miss —
+    # never an abort, never a false death.
+    n_groups = len(dataset.snapshots)
+    assert n_groups > 0
+    n_missed = sum(
+        1 for snaps in dataset.snapshots.values() for s in snaps if s.missed
+    )
+    n_total = sum(len(snaps) for snaps in dataset.snapshots.values())
+    assert n_missed < 0.25 * n_total, (
+        f"paper-like weather missed {n_missed}/{n_total} snapshots; "
+        "expected the retry layer to absorb most faults"
+    )
+    emit(
+        "bench_faults_weather",
+        render_health(dataset)
+        + f"\n\ngroups monitored: {n_groups}, "
+        f"snapshots: {n_total} ({n_missed} missed)",
+    )

@@ -17,7 +17,9 @@ from typing import Callable, Dict
 
 from repro.analysis.topics import extract_topics
 from repro.core.study import Study, StudyConfig
+from repro.faults import PROFILES, FaultPlan
 from repro.reporting import (
+    render_health,
     render_fig1,
     render_fig2,
     render_fig3,
@@ -36,6 +38,7 @@ from repro.reporting import (
 from repro.reporting.figures import render_interplay
 
 RENDERERS: Dict[str, Callable] = {
+    "health": render_health,
     "interplay": render_interplay,
     "table2": render_table2,
     "table4": render_table4,
@@ -78,6 +81,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="render only these outputs",
     )
     parser.add_argument(
+        "--faults", choices=sorted(PROFILES), default="none",
+        help="fault-injection profile for the campaign (default: none)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="seed for the fault schedule (default: the study seed)",
+    )
+    parser.add_argument(
         "--topics", action="store_true",
         help="also run the Table 3 LDA topic extraction (slower)",
     )
@@ -104,10 +115,15 @@ def main(argv=None) -> int:
         scale=args.scale,
         message_scale=args.message_scale,
         join_day=min(10, args.days - 1),
+        # "none" keeps the bare, proxy-free pipeline: byte-identical
+        # output to a build without the fault subsystem.
+        faults=None if args.faults == "none" else FaultPlan.profile(args.faults),
+        fault_seed=args.fault_seed,
     )
     print(
         f"# Running {config.n_days}-day study: seed={config.seed} "
-        f"scale={config.scale} message_scale={config.message_scale}",
+        f"scale={config.scale} message_scale={config.message_scale} "
+        f"faults={args.faults}",
         file=sys.stderr,
     )
     start = time.time()
@@ -116,6 +132,8 @@ def main(argv=None) -> int:
 
     print(render_table1())
     names = args.only if args.only else sorted(RENDERERS)
+    if args.faults != "none" and "health" not in names:
+        names = ["health"] + list(names)
     for name in names:
         print()
         print(RENDERERS[name](dataset))

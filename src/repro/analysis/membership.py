@@ -79,7 +79,13 @@ def membership(
     online_fracs: List[float] = []
     growths: List[float] = []
     for record in dataset.records_for(platform):
-        snaps = [s for s in dataset.snapshots.get(record.canonical, []) if s.alive]
+        # Missed snapshots (transient collection failures) carry no
+        # sizes; they must not anchor first/last observations.
+        snaps = [
+            s
+            for s in dataset.snapshots.get(record.canonical, [])
+            if s.alive and not s.missed
+        ]
         if not snaps:
             continue
         first, last = snaps[0], snaps[-1]

@@ -41,6 +41,9 @@ class RevocationResult:
     before_first_obs_frac: float
     lifetime_cdf: ECDF
     revoked_per_day: Dict[int, int]
+    #: URLs that never matched any group ('unknown' death reason) —
+    #: counted among ``n_urls`` but never as revocations.
+    n_unknown: int = 0
 
 
 def revocation(dataset: StudyDataset, platform: str) -> RevocationResult:
@@ -50,6 +53,7 @@ def revocation(dataset: StudyDataset, platform: str) -> RevocationResult:
     n_urls = 0
     n_revoked = 0
     n_before_first = 0
+    n_unknown = 0
     for record in dataset.records_for(platform):
         snaps = dataset.snapshots.get(record.canonical)
         if not snaps:
@@ -58,9 +62,14 @@ def revocation(dataset: StudyDataset, platform: str) -> RevocationResult:
         last = snaps[-1]
         if last.alive:
             continue
+        if last.death_reason == "unknown":
+            # Never a valid group: not a revocation event.
+            n_unknown += 1
+            continue
         n_revoked += 1
         revoked_per_day[last.day] = revoked_per_day.get(last.day, 0) + 1
-        alive_days = sum(1 for snap in snaps if snap.alive)
+        # Missed observations are unknowns, not confirmed-alive days.
+        alive_days = sum(1 for snap in snaps if snap.alive and not snap.missed)
         if alive_days == 0:
             n_before_first += 1
         lifetimes.append(float(alive_days))
@@ -73,4 +82,5 @@ def revocation(dataset: StudyDataset, platform: str) -> RevocationResult:
         before_first_obs_frac=n_before_first / n_urls,
         lifetime_cdf=ecdf(lifetimes) if lifetimes else ecdf([]),
         revoked_per_day=revoked_per_day,
+        n_unknown=n_unknown,
     )

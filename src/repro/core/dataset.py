@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.discovery import URLRecord
 from repro.platforms.base import GroupKind, MessageType
 from repro.privacy.hashing import HashedPhone
+from repro.resilience.health import CollectionHealth
 from repro.twitter.model import Tweet
 
 __all__ = ["Snapshot", "JoinedGroupData", "UserObservation", "StudyDataset"]
@@ -38,6 +39,12 @@ class Snapshot:
         creator_phone_hash: WhatsApp: hashed creator phone number.
         creator_id: Discord: creator's user id (API-visible).
         created_t: Discord: server creation time (API-visible).
+        state: Extra observation state beyond ``alive``: '' for a
+            plain live/revoked observation, 'unknown' when the URL
+            never matched any group (a dead snapshot that is *not* a
+            revocation), 'missed' when a transient failure prevented
+            the observation (an alive snapshot carrying no metadata —
+            the monitor re-probes the next day).
     """
 
     canonical: str
@@ -52,6 +59,21 @@ class Snapshot:
     creator_phone_hash: Optional[HashedPhone] = None
     creator_id: str = ""
     created_t: Optional[float] = None
+    state: str = ""
+
+    @property
+    def missed(self) -> bool:
+        """True if a transient failure prevented this observation."""
+        return self.state == "missed"
+
+    @property
+    def death_reason(self) -> Optional[str]:
+        """Why a dead snapshot is dead: 'revoked' (the landing page
+        showed the revocation notice) or 'unknown' (the URL never
+        corresponded to a group).  None for live/missed snapshots."""
+        if self.alive:
+            return None
+        return "unknown" if self.state == "unknown" else "revoked"
 
 
 @dataclass(frozen=True)
@@ -135,6 +157,9 @@ class StudyDataset:
     joined: List[JoinedGroupData] = field(default_factory=list)
     #: (platform, user_id) -> user observation.
     users: Dict[Tuple[str, str], UserObservation] = field(default_factory=dict)
+    #: Collection-health ledger (faults, retries, trips, misses); None
+    #: for datasets predating the resilience layer.
+    health: Optional[CollectionHealth] = None
 
     def records_for(self, platform: str) -> List[URLRecord]:
         """Discovery records for one platform."""

@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.patterns import DEFAULT_PATTERNS, extract_group_urls
+from repro.errors import TransientError
+from repro.resilience import ResilienceExecutor
 from repro.twitter.model import Tweet
 from repro.twitter.search import SearchAPI
 from repro.twitter.streaming import StreamingAPI
@@ -68,12 +70,14 @@ class DiscoveryEngine:
         search: Optional[SearchAPI],
         stream: Optional[StreamingAPI],
         patterns: Sequence[str] = DEFAULT_PATTERNS,
+        resilience: Optional[ResilienceExecutor] = None,
     ) -> None:
         if search is None and stream is None:
             raise ValueError("at least one of search/stream is required")
         self._search = search
         self._stream = stream
         self._patterns = tuple(patterns)
+        self._resilience = resilience or ResilienceExecutor()
         self._last_search_t: Optional[float] = None
         #: canonical -> record
         self.records: Dict[str, URLRecord] = {}
@@ -83,17 +87,46 @@ class DiscoveryEngine:
         self._provenance: Dict[int, set] = {}
 
     def run_day(self, day: int) -> None:
-        """Run one day of collection: 24 Search polls plus the stream."""
+        """Run one day of collection: 24 Search polls plus the stream.
+
+        A poll that fails transiently (after retries / while the
+        Twitter breaker is open) is skipped without advancing the
+        ``since`` cursor, so the next successful poll re-covers the
+        gap through the API's 7-day lookback.  A dropped stream window
+        loses that day's deliveries — the Search side usually catches
+        them, exactly the redundancy the paper's double collection
+        bought.
+        """
         if self._search is not None:
             for hour in range(1, POLLS_PER_DAY + 1):
                 now = day + hour / POLLS_PER_DAY
-                results = self._search.search(
-                    self._patterns, now, since=self._last_search_t
-                )
+                try:
+                    results = self._resilience.call(
+                        "twitter",
+                        "search",
+                        now,
+                        lambda: self._search.search(
+                            self._patterns, now, since=self._last_search_t
+                        ),
+                    )
+                except TransientError:
+                    self._resilience.health.bump("twitter", day, "missed")
+                    continue
                 self._ingest(results, "search")
                 self._last_search_t = now
         if self._stream is not None:
-            delivered = self._stream.filtered(self._patterns, day, day + 1)
+            try:
+                delivered = self._resilience.call(
+                    "twitter",
+                    "stream",
+                    day + 1,
+                    lambda: self._stream.filtered(
+                        self._patterns, day, day + 1
+                    ),
+                )
+            except TransientError:
+                self._resilience.health.bump("twitter", day, "missed")
+                delivered = []
             self._ingest(delivered, "stream")
 
     def _ingest(self, tweets: Iterable[Tweet], source: str) -> None:

@@ -29,13 +29,16 @@ from repro.errors import (
     JoinLimitError,
     MemberListHiddenError,
     RevokedURLError,
+    TransientError,
     UnknownURLError,
 )
+from repro.faults import FaultInjector, FaultyDiscordAPI, FaultyJoinClient, FaultyPreviewClient
 from repro.platforms.base import Message
 from repro.platforms.discord import DiscordAPI, DiscordService
 from repro.platforms.telegram import TelegramAPI, TelegramService, TelegramWebClient
 from repro.platforms.whatsapp import WhatsAppAccount, WhatsAppService
 from repro.privacy.hashing import PhoneHasher
+from repro.resilience import ResilienceExecutor
 from repro.rng import derive_rng
 
 __all__ = ["GroupJoiner", "DEFAULT_JOIN_TARGETS"]
@@ -59,6 +62,8 @@ class GroupJoiner:
         hasher: PhoneHasher,
         seed: int,
         member_fetch_cap: int = 5_000,
+        resilience: Optional[ResilienceExecutor] = None,
+        injector: Optional[FaultInjector] = None,
     ) -> None:
         self._services = {
             "whatsapp": whatsapp,
@@ -68,12 +73,26 @@ class GroupJoiner:
         self._hasher = hasher
         self._seed = seed
         self._member_fetch_cap = member_fetch_cap
-        self._wa_accounts: List[WhatsAppAccount] = []
-        self._tg_api = TelegramAPI(telegram, "tg-study-account")
-        self._tg_web = TelegramWebClient(telegram)
-        self._dc_apis: List[DiscordAPI] = []
+        self._resilience = resilience or ResilienceExecutor(seed=seed)
+        self._injector = injector
+        #: Join-capable clients (possibly behind fault proxies).
+        self._wa_accounts: List[object] = []
+        self._tg_api = self._wrap_join(
+            TelegramAPI(telegram, "tg-study-account"), "telegram"
+        )
+        tg_web = TelegramWebClient(telegram)
+        if injector is not None:
+            tg_web = FaultyPreviewClient(tg_web, injector, "telegram")
+        self._tg_web = tg_web
+        self._dc_apis: List[object] = []
         #: canonical -> (platform-specific join handle info)
         self._joined: List[Tuple[URLRecord, float, object]] = []
+
+    def _wrap_join(self, client: object, platform: str) -> object:
+        """Put a join-capable client behind the fault proxy, if any."""
+        if self._injector is None:
+            return client
+        return FaultyJoinClient(client, self._injector, platform)
 
     # -- joining -------------------------------------------------------------
 
@@ -110,16 +129,33 @@ class GroupJoiner:
         self, platform: str, record: URLRecord, join_t: float
     ) -> Optional[object]:
         try:
-            if platform == "whatsapp":
-                return self._join_whatsapp(record, join_t)
-            if platform == "telegram":
-                self._tg_api.join(record.url, join_t)
-                return self._tg_api
-            return self._join_discord(record, join_t)
+            return self._resilience.call(
+                platform,
+                "join",
+                join_t,
+                lambda: self._join_one_attempt(platform, record, join_t),
+            )
         except (RevokedURLError, UnknownURLError, GroupFullError):
             return None
+        except TransientError:
+            # Retries exhausted (or breaker open): skip this candidate
+            # rather than abort the join day.
+            self._resilience.health.bump(
+                platform, int(join_t), "join_skips"
+            )
+            return None
 
-    def _join_whatsapp(self, record: URLRecord, join_t: float) -> WhatsAppAccount:
+    def _join_one_attempt(
+        self, platform: str, record: URLRecord, join_t: float
+    ) -> object:
+        if platform == "whatsapp":
+            return self._join_whatsapp(record, join_t)
+        if platform == "telegram":
+            self._tg_api.join(record.url, join_t)
+            return self._tg_api
+        return self._join_discord(record, join_t)
+
+    def _join_whatsapp(self, record: URLRecord, join_t: float) -> object:
         while True:
             if not self._wa_accounts:
                 self._new_wa_account()
@@ -133,10 +169,13 @@ class GroupJoiner:
     def _new_wa_account(self) -> None:
         account_id = f"wa-study-{len(self._wa_accounts)}"
         self._wa_accounts.append(
-            WhatsAppAccount(self._services["whatsapp"], account_id)
+            self._wrap_join(
+                WhatsAppAccount(self._services["whatsapp"], account_id),
+                "whatsapp",
+            )
         )
 
-    def _join_discord(self, record: URLRecord, join_t: float) -> DiscordAPI:
+    def _join_discord(self, record: URLRecord, join_t: float) -> object:
         while True:
             if not self._dc_apis:
                 self._new_dc_api()
@@ -149,7 +188,10 @@ class GroupJoiner:
 
     def _new_dc_api(self) -> None:
         account_id = f"dc-study-{len(self._dc_apis)}"
-        self._dc_apis.append(DiscordAPI(self._services["discord"], account_id))
+        api = DiscordAPI(self._services["discord"], account_id)
+        if self._injector is not None:
+            api = FaultyDiscordAPI(api, self._injector)
+        self._dc_apis.append(api)
 
     @property
     def n_joined(self) -> int:
@@ -257,8 +299,13 @@ class GroupJoiner:
         # Total size comes from the group's public web page (the paper's
         # 688 K Telegram members include groups with hidden member lists).
         try:
-            data.size_at_join = self._tg_web.preview(record.url, join_t).size
-        except (RevokedURLError, UnknownURLError):
+            data.size_at_join = self._resilience.call(
+                "telegram",
+                "preview",
+                join_t,
+                lambda: self._tg_web.preview(record.url, join_t),
+            ).size
+        except (RevokedURLError, UnknownURLError, TransientError):
             pass
         try:
             member_ids = api.members(gid, until_t)
@@ -311,11 +358,16 @@ class GroupJoiner:
         # Invite metadata (creation date, size) was read at join time;
         # re-reading may fail if the invite has since expired.
         try:
-            info = api.get_invite(record.url, join_t)
+            info = self._resilience.call(
+                "discord",
+                "invite",
+                join_t,
+                lambda: api.get_invite(record.url, join_t),
+            )
             data.created_t = info.created_t
             data.size_at_join = info.size
             data.creator_id = info.creator_id
-        except (RevokedURLError, UnknownURLError):
+        except (RevokedURLError, UnknownURLError, TransientError):
             pass
         self._aggregate_messages(
             data, api.history(gid, until_t, scale=message_scale, with_text=False)

@@ -9,22 +9,29 @@ platform offers *without joining*:
 * Discord — REST ``get_invite`` (title, sizes, creator, creation date).
 
 Revoked landing pages show nothing but the revocation notice, so the
-monitor records a dead snapshot and drops the URL from its active set.
+monitor records a dead snapshot and drops the URL from its active set;
+a URL that never matched any group records a dead snapshot with
+``state='unknown'`` so revocation analyses do not count it.  Transient
+failures (timeouts, rate limits, unreachable pages) go through the
+resilience layer — retries with backoff, per-platform breakers — and,
+if they still fail, yield a ``missed`` snapshot: the URL stays in the
+active set and is re-probed the next day, never falsely marked dead.
 Creator phone numbers are hashed before storage (ethics protocol).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 from repro.core.dataset import Snapshot
 from repro.core.discovery import URLRecord
-from repro.errors import RevokedURLError, UnknownURLError
+from repro.errors import CircuitOpenError, RevokedURLError, TransientError, UnknownURLError
 from repro.platforms.base import GroupKind
 from repro.platforms.discord import DiscordAPI
 from repro.platforms.telegram import TelegramWebClient
 from repro.platforms.whatsapp import WhatsAppWebClient
 from repro.privacy.hashing import PhoneHasher
+from repro.resilience import ResilienceExecutor
 
 __all__ = ["MetadataMonitor", "MONITOR_HOUR_FRAC"]
 
@@ -42,17 +49,30 @@ class MetadataMonitor:
         telegram: TelegramWebClient,
         discord: DiscordAPI,
         hasher: PhoneHasher,
+        resilience: Optional[ResilienceExecutor] = None,
     ) -> None:
         self._whatsapp = whatsapp
         self._telegram = telegram
         self._discord = discord
         self._hasher = hasher
+        self._resilience = resilience or ResilienceExecutor()
         #: canonical -> snapshots, chronological.
         self.snapshots: Dict[str, List[Snapshot]] = {}
         self._dead: set = set()
 
+    @property
+    def health(self):
+        """The failure ledger shared with the resilience executor."""
+        return self._resilience.health
+
     def observe_day(self, day: int, records: Iterable[URLRecord]) -> None:
-        """Take the day's snapshot of every live, already-discovered URL."""
+        """Take the day's snapshot of every live, already-discovered URL.
+
+        A transient platform failure never escapes this loop: the
+        affected URL gets a ``missed`` snapshot and the remaining
+        probes proceed (or are cheaply deferred while that platform's
+        breaker is open).
+        """
         t = day + MONITOR_HOUR_FRAC
         for record in records:
             if record.canonical in self._dead:
@@ -66,15 +86,50 @@ class MetadataMonitor:
 
     def _observe_one(self, record: URLRecord, day: int, t: float) -> Snapshot:
         try:
-            if record.platform == "whatsapp":
-                return self._observe_whatsapp(record, day, t)
-            if record.platform == "telegram":
-                return self._observe_telegram(record, day, t)
-            return self._observe_discord(record, day, t)
-        except (RevokedURLError, UnknownURLError):
+            return self._resilience.call(
+                record.platform,
+                "observe",
+                t,
+                lambda: self._observe_platform(record, day, t),
+            )
+        except RevokedURLError:
             return Snapshot(
                 canonical=record.canonical, day=day, t=t, alive=False
             )
+        except UnknownURLError:
+            return Snapshot(
+                canonical=record.canonical,
+                day=day,
+                t=t,
+                alive=False,
+                state="unknown",
+            )
+        except CircuitOpenError:
+            # Breaker open: the probe was deferred without touching
+            # the platform.  Re-probe tomorrow.
+            self.health.bump(record.platform, day, "deferred")
+            return self._missed(record, day, t)
+        except TransientError:
+            return self._missed(record, day, t)
+
+    def _missed(self, record: URLRecord, day: int, t: float) -> Snapshot:
+        self.health.bump(record.platform, day, "missed")
+        return Snapshot(
+            canonical=record.canonical,
+            day=day,
+            t=t,
+            alive=True,
+            state="missed",
+        )
+
+    def _observe_platform(
+        self, record: URLRecord, day: int, t: float
+    ) -> Snapshot:
+        if record.platform == "whatsapp":
+            return self._observe_whatsapp(record, day, t)
+        if record.platform == "telegram":
+            return self._observe_telegram(record, day, t)
+        return self._observe_discord(record, day, t)
 
     def _observe_whatsapp(self, record: URLRecord, day: int, t: float) -> Snapshot:
         preview = self._whatsapp.preview(record.url, t)

@@ -19,7 +19,7 @@ consume.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from repro.clock import STUDY_DAYS
 from repro.core.dataset import StudyDataset
@@ -27,11 +27,20 @@ from repro.core.discovery import DiscoveryEngine
 from repro.core.joiner import DEFAULT_JOIN_TARGETS, GroupJoiner
 from repro.core.monitor import MetadataMonitor
 from repro.core.patterns import DEFAULT_PATTERNS
-from repro.errors import ConfigError
+from repro.errors import ConfigError, TransientError
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultyDiscordAPI,
+    FaultyPreviewClient,
+    FaultySearchAPI,
+    FaultyStreamingAPI,
+)
 from repro.platforms.discord import DiscordAPI
 from repro.platforms.telegram import TelegramWebClient
 from repro.platforms.whatsapp import WhatsAppWebClient
 from repro.privacy.hashing import PhoneHasher
+from repro.resilience import CollectionHealth, ResilienceExecutor
 from repro.simulation.world import World, WorldConfig
 from repro.twitter.search import SearchAPI
 from repro.twitter.service import tweet_matches
@@ -56,6 +65,13 @@ class StudyConfig:
         control_sample_rate: Sample-stream rate for the control
             dataset (see :class:`~repro.simulation.world.WorldConfig`).
         member_fetch_cap: Max member profiles fetched per group.
+        faults: Fault plan (or built-in profile name) to inject during
+            the campaign; None (the default) runs the bare, fault-free
+            pipeline.
+        fault_seed: Seed for the fault schedule; defaults to ``seed``
+            so the same study replays the same faults, while a
+            different fault seed replays the same world under a
+            different failure schedule.
     """
 
     seed: int = 7
@@ -68,6 +84,8 @@ class StudyConfig:
     join_day: int = 10
     control_sample_rate: float = 0.5
     member_fetch_cap: int = 5_000
+    faults: Optional[Union[FaultPlan, str]] = None
+    fault_seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not 0 <= self.join_day < self.n_days:
@@ -77,6 +95,10 @@ class StudyConfig:
         if not 0.0 < self.message_scale <= 1.0:
             raise ConfigError(
                 f"message_scale must be in (0, 1], got {self.message_scale}"
+            )
+        if isinstance(self.faults, str):
+            object.__setattr__(
+                self, "faults", FaultPlan.profile(self.faults)
             )
 
     def world_config(self) -> WorldConfig:
@@ -95,18 +117,45 @@ class Study:
     def __init__(self, config: Optional[StudyConfig] = None) -> None:
         self.config = config or StudyConfig()
         self.world = World(self.config.world_config())
-        self._search = SearchAPI(self.world.twitter)
-        self._stream = StreamingAPI(self.world.twitter)
-        self.engine = DiscoveryEngine(self._search, self._stream)
+        #: The campaign's failure ledger (exported with the dataset).
+        self.health = CollectionHealth()
+        self._resilience = ResilienceExecutor(
+            seed=self.config.seed, health=self.health
+        )
+        self.injector: Optional[FaultInjector] = None
+        if self.config.faults is not None:
+            fault_seed = (
+                self.config.fault_seed
+                if self.config.fault_seed is not None
+                else self.config.seed
+            )
+            self.injector = FaultInjector(
+                self.config.faults, seed=fault_seed, health=self.health
+            )
+        self._search = self._faulty(SearchAPI(self.world.twitter), FaultySearchAPI)
+        self._stream = self._faulty(
+            StreamingAPI(self.world.twitter), FaultyStreamingAPI
+        )
+        self.engine = DiscoveryEngine(
+            self._search, self._stream, resilience=self._resilience
+        )
         self._hasher = PhoneHasher(salt=f"study-{self.config.seed}")
         whatsapp = self.world.platform("whatsapp")
         telegram = self.world.platform("telegram")
         discord = self.world.platform("discord")
+        wa_web: object = WhatsAppWebClient(whatsapp)
+        tg_web: object = TelegramWebClient(telegram)
+        dc_api: object = DiscordAPI(discord, "dc-monitor")
+        if self.injector is not None:
+            wa_web = FaultyPreviewClient(wa_web, self.injector, "whatsapp")
+            tg_web = FaultyPreviewClient(tg_web, self.injector, "telegram")
+            dc_api = FaultyDiscordAPI(dc_api, self.injector)
         self.monitor = MetadataMonitor(
-            whatsapp=WhatsAppWebClient(whatsapp),
-            telegram=TelegramWebClient(telegram),
-            discord=DiscordAPI(discord, "dc-monitor"),
+            whatsapp=wa_web,
+            telegram=tg_web,
+            discord=dc_api,
             hasher=self._hasher,
+            resilience=self._resilience,
         )
         self.joiner = GroupJoiner(
             whatsapp,
@@ -115,7 +164,15 @@ class Study:
             hasher=self._hasher,
             seed=self.config.seed,
             member_fetch_cap=self.config.member_fetch_cap,
+            resilience=self._resilience,
+            injector=self.injector,
         )
+
+    def _faulty(self, client, proxy_cls):
+        """Wrap ``client`` in its fault proxy when a plan is active."""
+        if self.injector is None:
+            return client
+        return proxy_cls(client, self.injector)
 
     def run(self) -> StudyDataset:
         """Execute the campaign and return the collected dataset."""
@@ -142,6 +199,7 @@ class Study:
         dataset.snapshots = dict(self.monitor.snapshots)
         dataset.joined = joined
         dataset.users = users
+        dataset.health = self.health
         return dataset
 
     def _collect_control(self, day: int, dataset: StudyDataset) -> None:
@@ -150,11 +208,22 @@ class Study:
         The real 1 % sample's contamination by group-URL tweets was
         negligible; our scaled-down background firehose would be
         dominated by them, so they are excluded explicitly (documented
-        substitution in DESIGN.md).
+        substitution in DESIGN.md).  A transiently-failing sample
+        window is simply lost — exactly what a dropped stream
+        connection cost the real campaign.
         """
-        sampled = self._stream.sample(
-            day, day + 1, rate=self.config.control_sample_rate
-        )
+        try:
+            sampled = self._resilience.call(
+                "twitter",
+                "sample",
+                day + 1,
+                lambda: self._stream.sample(
+                    day, day + 1, rate=self.config.control_sample_rate
+                ),
+            )
+        except TransientError:
+            self.health.bump("twitter", day, "missed")
+            return
         dataset.control_tweets.extend(
             tweet
             for tweet in sampled

@@ -55,5 +55,31 @@ class BotRestrictionError(ReproError):
     """Discord forbids bots from joining servers on their own."""
 
 
-class APIRateLimitError(ReproError):
+class TransientError(ReproError):
+    """A temporary failure: the same call may succeed if retried later.
+
+    The resilience layer (:mod:`repro.resilience`) retries these with
+    backoff; a transient failure must never be mistaken for a
+    revocation.
+    """
+
+
+class APIRateLimitError(TransientError):
     """The platform API rejected the call due to rate limiting."""
+
+
+class NetworkTimeoutError(TransientError):
+    """The request timed out before the platform answered."""
+
+
+class TemporarilyUnavailableError(TransientError):
+    """The landing page / endpoint is temporarily unreachable."""
+
+
+class CircuitOpenError(TransientError):
+    """The resilience layer refused the call: the circuit is open.
+
+    Raised without touching the platform; the caller should degrade
+    gracefully (e.g. record a missed observation) and retry on a later
+    simulated hour, once the breaker half-opens.
+    """

@@ -1,0 +1,44 @@
+"""Deterministic fault injection for the measurement campaign.
+
+Real longitudinal collection survives revoked landing pages, flaky
+APIs, and rate limits; this package lets a seeded study *schedule*
+those failures — a :class:`FaultPlan` describes per-endpoint rates and
+burst windows, a :class:`FaultInjector` rolls the (stable-hash) dice,
+and the proxy classes interpose between the pipeline and the simulated
+platforms.  The other half of the story, absorbing the injected
+faults, lives in :mod:`repro.resilience`.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    ENDPOINTS,
+    FAULT_KINDS,
+    PROFILES,
+    Burst,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.faults.proxies import (
+    FaultProxy,
+    FaultyDiscordAPI,
+    FaultyJoinClient,
+    FaultyPreviewClient,
+    FaultySearchAPI,
+    FaultyStreamingAPI,
+)
+
+__all__ = [
+    "ENDPOINTS",
+    "FAULT_KINDS",
+    "PROFILES",
+    "Burst",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "FaultProxy",
+    "FaultyDiscordAPI",
+    "FaultyJoinClient",
+    "FaultyPreviewClient",
+    "FaultySearchAPI",
+    "FaultyStreamingAPI",
+]

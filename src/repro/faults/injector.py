@@ -1,0 +1,113 @@
+"""Seeded, schedulable fault injection.
+
+The :class:`FaultInjector` turns a declarative
+:class:`~repro.faults.plan.FaultPlan` into concrete failures at the
+proxied call sites.  Every decision is a stable hash of
+``(fault seed, endpoint, per-endpoint call index)`` via
+:func:`repro.rng.stable_uniform` — no wall clock, no shared RNG
+stream — so a campaign replays byte-identically from its seed, and a
+*retried* call is a fresh coin flip (transient faults genuinely clear
+on retry).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, TypeVar
+
+from repro.errors import (
+    APIRateLimitError,
+    NetworkTimeoutError,
+    TemporarilyUnavailableError,
+)
+from repro.faults.plan import FaultPlan
+from repro.resilience.health import CollectionHealth
+from repro.rng import stable_uniform
+
+__all__ = ["FaultInjector"]
+
+T = TypeVar("T")
+
+_KIND_TO_ERROR = {
+    "timeout": NetworkTimeoutError,
+    "rate_limit": APIRateLimitError,
+    "unreachable": TemporarilyUnavailableError,
+}
+
+
+class FaultInjector:
+    """Injects the faults a :class:`FaultPlan` schedules.
+
+    Attributes:
+        plan: The declarative fault plan in force.
+        seed: Fault seed; distinct from the world seed so the same
+            world can be replayed under different fault schedules.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        seed: int,
+        health: Optional[CollectionHealth] = None,
+    ) -> None:
+        self.plan = plan
+        self.seed = seed
+        self._health = health
+        self._calls: Dict[str, int] = {}
+
+    def _next_index(self, counter: str) -> int:
+        index = self._calls.get(counter, 0)
+        self._calls[counter] = index + 1
+        return index
+
+    def _coin(self, counter: str, index: int) -> float:
+        return stable_uniform(
+            f"{self.seed}/{counter}/{index}", salt="fault-injector"
+        )
+
+    def before_call(self, endpoint: str, platform: str, t: float) -> None:
+        """Fault check for one call on ``endpoint`` at simulated ``t``.
+
+        Raises the scheduled transient error when the coin lands on a
+        fault; returns silently otherwise.  Each invocation consumes
+        one per-endpoint call index, so the schedule is a pure function
+        of the seed and the call sequence.
+        """
+        spec = self.plan.spec(endpoint)
+        index = self._next_index(endpoint)
+        rate = spec.effective_rate(t)
+        if rate <= 0.0 or self._coin(endpoint, index) >= rate:
+            return
+        pick = self._coin(f"{endpoint}/kind", index)
+        kind = spec.kinds[int(pick * len(spec.kinds)) % len(spec.kinds)]
+        if self._health is not None:
+            self._health.bump(platform, int(t), "faults")
+        raise _KIND_TO_ERROR[kind](
+            f"injected {kind} on {endpoint} at t={t:.3f}"
+        )
+
+    def filter_results(
+        self, endpoint: str, platform: str, t: float, results: Sequence[T]
+    ) -> List[T]:
+        """Maybe truncate a result page (Twitter endpoints).
+
+        A truncated page silently keeps only the leading
+        ``truncate_frac`` of results — the way a real paginated API
+        drops the tail when a cursor dies mid-walk.
+        """
+        spec = self.plan.spec(endpoint)
+        results = list(results)
+        if spec.truncate_rate <= 0.0 or not results:
+            return results
+        counter = f"{endpoint}/truncate"
+        index = self._next_index(counter)
+        if self._coin(counter, index) >= spec.truncate_rate:
+            return results
+        keep = max(1, int(len(results) * spec.truncate_frac))
+        if keep >= len(results):
+            return results
+        if self._health is not None:
+            self._health.bump(platform, int(t), "truncated")
+            self._health.bump(
+                platform, int(t), "dropped_results", len(results) - keep
+            )
+        return results[:keep]

@@ -1,0 +1,252 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` says, per endpoint, how often the simulated
+platform misbehaves and in which ways: transient faults (timeouts,
+rate limits, unreachable landing pages) at a base ``rate``, optional
+:class:`Burst` windows during which the rate changes (modelling a
+platform incident or an aggressive rate-limiting episode), and
+truncated result pages for the list-returning Twitter endpoints.
+
+Plans are pure data — the coin flips happen in
+:class:`~repro.faults.injector.FaultInjector`, deterministically from
+the study's fault seed — so the same plan + seed always injects the
+same faults at the same call sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "Burst",
+    "FaultSpec",
+    "FaultPlan",
+    "ENDPOINTS",
+    "FAULT_KINDS",
+    "PROFILES",
+]
+
+#: Every call site the injector can intercept.
+ENDPOINTS = (
+    "twitter.search",
+    "twitter.stream",
+    "twitter.sample",
+    "whatsapp.preview",
+    "telegram.preview",
+    "discord.invite",
+    "whatsapp.join",
+    "telegram.join",
+    "discord.join",
+)
+
+#: Transient fault kinds and the exception they map to (see injector).
+FAULT_KINDS = ("timeout", "rate_limit", "unreachable")
+
+
+@dataclass(frozen=True)
+class Burst:
+    """A window of simulated time with its own fault rate.
+
+    Attributes:
+        start: Window start (days since study start, inclusive).
+        end: Window end (exclusive).
+        rate: Fault rate inside the window (replaces the base rate).
+    """
+
+    start: float
+    end: float
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ConfigError(
+                f"burst window is empty: [{self.start}, {self.end})"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigError(f"burst rate must be in [0, 1], got {self.rate}")
+
+    def covers(self, t: float) -> bool:
+        """Whether simulated time ``t`` falls inside the window."""
+        return self.start <= t < self.end
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Fault behaviour of one endpoint.
+
+    Attributes:
+        rate: Base probability that a call raises a transient fault.
+        kinds: Fault kinds to draw from (uniformly) when a fault fires.
+        bursts: Windows overriding the base rate (first match wins).
+        truncate_rate: Probability that a list-returning call silently
+            drops the tail of its result page (Twitter endpoints only).
+        truncate_frac: Fraction of the page kept when truncation fires.
+    """
+
+    rate: float = 0.0
+    kinds: Tuple[str, ...] = ("timeout",)
+    bursts: Tuple[Burst, ...] = ()
+    truncate_rate: float = 0.0
+    truncate_frac: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigError(f"fault rate must be in [0, 1], got {self.rate}")
+        if not 0.0 <= self.truncate_rate <= 1.0:
+            raise ConfigError(
+                f"truncate_rate must be in [0, 1], got {self.truncate_rate}"
+            )
+        if not 0.0 < self.truncate_frac <= 1.0:
+            raise ConfigError(
+                f"truncate_frac must be in (0, 1], got {self.truncate_frac}"
+            )
+        for kind in self.kinds:
+            if kind not in FAULT_KINDS:
+                raise ConfigError(
+                    f"unknown fault kind {kind!r} (known: {FAULT_KINDS})"
+                )
+
+    def effective_rate(self, t: float) -> float:
+        """The fault rate in force at simulated time ``t``."""
+        for burst in self.bursts:
+            if burst.covers(t):
+                return burst.rate
+        return self.rate
+
+    @property
+    def idle(self) -> bool:
+        """True if this spec can never inject anything."""
+        return (
+            self.rate == 0.0
+            and self.truncate_rate == 0.0
+            and all(b.rate == 0.0 for b in self.bursts)
+        )
+
+
+_NO_FAULTS = FaultSpec()
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-endpoint fault specs for a whole campaign.
+
+    Endpoints absent from ``specs`` never fault.  Plans are built
+    either directly or from a named profile via :meth:`profile`.
+    """
+
+    specs: Mapping[str, FaultSpec] = field(default_factory=dict)
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        for endpoint in self.specs:
+            if endpoint not in ENDPOINTS:
+                raise ConfigError(
+                    f"unknown endpoint {endpoint!r} (known: {ENDPOINTS})"
+                )
+
+    def spec(self, endpoint: str) -> FaultSpec:
+        """The spec for ``endpoint`` (a no-fault spec if unconfigured)."""
+        return self.specs.get(endpoint, _NO_FAULTS)
+
+    @property
+    def idle(self) -> bool:
+        """True if no endpoint can ever fault under this plan."""
+        return all(spec.idle for spec in self.specs.values())
+
+    @classmethod
+    def profile(cls, name: str) -> "FaultPlan":
+        """Return one of the built-in profiles (see :data:`PROFILES`)."""
+        try:
+            builder = PROFILES[name]
+        except KeyError:
+            raise ConfigError(
+                f"unknown fault profile {name!r} (known: {sorted(PROFILES)})"
+            ) from None
+        return builder()
+
+
+def _profile_none() -> FaultPlan:
+    """All machinery engaged, nothing ever injected (overhead baseline)."""
+    return FaultPlan(specs={}, name="none")
+
+
+def _profile_paper_like() -> FaultPlan:
+    """Flakiness at the level a real 38-day campaign absorbs quietly.
+
+    Occasional timeouts on every observation channel, mild Discord
+    rate limiting, a small chance of truncated Search pages, and one
+    three-day Telegram incident (days 20-23) of elevated failures —
+    the kind of episode the paper's collection shrugged off.
+    """
+    incident = Burst(start=20.0, end=23.0, rate=0.30)
+    return FaultPlan(
+        name="paper-like",
+        specs={
+            "twitter.search": FaultSpec(
+                rate=0.02, kinds=("timeout", "rate_limit"),
+                truncate_rate=0.05, truncate_frac=0.7,
+            ),
+            "twitter.stream": FaultSpec(rate=0.01, kinds=("timeout",)),
+            "twitter.sample": FaultSpec(rate=0.01, kinds=("timeout",)),
+            "whatsapp.preview": FaultSpec(
+                rate=0.02, kinds=("timeout", "unreachable")
+            ),
+            "telegram.preview": FaultSpec(
+                rate=0.02, kinds=("timeout", "unreachable"),
+                bursts=(incident,),
+            ),
+            "discord.invite": FaultSpec(
+                rate=0.03, kinds=("rate_limit", "timeout")
+            ),
+            "whatsapp.join": FaultSpec(rate=0.02, kinds=("timeout",)),
+            "telegram.join": FaultSpec(
+                rate=0.02, kinds=("rate_limit",), bursts=(incident,)
+            ),
+            "discord.join": FaultSpec(rate=0.02, kinds=("rate_limit",)),
+        },
+    )
+
+
+def _profile_hostile() -> FaultPlan:
+    """Every platform actively hostile: high rates plus total-outage
+    bursts (rate 1.0) early in the window, guaranteed to trip every
+    circuit breaker at least once even in short test campaigns."""
+    def outage(start: float) -> Tuple[Burst, ...]:
+        return (Burst(start=start, end=start + 1.0, rate=1.0),)
+
+    return FaultPlan(
+        name="hostile",
+        specs={
+            "twitter.search": FaultSpec(
+                rate=0.30, kinds=("timeout", "rate_limit"),
+                bursts=outage(3.0), truncate_rate=0.30, truncate_frac=0.5,
+            ),
+            "twitter.stream": FaultSpec(
+                rate=0.25, kinds=("timeout",), bursts=outage(3.0)
+            ),
+            "twitter.sample": FaultSpec(rate=0.25, kinds=("timeout",)),
+            "whatsapp.preview": FaultSpec(
+                rate=0.35, kinds=("timeout", "unreachable"), bursts=outage(1.0)
+            ),
+            "telegram.preview": FaultSpec(
+                rate=0.35, kinds=("timeout", "unreachable"), bursts=outage(2.0)
+            ),
+            "discord.invite": FaultSpec(
+                rate=0.35, kinds=("rate_limit", "timeout"), bursts=outage(0.0)
+            ),
+            "whatsapp.join": FaultSpec(rate=0.30, kinds=("timeout",)),
+            "telegram.join": FaultSpec(rate=0.30, kinds=("rate_limit",)),
+            "discord.join": FaultSpec(rate=0.30, kinds=("rate_limit",)),
+        },
+    )
+
+
+#: Built-in profile name -> plan builder.
+PROFILES: Dict[str, object] = {
+    "none": _profile_none,
+    "paper-like": _profile_paper_like,
+    "hostile": _profile_hostile,
+}

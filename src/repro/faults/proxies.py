@@ -1,0 +1,117 @@
+"""Fault proxies: the common wrapper the pipeline talks through.
+
+Each proxy wraps one real client (Twitter Search/Streaming, a platform
+web client or API) and forwards everything untouched *except* the
+observation/join endpoints named in the fault plan, which first pass
+through the injector's fault check.  The pipeline never knows whether
+it holds a bare client or a proxied one — with no plan configured the
+proxies are simply absent and the call path is exactly the seed's.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.faults.injector import FaultInjector
+from repro.twitter.model import Tweet
+
+__all__ = [
+    "FaultProxy",
+    "FaultySearchAPI",
+    "FaultyStreamingAPI",
+    "FaultyPreviewClient",
+    "FaultyDiscordAPI",
+    "FaultyJoinClient",
+]
+
+
+class FaultProxy:
+    """Transparent proxy base: guard named endpoints, pass the rest."""
+
+    def __init__(self, target: object, injector: FaultInjector) -> None:
+        self._target = target
+        self._injector = injector
+
+    def __getattr__(self, name: str):
+        return getattr(self._target, name)
+
+    def _guard(self, endpoint: str, platform: str, t: float) -> None:
+        self._injector.before_call(endpoint, platform, t)
+
+
+class FaultySearchAPI(FaultProxy):
+    """Search API under faults: failed or truncated polls."""
+
+    def search(
+        self,
+        patterns: Sequence[str],
+        now: float,
+        since: Optional[float] = None,
+    ) -> List[Tweet]:
+        self._guard("twitter.search", "twitter", now)
+        results = self._target.search(patterns, now, since=since)
+        return self._injector.filter_results(
+            "twitter.search", "twitter", now, results
+        )
+
+
+class FaultyStreamingAPI(FaultProxy):
+    """Streaming API under faults: dropped windows, thinned samples."""
+
+    def filtered(
+        self, patterns: Sequence[str], t0: float, t1: float
+    ) -> List[Tweet]:
+        self._guard("twitter.stream", "twitter", t0)
+        results = self._target.filtered(patterns, t0, t1)
+        return self._injector.filter_results(
+            "twitter.stream", "twitter", t0, results
+        )
+
+    def sample(self, t0: float, t1: float, **kwargs) -> List[Tweet]:
+        self._guard("twitter.sample", "twitter", t0)
+        results = self._target.sample(t0, t1, **kwargs)
+        return self._injector.filter_results(
+            "twitter.sample", "twitter", t0, results
+        )
+
+
+class FaultyPreviewClient(FaultProxy):
+    """WhatsApp/Telegram web client under faults: unreachable pages."""
+
+    def __init__(
+        self, target: object, injector: FaultInjector, platform: str
+    ) -> None:
+        super().__init__(target, injector)
+        self._platform = platform
+        self._endpoint = f"{platform}.preview"
+
+    def preview(self, url: str, t: float):
+        self._guard(self._endpoint, self._platform, t)
+        return self._target.preview(url, t)
+
+
+class FaultyDiscordAPI(FaultProxy):
+    """Discord REST API under faults: rate-limited invites and joins."""
+
+    def get_invite(self, url: str, t: float):
+        self._guard("discord.invite", "discord", t)
+        return self._target.get_invite(url, t)
+
+    def join(self, url: str, t: float):
+        self._guard("discord.join", "discord", t)
+        return self._target.join(url, t)
+
+
+class FaultyJoinClient(FaultProxy):
+    """Join-capable account (WhatsApp/Telegram) under join faults."""
+
+    def __init__(
+        self, target: object, injector: FaultInjector, platform: str
+    ) -> None:
+        super().__init__(target, injector)
+        self._platform = platform
+        self._endpoint = f"{platform}.join"
+
+    def join(self, url: str, t: float):
+        self._guard(self._endpoint, self._platform, t)
+        return self._target.join(url, t)

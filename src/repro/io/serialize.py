@@ -25,6 +25,7 @@ from repro.core.discovery import URLRecord
 from repro.platforms.base import GroupKind, MessageType
 from repro.privacy.hashing import HashedPhone
 from repro.privacy.pii import LinkedAccount
+from repro.resilience.health import CollectionHealth
 from repro.twitter.model import Tweet
 
 __all__ = ["save_dataset", "load_dataset", "FORMAT_VERSION"]
@@ -74,7 +75,7 @@ def _hashed_phone_to_dict(phone: Optional[HashedPhone]) -> Optional[Dict[str, st
 
 
 def _snapshot_to_dict(snap: Snapshot) -> Dict[str, Any]:
-    return {
+    item = {
         "canonical": snap.canonical,
         "day": snap.day,
         "t": snap.t,
@@ -88,6 +89,12 @@ def _snapshot_to_dict(snap: Snapshot) -> Dict[str, Any]:
         "creator_id": snap.creator_id,
         "created_t": snap.created_t,
     }
+    # 'state' is emitted only when it carries information beyond
+    # ``alive`` ('missed'/'unknown'), keeping fault-free exports
+    # byte-identical to the pre-resilience layout.
+    if snap.state:
+        item["state"] = snap.state
+    return item
 
 
 def _joined_to_dict(data: JoinedGroupData) -> Dict[str, Any]:
@@ -142,6 +149,11 @@ def save_dataset(dataset: StudyDataset, path: Union[str, os.PathLike]) -> None:
         "joined": [_joined_to_dict(j) for j in dataset.joined],
         "users": [_user_to_dict(u) for u in dataset.users.values()],
     }
+    # Collection health is part of the artefact only when the campaign
+    # actually saw faults/retries/misses; a clean campaign's export is
+    # byte-identical to one written before the resilience layer.
+    if dataset.health is not None and not dataset.health.is_clean():
+        document["health"] = dataset.health.to_dict()
     payload = json.dumps(document, separators=(",", ":"))
     path = os.fspath(path)
     if path.endswith(".gz"):
@@ -208,6 +220,7 @@ def _snapshot_from_dict(item: Dict[str, Any]) -> Snapshot:
         creator_phone_hash=_hashed_phone_from_dict(item["creator_phone_hash"]),
         creator_id=item["creator_id"],
         created_t=item["created_t"],
+        state=item.get("state", ""),
     )
 
 
@@ -288,4 +301,6 @@ def load_dataset(path: Union[str, os.PathLike]) -> StudyDataset:
         (item["platform"], item["user_id"]): _user_from_dict(item)
         for item in document["users"]
     }
+    if "health" in document:
+        dataset.health = CollectionHealth.from_dict(document["health"])
     return dataset

@@ -19,6 +19,7 @@ from repro.reporting.figures import (
     render_fig9,
     render_interplay,
 )
+from repro.reporting.health import render_health
 from repro.reporting.tables import (
     format_table,
     render_table1,
@@ -30,6 +31,7 @@ from repro.reporting.tables import (
 
 __all__ = [
     "format_table",
+    "render_health",
     "render_fig1",
     "render_fig2",
     "render_fig3",

@@ -1,0 +1,59 @@
+"""Collection-health report.
+
+Renders the campaign's failure ledger — what the fault injector threw
+at the pipeline and what the resilience layer did about it — as the
+same plain-text table style the paper tables use.  A clean campaign
+renders a one-line all-clear, so the report is safe to print
+unconditionally.
+"""
+
+from __future__ import annotations
+
+from repro.core.dataset import StudyDataset
+from repro.reporting.tables import format_table
+from repro.resilience.health import HEALTH_FIELDS
+
+__all__ = ["render_health"]
+
+_HEADERS = ("platform",) + HEALTH_FIELDS
+
+
+def render_health(dataset: StudyDataset) -> str:
+    """Render the collection-health report for one campaign."""
+    health = dataset.health
+    title = "Collection health (faults injected vs absorbed)"
+    if health is None or health.is_clean():
+        return f"{title}\nclean campaign: no faults, retries, trips, or misses"
+    lines = [
+        format_table(_HEADERS, health.summary_rows(), title=title),
+        "",
+        _survival_summary(dataset),
+    ]
+    worst = _worst_days(health)
+    if worst:
+        lines.append(worst)
+    return "\n".join(lines)
+
+
+def _survival_summary(dataset: StudyDataset) -> str:
+    """One line proving graceful degradation: observed vs missed."""
+    n_snapshots = sum(len(s) for s in dataset.snapshots.values())
+    n_missed = sum(
+        1 for snaps in dataset.snapshots.values() for s in snaps if s.missed
+    )
+    observed = n_snapshots - n_missed
+    pct = 100.0 * observed / n_snapshots if n_snapshots else 100.0
+    return (
+        f"snapshots: {observed}/{n_snapshots} observed ({pct:.1f} %), "
+        f"{n_missed} missed and re-probed next day"
+    )
+
+
+def _worst_days(health, top: int = 3) -> str:
+    """The days with the most faults, for incident spotting."""
+    per_day = health.by_day("faults")
+    if not per_day:
+        return ""
+    worst = sorted(per_day.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
+    days = ", ".join(f"day {day}: {int(n)} faults" for day, n in worst)
+    return f"worst days: {days}"

@@ -1,0 +1,32 @@
+"""Resilience layer: absorbing the failures real platforms produce.
+
+Used by the discovery engine, the metadata monitor, and the group
+joiner so a transient failure (injected by :mod:`repro.faults` or
+raised by a rate-limited simulated API) degrades the campaign
+gracefully instead of crashing it or — worse — masquerading as a
+revocation:
+
+* :class:`RetryPolicy` / seeded exponential backoff (simulated time),
+* :class:`CircuitBreaker` per (platform, operation), half-opening on a
+  later simulated hour,
+* :class:`ResilienceExecutor` tying both together around every flaky
+  call,
+* :class:`CollectionHealth`, the per-platform/day failure ledger the
+  study exports and the "collection health" report renders.
+"""
+
+from repro.resilience.breaker import BreakerState, CircuitBreaker
+from repro.resilience.executor import ResilienceExecutor
+from repro.resilience.health import HEALTH_FIELDS, CollectionHealth
+from repro.resilience.retry import RetryPolicy, backoff_hours, backoff_schedule
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "CollectionHealth",
+    "HEALTH_FIELDS",
+    "ResilienceExecutor",
+    "RetryPolicy",
+    "backoff_hours",
+    "backoff_schedule",
+]

@@ -1,0 +1,93 @@
+"""Per-platform circuit breakers on simulated time.
+
+A breaker trips OPEN after ``failure_threshold`` consecutive transient
+failures; while open, calls are refused without touching the platform
+(so a rate-limited API is not hammered further).  Once
+``cooldown_hours`` of *simulated* time has passed it half-opens: the
+next call goes through as a probe — success closes the circuit,
+failure re-opens it for another cooldown.  All transitions are driven
+by the campaign clock (the ``t`` each call carries), never the wall
+clock.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.resilience.health import CollectionHealth
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    """The classic three circuit-breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker for one (platform, operation) pair."""
+
+    def __init__(
+        self,
+        platform: str,
+        failure_threshold: int = 5,
+        cooldown_hours: float = 6.0,
+        health: Optional[CollectionHealth] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_hours <= 0:
+            raise ValueError(
+                f"cooldown_hours must be positive, got {cooldown_hours}"
+            )
+        self.platform = platform
+        self.failure_threshold = failure_threshold
+        self.cooldown_days = cooldown_hours / 24.0
+        self._health = health
+        self._open = False
+        self._opened_t = 0.0
+        self._consecutive_failures = 0
+        self.trips = 0
+
+    def state_at(self, t: float) -> BreakerState:
+        """The breaker's state at simulated time ``t``."""
+        if not self._open:
+            return BreakerState.CLOSED
+        if t >= self._opened_t + self.cooldown_days:
+            return BreakerState.HALF_OPEN
+        return BreakerState.OPEN
+
+    def allow(self, t: float) -> bool:
+        """Whether a call may proceed at ``t`` (half-open lets a probe
+        through; the probe's outcome decides what happens next)."""
+        return self.state_at(t) is not BreakerState.OPEN
+
+    def record_success(self, t: float) -> None:
+        """A call (or half-open probe) succeeded: close the circuit."""
+        self._open = False
+        self._consecutive_failures = 0
+
+    def record_failure(self, t: float) -> None:
+        """A call failed transiently; maybe trip (or re-trip) the breaker."""
+        if self.state_at(t) is BreakerState.HALF_OPEN:
+            self._trip(t)
+            return
+        self._consecutive_failures += 1
+        if not self._open and (
+            self._consecutive_failures >= self.failure_threshold
+        ):
+            self._trip(t)
+
+    def _trip(self, t: float) -> None:
+        self._open = True
+        self._opened_t = t
+        self._consecutive_failures = 0
+        self.trips += 1
+        if self._health is not None:
+            self._health.bump(self.platform, int(t), "trips")

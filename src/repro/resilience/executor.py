@@ -1,0 +1,109 @@
+"""The resilience executor: retry + breaker + accounting in one call.
+
+``executor.call(platform, op, t, fn)`` is the single idiom the
+pipeline uses to touch a flaky surface: it consults the
+(platform, op) circuit breaker, retries transient failures with
+seeded backoff, keeps the health ledger, and re-raises the final
+:class:`~repro.errors.TransientError` for the caller to degrade
+gracefully (a missed snapshot, a skipped poll, a deferred join).
+Non-transient errors — revocations, unknown URLs, join limits — pass
+straight through untouched: resilience must never mask a real signal.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple, TypeVar
+
+from repro.errors import CircuitOpenError, TransientError
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.health import CollectionHealth
+from repro.resilience.retry import RetryPolicy, backoff_hours
+
+__all__ = ["ResilienceExecutor"]
+
+T = TypeVar("T")
+
+
+class ResilienceExecutor:
+    """Shared retry/breaker harness for every pipeline component."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        policy: Optional[RetryPolicy] = None,
+        health: Optional[CollectionHealth] = None,
+        failure_threshold: int = 5,
+        cooldown_hours: float = 6.0,
+    ) -> None:
+        self.seed = seed
+        self.policy = policy or RetryPolicy()
+        self.health = health if health is not None else CollectionHealth()
+        self._failure_threshold = failure_threshold
+        self._cooldown_hours = cooldown_hours
+        self._breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
+        self._call_counts: Dict[Tuple[str, str], int] = {}
+
+    def breaker(self, platform: str, op: str) -> CircuitBreaker:
+        """The breaker guarding (``platform``, ``op``), created lazily."""
+        key = (platform, op)
+        found = self._breakers.get(key)
+        if found is None:
+            found = CircuitBreaker(
+                platform,
+                failure_threshold=self._failure_threshold,
+                cooldown_hours=self._cooldown_hours,
+                health=self.health,
+            )
+            self._breakers[key] = found
+        return found
+
+    def call(
+        self, platform: str, op: str, t: float, fn: Callable[[], T]
+    ) -> T:
+        """Run ``fn`` under retry + circuit-breaker protection.
+
+        Raises:
+            CircuitOpenError: The breaker is open; the platform was
+                not touched.
+            TransientError: Every attempt failed transiently (the last
+                failure is re-raised).
+        """
+        day = int(t)
+        breaker = self.breaker(platform, op)
+        if not breaker.allow(t):
+            self.health.bump(platform, day, "rejected")
+            raise CircuitOpenError(
+                f"{platform}/{op} circuit open at t={t:.3f}"
+            )
+        key = (platform, op)
+        index = self._call_counts.get(key, 0)
+        self._call_counts[key] = index + 1
+        last: Optional[TransientError] = None
+        for attempt in range(1, self.policy.max_attempts + 1):
+            self.health.bump(platform, day, "attempts")
+            try:
+                result = fn()
+            except TransientError as exc:
+                last = exc
+                self.health.bump(platform, day, "failures")
+                breaker.record_failure(t)
+                if not breaker.allow(t):
+                    break  # tripped mid-call: stop retrying immediately
+                if attempt < self.policy.max_attempts:
+                    self.health.bump(platform, day, "retries")
+                    self.health.bump(
+                        platform,
+                        day,
+                        "backoff_hours",
+                        backoff_hours(
+                            self.policy,
+                            attempt,
+                            self.seed,
+                            f"{platform}/{op}/{index}",
+                        ),
+                    )
+            else:
+                breaker.record_success(t)
+                return result
+        assert last is not None
+        raise last

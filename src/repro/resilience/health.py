@@ -1,0 +1,128 @@
+"""Failure accounting for the collection pipeline.
+
+:class:`CollectionHealth` is a per-platform, per-day ledger of what
+the resilience layer saw and did: attempts, injected faults, transient
+failures, retries, circuit-breaker trips and rejections, missed and
+deferred observations, truncated result pages.  It rides on the
+:class:`~repro.core.dataset.StudyDataset` so the campaign's health is
+part of the exported artefact — but only when there is something to
+report, keeping fault-free exports byte-identical to the fault-free
+pipeline's.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["CollectionHealth", "HEALTH_FIELDS"]
+
+#: Ledger fields, in reporting order.
+HEALTH_FIELDS = (
+    "attempts",
+    "faults",
+    "failures",
+    "retries",
+    "backoff_hours",
+    "trips",
+    "rejected",
+    "missed",
+    "deferred",
+    "join_skips",
+    "truncated",
+    "dropped_results",
+)
+
+#: Fields whose presence means the campaign was NOT fault-free.
+#: ``attempts`` alone is normal operation.
+_DIRTY_FIELDS = tuple(f for f in HEALTH_FIELDS if f != "attempts")
+
+
+class CollectionHealth:
+    """Per-(platform, day) counters of faults and resilience actions."""
+
+    def __init__(self) -> None:
+        #: platform -> day -> field -> value
+        self._counters: Dict[str, Dict[int, Dict[str, float]]] = {}
+
+    def bump(
+        self, platform: str, day: int, field: str, n: float = 1
+    ) -> None:
+        """Add ``n`` to ``field`` for ``platform`` on ``day``."""
+        if field not in HEALTH_FIELDS:
+            raise KeyError(f"unknown health field: {field!r}")
+        days = self._counters.setdefault(platform, {})
+        fields = days.setdefault(int(day), {})
+        fields[field] = fields.get(field, 0) + n
+
+    # -- queries -----------------------------------------------------------
+
+    def platforms(self) -> List[str]:
+        """Platforms with at least one recorded counter, sorted."""
+        return sorted(self._counters)
+
+    def total(self, field: str, platform: str = "") -> float:
+        """Sum of ``field`` across days (one platform, or all)."""
+        scopes = [platform] if platform else self.platforms()
+        return sum(
+            fields.get(field, 0)
+            for scope in scopes
+            for fields in self._counters.get(scope, {}).values()
+        )
+
+    def by_day(self, field: str, platform: str = "") -> Dict[int, float]:
+        """Day -> summed ``field`` (one platform, or all)."""
+        scopes = [platform] if platform else self.platforms()
+        out: Dict[int, float] = {}
+        for scope in scopes:
+            for day, fields in self._counters.get(scope, {}).items():
+                value = fields.get(field, 0)
+                if value:
+                    out[day] = out.get(day, 0) + value
+        return out
+
+    def is_clean(self) -> bool:
+        """True if the campaign saw no fault, retry, trip, or miss."""
+        return all(self.total(field) == 0 for field in _DIRTY_FIELDS)
+
+    # -- (de)serialisation -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready nested dict with deterministically sorted keys."""
+        return {
+            platform: {
+                str(day): {
+                    field: days[day][field] for field in sorted(days[day])
+                }
+                for day in sorted(days)
+            }
+            for platform, days in sorted(self._counters.items())
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "CollectionHealth":
+        """Inverse of :meth:`to_dict`."""
+        health = cls()
+        for platform, days in document.items():
+            for day, fields in days.items():
+                for field, value in fields.items():
+                    health.bump(platform, int(day), field, value)
+        return health
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CollectionHealth):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def summary_rows(self) -> List[Tuple[str, ...]]:
+        """One row per platform, fields in :data:`HEALTH_FIELDS` order."""
+        rows = []
+        for platform in self.platforms():
+            row: List[str] = [platform]
+            for field in HEALTH_FIELDS:
+                value = self.total(field, platform)
+                if field == "backoff_hours":
+                    row.append(f"{value:.2f}")
+                else:
+                    row.append(str(int(value)))
+            rows.append(tuple(row))
+        return rows

@@ -1,0 +1,75 @@
+"""Retry policy with seeded exponential backoff.
+
+Backoff delays are *simulated-time bookkeeping*: the campaign clock is
+not advanced (observation semantics stay fixed), but every delay the
+real collector would have slept is computed — exponential growth with
+jitter drawn via :func:`repro.rng.stable_uniform` — and accounted in
+the collection-health ledger.  No wall-clock reads, no stdlib RNG:
+the schedule is a pure function of (seed, call key, attempt), which a
+guard test enforces by grepping this package's sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.rng import stable_uniform
+
+__all__ = ["RetryPolicy", "backoff_hours", "backoff_schedule"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How transient failures are retried.
+
+    Attributes:
+        max_attempts: Total tries per call (1 = no retries).
+        base_delay_hours: Backoff before the first retry.
+        multiplier: Exponential growth factor per retry.
+        max_delay_hours: Backoff ceiling.
+        jitter: Symmetric jitter fraction (0.25 -> +/-25 %).
+    """
+
+    max_attempts: int = 3
+    base_delay_hours: float = 0.25
+    multiplier: float = 2.0
+    max_delay_hours: float = 4.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_hours <= 0 or self.max_delay_hours <= 0:
+            raise ConfigError("backoff delays must be positive")
+        if self.multiplier < 1.0:
+            raise ConfigError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigError(f"jitter must be in [0, 1), got {self.jitter}")
+
+
+def backoff_hours(
+    policy: RetryPolicy, attempt: int, seed: int, key: str
+) -> float:
+    """Backoff (hours) before retry number ``attempt`` (1-based).
+
+    Deterministic in (policy, attempt, seed, key): the jitter is a
+    stable hash, not a stateful RNG draw, so concurrent or re-ordered
+    call sites cannot perturb each other's schedules.
+    """
+    raw = min(
+        policy.max_delay_hours,
+        policy.base_delay_hours * policy.multiplier ** (attempt - 1),
+    )
+    u = stable_uniform(f"{key}/attempt{attempt}", salt=f"backoff-{seed}")
+    return raw * (1.0 + policy.jitter * (2.0 * u - 1.0))
+
+
+def backoff_schedule(policy: RetryPolicy, seed: int, key: str):
+    """The full delay sequence one call would sleep through."""
+    return [
+        backoff_hours(policy, attempt, seed, key)
+        for attempt in range(1, policy.max_attempts)
+    ]

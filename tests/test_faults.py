@@ -1,0 +1,282 @@
+"""Fault-injection subsystem tests: plans, injector, proxies, and the
+end-to-end determinism / graceful-degradation guarantees."""
+
+import hashlib
+
+import pytest
+
+from repro.core.study import Study, StudyConfig
+from repro.errors import (
+    APIRateLimitError,
+    ConfigError,
+    NetworkTimeoutError,
+    TemporarilyUnavailableError,
+    TransientError,
+)
+from repro.faults import (
+    Burst,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    FaultySearchAPI,
+)
+from repro.io import save_dataset
+
+pytestmark = pytest.mark.faults
+
+#: sha256 of the exported dataset of ``_golden_config()`` as produced
+#: by the pre-resilience pipeline.  The faults-off path must keep
+#: reproducing it byte for byte.
+GOLDEN_SHA = "e1f068bb61b4b3a9d254dd8cfb0056a1bbb0cafff47e5bc8bb045b569a37bb75"
+
+
+def _golden_config(**overrides):
+    base = dict(
+        seed=11,
+        n_days=6,
+        scale=0.004,
+        message_scale=0.05,
+        join_targets={"whatsapp": 20, "telegram": 10, "discord": 10},
+        join_day=2,
+    )
+    base.update(overrides)
+    return StudyConfig(**base)
+
+
+def _export_sha(dataset, tmp_path, name):
+    path = tmp_path / name
+    save_dataset(dataset, path)
+    return hashlib.sha256(path.read_bytes()).hexdigest(), path
+
+
+# -- plans -------------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_profiles_exist(self):
+        for name in ("none", "paper-like", "hostile"):
+            plan = FaultPlan.profile(name)
+            assert plan.name == name
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.profile("apocalyptic")
+
+    def test_none_profile_is_idle(self):
+        assert FaultPlan.profile("none").idle
+        assert not FaultPlan.profile("hostile").idle
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(specs={"myspace.preview": FaultSpec(rate=0.1)})
+
+    def test_bad_rates_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(rate=1.5)
+        with pytest.raises(ConfigError):
+            FaultSpec(kinds=("bluescreen",))
+        with pytest.raises(ConfigError):
+            Burst(start=3.0, end=3.0, rate=0.5)
+
+    def test_burst_overrides_base_rate(self):
+        spec = FaultSpec(rate=0.1, bursts=(Burst(start=2.0, end=3.0, rate=0.9),))
+        assert spec.effective_rate(1.5) == 0.1
+        assert spec.effective_rate(2.5) == 0.9
+        assert spec.effective_rate(3.0) == 0.1
+
+
+# -- injector ----------------------------------------------------------------
+
+
+def _always(endpoint, kinds=("timeout",), **kw):
+    return FaultPlan(specs={endpoint: FaultSpec(rate=1.0, kinds=kinds, **kw)})
+
+
+class TestInjector:
+    def test_rate_one_always_faults(self):
+        injector = FaultInjector(_always("discord.invite"), seed=1)
+        for _ in range(10):
+            with pytest.raises(NetworkTimeoutError):
+                injector.before_call("discord.invite", "discord", 0.5)
+
+    def test_rate_zero_never_faults(self):
+        injector = FaultInjector(FaultPlan.profile("none"), seed=1)
+        for _ in range(100):
+            injector.before_call("discord.invite", "discord", 0.5)
+
+    def test_kind_maps_to_exception(self):
+        cases = {
+            ("rate_limit",): APIRateLimitError,
+            ("unreachable",): TemporarilyUnavailableError,
+            ("timeout",): NetworkTimeoutError,
+        }
+        for kinds, error in cases.items():
+            injector = FaultInjector(_always("telegram.preview", kinds), seed=1)
+            with pytest.raises(error):
+                injector.before_call("telegram.preview", "telegram", 0.5)
+
+    def test_decision_sequence_is_seed_deterministic(self):
+        plan = FaultPlan(specs={"twitter.search": FaultSpec(rate=0.5)})
+
+        def outcomes(seed):
+            injector = FaultInjector(plan, seed=seed)
+            out = []
+            for _ in range(50):
+                try:
+                    injector.before_call("twitter.search", "twitter", 1.0)
+                    out.append(False)
+                except TransientError:
+                    out.append(True)
+            return out
+
+        assert outcomes(3) == outcomes(3)
+        assert outcomes(3) != outcomes(4)
+        assert any(outcomes(3)) and not all(outcomes(3))
+
+    def test_truncation_keeps_leading_fraction(self):
+        plan = FaultPlan(
+            specs={
+                "twitter.search": FaultSpec(
+                    truncate_rate=1.0, truncate_frac=0.5
+                )
+            }
+        )
+        injector = FaultInjector(plan, seed=1)
+        page = list(range(10))
+        kept = injector.filter_results("twitter.search", "twitter", 1.0, page)
+        assert kept == page[:5]
+
+
+# -- proxies -----------------------------------------------------------------
+
+
+class TestProxies:
+    def test_passthrough_of_unwrapped_attributes(self):
+        class Target:
+            recall = 0.93
+
+            def search(self, patterns, now, since=None):
+                return ["tweet"]
+
+        proxy = FaultySearchAPI(Target(), FaultInjector(FaultPlan.profile("none"), seed=1))
+        assert proxy.recall == 0.93
+        assert proxy.search((), 1.0) == ["tweet"]
+
+    def test_guarded_endpoint_raises(self):
+        class Target:
+            def search(self, patterns, now, since=None):  # pragma: no cover
+                raise AssertionError("platform must not be touched")
+
+        proxy = FaultySearchAPI(Target(), FaultInjector(_always("twitter.search"), seed=1))
+        with pytest.raises(NetworkTimeoutError):
+            proxy.search((), 1.0)
+
+
+# -- end-to-end guarantees ---------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def hostile_study():
+    study = Study(_golden_config(faults="hostile"))
+    dataset = study.run()
+    return study, dataset
+
+
+class TestEndToEnd:
+    def test_faults_off_is_byte_identical_to_seed_output(self, tmp_path):
+        dataset = Study(_golden_config()).run()
+        sha, _ = _export_sha(dataset, tmp_path, "bare.json")
+        assert sha == GOLDEN_SHA
+
+    def test_profile_none_matches_bare_pipeline(self, tmp_path):
+        dataset = Study(_golden_config(faults="none")).run()
+        sha, path = _export_sha(dataset, tmp_path, "none.json")
+        assert sha == GOLDEN_SHA
+        assert b'"health"' not in path.read_bytes()
+        assert b'"state"' not in path.read_bytes()
+
+    def test_same_seed_same_plan_is_byte_identical(
+        self, hostile_study, tmp_path
+    ):
+        _, first = hostile_study
+        second = Study(_golden_config(faults="hostile")).run()
+        sha1, _ = _export_sha(first, tmp_path, "h1.json")
+        sha2, _ = _export_sha(second, tmp_path, "h2.json")
+        assert sha1 == sha2
+
+    def test_fault_seed_varies_schedule_only(self, hostile_study, tmp_path):
+        _, first = hostile_study
+        other = Study(_golden_config(faults="hostile", fault_seed=99)).run()
+        sha1, _ = _export_sha(first, tmp_path, "fs1.json")
+        sha2, _ = _export_sha(other, tmp_path, "fs2.json")
+        assert sha1 != sha2
+        # Same world underneath: discovery cannot exceed the bare run,
+        # and the record keys come from the same tweet population.
+        assert set(other.records) <= set(
+            Study(_golden_config()).run().records
+        ) | set(first.records)
+
+    def test_hostile_run_completes_with_degradation(self, hostile_study):
+        _, dataset = hostile_study
+        health = dataset.health
+        assert health is not None and not health.is_clean()
+        assert health.total("faults") > 0
+        assert health.total("retries") > 0
+        assert health.total("trips") > 0
+        assert health.total("missed") > 0
+
+    def test_no_live_group_falsely_marked_dead(self, hostile_study):
+        study, dataset = hostile_study
+        for canonical, snaps in dataset.snapshots.items():
+            last = snaps[-1]
+            if last.alive:
+                continue
+            platform, code = canonical.split(":", 1)
+            if last.death_reason == "unknown":
+                continue
+            record = study.world.platform(platform).group_by_invite(code)
+            assert record.is_revoked_at(last.t), (
+                f"{canonical} marked dead at t={last.t} but not revoked"
+            )
+
+    def test_missed_groups_are_reprobed_next_day(self, hostile_study):
+        _, dataset = hostile_study
+        recovered = 0
+        for snaps in dataset.snapshots.values():
+            for prev, nxt in zip(snaps, snaps[1:]):
+                if prev.missed:
+                    assert nxt.day == prev.day + 1
+                    if nxt.alive and not nxt.missed:
+                        recovered += 1
+        assert recovered > 0
+
+    def test_health_round_trips_through_export(self, hostile_study, tmp_path):
+        from repro.io import load_dataset
+
+        _, dataset = hostile_study
+        path = tmp_path / "health.json"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.health is not None
+        assert loaded.health == dataset.health
+        n_missed = sum(
+            1 for s in loaded.snapshots.values() for snap in s if snap.missed
+        )
+        assert n_missed == sum(
+            1 for s in dataset.snapshots.values() for snap in s if snap.missed
+        )
+
+    def test_health_report_renders(self, hostile_study):
+        from repro.reporting import render_health
+
+        _, dataset = hostile_study
+        text = render_health(dataset)
+        assert "Collection health" in text
+        assert "missed" in text
+
+    def test_clean_report_renders_all_clear(self):
+        from repro.core.dataset import StudyDataset
+        from repro.reporting import render_health
+
+        text = render_health(StudyDataset(n_days=1, scale=0.01))
+        assert "clean campaign" in text

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.discovery import URLRecord
 from repro.core.monitor import MONITOR_HOUR_FRAC, MetadataMonitor
+from repro.errors import APIRateLimitError
 from repro.platforms.base import GroupKind
 from repro.platforms.discord import DiscordAPI
 from repro.platforms.telegram import TelegramWebClient
@@ -134,3 +135,105 @@ class TestRevocation:
 
     def test_monitor_hour_is_late_evening(self):
         assert 0.9 < MONITOR_HOUR_FRAC < 1.0
+
+
+class TestDeathReason:
+    def test_revoked_url_records_revoked_reason(self, services, monitor):
+        whatsapp, _, _ = services
+        whatsapp.register_group(make_plan(gid="WA1", revoke_t=0.2))
+        record = record_for(whatsapp, "whatsapp", "WA1")
+        monitor.observe_day(0, [record])
+        (snap,) = monitor.snapshots[record.canonical]
+        assert not snap.alive
+        assert snap.death_reason == "revoked"
+        assert snap.state == ""
+
+    def test_unknown_url_records_unknown_reason(self, services, monitor):
+        # The invite token is a pure hash, so a URL for a gid that was
+        # never registered is well-formed but matches no group: the
+        # landing page raises UnknownURLError, not RevokedURLError.
+        whatsapp, _, _ = services
+        record = record_for(whatsapp, "whatsapp", "GHOST")
+        monitor.observe_day(0, [record])
+        (snap,) = monitor.snapshots[record.canonical]
+        assert not snap.alive
+        assert snap.state == "unknown"
+        assert snap.death_reason == "unknown"
+        assert monitor.is_dead(record.canonical)
+
+    def test_live_snapshot_has_no_death_reason(self, services, monitor):
+        whatsapp, _, _ = services
+        whatsapp.register_group(make_plan(gid="WA1"))
+        record = record_for(whatsapp, "whatsapp", "WA1")
+        monitor.observe_day(0, [record])
+        (snap,) = monitor.snapshots[record.canonical]
+        assert snap.alive
+        assert snap.death_reason is None
+
+    def test_unknown_urls_excluded_from_revocation_analysis(
+        self, services, monitor
+    ):
+        from repro.analysis.revocation import revocation
+        from repro.core.dataset import StudyDataset
+
+        whatsapp, _, _ = services
+        whatsapp.register_group(make_plan(gid="WA1", revoke_t=1.5))
+        revoked = record_for(whatsapp, "whatsapp", "WA1")
+        ghost = record_for(whatsapp, "whatsapp", "GHOST")
+        for day in range(3):
+            monitor.observe_day(day, [revoked, ghost])
+        dataset = StudyDataset(n_days=3, scale=0.01)
+        dataset.records = {r.canonical: r for r in (revoked, ghost)}
+        dataset.snapshots = monitor.snapshots
+        result = revocation(dataset, "whatsapp")
+        assert result.n_urls == 2
+        assert result.revoked_frac == 0.5
+        assert result.n_unknown == 1
+
+
+class _RateLimitedDiscord:
+    """Discord stub: every call before day 1 hits the rate limit."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.calls = 0
+
+    def get_invite(self, url, t):
+        self.calls += 1
+        if t < 1.0:
+            raise APIRateLimitError("429: slow down")
+        return self._inner.get_invite(url, t)
+
+
+class TestTransientDegradation:
+    def test_discord_rate_limit_defers_instead_of_crashing(self, services):
+        # Regression: APIRateLimitError from the Discord monitor used
+        # to escape observe_day and abort the whole day's pass.
+        whatsapp, telegram, discord = services
+        discord.register_group(make_plan(gid="DC1"))
+        discord.register_group(make_plan(gid="DC2"))
+        monitor = MetadataMonitor(
+            whatsapp=WhatsAppWebClient(whatsapp),
+            telegram=TelegramWebClient(telegram),
+            discord=_RateLimitedDiscord(DiscordAPI(discord, "monitor")),
+            hasher=PhoneHasher("test"),
+        )
+        records = [
+            record_for(discord, "discord", "DC1"),
+            record_for(discord, "discord", "DC2"),
+        ]
+        monitor.observe_day(0, records)  # must not raise
+        for record in records:
+            (snap,) = monitor.snapshots[record.canonical]
+            assert snap.alive
+            assert snap.missed
+            assert not monitor.is_dead(record.canonical)
+        assert monitor.health.total("missed", "discord") == 2
+
+        # Next day the limit clears and both URLs get real snapshots.
+        monitor.observe_day(1, records)
+        for record in records:
+            last = monitor.snapshots[record.canonical][-1]
+            assert last.day == 1
+            assert last.alive and not last.missed
+            assert last.size is not None

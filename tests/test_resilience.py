@@ -1,0 +1,270 @@
+"""Resilience-layer tests: circuit breakers, seeded backoff, the
+executor, the health ledger, and the determinism guard."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    ConfigError,
+    NetworkTimeoutError,
+    RevokedURLError,
+)
+from repro.resilience import (
+    BreakerState,
+    CircuitBreaker,
+    CollectionHealth,
+    ResilienceExecutor,
+    RetryPolicy,
+    backoff_hours,
+    backoff_schedule,
+)
+
+pytestmark = pytest.mark.faults
+
+
+# -- circuit breaker ---------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def test_full_lifecycle_closed_open_half_open_closed(self):
+        breaker = CircuitBreaker("discord", failure_threshold=3,
+                                 cooldown_hours=6.0)
+        assert breaker.state_at(0.0) is BreakerState.CLOSED
+
+        for _ in range(3):
+            assert breaker.allow(1.0)
+            breaker.record_failure(1.0)
+        assert breaker.state_at(1.0) is BreakerState.OPEN
+        assert not breaker.allow(1.0)
+        assert breaker.trips == 1
+
+        # Still open strictly before the cooldown elapses (6 h = 0.25 d).
+        assert breaker.state_at(1.0 + 0.25 - 1e-9) is BreakerState.OPEN
+        assert breaker.state_at(1.25) is BreakerState.HALF_OPEN
+        assert breaker.allow(1.25)
+
+        breaker.record_success(1.25)
+        assert breaker.state_at(1.25) is BreakerState.CLOSED
+
+    def test_half_open_failure_reopens(self):
+        breaker = CircuitBreaker("telegram", failure_threshold=2,
+                                 cooldown_hours=12.0)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.0)
+        assert breaker.state_at(0.0) is BreakerState.OPEN
+
+        t_probe = 0.0 + 12.0 / 24.0
+        assert breaker.state_at(t_probe) is BreakerState.HALF_OPEN
+        breaker.record_failure(t_probe)
+        assert breaker.state_at(t_probe) is BreakerState.OPEN
+        assert breaker.trips == 2
+        # The new cooldown counts from the probe, not the first trip.
+        assert breaker.state_at(t_probe + 0.5) is BreakerState.HALF_OPEN
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker("whatsapp", failure_threshold=3)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.0)
+        breaker.record_success(0.0)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.0)
+        assert breaker.state_at(0.0) is BreakerState.CLOSED
+
+    def test_trip_bumps_health_ledger(self):
+        health = CollectionHealth()
+        breaker = CircuitBreaker("discord", failure_threshold=1, health=health)
+        breaker.record_failure(4.7)
+        assert health.total("trips", "discord") == 1
+        assert health.by_day("trips", "discord") == {4: 1}
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("x", failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker("x", cooldown_hours=0.0)
+
+
+# -- seeded backoff ----------------------------------------------------------
+
+
+class TestBackoff:
+    def test_schedule_is_reproducible(self):
+        policy = RetryPolicy(max_attempts=5)
+        first = backoff_schedule(policy, seed=7, key="telegram/observe/0")
+        second = backoff_schedule(policy, seed=7, key="telegram/observe/0")
+        assert first == second
+        assert len(first) == 4
+
+    def test_schedule_varies_with_seed_and_key(self):
+        policy = RetryPolicy(max_attempts=4)
+        base = backoff_schedule(policy, seed=7, key="a")
+        assert base != backoff_schedule(policy, seed=8, key="a")
+        assert base != backoff_schedule(policy, seed=7, key="b")
+
+    def test_jitter_stays_within_bounds(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay_hours=0.5, multiplier=2.0,
+            max_delay_hours=4.0, jitter=0.25,
+        )
+        for attempt in range(1, policy.max_attempts):
+            raw = min(
+                policy.max_delay_hours,
+                policy.base_delay_hours * policy.multiplier ** (attempt - 1),
+            )
+            for seed in range(20):
+                delay = backoff_hours(policy, attempt, seed, "k")
+                assert raw * 0.75 <= delay <= raw * 1.25
+
+    def test_zero_jitter_is_pure_exponential(self):
+        policy = RetryPolicy(max_attempts=4, base_delay_hours=1.0,
+                             multiplier=2.0, max_delay_hours=16.0, jitter=0.0)
+        assert backoff_schedule(policy, seed=1, key="k") == [1.0, 2.0, 4.0]
+
+    def test_policy_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(base_delay_hours=0.0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigError):
+            RetryPolicy(jitter=1.0)
+
+
+# -- executor ----------------------------------------------------------------
+
+
+class _Flaky:
+    """Callable failing transiently the first ``n_failures`` times."""
+
+    def __init__(self, n_failures):
+        self.n_failures = n_failures
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.n_failures:
+            raise NetworkTimeoutError(f"flake #{self.calls}")
+        return "ok"
+
+
+class TestExecutor:
+    def test_retries_until_success(self):
+        ex = ResilienceExecutor(seed=1)
+        fn = _Flaky(2)
+        assert ex.call("telegram", "observe", 1.0, fn) == "ok"
+        assert fn.calls == 3
+        assert ex.health.total("retries", "telegram") == 2
+        assert ex.health.total("failures", "telegram") == 2
+        assert ex.health.total("backoff_hours", "telegram") > 0
+
+    def test_exhaustion_reraises_last_transient(self):
+        ex = ResilienceExecutor(seed=1, policy=RetryPolicy(max_attempts=2),
+                                failure_threshold=100)
+        fn = _Flaky(10)
+        with pytest.raises(NetworkTimeoutError):
+            ex.call("discord", "invite", 1.0, fn)
+        assert fn.calls == 2
+
+    def test_breaker_trip_stops_retries_early(self):
+        ex = ResilienceExecutor(seed=1, policy=RetryPolicy(max_attempts=5),
+                                failure_threshold=2)
+        fn = _Flaky(10)
+        with pytest.raises(NetworkTimeoutError):
+            ex.call("discord", "invite", 1.0, fn)
+        assert fn.calls == 2  # tripped after 2 consecutive failures
+        assert ex.breaker("discord", "invite").trips == 1
+
+    def test_open_breaker_rejects_without_touching_platform(self):
+        ex = ResilienceExecutor(seed=1, policy=RetryPolicy(max_attempts=1),
+                                failure_threshold=1, cooldown_hours=6.0)
+        with pytest.raises(NetworkTimeoutError):
+            ex.call("whatsapp", "preview", 1.0, _Flaky(5))
+        probe = _Flaky(0)
+        with pytest.raises(CircuitOpenError):
+            ex.call("whatsapp", "preview", 1.01, probe)
+        assert probe.calls == 0
+        assert ex.health.total("rejected", "whatsapp") == 1
+
+    def test_half_open_probe_closes_breaker(self):
+        ex = ResilienceExecutor(seed=1, policy=RetryPolicy(max_attempts=1),
+                                failure_threshold=1, cooldown_hours=6.0)
+        with pytest.raises(NetworkTimeoutError):
+            ex.call("whatsapp", "preview", 1.0, _Flaky(5))
+        assert ex.call("whatsapp", "preview", 1.5, _Flaky(0)) == "ok"
+        assert ex.breaker("whatsapp", "preview").state_at(1.5) is (
+            BreakerState.CLOSED
+        )
+
+    def test_non_transient_errors_pass_through(self):
+        ex = ResilienceExecutor(seed=1)
+
+        def revoked():
+            raise RevokedURLError("gone for real")
+
+        with pytest.raises(RevokedURLError):
+            ex.call("telegram", "observe", 1.0, revoked)
+        assert ex.health.total("retries") == 0
+        assert ex.health.total("failures") == 0
+
+    def test_breakers_isolated_per_platform_op(self):
+        ex = ResilienceExecutor(seed=1, policy=RetryPolicy(max_attempts=1),
+                                failure_threshold=1)
+        with pytest.raises(NetworkTimeoutError):
+            ex.call("discord", "invite", 1.0, _Flaky(5))
+        assert ex.call("discord", "join", 1.0, _Flaky(0)) == "ok"
+        assert ex.call("telegram", "invite", 1.0, _Flaky(0)) == "ok"
+
+
+# -- health ledger -----------------------------------------------------------
+
+
+class TestCollectionHealth:
+    def test_clean_until_dirty_field_bumped(self):
+        health = CollectionHealth()
+        assert health.is_clean()
+        health.bump("twitter", 0, "attempts", 100)
+        assert health.is_clean()  # attempts alone is normal operation
+        health.bump("twitter", 0, "retries")
+        assert not health.is_clean()
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(KeyError):
+            CollectionHealth().bump("twitter", 0, "vibes")
+
+    def test_round_trip_and_equality(self):
+        health = CollectionHealth()
+        health.bump("telegram", 2, "missed", 3)
+        health.bump("discord", 5, "backoff_hours", 1.75)
+        clone = CollectionHealth.from_dict(health.to_dict())
+        assert clone == health
+        assert clone.by_day("missed", "telegram") == {2: 3}
+        clone.bump("discord", 5, "trips")
+        assert clone != health
+
+
+# -- determinism guard -------------------------------------------------------
+
+_FORBIDDEN = (
+    "time.time(",
+    "import random",
+    "from random",
+    "datetime.now",
+    "perf_counter",
+)
+
+
+def test_no_wall_clock_or_stdlib_random_in_fault_packages():
+    """The fault/resilience subsystem must stay a pure function of the
+    seed: grep its sources for wall-clock and stdlib-random usage."""
+    src = Path(__file__).resolve().parent.parent / "src" / "repro"
+    offenders = []
+    for package in ("faults", "resilience"):
+        for path in sorted((src / package).glob("*.py")):
+            text = path.read_text()
+            for token in _FORBIDDEN:
+                if token in text:
+                    offenders.append(f"{path.name}: {token}")
+    assert not offenders, f"nondeterministic calls found: {offenders}"
