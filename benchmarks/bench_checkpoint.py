@@ -1,0 +1,106 @@
+"""Benchmark: per-day checkpointing overhead.
+
+The run store writes a day record after every observed day.  Anchor
+records snapshot the *complete* campaign state — world RNG streams,
+discovery catalogue, monitor snapshots, joiner memberships,
+resilience ledger — so their cost grows with accumulated state;
+that's why the default cadence interleaves them with cheap replay
+markers (restored by deterministic replay from the anchor).  The
+gate: at bench scale (2 % of paper volume) day-granular
+checkpointing must stay under 15 % wall-clock overhead versus the
+bare campaign, or crash-safety would be priced out of exactly the
+long campaigns it exists for.
+"""
+
+import shutil
+import tempfile
+import time
+
+import pytest
+
+from repro.checkpoint import RunStore
+from repro.core.study import Study, StudyConfig
+from repro.reporting.tables import format_table
+
+pytestmark = pytest.mark.checkpoint
+
+#: The acceptance scale: 2 % of the paper's tweet volume.
+_BASE = dict(
+    seed=7,
+    n_days=10,
+    scale=0.02,
+    message_scale=0.1,
+    join_day=3,
+)
+
+MAX_OVERHEAD_FRAC = 0.15
+ABS_EPSILON_S = 0.25
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def _run(checkpoint: bool):
+    config = StudyConfig(**_BASE)
+    if not checkpoint:
+        return Study(config).run(), None
+    tmp = tempfile.mkdtemp(prefix="bench-checkpoint-")
+    try:
+        dataset = Study(config).run(checkpoint_dir=tmp)
+        store = RunStore.open(tmp)
+        entries = store.manifest["days"].values()
+        payload_bytes = sum(entry["bytes"] for entry in entries)
+        n_anchors = sum(
+            1 for entry in entries if entry["kind"] == "anchor"
+        )
+        return dataset, (len(store.days()), n_anchors, payload_bytes)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def test_checkpoint_overhead_under_fifteen_percent(emit):
+    # Interleave the two pipelines so load drift on the host hits
+    # both arms of the comparison, not just one.
+    bare_s, ckpt_s = float("inf"), float("inf")
+    stats = None
+    for _ in range(3):
+        elapsed, _ = _timed(lambda: _run(checkpoint=False))
+        bare_s = min(bare_s, elapsed)
+        elapsed, (_, run_stats) = _timed(lambda: _run(checkpoint=True))
+        if elapsed < ckpt_s:
+            ckpt_s, stats = elapsed, run_stats
+    n_days, n_anchors, payload_bytes = stats
+
+    overhead = ckpt_s - bare_s
+    rows = [
+        ("bare campaign", f"{bare_s:.3f}", "-"),
+        (
+            "per-day checkpointing",
+            f"{ckpt_s:.3f}",
+            f"{overhead / bare_s:+.1%}",
+        ),
+        (
+            f"state captured ({n_anchors} anchors / {n_days} days)",
+            f"{payload_bytes / 1e6:.1f} MB",
+            "-",
+        ),
+    ]
+    emit(
+        "bench_checkpoint",
+        format_table(
+            ("pipeline", "best of 3 (s)", "vs bare"),
+            rows,
+            title=(
+                f"Run-store overhead ({_BASE['n_days']}-day campaign, "
+                f"scale {_BASE['scale']})"
+            ),
+        ),
+    )
+
+    assert overhead <= max(MAX_OVERHEAD_FRAC * bare_s, ABS_EPSILON_S), (
+        f"per-day checkpointing overhead {overhead:.3f}s over bare "
+        f"{bare_s:.3f}s exceeds the {MAX_OVERHEAD_FRAC:.0%} budget"
+    )

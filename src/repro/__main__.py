@@ -16,7 +16,9 @@ import time
 from typing import Callable, Dict
 
 from repro.analysis.topics import extract_topics
+from repro.checkpoint import RunStore
 from repro.core.study import Study, StudyConfig
+from repro.errors import ConfigError
 from repro.faults import PROFILES, FaultPlan
 from repro.reporting import (
     render_health,
@@ -104,11 +106,131 @@ def build_parser() -> argparse.ArgumentParser:
         "--export-csv", metavar="DIR", default=None,
         help="export every figure's data series as CSV into DIR",
     )
+    parser.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="run store directory: write a day record after every "
+             "observed day (anchor snapshots + replay markers)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="anchor cadence: one full state snapshot every N days, "
+             "replay markers in between (default: 5; 1 = snapshot "
+             "every day)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume the campaign checkpointed in --checkpoint-dir "
+             "from its latest day (or --from-day)",
+    )
+    parser.add_argument(
+        "--from-day", type=int, default=None, metavar="N",
+        help="with --resume: day boundary to restore instead of the "
+             "latest checkpointed day",
+    )
+    parser.add_argument(
+        "--fork-day", type=int, default=None, metavar="N",
+        help="branch the campaign in --checkpoint-dir at day N "
+             "(combine with --fork-seed/--fork-faults for what-if runs)",
+    )
+    parser.add_argument(
+        "--fork-into", metavar="DIR", default=None,
+        help="with --fork-day: write the fork's own checkpoints here",
+    )
+    parser.add_argument(
+        "--fork-seed", type=int, default=None, metavar="SEED",
+        help="with --fork-day: reseed the forked campaign's future "
+             "(default: keep the parent's seed)",
+    )
+    parser.add_argument(
+        "--fork-faults", choices=sorted(PROFILES), default=None,
+        help="with --fork-day: fault profile for the forked future "
+             "('none' strips faults; default: keep the parent's plan)",
+    )
     return parser
 
 
-def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+def validate_args(args: argparse.Namespace) -> None:
+    """Reject invalid argument combinations with a clear ConfigError.
+
+    Raised at parse time, before any world is built, so a typo costs
+    an error message rather than a deep traceback minutes in.
+    """
+    if args.days <= 0:
+        raise ConfigError(f"--days must be positive, got {args.days}")
+    if args.scale <= 0:
+        raise ConfigError(f"--scale must be positive, got {args.scale}")
+    if args.message_scale <= 0:
+        raise ConfigError(
+            f"--message-scale must be positive, got {args.message_scale}"
+        )
+    if args.resume and args.fork_day is not None:
+        raise ConfigError("--resume and --fork-day are mutually exclusive")
+    if (args.resume or args.fork_day is not None) and not args.checkpoint_dir:
+        raise ConfigError(
+            "--resume/--fork-day require --checkpoint-dir to name the "
+            "run store"
+        )
+    if args.from_day is not None and not args.resume:
+        raise ConfigError("--from-day only makes sense with --resume")
+    if args.checkpoint_every is not None:
+        if not args.checkpoint_dir:
+            raise ConfigError(
+                "--checkpoint-every only makes sense with --checkpoint-dir"
+            )
+        if args.resume or args.fork_day is not None:
+            raise ConfigError(
+                "--checkpoint-every applies to fresh runs only; a "
+                "resumed or forked campaign keeps its store's cadence"
+            )
+        if args.checkpoint_every < 1:
+            raise ConfigError(
+                f"--checkpoint-every must be >= 1, got "
+                f"{args.checkpoint_every}"
+            )
+    for name, value in (
+        ("--fork-seed", args.fork_seed),
+        ("--fork-faults", args.fork_faults),
+        ("--fork-into", args.fork_into),
+    ):
+        if value is not None and args.fork_day is None:
+            raise ConfigError(f"{name} only makes sense with --fork-day")
+
+
+def _checkpointed_day(store: "RunStore", day: int, flag: str) -> None:
+    """ConfigError unless ``day`` has a record in ``store``."""
+    if not store.has_day(day):
+        days = store.days()
+        have = f"days {days[0]}..{days[-1]}" if days else "no days"
+        raise ConfigError(
+            f"{flag} {day} is outside the checkpointed range "
+            f"({store.directory} holds {have})"
+        )
+
+
+def _build_study(args: argparse.Namespace) -> Study:
+    """A Study positioned per the CLI: fresh, resumed, or forked."""
+    if args.resume:
+        if args.from_day is not None:
+            _checkpointed_day(
+                RunStore.open(args.checkpoint_dir), args.from_day, "--from-day"
+            )
+        return Study.resume(args.checkpoint_dir, from_day=args.from_day)
+    if args.fork_day is not None:
+        _checkpointed_day(
+            RunStore.open(args.checkpoint_dir), args.fork_day, "--fork-day"
+        )
+        fault_plan: object = "keep"
+        if args.fork_faults is not None:
+            fault_plan = (
+                None if args.fork_faults == "none" else args.fork_faults
+            )
+        return Study.fork(
+            args.checkpoint_dir,
+            args.fork_day,
+            seed=args.fork_seed,
+            fault_plan=fault_plan,
+            fork_dir=args.fork_into,
+        )
     config = StudyConfig(
         seed=args.seed,
         n_days=args.days,
@@ -120,14 +242,32 @@ def main(argv=None) -> int:
         faults=None if args.faults == "none" else FaultPlan.profile(args.faults),
         fault_seed=args.fault_seed,
     )
+    return Study(config)
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    validate_args(args)
+    study = _build_study(args)
+    config = study.config
+    checkpointing = args.resume or args.fork_day is not None
+    mode = (
+        "Resuming" if args.resume
+        else "Forking" if args.fork_day is not None
+        else "Running"
+    )
+    faults = config.faults.name if config.faults is not None else "none"
     print(
-        f"# Running {config.n_days}-day study: seed={config.seed} "
+        f"# {mode} {config.n_days}-day study: seed={config.seed} "
         f"scale={config.scale} message_scale={config.message_scale} "
-        f"faults={args.faults}",
+        f"faults={faults}",
         file=sys.stderr,
     )
     start = time.time()
-    dataset = Study(config).run()
+    dataset = study.run(
+        checkpoint_dir=None if checkpointing else args.checkpoint_dir,
+        anchor_every=None if checkpointing else args.checkpoint_every,
+    )
     print(f"# Study complete in {time.time() - start:.1f}s", file=sys.stderr)
 
     print(render_table1())

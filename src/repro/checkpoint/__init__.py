@@ -1,0 +1,64 @@
+"""Campaign run store: day-granular checkpoint, resume, and fork.
+
+The paper's campaign ran 38 consecutive days; a real collector that
+dies on day 37 must not lose 37 days of work.  This package gives the
+reproduction the same property — and, because the simulator is
+deterministic, the stronger one: a campaign resumed from any day
+boundary exports a dataset *byte-identical* to the uninterrupted run.
+
+Layout of a run store (one directory per campaign)::
+
+    <dir>/manifest.json          format version, root seed, config
+                                 digest, anchor cadence, per-day
+                                 record digests
+    <dir>/objects/<digest>.bin.gz
+                                 content-addressed, gzip-compressed
+                                 day records
+
+Every day boundary gets a record, but not every record is a full
+snapshot: *anchor* records hold the complete campaign state; the days
+in between hold tiny *replay markers* naming their anchor, and
+restoring one deterministically replays the gap (see
+:mod:`repro.checkpoint.state` for why this is exact).  The cadence —
+one anchor every :data:`~repro.checkpoint.store.DEFAULT_ANCHOR_EVERY`
+days by default — trades checkpoint overhead against worst-case
+restore latency and never affects campaign output.
+
+:class:`RunStore` manages the directory; :mod:`repro.checkpoint.state`
+captures and restores the campaign state itself.  The user-facing
+entry points live on :class:`~repro.core.study.Study`:
+``run(checkpoint_dir=...)``, ``Study.resume(...)`` and
+``Study.fork(...)``.
+"""
+
+from repro.checkpoint.state import (
+    STATE_VERSION,
+    capture_campaign,
+    decode_day_record,
+    replay_marker,
+    restore_campaign,
+)
+from repro.checkpoint.store import (
+    CHECKPOINT_FORMAT_VERSION,
+    DEFAULT_ANCHOR_EVERY,
+    MANIFEST_NAME,
+    RunStore,
+    config_digest,
+    config_summary,
+)
+from repro.errors import CheckpointError
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointError",
+    "DEFAULT_ANCHOR_EVERY",
+    "MANIFEST_NAME",
+    "RunStore",
+    "STATE_VERSION",
+    "capture_campaign",
+    "config_digest",
+    "config_summary",
+    "decode_day_record",
+    "replay_marker",
+    "restore_campaign",
+]

@@ -1,0 +1,290 @@
+"""The on-disk run store: manifest + content-addressed day records.
+
+A run store is a directory holding one campaign's checkpoints.  The
+manifest (``manifest.json``) carries the store format version, the
+campaign's root seed, a digest of the full study configuration, and
+one entry per checkpointed day pointing at a content-addressed object
+file.  Day records themselves are opaque byte payloads (see
+:mod:`repro.checkpoint.state`), gzip-compressed on disk and verified
+against their SHA-256 digest on every read — a truncated or flipped
+record is reported as a :class:`~repro.errors.CheckpointError` naming
+the offending path, never as a deep traceback.
+
+Writes are crash-safe: objects and the manifest are written to a
+temporary file and atomically renamed, so a campaign killed mid-write
+leaves the store pointing only at complete records.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gzip
+import hashlib
+import io
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import CheckpointError
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "DEFAULT_ANCHOR_EVERY",
+    "MANIFEST_NAME",
+    "RunStore",
+    "config_digest",
+    "config_summary",
+]
+
+#: Bumped on any incompatible change to the run-store layout.
+CHECKPOINT_FORMAT_VERSION = 1
+
+#: Default anchor cadence: one full state snapshot every N days, with
+#: replay markers in between.  Restoring a marker replays at most
+#: ``N - 1`` days; anchoring costs time proportional to accumulated
+#: state, so this is a pure cost/restore-latency dial (it never
+#: affects campaign output).
+DEFAULT_ANCHOR_EVERY = 5
+
+MANIFEST_NAME = "manifest.json"
+_OBJECTS_DIR = "objects"
+
+
+def config_summary(config: Any) -> Dict[str, Any]:
+    """A JSON-serialisable summary of a study configuration.
+
+    ``config`` is any dataclass (in practice
+    :class:`~repro.core.study.StudyConfig`); nested dataclasses —
+    the fault plan and its specs — serialise recursively.  The
+    summary is stored in the manifest both for humans and as the
+    input to :func:`config_digest`.
+    """
+    summary = dataclasses.asdict(config)
+    faults = config.faults
+    if faults is not None:
+        # Mapping-valued dataclass fields don't recurse through
+        # asdict uniformly across versions; use the plan's own
+        # canonical (sorted) encoding.
+        summary["faults"] = faults.to_dict()
+    return summary
+
+
+def config_digest(config: Any) -> str:
+    """SHA-256 over the canonical JSON encoding of ``config``.
+
+    Two configs digest equal iff every campaign-defining value —
+    seed, window, scales, join targets, fault plan — is equal, so a
+    resume against the wrong store fails loudly instead of silently
+    splicing two different campaigns.
+    """
+    payload = json.dumps(
+        config_summary(config), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _sha256(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+    os.replace(tmp, path)
+
+
+class RunStore:
+    """One campaign's checkpoint directory.
+
+    Use :meth:`create` to start (or deterministically restart) a
+    store for a campaign and :meth:`open` to attach to an existing
+    one; never construct directly.
+    """
+
+    def __init__(self, directory: Path, manifest: Dict[str, Any]) -> None:
+        self.directory = Path(directory)
+        self.manifest = manifest
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        directory: Union[str, os.PathLike],
+        config: Any,
+        forked_from: Optional[Dict[str, Any]] = None,
+        anchor_every: int = DEFAULT_ANCHOR_EVERY,
+    ) -> "RunStore":
+        """Create a run store for ``config`` under ``directory``.
+
+        If the directory already holds a manifest for the *same*
+        configuration, the store is reset and the campaign restarts
+        from day 0 (a deterministic rerun rewrites identical
+        records); a manifest for a different configuration raises
+        :class:`CheckpointError` — resume it, or pick another
+        directory.
+        """
+        directory = Path(directory)
+        manifest_path = directory / MANIFEST_NAME
+        digest = config_digest(config)
+        if anchor_every < 1:
+            raise CheckpointError(
+                f"anchor cadence must be >= 1 day, got {anchor_every}"
+            )
+        if manifest_path.exists():
+            existing = cls.open(directory)
+            if existing.manifest.get("config_digest") != digest:
+                raise CheckpointError(
+                    f"checkpoint directory {directory} already holds a "
+                    "campaign with a different configuration; resume it "
+                    "or choose a fresh directory"
+                )
+        (directory / _OBJECTS_DIR).mkdir(parents=True, exist_ok=True)
+        manifest: Dict[str, Any] = {
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "root_seed": config.seed,
+            "config_digest": digest,
+            "config": config_summary(config),
+            "fault_profile": (
+                config.faults.name if config.faults is not None else None
+            ),
+            "anchor_every": anchor_every,
+            "days": {},
+        }
+        if forked_from is not None:
+            manifest["forked_from"] = forked_from
+        store = cls(directory, manifest)
+        store._write_manifest()
+        return store
+
+    @classmethod
+    def open(cls, directory: Union[str, os.PathLike]) -> "RunStore":
+        """Attach to the run store under ``directory``."""
+        directory = Path(directory)
+        manifest_path = directory / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise CheckpointError(
+                f"no checkpoint manifest at {manifest_path}"
+            )
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise CheckpointError(
+                f"corrupt checkpoint manifest {manifest_path}: {exc}"
+            ) from exc
+        version = manifest.get("format_version")
+        if version != CHECKPOINT_FORMAT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint format version {version!r} "
+                f"(expected {CHECKPOINT_FORMAT_VERSION}) in {manifest_path}"
+            )
+        return cls(directory, manifest)
+
+    # -- day records ------------------------------------------------------
+
+    @property
+    def anchor_every(self) -> int:
+        """The store's anchor cadence (see :data:`DEFAULT_ANCHOR_EVERY`)."""
+        return int(self.manifest.get("anchor_every", 1))
+
+    def days(self) -> List[int]:
+        """Checkpointed day indices, ascending."""
+        return sorted(int(day) for day in self.manifest["days"])
+
+    def has_day(self, day: int) -> bool:
+        """Whether day ``day`` has a checkpoint record."""
+        return str(day) in self.manifest["days"]
+
+    def latest_day(self) -> int:
+        """The most recent checkpointed day."""
+        days = self.days()
+        if not days:
+            raise CheckpointError(
+                f"checkpoint store {self.directory} holds no day records"
+            )
+        return days[-1]
+
+    def _object_path(self, digest: str) -> Path:
+        return self.directory / _OBJECTS_DIR / f"{digest}.bin.gz"
+
+    def write_day(self, day: int, payload: bytes, kind: str = "anchor") -> str:
+        """Store ``payload`` as day ``day``'s record; returns its digest.
+
+        ``kind`` ("anchor" or "replay") is recorded in the manifest
+        entry for inspection; the payload itself stays the source of
+        truth on read.
+        """
+        digest = _sha256(payload)
+        path = self._object_path(digest)
+        if not path.exists():
+            # mtime=0 keeps identical payloads bitwise-identical on
+            # disk, so the object file is a pure function of content.
+            # Level 1: anchors are written on the campaign's critical
+            # path, and the extra ~10% size at higher levels is not
+            # worth doubling the compression time there.
+            buffer = io.BytesIO()
+            with gzip.GzipFile(
+                fileobj=buffer, mode="wb", mtime=0, compresslevel=1
+            ) as handle:
+                handle.write(payload)
+            _atomic_write(path, buffer.getvalue())
+        self.manifest["days"][str(day)] = {
+            "digest": digest,
+            "bytes": len(payload),
+            "kind": kind,
+        }
+        self._write_manifest()
+        return digest
+
+    def read_day(self, day: int) -> bytes:
+        """Load and verify day ``day``'s record payload."""
+        entry = self.manifest["days"].get(str(day))
+        if entry is None:
+            days = self.days()
+            have = (
+                f"days {days[0]}..{days[-1]}" if days else "no days"
+            )
+            raise CheckpointError(
+                f"day {day} is not checkpointed in {self.directory} "
+                f"(store holds {have})"
+            )
+        path = self._object_path(entry["digest"])
+        try:
+            with gzip.open(path, "rb") as handle:
+                payload = handle.read()
+        except FileNotFoundError as exc:
+            raise CheckpointError(
+                f"missing checkpoint day record {path}"
+            ) from exc
+        except (OSError, EOFError) as exc:
+            # gzip.BadGzipFile is an OSError; EOFError is a truncated
+            # stream.  Either way: the record, not the caller, is bad.
+            raise CheckpointError(
+                f"corrupt checkpoint day record {path}: {exc}"
+            ) from exc
+        if _sha256(payload) != entry["digest"]:
+            raise CheckpointError(
+                f"checkpoint day record {path} fails its digest check"
+            )
+        return payload
+
+    # -- config guard -----------------------------------------------------
+
+    def check_config(self, config: Any) -> None:
+        """Raise unless ``config`` matches the store's campaign."""
+        if config_digest(config) != self.manifest.get("config_digest"):
+            raise CheckpointError(
+                f"configuration does not match checkpoint store "
+                f"{self.directory} (digest mismatch)"
+            )
+
+    # -- manifest ---------------------------------------------------------
+
+    def _write_manifest(self) -> None:
+        payload = json.dumps(self.manifest, indent=2, sort_keys=True)
+        _atomic_write(
+            self.directory / MANIFEST_NAME, payload.encode("utf-8")
+        )

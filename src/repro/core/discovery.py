@@ -86,6 +86,20 @@ class DiscoveryEngine:
         #: tweet_id -> set of sources that delivered it
         self._provenance: Dict[int, set] = {}
 
+    def replace_clients(
+        self, search: Optional[SearchAPI], stream: Optional[StreamingAPI]
+    ) -> None:
+        """Swap the API clients, keeping all collection state.
+
+        Used by checkpoint forks to re-wrap the clients under a
+        different fault plan: records, tweets, provenance, and the
+        Search ``since`` cursor all carry over.
+        """
+        if search is None and stream is None:
+            raise ValueError("at least one of search/stream is required")
+        self._search = search
+        self._stream = stream
+
     def run_day(self, day: int) -> None:
         """Run one day of collection: 24 Search polls plus the stream.
 

@@ -94,6 +94,59 @@ class GroupJoiner:
             return client
         return FaultyJoinClient(client, self._injector, platform)
 
+    def reseed(self, seed: int) -> None:
+        """Change the seed for *future* join sampling (checkpoint forks)."""
+        self._seed = seed
+
+    def replace_injector(self, injector: Optional[FaultInjector]) -> None:
+        """Re-wrap every join-capable client under a new fault plan.
+
+        Used by checkpoint forks.  Existing memberships survive: the
+        handles recorded in ``_joined`` are remapped onto the freshly
+        wrapped clients, so post-fork collection (message history,
+        invite re-reads) flows through the new injector — or through
+        no proxy at all when the fork removes faults.
+        """
+        from repro.faults.proxies import FaultProxy
+
+        def bare(client: object) -> object:
+            while isinstance(client, FaultProxy):
+                client = client._target
+            return client
+
+        self._injector = injector
+        remapped: Dict[int, object] = {}
+
+        def rewrap(client: object, wrap) -> object:
+            old = client
+            new = wrap(bare(client))
+            remapped[id(old)] = new
+            return new
+
+        def wrap_preview(client: object) -> object:
+            if injector is None:
+                return client
+            return FaultyPreviewClient(client, injector, "telegram")
+
+        def wrap_discord(client: object) -> object:
+            if injector is None:
+                return client
+            return FaultyDiscordAPI(client, injector)
+
+        self._tg_api = rewrap(
+            self._tg_api, lambda c: self._wrap_join(c, "telegram")
+        )
+        self._tg_web = rewrap(self._tg_web, wrap_preview)
+        self._wa_accounts = [
+            rewrap(account, lambda c: self._wrap_join(c, "whatsapp"))
+            for account in self._wa_accounts
+        ]
+        self._dc_apis = [rewrap(api, wrap_discord) for api in self._dc_apis]
+        self._joined = [
+            (record, join_t, remapped.get(id(handle), handle))
+            for record, join_t, handle in self._joined
+        ]
+
     # -- joining -------------------------------------------------------------
 
     def join_sample(

@@ -65,6 +65,26 @@ class MetadataMonitor:
         """The failure ledger shared with the resilience executor."""
         return self._resilience.health
 
+    def clients(self):
+        """The (whatsapp, telegram, discord) observation clients."""
+        return self._whatsapp, self._telegram, self._discord
+
+    def replace_clients(
+        self,
+        whatsapp: WhatsAppWebClient,
+        telegram: TelegramWebClient,
+        discord: DiscordAPI,
+    ) -> None:
+        """Swap the observation clients, keeping all snapshot state.
+
+        Used by checkpoint forks to re-wrap the clients under a
+        different fault plan: snapshots and the dead-URL set carry
+        over unchanged.
+        """
+        self._whatsapp = whatsapp
+        self._telegram = telegram
+        self._discord = discord
+
     def observe_day(self, day: int, records: Iterable[URLRecord]) -> None:
         """Take the day's snapshot of every live, already-discovered URL.
 

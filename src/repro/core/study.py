@@ -14,20 +14,36 @@ freshly generated world:
 
 and returns the :class:`~repro.core.dataset.StudyDataset` all analyses
 consume.
+
+Long campaigns survive process death through the run store
+(:mod:`repro.checkpoint`): ``run(checkpoint_dir=...)`` snapshots the
+complete campaign state at every day boundary, ``Study.resume(...)``
+restores the latest (or a chosen) boundary and continues — exporting
+a dataset byte-identical to the uninterrupted run — and
+``Study.fork(...)`` branches a campaign at day *k* under a different
+seed or fault plan for what-if experiments.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Union
 
+from repro.checkpoint import (
+    DEFAULT_ANCHOR_EVERY,
+    RunStore,
+    capture_campaign,
+    decode_day_record,
+    replay_marker,
+)
 from repro.clock import STUDY_DAYS
 from repro.core.dataset import StudyDataset
 from repro.core.discovery import DiscoveryEngine
 from repro.core.joiner import DEFAULT_JOIN_TARGETS, GroupJoiner
 from repro.core.monitor import MetadataMonitor
 from repro.core.patterns import DEFAULT_PATTERNS
-from repro.errors import ConfigError, TransientError
+from repro.errors import CheckpointError, ConfigError, TransientError
 from repro.faults import (
     FaultInjector,
     FaultPlan,
@@ -36,6 +52,7 @@ from repro.faults import (
     FaultySearchAPI,
     FaultyStreamingAPI,
 )
+from repro.faults.proxies import FaultProxy
 from repro.platforms.discord import DiscordAPI
 from repro.platforms.telegram import TelegramWebClient
 from repro.platforms.whatsapp import WhatsAppWebClient
@@ -167,6 +184,14 @@ class Study:
             resilience=self._resilience,
             injector=self.injector,
         )
+        #: Campaign position: the next day the run loop will execute.
+        self._next_day = 0
+        #: Most recent day whose record is a full state snapshot.
+        self._last_anchor: Optional[int] = None
+        #: The in-flight dataset (accumulates control tweets day by day).
+        self._dataset: Optional[StudyDataset] = None
+        #: Attached run store (resume/fork); never serialised.
+        self._store: Optional[RunStore] = None
 
     def _faulty(self, client, proxy_cls):
         """Wrap ``client`` in its fault proxy when a plan is active."""
@@ -174,23 +199,94 @@ class Study:
             return client
         return proxy_cls(client, self.injector)
 
-    def run(self) -> StudyDataset:
-        """Execute the campaign and return the collected dataset."""
+    def __getstate__(self) -> dict:
+        # The attached run store names an on-disk directory; a day
+        # record must stay relocatable, so the store handle is
+        # reattached by resume()/fork() rather than serialised.
+        state = dict(self.__dict__)
+        state["_store"] = None
+        return state
+
+    # -- running -----------------------------------------------------------
+
+    def run(
+        self,
+        checkpoint_dir: Optional[Union[str, os.PathLike]] = None,
+        *,
+        anchor_every: Optional[int] = None,
+    ) -> StudyDataset:
+        """Execute (or continue) the campaign; returns the dataset.
+
+        With ``checkpoint_dir`` a day record lands in a
+        :class:`~repro.checkpoint.RunStore` after every observed day,
+        so a killed process can :meth:`resume` from any boundary.
+        Every ``anchor_every``-th record (default
+        :data:`~repro.checkpoint.DEFAULT_ANCHOR_EVERY`) is a full
+        state snapshot; the records in between are replay markers —
+        cheap to write, restored by replaying from the anchor.  A
+        study obtained from :meth:`resume`/:meth:`fork` keeps
+        checkpointing into its attached store without passing the
+        directory again.
+        """
         config = self.config
-        dataset = StudyDataset(
-            n_days=config.n_days,
-            scale=config.scale,
-            message_scale=config.message_scale,
+        if checkpoint_dir is not None:
+            self._store = RunStore.create(
+                checkpoint_dir,
+                config,
+                anchor_every=(
+                    DEFAULT_ANCHOR_EVERY
+                    if anchor_every is None
+                    else anchor_every
+                ),
+            )
+            # A marker may only defer to an anchor in the *same*
+            # store: force the first record of a fresh store to be an
+            # anchor snapshot.
+            self._last_anchor = None
+        if self._dataset is None:
+            self._dataset = StudyDataset(
+                n_days=config.n_days,
+                scale=config.scale,
+                message_scale=config.message_scale,
+            )
+        dataset = self._dataset
+
+        for day in range(self._next_day, config.n_days):
+            self._run_day(day, dataset)
+            self._next_day = day + 1
+            if self._store is not None:
+                self._checkpoint_day(day)
+
+        return self._finalize(dataset)
+
+    def _checkpoint_day(self, day: int) -> None:
+        """Write day ``day``'s record: an anchor on cadence, else a marker."""
+        due = (
+            self._last_anchor is None
+            or day - self._last_anchor >= self._store.anchor_every
         )
+        if due:
+            # Anchor *before* capturing so the snapshot records itself
+            # as the anchor in force — the cadence survives a resume.
+            self._last_anchor = day
+            self._store.write_day(day, capture_campaign(self))
+        else:
+            self._store.write_day(
+                day, replay_marker(self._last_anchor), kind="replay"
+            )
 
-        for day in range(config.n_days):
-            self.world.generate_day(day)
-            self.engine.run_day(day)
-            self.monitor.observe_day(day, self.engine.records.values())
-            self._collect_control(day, dataset)
-            if day == config.join_day:
-                self._join(day)
+    def _run_day(self, day: int, dataset: StudyDataset) -> None:
+        """One campaign day: generate, discover, monitor, sample, join."""
+        self.world.generate_day(day)
+        self.engine.run_day(day)
+        self.monitor.observe_day(day, self.engine.records.values())
+        self._collect_control(day, dataset)
+        if day == self.config.join_day:
+            self._join(day)
 
+    def _finalize(self, dataset: StudyDataset) -> StudyDataset:
+        """End-of-campaign collection from joined groups."""
+        config = self.config
         joined, users = self.joiner.collect(
             until_t=float(config.n_days), message_scale=config.message_scale
         )
@@ -201,6 +297,153 @@ class Study:
         dataset.users = users
         dataset.health = self.health
         return dataset
+
+    # -- checkpoint: resume and fork ---------------------------------------
+
+    @classmethod
+    def resume(
+        cls,
+        checkpoint_dir: Union[str, os.PathLike],
+        from_day: Optional[int] = None,
+    ) -> "Study":
+        """Restore a checkpointed campaign, positioned to continue.
+
+        Restores the record of ``from_day`` (default: the latest
+        checkpointed day) and returns a study whose :meth:`run`
+        continues with the following day — and, because the complete
+        state (RNG streams included) is restored, exports a dataset
+        byte-identical to the uninterrupted campaign's.  A replay
+        marker restores its anchor snapshot and deterministically
+        replays the days up to ``from_day``; the landing state is
+        exact, so the guarantee is the same either way.  Further day
+        checkpoints are written back into the same store.
+        """
+        store = RunStore.open(checkpoint_dir)
+        day = store.latest_day() if from_day is None else from_day
+        record = decode_day_record(store.read_day(day))
+        if record["kind"] == "replay":
+            anchor_day = record["anchor_day"]
+            record = decode_day_record(store.read_day(anchor_day))
+            if record["kind"] != "anchor":
+                raise CheckpointError(
+                    f"day {day} defers to day {anchor_day} in "
+                    f"{checkpoint_dir}, which is not an anchor snapshot"
+                )
+        study = record["study"]
+        if not isinstance(study, cls):
+            raise CheckpointError(
+                f"checkpoint day record in {checkpoint_dir} does not "
+                "hold a Study"
+            )
+        store.check_config(study.config)
+        # Replay the marker gap (no-op when the record was an anchor).
+        for replay_day in range(study._next_day, day + 1):
+            study._run_day(replay_day, study._dataset)
+            study._next_day = replay_day + 1
+        study._store = store
+        return study
+
+    @classmethod
+    def fork(
+        cls,
+        checkpoint_dir: Union[str, os.PathLike],
+        day: int,
+        *,
+        seed: Optional[int] = None,
+        fault_plan: Union[FaultPlan, str, None] = "keep",
+        fault_seed: Optional[int] = None,
+        fork_dir: Optional[Union[str, os.PathLike]] = None,
+    ) -> "Study":
+        """Branch a checkpointed campaign at day ``day``.
+
+        The campaign's past — everything through day ``day`` — is
+        shared with the parent; its future diverges under the
+        requested changes:
+
+        * ``seed``: reseeds the world's remaining days, future join
+          sampling, and backoff jitter (already-materialised streams,
+          and phone-hashing identity, keep the parent's seed).
+        * ``fault_plan``: a :class:`~repro.faults.FaultPlan`, a
+          profile name, or None to strip faults; the literal string
+          ``"keep"`` (the default) keeps the parent's plan.
+        * ``fault_seed``: reseeds the fault schedule (fresh
+          per-endpoint call counters from the fork day).
+
+        With no changes requested, the fork reproduces the parent's
+        tail exactly.  ``fork_dir`` attaches a fresh run store (the
+        fork never writes into the parent's): the fork-day record is
+        written immediately, making the new store self-contained and
+        itself resumable.
+        """
+        study = cls.resume(checkpoint_dir, from_day=day)
+        parent_anchor_every = study._store.anchor_every
+        study._store = None
+        if seed is not None:
+            study._reseed(seed)
+        if fault_plan != "keep" or fault_seed is not None:
+            plan = (
+                study.config.faults if fault_plan == "keep" else fault_plan
+            )
+            study._apply_fault_plan(plan, fault_seed)
+        if fork_dir is not None:
+            study._store = RunStore.create(
+                fork_dir,
+                study.config,
+                forked_from={
+                    "checkpoint_dir": os.fspath(checkpoint_dir),
+                    "day": day,
+                },
+                anchor_every=parent_anchor_every,
+            )
+            # The fork-day snapshot makes the new store self-contained
+            # (and is the anchor its first marker days defer to).
+            study._last_anchor = day
+            study._store.write_day(day, capture_campaign(study))
+        return study
+
+    def _reseed(self, seed: int) -> None:
+        """Reseed every future-facing stochastic stream (forks)."""
+        self.config = replace(self.config, seed=seed)
+        self.world.reseed(seed)
+        self._resilience.reseed(seed)
+        self.joiner.reseed(seed)
+
+    def _apply_fault_plan(
+        self,
+        plan: Union[FaultPlan, str, None],
+        fault_seed: Optional[int],
+    ) -> None:
+        """Swap the fault plan in force, re-wrapping every proxy."""
+        if isinstance(plan, str):
+            plan = FaultPlan.profile(plan)
+        self.config = replace(
+            self.config, faults=plan, fault_seed=fault_seed
+        )
+        if plan is None:
+            self.injector = None
+        else:
+            seed = fault_seed if fault_seed is not None else self.config.seed
+            self.injector = FaultInjector(
+                plan, seed=seed, health=self.health
+            )
+
+        def bare(client: object) -> object:
+            while isinstance(client, FaultProxy):
+                client = client._target
+            return client
+
+        self._search = self._faulty(bare(self._search), FaultySearchAPI)
+        self._stream = self._faulty(bare(self._stream), FaultyStreamingAPI)
+        self.engine.replace_clients(self._search, self._stream)
+        wa_web, tg_web, dc_api = (
+            bare(c) for c in self.monitor.clients()
+        )
+        if self.injector is not None:
+            wa_web = FaultyPreviewClient(wa_web, self.injector, "whatsapp")
+            tg_web = FaultyPreviewClient(tg_web, self.injector, "telegram")
+            dc_api = FaultyDiscordAPI(dc_api, self.injector)
+        self.monitor.replace_clients(wa_web, tg_web, dc_api)
+        self.joiner.replace_injector(self.injector)
 
     def _collect_control(self, day: int, dataset: StudyDataset) -> None:
         """Sample-stream collection, excluding group-URL tweets.

@@ -18,6 +18,27 @@ class ConfigError(ReproError):
     """A study or simulation configuration value is invalid."""
 
 
+class DatasetError(ReproError, ValueError):
+    """A persisted dataset could not be read.
+
+    Raised by :func:`repro.io.load_dataset` for truncated or corrupt
+    JSON/gzip input and for unsupported format versions; the message
+    always names the offending path.  Subclasses :class:`ValueError`
+    for backward compatibility with callers that caught the original
+    version-check error.
+    """
+
+
+class CheckpointError(ReproError):
+    """A campaign run store (checkpoint directory) is unusable.
+
+    Raised by :mod:`repro.checkpoint` for missing or unreadable
+    manifests, unsupported checkpoint format versions, day records
+    whose content digest does not match the manifest, and
+    resume/fork requests outside the checkpointed day range.
+    """
+
+
 class UnknownURLError(ReproError):
     """An invite URL does not correspond to any group on the platform."""
 

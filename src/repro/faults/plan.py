@@ -72,6 +72,10 @@ class Burst:
         """Whether simulated time ``t`` falls inside the window."""
         return self.start <= t < self.end
 
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-serialisable form (checkpoint manifests, digests)."""
+        return {"start": self.start, "end": self.end, "rate": self.rate}
+
 
 @dataclass(frozen=True)
 class FaultSpec:
@@ -125,6 +129,16 @@ class FaultSpec:
             and all(b.rate == 0.0 for b in self.bursts)
         )
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (checkpoint manifests, digests)."""
+        return {
+            "rate": self.rate,
+            "kinds": list(self.kinds),
+            "bursts": [burst.to_dict() for burst in self.bursts],
+            "truncate_rate": self.truncate_rate,
+            "truncate_frac": self.truncate_frac,
+        }
+
 
 _NO_FAULTS = FaultSpec()
 
@@ -155,6 +169,20 @@ class FaultPlan:
     def idle(self) -> bool:
         """True if no endpoint can ever fault under this plan."""
         return all(spec.idle for spec in self.specs.values())
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (checkpoint manifests, digests).
+
+        Endpoints are emitted in sorted order so the encoding — and
+        any digest over it — is independent of construction order.
+        """
+        return {
+            "name": self.name,
+            "specs": {
+                endpoint: self.specs[endpoint].to_dict()
+                for endpoint in sorted(self.specs)
+            },
+        }
 
     @classmethod
     def profile(cls, name: str) -> "FaultPlan":

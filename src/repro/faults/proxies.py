@@ -33,7 +33,23 @@ class FaultProxy:
         self._injector = injector
 
     def __getattr__(self, name: str):
-        return getattr(self._target, name)
+        # object.__getattribute__ (not self._target) so a half-built
+        # proxy — e.g. mid-unpickle, before __setstate__ ran — raises
+        # AttributeError instead of recursing into __getattr__.
+        target = object.__getattribute__(self, "_target")
+        return getattr(target, name)
+
+    # Explicit pickle protocol: without it, pickle's __getstate__
+    # probe falls through __getattr__ to the wrapped client and the
+    # proxy would be restored with the *target's* state (losing
+    # _target itself, and recursing on the next attribute access).
+    # Checkpointing (repro.checkpoint) pickles whole campaigns, so
+    # proxies must round-trip faithfully.
+    def __getstate__(self) -> dict:
+        return dict(self.__dict__)
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     def _guard(self, endpoint: str, platform: str, t: float) -> None:
         self._injector.before_call(endpoint, platform, t)

@@ -9,10 +9,12 @@ can be exported as CSV for external plotting
 (:mod:`repro.io.export`).
 """
 
+from repro.errors import DatasetError
 from repro.io.export import export_all_csv, export_figure_csv
 from repro.io.serialize import load_dataset, save_dataset
 
 __all__ = [
+    "DatasetError",
     "export_all_csv",
     "export_figure_csv",
     "load_dataset",

@@ -22,13 +22,14 @@ from repro.core.dataset import (
     UserObservation,
 )
 from repro.core.discovery import URLRecord
+from repro.errors import DatasetError
 from repro.platforms.base import GroupKind, MessageType
 from repro.privacy.hashing import HashedPhone
 from repro.privacy.pii import LinkedAccount
 from repro.resilience.health import CollectionHealth
 from repro.twitter.model import Tweet
 
-__all__ = ["save_dataset", "load_dataset", "FORMAT_VERSION"]
+__all__ = ["save_dataset", "load_dataset", "DatasetError", "FORMAT_VERSION"]
 
 #: Bumped on any incompatible change to the on-disk layout.
 FORMAT_VERSION = 1
@@ -261,20 +262,37 @@ def _user_from_dict(item: Dict[str, Any]) -> UserObservation:
 
 
 def load_dataset(path: Union[str, os.PathLike]) -> StudyDataset:
-    """Load a dataset previously written by :func:`save_dataset`."""
+    """Load a dataset previously written by :func:`save_dataset`.
+
+    Raises:
+        DatasetError: The file is truncated or corrupt (bad gzip
+            stream, invalid JSON) or carries an unsupported format
+            version; the message names the offending path.
+    """
     path = os.fspath(path)
-    if path.endswith(".gz"):
-        with gzip.open(path, "rt", encoding="utf-8") as handle:
-            document = json.load(handle)
-    else:
-        with open(path, "r", encoding="utf-8") as handle:
-            document = json.load(handle)
+    try:
+        if path.endswith(".gz"):
+            with gzip.open(path, "rt", encoding="utf-8") as handle:
+                document = json.load(handle)
+        else:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+    except FileNotFoundError:
+        raise
+    except json.JSONDecodeError as exc:
+        raise DatasetError(f"invalid JSON in dataset {path}: {exc}") from exc
+    except (EOFError, gzip.BadGzipFile, UnicodeDecodeError) as exc:
+        # EOFError: truncated gzip stream; BadGzipFile: not gzip at
+        # all (e.g. a renamed plain file, or flipped magic bytes).
+        raise DatasetError(
+            f"truncated or corrupt dataset {path}: {exc}"
+        ) from exc
 
     version = document.get("format_version")
     if version != FORMAT_VERSION:
-        raise ValueError(
+        raise DatasetError(
             f"unsupported dataset format version {version!r} "
-            f"(expected {FORMAT_VERSION})"
+            f"(expected {FORMAT_VERSION}) in {path}"
         )
 
     dataset = StudyDataset(

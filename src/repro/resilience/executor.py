@@ -43,6 +43,15 @@ class ResilienceExecutor:
         self._breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
         self._call_counts: Dict[Tuple[str, str], int] = {}
 
+    def reseed(self, seed: int) -> None:
+        """Change the backoff-jitter seed (checkpoint forks).
+
+        Breaker and call-count state are kept: a fork continues the
+        campaign's resilience history, only future jitter draws move
+        to the new seed's stream.
+        """
+        self.seed = seed
+
     def breaker(self, platform: str, op: str) -> CircuitBreaker:
         """The breaker guarding (``platform``, ``op``), created lazily."""
         key = (platform, op)

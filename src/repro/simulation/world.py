@@ -18,7 +18,7 @@ is an error, but two worlds with the same config are identical.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -270,6 +270,17 @@ class World:
         """Generate the whole study window."""
         for day in range(self._generated_through + 1, self.config.n_days):
             self.generate_day(day)
+
+    def reseed(self, seed: int) -> None:
+        """Reseed the *future* of this world (checkpoint forks).
+
+        Days generated from here on derive their RNG streams from the
+        new seed; everything already generated — and every lazily
+        materialised per-group stream whose RNG was already keyed off
+        the old seed — is untouched, so a fork branches the world's
+        randomness at the fork day without rewriting its past.
+        """
+        self.config = replace(self.config, seed=seed)
 
     def ground_truth(self) -> Dict[str, URLTruth]:
         """Per-URL ground truth (validation only; not pipeline input)."""

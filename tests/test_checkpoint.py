@@ -1,0 +1,289 @@
+"""Tests for the campaign run store: checkpoint, resume, and fork.
+
+The headline invariant — the golden-digest test the subsystem is
+built around — is that killing a campaign at *any* day boundary and
+resuming it exports a dataset byte-identical to the uninterrupted
+run, under both a fault-free and a hostile fault schedule.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    MANIFEST_NAME,
+    RunStore,
+    config_digest,
+)
+from repro.core.study import Study, StudyConfig
+from repro.errors import CheckpointError
+from repro.io import save_dataset
+
+pytestmark = pytest.mark.checkpoint
+
+#: Small but complete campaign: discovery, monitoring, a join day,
+#: and enough days after the join to exercise post-join boundaries.
+N_DAYS = 6
+
+
+def _config(faults=None, **overrides):
+    base = dict(
+        seed=7,
+        n_days=N_DAYS,
+        scale=0.004,
+        message_scale=0.05,
+        join_day=3,
+        faults=faults,
+    )
+    base.update(overrides)
+    return StudyConfig(**base)
+
+
+def _export_digest(dataset, tmp_path, name):
+    """SHA-256 of the dataset's exact on-disk export."""
+    path = tmp_path / f"{name}.json"
+    save_dataset(dataset, path)
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+class TestGoldenDigestKillAndResume:
+    """Resume at every boundary == uninterrupted run, byte for byte."""
+
+    @pytest.mark.parametrize("profile", [None, "hostile"])
+    def test_resume_every_boundary_byte_identical(
+        self, profile, tmp_path
+    ):
+        golden = _export_digest(
+            Study(_config(faults=profile)).run(), tmp_path, "golden"
+        )
+        store_dir = tmp_path / "store"
+        checkpointed = _export_digest(
+            Study(_config(faults=profile)).run(checkpoint_dir=store_dir),
+            tmp_path,
+            "checkpointed",
+        )
+        assert checkpointed == golden, (
+            "checkpointing must not perturb the campaign"
+        )
+        for day in range(N_DAYS):
+            resumed = Study.resume(store_dir, from_day=day)
+            digest = _export_digest(
+                resumed.run(), tmp_path, f"resumed-{day}"
+            )
+            assert digest == golden, (
+                f"resume from day {day} diverged from the "
+                f"uninterrupted run (profile={profile})"
+            )
+
+    def test_fork_unchanged_reproduces_tail(self, tmp_path):
+        store_dir = tmp_path / "store"
+        golden = _export_digest(
+            Study(_config(faults="hostile")).run(checkpoint_dir=store_dir),
+            tmp_path,
+            "golden",
+        )
+        fork = Study.fork(store_dir, 2)
+        assert _export_digest(fork.run(), tmp_path, "fork") == golden
+
+
+class TestResume:
+    def test_resume_latest_by_default(self, tmp_path):
+        store_dir = tmp_path / "store"
+        Study(_config()).run(checkpoint_dir=store_dir)
+        study = Study.resume(store_dir)
+        assert study._next_day == N_DAYS
+
+    def test_resume_missing_store(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint manifest"):
+            Study.resume(tmp_path / "nowhere")
+
+    def test_resume_day_outside_range(self, tmp_path):
+        store_dir = tmp_path / "store"
+        Study(_config()).run(checkpoint_dir=store_dir)
+        with pytest.raises(CheckpointError, match="not checkpointed"):
+            Study.resume(store_dir, from_day=99)
+
+    def test_resume_continues_checkpointing(self, tmp_path):
+        store_dir = tmp_path / "store"
+        Study(_config()).run(checkpoint_dir=store_dir)
+        store = RunStore.open(store_dir)
+        assert store.days() == list(range(N_DAYS))
+        Study.resume(store_dir, from_day=2).run()
+        assert RunStore.open(store_dir).days() == list(range(N_DAYS))
+
+    def test_restored_position_and_config(self, tmp_path):
+        store_dir = tmp_path / "store"
+        Study(_config(faults="hostile")).run(checkpoint_dir=store_dir)
+        study = Study.resume(store_dir, from_day=4)
+        assert study._next_day == 5
+        assert study.config == _config(faults="hostile")
+
+
+class TestFork:
+    def test_fork_new_seed_diverges_deterministically(self, tmp_path):
+        store_dir = tmp_path / "store"
+        golden = _export_digest(
+            Study(_config()).run(checkpoint_dir=store_dir), tmp_path, "g"
+        )
+        first = _export_digest(
+            Study.fork(store_dir, 2, seed=99).run(), tmp_path, "s1"
+        )
+        second = _export_digest(
+            Study.fork(store_dir, 2, seed=99).run(), tmp_path, "s2"
+        )
+        assert first == second
+        assert first != golden
+
+    def test_fork_into_hostile_weather(self, tmp_path):
+        store_dir = tmp_path / "store"
+        Study(_config()).run(checkpoint_dir=store_dir)
+        first = Study.fork(store_dir, 2, fault_plan="hostile").run()
+        second = Study.fork(store_dir, 2, fault_plan="hostile").run()
+        assert first.health is not None and not first.health.is_clean()
+        assert (
+            first.health.to_dict() == second.health.to_dict()
+        ), "replanned fork must replay deterministically"
+
+    def test_fork_strips_faults(self, tmp_path):
+        store_dir = tmp_path / "store"
+        Study(_config(faults="hostile")).run(checkpoint_dir=store_dir)
+        fork = Study.fork(store_dir, 1, fault_plan=None)
+        assert fork.injector is None
+        dataset = fork.run()
+        # Pre-fork hostile days left their mark in the shared ledger;
+        # the fork's own future must not add injected faults.
+        assert dataset.health is not None
+
+    def test_fork_store_is_self_contained(self, tmp_path):
+        parent = tmp_path / "parent"
+        child = tmp_path / "child"
+        Study(_config()).run(checkpoint_dir=parent)
+        golden = _export_digest(
+            Study.fork(parent, 2, fault_plan="hostile", fork_dir=child).run(),
+            tmp_path,
+            "fork",
+        )
+        store = RunStore.open(child)
+        assert store.days() == list(range(2, N_DAYS))
+        assert store.manifest["forked_from"]["day"] == 2
+        resumed = _export_digest(
+            Study.resume(child, from_day=2).run(), tmp_path, "fork-resumed"
+        )
+        assert resumed == golden
+
+
+class TestAnchorCadence:
+    """Anchor snapshots on cadence, replay markers in between."""
+
+    def _kinds(self, store_dir):
+        manifest = RunStore.open(store_dir).manifest
+        return {
+            int(day): entry["kind"]
+            for day, entry in manifest["days"].items()
+        }
+
+    def test_default_cadence_interleaves_markers(self, tmp_path):
+        store_dir = tmp_path / "store"
+        Study(_config()).run(checkpoint_dir=store_dir)
+        # DEFAULT_ANCHOR_EVERY == 5: anchors at days 0 and 5, the
+        # four days in between defer to day 0.
+        assert self._kinds(store_dir) == {
+            0: "anchor",
+            1: "replay",
+            2: "replay",
+            3: "replay",
+            4: "replay",
+            5: "anchor",
+        }
+
+    def test_cadence_never_affects_output(self, tmp_path):
+        marker_digest = _export_digest(
+            Study(_config()).run(checkpoint_dir=tmp_path / "a"),
+            tmp_path,
+            "markers",
+        )
+        dense_digest = _export_digest(
+            Study(_config()).run(
+                checkpoint_dir=tmp_path / "b", anchor_every=1
+            ),
+            tmp_path,
+            "dense",
+        )
+        assert marker_digest == dense_digest
+        assert all(
+            kind == "anchor"
+            for kind in self._kinds(tmp_path / "b").values()
+        )
+
+    def test_resume_from_marker_replays_to_position(self, tmp_path):
+        store_dir = tmp_path / "store"
+        Study(_config()).run(checkpoint_dir=store_dir)
+        study = Study.resume(store_dir, from_day=3)
+        assert study._next_day == 4
+
+    def test_marker_with_missing_anchor_fails(self, tmp_path):
+        store_dir = tmp_path / "store"
+        Study(_config()).run(checkpoint_dir=store_dir)
+        store = RunStore.open(store_dir)
+        anchor_digest = store.manifest["days"]["0"]["digest"]
+        (store_dir / "objects" / f"{anchor_digest}.bin.gz").unlink()
+        with pytest.raises(
+            CheckpointError, match="missing checkpoint day record"
+        ):
+            Study.resume(store_dir, from_day=2)
+
+    def test_invalid_cadence_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="anchor cadence"):
+            RunStore.create(tmp_path, _config(), anchor_every=0)
+
+
+class TestRunStore:
+    def test_create_rejects_different_config(self, tmp_path):
+        RunStore.create(tmp_path, _config())
+        with pytest.raises(CheckpointError, match="different configuration"):
+            RunStore.create(tmp_path, _config(seed=8))
+
+    def test_create_same_config_restarts(self, tmp_path):
+        store = RunStore.create(tmp_path, _config())
+        store.write_day(0, b"payload")
+        assert RunStore.create(tmp_path, _config()).days() == []
+
+    def test_config_digest_covers_fault_plan(self):
+        assert config_digest(_config()) != config_digest(
+            _config(faults="hostile")
+        )
+        assert config_digest(_config(faults="hostile")) == config_digest(
+            _config(faults="hostile")
+        )
+
+    def test_day_record_roundtrip(self, tmp_path):
+        store = RunStore.create(tmp_path, _config())
+        digest = store.write_day(0, b"some campaign state")
+        assert store.read_day(0) == b"some campaign state"
+        assert store.manifest["days"]["0"]["digest"] == digest
+        assert (tmp_path / "objects" / f"{digest}.bin.gz").exists()
+
+    def test_identical_payload_identical_object_bytes(self, tmp_path):
+        a = RunStore.create(tmp_path / "a", _config())
+        b = RunStore.create(tmp_path / "b", _config())
+        digest = a.write_day(0, b"xyz")
+        assert b.write_day(0, b"xyz") == digest
+        path_a = tmp_path / "a" / "objects" / f"{digest}.bin.gz"
+        path_b = tmp_path / "b" / "objects" / f"{digest}.bin.gz"
+        assert path_a.read_bytes() == path_b.read_bytes()
+
+    def test_empty_store_has_no_latest_day(self, tmp_path):
+        store = RunStore.create(tmp_path, _config())
+        with pytest.raises(CheckpointError, match="no day records"):
+            store.latest_day()
+
+    def test_manifest_records_campaign_identity(self, tmp_path):
+        config = _config(faults="hostile")
+        store = RunStore.create(tmp_path, config)
+        manifest = RunStore.open(tmp_path).manifest
+        assert manifest["format_version"] == CHECKPOINT_FORMAT_VERSION
+        assert manifest["root_seed"] == config.seed
+        assert manifest["fault_profile"] == "hostile"
+        assert manifest["config_digest"] == config_digest(config)
+        assert (tmp_path / MANIFEST_NAME).exists()

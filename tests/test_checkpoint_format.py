@@ -1,0 +1,214 @@
+"""Format-versioning tests: dataset files and checkpoint stores.
+
+A golden dataset fixture committed at ``FORMAT_VERSION`` guards the
+on-disk layout (bumping the version forces regenerating it), and
+every unsupported-version or corrupt-input path must fail with the
+documented domain error naming the offending file — never a deep
+traceback out of ``json``/``gzip``/``pickle``.
+"""
+
+import gzip
+import json
+import pathlib
+import pickle
+
+import pytest
+
+from repro.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    MANIFEST_NAME,
+    RunStore,
+    STATE_VERSION,
+    decode_day_record,
+    replay_marker,
+    restore_campaign,
+)
+from repro.core.study import StudyConfig
+from repro.errors import CheckpointError, DatasetError
+from repro.io import load_dataset
+from repro.io.serialize import FORMAT_VERSION
+
+pytestmark = pytest.mark.checkpoint
+
+GOLDEN_DATASET = pathlib.Path(__file__).parent / "data" / "dataset_v1.json"
+
+
+class TestDatasetGoldenFixture:
+    def test_fixture_is_at_current_format_version(self):
+        document = json.loads(GOLDEN_DATASET.read_text())
+        assert document["format_version"] == FORMAT_VERSION, (
+            "FORMAT_VERSION changed: regenerate tests/data/dataset_v1.json"
+        )
+
+    def test_fixture_loads(self):
+        dataset = load_dataset(GOLDEN_DATASET)
+        assert dataset.n_days == 2
+        assert list(dataset.records) == ["whatsapp:AbCdEfGh123"]
+        assert dataset.tweets[1].urls == (
+            "https://chat.whatsapp.com/AbCdEfGh123",
+        )
+        snapshot = dataset.snapshots["whatsapp:AbCdEfGh123"][0]
+        assert snapshot.alive and snapshot.size == 57
+        assert dataset.joined[0].n_messages == 2
+        assert dataset.users[("whatsapp", "wa1")].country == "BR"
+
+    def test_unknown_dataset_version_rejected(self, tmp_path):
+        document = json.loads(GOLDEN_DATASET.read_text())
+        document["format_version"] = FORMAT_VERSION + 1
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(document))
+        with pytest.raises(
+            DatasetError, match="unsupported dataset format version"
+        ) as excinfo:
+            load_dataset(path)
+        assert str(path) in str(excinfo.value)
+
+    def test_dataset_error_is_a_value_error(self, tmp_path):
+        # Backward compatibility: the version check used to raise
+        # bare ValueError.
+        document = json.loads(GOLDEN_DATASET.read_text())
+        document["format_version"] = 0
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValueError):
+            load_dataset(path)
+
+
+class TestCorruptDatasetInput:
+    def test_invalid_json_names_path(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('{"format_version": 1, "records": [')
+        with pytest.raises(DatasetError, match="invalid JSON") as excinfo:
+            load_dataset(path)
+        assert str(path) in str(excinfo.value)
+
+    def test_truncated_gzip_names_path(self, tmp_path):
+        path = tmp_path / "truncated.json.gz"
+        intact = gzip.compress(GOLDEN_DATASET.read_bytes())
+        path.write_bytes(intact[: len(intact) // 2])
+        with pytest.raises(DatasetError) as excinfo:
+            load_dataset(path)
+        assert str(path) in str(excinfo.value)
+
+    def test_not_gzip_at_all_names_path(self, tmp_path):
+        path = tmp_path / "plain.json.gz"
+        path.write_bytes(GOLDEN_DATASET.read_bytes())
+        with pytest.raises(DatasetError) as excinfo:
+            load_dataset(path)
+        assert str(path) in str(excinfo.value)
+
+    def test_missing_file_still_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "absent.json")
+
+
+def _store_config():
+    return StudyConfig(
+        seed=7, n_days=4, scale=0.004, message_scale=0.05, join_day=2
+    )
+
+
+class TestCheckpointStoreVersioning:
+    def test_unknown_manifest_version_rejected(self, tmp_path):
+        RunStore.create(tmp_path, _store_config())
+        manifest_path = tmp_path / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = CHECKPOINT_FORMAT_VERSION + 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(
+            CheckpointError, match="unsupported checkpoint format version"
+        ) as excinfo:
+            RunStore.open(tmp_path)
+        assert str(manifest_path) in str(excinfo.value)
+
+    def test_corrupt_manifest_names_path(self, tmp_path):
+        RunStore.create(tmp_path, _store_config())
+        manifest_path = tmp_path / MANIFEST_NAME
+        manifest_path.write_text("{ not json")
+        with pytest.raises(
+            CheckpointError, match="corrupt checkpoint manifest"
+        ) as excinfo:
+            RunStore.open(tmp_path)
+        assert str(manifest_path) in str(excinfo.value)
+
+    def test_unknown_state_version_rejected(self):
+        payload = pickle.dumps(
+            {"state_version": STATE_VERSION + 1, "study": None}
+        )
+        with pytest.raises(
+            CheckpointError, match="unsupported checkpoint state version"
+        ):
+            restore_campaign(payload)
+
+    def test_non_envelope_payload_rejected(self):
+        with pytest.raises(CheckpointError, match="envelope"):
+            restore_campaign(pickle.dumps(["not", "an", "envelope"]))
+
+    def test_undecodable_payload_rejected(self):
+        with pytest.raises(CheckpointError, match="undecodable"):
+            restore_campaign(b"\x80\x04 this is not a pickle")
+
+    def test_replay_marker_roundtrips(self):
+        record = decode_day_record(replay_marker(4))
+        assert record == {"kind": "replay", "anchor_day": 4}
+
+    def test_restore_rejects_replay_marker(self):
+        # A marker holds no state; it must be resolved through the
+        # store (Study.resume), never passed to restore_campaign.
+        with pytest.raises(CheckpointError, match="replay marker"):
+            restore_campaign(replay_marker(4))
+
+    def test_marker_with_bad_anchor_day_rejected(self):
+        payload = pickle.dumps(
+            {"state_version": STATE_VERSION, "kind": "replay"}
+        )
+        with pytest.raises(CheckpointError, match="envelope"):
+            decode_day_record(payload)
+
+
+class TestCorruptDayRecords:
+    def _store_with_day(self, tmp_path):
+        store = RunStore.create(tmp_path, _store_config())
+        digest = store.write_day(0, b"campaign state bytes")
+        return store, tmp_path / "objects" / f"{digest}.bin.gz"
+
+    def test_truncated_record_names_path(self, tmp_path):
+        store, path = self._store_with_day(tmp_path)
+        path.write_bytes(path.read_bytes()[:10])
+        with pytest.raises(
+            CheckpointError, match="corrupt checkpoint day record"
+        ) as excinfo:
+            store.read_day(0)
+        assert str(path) in str(excinfo.value)
+
+    def test_digest_mismatch_names_path(self, tmp_path):
+        store, path = self._store_with_day(tmp_path)
+        path.write_bytes(gzip.compress(b"tampered state"))
+        with pytest.raises(
+            CheckpointError, match="fails its digest check"
+        ) as excinfo:
+            store.read_day(0)
+        assert str(path) in str(excinfo.value)
+
+    def test_missing_record_names_path(self, tmp_path):
+        store, path = self._store_with_day(tmp_path)
+        path.unlink()
+        with pytest.raises(
+            CheckpointError, match="missing checkpoint day record"
+        ):
+            store.read_day(0)
+
+    def test_unrecorded_day_reports_range(self, tmp_path):
+        store, _ = self._store_with_day(tmp_path)
+        with pytest.raises(CheckpointError, match="days 0..0"):
+            store.read_day(7)
+
+    def test_config_mismatch_rejected(self, tmp_path):
+        store, _ = self._store_with_day(tmp_path)
+        with pytest.raises(CheckpointError, match="digest mismatch"):
+            store.check_config(
+                StudyConfig(
+                    seed=8, n_days=4, scale=0.004,
+                    message_scale=0.05, join_day=2,
+                )
+            )

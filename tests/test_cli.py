@@ -67,3 +67,107 @@ class TestMainSideOutputs:
         assert exit_code == 0
         out = capsys.readouterr().out
         assert "Calibration self-check" in out
+
+
+class TestArgumentValidation:
+    """Bad arguments fail with a clear ConfigError, not a traceback."""
+
+    @pytest.mark.parametrize(
+        "argv, fragment",
+        [
+            (["--days", "0"], "--days"),
+            (["--days", "-5"], "--days"),
+            (["--scale", "0"], "--scale"),
+            (["--scale", "-0.5"], "--scale"),
+            (["--message-scale", "0"], "--message-scale"),
+            (["--message-scale", "-1"], "--message-scale"),
+            (["--resume"], "--checkpoint-dir"),
+            (["--fork-day", "3"], "--checkpoint-dir"),
+            (
+                ["--resume", "--fork-day", "2", "--checkpoint-dir", "x"],
+                "mutually exclusive",
+            ),
+            (["--from-day", "2"], "--resume"),
+            (["--fork-seed", "9"], "--fork-day"),
+            (["--fork-faults", "hostile"], "--fork-day"),
+            (["--fork-into", "x"], "--fork-day"),
+            (["--checkpoint-every", "3"], "--checkpoint-dir"),
+            (
+                ["--checkpoint-dir", "x", "--checkpoint-every", "0"],
+                "--checkpoint-every",
+            ),
+            (
+                [
+                    "--checkpoint-dir", "x", "--resume",
+                    "--checkpoint-every", "3",
+                ],
+                "cadence",
+            ),
+        ],
+    )
+    def test_rejected_at_parse_time(self, argv, fragment):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match=None) as excinfo:
+            main(argv)
+        assert fragment in str(excinfo.value)
+
+    def test_fork_day_outside_checkpointed_range(self, tmp_path):
+        from repro.errors import ConfigError
+
+        store = tmp_path / "store"
+        assert main(
+            [
+                "--seed", "3", "--scale", "0.003", "--days", "4",
+                "--message-scale", "0.05", "--only", "table2",
+                "--checkpoint-dir", str(store),
+            ]
+        ) == 0
+        with pytest.raises(ConfigError, match="outside the checkpointed"):
+            main(
+                [
+                    "--checkpoint-dir", str(store), "--fork-day", "42",
+                    "--only", "table2",
+                ]
+            )
+        with pytest.raises(ConfigError, match="outside the checkpointed"):
+            main(
+                [
+                    "--checkpoint-dir", str(store), "--resume",
+                    "--from-day", "42", "--only", "table2",
+                ]
+            )
+
+
+class TestCheckpointFlags:
+    @pytest.mark.checkpoint
+    def test_run_resume_fork_cycle(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        fork_store = tmp_path / "fork"
+        base = [
+            "--seed", "3", "--scale", "0.003", "--days", "4",
+            "--message-scale", "0.05", "--only", "table2",
+        ]
+        assert main(
+            base + ["--checkpoint-dir", str(store), "--checkpoint-every", "2"]
+        ) == 0
+        assert (store / "manifest.json").exists()
+        assert main(
+            ["--checkpoint-dir", str(store), "--resume", "--only", "table2"]
+        ) == 0
+        assert main(
+            [
+                "--checkpoint-dir", str(store), "--resume",
+                "--from-day", "1", "--only", "table2",
+            ]
+        ) == 0
+        assert main(
+            [
+                "--checkpoint-dir", str(store), "--fork-day", "1",
+                "--fork-faults", "hostile", "--fork-into", str(fork_store),
+                "--only", "table2",
+            ]
+        ) == 0
+        assert (fork_store / "manifest.json").exists()
+        err = capsys.readouterr().err
+        assert "Resuming" in err and "Forking" in err

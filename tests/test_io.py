@@ -116,3 +116,39 @@ class TestExport:
         nested = tmp_path / "a" / "b"
         path = export_figure_csv(small_dataset, "fig8", nested)
         assert path.exists()
+
+
+class TestLoadErrors:
+    """Truncated/corrupt input surfaces as DatasetError, path included."""
+
+    def test_invalid_json_wrapped(self, tmp_path):
+        from repro.io import DatasetError
+
+        path = tmp_path / "bad.json"
+        path.write_text("{ definitely not json")
+        with pytest.raises(DatasetError) as excinfo:
+            load_dataset(path)
+        assert str(path) in str(excinfo.value)
+
+    def test_truncated_gzip_wrapped(self, small_dataset, tmp_path):
+        from repro.io import DatasetError
+
+        path = tmp_path / "ds.json.gz"
+        save_dataset(small_dataset, path)
+        path.write_bytes(path.read_bytes()[:-200])
+        with pytest.raises(DatasetError) as excinfo:
+            load_dataset(path)
+        assert str(path) in str(excinfo.value)
+
+    def test_version_error_names_path(self, small_dataset, tmp_path):
+        import json
+
+        from repro.io import DatasetError
+
+        path = tmp_path / "ds.json"
+        save_dataset(small_dataset, path)
+        document = json.loads(path.read_text())
+        document["format_version"] = FORMAT_VERSION + 7
+        path.write_text(json.dumps(document))
+        with pytest.raises(DatasetError, match="unsupported dataset format"):
+            load_dataset(path)
