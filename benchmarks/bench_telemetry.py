@@ -1,0 +1,82 @@
+"""Benchmark: telemetry-subsystem overhead.
+
+Telemetry is observational by contract, so it must also be close to
+free: with the handle disabled (the default) the pipeline pays one
+boolean check per instrumentation point, and even fully enabled —
+every span, counter, and histogram live — the campaign must stay
+within 5 % of the disabled run.  The emitted table documents both,
+alongside the enabled run's own per-stage report (the subsystem
+benchmarking itself).
+"""
+
+import time
+
+import pytest
+
+from repro.core.study import Study, StudyConfig
+from repro.reporting import render_telemetry
+from repro.reporting.tables import format_table
+
+pytestmark = pytest.mark.telemetry
+
+#: Modest scale: large enough that per-call overhead would show, small
+#: enough that three rounds per variant stay cheap.
+_BASE = dict(
+    seed=7,
+    n_days=10,
+    scale=0.01,
+    message_scale=0.1,
+    join_day=3,
+)
+
+#: Relative overhead budget for the telemetry-enabled run, plus a
+#: small absolute floor so sub-second runs do not flake on timer noise.
+MAX_OVERHEAD_FRAC = 0.05
+ABS_EPSILON_S = 0.25
+
+
+def _best_of(n, fn):
+    best = float("inf")
+    result = None
+    for _ in range(n):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _run(enabled=False):
+    study = Study(StudyConfig(**_BASE))
+    if enabled:
+        study.telemetry.enable()
+    study.run()
+    return study
+
+
+def test_telemetry_overhead_under_five_percent(emit):
+    off_s, off_study = _best_of(3, _run)
+    on_s, on_study = _best_of(3, lambda: _run(enabled=True))
+
+    assert len(off_study.telemetry.tracer) == 0, "off must record nothing"
+    assert len(on_study.telemetry.tracer) > 0
+
+    overhead = on_s - off_s
+    rows = [
+        ("telemetry off (default)", f"{off_s:.3f}", "-"),
+        ("telemetry on", f"{on_s:.3f}", f"{overhead / off_s:+.1%}"),
+    ]
+    emit(
+        "bench_telemetry",
+        format_table(
+            ("pipeline", "best of 3 (s)", "vs off"),
+            rows,
+            title="Telemetry-subsystem overhead (10-day campaign)",
+        )
+        + "\n\n"
+        + render_telemetry(on_study.telemetry),
+    )
+
+    assert overhead <= max(MAX_OVERHEAD_FRAC * off_s, ABS_EPSILON_S), (
+        f"telemetry-on overhead {overhead:.3f}s over off {off_s:.3f}s "
+        f"exceeds the {MAX_OVERHEAD_FRAC:.0%} budget"
+    )

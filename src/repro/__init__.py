@@ -9,6 +9,8 @@ Public entry points:
   per table/figure.
 * :mod:`repro.reporting` — renderers that print the paper's tables and
   figure series.
+* :class:`repro.telemetry.Telemetry` — opt-in metrics, span tracing,
+  and per-stage profiling over a campaign (off by default).
 
 Quickstart::
 
@@ -19,7 +21,8 @@ Quickstart::
 """
 
 from repro.core.study import Study, StudyConfig
+from repro.telemetry import Telemetry
 
 __version__ = "1.0.0"
 
-__all__ = ["Study", "StudyConfig", "__version__"]
+__all__ = ["Study", "StudyConfig", "Telemetry", "__version__"]

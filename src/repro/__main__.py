@@ -11,6 +11,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import time
 from typing import Callable, Dict
@@ -20,8 +21,10 @@ from repro.checkpoint import RunStore
 from repro.core.study import Study, StudyConfig
 from repro.errors import ConfigError
 from repro.faults import PROFILES, FaultPlan
+from repro.telemetry import export_telemetry
 from repro.reporting import (
     render_health,
+    render_telemetry,
     render_fig1,
     render_fig2,
     render_fig3,
@@ -56,6 +59,60 @@ RENDERERS: Dict[str, Callable] = {
     "fig9": render_fig9,
 }
 
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+# Named explicitly: under ``python -m repro`` this module imports as
+# ``__main__``, which would fall outside the ``repro`` logger tree.
+logger = logging.getLogger("repro.cli")
+
+
+def package_version() -> str:
+    """The installed package version, falling back to the source tree."""
+    try:
+        from importlib import metadata
+
+        return metadata.version("repro")
+    except Exception:
+        from repro import __version__
+
+        return __version__
+
+
+class _StderrHandler(logging.StreamHandler):
+    """A stream handler that resolves ``sys.stderr`` at emit time.
+
+    A plain ``StreamHandler(sys.stderr)`` binds the stream object once
+    at creation, so anything that swaps ``sys.stderr`` afterwards
+    (pytest's capture, callers redirecting a second ``main()`` run)
+    would keep writing to the stale stream.
+    """
+
+    def __init__(self) -> None:
+        logging.Handler.__init__(self)
+
+    @property
+    def stream(self):
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value):  # StreamHandler.__init__ assigns; ignore
+        pass
+
+
+def configure_logging(level: str) -> None:
+    """Route ``repro.*`` log records to stderr at ``level``.
+
+    Idempotent: repeated ``main()`` calls in one process reuse the
+    handler instead of stacking duplicates.
+    """
+    root = logging.getLogger("repro")
+    root.setLevel(getattr(logging, level.upper()))
+    if not any(isinstance(h, _StderrHandler) for h in root.handlers):
+        handler = _StderrHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        root.addHandler(handler)
+    root.propagate = False
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -65,6 +122,21 @@ def build_parser() -> argparse.ArgumentParser:
             "Through the Lens of Twitter' (IMC 2020) on a simulated "
             "ecosystem."
         ),
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {package_version()}",
+    )
+    parser.add_argument(
+        "--log-level", choices=LOG_LEVELS, default="info",
+        help="stderr log verbosity (default: info; debug adds per-day "
+             "progress)",
+    )
+    parser.add_argument(
+        "--telemetry-dir", metavar="DIR", default=None,
+        help="enable campaign telemetry and export it into DIR "
+             "(JSONL event log, Prometheus-style metrics, plain-text "
+             "report); off by default and never affects study output",
     )
     parser.add_argument("--seed", type=int, default=7, help="study seed")
     parser.add_argument(
@@ -248,7 +320,10 @@ def _build_study(args: argparse.Namespace) -> Study:
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     validate_args(args)
+    configure_logging(args.log_level)
     study = _build_study(args)
+    if args.telemetry_dir:
+        study.telemetry.enable()
     config = study.config
     checkpointing = args.resume or args.fork_day is not None
     mode = (
@@ -257,18 +332,17 @@ def main(argv=None) -> int:
         else "Running"
     )
     faults = config.faults.name if config.faults is not None else "none"
-    print(
-        f"# {mode} {config.n_days}-day study: seed={config.seed} "
-        f"scale={config.scale} message_scale={config.message_scale} "
-        f"faults={faults}",
-        file=sys.stderr,
+    logger.info(
+        "# %s %d-day study: seed=%s scale=%s message_scale=%s faults=%s",
+        mode, config.n_days, config.seed, config.scale,
+        config.message_scale, faults,
     )
     start = time.time()
     dataset = study.run(
         checkpoint_dir=None if checkpointing else args.checkpoint_dir,
         anchor_every=None if checkpointing else args.checkpoint_every,
     )
-    print(f"# Study complete in {time.time() - start:.1f}s", file=sys.stderr)
+    logger.info("# Study complete in %.1fs", time.time() - start)
 
     print(render_table1())
     names = args.only if args.only else sorted(RENDERERS)
@@ -294,18 +368,26 @@ def main(argv=None) -> int:
         print()
         print(render_validation_report(validate_dataset(dataset)))
 
+    if args.telemetry_dir:
+        report = render_telemetry(study.telemetry)
+        print()
+        print(report)
+        export_telemetry(study.telemetry, args.telemetry_dir, report=report)
+        logger.info("# Telemetry written to %s", args.telemetry_dir)
+
     if args.save:
         from repro.io import save_dataset
 
         save_dataset(dataset, args.save)
-        print(f"# Dataset saved to {args.save}", file=sys.stderr)
+        logger.info("# Dataset saved to %s", args.save)
 
     if args.export_csv:
         from repro.io import export_all_csv
 
         paths = export_all_csv(dataset, args.export_csv)
-        print(f"# {len(paths)} CSV files written to {args.export_csv}",
-              file=sys.stderr)
+        logger.info(
+            "# %d CSV files written to %s", len(paths), args.export_csv
+        )
     return 0
 
 

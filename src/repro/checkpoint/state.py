@@ -44,7 +44,9 @@ __all__ = [
 ]
 
 #: Bumped on any incompatible change to the day-record payload.
-STATE_VERSION = 1
+#: v2: the study graph carries the telemetry handle (metrics registry,
+#: span tracer, process-life counter) on every component.
+STATE_VERSION = 2
 
 #: Fixed pickle protocol: supported by every python we target
 #: (3.9+) so a checkpoint written on 3.12 resumes on 3.10.

@@ -23,6 +23,7 @@ import hashlib
 import io
 import json
 import os
+import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
@@ -106,6 +107,9 @@ class RunStore:
     def __init__(self, directory: Path, manifest: Dict[str, Any]) -> None:
         self.directory = Path(directory)
         self.manifest = manifest
+        #: Telemetry handle attached by the study that owns this store
+        #: (never serialised — the store handle itself is transient).
+        self.telemetry = None
 
     # -- construction -----------------------------------------------------
 
@@ -217,6 +221,7 @@ class RunStore:
         entry for inspection; the payload itself stays the source of
         truth on read.
         """
+        start = time.perf_counter()
         digest = _sha256(payload)
         path = self._object_path(digest)
         if not path.exists():
@@ -237,10 +242,21 @@ class RunStore:
             "kind": kind,
         }
         self._write_manifest()
+        if self.telemetry is not None:
+            self.telemetry.count("checkpoint_records_total", kind=kind)
+            self.telemetry.count(
+                "checkpoint_payload_bytes_total", len(payload), kind=kind
+            )
+            self.telemetry.observe(
+                "checkpoint_write_seconds",
+                time.perf_counter() - start,
+                kind=kind,
+            )
         return digest
 
     def read_day(self, day: int) -> bytes:
         """Load and verify day ``day``'s record payload."""
+        start = time.perf_counter()
         entry = self.manifest["days"].get(str(day))
         if entry is None:
             days = self.days()
@@ -268,6 +284,15 @@ class RunStore:
         if _sha256(payload) != entry["digest"]:
             raise CheckpointError(
                 f"checkpoint day record {path} fails its digest check"
+            )
+        if self.telemetry is not None:
+            self.telemetry.count(
+                "checkpoint_reads_total", kind=entry["kind"]
+            )
+            self.telemetry.observe(
+                "checkpoint_read_seconds",
+                time.perf_counter() - start,
+                kind=entry["kind"],
             )
         return payload
 

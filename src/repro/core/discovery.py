@@ -17,6 +17,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.core.patterns import DEFAULT_PATTERNS, extract_group_urls
 from repro.errors import TransientError
 from repro.resilience import ResilienceExecutor
+from repro.telemetry import Telemetry
 from repro.twitter.model import Tweet
 from repro.twitter.search import SearchAPI
 from repro.twitter.streaming import StreamingAPI
@@ -71,6 +72,7 @@ class DiscoveryEngine:
         stream: Optional[StreamingAPI],
         patterns: Sequence[str] = DEFAULT_PATTERNS,
         resilience: Optional[ResilienceExecutor] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if search is None and stream is None:
             raise ValueError("at least one of search/stream is required")
@@ -78,6 +80,7 @@ class DiscoveryEngine:
         self._stream = stream
         self._patterns = tuple(patterns)
         self._resilience = resilience or ResilienceExecutor()
+        self._telemetry = telemetry if telemetry is not None else Telemetry()
         self._last_search_t: Optional[float] = None
         #: canonical -> record
         self.records: Dict[str, URLRecord] = {}
@@ -111,6 +114,7 @@ class DiscoveryEngine:
         them, exactly the redundancy the paper's double collection
         bought.
         """
+        tel = self._telemetry
         if self._search is not None:
             for hour in range(1, POLLS_PER_DAY + 1):
                 now = day + hour / POLLS_PER_DAY
@@ -125,7 +129,12 @@ class DiscoveryEngine:
                     )
                 except TransientError:
                     self._resilience.health.bump("twitter", day, "missed")
+                    tel.count("discovery_missed_total", source="search")
                     continue
+                tel.count("discovery_polls_total", source="search")
+                tel.count(
+                    "discovery_tweets_total", len(results), source="search"
+                )
                 self._ingest(results, "search")
                 self._last_search_t = now
         if self._stream is not None:
@@ -138,10 +147,17 @@ class DiscoveryEngine:
                         self._patterns, day, day + 1
                     ),
                 )
+                tel.count("discovery_polls_total", source="stream")
+                tel.count(
+                    "discovery_tweets_total", len(delivered), source="stream"
+                )
             except TransientError:
                 self._resilience.health.bump("twitter", day, "missed")
+                tel.count("discovery_missed_total", source="stream")
                 delivered = []
             self._ingest(delivered, "stream")
+        tel.gauge("discovery_records", len(self.records))
+        tel.gauge("discovery_distinct_tweets", len(self.tweets))
 
     def _ingest(self, tweets: Iterable[Tweet], source: str) -> None:
         for tweet in tweets:

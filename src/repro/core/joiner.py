@@ -40,6 +40,7 @@ from repro.platforms.whatsapp import WhatsAppAccount, WhatsAppService
 from repro.privacy.hashing import PhoneHasher
 from repro.resilience import ResilienceExecutor
 from repro.rng import derive_rng
+from repro.telemetry import Telemetry
 
 __all__ = ["GroupJoiner", "DEFAULT_JOIN_TARGETS"]
 
@@ -64,7 +65,9 @@ class GroupJoiner:
         member_fetch_cap: int = 5_000,
         resilience: Optional[ResilienceExecutor] = None,
         injector: Optional[FaultInjector] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
+        self._telemetry = telemetry if telemetry is not None else Telemetry()
         self._services = {
             "whatsapp": whatsapp,
             "telegram": telegram,
@@ -175,6 +178,9 @@ class GroupJoiner:
                 if handle is not None:
                     self._joined.append((record, join_t, handle))
                     count += 1
+            self._telemetry.count(
+                "join_joined_total", count, platform=platform
+            )
             joined += count
         return joined
 
@@ -189,6 +195,9 @@ class GroupJoiner:
                 lambda: self._join_one_attempt(platform, record, join_t),
             )
         except (RevokedURLError, UnknownURLError, GroupFullError):
+            self._telemetry.count(
+                "join_dead_invites_total", platform=platform
+            )
             return None
         except TransientError:
             # Retries exhausted (or breaker open): skip this candidate
@@ -196,6 +205,7 @@ class GroupJoiner:
             self._resilience.health.bump(
                 platform, int(join_t), "join_skips"
             )
+            self._telemetry.count("join_skips_total", platform=platform)
             return None
 
     def _join_one_attempt(
@@ -227,6 +237,7 @@ class GroupJoiner:
                 "whatsapp",
             )
         )
+        self._telemetry.count("join_accounts_total", platform="whatsapp")
 
     def _join_discord(self, record: URLRecord, join_t: float) -> object:
         while True:
@@ -245,6 +256,7 @@ class GroupJoiner:
         if self._injector is not None:
             api = FaultyDiscordAPI(api, self._injector)
         self._dc_apis.append(api)
+        self._telemetry.count("join_accounts_total", platform="discord")
 
     @property
     def n_joined(self) -> int:
@@ -272,7 +284,16 @@ class GroupJoiner:
                 data = self._collect_discord(
                     record, join_t, handle, until_t, message_scale, users
                 )
+            self._telemetry.count(
+                "collect_groups_total", platform=record.platform
+            )
+            self._telemetry.count(
+                "collect_messages_total",
+                data.n_messages,
+                platform=record.platform,
+            )
             joined_data.append(data)
+        self._telemetry.gauge("collect_users_observed", len(users))
         return joined_data, users
 
     def _aggregate_messages(

@@ -32,12 +32,20 @@ from repro.platforms.telegram import TelegramWebClient
 from repro.platforms.whatsapp import WhatsAppWebClient
 from repro.privacy.hashing import PhoneHasher
 from repro.resilience import ResilienceExecutor
+from repro.telemetry import Telemetry
 
 __all__ = ["MetadataMonitor", "MONITOR_HOUR_FRAC"]
 
 #: Fraction of the day at which the daily snapshot is taken (a late
 #: evening pass over the whole catalogue).
 MONITOR_HOUR_FRAC = 0.98
+
+
+def _outcome(snapshot: Snapshot) -> str:
+    """Telemetry label for what one probe actually observed."""
+    if not snapshot.alive:
+        return "unknown" if snapshot.state == "unknown" else "revoked"
+    return "missed" if snapshot.state == "missed" else "observed"
 
 
 class MetadataMonitor:
@@ -50,12 +58,14 @@ class MetadataMonitor:
         discord: DiscordAPI,
         hasher: PhoneHasher,
         resilience: Optional[ResilienceExecutor] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self._whatsapp = whatsapp
         self._telegram = telegram
         self._discord = discord
         self._hasher = hasher
         self._resilience = resilience or ResilienceExecutor()
+        self._telemetry = telemetry if telemetry is not None else Telemetry()
         #: canonical -> snapshots, chronological.
         self.snapshots: Dict[str, List[Snapshot]] = {}
         self._dead: set = set()
@@ -101,8 +111,14 @@ class MetadataMonitor:
                 continue  # not discovered yet at observation time
             snapshot = self._observe_one(record, day, t)
             self.snapshots.setdefault(record.canonical, []).append(snapshot)
+            self._telemetry.count(
+                "monitor_snapshots_total",
+                platform=record.platform,
+                outcome=_outcome(snapshot),
+            )
             if not snapshot.alive:
                 self._dead.add(record.canonical)
+        self._telemetry.gauge("monitor_dead_urls", len(self._dead))
 
     def _observe_one(self, record: URLRecord, day: int, t: float) -> Snapshot:
         try:

@@ -26,7 +26,9 @@ seed or fault plan for what-if experiments.
 
 from __future__ import annotations
 
+import logging
 import os
+import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Union
 
@@ -59,11 +61,17 @@ from repro.platforms.whatsapp import WhatsAppWebClient
 from repro.privacy.hashing import PhoneHasher
 from repro.resilience import CollectionHealth, ResilienceExecutor
 from repro.simulation.world import World, WorldConfig
+from repro.telemetry import Telemetry
 from repro.twitter.search import SearchAPI
 from repro.twitter.service import tweet_matches
 from repro.twitter.streaming import StreamingAPI
 
 __all__ = ["Study", "StudyConfig"]
+
+logger = logging.getLogger(__name__)
+
+#: The three joinable messaging platforms, in reporting order.
+_PLATFORMS = ("whatsapp", "telegram", "discord")
 
 
 @dataclass(frozen=True)
@@ -131,13 +139,24 @@ class StudyConfig:
 class Study:
     """One full measurement campaign over a freshly generated world."""
 
-    def __init__(self, config: Optional[StudyConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[StudyConfig] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         self.config = config or StudyConfig()
         self.world = World(self.config.world_config())
         #: The campaign's failure ledger (exported with the dataset).
         self.health = CollectionHealth()
+        #: The campaign's observability handle, shared by every layer
+        #: (off by default; enable with ``telemetry.enable()`` or the
+        #: CLI's ``--telemetry-dir``).  It pickles with the study, so
+        #: a resumed campaign reports cumulative telemetry.
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._resilience = ResilienceExecutor(
-            seed=self.config.seed, health=self.health
+            seed=self.config.seed,
+            health=self.health,
+            telemetry=self.telemetry,
         )
         self.injector: Optional[FaultInjector] = None
         if self.config.faults is not None:
@@ -149,14 +168,23 @@ class Study:
             self.injector = FaultInjector(
                 self.config.faults, seed=fault_seed, health=self.health
             )
-        self._search = self._faulty(SearchAPI(self.world.twitter), FaultySearchAPI)
+        self._search = self._faulty(
+            SearchAPI(self.world.twitter, telemetry=self.telemetry),
+            FaultySearchAPI,
+        )
         self._stream = self._faulty(
-            StreamingAPI(self.world.twitter), FaultyStreamingAPI
+            StreamingAPI(self.world.twitter, telemetry=self.telemetry),
+            FaultyStreamingAPI,
         )
         self.engine = DiscoveryEngine(
-            self._search, self._stream, resilience=self._resilience
+            self._search,
+            self._stream,
+            resilience=self._resilience,
+            telemetry=self.telemetry,
         )
         self._hasher = PhoneHasher(salt=f"study-{self.config.seed}")
+        for name in _PLATFORMS:
+            self.world.platform(name).telemetry = self.telemetry
         whatsapp = self.world.platform("whatsapp")
         telegram = self.world.platform("telegram")
         discord = self.world.platform("discord")
@@ -173,6 +201,7 @@ class Study:
             discord=dc_api,
             hasher=self._hasher,
             resilience=self._resilience,
+            telemetry=self.telemetry,
         )
         self.joiner = GroupJoiner(
             whatsapp,
@@ -183,9 +212,14 @@ class Study:
             member_fetch_cap=self.config.member_fetch_cap,
             resilience=self._resilience,
             injector=self.injector,
+            telemetry=self.telemetry,
         )
         #: Campaign position: the next day the run loop will execute.
         self._next_day = 0
+        #: True only while resume() deterministically replays the gap
+        #: between an anchor and a replay marker (telemetry labels the
+        #: re-executed days so replayed work is distinguishable).
+        self._replaying = False
         #: Most recent day whose record is a full state snapshot.
         self._last_anchor: Optional[int] = None
         #: The in-flight dataset (accumulates control tweets day by day).
@@ -239,6 +273,7 @@ class Study:
                     else anchor_every
                 ),
             )
+            self._store.telemetry = self.telemetry
             # A marker may only defer to an anchor in the *same*
             # store: force the first record of a fresh store to be an
             # anchor snapshot.
@@ -255,7 +290,18 @@ class Study:
             self._run_day(day, dataset)
             self._next_day = day + 1
             if self._store is not None:
+                # Timed after the fact: the anchor pickles the whole
+                # study — tracer included — so the checkpoint region
+                # must never hold an open span.
+                start = time.perf_counter()
                 self._checkpoint_day(day)
+                self.telemetry.record_span(
+                    "checkpoint.write_day",
+                    stage="checkpoint",
+                    day=day,
+                    wall_s=time.perf_counter() - start,
+                )
+            logger.debug("day %d/%d complete", day + 1, config.n_days)
 
         return self._finalize(dataset)
 
@@ -277,19 +323,32 @@ class Study:
 
     def _run_day(self, day: int, dataset: StudyDataset) -> None:
         """One campaign day: generate, discover, monitor, sample, join."""
-        self.world.generate_day(day)
-        self.engine.run_day(day)
-        self.monitor.observe_day(day, self.engine.records.values())
-        self._collect_control(day, dataset)
+        tel = self.telemetry
+        mode = "replay" if self._replaying else "run"
+        with tel.span("world.generate_day", stage="world", day=day, mode=mode):
+            self.world.generate_day(day)
+        with tel.span("discovery.run_day", stage="discovery", day=day, mode=mode):
+            self.engine.run_day(day)
+        with tel.span("monitor.observe_day", stage="monitor", day=day, mode=mode):
+            self.monitor.observe_day(day, self.engine.records.values())
+        with tel.span("control.sample", stage="control", day=day, mode=mode):
+            self._collect_control(day, dataset)
         if day == self.config.join_day:
-            self._join(day)
+            with tel.span("joiner.join_sample", stage="join", day=day, mode=mode):
+                self._join(day)
+        tel.gauge("campaign_days_completed", day + 1)
+        tel.count("campaign_days_total", mode=mode)
 
     def _finalize(self, dataset: StudyDataset) -> StudyDataset:
         """End-of-campaign collection from joined groups."""
         config = self.config
-        joined, users = self.joiner.collect(
-            until_t=float(config.n_days), message_scale=config.message_scale
-        )
+        with self.telemetry.span(
+            "study.finalize", stage="analysis", day=config.n_days - 1
+        ):
+            joined, users = self.joiner.collect(
+                until_t=float(config.n_days),
+                message_scale=config.message_scale,
+            )
         dataset.records = dict(self.engine.records)
         dataset.tweets = dict(self.engine.tweets)
         dataset.snapshots = dict(self.monitor.snapshots)
@@ -320,6 +379,7 @@ class Study:
         """
         store = RunStore.open(checkpoint_dir)
         day = store.latest_day() if from_day is None else from_day
+        start = time.perf_counter()
         record = decode_day_record(store.read_day(day))
         if record["kind"] == "replay":
             anchor_day = record["anchor_day"]
@@ -336,11 +396,21 @@ class Study:
                 "hold a Study"
             )
         store.check_config(study.config)
+        restore_s = time.perf_counter() - start
+        study.telemetry.record_span(
+            "checkpoint.restore", stage="restore", day=day, wall_s=restore_s
+        )
+        study.telemetry.count("checkpoint_restores_total")
         # Replay the marker gap (no-op when the record was an anchor).
-        for replay_day in range(study._next_day, day + 1):
-            study._run_day(replay_day, study._dataset)
-            study._next_day = replay_day + 1
+        study._replaying = True
+        try:
+            for replay_day in range(study._next_day, day + 1):
+                study._run_day(replay_day, study._dataset)
+                study._next_day = replay_day + 1
+        finally:
+            study._replaying = False
         study._store = store
+        store.telemetry = study.telemetry
         return study
 
     @classmethod
@@ -395,6 +465,7 @@ class Study:
                 },
                 anchor_every=parent_anchor_every,
             )
+            study._store.telemetry = study.telemetry
             # The fork-day snapshot makes the new store self-contained
             # (and is the anchor its first marker days defer to).
             study._last_anchor = day

@@ -421,6 +421,10 @@ class PlatformService:
     name: str = "base"
     capabilities: PlatformCapabilities
 
+    #: Shared telemetry handle, attached by the study (class-level
+    #: default keeps standalone services instrumentation-free).
+    telemetry = None
+
     def __init__(self, seed: int, user_model: PlatformUserModel) -> None:
         self.seed = seed
         self.user_model = user_model
@@ -453,6 +457,10 @@ class PlatformService:
 
     def group_by_invite(self, code: str) -> GroupRecord:
         """Resolve an invite code to its group."""
+        if self.telemetry is not None:
+            self.telemetry.count(
+                "platform_lookups_total", platform=self.name, op="invite"
+            )
         gid = self._invite_to_gid.get(code)
         if gid is None:
             raise UnknownURLError(f"unknown {self.name} invite code: {code}")
@@ -483,6 +491,10 @@ class PlatformService:
 
     def user_profile(self, user_id: str) -> UserProfile:
         """Materialise (and cache) the ground-truth profile of a user."""
+        if self.telemetry is not None:
+            self.telemetry.count(
+                "platform_lookups_total", platform=self.name, op="profile"
+            )
         profile = self._profiles.get(user_id)
         if profile is None:
             profile = self._materialise_profile(user_id)

@@ -20,6 +20,7 @@ from repro.reporting.figures import (
     render_interplay,
 )
 from repro.reporting.health import render_health
+from repro.reporting.telemetry import render_telemetry
 from repro.reporting.tables import (
     format_table,
     render_table1,
@@ -47,4 +48,5 @@ __all__ = [
     "render_table3",
     "render_table4",
     "render_table5",
+    "render_telemetry",
 ]

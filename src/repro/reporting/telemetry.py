@@ -1,0 +1,115 @@
+"""Campaign telemetry report.
+
+Renders one campaign's telemetry — the per-stage wall-clock budget
+the profiler rolls up, the busiest resilience endpoints, and the
+checkpoint I/O bill — in the same plain-text table style as the
+paper tables and the health report.  A campaign run without
+telemetry renders a one-line pointer instead, so the report is safe
+to print unconditionally.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.reporting.tables import format_table
+from repro.telemetry import Telemetry
+
+__all__ = ["render_telemetry"]
+
+
+def render_telemetry(telemetry: Telemetry) -> str:
+    """Render the campaign-telemetry report for one campaign."""
+    title = "Campaign telemetry (per-stage time budget)"
+    if len(telemetry.tracer) == 0 and len(telemetry.metrics) == 0:
+        return (
+            f"{title}\n"
+            "telemetry off: enable with --telemetry-dir (CLI) or "
+            "Telemetry(enabled=True)"
+        )
+    profiler = telemetry.profiler()
+    rows = [
+        (
+            budget.stage,
+            str(budget.spans),
+            f"{budget.wall_s:.3f}",
+            f"{1000.0 * budget.mean_s:.2f}",
+            f"{budget.share:.1%}",
+        )
+        for budget in profiler.stage_budget()
+    ]
+    lines = [
+        format_table(
+            ("stage", "spans", "wall_s", "mean_ms", "share"),
+            rows,
+            title=title,
+        ),
+        "",
+        (
+            f"total instrumented wall time: {profiler.total_wall_s():.3f}s "
+            f"across {telemetry.process_lives} process "
+            f"life{'s' if telemetry.process_lives != 1 else ''}, "
+            f"{len(telemetry.tracer)} spans, "
+            f"{len(telemetry.metrics)} metric series"
+        ),
+    ]
+    endpoints = _busiest_endpoints(telemetry)
+    if endpoints:
+        lines.append("")
+        lines.append(
+            format_table(
+                ("endpoint", "calls", "wall_s", "mean_ms"),
+                endpoints,
+                title="Busiest resilience endpoints",
+            )
+        )
+    checkpoint = _checkpoint_line(telemetry)
+    if checkpoint:
+        lines.append("")
+        lines.append(checkpoint)
+    return "\n".join(lines)
+
+
+def _busiest_endpoints(
+    telemetry: Telemetry, top: int = 5
+) -> List[Tuple[str, ...]]:
+    """Top resilience (platform, op) endpoints by total wall time."""
+    series = [
+        (dict(labels), hist)
+        for kind, name, labels, hist in telemetry.metrics.series()
+        if kind == "histogram" and name == "resilience_call_seconds"
+    ]
+    series.sort(
+        key=lambda item: (-item[1].total, item[0].get("platform", ""),
+                          item[0].get("op", ""))
+    )
+    return [
+        (
+            f"{labels.get('platform', '?')}/{labels.get('op', '?')}",
+            str(hist.count),
+            f"{hist.total:.3f}",
+            f"{1000.0 * hist.mean:.2f}",
+        )
+        for labels, hist in series[:top]
+    ]
+
+
+def _checkpoint_line(telemetry: Telemetry) -> str:
+    """One line on the checkpoint bill (empty without checkpointing)."""
+    metrics = telemetry.metrics
+    anchors = metrics.counter("checkpoint_records_total", kind="anchor")
+    markers = metrics.counter("checkpoint_records_total", kind="replay")
+    if anchors == 0 and markers == 0:
+        return ""
+    payload = metrics.counter_total("checkpoint_payload_bytes_total")
+    restores = metrics.counter_total("checkpoint_restores_total")
+    parts = [
+        f"checkpoints: {int(anchors)} anchor(s) + {int(markers)} replay "
+        f"marker(s), {int(payload):,} payload bytes"
+    ]
+    if restores:
+        restore_s = telemetry.profiler().stage_wall_s("restore")
+        parts.append(
+            f"{int(restores)} restore(s) in {restore_s:.3f}s"
+        )
+    return "; ".join(parts)

@@ -16,6 +16,7 @@ import enum
 from typing import Optional
 
 from repro.resilience.health import CollectionHealth
+from repro.telemetry import Telemetry
 
 __all__ = ["BreakerState", "CircuitBreaker"]
 
@@ -37,6 +38,7 @@ class CircuitBreaker:
         failure_threshold: int = 5,
         cooldown_hours: float = 6.0,
         health: Optional[CollectionHealth] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError(
@@ -50,6 +52,7 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.cooldown_days = cooldown_hours / 24.0
         self._health = health
+        self._telemetry = telemetry
         self._open = False
         self._opened_t = 0.0
         self._consecutive_failures = 0
@@ -91,3 +94,7 @@ class CircuitBreaker:
         self.trips += 1
         if self._health is not None:
             self._health.bump(self.platform, int(t), "trips")
+        if self._telemetry is not None:
+            self._telemetry.count(
+                "breaker_trips_total", platform=self.platform
+            )

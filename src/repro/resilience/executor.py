@@ -8,6 +8,12 @@ seeded backoff, keeps the health ledger, and re-raises the final
 gracefully (a missed snapshot, a skipped poll, a deferred join).
 Non-transient errors — revocations, unknown URLs, join limits — pass
 straight through untouched: resilience must never mask a real signal.
+
+With a telemetry handle attached, every attempt, retry, failure,
+rejection, and backoff wait also lands in the metrics registry
+(labelled by platform and op) and each attempt's wall-clock duration
+feeds the ``resilience_call_seconds`` histogram — the operational
+view the per-day health ledger alone cannot give.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from repro.errors import CircuitOpenError, TransientError
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.health import CollectionHealth
 from repro.resilience.retry import RetryPolicy, backoff_hours
+from repro.telemetry import Telemetry
 
 __all__ = ["ResilienceExecutor"]
 
@@ -34,10 +41,12 @@ class ResilienceExecutor:
         health: Optional[CollectionHealth] = None,
         failure_threshold: int = 5,
         cooldown_hours: float = 6.0,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.seed = seed
         self.policy = policy or RetryPolicy()
         self.health = health if health is not None else CollectionHealth()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._failure_threshold = failure_threshold
         self._cooldown_hours = cooldown_hours
         self._breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
@@ -62,6 +71,7 @@ class ResilienceExecutor:
                 failure_threshold=self._failure_threshold,
                 cooldown_hours=self._cooldown_hours,
                 health=self.health,
+                telemetry=self.telemetry,
             )
             self._breakers[key] = found
         return found
@@ -78,9 +88,16 @@ class ResilienceExecutor:
                 failure is re-raised).
         """
         day = int(t)
+        # One flag read up front keeps the disabled path to a single
+        # boolean check per instrumentation point on this hot path.
+        tel = self.telemetry if self.telemetry.enabled else None
         breaker = self.breaker(platform, op)
         if not breaker.allow(t):
             self.health.bump(platform, day, "rejected")
+            if tel:
+                tel.count(
+                    "resilience_rejected_total", platform=platform, op=op
+                )
             raise CircuitOpenError(
                 f"{platform}/{op} circuit open at t={t:.3f}"
             )
@@ -90,28 +107,62 @@ class ResilienceExecutor:
         last: Optional[TransientError] = None
         for attempt in range(1, self.policy.max_attempts + 1):
             self.health.bump(platform, day, "attempts")
+            if tel:
+                tel.count(
+                    "resilience_attempts_total", platform=platform, op=op
+                )
+                start = tel.clock()
             try:
                 result = fn()
             except TransientError as exc:
+                if tel:
+                    tel.observe(
+                        "resilience_call_seconds",
+                        tel.clock() - start,
+                        platform=platform,
+                        op=op,
+                    )
+                    tel.count(
+                        "resilience_failures_total",
+                        platform=platform,
+                        op=op,
+                    )
                 last = exc
                 self.health.bump(platform, day, "failures")
                 breaker.record_failure(t)
                 if not breaker.allow(t):
                     break  # tripped mid-call: stop retrying immediately
                 if attempt < self.policy.max_attempts:
+                    wait_hours = backoff_hours(
+                        self.policy,
+                        attempt,
+                        self.seed,
+                        f"{platform}/{op}/{index}",
+                    )
                     self.health.bump(platform, day, "retries")
                     self.health.bump(
-                        platform,
-                        day,
-                        "backoff_hours",
-                        backoff_hours(
-                            self.policy,
-                            attempt,
-                            self.seed,
-                            f"{platform}/{op}/{index}",
-                        ),
+                        platform, day, "backoff_hours", wait_hours
                     )
+                    if tel:
+                        tel.count(
+                            "resilience_retries_total",
+                            platform=platform,
+                            op=op,
+                        )
+                        tel.count(
+                            "resilience_backoff_hours_total",
+                            wait_hours,
+                            platform=platform,
+                            op=op,
+                        )
             else:
+                if tel:
+                    tel.observe(
+                        "resilience_call_seconds",
+                        tel.clock() - start,
+                        platform=platform,
+                        op=op,
+                    )
                 breaker.record_success(t)
                 return result
         assert last is not None

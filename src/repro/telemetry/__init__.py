@@ -1,0 +1,62 @@
+"""repro.telemetry — campaign observability: metrics, spans, profiling.
+
+The subsystem the operators of a 38-day collection campaign stare at
+every morning: where the time went, what failed, what the retry layer
+absorbed, and how big the checkpoints are getting.  Zero external
+dependencies, off by default, RNG-clean by construction (only
+``time.perf_counter`` is ever read), and checkpoint-durable — the
+whole handle pickles with the study, so a resumed campaign reports
+cumulative telemetry spanning every process life.
+
+Layout:
+
+* :mod:`~repro.telemetry.registry` — counters / gauges / histograms.
+* :mod:`~repro.telemetry.tracer` — nested spans on the dual clock
+  (simulated campaign day + wall-clock seconds).
+* :mod:`~repro.telemetry.profiler` — spans rolled up into a per-stage
+  time budget.
+* :mod:`~repro.telemetry.handle` — the single :class:`Telemetry`
+  handle threaded through every pipeline layer.
+* :mod:`~repro.telemetry.exporters` — JSONL event log + Prometheus
+  text format (the plain-text report renders in
+  :mod:`repro.reporting.telemetry`).
+"""
+
+from repro.telemetry.exporters import (
+    JSONL_NAME,
+    PROMETHEUS_NAME,
+    REPORT_NAME,
+    export_jsonl,
+    export_prometheus,
+    export_telemetry,
+    render_prometheus,
+    telemetry_events,
+)
+from repro.telemetry.handle import Telemetry
+from repro.telemetry.profiler import Profiler, StageBudget, STAGE_ORDER
+from repro.telemetry.registry import (
+    DEFAULT_BUCKETS,
+    HistogramData,
+    MetricsRegistry,
+)
+from repro.telemetry.tracer import SpanRecord, Tracer
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "HistogramData",
+    "JSONL_NAME",
+    "MetricsRegistry",
+    "PROMETHEUS_NAME",
+    "Profiler",
+    "REPORT_NAME",
+    "STAGE_ORDER",
+    "SpanRecord",
+    "StageBudget",
+    "Telemetry",
+    "Tracer",
+    "export_jsonl",
+    "export_prometheus",
+    "export_telemetry",
+    "render_prometheus",
+    "telemetry_events",
+]

@@ -1,0 +1,181 @@
+"""Telemetry exporters: JSONL event log and Prometheus text format.
+
+Two machine-readable views of one campaign's telemetry:
+
+* :func:`export_jsonl` — a chronological event log: one ``meta`` line,
+  then every completed span in completion order, then every metric
+  series in sorted order.  Each line is one self-contained JSON
+  object, so the file streams into ``jq``/pandas without framing.
+* :func:`export_prometheus` — the standard text exposition format
+  (``# TYPE`` headers, ``name{labels} value`` samples), every name
+  prefixed ``repro_``, suitable for ``promtool`` or a file-based
+  scrape.
+
+Both exporters write atomically (temp file + rename) so a crash while
+exporting never leaves a half-written artefact, mirroring the
+checkpoint store's discipline.  The plain-text per-stage report lives
+in :mod:`repro.reporting.telemetry`, next to the health report.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, Union
+
+from repro.telemetry.handle import Telemetry
+
+__all__ = [
+    "JSONL_NAME",
+    "PROMETHEUS_NAME",
+    "REPORT_NAME",
+    "export_jsonl",
+    "export_prometheus",
+    "export_telemetry",
+    "render_prometheus",
+    "telemetry_events",
+]
+
+#: Canonical file names inside a ``--telemetry-dir``.
+JSONL_NAME = "telemetry.jsonl"
+PROMETHEUS_NAME = "metrics.prom"
+REPORT_NAME = "report.txt"
+
+#: Prefix applied to every exported metric name.
+_PREFIX = "repro_"
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+# -- JSONL -----------------------------------------------------------------
+
+def telemetry_events(telemetry: Telemetry) -> Iterator[Dict[str, object]]:
+    """Every telemetry event as a JSON-ready dict, in export order."""
+    yield {
+        "event": "meta",
+        "process_lives": telemetry.process_lives,
+        "n_spans": len(telemetry.tracer),
+        "n_series": len(telemetry.metrics),
+    }
+    for span in telemetry.tracer.spans:
+        event = span.to_dict()
+        event["event"] = "span"
+        yield event
+    for kind, name, labels, value in telemetry.metrics.series():
+        event: Dict[str, object] = {
+            "event": kind,
+            "name": name,
+            "labels": dict(labels),
+        }
+        if kind == "histogram":
+            event.update(value.to_dict())  # type: ignore[union-attr]
+        else:
+            event["value"] = value
+        yield event
+
+
+def export_jsonl(
+    telemetry: Telemetry, path: Union[str, os.PathLike]
+) -> Path:
+    """Write the JSONL event log to ``path``; returns the path."""
+    path = Path(path)
+    lines = [
+        json.dumps(event, sort_keys=True, separators=(",", ":"))
+        for event in telemetry_events(telemetry)
+    ]
+    _atomic_write_text(path, "\n".join(lines) + "\n")
+    return path
+
+
+# -- Prometheus text format ------------------------------------------------
+
+def _format_labels(labels) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in labels)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(telemetry: Telemetry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines = []
+    seen_types: set = set()
+    for kind, name, labels, value in telemetry.metrics.series():
+        full = _PREFIX + name
+        if full not in seen_types:
+            seen_types.add(full)
+            lines.append(f"# TYPE {full} {kind}")
+        if kind == "histogram":
+            for le, count in value.cumulative_buckets():
+                bucket_labels = tuple(labels) + (("le", _format_value(le)),)
+                lines.append(
+                    f"{full}_bucket{_format_labels(bucket_labels)} {count}"
+                )
+            lines.append(
+                f"{full}_sum{_format_labels(labels)} "
+                f"{_format_value(value.total)}"
+            )
+            lines.append(
+                f"{full}_count{_format_labels(labels)} {value.count}"
+            )
+        else:
+            lines.append(
+                f"{full}{_format_labels(labels)} {_format_value(value)}"
+            )
+    lines.append(
+        f"{_PREFIX}process_lives {telemetry.process_lives}"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def export_prometheus(
+    telemetry: Telemetry, path: Union[str, os.PathLike]
+) -> Path:
+    """Write the Prometheus text file to ``path``; returns the path."""
+    path = Path(path)
+    _atomic_write_text(path, render_prometheus(telemetry))
+    return path
+
+
+# -- directory export ------------------------------------------------------
+
+def export_telemetry(
+    telemetry: Telemetry,
+    directory: Union[str, os.PathLike],
+    report: str = "",
+) -> Dict[str, Path]:
+    """Write every telemetry artefact into ``directory``.
+
+    Emits the JSONL event log and the Prometheus file always, plus
+    ``report.txt`` when the caller passes the rendered plain-text
+    report (rendering lives in :mod:`repro.reporting.telemetry`,
+    which this module must not import).  Returns name -> path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "jsonl": export_jsonl(telemetry, directory / JSONL_NAME),
+        "prometheus": export_prometheus(
+            telemetry, directory / PROMETHEUS_NAME
+        ),
+    }
+    if report:
+        report_path = directory / REPORT_NAME
+        _atomic_write_text(
+            report_path, report if report.endswith("\n") else report + "\n"
+        )
+        paths["report"] = report_path
+    return paths

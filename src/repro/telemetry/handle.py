@@ -1,0 +1,130 @@
+"""The single Telemetry handle threaded through the pipeline.
+
+One :class:`Telemetry` object is created by the study and shared —
+the same way the fault injector and the health ledger are — by every
+layer that wants to report: the Twitter API simulators, the three
+platform services, discovery, the monitor, the joiner, the resilience
+executor and its breakers, and the checkpoint store.  It bundles a
+:class:`~repro.telemetry.registry.MetricsRegistry` and a
+:class:`~repro.telemetry.tracer.Tracer` behind no-op-when-disabled
+methods, so instrumentation at a call site is one unconditional call.
+
+Hard invariants:
+
+* **Off by default.**  A study built without ``--telemetry-dir`` (or
+  ``Telemetry(enabled=True)``) records nothing; every method returns
+  immediately after one flag check.
+* **Never touches any seeded RNG stream.**  The handle reads only
+  :func:`time.perf_counter`; enabling telemetry cannot change a
+  single sampled value, so exported datasets are byte-identical with
+  telemetry on or off.
+* **Survives checkpoint resume.**  The handle hangs off the study
+  object graph, so anchors carry it and a restored campaign keeps
+  accumulating into the same counters and span log (the tracer bumps
+  its process-life counter on restore).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import nullcontext
+from typing import ContextManager, Optional
+
+from repro.telemetry.profiler import Profiler
+from repro.telemetry.registry import HistogramData, MetricsRegistry
+from repro.telemetry.tracer import Tracer
+
+__all__ = ["Telemetry"]
+
+#: Shared no-op context manager returned by ``span()`` when disabled
+#: (``nullcontext`` keeps no per-use state, so one instance is safe).
+_NULL_SPAN: ContextManager = nullcontext()
+
+
+class Telemetry:
+    """Metrics + tracing behind one enable flag."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def enable(self) -> "Telemetry":
+        """Turn recording on (idempotent); returns self for chaining."""
+        self.enabled = True
+        return self
+
+    def disable(self) -> "Telemetry":
+        """Turn recording off; accumulated data is kept."""
+        self.enabled = False
+        return self
+
+    @property
+    def process_lives(self) -> int:
+        """How many processes have executed this campaign so far."""
+        return self.tracer.life
+
+    # -- recording ---------------------------------------------------------
+
+    def clock(self) -> float:
+        """A wall-clock reading for externally timed regions.
+
+        Lives here so instrumented packages (notably the resilience
+        layer, whose sources are grepped for wall-clock calls by the
+        determinism guard) never read the clock themselves: the only
+        :func:`time.perf_counter` call sites are in this package, and
+        the reading feeds telemetry exclusively — never behaviour.
+        Returns 0.0 while disabled so the hot path skips the syscall.
+        """
+        return time.perf_counter() if self.enabled else 0.0
+
+    def count(self, name: str, value: float = 1.0, **labels: str) -> None:
+        """Increment a counter (no-op while disabled)."""
+        if self.enabled:
+            self.metrics.inc(name, value, **labels)
+
+    def gauge(self, name: str, value: float, **labels: str) -> None:
+        """Set a gauge (no-op while disabled)."""
+        if self.enabled:
+            self.metrics.set_gauge(name, value, **labels)
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        """Fold a value into a histogram (no-op while disabled)."""
+        if self.enabled:
+            self.metrics.observe(name, value, **labels)
+
+    def span(
+        self, name: str, *, stage: str, day: Optional[int] = None,
+        **labels: str,
+    ) -> ContextManager:
+        """A timed span context (shared no-op context while disabled)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return self.tracer.span(name, stage=stage, day=day, **labels)
+
+    def record_span(
+        self,
+        name: str,
+        *,
+        stage: str,
+        wall_s: float,
+        day: Optional[int] = None,
+        **labels: str,
+    ) -> None:
+        """Record an externally timed span (no-op while disabled)."""
+        if self.enabled:
+            self.tracer.record(
+                name, stage=stage, wall_s=wall_s, day=day, **labels
+            )
+
+    # -- reading -----------------------------------------------------------
+
+    def profiler(self) -> Profiler:
+        """A profiler over this handle's trace."""
+        return Profiler(self.tracer)
+
+    def histogram(self, name: str, **labels: str) -> Optional[HistogramData]:
+        """Shortcut to :meth:`MetricsRegistry.histogram`."""
+        return self.metrics.histogram(name, **labels)

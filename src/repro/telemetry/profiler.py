@@ -1,0 +1,99 @@
+"""Per-phase profiler: spans rolled up into a stage-level time budget.
+
+The question an operator asks of a 38-day campaign is not "how long
+did call #4812 take" but "where did the time go — discovery, the
+monitor sweep, the join day, analysis, or checkpointing?".  The
+:class:`Profiler` answers it by aggregating the tracer's *top-level*
+spans (nested spans are already counted inside their parents) into
+one :class:`StageBudget` per pipeline stage: span count, total
+wall-clock seconds, and share of the campaign's total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.telemetry.tracer import Tracer
+
+__all__ = ["Profiler", "StageBudget", "STAGE_ORDER"]
+
+#: Canonical reporting order for the pipeline's stages; stages not
+#: listed here (from ad-hoc instrumentation) sort after, alphabetically.
+STAGE_ORDER = (
+    "world",
+    "discovery",
+    "monitor",
+    "control",
+    "join",
+    "analysis",
+    "checkpoint",
+    "restore",
+)
+
+
+@dataclass(frozen=True)
+class StageBudget:
+    """Aggregated wall-clock budget for one pipeline stage."""
+
+    stage: str
+    spans: int
+    wall_s: float
+    share: float  # fraction of the total top-level wall time
+
+    @property
+    def mean_s(self) -> float:
+        """Mean wall-clock seconds per span."""
+        return self.wall_s / self.spans if self.spans else 0.0
+
+
+class Profiler:
+    """Rolls a tracer's spans up into a stage-level time budget."""
+
+    def __init__(self, tracer: Tracer) -> None:
+        self._tracer = tracer
+
+    def total_wall_s(self) -> float:
+        """Total wall-clock seconds across all top-level spans."""
+        return sum(s.wall_s for s in self._tracer.top_level())
+
+    def stage_budget(self) -> List[StageBudget]:
+        """One budget row per stage, in :data:`STAGE_ORDER`."""
+        wall: Dict[str, float] = {}
+        count: Dict[str, int] = {}
+        for span in self._tracer.top_level():
+            wall[span.stage] = wall.get(span.stage, 0.0) + span.wall_s
+            count[span.stage] = count.get(span.stage, 0) + 1
+        total = sum(wall.values())
+        known = [s for s in STAGE_ORDER if s in wall]
+        extra = sorted(s for s in wall if s not in STAGE_ORDER)
+        return [
+            StageBudget(
+                stage=stage,
+                spans=count[stage],
+                wall_s=wall[stage],
+                share=wall[stage] / total if total else 0.0,
+            )
+            for stage in known + extra
+        ]
+
+    def stage_wall_s(self, stage: str) -> float:
+        """Total top-level wall-clock seconds spent in one stage."""
+        return sum(
+            s.wall_s for s in self._tracer.top_level() if s.stage == stage
+        )
+
+    def days_covered(self, life: Optional[int] = None) -> List[int]:
+        """Distinct campaign days with at least one span, ascending.
+
+        With ``life`` given, only spans executed by that process life
+        count — the cumulative-telemetry tests use this to prove a
+        resumed campaign's trace spans both lives.
+        """
+        return sorted(
+            {
+                s.day
+                for s in self._tracer.spans
+                if s.day is not None and (life is None or s.life == life)
+            }
+        )

@@ -1,0 +1,184 @@
+"""Labelled metrics: counters, gauges, and histograms.
+
+:class:`MetricsRegistry` is the numeric half of the telemetry
+subsystem: a flat store of time series keyed by metric name plus a
+(sorted) label set, holding monotonically increasing counters,
+last-write-wins gauges, and fixed-bucket histograms.  It is
+dependency-free, never touches any RNG, and pickles with the study
+object graph so a resumed campaign keeps accumulating into the same
+series.
+
+Metric names follow Prometheus conventions (``[a-zA-Z_:][a-zA-Z0-9_:]*``,
+``_total`` suffix on counters, ``_seconds`` on durations) so the
+Prometheus exporter can emit them verbatim.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["DEFAULT_BUCKETS", "HistogramData", "MetricsRegistry"]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: Default histogram bucket upper bounds, in seconds: the pipeline's
+#: individual calls run from sub-millisecond simulator lookups to
+#: multi-second checkpoint writes.  (+Inf is implicit.)
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: A series key: (metric name, sorted (label, value) pairs).
+SeriesKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+class HistogramData:
+    """Aggregated observations for one histogram series."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "minimum", "maximum")
+
+    def __init__(self, bounds: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # last = +Inf
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the aggregate."""
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean observed value (0.0 before any observation)."""
+        return self.total / self.count if self.count else 0.0
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """Prometheus-style cumulative ``(le, count)`` pairs, +Inf last."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + self.bucket_counts[-1]))
+        return out
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-ready summary (buckets omitted; count/sum/min/max/mean)."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+
+def _series_key(name: str, labels: Dict[str, str]) -> SeriesKey:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Counters, gauges, and histograms keyed by name + labels."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[SeriesKey, float] = {}
+        self._gauges: Dict[SeriesKey, float] = {}
+        self._histograms: Dict[SeriesKey, HistogramData] = {}
+        self._checked_names: set = set()
+
+    def _check_name(self, name: str) -> None:
+        if name in self._checked_names:
+            return
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        self._checked_names.add(name)
+
+    # -- writes ------------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0, **labels: str) -> None:
+        """Add ``value`` (>= 0) to the counter series."""
+        self._check_name(name)
+        if value < 0:
+            raise ValueError(f"counter {name} cannot decrease (got {value})")
+        key = _series_key(name, labels)
+        self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, **labels: str) -> None:
+        """Set the gauge series to ``value`` (last write wins)."""
+        self._check_name(name)
+        self._gauges[_series_key(name, labels)] = value
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        """Fold ``value`` into the histogram series."""
+        self._check_name(name)
+        key = _series_key(name, labels)
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = self._histograms[key] = HistogramData()
+        hist.observe(value)
+
+    # -- reads -------------------------------------------------------------
+
+    def counter(self, name: str, **labels: str) -> float:
+        """Current counter value (0.0 if never incremented)."""
+        return self._counters.get(_series_key(name, labels), 0.0)
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter across every label combination."""
+        return sum(
+            value for (n, _), value in self._counters.items() if n == name
+        )
+
+    def gauge(self, name: str, **labels: str) -> Optional[float]:
+        """Current gauge value (None if never set)."""
+        return self._gauges.get(_series_key(name, labels))
+
+    def histogram(self, name: str, **labels: str) -> Optional[HistogramData]:
+        """The histogram series (None if never observed)."""
+        return self._histograms.get(_series_key(name, labels))
+
+    def series(self) -> Iterator[Tuple[str, str, Tuple[Tuple[str, str], ...], object]]:
+        """Every series as ``(kind, name, labels, value)``, sorted.
+
+        Counters and gauges yield floats; histograms yield their
+        :class:`HistogramData`.  The ordering is deterministic so
+        exports of the same campaign state are byte-identical.
+        """
+        for key in sorted(self._counters):
+            yield "counter", key[0], key[1], self._counters[key]
+        for key in sorted(self._gauges):
+            yield "gauge", key[0], key[1], self._gauges[key]
+        for key in sorted(self._histograms):
+            yield "histogram", key[0], key[1], self._histograms[key]
+
+    def __len__(self) -> int:
+        """Number of live series across all three kinds."""
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def to_dict(self) -> Dict[str, List[Dict[str, object]]]:
+        """JSON-ready dump with deterministically ordered series."""
+        out: Dict[str, List[Dict[str, object]]] = {
+            "counters": [], "gauges": [], "histograms": [],
+        }
+        for kind, name, labels, value in self.series():
+            entry: Dict[str, object] = {"name": name, "labels": dict(labels)}
+            if kind == "histogram":
+                entry.update(value.to_dict())  # type: ignore[union-attr]
+            else:
+                entry["value"] = value
+            out[kind + "s"].append(entry)
+        return out

@@ -1,0 +1,209 @@
+"""Span tracing on the dual clock: campaign day + wall-clock seconds.
+
+A campaign runs on two clocks at once — the *simulated* calendar the
+paper's 38-day window lives on, and the *wall clock* the operator
+pays for.  Every :class:`SpanRecord` is stamped with both: the
+campaign day it covers and the wall-clock seconds it took, plus the
+process life that executed it (a resumed campaign is life 2 of the
+same logical run).
+
+Spans nest: the tracer keeps an active-span stack so a span opened
+inside another records its parent.  The stack is transient by
+construction — it is dropped on pickling (checkpoint anchors are
+written at day boundaries, outside any span, and a restored tracer
+must never resurrect a stale open span) while the completed-span
+list rides along, so cumulative traces survive process death.
+
+Wall-clock stamps come from :func:`time.perf_counter` only; the
+tracer never reads any seeded RNG stream, so tracing cannot perturb
+the campaign.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["SpanRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span.
+
+    Attributes:
+        span_id: Monotonic id, unique within the campaign (all lives).
+        parent_id: Enclosing span's id (None for a top-level span).
+        name: What ran (e.g. ``discovery.run_day``).
+        stage: Pipeline stage the span belongs to (``discovery``,
+            ``monitor``, ``join``, ``checkpoint``, ...): the key the
+            profiler rolls the time budget up by.
+        day: Simulated campaign day the span covers (None for spans
+            outside the day loop, e.g. a checkpoint restore).
+        wall_s: Wall-clock duration in seconds.
+        life: Process life that executed the span (1 = the original
+            process; each checkpoint restore starts a new life).
+        labels: Extra dimensions, sorted ``(key, value)`` pairs.
+    """
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    stage: str
+    day: Optional[int]
+    wall_s: float
+    life: int
+    labels: Tuple[Tuple[str, str], ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (one JSONL event)."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "stage": self.stage,
+            "day": self.day,
+            "wall_s": self.wall_s,
+            "life": self.life,
+            "labels": dict(self.labels),
+        }
+
+
+class _ActiveSpan:
+    """Context manager for one in-flight span."""
+
+    __slots__ = ("_tracer", "_name", "_stage", "_day", "_labels", "_span_id", "_start")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        stage: str,
+        day: Optional[int],
+        labels: Dict[str, str],
+    ) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._stage = stage
+        self._day = day
+        self._labels = labels
+        self._span_id: Optional[int] = None
+        self._start = 0.0
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._span_id = self._tracer._open()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        wall_s = time.perf_counter() - self._start
+        self._tracer._close(
+            self._span_id, self._name, self._stage, self._day, wall_s,
+            self._labels,
+        )
+
+
+@dataclass
+class Tracer:
+    """Records nested spans; survives pickling with its stack dropped."""
+
+    #: Completed spans, in completion order (a chronological event log).
+    spans: List[SpanRecord] = field(default_factory=list)
+    #: Current process life (bumped every time the tracer is restored
+    #: from a checkpoint, so spans carry which life executed them).
+    life: int = 1
+    _next_id: int = 1
+    _stack: List[int] = field(default_factory=list)
+
+    def span(
+        self, name: str, *, stage: str, day: Optional[int] = None,
+        **labels: str,
+    ) -> _ActiveSpan:
+        """Open a span; use as a context manager."""
+        return _ActiveSpan(self, name, stage, day, labels)
+
+    def record(
+        self,
+        name: str,
+        *,
+        stage: str,
+        wall_s: float,
+        day: Optional[int] = None,
+        **labels: str,
+    ) -> SpanRecord:
+        """Record an already-measured span without opening a context.
+
+        Used where the timed region must not hold an open span — the
+        checkpoint writer pickles the whole study (tracer included)
+        *inside* the region it times, and an open span must never be
+        captured into an anchor.
+        """
+        span_id = self._next_id
+        self._next_id += 1
+        record = SpanRecord(
+            span_id=span_id,
+            parent_id=self._stack[-1] if self._stack else None,
+            name=name,
+            stage=stage,
+            day=day,
+            wall_s=wall_s,
+            life=self.life,
+            labels=tuple(sorted((k, str(v)) for k, v in labels.items())),
+        )
+        self.spans.append(record)
+        return record
+
+    # -- internals used by _ActiveSpan -------------------------------------
+
+    def _open(self) -> int:
+        span_id = self._next_id
+        self._next_id += 1
+        self._stack.append(span_id)
+        return span_id
+
+    def _close(
+        self,
+        span_id: int,
+        name: str,
+        stage: str,
+        day: Optional[int],
+        wall_s: float,
+        labels: Dict[str, str],
+    ) -> None:
+        self._stack.pop()
+        self.spans.append(
+            SpanRecord(
+                span_id=span_id,
+                parent_id=self._stack[-1] if self._stack else None,
+                name=name,
+                stage=stage,
+                day=day,
+                wall_s=wall_s,
+                life=self.life,
+                labels=tuple(
+                    sorted((k, str(v)) for k, v in labels.items())
+                ),
+            )
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def top_level(self) -> Iterator[SpanRecord]:
+        """Spans with no parent (the profiler's aggregation input)."""
+        return (s for s in self.spans if s.parent_id is None)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    # -- pickling ----------------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = dict(self.__dict__)
+        state["_stack"] = []  # open spans never survive a checkpoint
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        # Restoring a checkpoint starts a new process life.
+        self.life += 1

@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence
 
 from repro.clock import SEARCH_WINDOW_DAYS
 from repro.rng import stable_uniform
+from repro.telemetry import Telemetry
 from repro.twitter.model import Tweet
 from repro.twitter.service import TwitterService, tweet_matches
 
@@ -31,12 +32,14 @@ class SearchAPI:
         service: TwitterService,
         recall: float = DEFAULT_SEARCH_RECALL,
         salt: str = "search-index",
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if not 0.0 < recall <= 1.0:
             raise ValueError(f"recall must be in (0, 1], got {recall}")
         self._service = service
         self._recall = recall
         self._salt = salt
+        self._telemetry = telemetry if telemetry is not None else Telemetry()
 
     def indexed(self, tweet: Tweet) -> bool:
         """Whether this tweet is present in the search index (stable)."""
@@ -60,8 +63,13 @@ class SearchAPI:
         t0 = now - SEARCH_WINDOW_DAYS
         if since is not None:
             t0 = max(t0, since)
-        return [
+        results = [
             tweet
             for tweet in self._service.tweets_between(t0, now)
             if tweet_matches(tweet, patterns) and self.indexed(tweet)
         ]
+        self._telemetry.count("twitter_api_calls_total", api="search")
+        self._telemetry.count(
+            "twitter_api_results_total", len(results), api="search"
+        )
+        return results

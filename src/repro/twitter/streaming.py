@@ -12,9 +12,10 @@ Two streams, as in the paper:
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.rng import stable_uniform
+from repro.telemetry import Telemetry
 from repro.twitter.model import Tweet
 from repro.twitter.service import TwitterService, tweet_matches
 
@@ -35,12 +36,14 @@ class StreamingAPI:
         service: TwitterService,
         recall: float = DEFAULT_STREAM_RECALL,
         salt: str = "stream-delivery",
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if not 0.0 < recall <= 1.0:
             raise ValueError(f"recall must be in (0, 1], got {recall}")
         self._service = service
         self._recall = recall
         self._salt = salt
+        self._telemetry = telemetry if telemetry is not None else Telemetry()
 
     def delivered(self, tweet: Tweet) -> bool:
         """Whether the filtered stream delivers this tweet (stable)."""
@@ -50,11 +53,16 @@ class StreamingAPI:
         self, patterns: Sequence[str], t0: float, t1: float
     ) -> List[Tweet]:
         """Tweets matching ``patterns`` delivered during [t0, t1)."""
-        return [
+        delivered = [
             tweet
             for tweet in self._service.tweets_between(t0, t1)
             if tweet_matches(tweet, patterns) and self.delivered(tweet)
         ]
+        self._telemetry.count("twitter_api_calls_total", api="stream")
+        self._telemetry.count(
+            "twitter_api_results_total", len(delivered), api="stream"
+        )
+        return delivered
 
     def sample(
         self, t0: float, t1: float, rate: float = SAMPLE_RATE
@@ -63,8 +71,13 @@ class StreamingAPI:
 
         This is the control dataset: no pattern filtering.
         """
-        return [
+        sampled = [
             tweet
             for tweet in self._service.tweets_between(t0, t1)
             if stable_uniform(str(tweet.tweet_id), "sample-stream") < rate
         ]
+        self._telemetry.count("twitter_api_calls_total", api="sample")
+        self._telemetry.count(
+            "twitter_api_results_total", len(sampled), api="sample"
+        )
+        return sampled

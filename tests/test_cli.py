@@ -1,8 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.__main__ import RENDERERS, build_parser, main
+from repro.__main__ import RENDERERS, build_parser, main, package_version
 
 
 class TestParser:
@@ -11,6 +13,19 @@ class TestParser:
         assert args.seed == 7
         assert args.scale == 0.01
         assert args.only is None
+        assert args.log_level == "info"
+        assert args.telemetry_dir is None
+
+    def test_version_exits_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.strip() == f"repro {package_version()}"
+
+    def test_log_level_validates_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--log-level", "loud"])
 
     def test_only_validates_names(self):
         with pytest.raises(SystemExit):
@@ -56,6 +71,40 @@ class TestMainSideOutputs:
 
         loaded = load_dataset(save_path)
         assert loaded.n_days == 8
+
+    def test_telemetry_dir_flag(self, tmp_path, capsys):
+        tel_dir = tmp_path / "telemetry"
+        exit_code = main(
+            [
+                "--seed", "3", "--scale", "0.002", "--days", "6",
+                "--message-scale", "0.05", "--only", "table2",
+                "--telemetry-dir", str(tel_dir),
+            ]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "Campaign telemetry (per-stage time budget)" in captured.out
+        assert "Telemetry written to" in captured.err
+        for line in (tel_dir / "telemetry.jsonl").read_text().splitlines():
+            json.loads(line)
+        prom = (tel_dir / "metrics.prom").read_text()
+        assert "repro_campaign_days_total" in prom
+        assert "Campaign telemetry" in (tel_dir / "report.txt").read_text()
+
+    def test_log_level_gates_stderr(self, tmp_path, capsys):
+        base = [
+            "--seed", "3", "--scale", "0.002", "--days", "3",
+            "--message-scale", "0.05", "--only", "table2",
+        ]
+        assert main(base + ["--log-level", "debug"]) == 0
+        err = capsys.readouterr().err
+        assert "# Running" in err
+        assert "day 1/3 complete" in err
+        assert main(base + ["--log-level", "warning"]) == 0
+        assert capsys.readouterr().err == ""
+        assert main(base) == 0  # default: the classic banner, no debug
+        err = capsys.readouterr().err
+        assert "# Running" in err and "day 1/3" not in err
 
     def test_validate_flag(self, capsys):
         exit_code = main(

@@ -1,0 +1,457 @@
+"""Tests for repro.telemetry: registry, tracer, profiler, handle,
+exporters, and the campaign-level invariants.
+
+The two headline invariants:
+
+* **Determinism** — enabling telemetry changes nothing about the
+  campaign: the exported dataset is byte-identical with telemetry on
+  or off, fault-free and hostile alike.
+* **Cumulative across process lives** — a campaign killed at a day
+  boundary and resumed reports one telemetry record spanning both
+  process lives: life-1 spans survive inside the anchor, life-2 spans
+  accumulate after restore.
+"""
+
+import hashlib
+import json
+import pickle
+import re
+
+import pytest
+
+from repro.core.study import Study, StudyConfig
+from repro.io import save_dataset
+from repro.reporting import render_telemetry
+from repro.telemetry import (
+    DEFAULT_BUCKETS,
+    JSONL_NAME,
+    PROMETHEUS_NAME,
+    REPORT_NAME,
+    STAGE_ORDER,
+    MetricsRegistry,
+    Profiler,
+    Telemetry,
+    Tracer,
+    export_telemetry,
+    render_prometheus,
+)
+
+pytestmark = pytest.mark.telemetry
+
+#: Small but complete campaign: discovery, monitoring, a join day,
+#: and enough post-join days to exercise every instrumented stage.
+N_DAYS = 6
+
+
+def _config(faults=None, **overrides):
+    base = dict(
+        seed=7,
+        n_days=N_DAYS,
+        scale=0.004,
+        message_scale=0.05,
+        join_day=3,
+        faults=faults,
+    )
+    base.update(overrides)
+    return StudyConfig(**base)
+
+
+def _export_digest(dataset, tmp_path, name):
+    """SHA-256 of the dataset's exact on-disk export."""
+    path = tmp_path / f"{name}.json"
+    save_dataset(dataset, path)
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+# -- registry ----------------------------------------------------------------
+
+class TestMetricsRegistry:
+    def test_counter_accumulates_per_label_set(self):
+        reg = MetricsRegistry()
+        reg.inc("calls_total", platform="whatsapp")
+        reg.inc("calls_total", 2.0, platform="whatsapp")
+        reg.inc("calls_total", platform="discord")
+        assert reg.counter("calls_total", platform="whatsapp") == 3.0
+        assert reg.counter("calls_total", platform="discord") == 1.0
+        assert reg.counter_total("calls_total") == 4.0
+        assert reg.counter("calls_total", platform="telegram") == 0.0
+
+    def test_counter_rejects_decrease(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="cannot decrease"):
+            reg.inc("calls_total", -1.0)
+
+    def test_invalid_metric_name_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            reg.inc("bad name!")
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("records", 10.0)
+        reg.set_gauge("records", 7.0)
+        assert reg.gauge("records") == 7.0
+        assert reg.gauge("never_set") is None
+
+    def test_histogram_aggregates(self):
+        reg = MetricsRegistry()
+        for value in (0.0004, 0.003, 0.4, 99.0):
+            reg.observe("op_seconds", value)
+        hist = reg.histogram("op_seconds")
+        assert hist.count == 4
+        assert hist.total == pytest.approx(0.0004 + 0.003 + 0.4 + 99.0)
+        assert hist.minimum == pytest.approx(0.0004)
+        assert hist.maximum == pytest.approx(99.0)
+        assert hist.mean == pytest.approx(hist.total / 4)
+        cumulative = hist.cumulative_buckets()
+        assert [le for le, _ in cumulative] == (
+            list(DEFAULT_BUCKETS) + [float("inf")]
+        )
+        counts = [n for _, n in cumulative]
+        assert counts == sorted(counts), "cumulative counts must be monotone"
+        assert counts[-1] == 4, "+Inf bucket must cover every observation"
+
+    def test_series_is_deterministically_ordered(self):
+        reg = MetricsRegistry()
+        reg.inc("b_total", platform="z")
+        reg.inc("b_total", platform="a")
+        reg.inc("a_total")
+        reg.set_gauge("g", 1.0)
+        reg.observe("h_seconds", 0.1)
+        listing = [(kind, name, labels) for kind, name, labels, _ in reg.series()]
+        assert listing == [
+            ("counter", "a_total", ()),
+            ("counter", "b_total", (("platform", "a"),)),
+            ("counter", "b_total", (("platform", "z"),)),
+            ("gauge", "g", ()),
+            ("histogram", "h_seconds", ()),
+        ]
+        assert len(reg) == 5
+
+
+# -- tracer ------------------------------------------------------------------
+
+class TestTracer:
+    def test_spans_nest_and_record_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer", stage="discovery", day=3):
+            with tracer.span("inner", stage="discovery", day=3):
+                pass
+        inner, outer = tracer.spans  # completion order: inner closes first
+        assert inner.name == "inner" and outer.name == "outer"
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert [s.name for s in tracer.top_level()] == ["outer"]
+        assert all(s.life == 1 for s in tracer.spans)
+        assert all(s.wall_s >= 0.0 for s in tracer.spans)
+
+    def test_record_externally_timed_span(self):
+        tracer = Tracer()
+        record = tracer.record(
+            "checkpoint.write_day", stage="checkpoint", wall_s=1.5, day=4
+        )
+        assert record.wall_s == 1.5
+        assert record.parent_id is None
+        assert len(tracer) == 1
+
+    def test_pickle_bumps_life_and_drops_open_spans(self):
+        tracer = Tracer()
+        with tracer.span("done", stage="world", day=0):
+            pass
+        with tracer.span("open", stage="world", day=1):
+            clone = pickle.loads(pickle.dumps(tracer))
+        assert clone.life == 2
+        assert clone._stack == [], "open spans must not survive a restore"
+        assert [s.name for s in clone.spans] == ["done"]
+        # The original tracer keeps working after being pickled.
+        assert [s.name for s in tracer.spans] == ["done", "open"]
+        assert tracer.life == 1
+
+
+# -- profiler ----------------------------------------------------------------
+
+class TestProfiler:
+    def test_stage_budget_rolls_up_top_level_spans(self):
+        tracer = Tracer()
+        tracer.record("a", stage="discovery", wall_s=3.0, day=0)
+        tracer.record("b", stage="discovery", wall_s=1.0, day=1)
+        tracer.record("c", stage="analysis", wall_s=4.0, day=1)
+        tracer.record("z", stage="custom", wall_s=2.0)
+        profiler = Profiler(tracer)
+        budgets = {b.stage: b for b in profiler.stage_budget()}
+        assert budgets["discovery"].spans == 2
+        assert budgets["discovery"].wall_s == pytest.approx(4.0)
+        assert budgets["discovery"].share == pytest.approx(0.4)
+        assert budgets["discovery"].mean_s == pytest.approx(2.0)
+        # Known stages render in STAGE_ORDER; ad-hoc stages sort after.
+        stages = [b.stage for b in profiler.stage_budget()]
+        assert stages == ["discovery", "analysis", "custom"]
+        assert profiler.total_wall_s() == pytest.approx(10.0)
+        assert sum(b.share for b in profiler.stage_budget()) == pytest.approx(1.0)
+
+    def test_nested_spans_not_double_counted(self):
+        tracer = Tracer()
+        with tracer.span("outer", stage="monitor", day=0):
+            with tracer.span("inner", stage="monitor", day=0):
+                pass
+        profiler = Profiler(tracer)
+        assert profiler.stage_budget()[0].spans == 1
+
+    def test_days_covered_filters_by_life(self):
+        tracer = Tracer()
+        tracer.record("a", stage="world", wall_s=0.0, day=0)
+        tracer.record("b", stage="world", wall_s=0.0, day=2)
+        restored = pickle.loads(pickle.dumps(tracer))
+        restored.record("c", stage="world", wall_s=0.0, day=2)
+        restored.record("d", stage="world", wall_s=0.0, day=5)
+        profiler = Profiler(restored)
+        assert profiler.days_covered() == [0, 2, 5]
+        assert profiler.days_covered(life=1) == [0, 2]
+        assert profiler.days_covered(life=2) == [2, 5]
+
+
+# -- handle ------------------------------------------------------------------
+
+class TestTelemetryHandle:
+    def test_disabled_by_default_records_nothing(self):
+        tel = Telemetry()
+        assert not tel.enabled
+        tel.count("calls_total")
+        tel.gauge("records", 5.0)
+        tel.observe("op_seconds", 0.1)
+        with tel.span("work", stage="discovery", day=0):
+            pass
+        tel.record_span("late", stage="checkpoint", wall_s=1.0)
+        assert len(tel.metrics) == 0
+        assert len(tel.tracer) == 0
+        assert tel.clock() == 0.0, "disabled handle must not read the clock"
+
+    def test_enabled_records_everything(self):
+        tel = Telemetry().enable()
+        tel.count("calls_total", platform="discord")
+        tel.observe("op_seconds", 0.2)
+        with tel.span("work", stage="discovery", day=0):
+            pass
+        assert tel.metrics.counter("calls_total", platform="discord") == 1.0
+        assert tel.histogram("op_seconds").count == 1
+        assert len(tel.tracer) == 1
+        assert tel.clock() > 0.0
+        tel.disable()
+        tel.count("calls_total", platform="discord")
+        assert tel.metrics.counter("calls_total", platform="discord") == 1.0
+        assert tel.process_lives == 1
+
+
+# -- campaign instrumentation ------------------------------------------------
+
+class TestStudyInstrumentation:
+    @pytest.fixture(scope="class")
+    def telemetered_study(self):
+        study = Study(_config())
+        study.telemetry.enable()
+        dataset = study.run()
+        return study, dataset
+
+    def test_off_by_default(self):
+        study = Study(_config(n_days=2, join_day=1))
+        study.run()
+        assert len(study.telemetry.metrics) == 0
+        assert len(study.telemetry.tracer) == 0
+
+    def test_every_pipeline_stage_traced(self, telemetered_study):
+        study, _ = telemetered_study
+        stages = {b.stage for b in study.telemetry.profiler().stage_budget()}
+        assert {
+            "world", "discovery", "monitor", "control", "join", "analysis",
+        } <= stages
+        assert study.telemetry.profiler().days_covered() == list(range(N_DAYS))
+
+    def test_every_layer_reports_metrics(self, telemetered_study):
+        study, dataset = telemetered_study
+        metrics = study.telemetry.metrics
+        # Twitter services, discovery, monitor, joiner, resilience.
+        assert metrics.counter("twitter_api_calls_total", api="search") > 0
+        assert metrics.counter("twitter_api_calls_total", api="stream") > 0
+        assert metrics.counter_total("discovery_polls_total") > 0
+        assert metrics.counter_total("discovery_tweets_total") > 0
+        assert metrics.counter_total("monitor_snapshots_total") > 0
+        assert metrics.counter_total("platform_lookups_total") > 0
+        assert metrics.counter_total("resilience_attempts_total") > 0
+        assert metrics.counter_total("join_joined_total") > 0
+        assert metrics.counter_total("collect_groups_total") == len(
+            dataset.joined
+        )
+        assert metrics.counter_total("collect_messages_total") == sum(
+            data.n_messages for data in dataset.joined
+        )
+        assert metrics.gauge("discovery_records") == len(dataset.records)
+        assert (
+            metrics.counter("campaign_days_total", mode="run") == N_DAYS
+        )
+
+    def test_run_spans_labeled_run_not_replay(self, telemetered_study):
+        study, _ = telemetered_study
+        modes = {
+            dict(s.labels).get("mode")
+            for s in study.telemetry.tracer.spans
+            if dict(s.labels).get("mode")
+        }
+        assert modes == {"run"}
+
+
+# -- exporters ---------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def exported(tmp_path_factory):
+    """A telemetered campaign exported to disk (all three artefacts)."""
+    study = Study(_config())
+    study.telemetry.enable()
+    study.run()
+    directory = tmp_path_factory.mktemp("telemetry")
+    report = render_telemetry(study.telemetry)
+    paths = export_telemetry(study.telemetry, directory, report=report)
+    return study, directory, paths
+
+
+class TestExporters:
+    def test_writes_all_three_artefacts(self, exported):
+        _, directory, paths = exported
+        assert paths["jsonl"] == directory / JSONL_NAME
+        assert paths["prometheus"] == directory / PROMETHEUS_NAME
+        assert paths["report"] == directory / REPORT_NAME
+        for path in paths.values():
+            assert path.exists() and path.stat().st_size > 0
+
+    def test_jsonl_streams_line_by_line(self, exported):
+        study, _, paths = exported
+        lines = paths["jsonl"].read_text().splitlines()
+        events = [json.loads(line) for line in lines]
+        meta = events[0]
+        assert meta["event"] == "meta"
+        assert meta["process_lives"] == 1
+        assert meta["n_spans"] == len(study.telemetry.tracer)
+        kinds = {e["event"] for e in events[1:]}
+        assert {"span", "counter", "gauge", "histogram"} <= kinds
+        spans = [e for e in events if e["event"] == "span"]
+        assert len(spans) == meta["n_spans"]
+        assert all("wall_s" in s and "stage" in s for s in spans)
+
+    def test_prometheus_text_format_parses(self, exported):
+        study, _, paths = exported
+        sample_re = re.compile(
+            r'^repro_[a-zA-Z0-9_:]+(\{[^}]*\})? -?[0-9+.eInf-]+$'
+        )
+        saw_bucket = saw_type = False
+        for line in paths["prometheus"].read_text().splitlines():
+            if line.startswith("# TYPE "):
+                saw_type = True
+                continue
+            assert sample_re.match(line), f"unparseable sample: {line!r}"
+            if "_bucket{" in line:
+                saw_bucket = True
+        assert saw_type and saw_bucket
+        text = paths["prometheus"].read_text()
+        assert 'le="+Inf"' in text
+        assert f"repro_process_lives {study.telemetry.process_lives}" in text
+
+    def test_report_renders_stage_table(self, exported):
+        study, _, paths = exported
+        report = paths["report"].read_text()
+        assert "Campaign telemetry (per-stage time budget)" in report
+        for stage in ("world", "discovery", "monitor", "analysis"):
+            assert stage in report
+        assert "Busiest resilience endpoints" in report
+
+    def test_empty_telemetry_renders_pointer(self):
+        report = render_telemetry(Telemetry())
+        assert "--telemetry-dir" in report
+
+    def test_exports_of_same_state_are_byte_identical(self, exported):
+        study, _, paths = exported
+        assert (
+            render_prometheus(study.telemetry)
+            == paths["prometheus"].read_text()
+        )
+
+
+# -- determinism -------------------------------------------------------------
+
+class TestDeterminism:
+    @pytest.mark.parametrize("profile", [None, "hostile"])
+    def test_dataset_identical_with_telemetry_on_or_off(
+        self, profile, tmp_path
+    ):
+        golden = _export_digest(
+            Study(_config(faults=profile)).run(), tmp_path, "off"
+        )
+        study = Study(_config(faults=profile))
+        study.telemetry.enable()
+        telemetered = _export_digest(study.run(), tmp_path, "on")
+        assert telemetered == golden, (
+            "telemetry must never perturb the campaign "
+            f"(profile={profile})"
+        )
+
+
+# -- cumulative across process lives (kill-and-resume) -----------------------
+
+class TestCumulativeResume:
+    def test_resumed_campaign_reports_both_lives(self, tmp_path):
+        golden = _export_digest(Study(_config()).run(), tmp_path, "golden")
+        store_dir = tmp_path / "store"
+
+        # Life 1: run (and checkpoint) the full campaign telemetered.
+        study = Study(_config())
+        study.telemetry.enable()
+        study.run(checkpoint_dir=store_dir, anchor_every=3)
+
+        # Life 2: "kill" the process (drop the study) and resume from
+        # day 4 — a replay marker deferring to the day-3 anchor, so
+        # the restore replays day 4 and then runs day 5 fresh.
+        resumed = Study.resume(store_dir, from_day=4)
+        tel = resumed.telemetry
+        assert tel.enabled, "the handle's state must survive the anchor"
+        dataset = resumed.run()
+
+        assert _export_digest(dataset, tmp_path, "resumed") == golden
+        assert tel.process_lives == 2
+        profiler = tel.profiler()
+        life1_days = profiler.days_covered(life=1)
+        life2_days = profiler.days_covered(life=2)
+        assert life1_days, "life-1 spans must survive inside the anchor"
+        assert life2_days, "life 2 must keep accumulating after restore"
+        assert profiler.days_covered() == list(range(N_DAYS))
+        # The restore itself is on the books...
+        assert tel.metrics.counter("checkpoint_restores_total") == 1.0
+        assert profiler.stage_wall_s("restore") > 0.0
+        # ...and replayed work is labelled as replay, not fresh work.
+        modes = {dict(s.labels).get("mode") for s in tel.tracer.spans}
+        assert "replay" in modes and "run" in modes
+        # Metrics kept accumulating — from the restore point: the
+        # day-3 anchor holds life 1's days 0..3 (the killed process's
+        # later days are gone with it, exactly like the rest of the
+        # campaign state), then life 2 replays day 4 and runs day 5.
+        ran = tel.metrics.counter("campaign_days_total", mode="run")
+        replayed = tel.metrics.counter("campaign_days_total", mode="replay")
+        assert ran == 5.0  # days 0..3 in life 1 + day 5 in life 2
+        assert replayed == 1.0  # day 4, replayed from the day-3 anchor
+
+    def test_checkpoint_io_metered(self, tmp_path):
+        store_dir = tmp_path / "store"
+        study = Study(_config())
+        study.telemetry.enable()
+        study.run(checkpoint_dir=store_dir, anchor_every=2)
+        metrics = study.telemetry.metrics
+        anchors = metrics.counter("checkpoint_records_total", kind="anchor")
+        markers = metrics.counter("checkpoint_records_total", kind="replay")
+        assert anchors + markers == N_DAYS
+        assert anchors >= 1 and markers >= 1
+        assert metrics.counter_total("checkpoint_payload_bytes_total") > 0
+        assert study.telemetry.histogram(
+            "checkpoint_write_seconds", kind="anchor"
+        ).count == anchors
+        assert (
+            study.telemetry.profiler().stage_wall_s("checkpoint") > 0.0
+        )
+        report = render_telemetry(study.telemetry)
+        assert "checkpoints:" in report
