@@ -1,0 +1,85 @@
+"""Benchmark: full-store fsck cost versus the campaign it protects.
+
+``repro fsck`` re-reads and re-verifies everything the store claims —
+manifest checksum, every object's gzip container, payload digest and
+envelope, anchor linkage — so its cost scales with the store, not the
+campaign.  The gate: verifying a full run store must cost under 10 %
+of the campaign wall-clock that produced it.  Integrity checking is
+only routinely run (after every chaos cycle, before every resume of a
+long campaign) if it stays effectively free next to a day of
+collection.
+"""
+
+import shutil
+import tempfile
+import time
+
+import pytest
+
+from repro.core.study import Study, StudyConfig
+from repro.integrity import fsck_store
+from repro.reporting.tables import format_table
+
+pytestmark = pytest.mark.integrity
+
+#: The acceptance scale: 2 % of the paper's tweet volume (matches
+#: bench_checkpoint so the two run-store benches share a baseline).
+_BASE = dict(
+    seed=7,
+    n_days=10,
+    scale=0.02,
+    message_scale=0.1,
+    join_day=3,
+)
+
+MAX_FSCK_FRAC = 0.10
+ABS_EPSILON_S = 0.10
+
+
+def test_full_store_fsck_under_ten_percent_of_campaign(emit):
+    tmp = tempfile.mkdtemp(prefix="bench-integrity-")
+    try:
+        start = time.perf_counter()
+        Study(StudyConfig(**_BASE)).run(checkpoint_dir=tmp)
+        campaign_s = time.perf_counter() - start
+
+        fsck_s = float("inf")
+        report = None
+        for _ in range(3):
+            start = time.perf_counter()
+            report = fsck_store(tmp)
+            fsck_s = min(fsck_s, time.perf_counter() - start)
+        assert report.ok, "bench store must verify clean"
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    rows = [
+        ("campaign (checkpointed)", f"{campaign_s:.3f}", "-"),
+        (
+            "full-store fsck (best of 3)",
+            f"{fsck_s:.3f}",
+            f"{fsck_s / campaign_s:.1%}",
+        ),
+        (
+            f"verified: {report.days_checked} days, "
+            f"{report.objects_checked} objects",
+            "-",
+            "-",
+        ),
+    ]
+    emit(
+        "bench_integrity",
+        format_table(
+            ("operation", "wall (s)", "vs campaign"),
+            rows,
+            title=(
+                f"Store verification cost ({_BASE['n_days']}-day "
+                f"campaign, scale {_BASE['scale']})"
+            ),
+        ),
+    )
+
+    assert fsck_s <= max(MAX_FSCK_FRAC * campaign_s, ABS_EPSILON_S), (
+        f"full-store fsck {fsck_s:.3f}s exceeds {MAX_FSCK_FRAC:.0%} of "
+        f"the {campaign_s:.3f}s campaign"
+    )

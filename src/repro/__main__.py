@@ -6,14 +6,22 @@ Usage::
     python -m repro --scale 0.02 --seed 7
     python -m repro --only table2 fig6    # subset of outputs
     python -m repro --topics              # include Table 3 (LDA; slower)
+
+Two subcommands ride alongside the flat campaign interface::
+
+    python -m repro fsck DIR [--repair]   # verify (and heal) a run store
+                                          # or exported CSV directory
+    python -m repro chaos --workdir DIR   # kill-resume-verify harness
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import logging
 import sys
 import time
+from pathlib import Path
 from typing import Callable, Dict
 
 from repro.analysis.topics import extract_topics
@@ -23,7 +31,10 @@ from repro.errors import ConfigError
 from repro.faults import PROFILES, FaultPlan
 from repro.telemetry import export_telemetry
 from repro.reporting import (
+    render_chaos_report,
+    render_fsck_report,
     render_health,
+    render_repair_report,
     render_telemetry,
     render_fig1,
     render_fig2,
@@ -317,7 +328,209 @@ def _build_study(args: argparse.Namespace) -> Study:
     return Study(config)
 
 
+def build_fsck_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro fsck",
+        description=(
+            "Verify the integrity of a campaign run store (checkpoint "
+            "directory) or an exported CSV directory: manifest checksum "
+            "and schema, per-day record digests, gzip health, anchor "
+            "linkage, dangling objects, orphaned temp files, SHA256SUMS. "
+            "Read-only unless --repair is given."
+        ),
+    )
+    parser.add_argument(
+        "path", metavar="PATH",
+        help="run store directory (holds manifest.json) or exported "
+             "CSV directory (holds SHA256SUMS)",
+    )
+    parser.add_argument(
+        "--repair", action="store_true",
+        help="heal a damaged run store in place: quarantine damaged "
+             "objects, rebuild markers and anchors by deterministic "
+             "replay from the nearest surviving anchor, restore a torn "
+             "manifest from backup (stores only; exports are "
+             "regenerated, not repaired)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the machine-readable report to PATH",
+    )
+    parser.add_argument(
+        "--log-level", choices=LOG_LEVELS, default="info",
+        help="stderr log verbosity (default: info)",
+    )
+    return parser
+
+
+def fsck_main(argv) -> int:
+    """``repro fsck PATH [--repair]``: exit 0 clean, 1 damaged."""
+    args = build_fsck_parser().parse_args(argv)
+    configure_logging(args.log_level)
+    from repro.integrity import fsck_path, repair_store
+    from repro.io.atomic import atomic_write_text
+
+    report = fsck_path(args.path)
+    print(render_fsck_report(report))
+    payload: Dict[str, object] = report.to_dict()
+    ok = report.ok
+    if args.repair and not report.ok:
+        if report.target_kind != "store":
+            raise ConfigError(
+                "--repair only applies to run stores; a damaged CSV "
+                "export is regenerated from its dataset, not repaired"
+            )
+        repair = repair_store(args.path, report)
+        print()
+        print(render_repair_report(repair))
+        payload = {"fsck": report.to_dict(), "repair": repair.to_dict()}
+        ok = repair.ok
+    if args.json:
+        atomic_write_text(
+            Path(args.json), json.dumps(payload, indent=2) + "\n"
+        )
+    return 0 if ok else 1
+
+
+def build_chaos_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro chaos",
+        description=(
+            "Crash-consistency chaos harness: run one golden campaign, "
+            "then kill a fresh campaign at each scheduled abort point "
+            "(in-process abort or real subprocess SIGKILL), resume it "
+            "from its run store, and verify the resumed exports are "
+            "byte-identical to the golden run."
+        ),
+    )
+    parser.add_argument(
+        "--workdir", metavar="DIR", required=True,
+        help="directory for the golden run and every kill-resume cycle",
+    )
+    parser.add_argument(
+        "--days", type=int, default=6, help="campaign length in days"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="study seed")
+    parser.add_argument(
+        "--scale", type=float, default=0.004,
+        help="tweet-volume scale (default sized for a quick harness run)",
+    )
+    parser.add_argument(
+        "--message-scale", type=float, default=0.05,
+        help="in-group message-volume scale",
+    )
+    parser.add_argument(
+        "--join-day", type=int, default=None, metavar="N",
+        help="day the join sample is drawn (default: day 10, clamped "
+             "into the campaign window; early joins leave more "
+             "post-join days for message collection)",
+    )
+    parser.add_argument(
+        "--faults", choices=sorted(PROFILES), default="none",
+        help="fault-injection profile for the campaigns (default: none)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="seed for the fault schedule (default: the study seed)",
+    )
+    parser.add_argument(
+        "--points", type=int, default=5,
+        help="number of scheduled abort points (default: 5)",
+    )
+    parser.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed for the abort-point schedule (default: 0)",
+    )
+    parser.add_argument(
+        "--mode", choices=("abort", "sigkill", "both"), default="both",
+        help="kill mode: in-process abort, subprocess SIGKILL, or a "
+             "seeded mix (default: both)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=2, metavar="N",
+        help="anchor cadence for every campaign in the harness "
+             "(default: 2, so schedules cross marker and anchor days)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the machine-readable report to PATH",
+    )
+    parser.add_argument(
+        "--log-level", choices=LOG_LEVELS, default="info",
+        help="stderr log verbosity (default: info)",
+    )
+    return parser
+
+
+def chaos_main(argv) -> int:
+    """``repro chaos --workdir DIR``: exit 0 iff every cycle held."""
+    args = build_chaos_parser().parse_args(argv)
+    configure_logging(args.log_level)
+    if args.days <= 0:
+        raise ConfigError(f"--days must be positive, got {args.days}")
+    if args.points < 1:
+        raise ConfigError(f"--points must be >= 1, got {args.points}")
+    if args.checkpoint_every < 1:
+        raise ConfigError(
+            f"--checkpoint-every must be >= 1, got {args.checkpoint_every}"
+        )
+    from repro.chaos import ChaosRunner, ChaosSchedule
+    from repro.io.atomic import atomic_write_text
+
+    join_day = (
+        min(10, args.days - 1) if args.join_day is None else args.join_day
+    )
+    if not 0 <= join_day < args.days:
+        raise ConfigError(
+            f"--join-day must fall inside the campaign window, got "
+            f"{join_day}"
+        )
+    config_spec = dict(
+        seed=args.seed,
+        n_days=args.days,
+        scale=args.scale,
+        message_scale=args.message_scale,
+        join_day=join_day,
+        faults=None if args.faults == "none" else args.faults,
+        fault_seed=args.fault_seed,
+    )
+    modes = (
+        ("abort", "sigkill") if args.mode == "both" else (args.mode,)
+    )
+    schedule = ChaosSchedule.generate(
+        args.chaos_seed,
+        n_days=args.days,
+        join_day=join_day,
+        n_points=args.points,
+        modes=modes,
+    )
+    logger.info(
+        "# Chaos: %d cycles over a %d-day campaign (faults=%s, "
+        "schedule seed %d)",
+        len(schedule), args.days, args.faults, args.chaos_seed,
+    )
+    start = time.time()
+    report = ChaosRunner(
+        config_spec,
+        schedule,
+        args.workdir,
+        anchor_every=args.checkpoint_every,
+    ).run()
+    logger.info("# Chaos complete in %.1fs", time.time() - start)
+    print(render_chaos_report(report))
+    if args.json:
+        atomic_write_text(
+            Path(args.json), json.dumps(report.to_dict(), indent=2) + "\n"
+        )
+    return 0 if report.ok else 1
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "fsck":
+        return fsck_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        return chaos_main(argv[1:])
     args = build_parser().parse_args(argv)
     validate_args(args)
     configure_logging(args.log_level)
@@ -344,13 +557,27 @@ def main(argv=None) -> int:
     )
     logger.info("# Study complete in %.1fs", time.time() - start)
 
+    # With a run store in play, the health report carries a
+    # store-integrity section (a post-campaign fsck of the store).
+    fsck_report = None
+    store_dir = (
+        args.fork_into if args.fork_day is not None else args.checkpoint_dir
+    )
+    if store_dir is not None:
+        from repro.integrity import fsck_store
+
+        fsck_report = fsck_store(store_dir, telemetry=study.telemetry)
+
     print(render_table1())
     names = args.only if args.only else sorted(RENDERERS)
     if args.faults != "none" and "health" not in names:
         names = ["health"] + list(names)
     for name in names:
         print()
-        print(RENDERERS[name](dataset))
+        if name == "health" and fsck_report is not None:
+            print(render_health(dataset, fsck=fsck_report))
+        else:
+            print(RENDERERS[name](dataset))
 
     if args.topics:
         print()

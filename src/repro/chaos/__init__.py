@@ -1,0 +1,39 @@
+"""Crash-consistency chaos harness.
+
+The run store (:mod:`repro.checkpoint`) promises that a campaign can
+die at any moment and resume byte-identical.  This package *earns*
+that promise instead of assuming it:
+
+* :mod:`~repro.chaos.schedule` — seeded, replayable schedules of
+  :class:`~repro.chaos.schedule.AbortPoint`\\ s over every stage
+  boundary a campaign passes through.
+* :mod:`~repro.chaos.runner` — :class:`~repro.chaos.runner.ChaosRunner`
+  kills a fresh campaign at each scheduled point (in-process abort or
+  real subprocess ``SIGKILL``), resumes it from the surviving store,
+  and verifies the full invariant set: byte-identical exports and CSV
+  checksums, a consistent health ledger and process-life counter, a
+  store that passes :func:`~repro.integrity.fsck_store`, and zero
+  orphaned temp files.
+
+Surfaced on the CLI as ``repro chaos`` and wired into CI as a smoke
+job (three seeded SIGKILL points under the hostile fault profile).
+"""
+
+from repro.chaos.runner import ChaosAbort, ChaosCycle, ChaosReport, ChaosRunner
+from repro.chaos.schedule import (
+    ABORT_MODES,
+    STAGES,
+    AbortPoint,
+    ChaosSchedule,
+)
+
+__all__ = [
+    "ABORT_MODES",
+    "STAGES",
+    "AbortPoint",
+    "ChaosAbort",
+    "ChaosCycle",
+    "ChaosReport",
+    "ChaosRunner",
+    "ChaosSchedule",
+]

@@ -1,0 +1,59 @@
+"""Subprocess entry point for the chaos harness's SIGKILL mode.
+
+``python -m repro.chaos._child <spec.json>`` runs one checkpointed
+campaign and kills its own process — ``SIGKILL``, no cleanup, no
+flush — at the abort point named in the spec.  The parent
+(:class:`~repro.chaos.runner.ChaosRunner`) verifies the process died
+by the expected signal and that the on-disk store it left behind
+resumes to a byte-identical campaign.
+
+The spec file is JSON::
+
+    {
+      "config": {... StudyConfig kwargs, faults as profile name ...},
+      "point":  {"day": 3, "stage": "monitor", "mode": "sigkill"},
+      "store":  "/path/to/store",
+      "anchor_every": 2          # optional
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+from pathlib import Path
+
+from repro.chaos.schedule import AbortPoint
+from repro.core.study import Study, StudyConfig
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print(
+            "usage: python -m repro.chaos._child <spec.json>",
+            file=sys.stderr,
+        )
+        return 2
+    spec = json.loads(Path(argv[0]).read_text())
+    point = AbortPoint.from_dict(spec["point"])
+    study = Study(StudyConfig(**spec["config"]))
+
+    def hook(day: int, stage: str) -> None:
+        if day == point.day and stage == point.stage:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    study.stage_hook = hook
+    study.run(
+        checkpoint_dir=spec["store"],
+        anchor_every=spec.get("anchor_every"),
+    )
+    # Reaching here means the scheduled point never fired; the parent
+    # treats a clean exit as a harness bug (kill_fired=False).
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

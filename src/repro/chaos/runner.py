@@ -1,0 +1,280 @@
+"""The chaos harness: kill a campaign on schedule, resume, verify.
+
+:class:`ChaosRunner` is the executable form of the crash-consistency
+contract the run store makes (:mod:`repro.checkpoint`): *dying at any
+moment loses at most the current day, and resuming reproduces the
+uninterrupted campaign byte for byte*.  The runner first executes one
+uninterrupted **golden** campaign and records its artefact digests,
+then — for every :class:`~repro.chaos.schedule.AbortPoint` in the
+schedule — runs a fresh campaign that is killed at exactly that
+point, resumes it from its run store, and checks the invariants:
+
+* the abort actually fired (a schedule that never triggers is a bug);
+* the resumed campaign's dataset export is byte-identical to golden;
+* the exported CSVs' ``SHA256SUMS`` sidecar matches golden's;
+* the health ledger matches golden's exactly;
+* the telemetry process-life counter shows exactly the lives the
+  cycle used (two when the store was resumed, one for a pre-first-
+  checkpoint death that forced a fresh rerun);
+* the survivor store passes :func:`~repro.integrity.fsck_store`;
+* no orphaned ``*.tmp`` files anywhere in the cycle directory.
+
+Two kill modes: ``abort`` raises :class:`ChaosAbort` in-process (a
+clean unwind, cheap — exercises every boundary), ``sigkill`` runs the
+campaign in a real subprocess (:mod:`repro.chaos._child`) and lets it
+``SIGKILL`` itself at the scheduled point — no atexit, no flush,
+nothing — which is the honest simulation of power loss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.chaos.schedule import AbortPoint, ChaosSchedule
+from repro.checkpoint import MANIFEST_NAME, RunStore
+from repro.core.study import Study, StudyConfig
+from repro.errors import CheckpointError, ReproError
+from repro.integrity import fsck_store
+from repro.io import export_all_csv, save_dataset
+from repro.io.sums import SHA256SUMS_NAME
+
+__all__ = ["ChaosAbort", "ChaosCycle", "ChaosReport", "ChaosRunner"]
+
+
+class ChaosAbort(ReproError):
+    """Raised by an in-process chaos hook to kill the campaign."""
+
+
+@dataclass
+class ChaosCycle:
+    """One kill-resume-verify cycle's outcome."""
+
+    point: AbortPoint
+    #: Whether the resume path restored a checkpointed day (False when
+    #: the kill predated the first checkpoint and the cycle reran
+    #: from scratch — itself a legitimate recovery path).
+    resumed: bool = False
+    #: Invariant name -> held?  Empty until the cycle verifies.
+    invariants: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.invariants) and all(self.invariants.values())
+
+    @property
+    def failed(self) -> List[str]:
+        return sorted(k for k, held in self.invariants.items() if not held)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "point": self.point.to_dict(),
+            "resumed": self.resumed,
+            "ok": self.ok,
+            "invariants": dict(self.invariants),
+        }
+
+
+@dataclass
+class ChaosReport:
+    """A full chaos run: the golden digests plus every cycle."""
+
+    schedule: ChaosSchedule
+    golden_export: str = ""
+    cycles: List[ChaosCycle] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.cycles) and all(c.ok for c in self.cycles)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "golden_export": self.golden_export,
+            "schedule": self.schedule.to_dict(),
+            "cycles": [c.to_dict() for c in self.cycles],
+        }
+
+
+def _file_digest(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+class ChaosRunner:
+    """Run a campaign through a schedule of deaths and verify recovery.
+
+    ``config_spec`` holds :class:`~repro.core.study.StudyConfig` kwargs
+    with ``faults`` as a profile name (or None) — kept as plain data so
+    the exact same campaign can be described to the SIGKILL subprocess
+    through a JSON spec file.
+    """
+
+    def __init__(
+        self,
+        config_spec: Dict[str, Any],
+        schedule: ChaosSchedule,
+        workdir: Union[str, os.PathLike],
+        *,
+        anchor_every: Optional[int] = None,
+        telemetry=None,
+    ) -> None:
+        self.config_spec = dict(config_spec)
+        self.schedule = schedule
+        self.workdir = Path(workdir)
+        self.anchor_every = anchor_every
+        self.telemetry = telemetry
+        self._golden: Optional[Dict[str, Any]] = None
+
+    def _config(self) -> StudyConfig:
+        return StudyConfig(**self.config_spec)
+
+    # -- golden ------------------------------------------------------------
+
+    def run_golden(self) -> Dict[str, Any]:
+        """The uninterrupted reference campaign and its digests."""
+        if self._golden is not None:
+            return self._golden
+        golden_dir = self.workdir / "golden"
+        dataset = Study(self._config()).run(
+            checkpoint_dir=golden_dir / "store",
+            anchor_every=self.anchor_every,
+        )
+        export = golden_dir / "dataset.json"
+        save_dataset(dataset, export)
+        export_all_csv(dataset, golden_dir / "csv")
+        self._golden = {
+            "export_digest": _file_digest(export),
+            "csv_sums": (golden_dir / "csv" / SHA256SUMS_NAME).read_text(),
+            "health": dataset.health.to_dict(),
+        }
+        return self._golden
+
+    # -- killing -----------------------------------------------------------
+
+    def _kill_in_process(self, point: AbortPoint, store_dir: Path) -> bool:
+        """Run until ``point`` and raise; True iff the hook fired."""
+        fired = []
+
+        def hook(day: int, stage: str) -> None:
+            if day == point.day and stage == point.stage:
+                fired.append(True)
+                raise ChaosAbort(f"chaos abort at {point.label}")
+
+        study = Study(self._config())
+        study.stage_hook = hook
+        try:
+            study.run(
+                checkpoint_dir=store_dir, anchor_every=self.anchor_every
+            )
+        except ChaosAbort:
+            pass
+        return bool(fired)
+
+    def _kill_subprocess(self, point: AbortPoint, store_dir: Path) -> bool:
+        """Run a real child campaign that SIGKILLs itself at ``point``."""
+        spec_path = store_dir.parent / "spec.json"
+        spec_path.parent.mkdir(parents=True, exist_ok=True)
+        spec_path.write_text(json.dumps({
+            "config": self.config_spec,
+            "point": point.to_dict(),
+            "store": str(store_dir),
+            "anchor_every": self.anchor_every,
+        }))
+        # The child must import the same repro tree as this process,
+        # wherever it lives (src checkout, site-packages, ...).
+        import repro
+
+        package_root = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            package_root + (os.pathsep + existing if existing else "")
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.chaos._child", str(spec_path)],
+            env=env,
+            capture_output=True,
+        )
+        return proc.returncode == -signal.SIGKILL
+
+    # -- one cycle ---------------------------------------------------------
+
+    def run_cycle(self, index: int, point: AbortPoint) -> ChaosCycle:
+        """Kill one fresh campaign at ``point``, resume, verify."""
+        golden = self.run_golden()
+        cycle_dir = self.workdir / f"cycle-{index:02d}-{point.label}"
+        store_dir = cycle_dir / "store"
+        cycle = ChaosCycle(point=point)
+
+        if point.mode == "sigkill":
+            fired = self._kill_subprocess(point, store_dir)
+        else:
+            fired = self._kill_in_process(point, store_dir)
+        cycle.invariants["kill_fired"] = fired
+
+        # Resume from whatever the dead campaign left behind.  A death
+        # before the first checkpoint leaves a store with no day
+        # records: the only recovery is a fresh rerun (which re-creates
+        # the store — same config, so RunStore.create restarts it).
+        survivor_days: List[int] = []
+        if (store_dir / MANIFEST_NAME).exists():
+            try:
+                survivor_days = RunStore.open(store_dir).days()
+            except CheckpointError:
+                survivor_days = []
+        if survivor_days:
+            study = Study.resume(store_dir)
+            cycle.resumed = True
+        else:
+            study = Study(self._config())
+            cycle.resumed = False
+        dataset = study.run(
+            checkpoint_dir=None if cycle.resumed else store_dir,
+            anchor_every=None if cycle.resumed else self.anchor_every,
+        )
+
+        export = cycle_dir / "dataset.json"
+        save_dataset(dataset, export)
+        export_all_csv(dataset, cycle_dir / "csv")
+
+        cycle.invariants["export_byte_identical"] = (
+            _file_digest(export) == golden["export_digest"]
+        )
+        cycle.invariants["csv_sums_match"] = (
+            (cycle_dir / "csv" / SHA256SUMS_NAME).read_text()
+            == golden["csv_sums"]
+        )
+        cycle.invariants["health_consistent"] = (
+            dataset.health.to_dict() == golden["health"]
+        )
+        # A resumed campaign is life 2 of the logical run; a fresh
+        # rerun after a pre-checkpoint death is life 1 again.
+        cycle.invariants["process_lives_consistent"] = (
+            study.telemetry.process_lives == (2 if cycle.resumed else 1)
+        )
+        cycle.invariants["store_fsck_clean"] = fsck_store(store_dir).ok
+        cycle.invariants["no_orphan_temp_files"] = not any(
+            cycle_dir.rglob("*.tmp")
+        )
+
+        if self.telemetry is not None:
+            self.telemetry.count("chaos_cycles_total", mode=point.mode)
+        return cycle
+
+    # -- the whole schedule ------------------------------------------------
+
+    def run(self) -> ChaosReport:
+        """Run every scheduled cycle; returns the full report."""
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        report = ChaosReport(schedule=self.schedule)
+        report.golden_export = self.run_golden()["export_digest"]
+        for index, point in enumerate(self.schedule):
+            report.cycles.append(self.run_cycle(index, point))
+        return report

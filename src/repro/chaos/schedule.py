@@ -1,0 +1,170 @@
+"""Seeded schedules of campaign abort points.
+
+A chaos schedule is the deterministic half of the chaos harness: a
+seeded sample of :class:`AbortPoint`\\ s — ``(day, stage, mode)``
+triples — drawn from every stage boundary a campaign of the given
+shape passes through.  The same seed always yields the same schedule,
+so a chaos run that exposes a crash-consistency bug is replayable
+bit-for-bit, and the CI smoke job pins one seed forever.
+
+Stage names follow the hook points :class:`~repro.core.study.Study`
+fires (see ``Study._fire_hook``): the five pipeline stages of a day,
+plus the ``checkpoint`` boundary (immediately before the day record is
+written) and ``day_end`` (immediately after).  ``join`` exists only on
+the campaign's join day.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = ["ABORT_MODES", "STAGES", "AbortPoint", "ChaosSchedule"]
+
+#: Every stage boundary a campaign day fires, in execution order.
+STAGES = (
+    "world",
+    "discovery",
+    "monitor",
+    "control",
+    "join",
+    "checkpoint",
+    "day_end",
+)
+
+#: How the harness kills the campaign at a point: ``abort`` raises
+#: in-process (clean unwind through the stage's context managers),
+#: ``sigkill`` takes down a real subprocess with no chance to clean up.
+ABORT_MODES = ("abort", "sigkill")
+
+
+@dataclass(frozen=True)
+class AbortPoint:
+    """One scheduled campaign death: kill at ``(day, stage)`` via ``mode``."""
+
+    day: int
+    stage: str
+    mode: str
+
+    def __post_init__(self) -> None:
+        if self.day < 0:
+            raise ConfigError(f"abort day must be >= 0, got {self.day}")
+        if self.stage not in STAGES:
+            raise ConfigError(
+                f"unknown stage {self.stage!r} (known: {STAGES})"
+            )
+        if self.mode not in ABORT_MODES:
+            raise ConfigError(
+                f"unknown abort mode {self.mode!r} (known: {ABORT_MODES})"
+            )
+
+    @property
+    def label(self) -> str:
+        """Compact human-readable form, e.g. ``sigkill@d3.monitor``."""
+        return f"{self.mode}@d{self.day}.{self.stage}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"day": self.day, "stage": self.stage, "mode": self.mode}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AbortPoint":
+        return cls(
+            day=int(data["day"]),
+            stage=str(data["stage"]),
+            mode=str(data["mode"]),
+        )
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """A seeded, ordered collection of abort points."""
+
+    points: Tuple[AbortPoint, ...]
+    seed: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "points": [point.to_dict() for point in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ChaosSchedule":
+        return cls(
+            points=tuple(
+                AbortPoint.from_dict(p) for p in data.get("points", ())
+            ),
+            seed=data.get("seed"),
+        )
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        *,
+        n_days: int,
+        join_day: Optional[int] = None,
+        n_points: int = 5,
+        modes: Sequence[str] = ABORT_MODES,
+    ) -> "ChaosSchedule":
+        """A seeded sample of ``n_points`` distinct abort points.
+
+        Candidates are every ``(day, stage)`` boundary a campaign of
+        ``n_days`` days fires (``join`` only on ``join_day``); modes
+        are drawn uniformly from ``modes``.  Deterministic in ``seed``.
+        """
+        if n_points < 1:
+            raise ConfigError(f"n_points must be >= 1, got {n_points}")
+        modes = tuple(modes)
+        for mode in modes:
+            if mode not in ABORT_MODES:
+                raise ConfigError(
+                    f"unknown abort mode {mode!r} (known: {ABORT_MODES})"
+                )
+        candidates = [
+            (day, stage)
+            for day in range(n_days)
+            for stage in STAGES
+            if stage != "join" or day == join_day
+        ]
+        if n_points > len(candidates):
+            raise ConfigError(
+                f"cannot place {n_points} abort points in a {n_days}-day "
+                f"campaign ({len(candidates)} stage boundaries)"
+            )
+        rng = random.Random(seed)
+        chosen = sorted(
+            rng.sample(candidates, n_points),
+            key=lambda c: (c[0], STAGES.index(c[1])),
+        )
+        points = tuple(
+            AbortPoint(day=day, stage=stage, mode=rng.choice(modes))
+            for day, stage in chosen
+        )
+        return cls(points=points, seed=seed)
+
+    @classmethod
+    def every_boundary(
+        cls,
+        *,
+        n_days: int,
+        join_day: Optional[int] = None,
+        mode: str = "abort",
+    ) -> "ChaosSchedule":
+        """The exhaustive schedule: one point per stage boundary."""
+        points = tuple(
+            AbortPoint(day=day, stage=stage, mode=mode)
+            for day in range(n_days)
+            for stage in STAGES
+            if stage != "join" or day == join_day
+        )
+        return cls(points=points)

@@ -41,7 +41,10 @@ from repro.checkpoint.state import (
 from repro.checkpoint.store import (
     CHECKPOINT_FORMAT_VERSION,
     DEFAULT_ANCHOR_EVERY,
+    MANIFEST_BACKUP_NAME,
+    MANIFEST_CHECKSUM_NAME,
     MANIFEST_NAME,
+    OBJECTS_DIR,
     RunStore,
     config_digest,
     config_summary,
@@ -52,7 +55,10 @@ __all__ = [
     "CHECKPOINT_FORMAT_VERSION",
     "CheckpointError",
     "DEFAULT_ANCHOR_EVERY",
+    "MANIFEST_BACKUP_NAME",
+    "MANIFEST_CHECKSUM_NAME",
     "MANIFEST_NAME",
+    "OBJECTS_DIR",
     "RunStore",
     "STATE_VERSION",
     "capture_campaign",

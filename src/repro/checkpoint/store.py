@@ -10,9 +10,14 @@ against their SHA-256 digest on every read — a truncated or flipped
 record is reported as a :class:`~repro.errors.CheckpointError` naming
 the offending path, never as a deep traceback.
 
-Writes are crash-safe: objects and the manifest are written to a
-temporary file and atomically renamed, so a campaign killed mid-write
-leaves the store pointing only at complete records.
+Writes are crash-safe: objects and the manifest are written through
+:mod:`repro.io.atomic` (same-directory temp file, fsync, atomic
+rename), so a campaign killed mid-write leaves the store pointing only
+at complete records.  Alongside the manifest the store keeps a
+checksum sidecar (``manifest.json.sha256``, so any single flipped
+manifest byte is detectable by ``repro fsck``) and a one-generation
+backup (``manifest.json.bak``, the repair source for a torn
+manifest).
 """
 
 from __future__ import annotations
@@ -24,18 +29,25 @@ import io
 import json
 import os
 import time
+import zlib
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from repro.errors import CheckpointError
+from repro.io.atomic import atomic_write_bytes
 
 __all__ = [
     "CHECKPOINT_FORMAT_VERSION",
     "DEFAULT_ANCHOR_EVERY",
+    "MANIFEST_BACKUP_NAME",
+    "MANIFEST_CHECKSUM_NAME",
     "MANIFEST_NAME",
+    "OBJECTS_DIR",
     "RunStore",
     "config_digest",
     "config_summary",
+    "summary_digest",
+    "write_manifest_files",
 ]
 
 #: Bumped on any incompatible change to the run-store layout.
@@ -49,7 +61,12 @@ CHECKPOINT_FORMAT_VERSION = 1
 DEFAULT_ANCHOR_EVERY = 5
 
 MANIFEST_NAME = "manifest.json"
-_OBJECTS_DIR = "objects"
+#: Checksum sidecar: SHA-256 (hex) of the manifest's exact bytes.
+MANIFEST_CHECKSUM_NAME = "manifest.json.sha256"
+#: Previous manifest generation, kept as the torn-manifest repair source.
+MANIFEST_BACKUP_NAME = "manifest.json.bak"
+OBJECTS_DIR = "objects"
+_OBJECTS_DIR = OBJECTS_DIR
 
 
 def config_summary(config: Any) -> Dict[str, Any]:
@@ -71,6 +88,17 @@ def config_summary(config: Any) -> Dict[str, Any]:
     return summary
 
 
+def summary_digest(summary: Dict[str, Any]) -> str:
+    """SHA-256 over the canonical JSON encoding of a config summary.
+
+    Shared with :mod:`repro.integrity`, which recomputes the digest
+    from the manifest's own ``config`` block to catch a manifest whose
+    recorded digest and recorded configuration disagree.
+    """
+    payload = json.dumps(summary, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 def config_digest(config: Any) -> str:
     """SHA-256 over the canonical JSON encoding of ``config``.
 
@@ -79,21 +107,29 @@ def config_digest(config: Any) -> str:
     resume against the wrong store fails loudly instead of silently
     splicing two different campaigns.
     """
-    payload = json.dumps(
-        config_summary(config), sort_keys=True, separators=(",", ":")
-    )
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    return summary_digest(config_summary(config))
 
 
 def _sha256(payload: bytes) -> str:
     return hashlib.sha256(payload).hexdigest()
 
 
-def _atomic_write(path: Path, data: bytes) -> None:
-    tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "wb") as handle:
-        handle.write(data)
-    os.replace(tmp, path)
+def compress_record(payload: bytes) -> bytes:
+    """Gzip a day-record payload exactly as the store writes it.
+
+    mtime=0 keeps identical payloads bitwise-identical on disk, so an
+    object file is a pure function of its content — which is also what
+    lets :mod:`repro.integrity` rebuild a damaged object byte-for-byte.
+    Level 1: anchors are written on the campaign's critical path, and
+    the extra ~10% size at higher levels is not worth doubling the
+    compression time there.
+    """
+    buffer = io.BytesIO()
+    with gzip.GzipFile(
+        fileobj=buffer, mode="wb", mtime=0, compresslevel=1
+    ) as handle:
+        handle.write(payload)
+    return buffer.getvalue()
 
 
 class RunStore:
@@ -173,12 +209,20 @@ class RunStore:
                 f"no checkpoint manifest at {manifest_path}"
             )
         try:
-            with open(manifest_path, "r", encoding="utf-8") as handle:
-                manifest = json.load(handle)
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            with open(manifest_path, "rb") as handle:
+                manifest = json.loads(handle.read().decode("utf-8"))
+        except (ValueError, UnicodeDecodeError, EOFError, OSError) as exc:
+            # ValueError covers json.JSONDecodeError; a torn, truncated
+            # or unreadable manifest must surface as a CheckpointError
+            # naming the path, never as a bare decoder exception.
             raise CheckpointError(
                 f"corrupt checkpoint manifest {manifest_path}: {exc}"
             ) from exc
+        if not isinstance(manifest, dict):
+            raise CheckpointError(
+                f"corrupt checkpoint manifest {manifest_path}: expected "
+                f"a JSON object, found {type(manifest).__name__}"
+            )
         version = manifest.get("format_version")
         if version != CHECKPOINT_FORMAT_VERSION:
             raise CheckpointError(
@@ -225,17 +269,7 @@ class RunStore:
         digest = _sha256(payload)
         path = self._object_path(digest)
         if not path.exists():
-            # mtime=0 keeps identical payloads bitwise-identical on
-            # disk, so the object file is a pure function of content.
-            # Level 1: anchors are written on the campaign's critical
-            # path, and the extra ~10% size at higher levels is not
-            # worth doubling the compression time there.
-            buffer = io.BytesIO()
-            with gzip.GzipFile(
-                fileobj=buffer, mode="wb", mtime=0, compresslevel=1
-            ) as handle:
-                handle.write(payload)
-            _atomic_write(path, buffer.getvalue())
+            atomic_write_bytes(path, compress_record(payload))
         self.manifest["days"][str(day)] = {
             "digest": digest,
             "bytes": len(payload),
@@ -275,9 +309,10 @@ class RunStore:
             raise CheckpointError(
                 f"missing checkpoint day record {path}"
             ) from exc
-        except (OSError, EOFError) as exc:
+        except (OSError, EOFError, zlib.error) as exc:
             # gzip.BadGzipFile is an OSError; EOFError is a truncated
-            # stream.  Either way: the record, not the caller, is bad.
+            # stream; zlib.error is a flipped byte inside the deflate
+            # data.  Either way: the record, not the caller, is bad.
             raise CheckpointError(
                 f"corrupt checkpoint day record {path}: {exc}"
             ) from exc
@@ -309,7 +344,31 @@ class RunStore:
     # -- manifest ---------------------------------------------------------
 
     def _write_manifest(self) -> None:
-        payload = json.dumps(self.manifest, indent=2, sort_keys=True)
-        _atomic_write(
-            self.directory / MANIFEST_NAME, payload.encode("utf-8")
+        write_manifest_files(self.directory, self.manifest)
+
+
+def write_manifest_files(
+    directory: Path, manifest: Dict[str, Any]
+) -> None:
+    """Write a store's manifest, backup, and checksum sidecar.
+
+    Shared with :mod:`repro.integrity.repair`, which rewrites the
+    manifest after healing a store.  The previous generation is kept
+    as ``manifest.json.bak`` (the torn-manifest repair source), and
+    the sidecar is written last so it only ever covers a manifest
+    that is already durable.  Any single flipped byte of the manifest
+    (or of the sidecar itself) then fails the fsck checksum
+    comparison.
+    """
+    payload = json.dumps(manifest, indent=2, sort_keys=True)
+    data = payload.encode("utf-8")
+    manifest_path = directory / MANIFEST_NAME
+    if manifest_path.exists():
+        atomic_write_bytes(
+            directory / MANIFEST_BACKUP_NAME, manifest_path.read_bytes()
         )
+    atomic_write_bytes(manifest_path, data)
+    atomic_write_bytes(
+        directory / MANIFEST_CHECKSUM_NAME,
+        (_sha256(data) + "\n").encode("ascii"),
+    )

@@ -226,6 +226,12 @@ class Study:
         self._dataset: Optional[StudyDataset] = None
         #: Attached run store (resume/fork); never serialised.
         self._store: Optional[RunStore] = None
+        #: Chaos hook ``(day, stage) -> None``, fired at every stage
+        #: boundary of a *live* day (never during resume replay).  The
+        #: chaos harness (:mod:`repro.chaos`) installs hooks that abort
+        #: or SIGKILL the campaign at seeded points; never serialised —
+        #: a restored study runs bare.
+        self.stage_hook = None
 
     def _faulty(self, client, proxy_cls):
         """Wrap ``client`` in its fault proxy when a plan is active."""
@@ -236,10 +242,25 @@ class Study:
     def __getstate__(self) -> dict:
         # The attached run store names an on-disk directory; a day
         # record must stay relocatable, so the store handle is
-        # reattached by resume()/fork() rather than serialised.
+        # reattached by resume()/fork() rather than serialised.  The
+        # chaos stage hook is a closure over the aborting process and
+        # must never ride into an anchor either.
         state = dict(self.__dict__)
         state["_store"] = None
+        state["stage_hook"] = None
         return state
+
+    def _fire_hook(self, day: int, stage: str) -> None:
+        """Fire the chaos stage hook, if one is installed.
+
+        Replayed days are skipped: a resume must land on the day the
+        campaign died at without re-triggering the crash that killed
+        it.  ``getattr`` tolerates studies restored from anchors
+        captured before the hook attribute existed.
+        """
+        hook = getattr(self, "stage_hook", None)
+        if hook is not None and not self._replaying:
+            hook(day, stage)
 
     # -- running -----------------------------------------------------------
 
@@ -290,6 +311,7 @@ class Study:
             self._run_day(day, dataset)
             self._next_day = day + 1
             if self._store is not None:
+                self._fire_hook(day, "checkpoint")
                 # Timed after the fact: the anchor pickles the whole
                 # study — tracer included — so the checkpoint region
                 # must never hold an open span.
@@ -301,6 +323,7 @@ class Study:
                     day=day,
                     wall_s=time.perf_counter() - start,
                 )
+            self._fire_hook(day, "day_end")
             logger.debug("day %d/%d complete", day + 1, config.n_days)
 
         return self._finalize(dataset)
@@ -325,15 +348,20 @@ class Study:
         """One campaign day: generate, discover, monitor, sample, join."""
         tel = self.telemetry
         mode = "replay" if self._replaying else "run"
+        self._fire_hook(day, "world")
         with tel.span("world.generate_day", stage="world", day=day, mode=mode):
             self.world.generate_day(day)
+        self._fire_hook(day, "discovery")
         with tel.span("discovery.run_day", stage="discovery", day=day, mode=mode):
             self.engine.run_day(day)
+        self._fire_hook(day, "monitor")
         with tel.span("monitor.observe_day", stage="monitor", day=day, mode=mode):
             self.monitor.observe_day(day, self.engine.records.values())
+        self._fire_hook(day, "control")
         with tel.span("control.sample", stage="control", day=day, mode=mode):
             self._collect_control(day, dataset)
         if day == self.config.join_day:
+            self._fire_hook(day, "join")
             with tel.span("joiner.join_sample", stage="join", day=day, mode=mode):
                 self._join(day)
         tel.gauge("campaign_days_completed", day + 1)

@@ -1,0 +1,45 @@
+"""Store and export integrity: fsck, damage taxonomy, and repair.
+
+A 38-day campaign's run store is the only thing standing between a
+crash and 38 lost days — so it must never be *trusted*, only
+*verified*.  This package is the verification and healing layer:
+
+* :mod:`~repro.integrity.fsck` — read-only verification of a
+  :class:`~repro.checkpoint.RunStore` directory (manifest checksum and
+  schema, per-day object digests, gzip health, envelope decode,
+  anchor/replay linkage, dangling objects, orphaned temp files) and of
+  exported CSV datasets via their ``SHA256SUMS`` sidecar.  Every
+  finding carries a :class:`~repro.integrity.fsck.DamageKind` from the
+  damage taxonomy in DESIGN.md §11.
+* :mod:`~repro.integrity.repair` — opt-in healing: quarantine damaged
+  objects, rebuild replay markers, regenerate damaged anchors by
+  deterministic replay from the nearest earlier surviving anchor,
+  restore a torn manifest from its one-generation backup, and resync
+  the checksum sidecar.  ``fsck`` alone never modifies a store.
+
+Surfaced on the CLI as ``repro fsck <dir> [--repair]`` and consumed by
+the chaos harness (:mod:`repro.chaos`), which fscks every store it
+kills a campaign over.
+"""
+
+from repro.integrity.fsck import (
+    DamageKind,
+    Finding,
+    FsckReport,
+    fsck_export,
+    fsck_path,
+    fsck_store,
+)
+from repro.integrity.repair import RepairAction, RepairReport, repair_store
+
+__all__ = [
+    "DamageKind",
+    "Finding",
+    "FsckReport",
+    "RepairAction",
+    "RepairReport",
+    "fsck_export",
+    "fsck_path",
+    "fsck_store",
+    "repair_store",
+]

@@ -1,0 +1,482 @@
+"""Read-only integrity verification (the ``fsck`` half).
+
+Verifies everything a run store claims about itself without modifying
+a single byte: the manifest parses, matches its checksum sidecar, and
+is internally consistent; every day record gunzips, hashes to its
+manifest digest, decodes to a valid envelope, and links to a real
+anchor; no unreferenced objects or orphaned temp files are lying
+around.  Exported CSV datasets verify the same way through their
+``SHA256SUMS`` sidecar.
+
+The damage taxonomy (:class:`DamageKind`) is deliberately specific —
+"truncated gzip" and "flipped bytes" are different post-mortems even
+though both make a record unreadable — and every finding names the
+offending path, so an operator can go look at the corpse.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import io
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.checkpoint.state import decode_day_record
+from repro.checkpoint.store import (
+    CHECKPOINT_FORMAT_VERSION,
+    MANIFEST_CHECKSUM_NAME,
+    MANIFEST_NAME,
+    OBJECTS_DIR,
+    compress_record,
+    summary_digest,
+)
+from repro.errors import CheckpointError
+from repro.io.atomic import TMP_SUFFIX
+from repro.io.sums import SHA256SUMS_NAME, file_sha256, parse_sha256sums
+
+__all__ = [
+    "DamageKind",
+    "Finding",
+    "FsckReport",
+    "fsck_export",
+    "fsck_path",
+    "fsck_store",
+]
+
+
+class DamageKind:
+    """The damage taxonomy (string constants, stable for reports)."""
+
+    #: Manifest missing, unparseable, or not a JSON object.
+    TORN_MANIFEST = "torn-manifest"
+    #: Manifest format version this build does not understand.
+    MANIFEST_VERSION = "manifest-version"
+    #: Manifest bytes disagree with the checksum sidecar (or the
+    #: sidecar is missing/unreadable) — some byte, somewhere, flipped.
+    MANIFEST_CHECKSUM = "manifest-checksum"
+    #: Manifest parses but its fields contradict each other.
+    MANIFEST_FIELD = "manifest-field"
+    #: A day entry's object file is gone.
+    MISSING_OBJECT = "missing-object"
+    #: Object gunzips partway then ends: the classic torn write.
+    TRUNCATED_GZIP = "truncated-gzip"
+    #: Object bytes are damaged: bad gzip data, digest or size mismatch.
+    CORRUPT_RECORD = "corrupt-record"
+    #: Payload verified but does not decode to a day-record envelope.
+    UNDECODABLE_RECORD = "undecodable-record"
+    #: Envelope decodes but contradicts the manifest (kind mismatch).
+    KIND_MISMATCH = "kind-mismatch"
+    #: Replay marker points at a day that is absent or not an anchor.
+    MISSING_ANCHOR = "missing-anchor"
+    #: Object file no manifest entry references.
+    DANGLING_OBJECT = "dangling-object"
+    #: Leftover ``*.tmp`` from an interrupted atomic write.
+    ORPHAN_TEMP = "orphan-temp"
+    #: Export file damaged, missing, or unlisted (SHA256SUMS verify).
+    EXPORT_MISMATCH = "export-mismatch"
+
+
+#: Kinds that make further store analysis meaningless.
+_FATAL_KINDS = (DamageKind.TORN_MANIFEST, DamageKind.MANIFEST_VERSION)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One verified piece of damage."""
+
+    kind: str
+    detail: str
+    path: Optional[str] = None
+    day: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "detail": self.detail,
+            "path": self.path,
+            "day": self.day,
+        }
+
+
+@dataclass
+class FsckReport:
+    """Everything one fsck pass established about a directory."""
+
+    target: str
+    #: "store" or "export".
+    target_kind: str
+    findings: List[Finding] = field(default_factory=list)
+    days_checked: int = 0
+    objects_checked: int = 0
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True iff no damage was found."""
+        return not self.findings
+
+    @property
+    def fatal(self) -> bool:
+        """True iff the store could not even be enumerated."""
+        return any(f.kind in _FATAL_KINDS for f in self.findings)
+
+    def by_kind(self) -> Dict[str, int]:
+        """Damage kind -> occurrence count, sorted by kind."""
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.kind] = counts.get(finding.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "target": self.target,
+            "target_kind": self.target_kind,
+            "ok": self.ok,
+            "days_checked": self.days_checked,
+            "objects_checked": self.objects_checked,
+            "files_checked": self.files_checked,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def _count_findings(report: FsckReport, telemetry) -> FsckReport:
+    if telemetry is not None:
+        telemetry.count("integrity_fsck_total", kind=report.target_kind)
+        for finding in report.findings:
+            telemetry.count("integrity_findings_total", kind=finding.kind)
+    return report
+
+
+# -- store verification ------------------------------------------------------
+
+
+def _read_manifest(
+    directory: Path, report: FsckReport
+) -> Optional[Dict[str, Any]]:
+    """Load + structurally validate the manifest; None if unusable."""
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        report.findings.append(Finding(
+            DamageKind.TORN_MANIFEST, "manifest file is missing",
+            path=str(manifest_path),
+        ))
+        return None
+    data = manifest_path.read_bytes()
+    _check_manifest_checksum(directory, data, report)
+    try:
+        manifest = json.loads(data.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        report.findings.append(Finding(
+            DamageKind.TORN_MANIFEST, f"manifest does not parse: {exc}",
+            path=str(manifest_path),
+        ))
+        return None
+    if not isinstance(manifest, dict):
+        report.findings.append(Finding(
+            DamageKind.TORN_MANIFEST,
+            f"manifest is {type(manifest).__name__}, not an object",
+            path=str(manifest_path),
+        ))
+        return None
+    version = manifest.get("format_version")
+    if version != CHECKPOINT_FORMAT_VERSION:
+        report.findings.append(Finding(
+            DamageKind.MANIFEST_VERSION,
+            f"format version {version!r} "
+            f"(expected {CHECKPOINT_FORMAT_VERSION})",
+            path=str(manifest_path),
+        ))
+        return None
+    return manifest
+
+
+def _check_manifest_checksum(
+    directory: Path, data: bytes, report: FsckReport
+) -> None:
+    sidecar = directory / MANIFEST_CHECKSUM_NAME
+    if not sidecar.exists():
+        report.findings.append(Finding(
+            DamageKind.MANIFEST_CHECKSUM, "checksum sidecar is missing",
+            path=str(sidecar),
+        ))
+        return
+    recorded = sidecar.read_text(encoding="utf-8", errors="replace").strip()
+    actual = hashlib.sha256(data).hexdigest()
+    if recorded != actual:
+        report.findings.append(Finding(
+            DamageKind.MANIFEST_CHECKSUM,
+            f"manifest hashes to {actual[:12]}…, sidecar says "
+            f"{recorded[:12]}…",
+            path=str(sidecar),
+        ))
+
+
+def _check_manifest_fields(
+    manifest: Dict[str, Any], manifest_path: Path, report: FsckReport
+) -> Dict[str, Dict[str, Any]]:
+    """Cross-check manifest fields; returns the valid day entries."""
+
+    def flag(detail: str, day: Optional[int] = None) -> None:
+        report.findings.append(Finding(
+            DamageKind.MANIFEST_FIELD, detail,
+            path=str(manifest_path), day=day,
+        ))
+
+    config = manifest.get("config")
+    if not isinstance(config, dict):
+        flag("manifest holds no config summary")
+    else:
+        if summary_digest(config) != manifest.get("config_digest"):
+            flag("config_digest does not match the config summary")
+        if manifest.get("root_seed") != config.get("seed"):
+            flag(
+                f"root_seed {manifest.get('root_seed')!r} disagrees "
+                f"with config seed {config.get('seed')!r}"
+            )
+        faults = config.get("faults")
+        profile = faults.get("name") if isinstance(faults, dict) else None
+        if manifest.get("fault_profile") != profile:
+            flag(
+                f"fault_profile {manifest.get('fault_profile')!r} "
+                f"disagrees with the config's plan {profile!r}"
+            )
+    anchor_every = manifest.get("anchor_every", 1)
+    if not isinstance(anchor_every, int) or anchor_every < 1:
+        flag(f"anchor cadence {anchor_every!r} is not a positive integer")
+
+    days = manifest.get("days")
+    valid: Dict[str, Dict[str, Any]] = {}
+    if not isinstance(days, dict):
+        flag(f"days table is {type(days).__name__}, not an object")
+        return valid
+    for key, entry in days.items():
+        try:
+            day = int(key)
+        except (TypeError, ValueError):
+            flag(f"day key {key!r} is not an integer")
+            continue
+        if not isinstance(entry, dict):
+            flag(f"day {day} entry is not an object", day=day)
+            continue
+        digest = entry.get("digest")
+        if (
+            not isinstance(digest, str)
+            or len(digest) != 64
+            or any(c not in "0123456789abcdef" for c in digest)
+        ):
+            flag(f"day {day} digest {digest!r} is not a SHA-256 hex "
+                 "digest", day=day)
+            continue
+        if entry.get("kind") not in ("anchor", "replay"):
+            flag(f"day {day} kind {entry.get('kind')!r} is neither "
+                 "'anchor' nor 'replay'", day=day)
+            continue
+        if not isinstance(entry.get("bytes"), int) or entry["bytes"] < 0:
+            flag(f"day {day} payload size {entry.get('bytes')!r} is not "
+                 "a non-negative integer", day=day)
+            continue
+        valid[key] = entry
+    return valid
+
+
+def _check_day_record(
+    directory: Path,
+    day: int,
+    entry: Dict[str, Any],
+    days: Dict[str, Dict[str, Any]],
+    report: FsckReport,
+) -> None:
+    path = directory / OBJECTS_DIR / f"{entry['digest']}.bin.gz"
+    if not path.exists():
+        report.findings.append(Finding(
+            DamageKind.MISSING_OBJECT,
+            f"day {day} object file is missing",
+            path=str(path), day=day,
+        ))
+        return
+    raw = path.read_bytes()
+    try:
+        with gzip.open(io.BytesIO(raw), "rb") as handle:
+            payload = handle.read()
+    except EOFError as exc:
+        report.findings.append(Finding(
+            DamageKind.TRUNCATED_GZIP,
+            f"day {day} record is truncated: {exc}",
+            path=str(path), day=day,
+        ))
+        return
+    except (OSError, zlib.error) as exc:
+        report.findings.append(Finding(
+            DamageKind.CORRUPT_RECORD,
+            f"day {day} record has damaged gzip data: {exc}",
+            path=str(path), day=day,
+        ))
+        return
+    actual = hashlib.sha256(payload).hexdigest()
+    if actual != entry["digest"]:
+        report.findings.append(Finding(
+            DamageKind.CORRUPT_RECORD,
+            f"day {day} payload hashes to {actual[:12]}…, manifest "
+            f"says {entry['digest'][:12]}…",
+            path=str(path), day=day,
+        ))
+        return
+    if len(payload) != entry["bytes"]:
+        report.findings.append(Finding(
+            DamageKind.CORRUPT_RECORD,
+            f"day {day} payload is {len(payload)} bytes, manifest "
+            f"says {entry['bytes']}",
+            path=str(path), day=day,
+        ))
+        return
+    # Objects are written canonically (compress_record: mtime 0, fixed
+    # level), so the container file is a pure function of the payload.
+    # Recompressing and comparing catches flips in the gzip *header*
+    # (MTIME/XFL/OS bytes), which neither the CRC nor the payload
+    # digest covers — without it, six bytes per object would be
+    # silently flippable.
+    if compress_record(payload) != raw:
+        report.findings.append(Finding(
+            DamageKind.CORRUPT_RECORD,
+            f"day {day} container bytes are not the canonical "
+            "compression of the verified payload",
+            path=str(path), day=day,
+        ))
+        return
+    try:
+        record = decode_day_record(payload)
+    except CheckpointError as exc:
+        report.findings.append(Finding(
+            DamageKind.UNDECODABLE_RECORD,
+            f"day {day} record does not decode: {exc}",
+            path=str(path), day=day,
+        ))
+        return
+    if record["kind"] != entry["kind"]:
+        report.findings.append(Finding(
+            DamageKind.KIND_MISMATCH,
+            f"day {day} payload is a {record['kind']} record, manifest "
+            f"says {entry['kind']}",
+            path=str(path), day=day,
+        ))
+        return
+    if record["kind"] == "replay":
+        anchor_day = record["anchor_day"]
+        anchor = days.get(str(anchor_day))
+        if anchor_day >= day or anchor is None or anchor["kind"] != "anchor":
+            report.findings.append(Finding(
+                DamageKind.MISSING_ANCHOR,
+                f"day {day} marker defers to day {anchor_day}, which "
+                "is not an earlier anchor snapshot",
+                path=str(path), day=day,
+            ))
+
+
+def _check_debris(
+    directory: Path, days: Dict[str, Dict[str, Any]], report: FsckReport
+) -> None:
+    objects_dir = directory / OBJECTS_DIR
+    referenced = {entry["digest"] for entry in days.values()}
+    if objects_dir.is_dir():
+        for path in sorted(objects_dir.glob("*.bin.gz")):
+            report.objects_checked += 1
+            if path.name[: -len(".bin.gz")] not in referenced:
+                report.findings.append(Finding(
+                    DamageKind.DANGLING_OBJECT,
+                    "object file is referenced by no day entry",
+                    path=str(path),
+                ))
+    for path in sorted(directory.rglob(f"*{TMP_SUFFIX}")):
+        report.findings.append(Finding(
+            DamageKind.ORPHAN_TEMP,
+            "leftover temp file from an interrupted write",
+            path=str(path),
+        ))
+
+
+def fsck_store(
+    directory: Union[str, os.PathLike], telemetry=None
+) -> FsckReport:
+    """Verify a run store directory; read-only, returns the report."""
+    directory = Path(directory)
+    report = FsckReport(target=str(directory), target_kind="store")
+    manifest = _read_manifest(directory, report)
+    if manifest is None:
+        return _count_findings(report, telemetry)
+    days = _check_manifest_fields(
+        manifest, directory / MANIFEST_NAME, report
+    )
+    for key in sorted(days, key=int):
+        report.days_checked += 1
+        _check_day_record(directory, int(key), days[key], days, report)
+    _check_debris(directory, days, report)
+    return _count_findings(report, telemetry)
+
+
+# -- export verification -----------------------------------------------------
+
+
+def fsck_export(
+    directory: Union[str, os.PathLike], telemetry=None
+) -> FsckReport:
+    """Verify an exported CSV dataset against its ``SHA256SUMS``."""
+    directory = Path(directory)
+    report = FsckReport(target=str(directory), target_kind="export")
+    sums_path = directory / SHA256SUMS_NAME
+
+    def flag(detail: str, path: Path) -> None:
+        report.findings.append(Finding(
+            DamageKind.EXPORT_MISMATCH, detail, path=str(path)
+        ))
+
+    if not sums_path.exists():
+        flag("SHA256SUMS manifest is missing", sums_path)
+        return _count_findings(report, telemetry)
+    try:
+        sums = parse_sha256sums(sums_path)
+    except (ValueError, UnicodeDecodeError) as exc:
+        flag(f"SHA256SUMS does not parse: {exc}", sums_path)
+        return _count_findings(report, telemetry)
+    for name, digest in sorted(sums.items()):
+        path = directory / name
+        report.files_checked += 1
+        if not path.exists():
+            flag(f"listed file {name} is missing", path)
+            continue
+        actual = file_sha256(path)
+        if actual != digest:
+            flag(
+                f"{name} hashes to {actual[:12]}…, manifest says "
+                f"{digest[:12]}…",
+                path,
+            )
+    for path in sorted(directory.glob("*.csv")):
+        if path.name not in sums:
+            flag(f"{path.name} is not listed in SHA256SUMS", path)
+    for path in sorted(directory.glob(f"*{TMP_SUFFIX}")):
+        report.findings.append(Finding(
+            DamageKind.ORPHAN_TEMP,
+            "leftover temp file from an interrupted write",
+            path=str(path),
+        ))
+    return _count_findings(report, telemetry)
+
+
+def fsck_path(
+    target: Union[str, os.PathLike], telemetry=None
+) -> FsckReport:
+    """Verify ``target``, auto-detecting run store vs CSV export."""
+    target = Path(target)
+    if (target / MANIFEST_NAME).exists():
+        return fsck_store(target, telemetry=telemetry)
+    if (target / SHA256SUMS_NAME).exists():
+        return fsck_export(target, telemetry=telemetry)
+    raise CheckpointError(
+        f"{target} holds neither a run-store manifest ({MANIFEST_NAME}) "
+        f"nor an export manifest ({SHA256SUMS_NAME})"
+    )

@@ -6,12 +6,22 @@ single JSON file and reloaded later
 (:func:`~repro.io.serialize.save_dataset` /
 :func:`~repro.io.serialize.load_dataset`), and every analysis series
 can be exported as CSV for external plotting
-(:mod:`repro.io.export`).
+(:mod:`repro.io.export`).  All on-disk artefacts are written through
+:mod:`repro.io.atomic`, so a crash mid-export never leaves a torn
+file.
+
+The re-exports below resolve lazily (PEP 562): low-level consumers —
+notably the checkpoint store, which imports
+:mod:`repro.io.atomic` — must not drag the whole analysis stack in
+just to write a file.
 """
 
-from repro.errors import DatasetError
-from repro.io.export import export_all_csv, export_figure_csv
-from repro.io.serialize import load_dataset, save_dataset
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing aid only
+    from repro.errors import DatasetError
+    from repro.io.export import export_all_csv, export_figure_csv
+    from repro.io.serialize import load_dataset, save_dataset
 
 __all__ = [
     "DatasetError",
@@ -20,3 +30,29 @@ __all__ = [
     "load_dataset",
     "save_dataset",
 ]
+
+_EXPORTS = {
+    "DatasetError": ("repro.errors", "DatasetError"),
+    "export_all_csv": ("repro.io.export", "export_all_csv"),
+    "export_figure_csv": ("repro.io.export", "export_figure_csv"),
+    "load_dataset": ("repro.io.serialize", "load_dataset"),
+    "save_dataset": ("repro.io.serialize", "save_dataset"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    from importlib import import_module
+
+    value = getattr(import_module(module_name), attr)
+    globals()[name] = value  # cache: next access skips the import
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,65 @@
+"""Crash-safe file writes shared by every artefact the pipeline emits.
+
+One discipline, one implementation: write the payload to a temporary
+file *in the same directory* as the destination (so the final rename
+never crosses a filesystem boundary), flush and ``fsync`` the file so
+the bytes are durable before they become visible, atomically
+``os.replace`` it over the destination, then ``fsync`` the directory
+so the rename itself survives a power cut.  A reader therefore sees
+either the old complete file or the new complete file — never a torn
+one — and a crash mid-write leaves at worst a ``*.tmp`` leftover that
+:mod:`repro.integrity` classifies as an orphan.
+
+Used by the checkpoint store (day records, manifest, checksum
+sidecar), the CSV exporters and their ``SHA256SUMS`` manifest, the
+telemetry exporters, and the chaos/fsck report writers.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+__all__ = ["TMP_SUFFIX", "atomic_write_bytes", "atomic_write_text"]
+
+#: Suffix of the in-flight temporary file; an orphaned one of these is
+#: the only debris a crash mid-write can leave behind.
+TMP_SUFFIX = ".tmp"
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory entry (the rename) to stable storage."""
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        dir_fd = os.open(directory, flags)
+    except OSError:
+        return  # platform without directory fds; rename is still atomic
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+def atomic_write_bytes(
+    path: Union[str, os.PathLike], data: bytes, *, fsync: bool = True
+) -> Path:
+    """Atomically replace ``path`` with ``data``; returns the path."""
+    path = Path(path)
+    tmp = path.with_name(path.name + TMP_SUFFIX)
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        if fsync:
+            handle.flush()
+            os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    if fsync:
+        _fsync_directory(path.parent)
+    return path
+
+
+def atomic_write_text(
+    path: Union[str, os.PathLike], text: str, *, fsync: bool = True
+) -> Path:
+    """Atomically replace ``path`` with UTF-8 ``text``; returns the path."""
+    return atomic_write_bytes(path, text.encode("utf-8"), fsync=fsync)

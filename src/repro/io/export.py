@@ -4,11 +4,18 @@ For users who want to re-plot the paper's figures with their own
 tooling: each ``figN.csv`` contains the exact series the corresponding
 figure plots (daily counts for Fig 1, ECDF points for the CDF figures,
 category fractions for Figs 3/4/8).
+
+Every file is written atomically (:mod:`repro.io.atomic`), and
+:func:`export_all_csv` finishes with a ``SHA256SUMS`` sidecar over the
+exported files — same format as ``sha256sum``'s, verifiable with
+``sha256sum -c`` or ``repro fsck <dir>`` — so a damaged or incomplete
+export is detectable end-to-end.
 """
 
 from __future__ import annotations
 
 import csv
+import io
 import os
 from pathlib import Path
 from typing import Dict, List, Sequence, Union
@@ -21,6 +28,7 @@ from repro.analysis.revocation import revocation
 from repro.analysis.sharing import daily_discovery, tweets_per_url
 from repro.analysis.staleness import staleness
 from repro.core.dataset import StudyDataset
+from repro.io.atomic import atomic_write_text
 
 __all__ = ["export_figure_csv", "export_all_csv", "FIGURES"]
 
@@ -28,10 +36,13 @@ PLATFORMS = ("whatsapp", "telegram", "discord")
 
 
 def _write_csv(path: Path, header: Sequence[str], rows) -> None:
-    with open(path, "w", newline="", encoding="utf-8") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(header)
-        writer.writerows(rows)
+    # Rendered in memory, then one atomic replace: a crash mid-export
+    # leaves either no file or the complete file, never a torn CSV.
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(header)
+    writer.writerows(rows)
+    atomic_write_text(path, buffer.getvalue())
 
 
 def _fig1_rows(dataset: StudyDataset):
@@ -140,7 +151,17 @@ def export_figure_csv(
 def export_all_csv(
     dataset: StudyDataset, directory: Union[str, os.PathLike]
 ) -> List[Path]:
-    """Write every figure's series; returns the written paths."""
-    return [
+    """Write every figure's series; returns the written CSV paths.
+
+    Finishes with a ``SHA256SUMS`` manifest over the files just
+    written (:mod:`repro.io.sums`), so the exported dataset is
+    verifiable end-to-end — by ``sha256sum -c``, or by
+    ``repro fsck <directory>``.
+    """
+    from repro.io.sums import write_sha256sums
+
+    paths = [
         export_figure_csv(dataset, figure, directory) for figure in FIGURES
     ]
+    write_sha256sums(directory, paths)
+    return paths

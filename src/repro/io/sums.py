@@ -1,0 +1,80 @@
+"""``SHA256SUMS`` sidecar manifests for exported datasets.
+
+The exact format ``sha256sum`` emits and ``sha256sum -c`` verifies:
+one ``<hex digest>  <file name>`` line per file, names relative to the
+manifest's own directory, sorted for reproducibility.  Written
+atomically like every other artefact, so the manifest itself is never
+torn.  :mod:`repro.integrity` builds its export verification on the
+parse/compute halves of this module.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import Dict, Iterable, Union
+
+from repro.io.atomic import atomic_write_text
+
+__all__ = [
+    "SHA256SUMS_NAME",
+    "file_sha256",
+    "parse_sha256sums",
+    "write_sha256sums",
+]
+
+SHA256SUMS_NAME = "SHA256SUMS"
+
+#: Length of a SHA-256 hex digest.
+_DIGEST_LEN = 64
+
+
+def file_sha256(path: Union[str, os.PathLike]) -> str:
+    """SHA-256 (hex) of a file's bytes, streamed."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 16), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def write_sha256sums(
+    directory: Union[str, os.PathLike],
+    paths: Iterable[Union[str, os.PathLike]],
+) -> Path:
+    """Write ``<directory>/SHA256SUMS`` covering ``paths``."""
+    directory = Path(directory)
+    entries = sorted(
+        (Path(path).name, file_sha256(path)) for path in paths
+    )
+    lines = [f"{digest}  {name}" for name, digest in entries]
+    return atomic_write_text(
+        directory / SHA256SUMS_NAME, "\n".join(lines) + "\n"
+    )
+
+
+def parse_sha256sums(path: Union[str, os.PathLike]) -> Dict[str, str]:
+    """Parse a ``SHA256SUMS`` file into ``{file name: digest}``.
+
+    Raises :class:`ValueError` on any malformed line — a flipped byte
+    in the manifest must fail loudly, not verify vacuously.
+    """
+    sums: Dict[str, str] = {}
+    text = Path(path).read_bytes().decode("utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        digest, sep, name = line.partition("  ")
+        name = name.lstrip("*")  # sha256sum's binary-mode marker
+        if (
+            not sep
+            or not name
+            or len(digest) != _DIGEST_LEN
+            or any(c not in "0123456789abcdef" for c in digest)
+        ):
+            raise ValueError(
+                f"malformed SHA256SUMS line {lineno} in {path}: {line!r}"
+            )
+        sums[name] = digest
+    return sums

@@ -20,6 +20,12 @@ from repro.reporting.figures import (
     render_interplay,
 )
 from repro.reporting.health import render_health
+from repro.reporting.integrity import (
+    render_chaos_report,
+    render_fsck_report,
+    render_fsck_summary,
+    render_repair_report,
+)
 from repro.reporting.telemetry import render_telemetry
 from repro.reporting.tables import (
     format_table,
@@ -32,7 +38,11 @@ from repro.reporting.tables import (
 
 __all__ = [
     "format_table",
+    "render_chaos_report",
+    "render_fsck_report",
+    "render_fsck_summary",
     "render_health",
+    "render_repair_report",
     "render_fig1",
     "render_fig2",
     "render_fig3",

@@ -18,20 +18,33 @@ __all__ = ["render_health"]
 _HEADERS = ("platform",) + HEALTH_FIELDS
 
 
-def render_health(dataset: StudyDataset) -> str:
-    """Render the collection-health report for one campaign."""
+def render_health(dataset: StudyDataset, fsck=None) -> str:
+    """Render the collection-health report for one campaign.
+
+    ``fsck`` is an optional :class:`~repro.integrity.FsckReport` for
+    the campaign's run store; when given, a store-integrity line is
+    appended (the CLI passes one whenever ``--checkpoint-dir`` named
+    a store).
+    """
     health = dataset.health
     title = "Collection health (faults injected vs absorbed)"
     if health is None or health.is_clean():
-        return f"{title}\nclean campaign: no faults, retries, trips, or misses"
-    lines = [
-        format_table(_HEADERS, health.summary_rows(), title=title),
-        "",
-        _survival_summary(dataset),
-    ]
-    worst = _worst_days(health)
-    if worst:
-        lines.append(worst)
+        lines = [
+            f"{title}\nclean campaign: no faults, retries, trips, or misses"
+        ]
+    else:
+        lines = [
+            format_table(_HEADERS, health.summary_rows(), title=title),
+            "",
+            _survival_summary(dataset),
+        ]
+        worst = _worst_days(health)
+        if worst:
+            lines.append(worst)
+    if fsck is not None:
+        from repro.reporting.integrity import render_fsck_summary
+
+        lines.append(render_fsck_summary(fsck))
     return "\n".join(lines)
 
 

@@ -1,0 +1,114 @@
+"""Integrity and chaos reports, in the house table style.
+
+Renders :class:`~repro.integrity.FsckReport`,
+:class:`~repro.integrity.RepairReport`, and
+:class:`~repro.chaos.ChaosReport` results as the same aligned
+plain-text tables the paper tables use, for the ``repro fsck`` and
+``repro chaos`` subcommands and the health report's integrity section.
+"""
+
+from __future__ import annotations
+
+from repro.reporting.tables import format_table
+
+__all__ = [
+    "render_chaos_report",
+    "render_fsck_report",
+    "render_fsck_summary",
+    "render_repair_report",
+]
+
+
+def render_fsck_report(report) -> str:
+    """Render one :class:`~repro.integrity.FsckReport` in full."""
+    title = (
+        f"Integrity check: {report.target} ({report.target_kind}) — "
+        f"{report.days_checked} days, {report.objects_checked} objects, "
+        f"{report.files_checked} files"
+    )
+    if report.ok:
+        return f"{title}\nclean: every digest verified, no damage found"
+    rows = [
+        (f.kind, "-" if f.day is None else f.day, f.detail)
+        for f in report.findings
+    ]
+    return format_table(("damage", "day", "detail"), rows, title=title)
+
+
+def render_fsck_summary(report) -> str:
+    """One compact line per damage kind (health-report section)."""
+    if report.ok:
+        return (
+            f"store integrity: clean ({report.days_checked} days, "
+            f"{report.objects_checked} objects verified)"
+        )
+    by_kind = ", ".join(
+        f"{kind} x{count}" for kind, count in sorted(report.by_kind().items())
+    )
+    return (
+        f"store integrity: {len(report.findings)} finding(s) — {by_kind} "
+        f"(run `repro fsck` for detail)"
+    )
+
+
+def render_repair_report(report) -> str:
+    """Render one :class:`~repro.integrity.RepairReport`."""
+    lines = [f"Repair: {report.target}"]
+    if not report.actions:
+        lines.append("nothing to repair")
+    else:
+        rows = []
+        for action in report.actions:
+            identical = (
+                "-" if action.byte_identical is None
+                else "yes" if action.byte_identical else "no"
+            )
+            rows.append((
+                action.action,
+                "-" if action.day is None else action.day,
+                identical,
+                action.detail,
+            ))
+        lines.append(format_table(
+            ("action", "day", "byte-identical", "detail"), rows
+        ))
+    if report.ok:
+        lines.append("store verified clean after repair")
+    else:
+        lines.append(
+            f"UNREPAIRED: {len(report.remaining)} finding(s) survived — "
+            + ", ".join(
+                f"{f.kind}" + ("" if f.day is None else f"@day{f.day}")
+                for f in report.remaining
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_chaos_report(report) -> str:
+    """Render one :class:`~repro.chaos.ChaosReport`."""
+    seed = report.schedule.seed
+    title = (
+        f"Chaos harness: {len(report.cycles)} kill-resume cycles "
+        f"(schedule seed {'-' if seed is None else seed}, "
+        f"golden export {report.golden_export[:12]}...)"
+    )
+    rows = []
+    for cycle in report.cycles:
+        rows.append((
+            cycle.point.label,
+            "resumed" if cycle.resumed else "rerun",
+            "OK" if cycle.ok else "FAILED",
+            "-" if cycle.ok else ", ".join(cycle.failed),
+        ))
+    table = format_table(
+        ("abort point", "recovery", "verdict", "failed invariants"),
+        rows,
+        title=title,
+    )
+    verdict = (
+        "every cycle resumed byte-identical to the uninterrupted run"
+        if report.ok
+        else "CHAOS FAILURE: at least one cycle broke an invariant"
+    )
+    return f"{table}\n{verdict}"

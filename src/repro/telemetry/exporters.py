@@ -11,10 +11,11 @@ Two machine-readable views of one campaign's telemetry:
   prefixed ``repro_``, suitable for ``promtool`` or a file-based
   scrape.
 
-Both exporters write atomically (temp file + rename) so a crash while
-exporting never leaves a half-written artefact, mirroring the
-checkpoint store's discipline.  The plain-text per-stage report lives
-in :mod:`repro.reporting.telemetry`, next to the health report.
+Both exporters write through the shared atomic-write discipline
+(:mod:`repro.io.atomic`: same-dir temp file, fsync, rename) so a
+crash while exporting never leaves a half-written artefact.  The
+plain-text per-stage report lives in :mod:`repro.reporting.telemetry`,
+next to the health report.
 """
 
 from __future__ import annotations
@@ -24,6 +25,7 @@ import os
 from pathlib import Path
 from typing import Dict, Iterator, Union
 
+from repro.io.atomic import atomic_write_text as _atomic_write_text
 from repro.telemetry.handle import Telemetry
 
 __all__ = [
@@ -44,12 +46,6 @@ REPORT_NAME = "report.txt"
 
 #: Prefix applied to every exported metric name.
 _PREFIX = "repro_"
-
-
-def _atomic_write_text(path: Path, text: str) -> None:
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(text, encoding="utf-8")
-    os.replace(tmp, path)
 
 
 # -- JSONL -----------------------------------------------------------------

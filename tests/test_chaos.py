@@ -1,0 +1,197 @@
+"""Tests for the crash-consistency chaos harness.
+
+The acceptance property: for every abort point in a seeded schedule —
+both in-process abort and subprocess SIGKILL, under a fault-free and
+a hostile fault profile — the killed campaign resumes from its run
+store and exports byte-identical artefacts, with a consistent health
+ledger and life counter, a clean fsck, and no orphaned temp files.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import (
+    ABORT_MODES,
+    STAGES,
+    AbortPoint,
+    ChaosRunner,
+    ChaosSchedule,
+)
+from repro.errors import ConfigError
+from repro.telemetry import Telemetry
+
+pytestmark = pytest.mark.chaos
+
+#: Campaign shape shared by every harness test: small, complete
+#: (discovery, join day, post-join days), anchors at cadence 2 so
+#: schedules cross both anchor and marker checkpoint days.
+N_DAYS = 6
+JOIN_DAY = 3
+ANCHOR_EVERY = 2
+
+
+def _spec(faults):
+    return dict(
+        seed=7,
+        n_days=N_DAYS,
+        scale=0.004,
+        message_scale=0.05,
+        join_day=JOIN_DAY,
+        faults=faults,
+    )
+
+
+class TestSchedule:
+    def test_seeded_generation_is_deterministic(self):
+        a = ChaosSchedule.generate(11, n_days=N_DAYS, join_day=JOIN_DAY)
+        b = ChaosSchedule.generate(11, n_days=N_DAYS, join_day=JOIN_DAY)
+        assert a == b
+        assert len(a) == 5
+
+    def test_different_seeds_differ(self):
+        a = ChaosSchedule.generate(1, n_days=N_DAYS, n_points=10)
+        b = ChaosSchedule.generate(2, n_days=N_DAYS, n_points=10)
+        assert a.points != b.points
+
+    def test_points_are_valid_and_ordered(self):
+        schedule = ChaosSchedule.generate(
+            3, n_days=N_DAYS, join_day=JOIN_DAY, n_points=12
+        )
+        keys = [(p.day, STAGES.index(p.stage)) for p in schedule]
+        assert keys == sorted(keys)
+        for point in schedule:
+            assert 0 <= point.day < N_DAYS
+            assert point.mode in ABORT_MODES
+            if point.stage == "join":
+                assert point.day == JOIN_DAY
+
+    def test_roundtrips_through_dict(self):
+        schedule = ChaosSchedule.generate(5, n_days=N_DAYS, n_points=4)
+        assert ChaosSchedule.from_dict(schedule.to_dict()) == schedule
+
+    def test_rejects_bad_points(self):
+        with pytest.raises(ConfigError, match="unknown stage"):
+            AbortPoint(0, "lunch", "abort")
+        with pytest.raises(ConfigError, match="unknown abort mode"):
+            AbortPoint(0, "world", "nuke")
+        with pytest.raises(ConfigError, match="cannot place"):
+            ChaosSchedule.generate(1, n_days=1, n_points=99)
+
+    def test_every_boundary_covers_all_stages(self):
+        schedule = ChaosSchedule.every_boundary(
+            n_days=2, join_day=1, mode="abort"
+        )
+        assert {p.stage for p in schedule} == set(STAGES)
+        # 6 boundaries on a non-join day, 7 on the join day.
+        assert len(schedule) == 13
+
+
+class TestHarness:
+    """The headline kill-resume-verify property."""
+
+    @pytest.mark.parametrize("faults", [None, "hostile"])
+    def test_seeded_schedule_holds_under_both_modes(
+        self, faults, tmp_path
+    ):
+        schedule = ChaosSchedule.generate(
+            11, n_days=N_DAYS, join_day=JOIN_DAY, n_points=5
+        )
+        assert len(schedule) >= 5
+        assert {p.mode for p in schedule} == set(ABORT_MODES), (
+            "seed 11 must exercise both kill modes; pick another seed "
+            "if the schedule generator changes"
+        )
+        telemetry = Telemetry(enabled=True)
+        report = ChaosRunner(
+            _spec(faults),
+            schedule,
+            tmp_path,
+            anchor_every=ANCHOR_EVERY,
+            telemetry=telemetry,
+        ).run()
+        for cycle in report.cycles:
+            assert cycle.ok, (
+                f"cycle {cycle.point.label} (faults={faults}) broke: "
+                f"{cycle.failed}"
+            )
+        assert report.ok
+        counted = sum(
+            telemetry.metrics.counter("chaos_cycles_total", mode=mode)
+            for mode in ABORT_MODES
+        )
+        assert counted == len(schedule)
+
+    def test_death_before_first_checkpoint_reruns(self, tmp_path):
+        schedule = ChaosSchedule(points=(
+            AbortPoint(0, "world", "abort"),
+            AbortPoint(0, "world", "sigkill"),
+        ))
+        report = ChaosRunner(
+            _spec(None), schedule, tmp_path, anchor_every=ANCHOR_EVERY
+        ).run()
+        assert report.ok
+        assert [c.resumed for c in report.cycles] == [False, False], (
+            "a death before any day record leaves nothing to resume; "
+            "recovery is a fresh rerun"
+        )
+
+    def test_join_day_kill_resumes(self, tmp_path):
+        schedule = ChaosSchedule(points=(
+            AbortPoint(JOIN_DAY, "join", "abort"),
+            AbortPoint(JOIN_DAY, "checkpoint", "abort"),
+        ))
+        report = ChaosRunner(
+            _spec("hostile"), schedule, tmp_path, anchor_every=ANCHOR_EVERY
+        ).run()
+        assert report.ok
+        assert all(c.resumed for c in report.cycles)
+
+    def test_cycle_report_shape(self, tmp_path):
+        schedule = ChaosSchedule(points=(
+            AbortPoint(2, "monitor", "abort"),
+        ))
+        report = ChaosRunner(
+            _spec(None), schedule, tmp_path, anchor_every=ANCHOR_EVERY
+        ).run()
+        payload = report.to_dict()
+        assert payload["ok"] is True
+        assert len(payload["golden_export"]) == 64
+        (cycle,) = payload["cycles"]
+        assert set(cycle["invariants"]) == {
+            "kill_fired",
+            "export_byte_identical",
+            "csv_sums_match",
+            "health_consistent",
+            "process_lives_consistent",
+            "store_fsck_clean",
+            "no_orphan_temp_files",
+        }
+
+
+class TestChaosCLI:
+    def test_chaos_subcommand_passes(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        rc = main([
+            "chaos",
+            "--workdir", str(tmp_path / "wd"),
+            "--days", "6",
+            "--join-day", "3",
+            "--points", "2",
+            "--mode", "abort",
+            "--chaos-seed", "3",
+            "--json", str(tmp_path / "report.json"),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "every cycle resumed byte-identical" in out
+        assert (tmp_path / "report.json").exists()
+
+    def test_chaos_rejects_bad_args(self, tmp_path):
+        from repro.__main__ import main
+
+        with pytest.raises(ConfigError, match="--points"):
+            main([
+                "chaos", "--workdir", str(tmp_path), "--points", "0",
+            ])

@@ -1,0 +1,405 @@
+"""Tests for the store/export integrity layer (fsck + repair).
+
+The two headline properties:
+
+* **Zero false negatives** — flipping any single byte of a day-record
+  object, the manifest, or its checksum sidecar is caught by
+  ``fsck_store`` (exhaustively for small artefacts, a dense
+  deterministic sample for multi-kilobyte anchors).
+* **Repair restores the campaign** — with a surviving anchor, damaged
+  markers are rebuilt byte-identical, damaged anchors are regenerated
+  by deterministic replay, and the repaired store resumes to a
+  dataset byte-identical to the uninterrupted run.  Without a
+  surviving anchor, repair refuses and leaves the store untouched.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.checkpoint import (
+    MANIFEST_BACKUP_NAME,
+    MANIFEST_CHECKSUM_NAME,
+    MANIFEST_NAME,
+    RunStore,
+)
+from repro.core.study import Study, StudyConfig
+from repro.errors import CheckpointError
+from repro.integrity import (
+    DamageKind,
+    fsck_export,
+    fsck_path,
+    fsck_store,
+    repair_store,
+)
+from repro.io import export_all_csv, save_dataset
+from repro.io.sums import SHA256SUMS_NAME, parse_sha256sums
+from repro.telemetry import Telemetry
+
+pytestmark = pytest.mark.integrity
+
+
+def _config(**overrides):
+    base = dict(
+        seed=7,
+        n_days=6,
+        scale=0.004,
+        message_scale=0.05,
+        join_day=3,
+        faults="hostile",
+    )
+    base.update(overrides)
+    return StudyConfig(**base)
+
+
+def _export_digest(dataset, tmp_path, name):
+    path = tmp_path / f"{name}.json"
+    save_dataset(dataset, path)
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def _snapshot(directory, ignore=("quarantine",)):
+    """name -> sha256 for every file under ``directory``."""
+    out = {}
+    for path in sorted(Path(directory).rglob("*")):
+        if not path.is_file():
+            continue
+        rel = path.relative_to(directory)
+        if rel.parts[0] in ignore:
+            continue
+        out[str(rel)] = hashlib.sha256(path.read_bytes()).hexdigest()
+    return out
+
+
+def _flip(path, offset):
+    data = bytearray(path.read_bytes())
+    data[offset % len(data)] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory):
+    """One checkpointed hostile campaign + its golden export digest.
+
+    ``anchor_every=2`` interleaves anchors (days 0, 2, 4) with markers
+    (days 1, 3, 5) so damage tests cover both record kinds.  Tests
+    must treat the store as read-only and copy it before damaging.
+    """
+    root = tmp_path_factory.mktemp("integrity")
+    store = root / "store"
+    dataset = Study(_config()).run(checkpoint_dir=store, anchor_every=2)
+    golden = _export_digest(dataset, root, "golden")
+    return store, golden, dataset
+
+
+def _damaged_copy(campaign, tmp_path):
+    store, golden, _ = campaign
+    copy = tmp_path / "store"
+    shutil.copytree(store, copy)
+    return copy, golden
+
+
+def _manifest_days(store):
+    return json.loads((store / MANIFEST_NAME).read_text())["days"]
+
+
+class TestFsckCleanStore:
+    def test_clean_store_verifies(self, campaign):
+        store, _, _ = campaign
+        report = fsck_store(store)
+        assert report.ok
+        assert not report.findings
+        assert report.days_checked == 6
+
+    def test_fsck_is_read_only(self, campaign, tmp_path):
+        store, _ = _damaged_copy(campaign, tmp_path)
+        days = _manifest_days(store)
+        _flip(store / "objects" / (days["1"]["digest"] + ".bin.gz"), 10)
+        _flip(store / MANIFEST_NAME, 100)
+        before = _snapshot(store, ignore=())
+        report = fsck_store(store)
+        assert not report.ok
+        assert _snapshot(store, ignore=()) == before, (
+            "fsck must never modify a store, damaged or not"
+        )
+
+
+class TestSingleByteFlipDetection:
+    """The zero-false-negative property, per artefact kind."""
+
+    @pytest.fixture(scope="class")
+    def tiny_store(self, tmp_path_factory):
+        """The smallest store with an anchor, a marker, and a manifest."""
+        store = tmp_path_factory.mktemp("tiny") / "store"
+        Study(_config(n_days=3, scale=0.002, join_day=1)).run(
+            checkpoint_dir=store, anchor_every=2
+        )
+        return store
+
+    def _flipped_positions(self, path, stride):
+        size = path.stat().st_size
+        dense = set(range(0, min(size, 64)))
+        dense.update(range(max(0, size - 64), size))
+        dense.update(range(0, size, stride))
+        return sorted(dense)
+
+    def _assert_every_flip_caught(self, store, target, stride=1):
+        pristine = target.read_bytes()
+        missed = []
+        for offset in self._flipped_positions(target, stride):
+            data = bytearray(pristine)
+            data[offset] ^= 0xFF
+            target.write_bytes(bytes(data))
+            if fsck_store(store).ok:
+                missed.append(offset)
+        target.write_bytes(pristine)
+        assert not missed, (
+            f"fsck missed single-byte flips in {target.name} at "
+            f"offsets {missed[:10]}{'...' if len(missed) > 10 else ''}"
+        )
+
+    def test_every_byte_of_marker_object(self, tiny_store):
+        days = _manifest_days(tiny_store)
+        marker = next(e for e in days.values() if e["kind"] == "replay")
+        self._assert_every_flip_caught(
+            tiny_store,
+            tiny_store / "objects" / (marker["digest"] + ".bin.gz"),
+        )
+
+    def test_anchor_object_dense_sample(self, tiny_store):
+        days = _manifest_days(tiny_store)
+        anchor = days["0"]
+        self._assert_every_flip_caught(
+            tiny_store,
+            tiny_store / "objects" / (anchor["digest"] + ".bin.gz"),
+            stride=97,
+        )
+
+    def test_every_byte_of_manifest(self, tiny_store):
+        self._assert_every_flip_caught(
+            tiny_store, tiny_store / MANIFEST_NAME, stride=13
+        )
+
+    def test_every_byte_of_checksum_sidecar(self, tiny_store):
+        self._assert_every_flip_caught(
+            tiny_store, tiny_store / MANIFEST_CHECKSUM_NAME
+        )
+
+
+class TestDamageTaxonomy:
+    def test_truncated_gzip(self, campaign, tmp_path):
+        store, _ = _damaged_copy(campaign, tmp_path)
+        days = _manifest_days(store)
+        path = store / "objects" / (days["0"]["digest"] + ".bin.gz")
+        path.write_bytes(path.read_bytes()[:40])
+        kinds = {f.kind for f in fsck_store(store).findings}
+        assert DamageKind.TRUNCATED_GZIP in kinds
+
+    def test_missing_object(self, campaign, tmp_path):
+        store, _ = _damaged_copy(campaign, tmp_path)
+        days = _manifest_days(store)
+        (store / "objects" / (days["4"]["digest"] + ".bin.gz")).unlink()
+        findings = fsck_store(store).findings
+        assert any(
+            f.kind == DamageKind.MISSING_OBJECT and f.day == 4
+            for f in findings
+        )
+
+    def test_torn_manifest_is_fatal(self, campaign, tmp_path):
+        store, _ = _damaged_copy(campaign, tmp_path)
+        manifest = store / MANIFEST_NAME
+        manifest.write_bytes(manifest.read_bytes()[:50])
+        report = fsck_store(store)
+        assert report.fatal
+        assert any(
+            f.kind == DamageKind.TORN_MANIFEST for f in report.findings
+        )
+
+    def test_dangling_object_and_orphan_temp(self, campaign, tmp_path):
+        store, _ = _damaged_copy(campaign, tmp_path)
+        (store / "objects" / ("ab" * 32 + ".bin.gz")).write_bytes(b"x")
+        (store / "stray.tmp").write_bytes(b"half-written")
+        kinds = {f.kind for f in fsck_store(store).findings}
+        assert DamageKind.DANGLING_OBJECT in kinds
+        assert DamageKind.ORPHAN_TEMP in kinds
+
+
+class TestStoreOpenHardening:
+    """RunStore surfaces CheckpointError, never raw parser errors."""
+
+    def test_open_torn_manifest(self, campaign, tmp_path):
+        store, _ = _damaged_copy(campaign, tmp_path)
+        manifest = store / MANIFEST_NAME
+        manifest.write_bytes(manifest.read_bytes()[:50])
+        with pytest.raises(CheckpointError, match="corrupt checkpoint"):
+            RunStore.open(store)
+
+    def test_open_non_json_manifest(self, campaign, tmp_path):
+        store, _ = _damaged_copy(campaign, tmp_path)
+        (store / MANIFEST_NAME).write_bytes(b"\x00\xff garbage \x80")
+        with pytest.raises(CheckpointError, match="corrupt checkpoint"):
+            RunStore.open(store)
+
+    def test_read_day_wraps_corrupt_gzip(self, campaign, tmp_path):
+        store, _ = _damaged_copy(campaign, tmp_path)
+        days = _manifest_days(store)
+        _flip(store / "objects" / (days["0"]["digest"] + ".bin.gz"), 20)
+        with pytest.raises(CheckpointError, match="corrupt checkpoint"):
+            RunStore.open(store).read_day(0)
+
+    def test_read_day_wraps_truncation(self, campaign, tmp_path):
+        store, _ = _damaged_copy(campaign, tmp_path)
+        days = _manifest_days(store)
+        path = store / "objects" / (days["0"]["digest"] + ".bin.gz")
+        path.write_bytes(path.read_bytes()[:40])
+        with pytest.raises(CheckpointError, match="corrupt checkpoint"):
+            RunStore.open(store).read_day(0)
+
+
+class TestRepair:
+    def test_marker_repair_is_byte_identical(self, campaign, tmp_path):
+        store, _ = _damaged_copy(campaign, tmp_path)
+        pristine = _snapshot(store)
+        days = _manifest_days(store)
+        marker = next(e for e in days.values() if e["kind"] == "replay")
+        _flip(store / "objects" / (marker["digest"] + ".bin.gz"), 15)
+        report = repair_store(store)
+        assert report.ok
+        assert _snapshot(store) == pristine, (
+            "marker rebuild must restore the store byte for byte"
+        )
+        assert (store / "quarantine").is_dir(), (
+            "the damaged bytes must be preserved for the post-mortem"
+        )
+
+    def test_anchor_repair_resumes_to_golden(self, campaign, tmp_path):
+        store, golden = _damaged_copy(campaign, tmp_path)
+        days = _manifest_days(store)
+        _flip(store / "objects" / (days["4"]["digest"] + ".bin.gz"), 25)
+        report = repair_store(store)
+        assert report.ok
+        rebuilt = [a for a in report.actions if a.action == "replayed-anchor"]
+        assert [a.day for a in rebuilt] == [4]
+        resumed = Study.resume(store, from_day=4).run()
+        assert _export_digest(resumed, tmp_path, "resumed") == golden
+
+    def test_day0_anchor_loss_is_unrepairable(self, campaign, tmp_path):
+        store, _ = _damaged_copy(campaign, tmp_path)
+        days = _manifest_days(store)
+        _flip(store / "objects" / (days["0"]["digest"] + ".bin.gz"), 25)
+        damaged = _snapshot(store, ignore=())
+        report = repair_store(store)
+        assert not report.ok
+        assert any(f.day == 0 for f in report.remaining)
+        assert _snapshot(store, ignore=()) == damaged, (
+            "a failed repair must leave the store exactly as found"
+        )
+
+    def test_torn_manifest_restored_from_backup(self, campaign, tmp_path):
+        store, golden = _damaged_copy(campaign, tmp_path)
+        (store / MANIFEST_NAME).write_bytes(b"{ torn")
+        report = repair_store(store)
+        # The backup is one generation stale: day 5's entry is absent,
+        # so its object surfaces as dangling and is quarantined.
+        assert any(
+            a.action == "restored-manifest" for a in report.actions
+        )
+        assert RunStore.open(store).days() == [0, 1, 2, 3, 4]
+        resumed = Study.resume(store).run()
+        assert _export_digest(resumed, tmp_path, "resumed") == golden
+
+    def test_backup_lags_one_generation(self, campaign, tmp_path):
+        store, _ = _damaged_copy(campaign, tmp_path)
+        backup = json.loads((store / MANIFEST_BACKUP_NAME).read_text())
+        current = json.loads((store / MANIFEST_NAME).read_text())
+        assert sorted(backup["days"]) == sorted(
+            set(current["days"]) - {"5"}
+        )
+
+    def test_repair_counts_telemetry(self, campaign, tmp_path):
+        store, _ = _damaged_copy(campaign, tmp_path)
+        days = _manifest_days(store)
+        marker = next(e for e in days.values() if e["kind"] == "replay")
+        _flip(store / "objects" / (marker["digest"] + ".bin.gz"), 15)
+        telemetry = Telemetry(enabled=True)
+        repair_store(store, telemetry=telemetry)
+        assert telemetry.metrics.counter(
+            "integrity_repairs_total", action="rebuilt-marker"
+        ) >= 1
+
+
+class TestExportIntegrity:
+    @pytest.fixture(scope="class")
+    def export_dir(self, campaign, tmp_path_factory):
+        _, _, dataset = campaign
+        directory = tmp_path_factory.mktemp("csv")
+        export_all_csv(dataset, directory)
+        return directory
+
+    def test_export_writes_sums_sidecar(self, export_dir):
+        sums = parse_sha256sums(export_dir / SHA256SUMS_NAME)
+        csvs = {p.name for p in export_dir.glob("*.csv")}
+        assert set(sums) == csvs and len(csvs) == 9
+
+    def test_clean_export_verifies(self, export_dir):
+        assert fsck_export(export_dir).ok
+
+    def test_flipped_csv_byte_caught(self, export_dir, tmp_path):
+        copy = tmp_path / "csv"
+        shutil.copytree(export_dir, copy)
+        _flip(next(copy.glob("*.csv")), 30)
+        report = fsck_export(copy)
+        assert not report.ok
+        assert all(
+            f.kind == DamageKind.EXPORT_MISMATCH for f in report.findings
+        )
+
+    def test_missing_and_unlisted_csv_caught(self, export_dir, tmp_path):
+        copy = tmp_path / "csv"
+        shutil.copytree(export_dir, copy)
+        next(iter(copy.glob("*.csv"))).unlink()
+        (copy / "fig99_extra.csv").write_text("a,b\n1,2\n")
+        findings = fsck_export(copy).findings
+        details = " ".join(f.detail for f in findings)
+        assert "missing" in details and "not listed" in details
+
+
+class TestFsckPath:
+    def test_autodetects_store(self, campaign):
+        store, _, _ = campaign
+        assert fsck_path(store).target_kind == "store"
+
+    def test_autodetects_export(self, campaign, tmp_path):
+        _, _, dataset = campaign
+        export_all_csv(dataset, tmp_path / "csv")
+        assert fsck_path(tmp_path / "csv").target_kind == "export"
+
+    def test_rejects_unrecognised_directory(self, tmp_path):
+        (tmp_path / "noise.txt").write_text("hi")
+        with pytest.raises(CheckpointError, match="neither"):
+            fsck_path(tmp_path)
+
+
+class TestFsckCLI:
+    def test_fsck_exit_codes_and_read_only(self, campaign, tmp_path, capsys):
+        from repro.__main__ import main
+
+        store, _ = _damaged_copy(campaign, tmp_path)
+        assert main(["fsck", str(store)]) == 0
+        days = _manifest_days(store)
+        marker = next(e for e in days.values() if e["kind"] == "replay")
+        _flip(store / "objects" / (marker["digest"] + ".bin.gz"), 15)
+        before = _snapshot(store, ignore=())
+        assert main(["fsck", str(store)]) == 1
+        assert _snapshot(store, ignore=()) == before, (
+            "fsck without --repair must never modify the store"
+        )
+        assert main(["fsck", str(store), "--repair"]) == 0
+        assert main(["fsck", str(store)]) == 0
+        capsys.readouterr()
