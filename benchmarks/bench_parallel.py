@@ -1,0 +1,144 @@
+"""Benchmark: multi-worker probe-engine speedup on the monitor pass.
+
+The daily metadata monitor is the dominant cost of a campaign day at
+paper scale, and the parallel engine shards it across worker
+processes with byte-identical output.  The gate: at 4 workers the
+monitor stage must run at least ``MIN_SPEEDUP`` (2×) faster than the
+sequential pass on the paper-scale probe volume.
+
+Two speedups are measured and reported:
+
+* **observed** — sequential monitor wall-clock over parallel monitor
+  wall-clock, as a user on this host experiences it;
+* **critical path** — sequential monitor wall-clock over the
+  parallel pass's inherent serial cost: the parent's apply + merge
+  time plus the slowest shard's CPU seconds per day.  CPU seconds,
+  not wall: on a core-starved host concurrent workers' wall clocks
+  count each other's timeslices, so worker wall time measures the
+  host, not the engine.
+
+On a host with at least 4 usable cores the gate is the observed
+wall-clock speedup; on smaller hosts (CI containers are often pinned
+to 1-2 cores, where N worker processes cannot beat one by wall
+clock) the gate falls back to the critical path, which is what the
+same engine achieves once cores exist to run the shards.  The
+emitted table records the usable core count next to both numbers so
+committed results are honest about which gate applied.
+
+Smoke mode (``BENCH_PARALLEL_SMOKE=1``) runs a miniature campaign
+through the same measurement and gate arithmetic and asserts the
+speedups parse as finite numbers without enforcing the threshold —
+CI uses it to catch bit-rot in the gate itself.
+"""
+
+import math
+import os
+import time
+
+import pytest
+
+from repro.core.study import Study, StudyConfig
+from repro.reporting.tables import format_table
+from repro.telemetry import Telemetry
+
+pytestmark = pytest.mark.parallel
+
+SMOKE = os.environ.get("BENCH_PARALLEL_SMOKE") == "1"
+
+#: Paper-scale probe volume: ~20k monitor probes over the window
+#: (scale 0.1 × 8 days front-loads the catalogue the monitor visits
+#: daily; the full 38-day campaign reaches the same per-day volume).
+_BASE = dict(
+    seed=7,
+    n_days=8,
+    scale=0.1,
+    message_scale=0.05,
+    join_day=3,
+)
+if SMOKE:
+    _BASE = dict(
+        seed=7, n_days=4, scale=0.01, message_scale=0.05, join_day=1
+    )
+
+WORKERS = 4
+MIN_SPEEDUP = 2.0
+
+
+def _run(workers: int) -> dict:
+    study = Study(
+        StudyConfig(**_BASE), telemetry=Telemetry(enabled=True)
+    )
+    start = time.perf_counter()
+    study.run(workers=workers)
+    wall_s = time.perf_counter() - start
+    metrics = study.telemetry.metrics
+    return {
+        "wall_s": wall_s,
+        "monitor_s": study.telemetry.profiler().stage_wall_s("monitor"),
+        "probes": metrics.counter("parallel_probes_total"),
+        "apply_s": metrics.counter("parallel_apply_seconds_total"),
+        "merge_s": metrics.counter("parallel_merge_seconds_total"),
+        "crit_cpu_s": metrics.counter(
+            "parallel_critical_probe_cpu_seconds_total"
+        ),
+    }
+
+
+def test_parallel_monitor_speedup(emit):
+    sequential = _run(1)
+    parallel = _run(WORKERS)
+
+    critical_s = (
+        parallel["apply_s"] + parallel["merge_s"] + parallel["crit_cpu_s"]
+    )
+    observed = sequential["monitor_s"] / parallel["monitor_s"]
+    critical = sequential["monitor_s"] / critical_s
+    cores = len(os.sched_getaffinity(0))
+    wall_gated = cores >= WORKERS
+    gate = observed if wall_gated else critical
+
+    probes = int(parallel["probes"])
+    rows = [
+        ("usable cores on host", str(cores), "-"),
+        ("probes sharded", str(probes), "-"),
+        ("sequential monitor", f"{sequential['monitor_s']:.3f} s", "1.00x"),
+        (
+            f"parallel monitor ({WORKERS} workers, observed)",
+            f"{parallel['monitor_s']:.3f} s",
+            f"{observed:.2f}x",
+        ),
+        (
+            "parallel critical path (apply+merge+max shard CPU)",
+            f"{critical_s:.3f} s",
+            f"{critical:.2f}x",
+        ),
+        (
+            f"gate ({'observed wall' if wall_gated else 'critical path'}"
+            f" >= {MIN_SPEEDUP:.0f}x)",
+            f"{gate:.2f}x",
+            "PASS" if gate >= MIN_SPEEDUP else "FAIL",
+        ),
+    ]
+    emit(
+        "bench_parallel",
+        format_table(
+            ("measurement", "value", "speedup"),
+            rows,
+            title=(
+                f"Parallel probe engine ({_BASE['n_days']}-day campaign, "
+                f"scale {_BASE['scale']}"
+                + (", SMOKE" if SMOKE else "")
+                + ")"
+            ),
+        ),
+    )
+
+    assert math.isfinite(observed) and observed > 0
+    assert math.isfinite(critical) and critical > 0
+    if SMOKE:
+        return  # gate arithmetic verified; threshold needs real scale
+    assert gate >= MIN_SPEEDUP, (
+        f"{'observed' if wall_gated else 'critical-path'} speedup "
+        f"{gate:.2f}x at {WORKERS} workers is below the "
+        f"{MIN_SPEEDUP:.0f}x gate ({cores} usable cores)"
+    )

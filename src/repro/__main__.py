@@ -174,6 +174,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for the fault schedule (default: the study seed)",
     )
     parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for the daily monitor probe pass "
+             "(default: 1 = sequential; any N produces byte-identical "
+             "output)",
+    )
+    parser.add_argument(
         "--topics", action="store_true",
         help="also run the Table 3 LDA topic extraction (slower)",
     )
@@ -246,6 +252,8 @@ def validate_args(args: argparse.Namespace) -> None:
         raise ConfigError(
             f"--message-scale must be positive, got {args.message_scale}"
         )
+    if args.workers < 1:
+        raise ConfigError(f"--workers must be >= 1, got {args.workers}")
     if args.resume and args.fork_day is not None:
         raise ConfigError("--resume and --fork-day are mutually exclusive")
     if (args.resume or args.fork_day is not None) and not args.checkpoint_dir:
@@ -554,6 +562,7 @@ def main(argv=None) -> int:
     dataset = study.run(
         checkpoint_dir=None if checkpointing else args.checkpoint_dir,
         anchor_every=None if checkpointing else args.checkpoint_every,
+        workers=args.workers,
     )
     logger.info("# Study complete in %.1fs", time.time() - start)
 

@@ -331,6 +331,20 @@ class RunStore:
             )
         return payload
 
+    def record_engine(self, workers: int) -> None:
+        """Record the execution-engine configuration in the manifest.
+
+        Informational only: the worker count is a pure execution
+        choice, never part of the campaign's config identity — any
+        worker count may resume any store — so it lives outside the
+        ``config`` block and the digest.  The manifest keeps the most
+        recent run's engine block.
+        """
+        engine = {"workers": int(workers)}
+        if self.manifest.get("engine") != engine:
+            self.manifest["engine"] = engine
+            self._write_manifest()
+
     # -- config guard -----------------------------------------------------
 
     def check_config(self, config: Any) -> None:

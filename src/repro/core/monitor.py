@@ -95,20 +95,41 @@ class MetadataMonitor:
         self._telegram = telegram
         self._discord = discord
 
+    @staticmethod
+    def observation_time(day: int) -> float:
+        """The instant day ``day``'s snapshot pass runs (the evening pass)."""
+        return day + MONITOR_HOUR_FRAC
+
+    def due(self, record: URLRecord, t: float) -> bool:
+        """Whether ``record`` gets a probe at observation time ``t``.
+
+        A URL is due iff its revocation has not been seen and it was
+        discovered *at or before* ``t``: the discovery-time boundary is
+        closed, so ``first_seen_t == t`` is probed the same day.  This
+        predicate is the single source of truth for both the sequential
+        loop and the parallel engine's shard lists — sharded and
+        sequential runs can never disagree about a day's probe set.
+        """
+        return (
+            record.canonical not in self._dead
+            and record.first_seen_t <= t
+        )
+
     def observe_day(self, day: int, records: Iterable[URLRecord]) -> None:
         """Take the day's snapshot of every live, already-discovered URL.
 
-        A transient platform failure never escapes this loop: the
-        affected URL gets a ``missed`` snapshot and the remaining
-        probes proceed (or are cheaply deferred while that platform's
-        breaker is open).
+        A URL is probed iff :meth:`due` says so at
+        ``observation_time(day)``; in particular a URL discovered at
+        exactly the observation instant is probed that same day (closed
+        boundary).  A transient platform failure never escapes this
+        loop: the affected URL gets a ``missed`` snapshot and the
+        remaining probes proceed (or are cheaply deferred while that
+        platform's breaker is open).
         """
-        t = day + MONITOR_HOUR_FRAC
+        t = self.observation_time(day)
         for record in records:
-            if record.canonical in self._dead:
+            if not self.due(record, t):
                 continue
-            if record.first_seen_t > t:
-                continue  # not discovered yet at observation time
             snapshot = self._observe_one(record, day, t)
             self.snapshots.setdefault(record.canonical, []).append(snapshot)
             self._telemetry.count(
@@ -118,6 +139,37 @@ class MetadataMonitor:
             )
             if not snapshot.alive:
                 self._dead.add(record.canonical)
+        self._telemetry.gauge("monitor_dead_urls", len(self._dead))
+
+    def merge_day(
+        self,
+        day: int,
+        records: Iterable[URLRecord],
+        outcomes: Dict[str, Snapshot],
+    ) -> None:
+        """Apply day ``day``'s precomputed snapshots (parallel merge).
+
+        The counterpart of :meth:`observe_day` for the parallel
+        engine's snapshot mode: ``outcomes`` maps canonical URL to the
+        finished snapshot a worker computed for it.  Snapshots are
+        applied in the sequential loop's iteration order over
+        ``records`` — filtered by the same :meth:`due` predicate — so
+        dict insertion order, the dead set and the day-end gauge evolve
+        exactly as a sequential pass would.  Per-probe telemetry
+        (snapshot counters, resilience histograms) was recorded
+        worker-side and arrives via the registry merge, not here.
+        """
+        t = self.observation_time(day)
+        for record in records:
+            if not self.due(record, t):
+                continue
+            snapshot = outcomes[record.canonical]
+            self.snapshots.setdefault(record.canonical, []).append(snapshot)
+            if not snapshot.alive:
+                self._dead.add(record.canonical)
+        # Set after the merged per-shard registries (whose shard-local
+        # values of this gauge are meaningless) so the campaign value
+        # wins.
         self._telemetry.gauge("monitor_dead_urls", len(self._dead))
 
     def _observe_one(self, record: URLRecord, day: int, t: float) -> Snapshot:
@@ -142,14 +194,16 @@ class MetadataMonitor:
             )
         except CircuitOpenError:
             # Breaker open: the probe was deferred without touching
-            # the platform.  Re-probe tomorrow.
+            # the platform.  Re-probe tomorrow.  Counted once, as
+            # ``deferred`` — never also as ``missed``, so the ledger's
+            # per-day totals add up to the number of probes issued.
             self.health.bump(record.platform, day, "deferred")
-            return self._missed(record, day, t)
+            return self._missed_snapshot(record, day, t)
         except TransientError:
-            return self._missed(record, day, t)
+            self.health.bump(record.platform, day, "missed")
+            return self._missed_snapshot(record, day, t)
 
-    def _missed(self, record: URLRecord, day: int, t: float) -> Snapshot:
-        self.health.bump(record.platform, day, "missed")
+    def _missed_snapshot(self, record: URLRecord, day: int, t: float) -> Snapshot:
         return Snapshot(
             canonical=record.canonical,
             day=day,

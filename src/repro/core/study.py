@@ -55,6 +55,7 @@ from repro.faults import (
     FaultyStreamingAPI,
 )
 from repro.faults.proxies import FaultProxy
+from repro.parallel import ParallelEngine, build_replay_clients
 from repro.platforms.discord import DiscordAPI
 from repro.platforms.telegram import TelegramWebClient
 from repro.platforms.whatsapp import WhatsAppWebClient
@@ -226,6 +227,11 @@ class Study:
         self._dataset: Optional[StudyDataset] = None
         #: Attached run store (resume/fork); never serialised.
         self._store: Optional[RunStore] = None
+        #: Parallel probe engine, alive only inside a ``run(workers=N)``
+        #: call with N > 1; never serialised — anchors and resume
+        #: replay are engine-free, so any worker count can continue
+        #: any store.
+        self._parallel: Optional[ParallelEngine] = None
         #: Chaos hook ``(day, stage) -> None``, fired at every stage
         #: boundary of a *live* day (never during resume replay).  The
         #: chaos harness (:mod:`repro.chaos`) installs hooks that abort
@@ -248,6 +254,9 @@ class Study:
         state = dict(self.__dict__)
         state["_store"] = None
         state["stage_hook"] = None
+        # The worker pool holds live processes and pipes; a restored
+        # campaign starts (or not) its own via run(workers=N).
+        state["_parallel"] = None
         return state
 
     def _fire_hook(self, day: int, stage: str) -> None:
@@ -269,6 +278,7 @@ class Study:
         checkpoint_dir: Optional[Union[str, os.PathLike]] = None,
         *,
         anchor_every: Optional[int] = None,
+        workers: int = 1,
     ) -> StudyDataset:
         """Execute (or continue) the campaign; returns the dataset.
 
@@ -282,8 +292,24 @@ class Study:
         study obtained from :meth:`resume`/:meth:`fork` keeps
         checkpointing into its attached store without passing the
         directory again.
+
+        ``workers`` > 1 shards the daily monitor probe pass across
+        that many worker processes (:mod:`repro.parallel`).  The
+        worker count is a pure execution choice: datasets, exports,
+        checkpoints and fsck digests are byte-identical for any value,
+        and a checkpointed campaign may be resumed under a different
+        count.  It is deliberately *not* part of
+        :class:`StudyConfig` — it must not perturb the config digest
+        a run store is keyed by — and is recorded informationally in
+        the store manifest instead.
         """
         config = self.config
+        if not isinstance(workers, int) or isinstance(workers, bool):
+            raise ConfigError(
+                f"workers must be a positive integer, got {workers!r}"
+            )
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
         if checkpoint_dir is not None:
             self._store = RunStore.create(
                 checkpoint_dir,
@@ -299,6 +325,8 @@ class Study:
             # store: force the first record of a fresh store to be an
             # anchor snapshot.
             self._last_anchor = None
+        if self._store is not None:
+            self._store.record_engine(workers)
         if self._dataset is None:
             self._dataset = StudyDataset(
                 n_days=config.n_days,
@@ -306,25 +334,47 @@ class Study:
                 message_scale=config.message_scale,
             )
         dataset = self._dataset
+        if workers > 1:
+            # Fault-free campaigns use snapshot mode (workers ship
+            # finished snapshots; all accounting is order-independent
+            # without an injector); campaigns with a fault plan fall
+            # back to replay mode, whose merge re-runs the accounting
+            # sequentially so injector draws keep their order.
+            self._parallel = ParallelEngine(
+                workers,
+                telemetry=self.telemetry,
+                mode="replay" if self.injector is not None else "snapshot",
+                monitor_params={
+                    "salt": self._hasher.salt,
+                    "seed": config.seed,
+                },
+            )
+        else:
+            self._parallel = None
 
-        for day in range(self._next_day, config.n_days):
-            self._run_day(day, dataset)
-            self._next_day = day + 1
-            if self._store is not None:
-                self._fire_hook(day, "checkpoint")
-                # Timed after the fact: the anchor pickles the whole
-                # study — tracer included — so the checkpoint region
-                # must never hold an open span.
-                start = time.perf_counter()
-                self._checkpoint_day(day)
-                self.telemetry.record_span(
-                    "checkpoint.write_day",
-                    stage="checkpoint",
-                    day=day,
-                    wall_s=time.perf_counter() - start,
-                )
-            self._fire_hook(day, "day_end")
-            logger.debug("day %d/%d complete", day + 1, config.n_days)
+        try:
+            for day in range(self._next_day, config.n_days):
+                self._run_day(day, dataset)
+                self._next_day = day + 1
+                if self._store is not None:
+                    self._fire_hook(day, "checkpoint")
+                    # Timed after the fact: the anchor pickles the whole
+                    # study — tracer included — so the checkpoint region
+                    # must never hold an open span.
+                    start = time.perf_counter()
+                    self._checkpoint_day(day)
+                    self.telemetry.record_span(
+                        "checkpoint.write_day",
+                        stage="checkpoint",
+                        day=day,
+                        wall_s=time.perf_counter() - start,
+                    )
+                self._fire_hook(day, "day_end")
+                logger.debug("day %d/%d complete", day + 1, config.n_days)
+        finally:
+            if self._parallel is not None:
+                self._parallel.close()
+            self._parallel = None
 
         return self._finalize(dataset)
 
@@ -348,7 +398,18 @@ class Study:
         """One campaign day: generate, discover, monitor, sample, join."""
         tel = self.telemetry
         mode = "replay" if self._replaying else "run"
+        # ``getattr``: anchors captured before the engine attribute
+        # existed restore without it; resume replay is always
+        # sequential regardless.
+        parallel = getattr(self, "_parallel", None)
+        if self._replaying:
+            parallel = None
         self._fire_hook(day, "world")
+        if parallel is not None:
+            # Replicas advance through ``day`` while the parent
+            # generates its own (tweet-heavy) day.  No-op until the
+            # pool starts at the first live monitor stage.
+            parallel.begin_day(day)
         with tel.span("world.generate_day", stage="world", day=day, mode=mode):
             self.world.generate_day(day)
         self._fire_hook(day, "discovery")
@@ -356,7 +417,10 @@ class Study:
             self.engine.run_day(day)
         self._fire_hook(day, "monitor")
         with tel.span("monitor.observe_day", stage="monitor", day=day, mode=mode):
-            self.monitor.observe_day(day, self.engine.records.values())
+            if parallel is not None:
+                self._observe_day_parallel(parallel, day)
+            else:
+                self.monitor.observe_day(day, self.engine.records.values())
         self._fire_hook(day, "control")
         with tel.span("control.sample", stage="control", day=day, mode=mode):
             self._collect_control(day, dataset)
@@ -366,6 +430,70 @@ class Study:
                 self._join(day)
         tel.gauge("campaign_days_completed", day + 1)
         tel.count("campaign_days_total", mode=mode)
+
+    def _observe_day_parallel(
+        self, parallel: ParallelEngine, day: int
+    ) -> None:
+        """Day ``day``'s monitor pass through the worker pool.
+
+        The due-set is the same :meth:`MetadataMonitor.due` predicate
+        the sequential loop applies.  How a probe's outcome is applied
+        depends on the engine mode: in snapshot mode (fault-free) the
+        workers return finished snapshots plus per-shard ledger
+        deltas, and the parent folds them in canonical record order
+        via :meth:`MetadataMonitor.merge_day`; in replay mode (a fault
+        plan is active) the workers return raw previews and the parent
+        replays the *unchanged* ``observe_day`` loop with replay
+        clients serving them, so every fault draw, retry, breaker
+        transition and ledger bump happens in sequential order.
+        Either way the two paths are byte-identical by construction.
+        """
+        if not parallel.started:
+            # Lazy start: the bootstrap snapshots the world as of this
+            # day, so fresh, resumed and forked campaigns all hand
+            # their replicas the exact state the parent monitors.
+            parallel.start(self.world, day)
+        t = self.monitor.observation_time(day)
+        probes = [
+            (record.canonical, record.url, record.platform)
+            for record in self.engine.records.values()
+            if self.monitor.due(record, t)
+        ]
+        outcomes, healths = parallel.probe_day(day, probes)
+        tel = self.telemetry
+        apply_start = tel.clock()
+        if parallel.mode == "snapshot":
+            for shard_health in healths:
+                self.health.merge(shard_health)
+            self.monitor.merge_day(
+                day, self.engine.records.values(), outcomes
+            )
+            # Keep the parent executor's call index (retry-jitter
+            # stream position) where a sequential pass would leave it;
+            # first-appearance order mirrors sequential breaker
+            # creation order.
+            per_platform: Dict[str, int] = {}
+            for _canonical, _url, platform in probes:
+                per_platform[platform] = per_platform.get(platform, 0) + 1
+            for platform, count in per_platform.items():
+                self._resilience.note_external_calls(
+                    platform, "observe", count
+                )
+            tel.count(
+                "parallel_apply_seconds_total", tel.clock() - apply_start
+            )
+            return
+        saved = self.monitor.clients()
+        self.monitor.replace_clients(
+            *build_replay_clients(outcomes, self.injector)
+        )
+        try:
+            self.monitor.observe_day(day, self.engine.records.values())
+        finally:
+            self.monitor.replace_clients(*saved)
+            tel.count(
+                "parallel_apply_seconds_total", tel.clock() - apply_start
+            )
 
     def _finalize(self, dataset: StudyDataset) -> StudyDataset:
         """End-of-campaign collection from joined groups."""

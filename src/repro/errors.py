@@ -39,6 +39,17 @@ class CheckpointError(ReproError):
     """
 
 
+class ParallelError(ReproError):
+    """The parallel execution engine failed.
+
+    Raised by :mod:`repro.parallel` when a worker process dies, sends
+    an unexpected reply, or the merge step finds a probe outcome
+    missing — conditions that would otherwise silently desynchronise
+    the sharded and sequential paths.  The message carries the worker
+    traceback when one exists.
+    """
+
+
 class UnknownURLError(ReproError):
     """An invite URL does not correspond to any group on the platform."""
 

@@ -158,8 +158,13 @@ def save_dataset(dataset: StudyDataset, path: Union[str, os.PathLike]) -> None:
     payload = json.dumps(document, separators=(",", ":"))
     path = os.fspath(path)
     if path.endswith(".gz"):
-        with gzip.open(path, "wt", encoding="utf-8") as handle:
-            handle.write(payload)
+        # mtime=0 keeps the gzip header out of the byte-identity
+        # contract: same dataset, same bytes on disk, whenever written.
+        with open(path, "wb") as raw:
+            with gzip.GzipFile(
+                filename="", mode="wb", fileobj=raw, mtime=0
+            ) as handle:
+                handle.write(payload.encode("utf-8"))
     else:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(payload)

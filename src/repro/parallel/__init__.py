@@ -1,0 +1,67 @@
+"""Deterministic multi-worker execution engine for the daily probe pass.
+
+At paper scale the daily metadata monitor visits ~20k URLs per day —
+the dominant cost of a campaign day — and every probe is independent
+of every other: the platform simulators materialise state from RNG
+streams derived per *key* (``derive_seed(root_seed, key)``), never
+from a shared stream whose state depends on call order.  This package
+exploits that to shard the probe pass across N worker processes while
+keeping the campaign's output byte-identical to the sequential path
+for any N.
+
+Each worker holds a *world replica* — the platform services only,
+bootstrapped from the parent and advanced day by day via
+:meth:`~repro.simulation.world.World.generate_day_groups`.  Probes
+are assigned to shards by a stable hash of the canonical URL (never
+worker id or arrival order), and every draw a probe triggers comes
+from a per-key derived stream, so its outcome is a pure function of
+(seed, canonical URL, day) no matter which worker computes it.
+
+How much of a probe is sharded depends on whether the campaign runs a
+fault plan:
+
+* **Snapshot mode (fault-free).**  Without an injector, *everything*
+  per-probe is either pure (the preview, the executor's success path,
+  snapshot construction, phone hashing) or a commutative counter (the
+  health ledger, metric counters).  Workers therefore run their shard
+  through a real :class:`~repro.core.monitor.MetadataMonitor` replica
+  and ship finished snapshots plus a per-day ledger delta; the parent
+  folds them in canonical record order via
+  :meth:`~repro.core.monitor.MetadataMonitor.merge_day`, leaving only
+  O(1)-per-probe work on the campaign's critical path.
+
+* **Replay mode (fault plan active).**  Fault-injector draws are
+  per-endpoint sequential counters — order-dependent by design — so
+  workers compute only the pure preview outcomes, and the parent
+  replays the day through the *unchanged* ``observe_day`` loop in
+  canonical record order, with replay clients that return the
+  precomputed outcomes.  Fault draws, retry/backoff schedules,
+  circuit-breaker transitions, health-ledger bumps and phone hashing
+  all happen exactly where — and in exactly the order — the
+  sequential path performs them.
+
+Both modes make exports, checkpoints and fsck digests identical by
+construction rather than by reconciliation.
+
+Per-worker telemetry lands in private registries that the parent folds
+in at the day barrier via
+:meth:`~repro.telemetry.registry.MetricsRegistry.merge`.
+"""
+
+from repro.parallel.engine import ParallelEngine, world_bootstrap
+from repro.parallel.replay import (
+    ReplayDiscordAPI,
+    ReplayPreviewClient,
+    build_replay_clients,
+)
+from repro.parallel.sharding import assign_shards, shard_of
+
+__all__ = [
+    "ParallelEngine",
+    "ReplayDiscordAPI",
+    "ReplayPreviewClient",
+    "assign_shards",
+    "build_replay_clients",
+    "shard_of",
+    "world_bootstrap",
+]

@@ -1,0 +1,278 @@
+"""The parent-side worker-pool engine for the daily probe pass.
+
+:class:`ParallelEngine` owns N long-lived worker processes (``spawn``
+context — the entry point must be importable, and a spawned child
+shares no inherited state with the parent), keeps their world
+replicas advanced to the campaign day, and runs the sharded probe
+pass: ship each worker its shard, collect the outcome maps, fold the
+per-worker telemetry registries into the campaign registry at the
+day barrier.
+
+Lifecycle, as the study drives it: the engine is constructed per
+``run()`` call, started lazily at the first live monitor stage (the
+bootstrap payload is a snapshot of the world *as of that day*, so
+fresh runs, resumes and forks all bootstrap identically), nudged at
+every world stage via :meth:`begin_day` so replicas advance while
+the parent generates its own day, and closed in a ``finally`` when
+the run ends.  Workers are daemons: a SIGKILLed campaign (chaos
+harness) takes its pool down with it, and a resumed campaign simply
+starts a fresh pool.
+
+The engine is deliberately *not* part of campaign state: anchors
+never serialise it, resume replay always runs sequentially, and the
+same store can be written under any worker count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigError, ParallelError
+from repro.parallel.sharding import Probe, assign_shards
+from repro.parallel.worker import worker_main
+from repro.simulation.world import World
+from repro.telemetry import Telemetry
+from repro.twitter.service import TwitterService
+
+__all__ = ["ParallelEngine", "world_bootstrap"]
+
+
+def world_bootstrap(world: World) -> bytes:
+    """Pickle the replica bootstrap payload for ``world``.
+
+    The replica needs the platform services (registered groups, their
+    lazily materialised caches, the per-platform creator-assigner
+    streams) and the spawn-phase bookkeeping, but none of the Twitter
+    side: the clone swaps in an empty Twitter service and drops tweet
+    buffers, pending share events and ground truths.  Platform-service
+    telemetry handles are detached for the duration of the dump (the
+    services are shared with the live study) so the payload never
+    drags the campaign's span log across process boundaries.
+    """
+    clone = object.__new__(World)
+    clone.__dict__ = dict(world.__dict__)
+    clone.twitter = TwitterService()
+    clone._first_tweets = {}
+    clone._pending = {}
+    clone.truths = {}
+    clone._last_control_tweet_id = None
+    services = list(world.platforms.values())
+    saved = [service.telemetry for service in services]
+    try:
+        for service in services:
+            service.telemetry = None
+        return pickle.dumps(clone, protocol=pickle.HIGHEST_PROTOCOL)
+    finally:
+        for service, handle in zip(services, saved):
+            service.telemetry = handle
+
+
+class ParallelEngine:
+    """N probe workers plus the merge bookkeeping to drive them.
+
+    ``mode`` selects what the workers compute (see
+    :mod:`repro.parallel.worker`): ``"snapshot"`` ships finished
+    snapshots plus a health-ledger delta per shard (fault-free
+    campaigns, where all accounting is order-independent), while
+    ``"replay"`` ships raw preview outcomes for the parent to replay
+    sequentially (campaigns with a fault plan, whose injector draws
+    are order-dependent).  Snapshot mode needs ``monitor_params`` —
+    the phone-hasher salt and resilience seed the worker-side monitor
+    replicas must share with the campaign's.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        telemetry: Optional[Telemetry] = None,
+        *,
+        mode: str = "replay",
+        monitor_params: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if (
+            not isinstance(workers, int)
+            or isinstance(workers, bool)
+            or workers < 1
+        ):
+            raise ConfigError(
+                f"workers must be a positive integer, got {workers!r}"
+            )
+        if mode not in ("snapshot", "replay"):
+            raise ConfigError(
+                f"engine mode must be 'snapshot' or 'replay', got {mode!r}"
+            )
+        if mode == "snapshot" and not monitor_params:
+            raise ConfigError(
+                "snapshot mode requires monitor_params (salt, seed)"
+            )
+        self.workers = workers
+        self.mode = mode
+        self._monitor_params = monitor_params
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._ctx = multiprocessing.get_context("spawn")
+        self._procs: List[multiprocessing.process.BaseProcess] = []
+        self._conns: List[object] = []
+        #: Day the replicas are advanced through (None before start).
+        self._advanced: Optional[int] = None
+
+    @property
+    def started(self) -> bool:
+        """Whether the worker pool is up."""
+        return bool(self._procs)
+
+    def start(self, world: World, day: int) -> None:
+        """Spawn the pool, bootstrapping replicas from ``world``.
+
+        ``world`` must be generated through ``day``; the replicas
+        start advanced to the same point.
+        """
+        if self.started:
+            raise ParallelError("parallel engine is already started")
+        blob = world_bootstrap(world)
+        enabled = self.telemetry.enabled
+        try:
+            for index in range(self.workers):
+                parent_conn, child_conn = self._ctx.Pipe()
+                proc = self._ctx.Process(
+                    target=worker_main,
+                    args=(child_conn,),
+                    name=f"repro-probe-worker-{index}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                parent_conn.send(
+                    (
+                        "bootstrap",
+                        blob,
+                        enabled,
+                        self.mode,
+                        self._monitor_params,
+                    )
+                )
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+        except Exception:
+            self.close()
+            raise
+        self._advanced = day
+        self.telemetry.gauge("parallel_workers", self.workers)
+        self.telemetry.count("parallel_pool_starts_total")
+
+    def begin_day(self, day: int) -> None:
+        """Advance every replica through ``day`` (no-op before start).
+
+        The study calls this at the world stage, so replicas advance
+        while the parent generates its own (much heavier) day.
+        """
+        if not self.started or self._advanced is None:
+            return
+        while self._advanced < day:
+            self._advanced += 1
+            for conn in self._conns:
+                conn.send(("advance", self._advanced))
+
+    def probe_day(
+        self, day: int, probes: Iterable[Probe]
+    ) -> Tuple[Dict[str, object], List[object]]:
+        """Run day ``day``'s sharded probe pass.
+
+        Returns ``(outcomes, healths)``: the merged outcome map
+        (``canonical -> Snapshot`` in snapshot mode, ``url ->
+        (kind, preview)`` in replay mode) and the per-shard
+        health-ledger deltas (empty in replay mode — the parent's own
+        replay keeps the ledger there).
+
+        Shards are assigned by canonical URL
+        (:func:`~repro.parallel.sharding.assign_shards`); replies are
+        collected from every worker — the pipe protocol is FIFO, so a
+        fixed worker iteration order makes the merge deterministic —
+        and per-worker metric registries are folded into the campaign
+        registry here, at the day barrier.
+        """
+        if not self.started:
+            raise ParallelError("parallel engine is not started")
+        if self._advanced is not None and day < self._advanced:
+            raise ParallelError(
+                f"cannot probe day {day}: replicas already advanced "
+                f"through day {self._advanced}"
+            )
+        self.begin_day(day)
+        probes = list(probes)
+        shards = assign_shards(probes, self.workers)
+        for conn, shard in zip(self._conns, shards):
+            conn.send(("probe", day, shard))
+        tel = self.telemetry
+        outcomes: Dict[str, object] = {}
+        healths: List[object] = []
+        max_wall_s = 0.0
+        max_cpu_s = 0.0
+        merge_s = 0.0
+        for index in range(len(self._conns)):
+            reply = self._recv(index)
+            if reply[0] == "error":
+                raise ParallelError(
+                    f"probe worker {index} failed:\n{reply[1]}"
+                )
+            if reply[0] != "result" or reply[1] != day:
+                raise ParallelError(
+                    f"probe worker {index} sent unexpected reply "
+                    f"{reply[0]!r} while probing day {day}"
+                )
+            # Deserialise + fold, timed apart from the blocking recv:
+            # this is the parent's own share of the merge barrier.
+            merge_start = tel.clock()
+            shard_outcomes, shard_health, registry = pickle.loads(reply[2])
+            outcomes.update(shard_outcomes)
+            if shard_health is not None:
+                healths.append(shard_health)
+            if registry is not None and tel.enabled:
+                tel.metrics.merge(registry)
+            merge_s += tel.clock() - merge_start
+            wall_s, cpu_s = reply[3], reply[4]
+            tel.count("parallel_worker_probe_seconds_total", wall_s)
+            tel.count("parallel_worker_probe_cpu_seconds_total", cpu_s)
+            if wall_s > max_wall_s:
+                max_wall_s = wall_s
+            if cpu_s > max_cpu_s:
+                max_cpu_s = cpu_s
+        tel.count("parallel_probes_total", len(probes))
+        tel.count("parallel_merge_seconds_total", merge_s)
+        # The slowest shard bounds the pass on an unconstrained host;
+        # the benchmark reads these to compute the parallel critical
+        # path (CPU seconds on core-starved hosts, where concurrent
+        # workers' wall clocks count each other's timeslices).
+        tel.count("parallel_critical_probe_seconds_total", max_wall_s)
+        tel.count("parallel_critical_probe_cpu_seconds_total", max_cpu_s)
+        return outcomes, healths
+
+    def _recv(self, index: int):
+        try:
+            return self._conns[index].recv()
+        except EOFError as exc:
+            raise ParallelError(
+                f"probe worker {index} died without replying"
+            ) from exc
+
+    def close(self) -> None:
+        """Stop the pool (idempotent; safe on a half-started engine)."""
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (OSError, ValueError):
+                pass  # worker already gone; join/terminate below
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        self._procs = []
+        self._conns = []
+        self._advanced = None

@@ -1,0 +1,96 @@
+"""Replay clients: the merge barrier's stand-in observation clients.
+
+After the workers return their shard outcomes, the parent re-runs the
+monitor's own ``observe_day`` loop with these clients installed via
+``MetadataMonitor.replace_clients``.  Each client answers a probe by
+looking up the worker-computed outcome for the URL — returning the
+preview, or re-raising the revocation/unknown error the real client
+raised in the worker — so the *entire* accounting path (fault
+injector draws, retries, breaker transitions, health-ledger bumps,
+snapshot construction, phone hashing) runs unchanged, in the exact
+order the sequential path runs it.
+
+When a fault plan is active the replay clients are wrapped in the
+same fault proxies the sequential path uses, sharing the campaign's
+live injector: the injector's per-endpoint call counters advance
+probe by probe exactly as they would sequentially, and a retried
+attempt simply resolves the same outcome again (previews are pure
+functions of (url, t), so re-calling is what the real client would
+have returned too).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ParallelError, RevokedURLError, UnknownURLError
+from repro.faults import FaultInjector, FaultyDiscordAPI, FaultyPreviewClient
+
+__all__ = [
+    "ReplayDiscordAPI",
+    "ReplayPreviewClient",
+    "build_replay_clients",
+]
+
+#: A worker outcome: ("ok", preview) | ("revoked", None) | ("unknown", None).
+Outcome = Tuple[str, object]
+
+
+class _ReplayClient:
+    """Shared outcome-lookup core of the replay clients."""
+
+    def __init__(self, outcomes: Dict[str, Outcome], platform: str) -> None:
+        self._outcomes = outcomes
+        self._platform = platform
+
+    def _resolve(self, url: str):
+        try:
+            kind, payload = self._outcomes[url]
+        except KeyError:
+            raise ParallelError(
+                f"no worker outcome for {self._platform} URL {url!r}: "
+                "the shard lists and the monitor's due-set disagree"
+            ) from None
+        if kind == "ok":
+            return payload
+        if kind == "revoked":
+            raise RevokedURLError(url)
+        if kind == "unknown":
+            raise UnknownURLError(url)
+        raise ParallelError(
+            f"unrecognised worker outcome kind {kind!r} for URL {url!r}"
+        )
+
+
+class ReplayPreviewClient(_ReplayClient):
+    """Stand-in for a WhatsApp/Telegram web client during the merge."""
+
+    def preview(self, url: str, t: float):
+        return self._resolve(url)
+
+
+class ReplayDiscordAPI(_ReplayClient):
+    """Stand-in for the Discord REST API during the merge."""
+
+    def get_invite(self, url: str, t: float):
+        return self._resolve(url)
+
+
+def build_replay_clients(
+    outcomes: Dict[str, Outcome],
+    injector: Optional[FaultInjector] = None,
+) -> Tuple[object, object, object]:
+    """The (whatsapp, telegram, discord) clients for the merge replay.
+
+    With ``injector`` given, each client is wrapped in the same fault
+    proxy class the sequential pipeline uses, sharing the live
+    injector, so the fault schedule is consumed identically.
+    """
+    whatsapp: object = ReplayPreviewClient(outcomes, "whatsapp")
+    telegram: object = ReplayPreviewClient(outcomes, "telegram")
+    discord: object = ReplayDiscordAPI(outcomes, "discord")
+    if injector is not None:
+        whatsapp = FaultyPreviewClient(whatsapp, injector, "whatsapp")
+        telegram = FaultyPreviewClient(telegram, injector, "telegram")
+        discord = FaultyDiscordAPI(discord, injector)
+    return whatsapp, telegram, discord

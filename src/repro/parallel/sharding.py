@@ -1,0 +1,43 @@
+"""Shard assignment for the parallel probe pass.
+
+A probe's shard is a stable hash of its canonical URL modulo the
+worker count — a pure function of (canonical, n_workers).  Worker id,
+record iteration order and arrival order never enter the assignment,
+so the same catalogue always lands on the same shards, and any
+per-URL derived randomness is unchanged by *where* the probe runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.errors import ParallelError
+from repro.rng import stable_hash
+
+__all__ = ["assign_shards", "shard_of"]
+
+#: A probe as the engine ships it: (canonical, url, platform).
+Probe = Tuple[str, str, str]
+
+
+def shard_of(canonical: str, n_workers: int) -> int:
+    """The shard index for ``canonical`` under ``n_workers`` workers."""
+    if n_workers < 1:
+        raise ParallelError(f"n_workers must be >= 1, got {n_workers}")
+    return stable_hash(f"monitor/shard/{canonical}") % n_workers
+
+
+def assign_shards(
+    probes: Iterable[Probe], n_workers: int
+) -> List[List[Probe]]:
+    """Split ``probes`` into ``n_workers`` shard lists of probe triples.
+
+    Within a shard, probes keep the caller's (canonical) order; the
+    merge step does not depend on it, but deterministic shard lists
+    keep worker-side work — and therefore worker telemetry — stable
+    across runs.
+    """
+    shards: List[List[Probe]] = [[] for _ in range(n_workers)]
+    for probe in probes:
+        shards[shard_of(probe[0], n_workers)].append(probe)
+    return shards

@@ -1,0 +1,240 @@
+"""Worker-process entry point: replica advance + sharded probe work.
+
+Each worker runs :func:`worker_main` over one end of a pipe and holds
+a world *replica*: the platform services bootstrapped from the parent
+(see :func:`repro.parallel.engine.world_bootstrap`) and advanced one
+day at a time with
+:meth:`~repro.simulation.world.World.generate_day_groups` — the spawn
+phase only, which draws exactly what the parent's full
+``generate_day`` draws for group state, so the replica's services
+register the same groups with the same plans.
+
+What a probe computes depends on the engine mode set at bootstrap:
+
+* ``"snapshot"`` (fault-free campaigns) — the worker runs its shard
+  through a *real* :class:`~repro.core.monitor.MetadataMonitor`
+  replica, built fresh each day over the replica clients, a
+  :class:`~repro.privacy.hashing.PhoneHasher` with the study's salt,
+  and a fresh resilience executor.  Without a fault plan every piece
+  of per-probe accounting is a pure function of the probe (the
+  executor's success path, snapshot construction, phone hashing) or a
+  commutative counter (the health ledger, metric counters), so
+  finished :class:`~repro.core.dataset.Snapshot` objects and a
+  per-day ledger delta can be computed shard-locally and folded by
+  the parent in canonical order.
+
+* ``"replay"`` (a fault plan is active) — the worker computes only
+  the pure half: the platform preview at the day's observation
+  instant.  Previews are pure functions of (url, t) — every lazy
+  materialisation they trigger comes from a per-key derived RNG
+  stream — so the outcome is independent of shard membership, worker
+  count and probe order.  Revocations and unknown URLs are captured
+  as outcomes, not raised; everything the sequential path does
+  *besides* the preview (fault draws, retries, breakers, ledger,
+  hashing) is order-dependent under a fault plan and is replayed by
+  the parent at the merge barrier.  Speculative previews for probes
+  the parent's replay later defers (open breaker) or fails (injected
+  fault) are computed and simply unused — wasted work under faults,
+  never a divergence.
+
+Protocol (one tuple per message, pipe is FIFO):
+
+* ``("bootstrap", blob, telemetry_enabled, mode, monitor_params)`` —
+  install the replica.  ``monitor_params`` carries the phone-hasher
+  salt and resilience seed for snapshot mode.
+* ``("advance", day)`` — run ``generate_day_groups(day)``.
+* ``("probe", day, [(canonical, url, platform), ...])`` — compute the
+  shard; replies ``("result", day, payload, wall_seconds,
+  cpu_seconds)`` where ``payload`` is the pickled ``(outcomes,
+  health_or_None, registry_or_None)`` triple — outcomes are
+  ``{canonical: Snapshot}`` in snapshot mode and ``{url: (kind,
+  preview_or_None)}`` in replay mode.  Shipping the payload
+  pre-pickled lets the parent time its own deserialise/merge cost
+  separately from the time it spends blocked waiting, and the timings
+  cover the serialisation work a worker's core really pays.  CPU
+  seconds are reported next to wall seconds because on a core-starved
+  host concurrent workers' wall clocks count each other's timeslices;
+  CPU time is each shard's cost on an unconstrained core.
+* ``("stop",)`` — exit.
+
+Any exception is reported as ``("error", traceback_text)`` and the
+worker exits; the engine surfaces it as a
+:class:`~repro.errors.ParallelError`.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+import traceback
+from typing import Dict, List, Optional
+
+from repro.core.discovery import URLRecord
+from repro.core.monitor import MetadataMonitor
+from repro.errors import ParallelError, RevokedURLError, UnknownURLError
+from repro.parallel.sharding import Probe
+from repro.platforms.discord import DiscordAPI
+from repro.platforms.telegram import TelegramWebClient
+from repro.platforms.whatsapp import WhatsAppWebClient
+from repro.privacy.hashing import PhoneHasher
+from repro.resilience import ResilienceExecutor
+from repro.telemetry import Telemetry
+from repro.telemetry.registry import MetricsRegistry
+
+__all__ = ["worker_main"]
+
+
+def _probe_one(clients: Dict[str, object], url: str, platform: str, t: float):
+    client = clients[platform]
+    try:
+        if platform == "discord":
+            return ("ok", client.get_invite(url, t))
+        return ("ok", client.preview(url, t))
+    except RevokedURLError:
+        return ("revoked", None)
+    except UnknownURLError:
+        return ("unknown", None)
+
+
+def _bootstrap(blob: bytes, telemetry_enabled: bool):
+    world = pickle.loads(blob)
+    telemetry = Telemetry(enabled=bool(telemetry_enabled))
+    for service in world.platforms.values():
+        service.telemetry = telemetry
+    clients = {
+        "whatsapp": WhatsAppWebClient(world.platform("whatsapp")),
+        "telegram": TelegramWebClient(world.platform("telegram")),
+        # Same account label the study's monitor client uses; the
+        # invite endpoint never reads it, but keep the replica exact.
+        "discord": DiscordAPI(world.platform("discord"), "dc-monitor"),
+    }
+    return world, telemetry, clients
+
+
+def _compute_replay(
+    clients: Dict[str, object], day: int, shard: List[Probe]
+):
+    """Replay mode: pure preview outcomes, keyed by url."""
+    t = MetadataMonitor.observation_time(day)
+    outcomes = {
+        url: _probe_one(clients, url, platform, t)
+        for _canonical, url, platform in shard
+    }
+    return outcomes, None
+
+
+def _compute_snapshots(
+    clients: Dict[str, object],
+    telemetry: Telemetry,
+    monitor_params: Dict[str, object],
+    day: int,
+    shard: List[Probe],
+):
+    """Snapshot mode: finished snapshots (keyed by canonical) + ledger.
+
+    The monitor replica is built fresh per day: with no fault plan its
+    only cross-day state (dead set, breaker streaks, retry-jitter call
+    counters) is either never consulted — the parent's ``due`` filter
+    already excludes dead URLs from the shard — or never drawn from,
+    so a per-day instance observes exactly what the campaign monitor
+    would, and its ledger is the day's delta by construction.
+    """
+    monitor = MetadataMonitor(
+        whatsapp=clients["whatsapp"],
+        telegram=clients["telegram"],
+        discord=clients["discord"],
+        hasher=PhoneHasher(salt=monitor_params["salt"]),
+        resilience=ResilienceExecutor(
+            seed=monitor_params["seed"], telemetry=telemetry
+        ),
+        telemetry=telemetry,
+    )
+    records = [
+        URLRecord(
+            canonical=canonical,
+            platform=platform,
+            code="",
+            url=url,
+            first_seen_t=-1.0,
+        )
+        for canonical, url, platform in shard
+    ]
+    monitor.observe_day(day, records)
+    outcomes = {
+        canonical: snapshots[0]
+        for canonical, snapshots in monitor.snapshots.items()
+    }
+    return outcomes, monitor.health
+
+
+def _probe_shard(
+    clients: Dict[str, object],
+    telemetry: Telemetry,
+    mode: str,
+    monitor_params: Optional[Dict[str, object]],
+    day: int,
+    shard: List[Probe],
+):
+    if telemetry.enabled:
+        # Fresh per-day registry: the parent merges exactly one day's
+        # worth per reply, never double-counting across days.
+        telemetry.metrics = MetricsRegistry()
+    start_wall = time.perf_counter()
+    start_cpu = time.process_time()
+    if mode == "snapshot":
+        outcomes, health = _compute_snapshots(
+            clients, telemetry, monitor_params or {}, day, shard
+        )
+    else:
+        outcomes, health = _compute_replay(clients, day, shard)
+    registry = telemetry.metrics if telemetry.enabled else None
+    payload = pickle.dumps(
+        (outcomes, health, registry), protocol=pickle.HIGHEST_PROTOCOL
+    )
+    wall_s = time.perf_counter() - start_wall
+    cpu_s = time.process_time() - start_cpu
+    return payload, wall_s, cpu_s
+
+
+def worker_main(conn) -> None:
+    """Message loop of one probe worker (runs in the child process)."""
+    world = None
+    telemetry = Telemetry()
+    clients: Dict[str, object] = {}
+    mode = "replay"
+    monitor_params: Optional[Dict[str, object]] = None
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                return
+            kind = message[0]
+            if kind == "stop":
+                return
+            try:
+                if kind == "bootstrap":
+                    world, telemetry, clients = _bootstrap(
+                        message[1], message[2]
+                    )
+                    mode = message[3]
+                    monitor_params = message[4]
+                elif kind == "advance":
+                    world.generate_day_groups(message[1])
+                elif kind == "probe":
+                    day, shard = message[1], message[2]
+                    payload, wall_s, cpu_s = _probe_shard(
+                        clients, telemetry, mode, monitor_params, day, shard
+                    )
+                    conn.send(("result", day, payload, wall_s, cpu_s))
+                else:
+                    raise ParallelError(
+                        f"unknown engine message kind {kind!r}"
+                    )
+            except Exception:
+                # Report and exit: after an error the replica's state
+                # can no longer be trusted to match the parent's day.
+                conn.send(("error", traceback.format_exc()))
+                return
+    finally:
+        conn.close()

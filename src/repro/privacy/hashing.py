@@ -36,6 +36,11 @@ class PhoneHasher:
             raise ValueError("a non-empty salt is required")
         self._salt = salt
 
+    @property
+    def salt(self) -> str:
+        """The salt in force (needed to build an equivalent hasher)."""
+        return self._salt
+
     def hash(self, phone: PhoneNumber) -> str:
         """Hash a phone number, returning the hex digest."""
         return hash_phone(phone, self._salt)

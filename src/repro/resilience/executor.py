@@ -76,6 +76,26 @@ class ResilienceExecutor:
             self._breakers[key] = found
         return found
 
+    def note_external_calls(
+        self, platform: str, op: str, count: int
+    ) -> None:
+        """Account for ``count`` successful (platform, op) calls that
+        ran outside this executor.
+
+        The parallel engine's snapshot mode executes probe calls in
+        worker-side executors; this keeps the parent's retry-jitter
+        call index — and the lazily created breaker — where a
+        sequential execution would have left them, so a campaign
+        forked onto a fault plan later draws identical jitter either
+        way.  (The health ledger's ``attempts`` arrive separately, via
+        the merged per-shard ledger deltas.)
+        """
+        if count <= 0:
+            return
+        self.breaker(platform, op)
+        key = (platform, op)
+        self._call_counts[key] = self._call_counts.get(key, 0) + int(count)
+
     def call(
         self, platform: str, op: str, t: float, fn: Callable[[], T]
     ) -> T:

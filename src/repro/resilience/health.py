@@ -54,6 +54,19 @@ class CollectionHealth:
         fields = days.setdefault(int(day), {})
         fields[field] = fields.get(field, 0) + n
 
+    def merge(self, other: "CollectionHealth") -> None:
+        """Fold ``other``'s counters into this ledger.
+
+        Counters are plain sums per (platform, day, field), so merging
+        per-shard deltas in any order reproduces the ledger a single
+        sequential pass would have written — the property the parallel
+        engine's snapshot mode relies on.
+        """
+        for platform, days in other._counters.items():
+            for day, fields in days.items():
+                for field, value in fields.items():
+                    self.bump(platform, day, field, value)
+
     # -- queries -----------------------------------------------------------
 
     def platforms(self) -> List[str]:

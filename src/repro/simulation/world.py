@@ -229,19 +229,34 @@ class World:
         """The ground-truth service for a platform name."""
         return self.platforms[name]
 
-    def generate_day(self, day: int) -> None:
-        """Generate all of day ``day``'s groups and tweets (in order)."""
+    def _day_rng(self, day: int) -> np.random.Generator:
+        """The per-day derived stream, enforcing in-order generation."""
         if day != self._generated_through + 1:
             raise ConfigError(
                 f"days must be generated in order: expected "
                 f"{self._generated_through + 1}, got {day}"
             )
-        rng = derive_rng(self.config.seed, f"world/day/{day}")
+        return derive_rng(self.config.seed, f"world/day/{day}")
 
+    def _spawn_day_groups(
+        self, day: int, rng: np.random.Generator
+    ) -> None:
+        """The spawn phase of day ``day``: birth the day's new groups.
+
+        All spawn-phase draws come first on the day stream, strictly
+        before any tweet-composition draw, and no tweet-phase state
+        feeds back into spawning — which is what lets a worker replica
+        advance group state alone via :meth:`generate_day_groups`.
+        """
         for name, cal in CALIBRATIONS.items():
             n_new = int(rng.poisson(cal.new_urls_per_day * self.config.scale))
             for _ in range(n_new):
                 self._spawn_group(day, name, cal, rng)
+
+    def generate_day(self, day: int) -> None:
+        """Generate all of day ``day``'s groups and tweets (in order)."""
+        rng = self._day_rng(day)
+        self._spawn_day_groups(day, rng)
 
         entries: List[Tuple[float, str, object]] = [
             (event.t, "share", event) for event in self._pending.pop(day, [])
@@ -264,6 +279,28 @@ class World:
             else:
                 tweets.append(self._compose_control_tweet(t, rng))
         self.twitter.post_many(tweets)
+        self._generated_through = day
+
+    def generate_day_groups(self, day: int) -> None:
+        """Advance *group* state through day ``day`` without any tweets.
+
+        The parallel engine's worker replicas call this instead of
+        :meth:`generate_day`: it runs exactly the spawn phase — the
+        same draws, in the same order, on the same per-day derived
+        stream — so every platform service registers the same groups
+        with the same plans as the parent world, while the Twitter
+        side (tweet composition, share scheduling consumers, control
+        stream) is skipped entirely.  Spawn draws precede every
+        tweet-phase draw on the day stream and tweet-phase state never
+        feeds back into spawning, so the two paths produce identical
+        group state.  Share events scheduled for the day and ground
+        truths are dropped: a replica only ever serves metadata
+        probes.
+        """
+        rng = self._day_rng(day)
+        self._spawn_day_groups(day, rng)
+        self._pending.pop(day, None)
+        self.truths.clear()
         self._generated_through = day
 
     def generate_all(self) -> None:

@@ -90,19 +90,40 @@ def export_jsonl(
 
 # -- Prometheus text format ------------------------------------------------
 
+def _escape_label_value(value: str) -> str:
+    # Exposition-format label escapes: backslash first, then the quote
+    # and newline, exactly as promtool expects.
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _format_labels(labels) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{key}="{value}"' for key, value in labels)
+    inner = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in labels
+    )
     return "{" + inner + "}"
 
 
 def _format_value(value: float) -> str:
+    value = float(value)
+    # NaN first: every comparison against it is False, and
+    # ``is_integer`` would mis-render it.  The exposition format
+    # spells the specials +Inf / -Inf / NaN, case-sensitively.
+    if value != value:
+        return "NaN"
     if value == float("inf"):
         return "+Inf"
-    if float(value).is_integer():
+    if value == float("-inf"):
+        return "-Inf"
+    if value.is_integer():
         return str(int(value))
-    return repr(float(value))
+    return repr(value)
 
 
 def render_prometheus(telemetry: Telemetry) -> str:

@@ -61,6 +61,28 @@ class HistogramData:
                 return
         self.bucket_counts[-1] += 1
 
+    def merge(self, other: "HistogramData") -> None:
+        """Fold another histogram's aggregate into this one.
+
+        Both series must use the same bucket bounds; merging is
+        commutative and associative, so folding per-worker histograms
+        at a day barrier gives the same aggregate regardless of worker
+        count or completion order.
+        """
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bucket bounds: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        for i, n in enumerate(other.bucket_counts):
+            self.bucket_counts[i] += n
+        self.count += other.count
+        self.total += other.total
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+
     @property
     def mean(self) -> float:
         """Mean observed value (0.0 before any observation)."""
@@ -130,6 +152,27 @@ class MetricsRegistry:
         if hist is None:
             hist = self._histograms[key] = HistogramData()
         hist.observe(value)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's series into this one.
+
+        The merge barrier of the parallel engine: each worker records
+        into a private registry, and the parent folds them in at the
+        day boundary.  Counters add, gauges are last-write-wins (the
+        incoming value overwrites, matching ``set_gauge``), histograms
+        fold bucket-by-bucket via :meth:`HistogramData.merge`.  The
+        incoming registry is left untouched.
+        """
+        for key, value in other._counters.items():
+            self._counters[key] = self._counters.get(key, 0.0) + value
+        for key, value in other._gauges.items():
+            self._gauges[key] = value
+        for key, hist in other._histograms.items():
+            mine = self._histograms.get(key)
+            if mine is None:
+                mine = self._histograms[key] = HistogramData(hist.bounds)
+            mine.merge(hist)
+        self._checked_names.update(other._checked_names)
 
     # -- reads -------------------------------------------------------------
 

@@ -152,6 +152,8 @@ class TestArgumentValidation:
                 ],
                 "cadence",
             ),
+            (["--workers", "0"], "--workers"),
+            (["--workers", "-2"], "--workers"),
         ],
     )
     def test_rejected_at_parse_time(self, argv, fragment):
@@ -220,3 +222,20 @@ class TestCheckpointFlags:
         assert (fork_store / "manifest.json").exists()
         err = capsys.readouterr().err
         assert "Resuming" in err and "Forking" in err
+
+
+@pytest.mark.parallel
+class TestWorkersFlag:
+    def test_default_is_sequential(self):
+        assert build_parser().parse_args([]).workers == 1
+
+    def test_workers_flag_is_invisible_in_output(self, capsys):
+        base = [
+            "--seed", "3", "--scale", "0.002", "--days", "6",
+            "--message-scale", "0.05", "--only", "table2",
+        ]
+        assert main(base) == 0
+        sequential = capsys.readouterr().out
+        assert main(base + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == sequential

@@ -237,3 +237,82 @@ class TestTransientDegradation:
             assert last.day == 1
             assert last.alive and not last.missed
             assert last.size is not None
+
+
+class _AlwaysLimitedPreview:
+    """A preview client whose every call hits the rate limiter."""
+
+    def preview(self, url, t):
+        raise APIRateLimitError("429: slow down")
+
+
+class TestHealthAccounting:
+    def test_deferred_probe_counted_exactly_once(self, services):
+        # Regression: a probe deferred by an open breaker used to bump
+        # *both* ``deferred`` and ``missed``, so the ledger's per-day
+        # totals exceeded the number of probes issued.
+        from repro.resilience import ResilienceExecutor
+
+        whatsapp, telegram, discord = services
+        for i in range(5):
+            whatsapp.register_group(make_plan(gid=f"WA{i}"))
+        monitor = MetadataMonitor(
+            whatsapp=_AlwaysLimitedPreview(),
+            telegram=TelegramWebClient(telegram),
+            discord=DiscordAPI(discord, "monitor"),
+            hasher=PhoneHasher("test"),
+            resilience=ResilienceExecutor(
+                failure_threshold=2, cooldown_hours=24.0
+            ),
+        )
+        records = [
+            record_for(whatsapp, "whatsapp", f"WA{i}") for i in range(5)
+        ]
+        monitor.observe_day(0, records)
+
+        ledger = monitor.health
+        missed = ledger.total("missed", "whatsapp")
+        deferred = ledger.total("deferred", "whatsapp")
+        assert deferred >= 1, "the breaker must have opened mid-pass"
+        assert missed + deferred == len(records), (
+            "each probe must be counted exactly once: "
+            f"missed={missed} deferred={deferred} probes={len(records)}"
+        )
+        # Deferral degrades, never drops: every probe still yielded
+        # exactly one (missed) snapshot and stays in the active set.
+        for record in records:
+            (snap,) = monitor.snapshots[record.canonical]
+            assert snap.missed and snap.alive
+            assert not monitor.is_dead(record.canonical)
+
+
+class TestDiscoveryBoundary:
+    def test_url_discovered_at_observation_instant_is_probed(
+        self, services, monitor
+    ):
+        # The boundary is closed: first_seen_t == t probes the same
+        # day, so sharded and sequential due-sets can never disagree.
+        whatsapp, _, _ = services
+        whatsapp.register_group(make_plan(gid="WA1"))
+        t = MetadataMonitor.observation_time(0)
+        record = record_for(whatsapp, "whatsapp", "WA1", first_seen_t=t)
+        assert monitor.due(record, t)
+        monitor.observe_day(0, [record])
+        (snap,) = monitor.snapshots[record.canonical]
+        assert snap.day == 0 and snap.alive
+
+    def test_url_discovered_after_observation_instant_waits(
+        self, services, monitor
+    ):
+        whatsapp, _, _ = services
+        whatsapp.register_group(make_plan(gid="WA1"))
+        t = MetadataMonitor.observation_time(0)
+        record = record_for(
+            whatsapp, "whatsapp", "WA1", first_seen_t=t + 1e-9
+        )
+        assert not monitor.due(record, t)
+        monitor.observe_day(0, [record])
+        assert record.canonical not in monitor.snapshots
+        monitor.observe_day(1, [record])
+        (snap,) = monitor.snapshots[record.canonical]
+        assert snap.day == 1

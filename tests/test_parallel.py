@@ -1,0 +1,309 @@
+"""Tests for the deterministic multi-worker probe engine.
+
+The acceptance property (ISSUE 5): the worker count is invisible in
+every artefact.  Exports, CSV checksums, fsck verdicts and run-store
+day records are byte-identical between ``--workers 1`` and
+``--workers {2,4,8}`` on the same seed, under the ``none`` and
+``hostile`` fault profiles, including after a mid-campaign kill and
+resume — even a resume under a *different* worker count.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.core.study import Study, StudyConfig
+from repro.errors import ConfigError, ParallelError
+from repro.integrity import fsck_export, fsck_store
+from repro.io.export import export_all_csv
+from repro.parallel import (
+    ParallelEngine,
+    assign_shards,
+    shard_of,
+    world_bootstrap,
+)
+from repro.simulation.world import World, WorldConfig
+
+pytestmark = pytest.mark.parallel
+
+#: Campaign shape shared by the identity tests: small but complete —
+#: discovery, revocations, a join day, and post-join days.
+_SPEC = dict(
+    seed=11,
+    n_days=6,
+    scale=0.004,
+    message_scale=0.05,
+    join_day=3,
+)
+
+
+def _config(faults=None) -> StudyConfig:
+    return StudyConfig(faults=faults, **_SPEC)
+
+
+def _export_tree(directory: Path) -> dict:
+    """Every exported file's bytes, keyed by name (SHA256SUMS included)."""
+    return {
+        path.name: path.read_bytes()
+        for path in sorted(directory.iterdir())
+        if path.is_file()
+    }
+
+
+@pytest.fixture(scope="module")
+def golden(tmp_path_factory):
+    """Golden sequential exports per fault profile, built once."""
+    cache: dict = {}
+
+    def get(faults) -> Path:
+        if faults not in cache:
+            dataset = Study(_config(faults)).run()
+            directory = tmp_path_factory.mktemp(f"golden-{faults}")
+            export_all_csv(dataset, directory)
+            cache[faults] = directory
+        return cache[faults]
+
+    return get
+
+
+# -- sharding ----------------------------------------------------------------
+
+
+class TestSharding:
+    def test_shard_is_a_pure_function_of_canonical(self):
+        assert shard_of("whatsapp:abc", 4) == shard_of("whatsapp:abc", 4)
+        assert 0 <= shard_of("telegram:xyz", 3) < 3
+        assert shard_of("whatsapp:abc", 1) == 0
+
+    def test_assignment_partitions_and_preserves_order(self):
+        probes = [
+            (f"whatsapp:g{i}", f"https://chat.whatsapp.com/g{i}", "whatsapp")
+            for i in range(50)
+        ]
+        shards = assign_shards(probes, 4)
+        assert sum(len(shard) for shard in shards) == len(probes)
+        merged = [probe for shard in shards for probe in shard]
+        assert sorted(merged) == sorted(probes)
+        for shard in shards:
+            indexes = [probes.index(probe) for probe in shard]
+            assert indexes == sorted(indexes), "shard must keep caller order"
+
+    def test_rebalancing_never_reassigns_by_order(self):
+        # Same canonical, same worker count -> same shard, no matter
+        # what else is in the batch.
+        lone = assign_shards(
+            [("whatsapp:abc", "u", "whatsapp")], 4
+        )
+        crowd = assign_shards(
+            [("whatsapp:abc", "u", "whatsapp")]
+            + [(f"telegram:{i}", "u", "telegram") for i in range(20)],
+            4,
+        )
+        lone_idx = next(i for i, s in enumerate(lone) if s)
+        assert ("whatsapp:abc", "u", "whatsapp") in crowd[lone_idx]
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ParallelError, match="n_workers"):
+            shard_of("whatsapp:abc", 0)
+
+
+# -- engine lifecycle --------------------------------------------------------
+
+
+def _tiny_world() -> World:
+    world = World(WorldConfig(seed=3, n_days=2, scale=0.004))
+    world.generate_day(0)
+    return world
+
+
+class TestEngine:
+    @pytest.mark.parametrize("workers", [0, -1, 1.5, True, "4"])
+    def test_invalid_worker_count_is_config_error(self, workers):
+        with pytest.raises(ConfigError, match="workers"):
+            ParallelEngine(workers)
+
+    def test_invalid_mode_is_config_error(self):
+        with pytest.raises(ConfigError, match="mode"):
+            ParallelEngine(2, mode="bogus")
+
+    def test_snapshot_mode_requires_monitor_params(self):
+        with pytest.raises(ConfigError, match="monitor_params"):
+            ParallelEngine(2, mode="snapshot")
+
+    def test_probe_before_start_is_an_error(self):
+        engine = ParallelEngine(2)
+        with pytest.raises(ParallelError, match="not started"):
+            engine.probe_day(0, [])
+
+    def test_close_is_idempotent_even_unstarted(self):
+        engine = ParallelEngine(2)
+        engine.close()
+        engine.close()
+        assert not engine.started
+
+    def test_replay_roundtrip_and_unknown_url(self):
+        engine = ParallelEngine(2, mode="replay")
+        engine.start(_tiny_world(), 0)
+        try:
+            url = "https://chat.whatsapp.com/nosuchcode"
+            outcomes, healths = engine.probe_day(
+                0, [("whatsapp:nosuchcode", url, "whatsapp")]
+            )
+            assert outcomes == {url: ("unknown", None)}
+            assert healths == []
+        finally:
+            engine.close()
+
+    def test_worker_error_surfaces_as_parallel_error(self):
+        engine = ParallelEngine(1, mode="replay")
+        engine.start(_tiny_world(), 0)
+        try:
+            with pytest.raises(ParallelError, match="worker 0 failed"):
+                engine.probe_day(0, [("x:y", "https://x/y", "bogus")])
+        finally:
+            engine.close()
+
+    def test_bootstrap_strips_the_twitter_side(self):
+        import pickle
+
+        world = _tiny_world()
+        replica = pickle.loads(world_bootstrap(world))
+        assert replica._first_tweets == {}
+        assert replica._pending == {}
+        assert replica.truths == {}
+        assert replica.twitter is not world.twitter
+        # The replica can still advance its group state.
+        replica.generate_day_groups(1)
+
+
+# -- byte-identity -----------------------------------------------------------
+
+
+@pytest.mark.checkpoint
+class TestByteIdentity:
+    @pytest.mark.parametrize("faults", [None, "hostile"])
+    @pytest.mark.parametrize("workers", [2, 4, 8])
+    def test_worker_count_is_invisible_in_exports(
+        self, faults, workers, golden, tmp_path
+    ):
+        dataset = Study(_config(faults)).run(workers=workers)
+        out = tmp_path / "export"
+        export_all_csv(dataset, out)
+        assert _export_tree(out) == _export_tree(golden(faults)), (
+            f"workers={workers} faults={faults} diverged from the "
+            "golden sequential export"
+        )
+        report = fsck_export(out)
+        assert report.ok, report.to_dict()
+
+    def test_store_written_parallel_resumes_sequential(
+        self, golden, tmp_path
+    ):
+        """A store written under ``--workers 4`` must continue under
+        any other count — here the hardest case, sequential — and land
+        on the golden exports.  (Anchor *bytes* are not compared:
+        snapshot-mode parents skip lazily-derived service caches that
+        a sequential parent materialises, which is behaviourally
+        inert.)"""
+        from repro.checkpoint import RunStore
+
+        store_dir = tmp_path / "store"
+        Study(_config()).run(checkpoint_dir=store_dir, workers=4)
+        report = fsck_store(store_dir)
+        assert report.ok, report.to_dict()
+        store = RunStore.open(store_dir)
+        # The worker count is recorded informationally in the
+        # manifest, outside the config digest.
+        assert store.manifest["engine"] == {"workers": 4}
+
+        resumed = Study.resume(store_dir, from_day=3)
+        dataset = resumed.run()  # sequential continuation
+        out = tmp_path / "export"
+        export_all_csv(dataset, out)
+        assert _export_tree(out) == _export_tree(golden(None))
+
+
+# -- kill and resume ---------------------------------------------------------
+
+
+class _Boom(Exception):
+    pass
+
+
+@pytest.mark.checkpoint
+@pytest.mark.chaos
+class TestKillAndResume:
+    def test_abort_mid_campaign_then_resume_with_workers(
+        self, golden, tmp_path
+    ):
+        store_dir = tmp_path / "store"
+        study = Study(_config())
+
+        def hook(day, stage):
+            if day == 4 and stage == "monitor":
+                raise _Boom()
+
+        study.stage_hook = hook
+        with pytest.raises(_Boom):
+            study.run(checkpoint_dir=store_dir, workers=4)
+
+        resumed = Study.resume(store_dir)
+        dataset = resumed.run(workers=4)
+        out = tmp_path / "export"
+        export_all_csv(dataset, out)
+        assert _export_tree(out) == _export_tree(golden(None))
+        assert fsck_store(store_dir).ok
+
+    def test_sigkill_at_workers_4_resume_under_workers_2(
+        self, golden, tmp_path
+    ):
+        """The hard variant: SIGKILL the campaign (daemon workers die
+        with it), then resume under a *different* worker count."""
+        store_dir = tmp_path / "store"
+        script = tmp_path / "campaign.py"
+        script.write_text(textwrap.dedent(
+            f"""
+            import os, signal
+            from repro.core.study import Study, StudyConfig
+
+            def hook(day, stage):
+                if day == 4 and stage == "control":
+                    os.kill(os.getpid(), signal.SIGKILL)
+
+            # The spawn context re-imports this file as __mp_main__ in
+            # every worker: the campaign must only run in the parent.
+            if __name__ == "__main__":
+                study = Study(StudyConfig(**{_SPEC!r}))
+                study.stage_hook = hook
+                study.run(
+                    checkpoint_dir={os.fspath(store_dir)!r}, workers=4
+                )
+            """
+        ))
+        env = dict(os.environ)
+        src = Path(__file__).resolve().parents[1] / "src"
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [str(src), env.get("PYTHONPATH", "")])
+        )
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            env=env,
+            capture_output=True,
+            timeout=600,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr.decode()
+        assert fsck_store(store_dir).ok
+
+        resumed = Study.resume(store_dir)
+        dataset = resumed.run(workers=2)
+        out = tmp_path / "export"
+        export_all_csv(dataset, out)
+        assert _export_tree(out) == _export_tree(golden(None))
+        assert fsck_store(store_dir).ok

@@ -455,3 +455,137 @@ class TestCumulativeResume:
         )
         report = render_telemetry(study.telemetry)
         assert "checkpoints:" in report
+
+
+# -- registry merge (parallel day barrier) -----------------------------------
+
+class TestRegistryMerge:
+    def test_counters_add_per_label_set(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("probes_total", 3, platform="whatsapp")
+        b.inc("probes_total", 4, platform="whatsapp")
+        b.inc("probes_total", 5, platform="telegram")
+        b.inc("other_total")
+        a.merge(b)
+        assert a.counter("probes_total", platform="whatsapp") == 7
+        assert a.counter("probes_total", platform="telegram") == 5
+        assert a.counter("other_total") == 1
+
+    def test_gauges_last_write_wins(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.set_gauge("dead_urls", 3)
+        b.set_gauge("dead_urls", 11)
+        a.merge(b)
+        assert a.gauge("dead_urls") == 11
+
+    def test_histograms_fold(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for value in (0.001, 0.5):
+            a.observe("call_seconds", value)
+        for value in (0.002, 90.0):
+            b.observe("call_seconds", value)
+        a.merge(b)
+        hist = a.histogram("call_seconds")
+        assert hist.count == 4
+        assert hist.total == pytest.approx(0.001 + 0.5 + 0.002 + 90.0)
+        assert hist.minimum == pytest.approx(0.001)
+        assert hist.maximum == pytest.approx(90.0)
+        cumulative = hist.cumulative_buckets()
+        assert cumulative[-1][1] == 4
+
+    def test_histogram_bounds_mismatch_rejected(self):
+        from repro.telemetry.registry import HistogramData
+
+        a = HistogramData(bounds=(0.1, 1.0))
+        b = HistogramData(bounds=(0.2, 2.0))
+        with pytest.raises(ValueError, match="bounds"):
+            a.merge(b)
+
+    def test_merge_into_empty_equals_source(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.inc("x_total", 2, op="probe")
+        b.set_gauge("g", 1.5)
+        b.observe("h_seconds", 0.25)
+        a.merge(b)
+        assert a.to_dict() == b.to_dict()
+
+    def test_merged_counters_are_order_independent(self):
+        parts = []
+        for start in (0, 1, 2):
+            reg = MetricsRegistry()
+            reg.inc("n_total", start + 1)
+            parts.append(reg)
+        fold_forward, fold_reverse = MetricsRegistry(), MetricsRegistry()
+        for reg in parts:
+            fold_forward.merge(reg)
+        for reg in reversed(parts):
+            fold_reverse.merge(reg)
+        assert fold_forward.to_dict() == fold_reverse.to_dict()
+
+
+# -- Prometheus exposition formatting ----------------------------------------
+
+class TestPrometheusFormatting:
+    def test_special_values_use_exposition_spelling(self):
+        # Regression: -inf used to render as Python's "-inf" instead
+        # of the exposition form "-Inf".
+        from repro.telemetry.exporters import _format_value
+
+        assert _format_value(float("-inf")) == "-Inf"
+        assert _format_value(float("inf")) == "+Inf"
+        assert _format_value(float("nan")) == "NaN"
+        assert _format_value(3.0) == "3"
+        assert _format_value(0.25) == "0.25"
+
+    def test_label_values_escape_backslash_quote_newline(self):
+        from repro.telemetry.exporters import _format_labels
+
+        rendered = _format_labels(
+            (("title", 'a"b\\c\nd'), ("platform", "whatsapp"))
+        )
+        assert rendered == (
+            '{title="a\\"b\\\\c\\nd",platform="whatsapp"}'
+        )
+
+    def test_label_escaping_round_trips(self):
+        from repro.telemetry.exporters import _format_labels
+
+        nasty = 'quote " back \\ slash \\n literal\nnewline'
+        rendered = _format_labels((("v", nasty),))
+        inner = rendered[len('{v="'):-len('"}')]
+
+        def unescape(text):
+            out, i = [], 0
+            while i < len(text):
+                if text[i] == "\\":
+                    out.append(
+                        {"n": "\n", "\\": "\\", '"': '"'}[text[i + 1]]
+                    )
+                    i += 2
+                else:
+                    out.append(text[i])
+                    i += 1
+            return "".join(out)
+
+        assert unescape(inner) == nasty
+
+    def test_rendered_output_passes_format_validity_check(self):
+        telemetry = Telemetry(enabled=True)
+        telemetry.count("probes_total", 3, title='a"b\\c\nd')
+        telemetry.gauge("floor", float("-inf"))
+        telemetry.gauge("ceiling", float("inf"))
+        telemetry.observe("call_seconds", 0.125)
+        text = render_prometheus(telemetry)
+
+        sample = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*"          # metric name
+            r'(\{([a-zA-Z_][a-zA-Z0-9_]*="([^"\\\n]|\\[n"\\])*",?)*\})?'
+            r" (NaN|[+-]Inf|[-+0-9].*)$"           # one value
+        )
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            assert sample.match(line), f"invalid exposition line: {line!r}"
+        assert "-Inf" in text and "+Inf" in text
+        assert '\\n' in text and '\\"' in text and "\\\\" in text
