@@ -1,0 +1,158 @@
+"""Benchmark: supervision overhead on a crash-free parallel campaign.
+
+The supervised engine (:class:`repro.parallel.SupervisedEngine`) turns
+the pool's blind ``recv()`` collection loop into deadline-bounded
+polling over reply pipes and process sentinels, plus per-day restart
+bookkeeping.  All of that must be invisible when nothing goes wrong:
+the gate is that the supervised monitor stage costs at most
+``MAX_OVERHEAD`` (5 %) more wall-clock than the same campaign driven
+through the bare engine.
+
+A third campaign with one worker SIGKILLed mid-probe is timed for
+context (no gate): it shows what one crash-heal cycle — in-parent
+shard re-execution plus a respawn — actually costs.
+
+Smoke mode (``BENCH_SUPERVISION_SMOKE=1``) runs a miniature campaign
+through the same arithmetic and asserts the overhead parses as a
+finite number without enforcing the threshold — CI uses it to catch
+bit-rot in the gate itself.
+"""
+
+import math
+import os
+import time
+
+import pytest
+
+import repro.core.study as study_mod
+from repro.core.study import Study, StudyConfig
+from repro.reporting.tables import format_table
+from repro.telemetry import Telemetry
+
+pytestmark = pytest.mark.parallel
+
+SMOKE = os.environ.get("BENCH_SUPERVISION_SMOKE") == "1"
+
+#: Same campaign shape as bench_parallel: paper-scale probe volume.
+_BASE = dict(
+    seed=7,
+    n_days=8,
+    scale=0.1,
+    message_scale=0.05,
+    join_day=3,
+)
+if SMOKE:
+    _BASE = dict(
+        seed=7, n_days=4, scale=0.01, message_scale=0.05, join_day=1
+    )
+
+WORKERS = 2
+MAX_OVERHEAD = 0.05
+KILL_DAY = _BASE["join_day"]
+#: Wall-clock repeats per measured configuration; the minimum is the
+#: honest estimate (noise on a shared host only ever adds time).
+REPEATS = 1 if SMOKE else 3
+
+
+def _run(kill_worker=None) -> dict:
+    study = Study(
+        StudyConfig(**_BASE), telemetry=Telemetry(enabled=True)
+    )
+    fired = []
+    if kill_worker is not None:
+        def hook(day):
+            if day == KILL_DAY and not fired:
+                fired.append(True)
+                return kill_worker
+            return None
+
+        study.worker_kill_hook = hook
+    start = time.perf_counter()
+    study.run(workers=WORKERS)
+    wall_s = time.perf_counter() - start
+    metrics = study.telemetry.metrics
+    assert kill_worker is None or fired
+    return {
+        "wall_s": wall_s,
+        "monitor_s": study.telemetry.profiler().stage_wall_s("monitor"),
+        "crashes": metrics.counter_total("parallel_worker_crashes_total"),
+        "reexec_s": metrics.counter_total("parallel_reexec_seconds_total"),
+        "restarts": metrics.counter_total("parallel_worker_restarts_total"),
+    }
+
+
+def _best(runs) -> dict:
+    return min(runs, key=lambda r: r["monitor_s"])
+
+
+def test_supervision_overhead(emit, monkeypatch):
+    # The bare baseline: the same campaign with the supervision layer
+    # stripped — the study hands the raw engine straight through.
+    # Runs alternate so host drift hits both sides evenly; the fastest
+    # of each side is compared.
+    bare_runs, supervised_runs = [], []
+    for _ in range(REPEATS):
+        with monkeypatch.context() as patch:
+            patch.setattr(
+                study_mod, "SupervisedEngine", lambda engine, **_kw: engine
+            )
+            bare_runs.append(_run())
+        supervised_runs.append(_run())
+    bare = _best(bare_runs)
+    supervised = _best(supervised_runs)
+    healed = _run(kill_worker=1)
+
+    overhead = supervised["monitor_s"] / bare["monitor_s"] - 1.0
+    heal_cost_s = healed["monitor_s"] - supervised["monitor_s"]
+
+    rows = [
+        (
+            f"bare engine monitor ({WORKERS} workers)",
+            f"{bare['monitor_s']:.3f} s",
+            "baseline",
+        ),
+        (
+            "supervised monitor (crash-free)",
+            f"{supervised['monitor_s']:.3f} s",
+            f"{overhead:+.1%}",
+        ),
+        (
+            f"gate (overhead <= {MAX_OVERHEAD:.0%})",
+            f"{overhead:+.1%}",
+            "PASS" if overhead <= MAX_OVERHEAD else "FAIL",
+        ),
+        (
+            f"supervised monitor (1 SIGKILL at day {KILL_DAY})",
+            f"{healed['monitor_s']:.3f} s",
+            f"{heal_cost_s:+.3f} s",
+        ),
+        (
+            "  crash-heal cycle",
+            f"{int(healed['crashes'])} crash, "
+            f"{int(healed['restarts'])} restart",
+            f"re-exec {healed['reexec_s']:.3f} s",
+        ),
+    ]
+    emit(
+        "bench_supervision",
+        format_table(
+            ("measurement", "value", "delta"),
+            rows,
+            title=(
+                f"Supervised pool overhead ({_BASE['n_days']}-day "
+                f"campaign, scale {_BASE['scale']}, "
+                f"best of {REPEATS}"
+                + (", SMOKE" if SMOKE else "")
+                + ")"
+            ),
+        ),
+    )
+
+    assert math.isfinite(overhead)
+    assert healed["crashes"] == 1 and healed["restarts"] == 1
+    if SMOKE:
+        return  # gate arithmetic verified; threshold needs real scale
+    assert overhead <= MAX_OVERHEAD, (
+        f"supervision costs {overhead:+.1%} on a crash-free monitor "
+        f"pass, above the {MAX_OVERHEAD:.0%} gate"
+    )

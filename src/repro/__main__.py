@@ -180,6 +180,18 @@ def build_parser() -> argparse.ArgumentParser:
              "output)",
     )
     parser.add_argument(
+        "--worker-deadline", type=float, default=None, metavar="SECONDS",
+        help="with --workers N>1: how long a probe day waits on any "
+             "one worker before declaring it hung and re-executing its "
+             "shard in-parent (default: 300)",
+    )
+    parser.add_argument(
+        "--worker-restarts", type=int, default=None, metavar="K",
+        help="with --workers N>1: respawns allowed per worker slot "
+             "before the campaign degrades to the sequential path "
+             "(default: 2; 0 degrades on the first loss)",
+    )
+    parser.add_argument(
         "--topics", action="store_true",
         help="also run the Table 3 LDA topic extraction (slower)",
     )
@@ -254,6 +266,21 @@ def validate_args(args: argparse.Namespace) -> None:
         )
     if args.workers < 1:
         raise ConfigError(f"--workers must be >= 1, got {args.workers}")
+    if args.workers == 1 and (
+        args.worker_deadline is not None or args.worker_restarts is not None
+    ):
+        raise ConfigError(
+            "--worker-deadline/--worker-restarts only make sense with "
+            "--workers N > 1"
+        )
+    if args.worker_deadline is not None and args.worker_deadline <= 0:
+        raise ConfigError(
+            f"--worker-deadline must be positive, got {args.worker_deadline}"
+        )
+    if args.worker_restarts is not None and args.worker_restarts < 0:
+        raise ConfigError(
+            f"--worker-restarts must be >= 0, got {args.worker_restarts}"
+        )
     if args.resume and args.fork_day is not None:
         raise ConfigError("--resume and --fork-day are mutually exclusive")
     if (args.resume or args.fork_day is not None) and not args.checkpoint_dir:
@@ -460,6 +487,19 @@ def build_chaos_parser() -> argparse.ArgumentParser:
              "(default: 2, so schedules cross marker and anchor days)",
     )
     parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="run the killed/resumed campaigns through the supervised "
+             "worker pool (golden stays sequential, so every cycle "
+             "also checks pool-vs-sequential byte-identity)",
+    )
+    parser.add_argument(
+        "--worker-kills", type=int, default=0, metavar="K",
+        help="add K supervision cycles that SIGKILL one worker "
+             "mid-probe on a seeded (day, worker) schedule; the "
+             "campaign must complete without resume (requires "
+             "--workers >= 2)",
+    )
+    parser.add_argument(
         "--json", metavar="PATH", default=None,
         help="also write the machine-readable report to PATH",
     )
@@ -482,7 +522,15 @@ def chaos_main(argv) -> int:
         raise ConfigError(
             f"--checkpoint-every must be >= 1, got {args.checkpoint_every}"
         )
-    from repro.chaos import ChaosRunner, ChaosSchedule
+    if args.workers < 1:
+        raise ConfigError(f"--workers must be >= 1, got {args.workers}")
+    if args.worker_kills < 0:
+        raise ConfigError(
+            f"--worker-kills must be >= 0, got {args.worker_kills}"
+        )
+    if args.worker_kills > 0 and args.workers < 2:
+        raise ConfigError("--worker-kills requires --workers >= 2")
+    from repro.chaos import ChaosRunner, ChaosSchedule, WorkerKillSchedule
     from repro.io.atomic import atomic_write_text
 
     join_day = (
@@ -512,10 +560,19 @@ def chaos_main(argv) -> int:
         n_points=args.points,
         modes=modes,
     )
+    worker_kills = None
+    if args.worker_kills > 0:
+        worker_kills = WorkerKillSchedule.generate(
+            args.chaos_seed,
+            n_days=args.days,
+            workers=args.workers,
+            n_points=args.worker_kills,
+        )
     logger.info(
-        "# Chaos: %d cycles over a %d-day campaign (faults=%s, "
-        "schedule seed %d)",
-        len(schedule), args.days, args.faults, args.chaos_seed,
+        "# Chaos: %d cycles + %d worker-kill cycles over a %d-day "
+        "campaign (faults=%s, schedule seed %d, workers=%d)",
+        len(schedule), args.worker_kills, args.days, args.faults,
+        args.chaos_seed, args.workers,
     )
     start = time.time()
     report = ChaosRunner(
@@ -523,6 +580,8 @@ def chaos_main(argv) -> int:
         schedule,
         args.workdir,
         anchor_every=args.checkpoint_every,
+        workers=args.workers,
+        worker_kills=worker_kills,
     ).run()
     logger.info("# Chaos complete in %.1fs", time.time() - start)
     print(render_chaos_report(report))
@@ -563,6 +622,8 @@ def main(argv=None) -> int:
         checkpoint_dir=None if checkpointing else args.checkpoint_dir,
         anchor_every=None if checkpointing else args.checkpoint_every,
         workers=args.workers,
+        worker_deadline=args.worker_deadline,
+        worker_restarts=args.worker_restarts,
     )
     logger.info("# Study complete in %.1fs", time.time() - start)
 

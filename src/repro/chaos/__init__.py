@@ -15,16 +15,34 @@ that promise instead of assuming it:
   store that passes :func:`~repro.integrity.fsck_store`, and zero
   orphaned temp files.
 
-Surfaced on the CLI as ``repro chaos`` and wired into CI as a smoke
-job (three seeded SIGKILL points under the hostile fault profile).
+The harness also adversaries the *supervised worker pool*
+(:mod:`repro.parallel.supervisor`): a seeded
+:class:`~repro.chaos.schedule.WorkerKillSchedule` of
+:class:`~repro.chaos.schedule.WorkerKillPoint`\\ s SIGKILLs one probe
+worker right after a day's shards ship — reply outstanding, the worst
+moment — and the campaign must *survive* rather than resume: one
+process life, byte-identical artefacts, clean store.
+
+Surfaced on the CLI as ``repro chaos`` (``--workers`` /
+``--worker-kills`` add supervision cycles) and wired into CI as smoke
+jobs (three seeded SIGKILL points under the hostile fault profile,
+plus a worker-kill cycle a 2-worker campaign must survive).
 """
 
-from repro.chaos.runner import ChaosAbort, ChaosCycle, ChaosReport, ChaosRunner
+from repro.chaos.runner import (
+    ChaosAbort,
+    ChaosCycle,
+    ChaosReport,
+    ChaosRunner,
+    WorkerKillCycle,
+)
 from repro.chaos.schedule import (
     ABORT_MODES,
     STAGES,
     AbortPoint,
     ChaosSchedule,
+    WorkerKillPoint,
+    WorkerKillSchedule,
 )
 
 __all__ = [
@@ -36,4 +54,7 @@ __all__ = [
     "ChaosReport",
     "ChaosRunner",
     "ChaosSchedule",
+    "WorkerKillCycle",
+    "WorkerKillPoint",
+    "WorkerKillSchedule",
 ]

@@ -13,8 +13,14 @@ The spec file is JSON::
       "config": {... StudyConfig kwargs, faults as profile name ...},
       "point":  {"day": 3, "stage": "monitor", "mode": "sigkill"},
       "store":  "/path/to/store",
-      "anchor_every": 2          # optional
+      "anchor_every": 2,         # optional
+      "workers": 2               # optional: run under the worker pool
     }
+
+With ``workers`` > 1 the doomed campaign runs its probe pass through
+the supervised worker pool, so the SIGKILL also exercises the pool's
+behaviour under parent death (daemon workers die with the parent; the
+resumed campaign starts a fresh pool).
 """
 
 from __future__ import annotations
@@ -49,6 +55,7 @@ def main(argv=None) -> int:
     study.run(
         checkpoint_dir=spec["store"],
         anchor_every=spec.get("anchor_every"),
+        workers=spec.get("workers") or 1,
     )
     # Reaching here means the scheduled point never fired; the parent
     # treats a clean exit as a harness bug (kill_fired=False).

@@ -38,7 +38,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
-from repro.chaos.schedule import AbortPoint, ChaosSchedule
+from repro.chaos.schedule import (
+    AbortPoint,
+    ChaosSchedule,
+    WorkerKillPoint,
+    WorkerKillSchedule,
+)
 from repro.checkpoint import MANIFEST_NAME, RunStore
 from repro.core.study import Study, StudyConfig
 from repro.errors import CheckpointError, ReproError
@@ -46,7 +51,13 @@ from repro.integrity import fsck_store
 from repro.io import export_all_csv, save_dataset
 from repro.io.sums import SHA256SUMS_NAME
 
-__all__ = ["ChaosAbort", "ChaosCycle", "ChaosReport", "ChaosRunner"]
+__all__ = [
+    "ChaosAbort",
+    "ChaosCycle",
+    "ChaosReport",
+    "ChaosRunner",
+    "WorkerKillCycle",
+]
 
 
 class ChaosAbort(ReproError):
@@ -83,16 +94,54 @@ class ChaosCycle:
 
 
 @dataclass
+class WorkerKillCycle:
+    """One worker-kill-heal-verify cycle's outcome.
+
+    Unlike :class:`ChaosCycle` there is no resume: the campaign is
+    expected to *survive* the kill — the supervision layer detects the
+    dead worker, re-executes its shard in-parent and respawns it — and
+    still export byte-identical artefacts in its single process life.
+    """
+
+    point: WorkerKillPoint
+    #: Invariant name -> held?  Empty until the cycle verifies.
+    invariants: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.invariants) and all(self.invariants.values())
+
+    @property
+    def failed(self) -> List[str]:
+        return sorted(k for k, held in self.invariants.items() if not held)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "point": self.point.to_dict(),
+            "ok": self.ok,
+            "invariants": dict(self.invariants),
+        }
+
+
+@dataclass
 class ChaosReport:
     """A full chaos run: the golden digests plus every cycle."""
 
     schedule: ChaosSchedule
     golden_export: str = ""
     cycles: List[ChaosCycle] = field(default_factory=list)
+    #: Worker-kill supervision cycles (empty unless the runner was
+    #: given a :class:`WorkerKillSchedule`).
+    worker_cycles: List[WorkerKillCycle] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return bool(self.cycles) and all(c.ok for c in self.cycles)
+        ran = bool(self.cycles) or bool(self.worker_cycles)
+        return (
+            ran
+            and all(c.ok for c in self.cycles)
+            and all(c.ok for c in self.worker_cycles)
+        )
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -100,6 +149,7 @@ class ChaosReport:
             "golden_export": self.golden_export,
             "schedule": self.schedule.to_dict(),
             "cycles": [c.to_dict() for c in self.cycles],
+            "worker_cycles": [c.to_dict() for c in self.worker_cycles],
         }
 
 
@@ -114,6 +164,13 @@ class ChaosRunner:
     with ``faults`` as a profile name (or None) — kept as plain data so
     the exact same campaign can be described to the SIGKILL subprocess
     through a JSON spec file.
+
+    ``workers`` > 1 runs every killed/resumed campaign through the
+    supervised worker pool (the golden reference stays sequential, so
+    each cycle also proves pool output byte-identical to sequential);
+    ``worker_kills`` adds supervision cycles on top — one campaign per
+    :class:`WorkerKillPoint`, with that worker SIGKILLed mid-probe,
+    which must complete without resume and match golden.
     """
 
     def __init__(
@@ -124,12 +181,16 @@ class ChaosRunner:
         *,
         anchor_every: Optional[int] = None,
         telemetry=None,
+        workers: int = 1,
+        worker_kills: Optional[WorkerKillSchedule] = None,
     ) -> None:
         self.config_spec = dict(config_spec)
         self.schedule = schedule
         self.workdir = Path(workdir)
         self.anchor_every = anchor_every
         self.telemetry = telemetry
+        self.workers = workers
+        self.worker_kills = worker_kills
         self._golden: Optional[Dict[str, Any]] = None
 
     def _config(self) -> StudyConfig:
@@ -171,7 +232,9 @@ class ChaosRunner:
         study.stage_hook = hook
         try:
             study.run(
-                checkpoint_dir=store_dir, anchor_every=self.anchor_every
+                checkpoint_dir=store_dir,
+                anchor_every=self.anchor_every,
+                workers=self.workers,
             )
         except ChaosAbort:
             pass
@@ -186,6 +249,7 @@ class ChaosRunner:
             "point": point.to_dict(),
             "store": str(store_dir),
             "anchor_every": self.anchor_every,
+            "workers": self.workers,
         }))
         # The child must import the same repro tree as this process,
         # wherever it lives (src checkout, site-packages, ...).
@@ -238,6 +302,7 @@ class ChaosRunner:
         dataset = study.run(
             checkpoint_dir=None if cycle.resumed else store_dir,
             anchor_every=None if cycle.resumed else self.anchor_every,
+            workers=self.workers,
         )
 
         export = cycle_dir / "dataset.json"
@@ -268,6 +333,71 @@ class ChaosRunner:
             self.telemetry.count("chaos_cycles_total", mode=point.mode)
         return cycle
 
+    # -- one worker-kill cycle ---------------------------------------------
+
+    def run_worker_kill_cycle(
+        self, index: int, point: WorkerKillPoint
+    ) -> WorkerKillCycle:
+        """SIGKILL one probe worker mid-day; the campaign must survive.
+
+        The kill lands through the supervisor's chaos hook: right
+        after day ``point.day``'s shards are shipped, worker
+        ``point.worker`` is SIGKILLed with its reply outstanding.  The
+        supervision invariants verified: the kill fired; the campaign
+        completed in a single process life (no resume, no operator);
+        its export, CSV checksums and health ledger are byte-identical
+        to the sequential golden run; the store passes fsck; no temp
+        files leak.
+        """
+        golden = self.run_golden()
+        cycle_dir = self.workdir / f"wkill-{index:02d}-{point.label}"
+        store_dir = cycle_dir / "store"
+        cycle = WorkerKillCycle(point=point)
+        fired: List[bool] = []
+
+        def kill_hook(day: int) -> Optional[int]:
+            if day == point.day and not fired:
+                fired.append(True)
+                return point.worker
+            return None
+
+        study = Study(self._config())
+        study.worker_kill_hook = kill_hook
+        dataset = study.run(
+            checkpoint_dir=store_dir,
+            anchor_every=self.anchor_every,
+            workers=max(self.workers, 2),
+        )
+        cycle.invariants["kill_fired"] = bool(fired)
+
+        export = cycle_dir / "dataset.json"
+        save_dataset(dataset, export)
+        export_all_csv(dataset, cycle_dir / "csv")
+
+        cycle.invariants["export_byte_identical"] = (
+            _file_digest(export) == golden["export_digest"]
+        )
+        cycle.invariants["csv_sums_match"] = (
+            (cycle_dir / "csv" / SHA256SUMS_NAME).read_text()
+            == golden["csv_sums"]
+        )
+        cycle.invariants["health_consistent"] = (
+            dataset.health.to_dict() == golden["health"]
+        )
+        # Survival, not resurrection: the whole point of supervision
+        # is that the campaign never died.
+        cycle.invariants["single_process_life"] = (
+            study.telemetry.process_lives == 1
+        )
+        cycle.invariants["store_fsck_clean"] = fsck_store(store_dir).ok
+        cycle.invariants["no_orphan_temp_files"] = not any(
+            cycle_dir.rglob("*.tmp")
+        )
+
+        if self.telemetry is not None:
+            self.telemetry.count("chaos_cycles_total", mode="workerkill")
+        return cycle
+
     # -- the whole schedule ------------------------------------------------
 
     def run(self) -> ChaosReport:
@@ -277,4 +407,9 @@ class ChaosRunner:
         report.golden_export = self.run_golden()["export_digest"]
         for index, point in enumerate(self.schedule):
             report.cycles.append(self.run_cycle(index, point))
+        if self.worker_kills is not None:
+            for index, point in enumerate(self.worker_kills):
+                report.worker_cycles.append(
+                    self.run_worker_kill_cycle(index, point)
+                )
         return report

@@ -22,7 +22,14 @@ from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 
-__all__ = ["ABORT_MODES", "STAGES", "AbortPoint", "ChaosSchedule"]
+__all__ = [
+    "ABORT_MODES",
+    "STAGES",
+    "AbortPoint",
+    "ChaosSchedule",
+    "WorkerKillPoint",
+    "WorkerKillSchedule",
+]
 
 #: Every stage boundary a campaign day fires, in execution order.
 STAGES = (
@@ -168,3 +175,103 @@ class ChaosSchedule:
             if stage != "join" or day == join_day
         )
         return cls(points=points)
+
+
+@dataclass(frozen=True)
+class WorkerKillPoint:
+    """One scheduled worker death: SIGKILL worker ``worker`` mid-probe.
+
+    Unlike an :class:`AbortPoint` — which kills the *campaign* and
+    tests the resume path — a worker-kill point kills one probe
+    worker right after day ``day``'s shards are shipped (the worst
+    moment: the parent is waiting on the reply) and tests the
+    supervision path: the campaign must complete without intervention
+    and still produce byte-identical artefacts.
+    """
+
+    day: int
+    worker: int
+
+    def __post_init__(self) -> None:
+        if self.day < 0:
+            raise ConfigError(f"kill day must be >= 0, got {self.day}")
+        if self.worker < 0:
+            raise ConfigError(
+                f"worker index must be >= 0, got {self.worker}"
+            )
+
+    @property
+    def label(self) -> str:
+        """Compact human-readable form, e.g. ``wkill@d3.w1``."""
+        return f"wkill@d{self.day}.w{self.worker}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"day": self.day, "worker": self.worker}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "WorkerKillPoint":
+        return cls(day=int(data["day"]), worker=int(data["worker"]))
+
+
+@dataclass(frozen=True)
+class WorkerKillSchedule:
+    """A seeded, ordered collection of worker-kill points."""
+
+    points: Tuple[WorkerKillPoint, ...]
+    seed: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "points": [point.to_dict() for point in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "WorkerKillSchedule":
+        return cls(
+            points=tuple(
+                WorkerKillPoint.from_dict(p) for p in data.get("points", ())
+            ),
+            seed=data.get("seed"),
+        )
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        *,
+        n_days: int,
+        workers: int,
+        n_points: int = 2,
+    ) -> "WorkerKillSchedule":
+        """A seeded sample of ``n_points`` kills on distinct days.
+
+        Days are sampled without replacement (one kill per probe day
+        keeps each cycle's healing path unambiguous); the victim
+        worker is drawn uniformly per point.  Deterministic in
+        ``seed``.
+        """
+        if n_points < 1:
+            raise ConfigError(f"n_points must be >= 1, got {n_points}")
+        if workers < 2:
+            raise ConfigError(
+                f"worker kills need a pool (workers >= 2), got {workers}"
+            )
+        if n_points > n_days:
+            raise ConfigError(
+                f"cannot place {n_points} worker kills on distinct days "
+                f"of a {n_days}-day campaign"
+            )
+        rng = random.Random(seed)
+        days = sorted(rng.sample(range(n_days), n_points))
+        points = tuple(
+            WorkerKillPoint(day=day, worker=rng.randrange(workers))
+            for day in days
+        )
+        return cls(points=points, seed=seed)

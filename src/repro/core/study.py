@@ -55,7 +55,12 @@ from repro.faults import (
     FaultyStreamingAPI,
 )
 from repro.faults.proxies import FaultProxy
-from repro.parallel import ParallelEngine, build_replay_clients
+from repro.parallel import (
+    ParallelEngine,
+    SupervisedEngine,
+    SupervisionPolicy,
+    build_replay_clients,
+)
 from repro.platforms.discord import DiscordAPI
 from repro.platforms.telegram import TelegramWebClient
 from repro.platforms.whatsapp import WhatsAppWebClient
@@ -227,11 +232,15 @@ class Study:
         self._dataset: Optional[StudyDataset] = None
         #: Attached run store (resume/fork); never serialised.
         self._store: Optional[RunStore] = None
-        #: Parallel probe engine, alive only inside a ``run(workers=N)``
-        #: call with N > 1; never serialised — anchors and resume
-        #: replay are engine-free, so any worker count can continue
-        #: any store.
-        self._parallel: Optional[ParallelEngine] = None
+        #: Supervised parallel probe engine, alive only inside a
+        #: ``run(workers=N)`` call with N > 1; never serialised —
+        #: anchors and resume replay are engine-free, so any worker
+        #: count can continue any store.
+        self._parallel: Optional[SupervisedEngine] = None
+        #: Chaos hook ``day -> Optional[worker_index]``: fired by the
+        #: supervisor right after shards are shipped; a returned index
+        #: is SIGKILLed mid-probe.  Never serialised.
+        self.worker_kill_hook = None
         #: Chaos hook ``(day, stage) -> None``, fired at every stage
         #: boundary of a *live* day (never during resume replay).  The
         #: chaos harness (:mod:`repro.chaos`) installs hooks that abort
@@ -254,6 +263,7 @@ class Study:
         state = dict(self.__dict__)
         state["_store"] = None
         state["stage_hook"] = None
+        state["worker_kill_hook"] = None
         # The worker pool holds live processes and pipes; a restored
         # campaign starts (or not) its own via run(workers=N).
         state["_parallel"] = None
@@ -279,6 +289,8 @@ class Study:
         *,
         anchor_every: Optional[int] = None,
         workers: int = 1,
+        worker_deadline: Optional[float] = None,
+        worker_restarts: Optional[int] = None,
     ) -> StudyDataset:
         """Execute (or continue) the campaign; returns the dataset.
 
@@ -302,6 +314,15 @@ class Study:
         :class:`StudyConfig` — it must not perturb the config digest
         a run store is keyed by — and is recorded informationally in
         the store manifest instead.
+
+        The pool runs supervised (:mod:`repro.parallel.supervisor`):
+        ``worker_deadline`` bounds how long a probe day waits on any
+        one worker before its shard is re-executed in-parent, and
+        ``worker_restarts`` is the per-worker respawn budget before
+        the campaign degrades to the sequential path for its remaining
+        days.  Both are runtime knobs like ``workers`` — outside the
+        config digest, free to differ between a run and its resume —
+        and neither can change a single artefact byte.
         """
         config = self.config
         if not isinstance(workers, int) or isinstance(workers, bool):
@@ -310,6 +331,12 @@ class Study:
             )
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
+        if workers == 1 and (
+            worker_deadline is not None or worker_restarts is not None
+        ):
+            raise ConfigError(
+                "worker_deadline/worker_restarts require workers > 1"
+            )
         if checkpoint_dir is not None:
             self._store = RunStore.create(
                 checkpoint_dir,
@@ -340,7 +367,7 @@ class Study:
             # without an injector); campaigns with a fault plan fall
             # back to replay mode, whose merge re-runs the accounting
             # sequentially so injector draws keep their order.
-            self._parallel = ParallelEngine(
+            engine = ParallelEngine(
                 workers,
                 telemetry=self.telemetry,
                 mode="replay" if self.injector is not None else "snapshot",
@@ -348,6 +375,17 @@ class Study:
                     "salt": self._hasher.salt,
                     "seed": config.seed,
                 },
+            )
+            policy_kwargs = {"backoff_seed": config.seed}
+            if worker_deadline is not None:
+                policy_kwargs["deadline_s"] = worker_deadline
+            if worker_restarts is not None:
+                policy_kwargs["max_restarts"] = worker_restarts
+            self._parallel = SupervisedEngine(
+                engine,
+                policy=SupervisionPolicy(**policy_kwargs),
+                telemetry=self.telemetry,
+                kill_hook=self.worker_kill_hook,
             )
         else:
             self._parallel = None
@@ -421,6 +459,16 @@ class Study:
                 self._observe_day_parallel(parallel, day)
             else:
                 self.monitor.observe_day(day, self.engine.records.values())
+        if parallel is not None and getattr(parallel, "degraded", False):
+            # A worker exhausted its restart budget this day; the
+            # supervisor already finished the day in-parent, and the
+            # campaign's remaining days run the plain sequential loop.
+            parallel.close()
+            self._parallel = None
+            logger.warning(
+                "parallel pool degraded at day %d; continuing sequentially",
+                day,
+            )
         self._fire_hook(day, "control")
         with tel.span("control.sample", stage="control", day=day, mode=mode):
             self._collect_control(day, dataset)
@@ -432,9 +480,9 @@ class Study:
         tel.count("campaign_days_total", mode=mode)
 
     def _observe_day_parallel(
-        self, parallel: ParallelEngine, day: int
+        self, parallel: SupervisedEngine, day: int
     ) -> None:
-        """Day ``day``'s monitor pass through the worker pool.
+        """Day ``day``'s monitor pass through the supervised pool.
 
         The due-set is the same :meth:`MetadataMonitor.due` predicate
         the sequential loop applies.  How a probe's outcome is applied

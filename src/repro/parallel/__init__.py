@@ -54,14 +54,31 @@ from repro.parallel.replay import (
     ReplayPreviewClient,
     build_replay_clients,
 )
-from repro.parallel.sharding import assign_shards, shard_of
+from repro.parallel.sharding import assign_shards, lost_probes, shard_of
+from repro.parallel.supervisor import (
+    ShardReexecutor,
+    SupervisedEngine,
+    SupervisionPolicy,
+)
+from repro.parallel.worker import (
+    build_probe_clients,
+    compute_replay,
+    compute_snapshots,
+)
 
 __all__ = [
     "ParallelEngine",
     "ReplayDiscordAPI",
     "ReplayPreviewClient",
+    "ShardReexecutor",
+    "SupervisedEngine",
+    "SupervisionPolicy",
     "assign_shards",
+    "build_probe_clients",
     "build_replay_clients",
+    "compute_replay",
+    "compute_snapshots",
+    "lost_probes",
     "shard_of",
     "world_bootstrap",
 ]

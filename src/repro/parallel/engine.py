@@ -18,6 +18,16 @@ the run ends.  Workers are daemons: a SIGKILLed campaign (chaos
 harness) takes its pool down with it, and a resumed campaign simply
 starts a fresh pool.
 
+The engine itself is *fail-fast*: any pipe failure, worker death or
+protocol violation surfaces as a :class:`~repro.errors.ParallelError`
+after the pool has been torn down, so no stale worker outlives a
+failed probe pass.  Crash *recovery* — deadline-bounded waits,
+shard re-execution, bounded respawns, graceful degradation — is the
+supervision layer's job (:mod:`repro.parallel.supervisor`), built on
+the per-worker primitives this class exposes (:meth:`advance_worker`,
+:meth:`poll_reply`, :meth:`worker_alive`, :meth:`stop_worker`,
+:meth:`respawn_worker`, :meth:`sigkill_worker`).
+
 The engine is deliberately *not* part of campaign state: anchors
 never serialise it, resume replay always runs sequentially, and the
 same store can be written under any worker count.
@@ -37,6 +47,10 @@ from repro.telemetry import Telemetry
 from repro.twitter.service import TwitterService
 
 __all__ = ["ParallelEngine", "world_bootstrap"]
+
+#: How long :meth:`ParallelEngine.close` waits at each escalation rung
+#: (cooperative stop -> SIGTERM -> SIGKILL) before moving to the next.
+DEFAULT_JOIN_TIMEOUT_S = 5.0
 
 
 def world_bootstrap(world: World) -> bytes:
@@ -90,6 +104,7 @@ class ParallelEngine:
         *,
         mode: str = "replay",
         monitor_params: Optional[Dict[str, object]] = None,
+        join_timeout: float = DEFAULT_JOIN_TIMEOUT_S,
     ) -> None:
         if (
             not isinstance(workers, int)
@@ -111,6 +126,9 @@ class ParallelEngine:
         self.mode = mode
         self._monitor_params = monitor_params
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        #: Per-rung wait of the close() escalation ladder (shrunk by
+        #: tests that exercise the SIGKILL rung without real 5s waits).
+        self.join_timeout = join_timeout
         self._ctx = multiprocessing.get_context("spawn")
         self._procs: List[multiprocessing.process.BaseProcess] = []
         self._conns: List[object] = []
@@ -122,6 +140,29 @@ class ParallelEngine:
         """Whether the worker pool is up."""
         return bool(self._procs)
 
+    def _spawn_worker(self, index: int, blob: bytes):
+        """Spawn one worker and hand it the bootstrap payload."""
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(child_conn,),
+            name=f"repro-probe-worker-{index}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        parent_conn.send(
+            (
+                "bootstrap",
+                blob,
+                self.telemetry.enabled,
+                self.mode,
+                self._monitor_params,
+                index,
+            )
+        )
+        return proc, parent_conn
+
     def start(self, world: World, day: int) -> None:
         """Spawn the pool, bootstrapping replicas from ``world``.
 
@@ -131,29 +172,11 @@ class ParallelEngine:
         if self.started:
             raise ParallelError("parallel engine is already started")
         blob = world_bootstrap(world)
-        enabled = self.telemetry.enabled
         try:
             for index in range(self.workers):
-                parent_conn, child_conn = self._ctx.Pipe()
-                proc = self._ctx.Process(
-                    target=worker_main,
-                    args=(child_conn,),
-                    name=f"repro-probe-worker-{index}",
-                    daemon=True,
-                )
-                proc.start()
-                child_conn.close()
-                parent_conn.send(
-                    (
-                        "bootstrap",
-                        blob,
-                        enabled,
-                        self.mode,
-                        self._monitor_params,
-                    )
-                )
+                proc, conn = self._spawn_worker(index, blob)
                 self._procs.append(proc)
-                self._conns.append(parent_conn)
+                self._conns.append(conn)
         except Exception:
             self.close()
             raise
@@ -161,18 +184,116 @@ class ParallelEngine:
         self.telemetry.gauge("parallel_workers", self.workers)
         self.telemetry.count("parallel_pool_starts_total")
 
+    # -- per-worker primitives (the supervisor builds on these) ------------
+
+    def send_to(self, index: int, message: tuple) -> None:
+        """Send ``message`` to worker ``index``.
+
+        A pipe-level failure — the worker died and its end of the pipe
+        is gone — is wrapped in :class:`ParallelError`, so callers see
+        one exception type for every way a worker can be lost
+        (``BrokenPipeError`` and the other ``OSError`` flavours never
+        escape raw).
+        """
+        try:
+            self._conns[index].send(message)
+        except (OSError, ValueError) as exc:
+            raise ParallelError(
+                f"probe worker {index} is unreachable: pipe send failed "
+                f"({exc})"
+            ) from exc
+
+    def advance_worker(self, index: int, day: int) -> None:
+        """Advance worker ``index``'s replica through ``day``."""
+        self.send_to(index, ("advance", day))
+
+    def poll_reply(self, index: int, timeout: float = 0.0) -> bool:
+        """Whether worker ``index`` has a reply ready within ``timeout``."""
+        try:
+            return self._conns[index].poll(timeout)
+        except (OSError, EOFError, ValueError):
+            # A dead peer's pending EOF still counts as "something to
+            # read": recv_reply will surface it as a ParallelError.
+            return True
+
+    def recv_reply(self, index: int):
+        """Receive one reply from worker ``index`` (blocking)."""
+        try:
+            return self._conns[index].recv()
+        except (EOFError, OSError) as exc:
+            raise ParallelError(
+                f"probe worker {index} died without replying"
+            ) from exc
+
+    def worker_alive(self, index: int) -> bool:
+        """Whether worker ``index``'s process is still running."""
+        proc = self._procs[index]
+        return proc is not None and proc.is_alive()
+
+    def worker_sentinel(self, index: int):
+        """The process sentinel of worker ``index`` (ready on death)."""
+        return self._procs[index].sentinel
+
+    def sigkill_worker(self, index: int) -> None:
+        """SIGKILL worker ``index``'s process, nothing else.
+
+        The pipe is left untouched: this is the chaos harness's honest
+        crash — the parent must *discover* the death through polling
+        and liveness checks, exactly as it would a real SEGV.
+        """
+        self._procs[index].kill()
+
+    def stop_worker(self, index: int) -> None:
+        """Forcefully stop worker ``index`` and close its pipe.
+
+        Used on a worker already presumed lost (crashed or hung), so
+        no cooperative stop message is attempted — the pipe may be
+        wedged.  Escalates SIGTERM -> SIGKILL like :meth:`close`.
+        """
+        conn = self._conns[index]
+        try:
+            conn.close()
+        except OSError:
+            pass
+        proc = self._procs[index]
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=self.join_timeout)
+        if proc.is_alive():
+            proc.kill()
+            proc.join()
+
+    def respawn_worker(self, index: int, world: World) -> None:
+        """Replace worker ``index`` with a fresh one bootstrapped now.
+
+        ``world`` must be the parent's world, generated through the
+        engine's current :attr:`_advanced` day: the fresh replica
+        snapshots it directly, so it lands exactly where the lost
+        replica's day-by-day advances would have left it.
+        """
+        if not self.started:
+            raise ParallelError("cannot respawn a worker before start")
+        self.stop_worker(index)
+        proc, conn = self._spawn_worker(index, world_bootstrap(world))
+        self._procs[index] = proc
+        self._conns[index] = conn
+
+    # -- the sharded probe pass --------------------------------------------
+
     def begin_day(self, day: int) -> None:
         """Advance every replica through ``day`` (no-op before start).
 
         The study calls this at the world stage, so replicas advance
-        while the parent generates its own (much heavier) day.
+        while the parent generates its own (much heavier) day.  A
+        worker that died between days surfaces as a
+        :class:`ParallelError` (never a raw ``BrokenPipeError``).
         """
         if not self.started or self._advanced is None:
             return
         while self._advanced < day:
             self._advanced += 1
-            for conn in self._conns:
-                conn.send(("advance", self._advanced))
+            for index in range(len(self._conns)):
+                self.advance_worker(index, self._advanced)
 
     def probe_day(
         self, day: int, probes: Iterable[Probe]
@@ -191,6 +312,11 @@ class ParallelEngine:
         fixed worker iteration order makes the merge deterministic —
         and per-worker metric registries are folded into the campaign
         registry here, at the day barrier.
+
+        Any failure mid-pass — a worker error reply, an unexpected
+        reply, a dead pipe — closes the whole pool *before* the
+        :class:`ParallelError` propagates: sibling workers must never
+        keep running with replica state the parent no longer trusts.
         """
         if not self.started:
             raise ParallelError("parallel engine is not started")
@@ -199,45 +325,37 @@ class ParallelEngine:
                 f"cannot probe day {day}: replicas already advanced "
                 f"through day {self._advanced}"
             )
-        self.begin_day(day)
-        probes = list(probes)
-        shards = assign_shards(probes, self.workers)
-        for conn, shard in zip(self._conns, shards):
-            conn.send(("probe", day, shard))
-        tel = self.telemetry
-        outcomes: Dict[str, object] = {}
-        healths: List[object] = []
-        max_wall_s = 0.0
-        max_cpu_s = 0.0
-        merge_s = 0.0
-        for index in range(len(self._conns)):
-            reply = self._recv(index)
-            if reply[0] == "error":
-                raise ParallelError(
-                    f"probe worker {index} failed:\n{reply[1]}"
+        try:
+            self.begin_day(day)
+            probes = list(probes)
+            shards = assign_shards(probes, self.workers)
+            for index, shard in enumerate(shards):
+                self.send_to(index, ("probe", day, shard))
+            tel = self.telemetry
+            outcomes: Dict[str, object] = {}
+            healths: List[object] = []
+            max_wall_s = 0.0
+            max_cpu_s = 0.0
+            merge_s = 0.0
+            for index in range(len(self._conns)):
+                reply = self.recv_reply(index)
+                merge_start = tel.clock()
+                shard_stats = self._fold_reply(
+                    index, day, reply, outcomes, healths
                 )
-            if reply[0] != "result" or reply[1] != day:
-                raise ParallelError(
-                    f"probe worker {index} sent unexpected reply "
-                    f"{reply[0]!r} while probing day {day}"
-                )
-            # Deserialise + fold, timed apart from the blocking recv:
-            # this is the parent's own share of the merge barrier.
-            merge_start = tel.clock()
-            shard_outcomes, shard_health, registry = pickle.loads(reply[2])
-            outcomes.update(shard_outcomes)
-            if shard_health is not None:
-                healths.append(shard_health)
-            if registry is not None and tel.enabled:
-                tel.metrics.merge(registry)
-            merge_s += tel.clock() - merge_start
-            wall_s, cpu_s = reply[3], reply[4]
-            tel.count("parallel_worker_probe_seconds_total", wall_s)
-            tel.count("parallel_worker_probe_cpu_seconds_total", cpu_s)
-            if wall_s > max_wall_s:
-                max_wall_s = wall_s
-            if cpu_s > max_cpu_s:
-                max_cpu_s = cpu_s
+                merge_s += tel.clock() - merge_start
+                wall_s, cpu_s = shard_stats
+                tel.count("parallel_worker_probe_seconds_total", wall_s)
+                tel.count("parallel_worker_probe_cpu_seconds_total", cpu_s)
+                if wall_s > max_wall_s:
+                    max_wall_s = wall_s
+                if cpu_s > max_cpu_s:
+                    max_cpu_s = cpu_s
+        except Exception:
+            # No stale siblings: a failed probe day tears the pool
+            # down before the error reaches the study.
+            self.close()
+            raise
         tel.count("parallel_probes_total", len(probes))
         tel.count("parallel_merge_seconds_total", merge_s)
         # The slowest shard bounds the pass on an unconstrained host;
@@ -248,16 +366,47 @@ class ParallelEngine:
         tel.count("parallel_critical_probe_cpu_seconds_total", max_cpu_s)
         return outcomes, healths
 
-    def _recv(self, index: int):
-        try:
-            return self._conns[index].recv()
-        except EOFError as exc:
+    def _fold_reply(
+        self,
+        index: int,
+        day: int,
+        reply: tuple,
+        outcomes: Dict[str, object],
+        healths: List[object],
+    ) -> Tuple[float, float]:
+        """Validate one worker reply and fold its payload in.
+
+        Returns the worker's ``(wall_seconds, cpu_seconds)`` shard
+        timings.  Deserialise + fold happen here — the parent's own
+        share of the merge barrier — so callers can time it apart
+        from the time they spend blocked waiting.
+        """
+        if reply[0] == "error":
             raise ParallelError(
-                f"probe worker {index} died without replying"
-            ) from exc
+                f"probe worker {index} failed:\n{reply[1]}"
+            )
+        if reply[0] != "result" or reply[1] != day:
+            raise ParallelError(
+                f"probe worker {index} sent unexpected reply "
+                f"{reply[0]!r} while probing day {day}"
+            )
+        shard_outcomes, shard_health, registry = pickle.loads(reply[2])
+        outcomes.update(shard_outcomes)
+        if shard_health is not None:
+            healths.append(shard_health)
+        if registry is not None and self.telemetry.enabled:
+            self.telemetry.metrics.merge(registry)
+        return reply[3], reply[4]
 
     def close(self) -> None:
-        """Stop the pool (idempotent; safe on a half-started engine)."""
+        """Stop the pool (idempotent; safe on a half-started engine).
+
+        Escalation ladder per worker: a cooperative ``stop`` message,
+        then SIGTERM, then SIGKILL — each rung bounded by
+        :attr:`join_timeout` — so even a worker that ignores SIGTERM
+        (wedged in uninterruptible C code, masked signals) never
+        outlives the campaign.
+        """
         for conn in self._conns:
             try:
                 conn.send(("stop",))
@@ -269,10 +418,15 @@ class ParallelEngine:
             except OSError:
                 pass
         for proc in self._procs:
-            proc.join(timeout=5.0)
+            proc.join(timeout=self.join_timeout)
             if proc.is_alive():
                 proc.terminate()
-                proc.join(timeout=5.0)
+                proc.join(timeout=self.join_timeout)
+            if proc.is_alive():
+                # SIGTERM ignored or masked: SIGKILL cannot be, and a
+                # killed process always reaps, so this join is bounded.
+                proc.kill()
+                proc.join()
         self._procs = []
         self._conns = []
         self._advanced = None

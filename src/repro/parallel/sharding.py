@@ -14,7 +14,7 @@ from typing import Iterable, List, Tuple
 from repro.errors import ParallelError
 from repro.rng import stable_hash
 
-__all__ = ["assign_shards", "shard_of"]
+__all__ = ["assign_shards", "lost_probes", "shard_of"]
 
 #: A probe as the engine ships it: (canonical, url, platform).
 Probe = Tuple[str, str, str]
@@ -41,3 +41,18 @@ def assign_shards(
     for probe in probes:
         shards[shard_of(probe[0], n_workers)].append(probe)
     return shards
+
+
+def lost_probes(
+    shards: List[List[Probe]], lost: Iterable[int]
+) -> List[Probe]:
+    """The deterministic re-execution list for the ``lost`` shard indexes.
+
+    When the supervisor replays the work of lost workers in the
+    parent, it replays exactly these probes in exactly this order:
+    shard-index order, caller (canonical) order within each shard.
+    Probe outcomes are pure per-key functions, so the order cannot
+    change any artefact — fixing it anyway keeps re-executed telemetry
+    and logs reproducible run to run.
+    """
+    return [probe for index in sorted(set(lost)) for probe in shards[index]]

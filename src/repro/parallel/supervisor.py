@@ -1,0 +1,497 @@
+"""Self-healing supervision over the parallel probe engine.
+
+:class:`SupervisedEngine` wraps a :class:`~repro.parallel.engine.
+ParallelEngine` in the same driving surface the study uses
+(``start`` / ``begin_day`` / ``probe_day`` / ``close``) and adds the
+three things a multi-year campaign needs from its worker pool:
+
+* **Detection.**  The blind per-worker ``recv`` barrier becomes a
+  multiplexed wait over every pending reply pipe *and* every worker's
+  process sentinel (:func:`multiprocessing.connection.wait`), bounded
+  by a per-day reply deadline.  A crashed worker is noticed the
+  instant its sentinel fires; a hung worker — alive but silent — is
+  declared lost when the deadline lapses.  Neither blocks the
+  campaign forever.
+
+* **Deterministic shard re-execution.**  A lost worker's shard is
+  replayed in the parent by the *same* pure compute functions the
+  workers run (:func:`~repro.parallel.worker.compute_snapshots` /
+  :func:`~repro.parallel.worker.compute_replay`) over clients built
+  on the parent's own world.  Probe outcomes are pure functions of
+  (seed, canonical URL, day) — that is the engine's founding
+  invariant — so the healed day's outcome map is byte-identical to
+  the one the lost worker would have shipped, and the day-barrier
+  merge proceeds as if nothing happened.
+
+* **Bounded restarts, then graceful degradation.**  At the next probe
+  day the supervisor respawns each lost worker from a fresh
+  :func:`~repro.parallel.engine.world_bootstrap` of the parent world
+  (which is exactly where the lost replica's advances would have left
+  it), with a per-worker restart budget and a seeded backoff drawn
+  through :func:`repro.resilience.retry.backoff_hours` — simulated-
+  time bookkeeping, like every other delay in this codebase, recorded
+  in telemetry rather than slept.  When any worker exhausts its
+  budget the supervisor closes the pool and degrades: the rest of the
+  campaign runs sequentially (the study drops to its plain
+  ``observe_day`` loop), finishing with byte-identical artefacts.
+
+Everything the supervisor does is recorded off the artefact path in
+telemetry counters: ``parallel_worker_crashes_total`` (labelled by
+``reason=crash|deadline``), ``parallel_worker_restarts_total``,
+``parallel_shard_reexecutions_total``, ``parallel_reexecuted_probes_
+total``, ``parallel_worker_deadline_misses_total``,
+``parallel_restart_backoff_seconds_total`` and
+``parallel_degraded_total``.
+
+Deterministic failures are *not* healed: a worker that replies
+``("error", traceback)`` hit an exception the re-execution would hit
+identically, so the supervisor tears the pool down and lets the
+:class:`~repro.errors.ParallelError` propagate — retrying
+deterministic bugs forever is how supervisors turn one crash into a
+hot loop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _wait_connections
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigError, ParallelError
+from repro.parallel.engine import ParallelEngine
+from repro.parallel.sharding import Probe, assign_shards, lost_probes
+from repro.parallel.worker import (
+    build_probe_clients,
+    compute_replay,
+    compute_snapshots,
+)
+from repro.resilience.retry import RetryPolicy, backoff_hours
+from repro.telemetry import Telemetry
+
+__all__ = [
+    "DEFAULT_WORKER_DEADLINE_S",
+    "DEFAULT_WORKER_RESTARTS",
+    "ShardReexecutor",
+    "SupervisedEngine",
+    "SupervisionPolicy",
+]
+
+#: How long the supervisor waits for a worker's probe reply before
+#: declaring the worker hung.  Generous: a shard at paper scale takes
+#: seconds, and a false positive costs a respawn plus an in-parent
+#: re-execution (correct, just slower).
+DEFAULT_WORKER_DEADLINE_S = 300.0
+
+#: Per-worker restart budget before the pool degrades to sequential.
+DEFAULT_WORKER_RESTARTS = 2
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """The supervisor's knobs, validated once at construction.
+
+    Attributes:
+        deadline_s: Per-day reply deadline per worker (``--worker-
+            deadline``).  Measured from the moment shards are shipped.
+        max_restarts: Restart budget per worker slot (``--worker-
+            restarts``); 0 means a single loss degrades the pool.
+        backoff_seed: Seed of the restart-backoff jitter stream
+            (the study seed, so forked campaigns re-derive it).
+        wait_slice_s: Upper bound on one multiplexed wait, so the
+            deadline is honoured even if no event ever fires.
+    """
+
+    deadline_s: float = DEFAULT_WORKER_DEADLINE_S
+    max_restarts: int = DEFAULT_WORKER_RESTARTS
+    backoff_seed: int = 0
+    wait_slice_s: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not self.deadline_s > 0:
+            raise ConfigError(
+                f"worker deadline must be positive, got {self.deadline_s!r}"
+            )
+        if (
+            not isinstance(self.max_restarts, int)
+            or isinstance(self.max_restarts, bool)
+            or self.max_restarts < 0
+        ):
+            raise ConfigError(
+                "worker restart budget must be a non-negative integer, "
+                f"got {self.max_restarts!r}"
+            )
+        if not self.wait_slice_s > 0:
+            raise ConfigError(
+                f"wait slice must be positive, got {self.wait_slice_s!r}"
+            )
+
+
+class ShardReexecutor:
+    """In-parent deterministic re-execution of lost probe shards.
+
+    Built over the parent's *live* world: probe outcomes are pure
+    per-key functions, so clients over the parent's platform services
+    observe exactly what a worker replica's clients would have — the
+    same reason the replicas are trustworthy in the first place.
+    Clients are built lazily (a crash-free campaign never pays for
+    them) and reused across re-executions.
+    """
+
+    def __init__(
+        self,
+        world,
+        telemetry: Telemetry,
+        mode: str,
+        monitor_params: Optional[Dict[str, object]],
+    ) -> None:
+        self._world = world
+        self._telemetry = telemetry
+        self._mode = mode
+        self._monitor_params = monitor_params
+        self._clients: Optional[Dict[str, object]] = None
+
+    def execute(
+        self, day: int, probes: List[Probe]
+    ) -> Tuple[Dict[str, object], Optional[object]]:
+        """Compute ``probes``' outcomes exactly as a worker would.
+
+        Returns the mode-shaped ``(outcomes, health_delta_or_None)``
+        pair a worker reply carries.  Per-probe telemetry lands
+        directly in the campaign registry — the same totals the lost
+        worker's merged shard registry would have contributed.
+        """
+        if self._clients is None:
+            self._clients = build_probe_clients(self._world)
+        if self._mode == "snapshot":
+            return compute_snapshots(
+                self._clients,
+                self._telemetry,
+                self._monitor_params or {},
+                day,
+                probes,
+            )
+        return compute_replay(self._clients, day, probes)
+
+
+class SupervisedEngine:
+    """A :class:`ParallelEngine` that survives its workers.
+
+    Presents the engine's driving surface (``mode``, ``started``,
+    ``start``, ``begin_day``, ``probe_day``, ``close``) so the study
+    drives either interchangeably, plus :attr:`degraded`, which the
+    study checks after each probe day to drop to the sequential loop
+    once the pool is gone for good.
+
+    ``kill_hook`` is the chaos harness's injection point: called with
+    the day number right after shards are shipped (mid-probe, the
+    worst moment), an index it returns is SIGKILLed on the spot.
+    """
+
+    def __init__(
+        self,
+        engine: ParallelEngine,
+        *,
+        policy: Optional[SupervisionPolicy] = None,
+        telemetry: Optional[Telemetry] = None,
+        kill_hook: Optional[Callable[[int], Optional[int]]] = None,
+    ) -> None:
+        self._engine = engine
+        self.policy = policy if policy is not None else SupervisionPolicy()
+        self.telemetry = (
+            telemetry if telemetry is not None else engine.telemetry
+        )
+        self.kill_hook = kill_hook
+        #: True once a worker exhausted its restart budget and the
+        #: pool was closed; the study reads this to finish the
+        #: campaign on its sequential path.
+        self.degraded = False
+        #: index -> loss reason ("crash" | "deadline") for workers
+        #: lost but not yet healed.
+        self._lost: Dict[int, str] = {}
+        self._restarts: List[int] = []
+        self._world = None
+        self._reexec: Optional[ShardReexecutor] = None
+
+    # -- engine surface ----------------------------------------------------
+
+    @property
+    def mode(self) -> str:
+        return self._engine.mode
+
+    @property
+    def workers(self) -> int:
+        return self._engine.workers
+
+    @property
+    def started(self) -> bool:
+        # A degraded supervisor is still "running" — its probe_day
+        # serves the current day sequentially — so the study must not
+        # try to start it again.
+        return self.degraded or self._engine.started
+
+    def start(self, world, day: int) -> None:
+        self._engine.start(world, day)
+        self._world = world
+        self._restarts = [0] * self._engine.workers
+        self._reexec = ShardReexecutor(
+            world,
+            self.telemetry,
+            self._engine.mode,
+            self._engine._monitor_params,
+        )
+
+    def begin_day(self, day: int) -> None:
+        """Advance live replicas; a worker dead between days is marked
+        lost (healed at the next probe day) instead of failing the
+        campaign."""
+        if self.degraded or not self._engine.started:
+            return
+        engine = self._engine
+        if engine._advanced is None:
+            return
+        while engine._advanced < day:
+            engine._advanced += 1
+            for index in range(engine.workers):
+                if index in self._lost:
+                    continue
+                try:
+                    engine.advance_worker(index, engine._advanced)
+                except ParallelError:
+                    self._mark_lost(index, "crash")
+
+    def close(self) -> None:
+        self._engine.close()
+        self._lost.clear()
+
+    # -- loss bookkeeping --------------------------------------------------
+
+    def _mark_lost(self, index: int, reason: str) -> None:
+        """Record worker ``index`` as lost and make sure it is dead.
+
+        Idempotent per loss; the slot stays lost until :meth:`_heal`
+        either respawns it or degrades the pool.
+        """
+        if index in self._lost:
+            return
+        self._lost[index] = reason
+        self.telemetry.count(
+            "parallel_worker_crashes_total", reason=reason
+        )
+        if reason == "deadline":
+            self.telemetry.count("parallel_worker_deadline_misses_total")
+        # A hung worker still holds a stale replica and a wedged pipe;
+        # a crashed one needs reaping.  Either way: stop it hard.
+        self._engine.stop_worker(index)
+
+    def _heal(self) -> None:
+        """Respawn every lost worker, or degrade if a budget is out.
+
+        Called at the top of each probe day: the parent world is
+        generated through the day the replicas are advanced to, so a
+        fresh bootstrap lands the respawned replica exactly where the
+        lost one stood.  The backoff a real supervisor would sleep is
+        seeded bookkeeping (:func:`backoff_hours`), recorded in
+        telemetry — the campaign clock never moves for it.
+        """
+        if not self._lost:
+            return
+        for index in sorted(self._lost):
+            if self._restarts[index] >= self.policy.max_restarts:
+                self._degrade()
+                return
+        for index in sorted(self._lost):
+            self._restarts[index] += 1
+            delay_h = backoff_hours(
+                RetryPolicy(),
+                self._restarts[index],
+                self.policy.backoff_seed,
+                f"parallel/worker{index}/restart",
+            )
+            self.telemetry.count(
+                "parallel_restart_backoff_seconds_total", delay_h * 3600.0
+            )
+            self._engine.respawn_worker(index, self._world)
+            self.telemetry.count("parallel_worker_restarts_total")
+        self._lost.clear()
+
+    def _degrade(self) -> None:
+        """Close the pool for good; the campaign finishes sequentially."""
+        if self.degraded:
+            return
+        self.degraded = True
+        self.telemetry.count("parallel_degraded_total")
+        self._engine.close()
+        self._lost.clear()
+
+    # -- the supervised probe pass -----------------------------------------
+
+    def probe_day(
+        self, day: int, probes: Iterable[Probe]
+    ) -> Tuple[Dict[str, object], List[object]]:
+        """Day ``day``'s probe pass, guaranteed to complete.
+
+        Same contract as :meth:`ParallelEngine.probe_day`; in
+        addition, worker crashes and deadline misses are healed by
+        in-parent shard re-execution, so the returned outcome map is
+        always complete.  Only a deterministic worker error (an
+        ``"error"`` reply) propagates, after the pool is closed.
+        """
+        probes = list(probes)
+        if self.degraded:
+            return self._probe_degraded(day, probes)
+        if not self._engine.started:
+            raise ParallelError("parallel engine is not started")
+        self._heal()
+        if self.degraded:
+            return self._probe_degraded(day, probes)
+
+        engine = self._engine
+        self.begin_day(day)
+        shards = assign_shards(probes, engine.workers)
+        sent: List[int] = []
+        for index, shard in enumerate(shards):
+            if index in self._lost:
+                continue
+            try:
+                engine.send_to(index, ("probe", day, shard))
+                sent.append(index)
+            except ParallelError:
+                self._mark_lost(index, "crash")
+        if self.kill_hook is not None:
+            victim = self.kill_hook(day)
+            if victim is not None:
+                engine.sigkill_worker(victim)
+
+        tel = self.telemetry
+        outcomes: Dict[str, object] = {}
+        healths: List[object] = []
+        replies: Dict[int, tuple] = {}
+        folded = {"next": 0, "merge_s": 0.0, "max_wall": 0.0, "max_cpu": 0.0}
+
+        def drain() -> None:
+            # Fold ready replies the moment index order allows, so the
+            # parent's merge work overlaps the still-computing shards —
+            # exactly the overlap the bare engine's index-order recv
+            # loop gets — without perturbing the deterministic fold
+            # order (lost slots are skipped; their shards re-execute
+            # after the barrier).
+            while folded["next"] < len(shards):
+                index = folded["next"]
+                reply = replies.get(index)
+                if reply is None:
+                    if index not in self._lost:
+                        return
+                    folded["next"] += 1
+                    continue
+                merge_start = tel.clock()
+                try:
+                    wall_s, cpu_s = engine._fold_reply(
+                        index, day, reply, outcomes, healths
+                    )
+                except ParallelError:
+                    # Deterministic worker failure (or protocol
+                    # breakage): re-execution would fail identically,
+                    # so this is the one loss supervision must not
+                    # heal.  No stale siblings survive the raise.
+                    self.close()
+                    raise
+                folded["merge_s"] += tel.clock() - merge_start
+                tel.count("parallel_worker_probe_seconds_total", wall_s)
+                tel.count("parallel_worker_probe_cpu_seconds_total", cpu_s)
+                folded["max_wall"] = max(folded["max_wall"], wall_s)
+                folded["max_cpu"] = max(folded["max_cpu"], cpu_s)
+                folded["next"] += 1
+
+        self._collect(day, sent, replies, drain)
+        drain()
+
+        lost_now = [i for i in self._lost if shards[i]]
+        if lost_now:
+            replay = lost_probes(shards, lost_now)
+            reexec_start = tel.clock()
+            extra, health = self._reexec.execute(day, replay)
+            outcomes.update(extra)
+            if health is not None:
+                healths.append(health)
+            tel.count(
+                "parallel_reexec_seconds_total", tel.clock() - reexec_start
+            )
+            tel.count("parallel_shard_reexecutions_total", len(lost_now))
+            tel.count("parallel_reexecuted_probes_total", len(replay))
+
+        tel.count("parallel_probes_total", len(probes))
+        tel.count("parallel_merge_seconds_total", folded["merge_s"])
+        tel.count(
+            "parallel_critical_probe_seconds_total", folded["max_wall"]
+        )
+        tel.count(
+            "parallel_critical_probe_cpu_seconds_total", folded["max_cpu"]
+        )
+        return outcomes, healths
+
+    def _collect(
+        self,
+        day: int,
+        pending: List[int],
+        replies: Dict[int, tuple],
+        drain: Callable[[], None],
+    ) -> None:
+        """Gather replies from ``pending`` workers under the deadline.
+
+        Multiplexes every pending reply pipe and process sentinel in
+        one OS-level wait, so a crash wakes the parent immediately and
+        an idle barrier costs no polling spin.  ``drain`` runs after
+        every sweep so the caller folds whatever just became ready.
+        Workers that miss the deadline, or die before replying, are
+        marked lost; their shards are the caller's to re-execute.
+        """
+        engine = self._engine
+        pending = list(pending)
+        deadline_at = time.monotonic() + self.policy.deadline_s
+        while pending:
+            conn_of = {engine._conns[i]: i for i in pending}
+            sentinel_of = {engine.worker_sentinel(i): i for i in pending}
+            remaining = deadline_at - time.monotonic()
+            if remaining <= 0:
+                for index in pending:
+                    self._mark_lost(index, "deadline")
+                return
+            ready = _wait_connections(
+                list(conn_of) + list(sentinel_of),
+                timeout=min(remaining, self.policy.wait_slice_s),
+            )
+            # Pipes first: a worker that replied and *then* died (or
+            # was stopped) must have its reply honoured, not its
+            # death.
+            for obj in ready:
+                index = conn_of.get(obj)
+                if index is None or index not in pending:
+                    continue
+                try:
+                    replies[index] = engine.recv_reply(index)
+                except ParallelError:
+                    self._mark_lost(index, "crash")
+                pending.remove(index)
+            for obj in ready:
+                index = sentinel_of.get(obj)
+                if index is None or index not in pending:
+                    continue
+                if engine.poll_reply(index, 0.0):
+                    continue  # drained next sweep, pipe-first again
+                self._mark_lost(index, "crash")
+                pending.remove(index)
+            drain()
+
+    def _probe_degraded(
+        self, day: int, probes: List[Probe]
+    ) -> Tuple[Dict[str, object], List[object]]:
+        """The current day's pass after degradation: all in-parent.
+
+        Only ever serves the probe day on which the budget ran out —
+        the study drops the supervisor for the days after.
+        """
+        outcomes, health = self._reexec.execute(day, probes)
+        healths = [health] if health is not None else []
+        self.telemetry.count("parallel_probes_total", len(probes))
+        return outcomes, healths

@@ -37,11 +37,20 @@ What a probe computes depends on the engine mode set at bootstrap:
   fault) are computed and simply unused — wasted work under faults,
   never a divergence.
 
+Because both computations are pure functions of (bootstrap state,
+day, shard), the supervision layer re-executes a lost worker's shard
+in the parent by calling the same :func:`compute_snapshots` /
+:func:`compute_replay` over clients built on the parent's own world —
+byte-identity of the healed pass is by shared code, not by a parallel
+reimplementation.
+
 Protocol (one tuple per message, pipe is FIFO):
 
-* ``("bootstrap", blob, telemetry_enabled, mode, monitor_params)`` —
-  install the replica.  ``monitor_params`` carries the phone-hasher
-  salt and resilience seed for snapshot mode.
+* ``("bootstrap", blob, telemetry_enabled, mode, monitor_params,
+  index)`` — install the replica.  ``monitor_params`` carries the
+  phone-hasher salt and resilience seed for snapshot mode; ``index``
+  is the worker's slot in the pool (diagnostics and the test-only
+  hang hook below).
 * ``("advance", day)`` — run ``generate_day_groups(day)``.
 * ``("probe", day, [(canonical, url, platform), ...])`` — compute the
   shard; replies ``("result", day, payload, wall_seconds,
@@ -60,10 +69,19 @@ Protocol (one tuple per message, pipe is FIFO):
 Any exception is reported as ``("error", traceback_text)`` and the
 worker exits; the engine surfaces it as a
 :class:`~repro.errors.ParallelError`.
+
+Hang injection (tests and the CI supervision smoke only): setting
+``REPRO_PARALLEL_HANG`` to ``"<day>:<worker>[:<seconds>]"`` in the
+parent's environment makes exactly that worker sleep for that many
+seconds (default 3600) before computing that day's shard — the
+deterministic stand-in for a worker wedged on a stuck socket, which
+the supervisor must detect via its probe deadline.  Unset (the
+default), the hook costs one dict lookup per probe message.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
 import time
 import traceback
@@ -81,7 +99,47 @@ from repro.resilience import ResilienceExecutor
 from repro.telemetry import Telemetry
 from repro.telemetry.registry import MetricsRegistry
 
-__all__ = ["worker_main"]
+__all__ = [
+    "HANG_ENV",
+    "build_probe_clients",
+    "compute_replay",
+    "compute_snapshots",
+    "worker_main",
+]
+
+#: Environment variable carrying the test-only hang-injection point.
+HANG_ENV = "REPRO_PARALLEL_HANG"
+
+
+def _maybe_hang(index: int, day: int) -> None:
+    """Sleep if the hang-injection point matches this (day, worker)."""
+    spec = os.environ.get(HANG_ENV)
+    if not spec:
+        return
+    try:
+        parts = spec.split(":")
+        hang_day, hang_index = int(parts[0]), int(parts[1])
+        hang_s = float(parts[2]) if len(parts) > 2 else 3600.0
+    except (ValueError, IndexError):
+        return
+    if day == hang_day and index == hang_index:
+        time.sleep(hang_s)
+
+
+def build_probe_clients(world) -> Dict[str, object]:
+    """The per-platform observation clients over ``world``'s services.
+
+    Shared by the worker replicas and the supervisor's in-parent
+    re-execution path: both must observe through identical client
+    stacks for shard outcomes to be interchangeable.
+    """
+    return {
+        "whatsapp": WhatsAppWebClient(world.platform("whatsapp")),
+        "telegram": TelegramWebClient(world.platform("telegram")),
+        # Same account label the study's monitor client uses; the
+        # invite endpoint never reads it, but keep the replica exact.
+        "discord": DiscordAPI(world.platform("discord"), "dc-monitor"),
+    }
 
 
 def _probe_one(clients: Dict[str, object], url: str, platform: str, t: float):
@@ -101,17 +159,10 @@ def _bootstrap(blob: bytes, telemetry_enabled: bool):
     telemetry = Telemetry(enabled=bool(telemetry_enabled))
     for service in world.platforms.values():
         service.telemetry = telemetry
-    clients = {
-        "whatsapp": WhatsAppWebClient(world.platform("whatsapp")),
-        "telegram": TelegramWebClient(world.platform("telegram")),
-        # Same account label the study's monitor client uses; the
-        # invite endpoint never reads it, but keep the replica exact.
-        "discord": DiscordAPI(world.platform("discord"), "dc-monitor"),
-    }
-    return world, telemetry, clients
+    return world, telemetry, build_probe_clients(world)
 
 
-def _compute_replay(
+def compute_replay(
     clients: Dict[str, object], day: int, shard: List[Probe]
 ):
     """Replay mode: pure preview outcomes, keyed by url."""
@@ -123,7 +174,7 @@ def _compute_replay(
     return outcomes, None
 
 
-def _compute_snapshots(
+def compute_snapshots(
     clients: Dict[str, object],
     telemetry: Telemetry,
     monitor_params: Dict[str, object],
@@ -182,11 +233,11 @@ def _probe_shard(
     start_wall = time.perf_counter()
     start_cpu = time.process_time()
     if mode == "snapshot":
-        outcomes, health = _compute_snapshots(
+        outcomes, health = compute_snapshots(
             clients, telemetry, monitor_params or {}, day, shard
         )
     else:
-        outcomes, health = _compute_replay(clients, day, shard)
+        outcomes, health = compute_replay(clients, day, shard)
     registry = telemetry.metrics if telemetry.enabled else None
     payload = pickle.dumps(
         (outcomes, health, registry), protocol=pickle.HIGHEST_PROTOCOL
@@ -203,6 +254,7 @@ def worker_main(conn) -> None:
     clients: Dict[str, object] = {}
     mode = "replay"
     monitor_params: Optional[Dict[str, object]] = None
+    worker_index = -1
     try:
         while True:
             try:
@@ -219,10 +271,12 @@ def worker_main(conn) -> None:
                     )
                     mode = message[3]
                     monitor_params = message[4]
+                    worker_index = message[5]
                 elif kind == "advance":
                     world.generate_day_groups(message[1])
                 elif kind == "probe":
                     day, shard = message[1], message[2]
+                    _maybe_hang(worker_index, day)
                     payload, wall_s, cpu_s = _probe_shard(
                         clients, telemetry, mode, monitor_params, day, shard
                     )

@@ -106,9 +106,31 @@ def render_chaos_report(report) -> str:
         rows,
         title=title,
     )
+    parts = [table]
+    worker_cycles = getattr(report, "worker_cycles", ())
+    if worker_cycles:
+        wk_rows = [
+            (
+                cycle.point.label,
+                "supervised",
+                "OK" if cycle.ok else "FAILED",
+                "-" if cycle.ok else ", ".join(cycle.failed),
+            )
+            for cycle in worker_cycles
+        ]
+        parts.append("")
+        parts.append(format_table(
+            ("worker kill", "recovery", "verdict", "failed invariants"),
+            wk_rows,
+            title=(
+                f"Supervision: {len(worker_cycles)} worker-kill cycles "
+                "(campaign must survive without resume)"
+            ),
+        ))
     verdict = (
-        "every cycle resumed byte-identical to the uninterrupted run"
+        "every cycle recovered byte-identical to the uninterrupted run"
         if report.ok
         else "CHAOS FAILURE: at least one cycle broke an invariant"
     )
-    return f"{table}\n{verdict}"
+    parts.append(verdict)
+    return "\n".join(parts)

@@ -93,3 +93,20 @@ def make_telegram(seed: int = 5, phone_visible_prob: float = 0.5) -> TelegramSer
 def make_discord(seed: int = 5) -> DiscordService:
     """A Discord service with linked accounts enabled."""
     return DiscordService(seed, NO_PHONE_MODEL)
+
+
+def stubborn_worker(conn) -> None:
+    """A probe-worker stand-in that ignores SIGTERM and never replies.
+
+    Spawn-safe (module-level, import-light) target for the engine
+    close()/stop_worker() escalation tests: the only way to stop it is
+    SIGKILL, so a close that stalls on the SIGTERM rung would hang
+    forever without the final escalation.
+    """
+    import signal
+    import time
+
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    conn.send(("ready",))
+    while True:
+        time.sleep(0.05)

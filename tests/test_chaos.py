@@ -17,6 +17,8 @@ from repro.chaos import (
     AbortPoint,
     ChaosRunner,
     ChaosSchedule,
+    WorkerKillPoint,
+    WorkerKillSchedule,
 )
 from repro.errors import ConfigError
 from repro.telemetry import Telemetry
@@ -85,6 +87,52 @@ class TestSchedule:
         assert {p.stage for p in schedule} == set(STAGES)
         # 6 boundaries on a non-join day, 7 on the join day.
         assert len(schedule) == 13
+
+
+class TestWorkerKillSchedule:
+    def test_seeded_generation_is_deterministic(self):
+        a = WorkerKillSchedule.generate(11, n_days=N_DAYS, workers=4)
+        b = WorkerKillSchedule.generate(11, n_days=N_DAYS, workers=4)
+        assert a == b
+        assert len(a) == 2
+
+    def test_different_seeds_differ(self):
+        a = WorkerKillSchedule.generate(1, n_days=60, workers=8, n_points=6)
+        b = WorkerKillSchedule.generate(2, n_days=60, workers=8, n_points=6)
+        assert a.points != b.points
+
+    def test_points_hit_distinct_days_and_valid_victims(self):
+        schedule = WorkerKillSchedule.generate(
+            3, n_days=N_DAYS, workers=3, n_points=4
+        )
+        days = [p.day for p in schedule]
+        assert days == sorted(days)
+        assert len(set(days)) == len(days), "one kill per probe day"
+        for point in schedule:
+            assert 0 <= point.day < N_DAYS
+            assert 0 <= point.worker < 3
+
+    def test_roundtrips_through_dict(self):
+        schedule = WorkerKillSchedule.generate(
+            5, n_days=N_DAYS, workers=2, n_points=3
+        )
+        assert WorkerKillSchedule.from_dict(schedule.to_dict()) == schedule
+
+    def test_label_names_the_victim(self):
+        assert WorkerKillPoint(3, 1).label == "wkill@d3.w1"
+
+    def test_rejects_bad_points(self):
+        with pytest.raises(ConfigError, match="kill day"):
+            WorkerKillPoint(-1, 0)
+        with pytest.raises(ConfigError, match="worker index"):
+            WorkerKillPoint(0, -1)
+        with pytest.raises(ConfigError, match="n_points"):
+            WorkerKillSchedule.generate(1, n_days=N_DAYS, workers=2,
+                                        n_points=0)
+        with pytest.raises(ConfigError, match="workers >= 2"):
+            WorkerKillSchedule.generate(1, n_days=N_DAYS, workers=1)
+        with pytest.raises(ConfigError, match="distinct days"):
+            WorkerKillSchedule.generate(1, n_days=2, workers=2, n_points=3)
 
 
 class TestHarness:
@@ -169,6 +217,60 @@ class TestHarness:
         }
 
 
+class TestWorkerKillHarness:
+    """Supervision cycles: the campaign survives a worker SIGKILL."""
+
+    def test_worker_kill_cycle_survives_and_matches_golden(self, tmp_path):
+        kills = WorkerKillSchedule(points=(WorkerKillPoint(2, 1),))
+        telemetry = Telemetry(enabled=True)
+        report = ChaosRunner(
+            _spec("hostile"),
+            ChaosSchedule(points=()),
+            tmp_path,
+            anchor_every=ANCHOR_EVERY,
+            telemetry=telemetry,
+            workers=2,
+            worker_kills=kills,
+        ).run()
+        assert not report.cycles
+        (cycle,) = report.worker_cycles
+        assert cycle.ok, f"worker-kill cycle broke: {cycle.failed}"
+        assert report.ok
+        assert telemetry.metrics.counter(
+            "chaos_cycles_total", mode="workerkill"
+        ) == 1
+
+    def test_worker_kill_cycle_report_shape(self, tmp_path):
+        kills = WorkerKillSchedule(points=(WorkerKillPoint(1, 0),))
+        report = ChaosRunner(
+            _spec(None),
+            ChaosSchedule(points=()),
+            tmp_path,
+            anchor_every=ANCHOR_EVERY,
+            workers=2,
+            worker_kills=kills,
+        ).run()
+        payload = report.to_dict()
+        assert payload["ok"] is True
+        (cycle,) = payload["worker_cycles"]
+        assert cycle["point"] == {"day": 1, "worker": 0}
+        assert set(cycle["invariants"]) == {
+            "kill_fired",
+            "export_byte_identical",
+            "csv_sums_match",
+            "health_consistent",
+            "single_process_life",
+            "store_fsck_clean",
+            "no_orphan_temp_files",
+        }
+        from repro.reporting.integrity import render_chaos_report
+
+        rendered = render_chaos_report(report)
+        assert "worker-kill cycles" in rendered
+        assert "wkill@d1.w0" in rendered
+        assert "supervised" in rendered
+
+
 class TestChaosCLI:
     def test_chaos_subcommand_passes(self, tmp_path, capsys):
         from repro.__main__ import main
@@ -185,7 +287,7 @@ class TestChaosCLI:
         ])
         out = capsys.readouterr().out
         assert rc == 0
-        assert "every cycle resumed byte-identical" in out
+        assert "every cycle recovered byte-identical" in out
         assert (tmp_path / "report.json").exists()
 
     def test_chaos_rejects_bad_args(self, tmp_path):
@@ -194,4 +296,18 @@ class TestChaosCLI:
         with pytest.raises(ConfigError, match="--points"):
             main([
                 "chaos", "--workdir", str(tmp_path), "--points", "0",
+            ])
+
+    def test_chaos_rejects_worker_kills_without_pool(self, tmp_path):
+        from repro.__main__ import main
+
+        with pytest.raises(ConfigError, match="--workers >= 2"):
+            main([
+                "chaos", "--workdir", str(tmp_path),
+                "--worker-kills", "1",
+            ])
+        with pytest.raises(ConfigError, match="--worker-kills"):
+            main([
+                "chaos", "--workdir", str(tmp_path),
+                "--workers", "2", "--worker-kills", "-1",
             ])

@@ -25,10 +25,14 @@ from repro.integrity import fsck_export, fsck_store
 from repro.io.export import export_all_csv
 from repro.parallel import (
     ParallelEngine,
+    SupervisedEngine,
+    SupervisionPolicy,
     assign_shards,
+    lost_probes,
     shard_of,
     world_bootstrap,
 )
+from repro.parallel.worker import HANG_ENV
 from repro.simulation.world import World, WorldConfig
 
 pytestmark = pytest.mark.parallel
@@ -84,7 +88,7 @@ class TestSharding:
 
     def test_assignment_partitions_and_preserves_order(self):
         probes = [
-            (f"whatsapp:g{i}", f"https://chat.whatsapp.com/g{i}", "whatsapp")
+            (f"whatsapp:g{i}", f"https://chat.whatsapp.com/testinvite{i:04d}", "whatsapp")
             for i in range(50)
         ]
         shards = assign_shards(probes, 4)
@@ -112,6 +116,19 @@ class TestSharding:
     def test_invalid_worker_count_rejected(self):
         with pytest.raises(ParallelError, match="n_workers"):
             shard_of("whatsapp:abc", 0)
+
+    def test_lost_probes_replays_shard_index_order(self):
+        probes = [
+            (f"whatsapp:g{i}", f"https://chat.whatsapp.com/testinvite{i:04d}", "whatsapp")
+            for i in range(30)
+        ]
+        shards = assign_shards(probes, 4)
+        # Index order, de-duplicated, caller order within each shard.
+        assert lost_probes(shards, [3, 1, 1]) == shards[1] + shards[3]
+        assert lost_probes(shards, []) == []
+        assert lost_probes(shards, range(4)) == [
+            p for shard in shards for p in shard
+        ]
 
 
 # -- engine lifecycle --------------------------------------------------------
@@ -181,6 +198,240 @@ class TestEngine:
         assert replica.twitter is not world.twitter
         # The replica can still advance its group state.
         replica.generate_day_groups(1)
+
+
+class TestEngineRobustness:
+    """The engine's failure-path contracts the supervisor builds on."""
+
+    def test_close_escalates_to_sigkill_for_stubborn_worker(self):
+        """A worker that ignores SIGTERM must not outlive close()."""
+        import time
+
+        from tests.helpers import stubborn_worker
+
+        engine = ParallelEngine(1, mode="replay", join_timeout=0.2)
+        parent, child = engine._ctx.Pipe()
+        proc = engine._ctx.Process(
+            target=stubborn_worker, args=(child,), daemon=True
+        )
+        proc.start()
+        child.close()
+        assert parent.recv() == ("ready",)  # SIGTERM handler installed
+        engine._procs = [proc]
+        engine._conns = [parent]
+        engine._advanced = 0
+        start = time.monotonic()
+        engine.close()
+        elapsed = time.monotonic() - start
+        assert not proc.is_alive(), "stubborn worker outlived close()"
+        assert not engine.started
+        # Two bounded rungs (stop wait + SIGTERM wait) then SIGKILL:
+        # well under the old unbounded hang.
+        assert elapsed < 5.0
+
+    def test_stop_worker_escalates_past_sigterm(self):
+        from tests.helpers import stubborn_worker
+
+        engine = ParallelEngine(1, mode="replay", join_timeout=0.2)
+        parent, child = engine._ctx.Pipe()
+        proc = engine._ctx.Process(
+            target=stubborn_worker, args=(child,), daemon=True
+        )
+        proc.start()
+        child.close()
+        assert parent.recv() == ("ready",)
+        engine._procs = [proc]
+        engine._conns = [parent]
+        engine._advanced = 0
+        engine.stop_worker(0)
+        assert not proc.is_alive()
+
+    def test_begin_day_wraps_dead_worker_as_parallel_error(self):
+        """A worker dead between days surfaces as ParallelError, never
+        a raw BrokenPipeError/OSError."""
+        engine = ParallelEngine(2, mode="replay")
+        engine.start(_tiny_world(), 0)
+        try:
+            engine.sigkill_worker(1)
+            engine._procs[1].join()
+            with pytest.raises(ParallelError, match="worker 1"):
+                engine.begin_day(1)
+        finally:
+            engine.close()
+
+    def test_failed_probe_day_leaves_no_live_workers(self):
+        """A deterministic worker error must close the whole pool
+        before the exception propagates — no stale siblings."""
+        engine = ParallelEngine(2, mode="replay")
+        engine.start(_tiny_world(), 0)
+        procs = list(engine._procs)
+        with pytest.raises(ParallelError, match="failed"):
+            engine.probe_day(0, [("x:y", "https://x/y", "bogus")])
+        assert not engine.started
+        for proc in procs:
+            proc.join(timeout=10)
+            assert not proc.is_alive(), "sibling survived a failed day"
+
+    def test_dead_worker_mid_probe_raises_without_supervision(self):
+        """The bare engine stays fail-fast: a crash mid-pass is a
+        ParallelError (healing is the supervisor's job)."""
+        engine = ParallelEngine(2, mode="replay")
+        engine.start(_tiny_world(), 0)
+        probes = [
+            (f"whatsapp:g{i}", f"https://chat.whatsapp.com/testinvite{i:04d}", "whatsapp")
+            for i in range(8)
+        ]
+        # Kill both so the crash hits whichever worker owns a shard.
+        engine.sigkill_worker(0)
+        engine.sigkill_worker(1)
+        engine._procs[0].join()
+        engine._procs[1].join()
+        with pytest.raises(ParallelError):
+            engine.probe_day(0, probes)
+        assert not engine.started
+
+
+# -- supervision -------------------------------------------------------------
+
+
+class TestSupervisionPolicy:
+    def test_defaults_are_valid(self):
+        policy = SupervisionPolicy()
+        assert policy.deadline_s > 0
+        assert policy.max_restarts >= 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"deadline_s": 0.0},
+            {"deadline_s": -1.0},
+            {"max_restarts": -1},
+            {"max_restarts": 1.5},
+            {"max_restarts": True},
+            {"wait_slice_s": 0.0},
+        ],
+    )
+    def test_invalid_policy_is_config_error(self, kwargs):
+        with pytest.raises(ConfigError):
+            SupervisionPolicy(**kwargs)
+
+
+class TestSupervisedEngine:
+    def _supervised(self, workers=2, **policy_kwargs):
+        engine = ParallelEngine(workers, mode="replay")
+        return SupervisedEngine(
+            engine, policy=SupervisionPolicy(**policy_kwargs)
+        )
+
+    def test_probe_before_start_is_an_error(self):
+        sup = self._supervised()
+        with pytest.raises(ParallelError, match="not started"):
+            sup.probe_day(0, [])
+
+    def test_crash_free_pass_matches_bare_engine(self):
+        world = _tiny_world()
+        probes = [
+            ("whatsapp:nosuchcode", "https://chat.whatsapp.com/nosuchcode", "whatsapp")
+        ]
+        bare = ParallelEngine(2, mode="replay")
+        bare.start(_tiny_world(), 0)
+        try:
+            expected = bare.probe_day(0, probes)
+        finally:
+            bare.close()
+        sup = self._supervised()
+        sup.start(world, 0)
+        try:
+            assert sup.probe_day(0, probes) == expected
+        finally:
+            sup.close()
+
+    def test_deterministic_worker_error_still_raises(self):
+        """An "error" reply is a deterministic failure: re-execution
+        would fail identically, so supervision must propagate it (with
+        the pool closed), not heal it."""
+        sup = self._supervised()
+        sup.start(_tiny_world(), 0)
+        with pytest.raises(ParallelError, match="failed"):
+            sup.probe_day(0, [("x:y", "https://x/y", "bogus")])
+        assert not sup._engine.started
+
+    def test_sigkilled_worker_is_healed_in_parent(self):
+        world = _tiny_world()
+        probes = [
+            (f"whatsapp:g{i}", f"https://chat.whatsapp.com/testinvite{i:04d}", "whatsapp")
+            for i in range(8)
+        ]
+        bare = ParallelEngine(2, mode="replay")
+        bare.start(_tiny_world(), 0)
+        try:
+            expected = bare.probe_day(0, probes)
+        finally:
+            bare.close()
+        sup = self._supervised()
+        sup.start(world, 0)
+        try:
+            sup._engine.sigkill_worker(0)
+            sup._engine.sigkill_worker(1)
+            outcomes, healths = sup.probe_day(0, probes)
+            assert (outcomes, healths) == expected
+            assert set(sup._lost) == {0, 1}
+        finally:
+            sup.close()
+
+    def test_lost_workers_respawn_with_budget(self):
+        world = World(WorldConfig(seed=3, n_days=3, scale=0.004))
+        world.generate_day(0)
+        probes = [
+            (f"whatsapp:g{i}", f"https://chat.whatsapp.com/testinvite{i:04d}", "whatsapp")
+            for i in range(8)
+        ]
+        sup = self._supervised(max_restarts=2)
+        sup.start(world, 0)
+        try:
+            sup._engine.sigkill_worker(0)
+            sup.probe_day(0, probes)
+            assert 0 in sup._lost
+            # Next day, in study order: replicas advance at the world
+            # stage, the parent generates its own day, then the probe
+            # pass heals — a fresh worker bootstrapped from the world
+            # exactly where the lost replica's advances would be.
+            sup.begin_day(1)
+            world.generate_day(1)
+            outcomes, _ = sup.probe_day(1, probes)
+            assert sup._lost == {}
+            assert not sup.degraded
+            assert sup._restarts[0] == 1
+            assert len(outcomes) == len(probes)
+        finally:
+            sup.close()
+
+    def test_exhausted_budget_degrades_to_sequential(self):
+        world = World(WorldConfig(seed=3, n_days=3, scale=0.004))
+        world.generate_day(0)
+        probes = [
+            (f"whatsapp:g{i}", f"https://chat.whatsapp.com/testinvite{i:04d}", "whatsapp")
+            for i in range(8)
+        ]
+        sup = self._supervised(max_restarts=0)
+        sup.start(world, 0)
+        try:
+            sup._engine.sigkill_worker(1)
+            first = sup.probe_day(0, probes)
+            assert len(first[0]) == len(probes)
+            sup.begin_day(1)
+            world.generate_day(1)
+            # Heal attempt finds the budget exhausted: pool closes,
+            # the day still completes in-parent, and the engine stays
+            # degraded (started stays True so the study does not try
+            # to restart it).
+            outcomes, _ = sup.probe_day(1, probes)
+            assert sup.degraded
+            assert sup.started
+            assert not sup._engine.started
+            assert len(outcomes) == len(probes)
+        finally:
+            sup.close()
 
 
 # -- byte-identity -----------------------------------------------------------
@@ -307,3 +558,126 @@ class TestKillAndResume:
         export_all_csv(dataset, out)
         assert _export_tree(out) == _export_tree(golden(None))
         assert fsck_store(store_dir).ok
+
+
+# -- supervision byte-identity -----------------------------------------------
+
+
+@pytest.mark.chaos
+class TestSupervisionByteIdentity:
+    """ISSUE 6 acceptance: a campaign that loses a worker mid-probe
+    completes without intervention and its artefacts are byte-identical
+    to the golden sequential run."""
+
+    @pytest.mark.parametrize("faults", [None, "hostile"])
+    def test_worker_sigkill_mid_campaign_is_invisible(
+        self, faults, golden, tmp_path
+    ):
+        study = Study(_config(faults))
+        study.telemetry.enable()
+        fired = []
+
+        def hook(day):
+            if day == 2 and not fired:
+                fired.append(True)
+                return 1
+            return None
+
+        study.worker_kill_hook = hook
+        dataset = study.run(workers=2)
+        out = tmp_path / "export"
+        export_all_csv(dataset, out)
+        assert fired, "worker-kill hook never fired"
+        assert _export_tree(out) == _export_tree(golden(faults)), (
+            f"supervised campaign diverged from golden (faults={faults})"
+        )
+        assert fsck_export(out).ok
+        reg = study.telemetry.metrics
+        assert reg.counter_total("parallel_worker_crashes_total") == 1
+        assert reg.counter_total("parallel_shard_reexecutions_total") == 1
+        assert reg.counter_total("parallel_worker_restarts_total") == 1
+        assert reg.counter_total("parallel_degraded_total") == 0
+
+    def test_hung_worker_is_detected_and_shard_reexecuted(
+        self, golden, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(HANG_ENV, "2:0:600")
+        study = Study(_config())
+        study.telemetry.enable()
+        dataset = study.run(workers=2, worker_deadline=3.0)
+        out = tmp_path / "export"
+        export_all_csv(dataset, out)
+        assert _export_tree(out) == _export_tree(golden(None)), (
+            "campaign with a hung worker diverged from golden"
+        )
+        reg = study.telemetry.metrics
+        assert reg.counter_total(
+            "parallel_worker_deadline_misses_total"
+        ) == 1
+        assert reg.counter_total("parallel_shard_reexecutions_total") == 1
+        assert reg.counter_total("parallel_degraded_total") == 0
+
+    @pytest.mark.parametrize("faults", [None, "hostile"])
+    def test_budget_exhaustion_degrades_and_finishes(
+        self, faults, golden, tmp_path
+    ):
+        study = Study(_config(faults))
+        study.telemetry.enable()
+        fired = []
+
+        def hook(day):
+            if day == 1 and not fired:
+                fired.append(True)
+                return 0
+            return None
+
+        study.worker_kill_hook = hook
+        dataset = study.run(workers=2, worker_restarts=0)
+        out = tmp_path / "export"
+        export_all_csv(dataset, out)
+        assert _export_tree(out) == _export_tree(golden(faults)), (
+            f"degraded campaign diverged from golden (faults={faults})"
+        )
+        assert study.telemetry.metrics.counter_total(
+            "parallel_degraded_total"
+        ) == 1
+
+    @pytest.mark.checkpoint
+    def test_worker_kill_then_campaign_kill_then_resume(
+        self, golden, tmp_path
+    ):
+        """The stacked failure: a worker dies at day 2 (healed by
+        supervision), the campaign dies at day 4 (healed by resume),
+        and the final artefacts still match golden."""
+        store_dir = tmp_path / "store"
+        study = Study(_config())
+        fired = []
+
+        def worker_hook(day):
+            if day == 2 and not fired:
+                fired.append(True)
+                return 0
+            return None
+
+        def stage_hook(day, stage):
+            if day == 4 and stage == "control":
+                raise _Boom()
+
+        study.worker_kill_hook = worker_hook
+        study.stage_hook = stage_hook
+        with pytest.raises(_Boom):
+            study.run(checkpoint_dir=store_dir, workers=2)
+        assert fired, "worker-kill hook never fired"
+
+        resumed = Study.resume(store_dir)
+        dataset = resumed.run(workers=2)
+        out = tmp_path / "export"
+        export_all_csv(dataset, out)
+        assert _export_tree(out) == _export_tree(golden(None))
+        assert fsck_store(store_dir).ok
+
+    def test_supervision_knobs_require_a_pool(self):
+        with pytest.raises(ConfigError, match="workers"):
+            Study(_config()).run(worker_deadline=10.0)
+        with pytest.raises(ConfigError, match="workers"):
+            Study(_config()).run(worker_restarts=1)
