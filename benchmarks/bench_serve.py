@@ -1,0 +1,204 @@
+"""Benchmark: serve-daemon query latency/throughput and read caching.
+
+Two gates over an in-process :class:`~repro.serve.ServeDaemon` whose
+campaign has run to completion (so timings measure the query path,
+not the simulation):
+
+* **load gate** — the seeded persona mix from
+  :mod:`repro.serve.load` (timeline-heavy, health-polling,
+  metrics-scrape) must finish error-free with overall p99 latency at
+  most ``MAX_P99_S`` and throughput at least ``MIN_RPS``;
+* **read-cache gate** — with the store's decompress cache enabled, a
+  repeat read of the same day record must return byte-identical
+  payload without touching the object file, and the hot read path
+  must beat the cold (gunzip + digest check) path by at least
+  ``MIN_READ_SPEEDUP``.
+
+Smoke mode (``BENCH_SERVE_SMOKE=1``) runs a miniature campaign
+through the same arithmetic and asserts the numbers parse as finite
+without enforcing thresholds — CI uses it to catch bit-rot in the
+gates themselves on shared 1-core runners.
+"""
+
+import math
+import os
+import time
+
+import pytest
+
+from repro.checkpoint import RunStore
+from repro.core.study import Study, StudyConfig
+from repro.reporting.tables import format_table
+from repro.serve import ServeConfig, ServeDaemon, run_load
+
+pytestmark = pytest.mark.serve
+
+SMOKE = os.environ.get("BENCH_SERVE_SMOKE") == "1"
+
+_BASE = dict(seed=7, n_days=8, scale=0.01, message_scale=0.05, join_day=3)
+if SMOKE:
+    _BASE = dict(
+        seed=7, n_days=4, scale=0.004, message_scale=0.05, join_day=1
+    )
+
+CLIENTS = 3 if SMOKE else 6
+REQUESTS = 10 if SMOKE else 60
+LOAD_SEED = 11
+
+#: Loopback query service against cached, pre-rendered bodies: the
+#: p99 bound is generous (an anchor unpickle on a cold day costs
+#: ~tens of ms at bench scale) and throughput asks only that the
+#: threading server actually overlaps its readers.
+MAX_P99_S = 0.25
+MIN_RPS = 150.0
+#: A cached repeat read skips open+gunzip+sha256; anything under 2x
+#: means the cache is not actually short-circuiting the read path.
+MIN_READ_SPEEDUP = 2.0
+READ_REPEATS = 20 if SMOKE else 200
+
+
+@pytest.fixture(scope="module")
+def serving(tmp_path_factory):
+    """A daemon over a completed campaign, torn down after the module."""
+    store_dir = tmp_path_factory.mktemp("serve-bench") / "store"
+    daemon = ServeDaemon(
+        Study(StudyConfig(**_BASE)),
+        ServeConfig(),
+        checkpoint_dir=store_dir,
+    )
+    daemon.start()
+    assert daemon.driver.finished.wait(600)
+    assert daemon.driver.phase == "complete"
+    yield daemon
+    daemon.close()
+
+
+def test_load_gate(serving, emit):
+    # Warm-up pass primes the response cache the way a steady-state
+    # daemon runs; the measured pass replays the same seeded mix.
+    run_load(serving.url, clients=CLIENTS, requests=REQUESTS, seed=LOAD_SEED)
+    report = run_load(
+        serving.url, clients=CLIENTS, requests=REQUESTS, seed=LOAD_SEED
+    )
+
+    p99_s = report.latency(0.99)
+    rows = [
+        (
+            persona,
+            f"{stats.requests}",
+            f"{report.latency(0.50, persona) * 1e3:.2f} ms",
+            f"{report.latency(0.99, persona) * 1e3:.2f} ms",
+        )
+        for persona, stats in sorted(report.personas.items())
+    ]
+    rows += [
+        (
+            "total",
+            f"{report.total_requests}",
+            f"{report.latency(0.50) * 1e3:.2f} ms",
+            f"{p99_s * 1e3:.2f} ms",
+        ),
+        (
+            f"gate (p99 <= {MAX_P99_S * 1e3:.0f} ms, "
+            f">= {MIN_RPS:.0f} req/s)",
+            f"{report.throughput_rps:.0f} req/s",
+            "-",
+            "SMOKE" if SMOKE else (
+                "PASS"
+                if p99_s <= MAX_P99_S and report.throughput_rps >= MIN_RPS
+                else "FAIL"
+            ),
+        ),
+    ]
+    emit(
+        "bench_serve",
+        format_table(
+            ("persona", "requests", "p50", "p99"),
+            rows,
+            title=(
+                f"Serve daemon load ({CLIENTS} clients x {REQUESTS} "
+                f"requests, seed {LOAD_SEED}, {_BASE['n_days']}-day "
+                f"campaign, scale {_BASE['scale']}, "
+                f"{os.cpu_count()} cores"
+                + (", SMOKE" if SMOKE else "")
+                + ")"
+            ),
+        ),
+    )
+
+    assert report.total_errors == 0
+    assert math.isfinite(p99_s) and math.isfinite(report.throughput_rps)
+    if SMOKE:
+        return  # gate arithmetic verified; thresholds need real scale
+    assert p99_s <= MAX_P99_S, (
+        f"p99 latency {p99_s * 1e3:.1f} ms above the "
+        f"{MAX_P99_S * 1e3:.0f} ms gate"
+    )
+    assert report.throughput_rps >= MIN_RPS, (
+        f"throughput {report.throughput_rps:.0f} req/s below the "
+        f"{MIN_RPS:.0f} req/s gate"
+    )
+
+
+def test_read_cache_gate(serving, emit):
+    """Repeated reads of one day record: cached vs uncached path."""
+    store = RunStore.open(serving.view.directory)
+    day = _BASE["n_days"] - 1
+
+    def timed_reads() -> float:
+        start = time.perf_counter()
+        for _ in range(READ_REPEATS):
+            payload = store.read_day(day)
+        elapsed = time.perf_counter() - start
+        return payload, elapsed
+
+    store.disable_read_cache()
+    cold_payload, cold_s = timed_reads()
+    store.enable_read_cache(4)
+    store.read_day(day)  # populate: the one gunzip the cache allows
+    hot_payload, hot_s = timed_reads()
+    speedup = cold_s / hot_s if hot_s > 0 else float("inf")
+
+    rows = [
+        (
+            f"uncached ({READ_REPEATS} reads)",
+            f"{cold_s * 1e3:.2f} ms",
+            f"{len(cold_payload)} B/read",
+        ),
+        (
+            f"cached ({READ_REPEATS} reads)",
+            f"{hot_s * 1e3:.2f} ms",
+            "byte-identical"
+            if hot_payload == cold_payload
+            else "MISMATCH",
+        ),
+        (
+            f"gate (speedup >= {MIN_READ_SPEEDUP:.0f}x)",
+            f"{speedup:.1f}x",
+            "SMOKE" if SMOKE else (
+                "PASS" if speedup >= MIN_READ_SPEEDUP else "FAIL"
+            ),
+        ),
+    ]
+    emit(
+        "bench_serve_read_cache",
+        format_table(
+            ("measurement", "wall", "note"),
+            rows,
+            title=(
+                f"Store decompress cache (day {day} anchor, "
+                f"{os.cpu_count()} cores"
+                + (", SMOKE" if SMOKE else "")
+                + ")"
+            ),
+        ),
+    )
+
+    assert hot_payload == cold_payload
+    assert math.isfinite(speedup) or hot_s == 0
+    if SMOKE:
+        return
+    assert speedup >= MIN_READ_SPEEDUP, (
+        f"cached reads only {speedup:.1f}x faster than gunzip path, "
+        f"below the {MIN_READ_SPEEDUP:.0f}x gate"
+    )

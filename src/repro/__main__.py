@@ -7,11 +7,13 @@ Usage::
     python -m repro --only table2 fig6    # subset of outputs
     python -m repro --topics              # include Table 3 (LDA; slower)
 
-Two subcommands ride alongside the flat campaign interface::
+Subcommands ride alongside the flat campaign interface::
 
     python -m repro fsck DIR [--repair]   # verify (and heal) a run store
                                           # or exported CSV directory
     python -m repro chaos --workdir DIR   # kill-resume-verify harness
+    python -m repro serve --checkpoint-dir DIR   # campaign query daemon
+    python -m repro serve-load --url URL  # persona load harness
 """
 
 from __future__ import annotations
@@ -592,12 +594,191 @@ def chaos_main(argv) -> int:
     return 0 if report.ok else 1
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Run a campaign as a long-lived daemon: a driver thread "
+            "advances the simulation day by day (checkpointing every "
+            "day into --checkpoint-dir) while a threading HTTP server "
+            "concurrently answers /v1/status, /v1/days, /v1/day/N, "
+            "/v1/health, /v1/report and /metrics queries, fronted by a "
+            "content-digest-keyed response cache. SIGTERM drains "
+            "in-flight requests, stops at the next day boundary and "
+            "exits 0 with the store resumable."
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-dir", metavar="DIR", required=True,
+        help="run store directory the daemon writes and serves from",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: %(default)s)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default: 0 = ephemeral; see --port-file)",
+    )
+    parser.add_argument(
+        "--port-file", metavar="PATH", default=None,
+        help="write the bound port here once listening (for scripts "
+             "driving an ephemeral port)",
+    )
+    parser.add_argument(
+        "--day-delay", type=float, default=0.0, metavar="SECONDS",
+        help="pause between simulated days (default: 0 = run flat out)",
+    )
+    parser.add_argument(
+        "--cache-entries", type=int, default=128, metavar="N",
+        help="response-cache capacity (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--read-cache-entries", type=int, default=8, metavar="N",
+        help="store decompress-cache capacity (default: %(default)s; "
+             "0 disables)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="anchor cadence (default: 1 so every published day is "
+             "directly decodable by /v1/day)",
+    )
+    parser.add_argument(
+        "--no-linger", action="store_true",
+        help="exit once the campaign completes instead of continuing "
+             "to serve the finished store",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume the campaign checkpointed in --checkpoint-dir "
+             "instead of starting fresh",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="study seed")
+    parser.add_argument(
+        "--days", type=int, default=38, help="campaign length in days"
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.01,
+        help="tweet-volume scale (1.0 = paper scale)",
+    )
+    parser.add_argument(
+        "--message-scale", type=float, default=0.1,
+        help="in-group message-volume scale",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for the daily probe pass (default: 1)",
+    )
+    parser.add_argument(
+        "--log-level", choices=LOG_LEVELS, default="info",
+        help="stderr log verbosity (default: info)",
+    )
+    return parser
+
+
+def serve_main(argv) -> int:
+    """``repro serve --checkpoint-dir DIR``: run the campaign daemon."""
+    args = build_serve_parser().parse_args(argv)
+    configure_logging(args.log_level)
+    from repro.serve import ServeConfig, ServeDaemon
+
+    serve_config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        cache_entries=args.cache_entries,
+        read_cache_entries=args.read_cache_entries,
+        day_delay_s=args.day_delay,
+        linger=not args.no_linger,
+    )
+    if args.checkpoint_every < 1:
+        raise ConfigError(
+            f"--checkpoint-every must be >= 1, got {args.checkpoint_every}"
+        )
+    if args.workers < 1:
+        raise ConfigError(f"--workers must be >= 1, got {args.workers}")
+    if args.resume:
+        study = Study.resume(args.checkpoint_dir)
+    else:
+        study = Study(
+            StudyConfig(
+                seed=args.seed,
+                n_days=args.days,
+                scale=args.scale,
+                message_scale=args.message_scale,
+                join_day=min(10, args.days - 1),
+            )
+        )
+    daemon = ServeDaemon(
+        study,
+        serve_config,
+        checkpoint_dir=args.checkpoint_dir,
+        anchor_every=args.checkpoint_every,
+        run_kwargs={"workers": args.workers} if args.workers > 1 else None,
+    )
+    logger.info(
+        "# Serving %s on %s (%s campaign, %d days)",
+        args.checkpoint_dir, daemon.url,
+        "resumed" if args.resume else "fresh", study.config.n_days,
+    )
+    return daemon.serve(port_file=args.port_file)
+
+
+def build_serve_load_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve-load",
+        description=(
+            "Replay deterministic client personas (timeline-heavy, "
+            "health-polling, metrics-scrape) against a running "
+            "'repro serve' daemon and print a latency/throughput table."
+        ),
+    )
+    parser.add_argument(
+        "--url", required=True, metavar="URL",
+        help="base URL of the daemon (e.g. http://127.0.0.1:8700)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=6, metavar="N",
+        help="concurrent client threads, dealt round-robin across "
+             "personas (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=50, metavar="N",
+        help="requests per client (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7,
+        help="persona RNG seed (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--log-level", choices=LOG_LEVELS, default="info",
+        help="stderr log verbosity (default: info)",
+    )
+    return parser
+
+
+def serve_load_main(argv) -> int:
+    """``repro serve-load --url URL``: exit 0 iff no request failed."""
+    args = build_serve_load_parser().parse_args(argv)
+    configure_logging(args.log_level)
+    from repro.serve import run_load
+
+    report = run_load(
+        args.url, clients=args.clients, requests=args.requests,
+        seed=args.seed,
+    )
+    print(report.format_table())
+    return 0 if report.total_errors == 0 else 1
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "fsck":
         return fsck_main(argv[1:])
     if argv and argv[0] == "chaos":
         return chaos_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    if argv and argv[0] == "serve-load":
+        return serve_load_main(argv[1:])
     args = build_parser().parse_args(argv)
     validate_args(args)
     configure_logging(args.log_level)

@@ -28,8 +28,10 @@ import hashlib
 import io
 import json
 import os
+import threading
 import time
 import zlib
+from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
@@ -146,6 +148,12 @@ class RunStore:
         #: Telemetry handle attached by the study that owns this store
         #: (never serialised — the store handle itself is transient).
         self.telemetry = None
+        #: Bounded decompress cache (digest -> payload), off by default.
+        #: Enabled by the serve daemon, whose query endpoints read the
+        #: same day record over and over; see :meth:`enable_read_cache`.
+        self._read_cache: Optional[OrderedDict] = None
+        self._read_cache_entries = 0
+        self._read_cache_lock = threading.Lock()
 
     # -- construction -----------------------------------------------------
 
@@ -238,13 +246,37 @@ class RunStore:
         """The store's anchor cadence (see :data:`DEFAULT_ANCHOR_EVERY`)."""
         return int(self.manifest.get("anchor_every", 1))
 
+    def _day_table(self) -> Dict[str, Any]:
+        """The manifest's day table, or ``{}`` when absent/malformed.
+
+        Concurrent readers (the serve daemon's HTTP threads) call the
+        day accessors against stores in every state, including a
+        manifest a repair pass is mid-way through rebuilding; a
+        missing or non-dict ``days`` block must read as "no days",
+        never surface as a ``KeyError``.
+        """
+        days = self.manifest.get("days")
+        return days if isinstance(days, dict) else {}
+
     def days(self) -> List[int]:
         """Checkpointed day indices, ascending."""
-        return sorted(int(day) for day in self.manifest["days"])
+        try:
+            return sorted(int(day) for day in self._day_table())
+        except (TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"corrupt checkpoint manifest in {self.directory}: "
+                f"non-numeric day key ({exc})"
+            ) from exc
 
     def has_day(self, day: int) -> bool:
-        """Whether day ``day`` has a checkpoint record."""
-        return str(day) in self.manifest["days"]
+        """Whether day ``day`` has a checkpoint record.
+
+        Always answers True/False: a missing day, a missing day
+        table, or a malformed manifest block all read as False — this
+        is the concurrent readers' existence probe and must never
+        leak a ``KeyError``.
+        """
+        return str(day) in self._day_table()
 
     def latest_day(self) -> int:
         """The most recent checkpointed day."""
@@ -288,10 +320,14 @@ class RunStore:
             )
         return digest
 
-    def read_day(self, day: int) -> bytes:
-        """Load and verify day ``day``'s record payload."""
-        start = time.perf_counter()
-        entry = self.manifest["days"].get(str(day))
+    def day_entry(self, day: int) -> Dict[str, Any]:
+        """The manifest entry for day ``day`` (digest, bytes, kind).
+
+        Raises :class:`CheckpointError` — never ``KeyError`` — for a
+        day that is not (or not yet) checkpointed, or whose manifest
+        entry is malformed.
+        """
+        entry = self._day_table().get(str(day))
         if entry is None:
             days = self.days()
             have = (
@@ -301,7 +337,40 @@ class RunStore:
                 f"day {day} is not checkpointed in {self.directory} "
                 f"(store holds {have})"
             )
-        path = self._object_path(entry["digest"])
+        if not isinstance(entry, dict) or not entry.get("digest"):
+            raise CheckpointError(
+                f"corrupt checkpoint manifest in {self.directory}: "
+                f"day {day} entry carries no object digest"
+            )
+        return entry
+
+    def read_day(self, day: int) -> bytes:
+        """Load and verify day ``day``'s record payload."""
+        entry = self.day_entry(day)
+        return self.read_object(
+            entry["digest"], kind=str(entry.get("kind", "anchor"))
+        )
+
+    def read_object(self, digest: str, kind: str = "anchor") -> bytes:
+        """Load and verify the object holding ``digest``'s payload.
+
+        The content-addressed read path under :meth:`read_day`,
+        callable directly by readers that already resolved a digest
+        (the serve daemon's published-day view reads objects by
+        digest so it never touches the manifest a concurrent writer
+        is updating).  With the read cache enabled, a repeat read of
+        the same digest returns the cached payload without touching
+        the filesystem or gunzipping.
+        """
+        start = time.perf_counter()
+        cached = self._read_cache_get(digest)
+        if cached is not None:
+            if self.telemetry is not None:
+                self.telemetry.count(
+                    "checkpoint_read_cache_hits_total", kind=kind
+                )
+            return cached
+        path = self._object_path(digest)
         try:
             with gzip.open(path, "rb") as handle:
                 payload = handle.read()
@@ -316,20 +385,83 @@ class RunStore:
             raise CheckpointError(
                 f"corrupt checkpoint day record {path}: {exc}"
             ) from exc
-        if _sha256(payload) != entry["digest"]:
+        if _sha256(payload) != digest:
             raise CheckpointError(
                 f"checkpoint day record {path} fails its digest check"
             )
+        self._read_cache_put(digest, payload)
         if self.telemetry is not None:
-            self.telemetry.count(
-                "checkpoint_reads_total", kind=entry["kind"]
-            )
+            self.telemetry.count("checkpoint_reads_total", kind=kind)
+            if self._read_cache is not None:
+                self.telemetry.count(
+                    "checkpoint_read_cache_misses_total", kind=kind
+                )
             self.telemetry.observe(
                 "checkpoint_read_seconds",
                 time.perf_counter() - start,
-                kind=entry["kind"],
+                kind=kind,
             )
         return payload
+
+    # -- decompress cache -------------------------------------------------
+
+    def enable_read_cache(self, max_entries: int = 16) -> None:
+        """Cache up to ``max_entries`` decompressed payloads by digest.
+
+        Off by default: batch resume/fork reads each record once, so
+        a cache would only hold memory.  The serve daemon enables it
+        because its query endpoints decode the same (immutable,
+        content-addressed) day records on every request — a repeat
+        read skips the gunzip and digest check entirely, and the
+        payload is byte-identical by construction since entries are
+        only inserted after the digest verification passed.
+        """
+        if max_entries < 1:
+            raise CheckpointError(
+                f"read cache needs >= 1 entry, got {max_entries}"
+            )
+        with self._read_cache_lock:
+            self._read_cache = OrderedDict()
+            self._read_cache_entries = int(max_entries)
+
+    def disable_read_cache(self) -> None:
+        """Drop the decompress cache and return to uncached reads."""
+        with self._read_cache_lock:
+            self._read_cache = None
+            self._read_cache_entries = 0
+
+    def read_cache_stats(self) -> Dict[str, int]:
+        """Entry count and capacity of the decompress cache."""
+        with self._read_cache_lock:
+            if self._read_cache is None:
+                return {"enabled": 0, "entries": 0, "max_entries": 0}
+            return {
+                "enabled": 1,
+                "entries": len(self._read_cache),
+                "max_entries": self._read_cache_entries,
+            }
+
+    def _read_cache_get(self, digest: str) -> Optional[bytes]:
+        with self._read_cache_lock:
+            if self._read_cache is None:
+                return None
+            payload = self._read_cache.get(digest)
+            if payload is not None:
+                self._read_cache.move_to_end(digest)
+            return payload
+
+    def _read_cache_put(self, digest: str, payload: bytes) -> None:
+        with self._read_cache_lock:
+            if self._read_cache is None:
+                return
+            self._read_cache[digest] = payload
+            self._read_cache.move_to_end(digest)
+            while len(self._read_cache) > self._read_cache_entries:
+                self._read_cache.popitem(last=False)
+                if self.telemetry is not None:
+                    self.telemetry.count(
+                        "checkpoint_read_cache_evictions_total"
+                    )
 
     def record_engine(self, workers: int) -> None:
         """Record the execution-engine configuration in the manifest.

@@ -283,6 +283,39 @@ class Study:
 
     # -- running -----------------------------------------------------------
 
+    def attach_store(
+        self,
+        checkpoint_dir: Union[str, os.PathLike],
+        anchor_every: Optional[int] = None,
+    ) -> RunStore:
+        """Create (or reset) and attach a run store without running.
+
+        The store-attachment half of ``run(checkpoint_dir=...)``,
+        split out for callers that need the store handle *before* the
+        campaign starts — the serve daemon builds its published-day
+        read view over the store, then drives the campaign with a
+        plain ``run()`` against the already-attached store (exactly
+        the path a resumed study takes).
+        """
+        self._store = RunStore.create(
+            checkpoint_dir,
+            self.config,
+            anchor_every=(
+                DEFAULT_ANCHOR_EVERY if anchor_every is None else anchor_every
+            ),
+        )
+        self._store.telemetry = self.telemetry
+        # A marker may only defer to an anchor in the *same* store:
+        # force the first record of a fresh store to be an anchor
+        # snapshot.
+        self._last_anchor = None
+        return self._store
+
+    @property
+    def store(self) -> Optional[RunStore]:
+        """The attached run store, if any (read-only handle)."""
+        return self._store
+
     def run(
         self,
         checkpoint_dir: Optional[Union[str, os.PathLike]] = None,
@@ -291,6 +324,7 @@ class Study:
         workers: int = 1,
         worker_deadline: Optional[float] = None,
         worker_restarts: Optional[int] = None,
+        day_hook=None,
     ) -> StudyDataset:
         """Execute (or continue) the campaign; returns the dataset.
 
@@ -323,6 +357,17 @@ class Study:
         days.  Both are runtime knobs like ``workers`` — outside the
         config digest, free to differ between a run and its resume —
         and neither can change a single artefact byte.
+
+        ``day_hook`` is the drive-by-day hook: a callable fired with
+        the day index after each day completes — after its checkpoint
+        record landed, when a store is attached — from the campaign
+        thread.  The serve daemon uses it to publish the finished day
+        to concurrent readers and to pace or drain the campaign: any
+        exception the hook raises stops the campaign cleanly (the
+        worker pool is closed first) and propagates to the caller,
+        leaving the store resumable from the day that just
+        checkpointed.  The hook runs outside the chaos stage hooks
+        and never fires during resume replay.
         """
         config = self.config
         if not isinstance(workers, int) or isinstance(workers, bool):
@@ -338,20 +383,7 @@ class Study:
                 "worker_deadline/worker_restarts require workers > 1"
             )
         if checkpoint_dir is not None:
-            self._store = RunStore.create(
-                checkpoint_dir,
-                config,
-                anchor_every=(
-                    DEFAULT_ANCHOR_EVERY
-                    if anchor_every is None
-                    else anchor_every
-                ),
-            )
-            self._store.telemetry = self.telemetry
-            # A marker may only defer to an anchor in the *same*
-            # store: force the first record of a fresh store to be an
-            # anchor snapshot.
-            self._last_anchor = None
+            self.attach_store(checkpoint_dir, anchor_every)
         if self._store is not None:
             self._store.record_engine(workers)
         if self._dataset is None:
@@ -408,6 +440,8 @@ class Study:
                         wall_s=time.perf_counter() - start,
                     )
                 self._fire_hook(day, "day_end")
+                if day_hook is not None:
+                    day_hook(day)
                 logger.debug("day %d/%d complete", day + 1, config.n_days)
         finally:
             if self._parallel is not None:

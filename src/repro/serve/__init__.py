@@ -1,0 +1,34 @@
+"""repro.serve — the long-lived campaign daemon.
+
+Turns the batch pipeline into a service: one
+:class:`~repro.serve.driver.CampaignDriver` thread advances the
+campaign through the existing study/checkpoint machinery while a
+stdlib threading HTTP server concurrently answers status, day-slice,
+health, report and Prometheus queries out of the run store, fronted
+by a content-digest-keyed response cache.  ``repro serve`` is the CLI
+entry point; :mod:`repro.serve.load` is the seeded load harness
+behind ``repro serve-load``.
+"""
+
+from repro.serve.access import StoreView
+from repro.serve.cache import ResponseCache, cache_key
+from repro.serve.config import ServeConfig
+from repro.serve.daemon import ServeDaemon
+from repro.serve.driver import CampaignDriver, DrainRequested
+from repro.serve.http import ServeHTTPServer
+from repro.serve.load import LoadReport, run_load
+from repro.serve.metrics import ServeMetrics
+
+__all__ = [
+    "CampaignDriver",
+    "DrainRequested",
+    "LoadReport",
+    "ResponseCache",
+    "ServeConfig",
+    "ServeDaemon",
+    "ServeHTTPServer",
+    "ServeMetrics",
+    "StoreView",
+    "cache_key",
+    "run_load",
+]

@@ -1,0 +1,182 @@
+"""Reader/writer-safe access to a live campaign's run store.
+
+The driver thread writes day records through the study's
+:class:`~repro.checkpoint.RunStore` while HTTP threads answer queries
+against the same store.  Object files are safe by construction — they
+are content-addressed and land via atomic rename, so a reader can
+never observe a torn object — but the manifest dict is mutated in
+place by the writer, and the decision "which days exist right now"
+must not be read from under it.
+
+:class:`StoreView` closes that gap with a published-day protocol:
+after a day's record is durably on disk, the driver *publishes* the
+day (its manifest entry — digest, payload size, record kind — copied
+under the view's lock).  Readers only ever see published days and read
+payloads content-addressed by digest via
+:meth:`~repro.checkpoint.RunStore.read_object`, never through the
+manifest — so an in-progress day is invisible until it is complete,
+torn reads are structurally impossible, and no reader ever blocks the
+campaign for longer than a dict copy.
+
+The view also carries the published campaign-telemetry snapshot (the
+``/metrics`` source) and a tiny LRU of decoded anchor records, since
+several endpoints (day slices, health, report) decode the same anchor.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional
+
+from repro.checkpoint import RunStore, decode_day_record
+from repro.errors import CheckpointError
+from repro.telemetry import MetricsRegistry
+
+__all__ = ["StoreView"]
+
+#: Decoded anchors kept hot.  An anchor unpickles to a full Study
+#: object graph, so this stays tiny: the latest day (status/health/
+#: report) plus one historical day a client is paging through.
+_DECODED_ENTRIES = 2
+
+
+class StoreView:
+    """The HTTP layer's read-only window onto a live run store."""
+
+    def __init__(self, store: RunStore) -> None:
+        self._store = store
+        self._lock = threading.Lock()
+        #: day -> {"digest", "bytes", "kind"}, published days only.
+        self._entries: Dict[int, Dict[str, Any]] = {}
+        self._latest: Optional[int] = None
+        self._metrics = MetricsRegistry()
+        self._process_lives = 1
+        self._decode_lock = threading.Lock()
+        self._decoded: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+
+    @property
+    def directory(self) -> str:
+        return str(self._store.directory)
+
+    # -- writer side (driver thread) --------------------------------------
+
+    def publish_day(self, day: int, entry: Dict[str, Any]) -> None:
+        """Make day ``day`` visible to readers (record is on disk)."""
+        entry = {
+            "digest": entry["digest"],
+            "bytes": int(entry.get("bytes", 0)),
+            "kind": str(entry.get("kind", "anchor")),
+        }
+        with self._lock:
+            self._entries[day] = entry
+            if self._latest is None or day > self._latest:
+                self._latest = day
+
+    def publish_existing(self) -> None:
+        """Publish every day already in the store (resume startup).
+
+        Called before any reader or writer thread starts, so reading
+        the manifest directly is safe here.
+        """
+        for day in self._store.days():
+            self.publish_day(day, self._store.day_entry(day))
+
+    def publish_metrics(
+        self, snapshot: MetricsRegistry, process_lives: int
+    ) -> None:
+        """Swap in a fresh campaign-telemetry snapshot.
+
+        ``snapshot`` must be a private copy (the driver builds one
+        with ``MetricsRegistry().merge(...)``); the view hands it out
+        by reference and never mutates it.
+        """
+        with self._lock:
+            self._metrics = snapshot
+            self._process_lives = int(process_lives)
+
+    # -- reader side (HTTP threads) ----------------------------------------
+
+    def days(self) -> List[int]:
+        """Published day indices, ascending."""
+        with self._lock:
+            return sorted(self._entries)
+
+    def latest_day(self) -> Optional[int]:
+        """The most recent published day (None before the first)."""
+        with self._lock:
+            return self._latest
+
+    def entry(self, day: int) -> Dict[str, Any]:
+        """The published entry for ``day``; CheckpointError if unpublished."""
+        with self._lock:
+            entry = self._entries.get(day)
+            latest = self._latest
+        if entry is None:
+            have = (
+                f"published days 0..{latest}"
+                if latest is not None
+                else "no published days yet"
+            )
+            raise CheckpointError(
+                f"day {day} is not published ({have})"
+            )
+        return dict(entry)
+
+    def entries(self) -> Dict[int, Dict[str, Any]]:
+        """All published entries, as a point-in-time copy."""
+        with self._lock:
+            return {day: dict(e) for day, e in self._entries.items()}
+
+    def metrics_snapshot(self):
+        """The latest (registry snapshot, process lives) pair."""
+        with self._lock:
+            return self._metrics, self._process_lives
+
+    def read_day(self, day: int) -> bytes:
+        """The payload of a *published* day, content-addressed."""
+        entry = self.entry(day)
+        return self._store.read_object(entry["digest"], kind=entry["kind"])
+
+    def record(self, day: int) -> Dict[str, Any]:
+        """The decoded day record (anchor study or replay marker).
+
+        Decoded anchors are cached by digest in a small LRU: the
+        digest is content-addressed, so a cached decode can never go
+        stale.  Each cached study is a private unpickled object graph
+        — mutating it (e.g. collecting a report from its joiner)
+        cannot touch the live campaign — but it is *shared across
+        requests*, so view builders must treat it as read-mostly.
+        """
+        entry = self.entry(day)
+        digest = entry["digest"]
+        with self._decode_lock:
+            record = self._decoded.get(digest)
+            if record is not None:
+                self._decoded.move_to_end(digest)
+                return record
+        payload = self._store.read_object(digest, kind=entry["kind"])
+        record = decode_day_record(payload)
+        with self._decode_lock:
+            self._decoded[digest] = record
+            self._decoded.move_to_end(digest)
+            while len(self._decoded) > _DECODED_ENTRIES:
+                self._decoded.popitem(last=False)
+        return record
+
+    def record_fresh(self, day: int) -> Dict[str, Any]:
+        """Decode a *private* copy of day ``day``'s record.
+
+        Bypasses the decode LRU: builders that mutate the decoded
+        graph (the report endpoint collects messages through the
+        decoded joiner's handles) get their own unpickle, so the
+        shared cached decode stays read-only.  The byte payload still
+        comes through the store's decompress cache.
+        """
+        entry = self.entry(day)
+        payload = self._store.read_object(entry["digest"], kind=entry["kind"])
+        return decode_day_record(payload)
+
+    def read_cache_stats(self) -> Dict[str, int]:
+        """Pass-through to the store's decompress-cache stats."""
+        return self._store.read_cache_stats()

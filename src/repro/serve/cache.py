@@ -1,0 +1,99 @@
+"""Content-digest-keyed response cache for the serve daemon.
+
+Every cacheable HTTP endpoint renders its body from exactly one
+underlying day record (or the latest one), so the natural cache key is
+``(endpoint, day-record digest, sorted query params)``: the digest is
+content-addressed, so a cached response stays valid for as long as the
+underlying object exists — there is nothing to invalidate, a new day
+simply arrives under a new digest and misses.  A day's response is
+therefore computed once (the expensive part is unpickling the anchor
+snapshot) and served from cache to every subsequent identical request.
+
+The cache is a bounded LRU guarded by one lock; hit/miss/eviction
+counters land both in the serve metrics registry (scraped at
+``/metrics``) and in the stats block of ``/v1/status``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = ["CachedResponse", "ResponseCache", "cache_key"]
+
+#: A rendered response: (HTTP status, content type, body bytes).
+CachedResponse = Tuple[int, str, bytes]
+
+
+def cache_key(endpoint: str, digest: str, params: Dict[str, str]) -> str:
+    """The canonical cache key for one rendered response.
+
+    ``digest`` is the content digest of the day record the response
+    was derived from (the latest record's digest for whole-campaign
+    views like ``/v1/health``); ``params`` are the already-validated
+    query parameters.  Sorted so two spellings of the same query share
+    one entry.
+    """
+    query = "&".join(f"{k}={v}" for k, v in sorted(params.items()))
+    return f"{endpoint}|{digest}|{query}"
+
+
+class ResponseCache:
+    """Bounded LRU of rendered responses, keyed by content digest."""
+
+    def __init__(self, max_entries: int, metrics=None) -> None:
+        if max_entries < 1:
+            raise ConfigError(
+                f"response cache needs >= 1 entry, got {max_entries}"
+            )
+        self.max_entries = int(max_entries)
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, CachedResponse]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> Optional[CachedResponse]:
+        """The cached response for ``key``, bumping its recency."""
+        with self._lock:
+            response = self._entries.get(key)
+            if response is None:
+                self.misses += 1
+                if self._metrics is not None:
+                    self._metrics.count("serve_cache_misses_total")
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            if self._metrics is not None:
+                self._metrics.count("serve_cache_hits_total")
+            return response
+
+    def put(self, key: str, response: CachedResponse) -> None:
+        """Insert ``response``, evicting least-recently-used entries."""
+        with self._lock:
+            self._entries[key] = response
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                if self._metrics is not None:
+                    self._metrics.count("serve_cache_evictions_total")
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction counters and occupancy, as one dict."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+            }

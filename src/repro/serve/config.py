@@ -1,0 +1,78 @@
+"""Serve-mode configuration.
+
+:class:`ServeConfig` bundles the runtime knobs of the campaign daemon
+(:mod:`repro.serve.daemon`).  Like the worker count, none of these are
+part of the campaign's identity: they live outside
+:class:`~repro.core.study.StudyConfig` and the store's config digest,
+so any serve configuration may drive (or resume) any store, and
+serving a campaign can never change a single artefact byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "DEFAULT_CACHE_ENTRIES",
+    "DEFAULT_READ_CACHE_ENTRIES",
+    "ServeConfig",
+]
+
+#: Default bound on the HTTP response cache (rendered bodies).
+DEFAULT_CACHE_ENTRIES = 128
+
+#: Default bound on the store's decompress cache (day payloads) while
+#: serving.  Day payloads are the big objects (an anchor is a full
+#: campaign pickle), so this stays small.
+DEFAULT_READ_CACHE_ENTRIES = 8
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Runtime configuration of one ``repro serve`` daemon.
+
+    Attributes:
+        host: Interface to bind (default loopback).
+        port: TCP port; 0 (the default) binds an ephemeral port —
+            read the bound address back from
+            :attr:`~repro.serve.daemon.ServeDaemon.address` or the
+            CLI's ``--port-file``.
+        cache_entries: Bound on the response cache (rendered HTTP
+            bodies keyed by day-record digest + query params).
+        read_cache_entries: Bound on the store's decompress cache
+            (:meth:`~repro.checkpoint.RunStore.enable_read_cache`);
+            0 leaves it disabled.
+        day_delay_s: Pause between simulated days, so a campaign
+            advances in paced "real time" instead of as fast as the
+            hardware allows.  0 (the default) runs flat out.
+        linger: Keep serving after the campaign completes (until
+            SIGTERM); False exits as soon as the driver finishes.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    cache_entries: int = DEFAULT_CACHE_ENTRIES
+    read_cache_entries: int = DEFAULT_READ_CACHE_ENTRIES
+    day_delay_s: float = 0.0
+    linger: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 65535:
+            raise ConfigError(
+                f"port must be in [0, 65535], got {self.port}"
+            )
+        if self.cache_entries < 1:
+            raise ConfigError(
+                f"cache_entries must be >= 1, got {self.cache_entries}"
+            )
+        if self.read_cache_entries < 0:
+            raise ConfigError(
+                "read_cache_entries must be >= 0 (0 disables), got "
+                f"{self.read_cache_entries}"
+            )
+        if self.day_delay_s < 0:
+            raise ConfigError(
+                f"day_delay_s must be >= 0, got {self.day_delay_s}"
+            )

@@ -1,0 +1,201 @@
+"""The serve daemon: lifecycle, signals, and wiring.
+
+:class:`ServeDaemon` assembles the pieces — a campaign
+:class:`~repro.core.study.Study` with an attached run store, the
+published-day :class:`~repro.serve.access.StoreView`, the response
+cache, the serve metrics registry, the
+:class:`~repro.serve.driver.CampaignDriver` thread, and the bound
+:class:`~repro.serve.http.ServeHTTPServer` — and owns the shutdown
+order that makes SIGTERM a *drain*:
+
+1. ask the driver to stop; it raises out of the day hook at the next
+   day boundary, **after** that day's record is durably checkpointed;
+2. stop accepting connections and join every in-flight handler
+   (``server_close`` with ``block_on_close``), so no client sees a
+   reset mid-response;
+3. exit 0 — the store passes ``repro fsck`` and the campaign resumes
+   from the drained boundary, byte-identical to an uninterrupted run.
+
+The HTTP socket is bound in ``__init__`` (so an ephemeral ``port=0``
+is resolved before any thread starts), but no thread runs until
+:meth:`serve`.
+"""
+
+from __future__ import annotations
+
+import logging
+import signal
+import threading
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.errors import ConfigError
+from repro.serve.access import StoreView
+from repro.serve.cache import ResponseCache
+from repro.serve.config import ServeConfig
+from repro.serve.driver import CampaignDriver
+from repro.serve.http import ServeHTTPServer
+from repro.serve.metrics import ServeMetrics
+from repro.telemetry import render_prometheus_registry
+
+__all__ = ["ServeDaemon"]
+
+logger = logging.getLogger(__name__)
+
+
+class ServeDaemon:
+    """A long-lived campaign daemon: one driver, many readers."""
+
+    def __init__(
+        self,
+        study,
+        config: Optional[ServeConfig] = None,
+        *,
+        checkpoint_dir=None,
+        anchor_every: int = 1,
+        run_kwargs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.study = study
+        # Telemetry is load-bearing for serve (cache counters, request
+        # accounting) and proven byte-neutral for campaign artefacts.
+        study.telemetry.enable()
+        if study.store is None:
+            if checkpoint_dir is None:
+                raise ConfigError(
+                    "serve needs a checkpoint directory (pass "
+                    "checkpoint_dir, or a study with an attached store)"
+                )
+            # Every day an anchor by default: each published day is
+            # directly decodable by /v1/day without replay.
+            study.attach_store(checkpoint_dir, anchor_every)
+        store = study.store
+        if self.config.read_cache_entries > 0:
+            store.enable_read_cache(self.config.read_cache_entries)
+
+        self.view = StoreView(store)
+        # A resumed (or finished) store already holds days: publish
+        # them before any thread exists, so readers see the history.
+        self.view.publish_existing()
+        self.serve_metrics = ServeMetrics()
+        self.cache = ResponseCache(
+            self.config.cache_entries, metrics=self.serve_metrics
+        )
+        self.driver = CampaignDriver(
+            study,
+            self.view,
+            day_delay_s=self.config.day_delay_s,
+            run_kwargs=run_kwargs,
+        )
+        # Seed the published metrics snapshot pre-thread, so /metrics
+        # is never empty even before the first day lands.
+        self.driver.publish_metrics()
+        self.server = ServeHTTPServer(
+            (self.config.host, self.config.port),
+            self.view,
+            self.cache,
+            self.serve_metrics,
+            self.driver,
+        )
+        #: Set once both threads are running and requests are served.
+        self.ready = threading.Event()
+        self._stop = threading.Event()
+        self._server_thread: Optional[threading.Thread] = None
+
+    # -- addresses ---------------------------------------------------------
+
+    @property
+    def address(self):
+        """The bound ``(host, port)`` — concrete even for port 0."""
+        return self.server.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the driver and server threads (non-blocking)."""
+        self._server_thread = threading.Thread(
+            target=self.server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._server_thread.start()
+        self.driver.start()
+        self.ready.set()
+        logger.info(
+            "serving %s (store %s)", self.url, self.view.directory
+        )
+
+    def serve(
+        self,
+        *,
+        install_signals: bool = True,
+        port_file=None,
+    ) -> int:
+        """Run until signalled (or until the campaign ends, if not
+        lingering); returns the process exit code.
+
+        SIGTERM/SIGINT request a drain; the teardown itself runs on
+        this thread, never in the signal handler.
+        """
+        if install_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                signal.signal(signum, self._on_signal)
+        self.start()
+        if port_file is not None:
+            Path(port_file).write_text(f"{self.address[1]}\n")
+        try:
+            while not self._stop.is_set():
+                if self.driver.finished.is_set() and not self.config.linger:
+                    break
+                self._stop.wait(0.2)
+        finally:
+            self.close()
+        phase = self.driver.phase
+        if phase == "failed":
+            logger.error("campaign failed: %s", self.driver.error)
+            return 1
+        logger.info("daemon stopped cleanly (campaign %s)", phase)
+        return 0
+
+    def _on_signal(self, signum, frame) -> None:
+        logger.info(
+            "received %s; draining", signal.Signals(signum).name
+        )
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Request a drain (thread- and signal-safe, returns at once)."""
+        self.driver.request_stop()
+        self._stop.set()
+
+    def close(self) -> None:
+        """Drain and stop everything; idempotent, blocking."""
+        self.shutdown()
+        if self.driver.ident is not None:
+            # The driver stops at the next day boundary, after that
+            # day's checkpoint record landed.
+            self.driver.join()
+        # Stop accepting, then join in-flight handlers
+        # (block_on_close): requests already being answered finish.
+        self.server.shutdown()
+        self.server.server_close()
+        if self._server_thread is not None:
+            self._server_thread.join()
+            self._server_thread = None
+
+    # -- test hooks --------------------------------------------------------
+
+    def scrape_state(self):
+        """The exact (registry, lives) a ``/metrics`` scrape renders."""
+        campaign, lives = self.view.metrics_snapshot()
+        return self.serve_metrics.scrape_state(campaign, lives)
+
+    def render_metrics(self) -> str:
+        """The ``/metrics`` body, rendered off-wire (for tests)."""
+        return render_prometheus_registry(*self.scrape_state())

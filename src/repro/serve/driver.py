@@ -1,0 +1,131 @@
+"""The campaign driver thread.
+
+One thread owns the campaign: it drives the existing
+:meth:`Study.run <repro.core.study.Study.run>` loop (sequential or
+through the supervised parallel engine — the driver does not care)
+against the study's already-attached run store, and uses the
+drive-by-day hook to publish each finished day to the
+:class:`~repro.serve.access.StoreView` the HTTP threads read.
+
+The hook is also the drain point: when a stop is requested (SIGTERM,
+or :meth:`ServeDaemon.shutdown <repro.serve.daemon.ServeDaemon.shutdown>`),
+the driver raises :class:`DrainRequested` out of the hook *after* the
+current day's record landed, so the campaign stops exactly at a day
+boundary — the store is left in the same state a kill-and-resume
+chaos cycle proves resumable — and ``Study.run``'s own cleanup closes
+any worker pool on the way out.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import traceback
+from typing import Any, Dict, Optional
+
+from repro.serve.access import StoreView
+from repro.telemetry import MetricsRegistry
+
+__all__ = ["CampaignDriver", "DrainRequested"]
+
+logger = logging.getLogger(__name__)
+
+
+class DrainRequested(Exception):
+    """Raised out of the day hook to stop the campaign at a boundary."""
+
+
+class CampaignDriver(threading.Thread):
+    """Advances a campaign day by day, publishing each finished day."""
+
+    #: Lifecycle phases, in order of appearance.
+    PHASES = ("starting", "running", "draining", "drained", "complete", "failed")
+
+    def __init__(
+        self,
+        study,
+        view: StoreView,
+        *,
+        day_delay_s: float = 0.0,
+        run_kwargs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(name="repro-serve-driver", daemon=True)
+        self._study = study
+        self._view = view
+        self._day_delay_s = float(day_delay_s)
+        self._run_kwargs = dict(run_kwargs or {})
+        self.stop_event = threading.Event()
+        #: Set once the driver will never publish another day.
+        self.finished = threading.Event()
+        self._lock = threading.Lock()
+        self._phase = "starting"
+        self._error: Optional[str] = None
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def phase(self) -> str:
+        with self._lock:
+            if self._phase == "running" and self.stop_event.is_set():
+                return "draining"
+            return self._phase
+
+    @property
+    def error(self) -> Optional[str]:
+        with self._lock:
+            return self._error
+
+    def _set_phase(self, phase: str, error: Optional[str] = None) -> None:
+        with self._lock:
+            self._phase = phase
+            self._error = error
+
+    def request_stop(self) -> None:
+        """Ask the campaign to drain at the next day boundary."""
+        self.stop_event.set()
+
+    # -- thread body -------------------------------------------------------
+
+    def run(self) -> None:
+        self._set_phase("running")
+        try:
+            self._study.run(day_hook=self._after_day, **self._run_kwargs)
+        except DrainRequested:
+            self._set_phase("drained")
+            logger.info(
+                "campaign drained at day boundary %d",
+                self._study._next_day - 1,
+            )
+        except Exception as exc:  # the daemon keeps serving a failure
+            self._set_phase("failed", f"{type(exc).__name__}: {exc}")
+            logger.error(
+                "campaign driver failed:\n%s", traceback.format_exc()
+            )
+        else:
+            self._set_phase("complete")
+            logger.info("campaign complete; continuing to serve")
+        finally:
+            self.finished.set()
+
+    def _after_day(self, day: int) -> None:
+        """The drive-by-day hook: publish, pace, honour drains."""
+        store = self._study.store
+        if store is not None:
+            self._view.publish_day(day, store.day_entry(day))
+        self.publish_metrics()
+        # One wait covers both pacing and drain: a day delay of 0
+        # still observes a pending stop immediately.
+        if self.stop_event.wait(self._day_delay_s) or self.stop_event.is_set():
+            raise DrainRequested(f"drain requested at day {day}")
+
+    def publish_metrics(self) -> None:
+        """Publish a fresh campaign-telemetry snapshot to the view.
+
+        Runs on the driver thread (the registry's single writer), so
+        copying via merge is race-free; also called once by the
+        daemon before any thread starts.
+        """
+        telemetry = self._study.telemetry
+        snapshot = MetricsRegistry()
+        snapshot.merge(telemetry.metrics)
+        self._view.publish_metrics(snapshot, telemetry.process_lives)

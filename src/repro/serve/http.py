@@ -1,0 +1,351 @@
+"""The HTTP request layer: routes, caching, and error mapping.
+
+A :class:`ServeHTTPServer` is a stdlib ``ThreadingHTTPServer`` wired
+to the daemon's shared state — the :class:`~repro.serve.access.StoreView`,
+the :class:`~repro.serve.cache.ResponseCache`, the serve metrics
+registry, and the campaign driver.  Each request runs on its own
+thread; everything a handler touches is either immutable, published
+under the view's lock, or lock-guarded.
+
+Routes::
+
+    GET /v1/status            campaign phase, published days, cache stats
+    GET /v1/days              published day index (digest, bytes, kind)
+    GET /v1/day/{n}           decoded day slice; ?platform= ?limit= ?group=
+    GET /v1/health            collection-health report (latest day)
+    GET /v1/report            dataset summary + Table 2 + health (latest day)
+    GET /metrics              Prometheus text (campaign + serve registries)
+
+``/v1/day``, ``/v1/health`` and ``/v1/report`` are fronted by the
+content-digest-keyed response cache; the ``X-Cache: HIT|MISS`` header
+reports the outcome per response.  Error mapping is uniform: unknown
+or unpublished days raise :class:`~repro.errors.CheckpointError` and
+map to 404, invalid query parameters map to 400, anything unexpected
+maps to 500 with a ``serve_errors_total`` count — never a raw
+traceback in the body.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.errors import CheckpointError
+from repro.serve.cache import CachedResponse, cache_key
+from repro.serve.views import day_slice, health_body, report_body
+
+__all__ = ["ServeHTTPServer", "ServeRequestHandler"]
+
+logger = logging.getLogger(__name__)
+
+_JSON = "application/json; charset=utf-8"
+_TEXT = "text/plain; charset=utf-8"
+#: Prometheus exposition format 0.0.4 content type.
+_PROM = "text/plain; version=0.0.4; charset=utf-8"
+
+_PLATFORMS = ("whatsapp", "telegram", "discord")
+
+
+class _BadRequest(Exception):
+    """Invalid query parameters; maps to HTTP 400."""
+
+
+def _json_body(obj: Any) -> bytes:
+    return (json.dumps(obj, indent=2, sort_keys=True) + "\n").encode("utf-8")
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server carrying the daemon's shared state."""
+
+    # One thread per request; server_close() joins in-flight handlers,
+    # which is exactly the drain semantics SIGTERM needs.
+    daemon_threads = True
+    block_on_close = True
+    allow_reuse_address = True
+
+    def __init__(self, address, view, cache, serve_metrics, driver) -> None:
+        super().__init__(address, ServeRequestHandler)
+        self.view = view
+        self.cache = cache
+        self.serve_metrics = serve_metrics
+        self.driver = driver
+        self.started_at = time.monotonic()
+
+
+class ServeRequestHandler(BaseHTTPRequestHandler):
+    """Route dispatch for one request thread."""
+
+    # No keep-alive: every response closes its connection, so a drain
+    # never waits on an idle client socket.
+    protocol_version = "HTTP/1.0"
+    server: ServeHTTPServer
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        logger.debug("%s %s", self.address_string(), format % args)
+
+    def _send(
+        self,
+        status: int,
+        content_type: str,
+        body: bytes,
+        x_cache: Optional[str] = None,
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if x_cache is not None:
+            self.send_header("X-Cache", x_cache)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send(status, _JSON, _json_body({"error": message}))
+
+    # -- dispatch ----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        split = urlsplit(self.path)
+        path = split.path.rstrip("/") or "/"
+        try:
+            params = dict(parse_qsl(split.query, keep_blank_values=True))
+        except ValueError:
+            self._send_error_json(400, "malformed query string")
+            return
+
+        started = time.monotonic()
+        endpoint: Optional[str] = None
+        try:
+            if path == "/metrics":
+                # Deliberately not counted: quiesced scrapes must be
+                # byte-identical, so the scrape cannot observe itself.
+                self._handle_metrics()
+                return
+            if path == "/v1/status":
+                endpoint = "status"
+                self._handle_status()
+            elif path == "/v1/days":
+                endpoint = "days"
+                self._handle_days()
+            elif path.startswith("/v1/day/"):
+                endpoint = "day"
+                self._handle_day(path[len("/v1/day/"):], params)
+            elif path == "/v1/health":
+                endpoint = "health"
+                self._handle_health()
+            elif path == "/v1/report":
+                endpoint = "report"
+                self._handle_report()
+            else:
+                endpoint = "unknown"
+                self._send_error_json(404, f"no such endpoint: {path}")
+        except _BadRequest as exc:
+            self.server.serve_metrics.count(
+                "serve_errors_total", status="400"
+            )
+            self._send_error_json(400, str(exc))
+        except CheckpointError as exc:
+            self.server.serve_metrics.count(
+                "serve_errors_total", status="404"
+            )
+            self._send_error_json(404, str(exc))
+        except BrokenPipeError:
+            pass  # client went away mid-write; nothing to send
+        except Exception as exc:
+            logger.exception("unhandled error serving %s", self.path)
+            self.server.serve_metrics.count(
+                "serve_errors_total", status="500"
+            )
+            try:
+                self._send_error_json(
+                    500, f"internal error: {type(exc).__name__}"
+                )
+            except OSError:
+                pass
+        finally:
+            if endpoint is not None:
+                metrics = self.server.serve_metrics
+                metrics.count("serve_requests_total", endpoint=endpoint)
+                metrics.observe(
+                    "serve_request_seconds", time.monotonic() - started
+                )
+
+    # -- cache helper ------------------------------------------------------
+
+    def _respond_cached(
+        self,
+        endpoint: str,
+        digest: str,
+        params: Dict[str, str],
+        build: Callable[[], CachedResponse],
+    ) -> None:
+        """Serve from the response cache, building+storing on a miss.
+
+        Two threads racing the same key may both build; both results
+        are identical (pure function of digest + params), so the
+        second put is harmless.
+        """
+        key = cache_key(endpoint, digest, params)
+        cached = self.server.cache.get(key)
+        if cached is not None:
+            status, content_type, body = cached
+            self._send(status, content_type, body, x_cache="HIT")
+            return
+        status, content_type, body = build()
+        self.server.cache.put(key, (status, content_type, body))
+        self._send(status, content_type, body, x_cache="MISS")
+
+    def _latest_entry(self) -> Tuple[int, Dict[str, Any]]:
+        """The latest published day and its entry; 404 before day 0."""
+        view = self.server.view
+        latest = view.latest_day()
+        if latest is None:
+            raise CheckpointError(
+                "no day has been published yet (campaign is on day 0)"
+            )
+        return latest, view.entry(latest)
+
+    # -- routes ------------------------------------------------------------
+
+    def _handle_status(self) -> None:
+        view = self.server.view
+        driver = self.server.driver
+        body = {
+            "phase": driver.phase,
+            "error": driver.error,
+            "latest_day": view.latest_day(),
+            "published_days": len(view.days()),
+            "store": view.directory,
+            "uptime_s": round(
+                time.monotonic() - self.server.started_at, 3
+            ),
+            "response_cache": self.server.cache.stats(),
+            "read_cache": view.read_cache_stats(),
+        }
+        self._send(200, _JSON, _json_body(body))
+
+    def _handle_days(self) -> None:
+        view = self.server.view
+        entries = view.entries()
+        body = {
+            "days": [
+                {
+                    "day": day,
+                    "digest": entries[day]["digest"],
+                    "bytes": entries[day]["bytes"],
+                    "kind": entries[day]["kind"],
+                }
+                for day in sorted(entries)
+            ],
+            "latest_day": view.latest_day(),
+        }
+        self._send(200, _JSON, _json_body(body))
+
+    def _handle_day(self, tail: str, raw: Dict[str, str]) -> None:
+        try:
+            day = int(tail)
+        except ValueError:
+            raise _BadRequest(f"day must be an integer, got {tail!r}")
+        if day < 0:
+            raise _BadRequest(f"day must be >= 0, got {day}")
+        params = self._day_params(raw)
+
+        view = self.server.view
+        entry = view.entry(day)
+
+        def build() -> CachedResponse:
+            record = view.record(day)
+            if record["kind"] != "anchor":
+                body = {
+                    "day": day,
+                    "kind": "replay",
+                    "anchor_day": record["anchor_day"],
+                    "hint": (
+                        "this day is a replay marker; query its anchor "
+                        "day, or run serve with --checkpoint-every 1"
+                    ),
+                }
+                return 200, _JSON, _json_body(body)
+            body = day_slice(
+                record["study"],
+                day,
+                platform=params.get("platform"),
+                limit=(
+                    int(params["limit"]) if "limit" in params else None
+                ),
+                group=params.get("group"),
+            )
+            return 200, _JSON, _json_body(body)
+
+        self._respond_cached("day", entry["digest"], params, build)
+
+    @staticmethod
+    def _day_params(raw: Dict[str, str]) -> Dict[str, str]:
+        """Validate /v1/day query params; _BadRequest on anything off."""
+        params: Dict[str, str] = {}
+        unknown = sorted(set(raw) - {"platform", "limit", "group"})
+        if unknown:
+            raise _BadRequest(f"unknown query parameters: {unknown}")
+        if "platform" in raw:
+            if raw["platform"] not in _PLATFORMS:
+                raise _BadRequest(
+                    f"platform must be one of {list(_PLATFORMS)}, "
+                    f"got {raw['platform']!r}"
+                )
+            params["platform"] = raw["platform"]
+        if "limit" in raw:
+            try:
+                limit = int(raw["limit"])
+            except ValueError:
+                raise _BadRequest(
+                    f"limit must be an integer, got {raw['limit']!r}"
+                )
+            if limit < 1:
+                raise _BadRequest(f"limit must be >= 1, got {limit}")
+            params["limit"] = str(limit)
+        if "group" in raw:
+            if not raw["group"]:
+                raise _BadRequest("group must be non-empty")
+            params["group"] = raw["group"]
+        return params
+
+    def _handle_health(self) -> None:
+        view = self.server.view
+        latest, entry = self._latest_entry()
+
+        def build() -> CachedResponse:
+            record = view.record(latest)
+            if record["kind"] != "anchor":
+                raise CheckpointError(
+                    f"latest day {latest} is a replay marker; health "
+                    "needs an anchor (run serve with --checkpoint-every 1)"
+                )
+            return 200, _TEXT, health_body(record["study"]).encode("utf-8")
+
+        self._respond_cached("health", entry["digest"], {}, build)
+
+    def _handle_report(self) -> None:
+        view = self.server.view
+        latest, entry = self._latest_entry()
+
+        def build() -> CachedResponse:
+            record = view.record_fresh(latest)
+            if record["kind"] != "anchor":
+                raise CheckpointError(
+                    f"latest day {latest} is a replay marker; the report "
+                    "needs an anchor (run serve with --checkpoint-every 1)"
+                )
+            body = report_body(record["study"], latest)
+            return 200, _TEXT, body.encode("utf-8")
+
+        self._respond_cached("report", entry["digest"], {}, build)
+
+    def _handle_metrics(self) -> None:
+        campaign, lives = self.server.view.metrics_snapshot()
+        body = self.server.serve_metrics.render(campaign, lives)
+        self._send(200, _PROM, body.encode("utf-8"))

@@ -1,0 +1,284 @@
+"""Seeded load harness for the serve daemon.
+
+Replays deterministic client *personas* against a running daemon with
+stdlib threads and ``urllib`` — no external load tool:
+
+``timeline``
+    pages day slices (``/v1/day/{n}`` with varying ``limit`` and
+    ``platform`` params) and the day index — the cache-heavy,
+    unpickle-bound read path;
+``health``
+    polls ``/v1/status`` and ``/v1/health`` — what an operator
+    dashboard does;
+``metrics``
+    scrapes ``/metrics`` — what Prometheus does.
+
+Every client owns a ``random.Random(seed, client-index)`` stream, so
+a given (seed, clients, requests, published days) replays the exact
+same request sequence; the report is deterministic up to timing.  The
+bench harness (``benchmarks/bench_serve.py``) gates throughput and
+p99 latency on this report.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from random import Random
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "LoadReport",
+    "PERSONAS",
+    "percentile",
+    "run_load",
+]
+
+PERSONAS = ("timeline", "health", "metrics")
+
+_PLATFORMS = ("whatsapp", "telegram", "discord")
+
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = math.ceil(q * len(sorted_values))
+    index = min(len(sorted_values) - 1, max(0, rank - 1))
+    return sorted_values[index]
+
+
+@dataclass
+class _PersonaStats:
+    requests: int = 0
+    errors: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    latencies_s: List[float] = field(default_factory=list)
+
+
+@dataclass
+class LoadReport:
+    """The outcome of one load run, aggregated per persona."""
+
+    url: str
+    clients: int
+    requests_per_client: int
+    seed: int
+    duration_s: float
+    personas: Dict[str, _PersonaStats]
+
+    @property
+    def total_requests(self) -> int:
+        return sum(s.requests for s in self.personas.values())
+
+    @property
+    def total_errors(self) -> int:
+        return sum(s.errors for s in self.personas.values())
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.total_requests / self.duration_s
+
+    def latency(self, q: float, persona: Optional[str] = None) -> float:
+        """The q-quantile latency in seconds (one persona or all)."""
+        if persona is not None:
+            values = sorted(self.personas[persona].latencies_s)
+        else:
+            values = sorted(
+                v
+                for stats in self.personas.values()
+                for v in stats.latencies_s
+            )
+        return percentile(values, q)
+
+    def format_table(self) -> str:
+        """A fixed-width summary table, one row per persona + total."""
+        lines = [
+            f"load: {self.clients} clients x "
+            f"{self.requests_per_client} requests against {self.url} "
+            f"(seed {self.seed})",
+            f"{'persona':<10} {'reqs':>6} {'errs':>5} {'hits':>6} "
+            f"{'miss':>6} {'p50_ms':>8} {'p95_ms':>8} {'p99_ms':>8}",
+        ]
+        rows = [(name, self.personas[name]) for name in PERSONAS]
+        total = _PersonaStats()
+        for _, stats in rows:
+            total.requests += stats.requests
+            total.errors += stats.errors
+            total.cache_hits += stats.cache_hits
+            total.cache_misses += stats.cache_misses
+            total.latencies_s.extend(stats.latencies_s)
+        for name, stats in rows + [("total", total)]:
+            values = sorted(stats.latencies_s)
+            lines.append(
+                f"{name:<10} {stats.requests:>6} {stats.errors:>5} "
+                f"{stats.cache_hits:>6} {stats.cache_misses:>6} "
+                f"{percentile(values, 0.50) * 1e3:>8.2f} "
+                f"{percentile(values, 0.95) * 1e3:>8.2f} "
+                f"{percentile(values, 0.99) * 1e3:>8.2f}"
+            )
+        lines.append(
+            f"duration {self.duration_s:.3f}s  "
+            f"throughput {self.throughput_rps:.1f} req/s  "
+            f"errors {self.total_errors}"
+        )
+        return "\n".join(lines)
+
+
+def _fetch(url: str, timeout: float) -> Tuple[int, Optional[str]]:
+    """(status, X-Cache header) for one GET; errors as status codes."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            response.read()
+            return response.status, response.headers.get("X-Cache")
+    except urllib.error.HTTPError as exc:
+        exc.read()
+        return exc.code, None
+    except (urllib.error.URLError, OSError):
+        return 599, None
+
+
+def _persona_url(
+    persona: str, base: str, rng: Random, days: List[int], step: int
+) -> str:
+    if persona == "timeline":
+        if not days or step % 7 == 0:
+            return f"{base}/v1/days"
+        day = rng.choice(days)
+        roll = rng.random()
+        if roll < 0.3:
+            return f"{base}/v1/day/{day}"
+        if roll < 0.6:
+            return f"{base}/v1/day/{day}?limit={rng.choice((5, 10, 20))}"
+        return f"{base}/v1/day/{day}?platform={rng.choice(_PLATFORMS)}"
+    if persona == "health":
+        if step % 3 == 0 and days:
+            return f"{base}/v1/health"
+        return f"{base}/v1/status"
+    if persona == "metrics":
+        return f"{base}/metrics"
+    raise ConfigError(f"unknown persona {persona!r}")
+
+
+class _Client(threading.Thread):
+    def __init__(
+        self,
+        base: str,
+        persona: str,
+        rng: Random,
+        n_requests: int,
+        days: List[int],
+        timeout: float,
+        start_barrier: threading.Barrier,
+    ) -> None:
+        super().__init__(name=f"load-{persona}", daemon=True)
+        self.base = base
+        self.persona = persona
+        self.rng = rng
+        self.n_requests = n_requests
+        self.days = days
+        self.timeout = timeout
+        self.start_barrier = start_barrier
+        self.stats = _PersonaStats()
+
+    def run(self) -> None:
+        self.start_barrier.wait()
+        for step in range(self.n_requests):
+            url = _persona_url(
+                self.persona, self.base, self.rng, self.days, step
+            )
+            started = time.perf_counter()
+            status, x_cache = _fetch(url, self.timeout)
+            elapsed = time.perf_counter() - started
+            self.stats.requests += 1
+            self.stats.latencies_s.append(elapsed)
+            if status >= 400:
+                self.stats.errors += 1
+            if x_cache == "HIT":
+                self.stats.cache_hits += 1
+            elif x_cache == "MISS":
+                self.stats.cache_misses += 1
+
+
+def run_load(
+    url: str,
+    *,
+    clients: int = 6,
+    requests: int = 50,
+    seed: int = 7,
+    timeout: float = 10.0,
+) -> LoadReport:
+    """Drive ``clients`` persona threads against a running daemon.
+
+    Clients are dealt round-robin across the three personas
+    (timeline, health, metrics), each with its own seeded RNG; all
+    start together behind a barrier so the measured window is fully
+    concurrent.
+    """
+    if clients < 1:
+        raise ConfigError(f"clients must be >= 1, got {clients}")
+    if requests < 1:
+        raise ConfigError(f"requests must be >= 1, got {requests}")
+    base = url.rstrip("/")
+    # One pre-flight fetch of the published day index: the timeline
+    # persona replays against a fixed day set, which also keeps the
+    # request sequence deterministic for a given store state.
+    days: List[int] = []
+    try:
+        with urllib.request.urlopen(
+            f"{base}/v1/days", timeout=timeout
+        ) as response:
+            days = [
+                entry["day"]
+                for entry in json.loads(response.read())["days"]
+            ]
+    except (urllib.error.URLError, OSError, KeyError, ValueError):
+        days = []
+
+    barrier = threading.Barrier(clients + 1)
+    workers = [
+        _Client(
+            base,
+            PERSONAS[index % len(PERSONAS)],
+            Random(seed * 1_000_003 + index),
+            requests,
+            days,
+            timeout,
+            barrier,
+        )
+        for index in range(clients)
+    ]
+    for worker in workers:
+        worker.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for worker in workers:
+        worker.join()
+    duration = time.perf_counter() - started
+
+    personas = {name: _PersonaStats() for name in PERSONAS}
+    for worker in workers:
+        stats = personas[worker.persona]
+        stats.requests += worker.stats.requests
+        stats.errors += worker.stats.errors
+        stats.cache_hits += worker.stats.cache_hits
+        stats.cache_misses += worker.stats.cache_misses
+        stats.latencies_s.extend(worker.stats.latencies_s)
+    return LoadReport(
+        url=base,
+        clients=clients,
+        requests_per_client=requests,
+        seed=seed,
+        duration_s=duration,
+        personas=personas,
+    )

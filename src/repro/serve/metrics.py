@@ -1,0 +1,67 @@
+"""Serve-side metrics: a lock-guarded registry plus the scrape path.
+
+The campaign's own :class:`~repro.telemetry.MetricsRegistry` is
+single-writer (the driver thread) and is published to readers as an
+immutable snapshot at each day boundary; the *serve* layer's metrics —
+request counts, request latency, response-cache hits/misses/evictions
+— are written from many HTTP threads at once, so they live in a
+separate registry guarded by one lock.
+
+``/metrics`` renders the union: a fresh registry merged from the
+latest published campaign snapshot and the serve registry, through
+:func:`repro.telemetry.render_prometheus_registry` — the same code
+path as the file exporter, so scrape output and
+``--telemetry-dir``-style file output are byte-identical for the same
+registry state.  The scrape deliberately does not count itself (the
+``/metrics`` route is excluded from request accounting), so repeated
+scrapes of a quiesced daemon return byte-identical bodies.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Tuple
+
+from repro.telemetry import MetricsRegistry, render_prometheus_registry
+
+__all__ = ["ServeMetrics"]
+
+
+class ServeMetrics:
+    """A thread-safe registry for the serve layer's own counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._registry = MetricsRegistry()
+
+    def count(self, name: str, value: float = 1.0, **labels: str) -> None:
+        """Increment a serve counter (thread-safe)."""
+        with self._lock:
+            self._registry.inc(name, value, **labels)
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        """Fold a value into a serve histogram (thread-safe)."""
+        with self._lock:
+            self._registry.observe(name, value, **labels)
+
+    def scrape_state(
+        self, campaign: MetricsRegistry, process_lives: int
+    ) -> Tuple[MetricsRegistry, int]:
+        """The combined registry a scrape renders, as a fresh copy.
+
+        ``campaign`` is the latest published (immutable) campaign
+        snapshot; the serve registry is merged in under the lock.
+        Exposed separately from :meth:`render` so tests can feed the
+        exact same state through the file exporter and assert
+        byte-identity.
+        """
+        combined = MetricsRegistry()
+        combined.merge(campaign)
+        with self._lock:
+            combined.merge(self._registry)
+        return combined, process_lives
+
+    def render(self, campaign: MetricsRegistry, process_lives: int) -> str:
+        """The ``/metrics`` body for the current combined state."""
+        combined, lives = self.scrape_state(campaign, process_lives)
+        return render_prometheus_registry(combined, lives)

@@ -1,0 +1,187 @@
+"""Response builders: day-record slices rendered as JSON-able dicts.
+
+Every builder takes a *decoded* day record — the full campaign state
+as of one day boundary, unpickled from the store's anchor snapshot —
+and slices the pieces a query client wants: the day's group timeline
+snapshots, cumulative membership, deaths, and discovery totals.  The
+decoded study is a private object graph (see
+:meth:`repro.serve.access.StoreView.record`), so whole-campaign
+renderers like :func:`~repro.reporting.render_health` can run against
+it without ever touching the live campaign.
+
+Builders are pure functions of the decoded record plus validated
+query parameters; the HTTP layer caches their output keyed by the
+record's content digest, so each is computed once per (digest,
+params).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.dataset import StudyDataset
+from repro.reporting import render_health, render_table1, render_table2
+
+__all__ = [
+    "day_slice",
+    "health_body",
+    "report_body",
+    "snapshot_dict",
+]
+
+#: Reporting order shared with the study.
+_PLATFORMS = ("whatsapp", "telegram", "discord")
+
+
+def snapshot_dict(snapshot) -> Dict[str, Any]:
+    """One monitor snapshot as a JSON-able dict."""
+    return {
+        "day": snapshot.day,
+        "t": snapshot.t,
+        "alive": snapshot.alive,
+        "state": snapshot.state,
+        "size": snapshot.size,
+        "online": snapshot.online,
+        "title": snapshot.title,
+        "kind": snapshot.kind.value if snapshot.kind is not None else None,
+        "death_reason": snapshot.death_reason,
+    }
+
+
+def _platform_of(study, canonical: str) -> str:
+    record = study.engine.records.get(canonical)
+    return record.platform if record is not None else ""
+
+
+def _membership(study, until_t: float) -> Dict[str, int]:
+    """Groups joined per platform as of ``until_t`` (cumulative)."""
+    counts = {platform: 0 for platform in _PLATFORMS}
+    for record, join_t, _handle in getattr(study.joiner, "_joined", []):
+        if join_t <= until_t and record.platform in counts:
+            counts[record.platform] += 1
+    return counts
+
+
+def day_slice(
+    study,
+    day: int,
+    platform: Optional[str] = None,
+    limit: Optional[int] = None,
+    group: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The day-``day`` slice of a decoded anchor study.
+
+    Default shape: every group observed on ``day`` (its snapshot for
+    that day), the day's deaths, cumulative membership, and discovery
+    totals.  ``platform`` filters to one platform, ``limit`` bounds
+    the timeline list (deterministically, in sorted canonical order),
+    and ``group`` returns one group's *full* timeline up to ``day``
+    instead of the one-day cross-section.
+    """
+    snapshots = study.monitor.snapshots
+    if group is not None:
+        timeline = [
+            snapshot_dict(s)
+            for s in snapshots.get(group, [])
+            if s.day <= day
+        ]
+        return {
+            "day": day,
+            "kind": "anchor",
+            "group": group,
+            "platform": _platform_of(study, group),
+            "timeline": timeline,
+            "found": bool(timeline),
+        }
+
+    timelines: List[Dict[str, Any]] = []
+    deaths: List[Dict[str, Any]] = []
+    observed = 0
+    for canonical in sorted(snapshots):
+        series = snapshots[canonical]
+        todays = [s for s in series if s.day == day]
+        if not todays:
+            continue
+        snapshot = todays[-1]
+        plat = _platform_of(study, canonical)
+        if platform is not None and plat != platform:
+            continue
+        observed += 1
+        if not snapshot.alive:
+            deaths.append(
+                {
+                    "canonical": canonical,
+                    "platform": plat,
+                    "reason": snapshot.death_reason,
+                }
+            )
+        if limit is None or len(timelines) < limit:
+            entry = snapshot_dict(snapshot)
+            entry["canonical"] = canonical
+            entry["platform"] = plat
+            timelines.append(entry)
+    per_platform: Dict[str, int] = {p: 0 for p in _PLATFORMS}
+    for record in study.engine.records.values():
+        if record.first_seen_t <= day + 1:
+            per_platform[record.platform] = (
+                per_platform.get(record.platform, 0) + 1
+            )
+    return {
+        "day": day,
+        "kind": "anchor",
+        "observed_groups": observed,
+        "returned_groups": len(timelines),
+        "timelines": timelines,
+        "deaths": deaths,
+        "membership": _membership(study, until_t=day + 1.0),
+        "discovered_urls": per_platform,
+    }
+
+
+def _shim_dataset(study) -> StudyDataset:
+    """A dataset shim carrying what whole-campaign renderers read."""
+    config = study.config
+    dataset = StudyDataset(
+        n_days=config.n_days,
+        scale=config.scale,
+        message_scale=config.message_scale,
+    )
+    dataset.health = study.health
+    dataset.snapshots = dict(study.monitor.snapshots)
+    dataset.records = dict(study.engine.records)
+    return dataset
+
+
+def health_body(study) -> str:
+    """``/v1/health``: the collection-health report as of this anchor."""
+    return render_health(_shim_dataset(study))
+
+
+def report_body(study, day: int) -> str:
+    """``/v1/report``: dataset summary + Table 2 + health, mid-campaign.
+
+    Collects messages from the decoded study's joined groups up to
+    the end of ``day`` — a mutation of the *decoded copy only* — then
+    renders the same tables the batch CLI prints.  Before the join
+    day the table simply reports zero joined groups.
+    """
+    config = study.config
+    dataset = _shim_dataset(study)
+    joined, users = study.joiner.collect(
+        until_t=float(day + 1), message_scale=config.message_scale
+    )
+    dataset.joined = joined
+    dataset.users = users
+    dataset.tweets = dict(study.engine.tweets)
+    header = (
+        f"Campaign report as of day {day} "
+        f"(seed {config.seed}, {config.n_days}-day window)"
+    )
+    return "\n\n".join(
+        [
+            header,
+            render_table1(),
+            render_table2(dataset),
+            render_health(dataset),
+        ]
+    )

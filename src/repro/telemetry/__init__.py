@@ -30,6 +30,7 @@ from repro.telemetry.exporters import (
     export_prometheus,
     export_telemetry,
     render_prometheus,
+    render_prometheus_registry,
     telemetry_events,
 )
 from repro.telemetry.handle import Telemetry
@@ -58,5 +59,6 @@ __all__ = [
     "export_prometheus",
     "export_telemetry",
     "render_prometheus",
+    "render_prometheus_registry",
     "telemetry_events",
 ]

@@ -36,6 +36,7 @@ __all__ = [
     "export_prometheus",
     "export_telemetry",
     "render_prometheus",
+    "render_prometheus_registry",
     "telemetry_events",
 ]
 
@@ -126,11 +127,18 @@ def _format_value(value: float) -> str:
     return repr(value)
 
 
-def render_prometheus(telemetry: Telemetry) -> str:
-    """The registry in Prometheus text exposition format."""
+def render_prometheus_registry(metrics, process_lives: int) -> str:
+    """A bare :class:`~repro.telemetry.registry.MetricsRegistry` in
+    Prometheus text exposition format.
+
+    The single rendering path behind both :func:`export_prometheus`
+    (file export) and the serve daemon's ``/metrics`` scrape endpoint
+    (:mod:`repro.serve`), so the two outputs are byte-identical for
+    the same registry state by construction.
+    """
     lines = []
     seen_types: set = set()
-    for kind, name, labels, value in telemetry.metrics.series():
+    for kind, name, labels, value in metrics.series():
         full = _PREFIX + name
         if full not in seen_types:
             seen_types.add(full)
@@ -153,9 +161,16 @@ def render_prometheus(telemetry: Telemetry) -> str:
                 f"{full}{_format_labels(labels)} {_format_value(value)}"
             )
     lines.append(
-        f"{_PREFIX}process_lives {telemetry.process_lives}"
+        f"{_PREFIX}process_lives {process_lives}"
     )
     return "\n".join(lines) + "\n"
+
+
+def render_prometheus(telemetry: Telemetry) -> str:
+    """The registry in Prometheus text exposition format."""
+    return render_prometheus_registry(
+        telemetry.metrics, telemetry.process_lives
+    )
 
 
 def export_prometheus(

@@ -287,3 +287,124 @@ class TestRunStore:
         assert manifest["fault_profile"] == "hostile"
         assert manifest["config_digest"] == config_digest(config)
         assert (tmp_path / MANIFEST_NAME).exists()
+
+
+class TestConcurrentReaderHardening:
+    """Error paths a concurrent reader (the serve daemon) leans on:
+    missing or in-flight days answer cleanly — CheckpointError or
+    False — never KeyError/FileNotFoundError out of the store."""
+
+    def test_read_day_missing_is_checkpoint_error(self, tmp_path):
+        store = RunStore.create(tmp_path, _config())
+        store.write_day(0, b"payload")
+        with pytest.raises(CheckpointError, match="day 3 is not checkpointed"):
+            store.read_day(3)
+        with pytest.raises(CheckpointError, match="no days"):
+            RunStore.create(tmp_path / "empty", _config()).read_day(0)
+
+    def test_has_day_is_always_boolean(self, tmp_path):
+        store = RunStore.create(tmp_path, _config())
+        assert store.has_day(0) is False
+        store.write_day(0, b"payload")
+        assert store.has_day(0) is True
+        assert store.has_day(99) is False
+        # A manifest with no day table reads as "no days", not KeyError.
+        del store.manifest["days"]
+        assert store.has_day(0) is False
+        assert store.days() == []
+        with pytest.raises(CheckpointError):
+            store.day_entry(0)
+
+    def test_malformed_day_entry_is_checkpoint_error(self, tmp_path):
+        store = RunStore.create(tmp_path, _config())
+        store.manifest["days"]["0"] = {"bytes": 3}  # no digest
+        with pytest.raises(CheckpointError, match="no object digest"):
+            store.read_day(0)
+        store.manifest["days"] = {"zero": {"digest": "d"}}
+        with pytest.raises(CheckpointError, match="non-numeric day key"):
+            store.days()
+
+    def test_missing_object_is_checkpoint_error(self, tmp_path):
+        store = RunStore.create(tmp_path, _config())
+        digest = store.write_day(0, b"payload")
+        (tmp_path / "objects" / f"{digest}.bin.gz").unlink()
+        with pytest.raises(CheckpointError, match="missing checkpoint"):
+            store.read_day(0)
+
+    def test_read_object_resolves_digests_without_manifest(self, tmp_path):
+        store = RunStore.create(tmp_path, _config())
+        digest = store.write_day(0, b"payload")
+        # The published-day protocol reads by digest: the manifest's
+        # day table can change (or vanish) underneath without effect.
+        store.manifest["days"] = {}
+        assert store.read_object(digest) == b"payload"
+
+
+class TestDecompressReadCache:
+    """The digest-keyed payload cache behind the serve daemon's reads:
+    off by default, byte-identical on hits, bounded with LRU eviction."""
+
+    def test_disabled_by_default(self, tmp_path):
+        store = RunStore.create(tmp_path, _config())
+        assert store.read_cache_stats() == {
+            "enabled": 0, "entries": 0, "max_entries": 0,
+        }
+        store.write_day(0, b"payload")
+        store.read_day(0)
+        assert store.read_cache_stats()["entries"] == 0
+
+    def test_hits_skip_the_filesystem_and_are_byte_identical(
+        self, tmp_path
+    ):
+        store = RunStore.create(tmp_path, _config())
+        store.enable_read_cache(4)
+        digest = store.write_day(0, b"payload-bytes")
+        first = store.read_day(0)
+        # Remove the object: a cached read cannot touch the file.
+        (tmp_path / "objects" / f"{digest}.bin.gz").unlink()
+        second = store.read_day(0)
+        assert first == second == b"payload-bytes"
+        assert store.read_cache_stats() == {
+            "enabled": 1, "entries": 1, "max_entries": 4,
+        }
+
+    def test_lru_eviction_is_bounded(self, tmp_path):
+        store = RunStore.create(tmp_path, _config())
+        store.enable_read_cache(2)
+        for day in range(3):
+            store.write_day(day, f"payload-{day}".encode())
+            store.read_day(day)
+        stats = store.read_cache_stats()
+        assert stats["entries"] == 2
+        # Day 0 was evicted; its next read goes back to disk.
+        assert store.read_day(0) == b"payload-0"
+
+    def test_telemetry_counts_hits_misses_evictions(self, tmp_path):
+        from repro.telemetry import Telemetry
+
+        store = RunStore.create(tmp_path, _config())
+        store.telemetry = Telemetry(enabled=True)
+        store.enable_read_cache(1)
+        store.write_day(0, b"a")
+        store.write_day(1, b"b")
+        store.read_day(0)   # miss
+        store.read_day(0)   # hit
+        store.read_day(1)   # miss, evicts day 0's payload
+        metrics = store.telemetry.metrics
+        assert metrics.counter_total("checkpoint_read_cache_hits_total") == 1
+        assert metrics.counter_total("checkpoint_read_cache_misses_total") == 2
+        assert metrics.counter_total("checkpoint_read_cache_evictions_total") == 1
+
+    def test_enable_rejects_empty_capacity(self, tmp_path):
+        store = RunStore.create(tmp_path, _config())
+        with pytest.raises(CheckpointError):
+            store.enable_read_cache(0)
+
+    def test_disable_returns_to_uncached_reads(self, tmp_path):
+        store = RunStore.create(tmp_path, _config())
+        store.enable_read_cache(4)
+        store.write_day(0, b"payload")
+        store.read_day(0)
+        store.disable_read_cache()
+        assert store.read_cache_stats()["enabled"] == 0
+        assert store.read_day(0) == b"payload"

@@ -1,0 +1,473 @@
+"""Tests for the serve daemon: the long-lived campaign query API.
+
+The headline invariants:
+
+* a live daemon answers concurrent reads *while* the campaign
+  advances, and a not-yet-published day is a clean 404, never a torn
+  read or a 500;
+* the second identical ``/v1/day/{n}`` request is a recorded cache
+  hit (``X-Cache: HIT``) with a byte-identical body;
+* ``/metrics`` is valid Prometheus text and byte-identical to the
+  file exporter's output for the same registry state;
+* SIGTERM (or ``shutdown()``) drains at a day boundary, exits
+  cleanly, and the store resumes to a byte-identical export.
+"""
+
+import json
+import re
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.study import Study, StudyConfig
+from repro.errors import CheckpointError, ConfigError
+from repro.serve import (
+    CampaignDriver,
+    ResponseCache,
+    ServeConfig,
+    ServeDaemon,
+    StoreView,
+    cache_key,
+    run_load,
+)
+from repro.serve.load import percentile
+from repro.telemetry.exporters import render_prometheus_registry
+
+pytestmark = pytest.mark.serve
+
+#: Same small-but-complete campaign the checkpoint suite uses.
+N_DAYS = 6
+
+
+def _config(**overrides):
+    base = dict(
+        seed=7,
+        n_days=N_DAYS,
+        scale=0.004,
+        message_scale=0.05,
+        join_day=3,
+    )
+    base.update(overrides)
+    return StudyConfig(**base)
+
+
+def _get(url, timeout=30):
+    """(status, headers, body) for one GET against the daemon."""
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+def _get_error(url, timeout=30):
+    """(status, decoded JSON error body) for a GET expected to fail."""
+    try:
+        urllib.request.urlopen(url, timeout=timeout)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+    raise AssertionError(f"{url} unexpectedly succeeded")
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    """A daemon over a fresh campaign, stopped and closed afterwards."""
+    study = Study(_config())
+    instance = ServeDaemon(
+        study, ServeConfig(), checkpoint_dir=tmp_path / "store"
+    )
+    instance.start()
+    try:
+        yield instance
+    finally:
+        instance.close()
+
+
+@pytest.fixture
+def finished_daemon(daemon):
+    """The same daemon, after its campaign ran to completion."""
+    assert daemon.driver.finished.wait(180)
+    assert daemon.driver.phase == "complete"
+    return daemon
+
+
+class TestResponseCache:
+    def test_get_miss_put_hit_lru_eviction(self):
+        cache = ResponseCache(2)
+        assert cache.get("a") is None
+        cache.put("a", (200, "t", b"A"))
+        cache.put("b", (200, "t", b"B"))
+        assert cache.get("a") == (200, "t", b"A")  # bumps "a"
+        cache.put("c", (200, "t", b"C"))  # evicts "b", the LRU entry
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+        stats = cache.stats()
+        assert stats["hits"] == 3
+        assert stats["misses"] == 2
+        assert stats["evictions"] == 1
+        assert stats["entries"] == 2
+
+    def test_rejects_empty_capacity(self):
+        with pytest.raises(ConfigError):
+            ResponseCache(0)
+
+    def test_cache_key_sorts_params(self):
+        assert cache_key("day", "d1", {"b": "2", "a": "1"}) == cache_key(
+            "day", "d1", {"a": "1", "b": "2"}
+        )
+        assert cache_key("day", "d1", {}) != cache_key("day", "d2", {})
+
+
+class TestStoreView:
+    def test_unpublished_day_is_checkpoint_error(self, tmp_path):
+        study = Study(_config())
+        store = study.attach_store(tmp_path / "store", anchor_every=1)
+        view = StoreView(store)
+        with pytest.raises(CheckpointError, match="no published days yet"):
+            view.entry(0)
+        assert view.days() == []
+        assert view.latest_day() is None
+
+    def test_publish_exposes_only_published_days(self, tmp_path):
+        study = Study(_config())
+        store = study.attach_store(tmp_path / "store", anchor_every=1)
+        study.run(day_hook=lambda day: None)
+        view = StoreView(store)
+        view.publish_day(0, store.day_entry(0))
+        assert view.days() == [0]
+        # Day 1 is on disk but unpublished: invisible to readers.
+        with pytest.raises(CheckpointError, match="day 1 is not published"):
+            view.entry(1)
+        view.publish_existing()
+        assert view.days() == list(range(N_DAYS))
+        assert view.latest_day() == N_DAYS - 1
+
+    def test_record_decodes_and_caches_by_digest(self, tmp_path):
+        study = Study(_config())
+        store = study.attach_store(tmp_path / "store", anchor_every=1)
+        study.run(day_hook=lambda day: None)
+        view = StoreView(store)
+        view.publish_existing()
+        record = view.record(2)
+        assert record["kind"] == "anchor"
+        assert record["study"].config == study.config
+        # Same digest -> the identical cached decode comes back.
+        assert view.record(2) is record
+        # record_fresh bypasses the LRU: a private object graph.
+        assert view.record_fresh(2) is not record
+
+
+class TestLiveDaemon:
+    def test_concurrent_reads_while_campaign_advances(self, daemon):
+        """Readers hammer the API from several threads mid-campaign;
+        every response is a clean 200 or 404 — never a 500, never a
+        torn body."""
+        url = daemon.url
+        failures = []
+
+        def reader():
+            for _ in range(25):
+                for path in ("/v1/status", "/v1/days", "/v1/day/1"):
+                    try:
+                        status, _, body = _get(url + path)
+                        json.loads(body)
+                    except urllib.error.HTTPError as exc:
+                        if exc.code != 404:
+                            failures.append((path, exc.code))
+                        json.loads(exc.read())  # error body is JSON too
+                    except Exception as exc:  # noqa: BLE001
+                        failures.append((path, repr(exc)))
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        assert daemon.driver.finished.wait(180)
+        assert daemon.driver.phase == "complete"
+
+    def test_status_days_and_slices(self, finished_daemon):
+        url = finished_daemon.url
+        status, _, body = _get(url + "/v1/status")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["phase"] == "complete"
+        assert payload["latest_day"] == N_DAYS - 1
+        assert payload["published_days"] == N_DAYS
+        assert payload["response_cache"]["max_entries"] > 0
+        assert payload["read_cache"]["enabled"] == 1
+
+        _, _, body = _get(url + "/v1/days")
+        days = json.loads(body)["days"]
+        assert [d["day"] for d in days] == list(range(N_DAYS))
+        assert all(
+            re.fullmatch(r"[0-9a-f]{64}", d["digest"]) for d in days
+        )
+        # Serve-mode default: every day an anchor, directly decodable.
+        assert {d["kind"] for d in days} == {"anchor"}
+
+        _, _, body = _get(url + f"/v1/day/{N_DAYS - 1}")
+        day = json.loads(body)
+        assert day["kind"] == "anchor"
+        assert day["observed_groups"] > 0
+        assert day["returned_groups"] == len(day["timelines"])
+        assert set(day["membership"]) == {"whatsapp", "telegram", "discord"}
+        # Post-join-day the campaign has joined groups somewhere.
+        assert sum(day["membership"].values()) > 0
+        for entry in day["timelines"]:
+            assert entry["day"] == N_DAYS - 1
+            assert entry["platform"] in ("whatsapp", "telegram", "discord")
+
+    def test_day_slice_params(self, finished_daemon):
+        url = finished_daemon.url
+        _, _, body = _get(url + "/v1/day/2?platform=telegram&limit=3")
+        day = json.loads(body)
+        assert day["returned_groups"] <= 3
+        assert all(
+            t["platform"] == "telegram" for t in day["timelines"]
+        )
+        # Group timelines: pick any canonical from the full slice.
+        _, _, body = _get(url + "/v1/day/2?limit=1")
+        canonical = json.loads(body)["timelines"][0]["canonical"]
+        _, _, body = _get(url + f"/v1/day/2?group={canonical}")
+        timeline = json.loads(body)
+        assert timeline["found"]
+        assert timeline["group"] == canonical
+        assert [s["day"] for s in timeline["timeline"]] == sorted(
+            s["day"] for s in timeline["timeline"]
+        )
+        assert all(s["day"] <= 2 for s in timeline["timeline"])
+
+    def test_second_identical_request_is_cache_hit(self, finished_daemon):
+        url = finished_daemon.url + "/v1/day/2?limit=5"
+        before = finished_daemon.cache.stats()
+        status1, headers1, body1 = _get(url)
+        status2, headers2, body2 = _get(url)
+        assert (status1, status2) == (200, 200)
+        assert headers1["X-Cache"] == "MISS"
+        assert headers2["X-Cache"] == "HIT"
+        assert body1 == body2
+        after = finished_daemon.cache.stats()
+        assert after["hits"] == before["hits"] + 1
+        # The hit is also on the /metrics scrape.
+        _, _, scrape = _get(finished_daemon.url + "/metrics")
+        sample = re.search(
+            r"^repro_serve_cache_hits_total (\d+)$",
+            scrape.decode(),
+            re.MULTILINE,
+        )
+        assert sample is not None
+        assert int(sample.group(1)) >= after["hits"]
+
+    def test_error_mapping(self, finished_daemon):
+        url = finished_daemon.url
+        code, body = _get_error(url + "/v1/day/99")
+        assert code == 404
+        assert "not published" in body["error"]
+        code, body = _get_error(url + "/v1/day/nope")
+        assert code == 400
+        code, body = _get_error(url + "/v1/day/2?limit=0")
+        assert code == 400
+        code, body = _get_error(url + "/v1/day/2?platform=icq")
+        assert code == 400
+        code, body = _get_error(url + "/v1/day/2?frobnicate=1")
+        assert code == 400
+        assert "unknown query parameters" in body["error"]
+        code, body = _get_error(url + "/v1/missing")
+        assert code == 404
+
+    def test_health_and_report_render(self, finished_daemon):
+        url = finished_daemon.url
+        _, headers, body = _get(url + "/v1/health")
+        assert "Collection health" in body.decode()
+        assert headers["Content-Type"].startswith("text/plain")
+        _, _, body = _get(url + "/v1/report")
+        text = body.decode()
+        assert f"Campaign report as of day {N_DAYS - 1}" in text
+        assert "Collection health" in text
+        # Cached on repeat, byte-identical.
+        _, headers, body2 = _get(url + "/v1/report")
+        assert headers["X-Cache"] == "HIT"
+        assert body2 == body
+
+
+class TestMetricsEndpoint:
+    SAMPLE_RE = re.compile(
+        r'^repro_[a-zA-Z0-9_:]+(\{[^}]*\})? -?[0-9+.eInf-]+$'
+    )
+
+    def test_scrape_is_valid_prometheus_text(self, finished_daemon):
+        # Prime the serve-side counters (the scrape excludes itself).
+        _get(finished_daemon.url + "/v1/status")
+        _, headers, body = _get(finished_daemon.url + "/metrics")
+        assert headers["Content-Type"].startswith(
+            "text/plain; version=0.0.4"
+        )
+        text = body.decode()
+        saw_type = saw_bucket = False
+        for line in text.splitlines():
+            if line.startswith("# TYPE "):
+                saw_type = True
+                continue
+            assert self.SAMPLE_RE.match(line), f"unparseable: {line!r}"
+            if "_bucket{" in line:
+                saw_bucket = True
+        assert saw_type and saw_bucket
+        assert 'le="+Inf"' in text
+        # Campaign-side and serve-side series share one scrape.
+        assert "repro_checkpoint_records_total" in text
+        assert "repro_serve_requests_total" in text
+        assert "repro_process_lives 1" in text
+
+    def test_scrape_matches_file_exporter_byte_for_byte(
+        self, finished_daemon, tmp_path
+    ):
+        """The wire scrape and the exporters.py *file* output for the
+        same registry state are the same bytes: one rendering path."""
+        from types import SimpleNamespace
+
+        from repro.telemetry.exporters import export_prometheus
+
+        _, _, wire = _get(finished_daemon.url + "/metrics")
+        registry, lives = finished_daemon.scrape_state()
+        # export_prometheus consumes a Telemetry; feed it the scrape's
+        # exact registry state through the same attribute surface.
+        path = export_prometheus(
+            SimpleNamespace(metrics=registry, process_lives=lives),
+            tmp_path / "metrics.prom",
+        )
+        assert wire == path.read_bytes()
+        assert wire.decode() == render_prometheus_registry(registry, lives)
+
+    def test_quiesced_scrapes_are_byte_identical(self, finished_daemon):
+        """/metrics does not count itself, so back-to-back scrapes of
+        an idle daemon return identical bodies."""
+        _, _, first = _get(finished_daemon.url + "/metrics")
+        _, _, second = _get(finished_daemon.url + "/metrics")
+        assert first == second
+
+
+class TestDrainAndResume:
+    def test_shutdown_drains_then_resume_is_byte_identical(
+        self, tmp_path
+    ):
+        """Stop the daemon mid-campaign at a day boundary; the store
+        passes resume and the finished export matches the golden
+        uninterrupted run byte for byte."""
+        import hashlib
+
+        from repro.io import save_dataset
+
+        def digest_of(dataset, name):
+            path = tmp_path / f"{name}.json"
+            save_dataset(dataset, path)
+            return hashlib.sha256(path.read_bytes()).hexdigest()
+
+        golden = digest_of(Study(_config()).run(), "golden")
+
+        store_dir = tmp_path / "store"
+        study = Study(_config())
+        daemon = ServeDaemon(study, ServeConfig(), checkpoint_dir=store_dir)
+
+        boundary = threading.Event()
+        original = daemon.driver._after_day
+
+        def stop_after_day_2(day):
+            original(day)
+            if day == 2:
+                boundary.set()
+
+        daemon.driver._after_day = stop_after_day_2
+        daemon.start()
+        assert boundary.wait(120)
+        daemon.shutdown()
+        daemon.close()
+        assert daemon.driver.phase in ("drained", "complete")
+        # Campaign stopped at a boundary >= 2, not at the end.
+        store_days = daemon.study.store.days()
+        assert 2 in store_days
+
+        resumed = Study.resume(store_dir)
+        assert digest_of(resumed.run(), "resumed") == golden
+
+    def test_close_is_idempotent(self, finished_daemon):
+        finished_daemon.close()
+        finished_daemon.close()
+
+
+class TestLoadHarness:
+    def test_percentile_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 0.50) == 50.0
+        assert percentile(values, 0.95) == 95.0
+        assert percentile(values, 0.99) == 99.0
+        assert percentile([3.0], 0.99) == 3.0
+        assert percentile([], 0.5) == 0.0
+
+    def test_load_run_is_deterministic_and_error_free(
+        self, finished_daemon
+    ):
+        report = run_load(
+            finished_daemon.url, clients=3, requests=12, seed=11
+        )
+        assert report.total_errors == 0
+        assert report.total_requests == 3 * 12
+        assert set(report.personas) == {"timeline", "health", "metrics"}
+        # Every persona actually ran (3 clients round-robin the 3).
+        assert all(
+            s.requests == 12 for s in report.personas.values()
+        )
+        # The timeline persona replays a fixed day set: repeats hit.
+        assert report.personas["timeline"].cache_hits > 0
+        table = report.format_table()
+        assert "p99_ms" in table and "throughput" in table
+        # Determinism: the same seed replays the same request mix, so
+        # hit/miss tallies now come entirely from a warm cache.
+        again = run_load(
+            finished_daemon.url, clients=3, requests=12, seed=11
+        )
+        assert again.total_errors == 0
+        assert again.personas["timeline"].cache_misses == 0
+
+    def test_run_load_validates_inputs(self):
+        with pytest.raises(ConfigError):
+            run_load("http://127.0.0.1:1", clients=0)
+        with pytest.raises(ConfigError):
+            run_load("http://127.0.0.1:1", requests=0)
+
+
+class TestServeConfigAndCLI:
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            ServeConfig(port=70000)
+        with pytest.raises(ConfigError):
+            ServeConfig(cache_entries=0)
+        with pytest.raises(ConfigError):
+            ServeConfig(read_cache_entries=-1)
+        with pytest.raises(ConfigError):
+            ServeConfig(day_delay_s=-0.5)
+        assert ServeConfig(read_cache_entries=0).read_cache_entries == 0
+
+    def test_serve_requires_checkpoint_dir(self, capsys):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["serve"])
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_cadence(self, tmp_path):
+        from repro.__main__ import main
+
+        with pytest.raises(ConfigError, match="--checkpoint-every"):
+            main(
+                [
+                    "serve",
+                    "--checkpoint-dir", str(tmp_path / "s"),
+                    "--checkpoint-every", "0",
+                ]
+            )
+
+    def test_daemon_without_store_or_dir_rejected(self):
+        with pytest.raises(ConfigError, match="checkpoint directory"):
+            ServeDaemon(Study(_config()), ServeConfig())
