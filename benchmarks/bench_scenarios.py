@@ -1,0 +1,112 @@
+"""Benchmark: scenario-subsystem overhead on the default weather.
+
+The subsystem's contract is that the default ``paper-weather`` pack is
+free: a campaign that names it (or no scenario at all) must not pay
+for the scenario machinery's existence — the engine's phase lookup is
+the only extra work on the hot path, and it returns ``None`` without
+drawing from any RNG stream.  The gate holds the named-default run
+within ``MAX_OVERHEAD_FRAC`` of the bare pipeline (plus a small
+absolute floor against timer noise).  An active pack is measured for
+context, not gated: persona draws and calibration shifts do real
+extra work by design.
+
+Smoke mode (``BENCH_SCENARIOS_SMOKE=1``) runs a miniature campaign
+through the same arithmetic and asserts the overhead parses as a
+finite number without enforcing the threshold — CI uses it to catch
+bit-rot in the gate itself.
+"""
+
+import math
+import os
+import time
+
+import pytest
+
+from repro.core.study import Study, StudyConfig
+from repro.reporting import render_scenario_report
+from repro.reporting.tables import format_table
+
+pytestmark = pytest.mark.scenarios
+
+SMOKE = os.environ.get("BENCH_SCENARIOS_SMOKE") == "1"
+
+#: Modest scale: large enough that a per-group or per-day cost would
+#: show, small enough that three rounds per variant stay cheap.
+_BASE = dict(
+    seed=7,
+    n_days=10,
+    scale=0.01,
+    message_scale=0.1,
+    join_day=3,
+)
+if SMOKE:
+    _BASE = dict(
+        seed=7, n_days=4, scale=0.004, message_scale=0.05, join_day=1
+    )
+
+#: Relative overhead budget for the identity-pack path (ISSUE 8 asks
+#: for <= 5 %), plus an absolute floor so sub-second runs do not
+#: flake on timer noise.
+MAX_OVERHEAD_FRAC = 0.05
+ABS_EPSILON_S = 0.25
+
+REPEATS = 1 if SMOKE else 3
+
+
+def _best_of(n, fn):
+    best = float("inf")
+    result = None
+    for _ in range(n):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _run(**overrides):
+    config = StudyConfig(**{**_BASE, **overrides})
+    return Study(config).run()
+
+
+def test_identity_pack_overhead_under_five_percent(emit):
+    bare_s, bare_ds = _best_of(REPEATS, _run)
+    named_s, named_ds = _best_of(
+        REPEATS, lambda: _run(scenario="paper-weather")
+    )
+    storm_s, storm_ds = _best_of(1, lambda: _run(scenario="invite-storm"))
+
+    # The named default changes nothing; the storm changes the world.
+    assert named_ds.scenario == "paper-weather" and not named_ds.personas
+    assert storm_ds.scenario == "invite-storm" and storm_ds.personas
+
+    overhead = named_s - bare_s
+    rows = [
+        ("bare (scenario=None)", f"{bare_s:.3f}", "-"),
+        ("paper-weather (named)", f"{named_s:.3f}",
+         f"{overhead / bare_s:+.1%}"),
+        ("invite-storm (active)", f"{storm_s:.3f}",
+         f"{(storm_s - bare_s) / bare_s:+.1%}"),
+    ]
+    emit(
+        "bench_scenarios",
+        format_table(
+            ("pipeline", f"best of {REPEATS} (s)", "vs bare"),
+            rows,
+            title=(
+                f"Scenario-subsystem overhead ({_BASE['n_days']}-day "
+                f"campaign, scale {_BASE['scale']}"
+                + (", SMOKE" if SMOKE else "")
+                + ")"
+            ),
+        )
+        + "\n\n"
+        + render_scenario_report(storm_ds),
+    )
+
+    assert math.isfinite(overhead)
+    if SMOKE:
+        return  # gate arithmetic verified; threshold needs real scale
+    assert overhead <= max(MAX_OVERHEAD_FRAC * bare_s, ABS_EPSILON_S), (
+        f"identity-pack overhead {overhead:.3f}s over bare "
+        f"{bare_s:.3f}s exceeds the {MAX_OVERHEAD_FRAC:.0%} budget"
+    )

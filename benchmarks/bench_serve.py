@@ -5,8 +5,8 @@ campaign has run to completion (so timings measure the query path,
 not the simulation):
 
 * **load gate** — the seeded persona mix from
-  :mod:`repro.serve.load` (timeline-heavy, health-polling,
-  metrics-scrape) must finish error-free with overall p99 latency at
+  :mod:`repro.serve.load` (the scenario-registry personas:
+  lurker, poster, spammer, admin) must finish error-free with overall p99 latency at
   most ``MAX_P99_S`` and throughput at least ``MIN_RPS``;
 * **read-cache gate** — with the store's decompress cache enabled, a
   repeat read of the same day record must return byte-identical

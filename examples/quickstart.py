@@ -54,6 +54,29 @@ def main() -> None:
         f" {wa_users:,} observed WhatsApp users was exposed (stored hashed)."
     )
 
+    print()
+    print("Where to go next (same campaign, more machinery):")
+    print(
+        "  python -m repro --scale 0.01 --workers 4"
+        "              # shard the monitor, same bytes"
+    )
+    print(
+        "  python -m repro --workers 4 --worker-deadline 120"
+        "      # bound hung workers"
+    )
+    print(
+        "  python -m repro --scenario invite-storm --only scenario"
+        "  # alternative weather"
+    )
+    print(
+        "  python -m repro scenarios list"
+        "                         # built-in packs + personas"
+    )
+    print(
+        "  python -m repro serve --checkpoint-dir runs/live &"
+        "      # live HTTP query API"
+    )
+
 
 if __name__ == "__main__":
     main()

@@ -14,6 +14,8 @@ Subcommands ride alongside the flat campaign interface::
     python -m repro chaos --workdir DIR   # kill-resume-verify harness
     python -m repro serve --checkpoint-dir DIR   # campaign query daemon
     python -m repro serve-load --url URL  # persona load harness
+    python -m repro scenarios list        # built-in scenario packs
+    python -m repro scenarios describe NAME      # one pack in full
 """
 
 from __future__ import annotations
@@ -31,12 +33,14 @@ from repro.checkpoint import RunStore
 from repro.core.study import Study, StudyConfig
 from repro.errors import ConfigError
 from repro.faults import PROFILES, FaultPlan
+from repro.scenarios import SCENARIO_PACKS, ScenarioPack, load_pack_file
 from repro.telemetry import export_telemetry
 from repro.reporting import (
     render_chaos_report,
     render_fsck_report,
     render_health,
     render_repair_report,
+    render_scenario_report,
     render_telemetry,
     render_fig1,
     render_fig2,
@@ -57,6 +61,7 @@ from repro.reporting.figures import render_interplay
 
 RENDERERS: Dict[str, Callable] = {
     "health": render_health,
+    "scenario": render_scenario_report,
     "interplay": render_interplay,
     "table2": render_table2,
     "table4": render_table4,
@@ -176,6 +181,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for the fault schedule (default: the study seed)",
     )
     parser.add_argument(
+        "--scenario", choices=sorted(SCENARIO_PACKS), default=None,
+        help="scenario pack shaping the campaign's weather (default: "
+             "paper-weather, the paper's calibrated baseline; see "
+             "'repro scenarios list')",
+    )
+    parser.add_argument(
+        "--scenario-file", metavar="PATH", default=None,
+        help="load a custom scenario pack from a JSON file instead of "
+             "naming a built-in one",
+    )
+    parser.add_argument(
         "--workers", type=int, default=1, metavar="N",
         help="worker processes for the daily monitor probe pass "
              "(default: 1 = sequential; any N produces byte-identical "
@@ -249,6 +265,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --fork-day: fault profile for the forked future "
              "('none' strips faults; default: keep the parent's plan)",
     )
+    parser.add_argument(
+        "--fork-scenario", choices=sorted(SCENARIO_PACKS), default=None,
+        help="with --fork-day: scenario pack for the forked future "
+             "('paper-weather' strips back to the paper's baseline; "
+             "default: keep the parent's pack)",
+    )
     return parser
 
 
@@ -310,10 +332,23 @@ def validate_args(args: argparse.Namespace) -> None:
     for name, value in (
         ("--fork-seed", args.fork_seed),
         ("--fork-faults", args.fork_faults),
+        ("--fork-scenario", args.fork_scenario),
         ("--fork-into", args.fork_into),
     ):
         if value is not None and args.fork_day is None:
             raise ConfigError(f"{name} only makes sense with --fork-day")
+    if args.scenario is not None and args.scenario_file is not None:
+        raise ConfigError(
+            "--scenario and --scenario-file are mutually exclusive"
+        )
+    if (args.scenario is not None or args.scenario_file is not None) and (
+        args.resume or args.fork_day is not None
+    ):
+        raise ConfigError(
+            "--scenario/--scenario-file apply to fresh runs only; a "
+            "resumed campaign keeps its store's pack and a fork swaps "
+            "packs with --fork-scenario"
+        )
 
 
 def _checkpointed_day(store: "RunStore", day: int, flag: str) -> None:
@@ -344,13 +379,28 @@ def _build_study(args: argparse.Namespace) -> Study:
             fault_plan = (
                 None if args.fork_faults == "none" else args.fork_faults
             )
+        scenario: object = "keep"
+        if args.fork_scenario is not None:
+            # "paper-weather" strips back to the identity weather;
+            # None on the config means exactly that pack.
+            scenario = (
+                None
+                if args.fork_scenario == "paper-weather"
+                else args.fork_scenario
+            )
         return Study.fork(
             args.checkpoint_dir,
             args.fork_day,
             seed=args.fork_seed,
             fault_plan=fault_plan,
+            scenario=scenario,
             fork_dir=args.fork_into,
         )
+    scenario = None
+    if args.scenario is not None and args.scenario != "paper-weather":
+        scenario = ScenarioPack.named(args.scenario)
+    elif args.scenario_file is not None:
+        scenario = load_pack_file(args.scenario_file)
     config = StudyConfig(
         seed=args.seed,
         n_days=args.days,
@@ -361,6 +411,7 @@ def _build_study(args: argparse.Namespace) -> Study:
         # output to a build without the fault subsystem.
         faults=None if args.faults == "none" else FaultPlan.profile(args.faults),
         fault_seed=args.fault_seed,
+        scenario=scenario,
     )
     return Study(config)
 
@@ -669,6 +720,16 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="worker processes for the daily probe pass (default: 1)",
     )
     parser.add_argument(
+        "--scenario", choices=sorted(SCENARIO_PACKS), default=None,
+        help="scenario pack shaping the served campaign's weather "
+             "(fresh runs only; resumed stores keep their own)",
+    )
+    parser.add_argument(
+        "--scenario-file", metavar="PATH", default=None,
+        help="load a custom scenario pack from a JSON file instead of "
+             "--scenario",
+    )
+    parser.add_argument(
         "--log-level", choices=LOG_LEVELS, default="info",
         help="stderr log verbosity (default: info)",
     )
@@ -695,9 +756,25 @@ def serve_main(argv) -> int:
         )
     if args.workers < 1:
         raise ConfigError(f"--workers must be >= 1, got {args.workers}")
+    if args.scenario is not None and args.scenario_file is not None:
+        raise ConfigError(
+            "--scenario and --scenario-file are mutually exclusive"
+        )
+    if args.resume and (
+        args.scenario is not None or args.scenario_file is not None
+    ):
+        raise ConfigError(
+            "--scenario/--scenario-file apply to fresh runs only; a "
+            "resumed store keeps the scenario it was checkpointed with"
+        )
     if args.resume:
         study = Study.resume(args.checkpoint_dir)
     else:
+        scenario = None
+        if args.scenario is not None and args.scenario != "paper-weather":
+            scenario = ScenarioPack.named(args.scenario)
+        elif args.scenario_file is not None:
+            scenario = load_pack_file(args.scenario_file)
         study = Study(
             StudyConfig(
                 seed=args.seed,
@@ -705,6 +782,7 @@ def serve_main(argv) -> int:
                 scale=args.scale,
                 message_scale=args.message_scale,
                 join_day=min(10, args.days - 1),
+                scenario=scenario,
             )
         )
     daemon = ServeDaemon(
@@ -726,9 +804,10 @@ def build_serve_load_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro serve-load",
         description=(
-            "Replay deterministic client personas (timeline-heavy, "
-            "health-polling, metrics-scrape) against a running "
-            "'repro serve' daemon and print a latency/throughput table."
+            "Replay deterministic client personas from the scenario "
+            "registry (lurker, poster, spammer, admin) against a "
+            "running 'repro serve' daemon and print a "
+            "latency/throughput table."
         ),
     )
     parser.add_argument(
@@ -769,8 +848,89 @@ def serve_load_main(argv) -> int:
     return 0 if report.total_errors == 0 else 1
 
 
+def build_scenarios_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro scenarios",
+        description=(
+            "Inspect the built-in scenario packs and the persona "
+            "registry they mix (see --scenario / --scenario-file on "
+            "the main command)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser(
+        "list", help="one line per built-in pack (and per persona)"
+    )
+    describe = sub.add_parser(
+        "describe", help="print one pack's phases, mixes and overlays"
+    )
+    describe.add_argument(
+        "name",
+        help="a built-in pack name (see 'scenarios list') or a "
+             "persona name",
+    )
+    return parser
+
+
+def scenarios_main(argv) -> int:
+    """``repro scenarios list|describe NAME``: inspect the registry."""
+    from repro.scenarios import PERSONAS, get_persona
+
+    args = build_scenarios_parser().parse_args(argv)
+    if args.command == "list":
+        print("scenario packs:")
+        for name in SCENARIO_PACKS:
+            pack = ScenarioPack.named(name)
+            marker = " (default)" if pack.is_identity else ""
+            print(f"  {name:<16} {pack.description}{marker}")
+        print()
+        print("personas:")
+        for persona in PERSONAS.values():
+            print(f"  {persona.name:<16} {persona.description}")
+        return 0
+    if args.name in SCENARIO_PACKS:
+        pack = ScenarioPack.named(args.name)
+        print(f"{pack.name}: {pack.description}")
+        print(f"persona mix: {pack.persona_mix()}")
+        if pack.is_identity:
+            print("phases: none (the paper's weather, unmodified)")
+            return 0
+        for phase in pack.phases:
+            window = (
+                f"[{phase.start_day}, "
+                f"{'...' if phase.end_day is None else phase.end_day})"
+            )
+            print(f"phase {phase.label or '?'} days {window}")
+            print(f"  mix: {dict(phase.mix)}")
+            overlay = {
+                knob: value
+                for knob, value in phase.overlay.knobs().items()
+                if value != 1.0
+            }
+            if phase.overlay.platforms:
+                overlay["platforms"] = list(phase.overlay.platforms)
+            print(f"  overlay: {overlay or 'none'}")
+        return 0
+    # Fall through to the persona registry.
+    try:
+        persona = get_persona(args.name)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(
+            f"known packs: {', '.join(SCENARIO_PACKS)}", file=sys.stderr
+        )
+        return 2
+    print(f"{persona.name}: {persona.description}")
+    for knob, value in persona.knobs().items():
+        if value != 1.0:
+            print(f"  {knob}: {value}")
+    return 0
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "scenarios":
+        return scenarios_main(argv[1:])
     if argv and argv[0] == "fsck":
         return fsck_main(argv[1:])
     if argv and argv[0] == "chaos":
@@ -794,9 +954,10 @@ def main(argv=None) -> int:
     )
     faults = config.faults.name if config.faults is not None else "none"
     logger.info(
-        "# %s %d-day study: seed=%s scale=%s message_scale=%s faults=%s",
+        "# %s %d-day study: seed=%s scale=%s message_scale=%s faults=%s "
+        "scenario=%s",
         mode, config.n_days, config.seed, config.scale,
-        config.message_scale, faults,
+        config.message_scale, faults, config.scenario_name,
     )
     start = time.time()
     dataset = study.run(
@@ -823,6 +984,8 @@ def main(argv=None) -> int:
     names = args.only if args.only else sorted(RENDERERS)
     if args.faults != "none" and "health" not in names:
         names = ["health"] + list(names)
+    if dataset.scenario != "paper-weather" and "scenario" not in names:
+        names = ["scenario"] + list(names)
     for name in names:
         print()
         if name == "health" and fsck_report is not None:

@@ -87,6 +87,10 @@ def config_summary(config: Any) -> Dict[str, Any]:
         # asdict uniformly across versions; use the plan's own
         # canonical (sorted) encoding.
         summary["faults"] = faults.to_dict()
+    scenario = getattr(config, "scenario", None)
+    if scenario is not None:
+        # Same canonical-encoding rationale as the fault plan.
+        summary["scenario"] = scenario.to_dict()
     return summary
 
 
@@ -110,6 +114,20 @@ def config_digest(config: Any) -> str:
     splicing two different campaigns.
     """
     return summary_digest(config_summary(config))
+
+
+def _scenario_block(config: Any) -> Dict[str, Any]:
+    """The manifest's informational scenario block: name + persona mix.
+
+    The full pack definition already rides in the ``config`` summary
+    (and the digest); this block is the human-readable header —
+    which weather the store holds and which personas populate it.
+    ``getattr`` tolerates configs predating the scenario field.
+    """
+    scenario = getattr(config, "scenario", None)
+    if scenario is None:
+        return {"name": "paper-weather", "personas": {"baseline": 1.0}}
+    return {"name": scenario.name, "personas": scenario.persona_mix()}
 
 
 def _sha256(payload: bytes) -> str:
@@ -198,6 +216,7 @@ class RunStore:
             "fault_profile": (
                 config.faults.name if config.faults is not None else None
             ),
+            "scenario": _scenario_block(config),
             "anchor_every": anchor_every,
             "days": {},
         }

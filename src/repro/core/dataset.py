@@ -160,6 +160,12 @@ class StudyDataset:
     #: Collection-health ledger (faults, retries, trips, misses); None
     #: for datasets predating the resilience layer.
     health: Optional[CollectionHealth] = None
+    #: The scenario pack the campaign ran under (see
+    #: :mod:`repro.scenarios`); in-memory only, not serialised.
+    scenario: str = "paper-weather"
+    #: invite URL -> persona name for groups born inside a scenario
+    #: phase (baseline-weather groups have no entry); in-memory only.
+    personas: Dict[str, str] = field(default_factory=dict)
 
     def records_for(self, platform: str) -> List[URLRecord]:
         """Discovery records for one platform."""

@@ -66,6 +66,7 @@ from repro.platforms.telegram import TelegramWebClient
 from repro.platforms.whatsapp import WhatsAppWebClient
 from repro.privacy.hashing import PhoneHasher
 from repro.resilience import CollectionHealth, ResilienceExecutor
+from repro.scenarios import DEFAULT_PACK_NAME, ScenarioPack
 from repro.simulation.world import World, WorldConfig
 from repro.telemetry import Telemetry
 from repro.twitter.search import SearchAPI
@@ -103,6 +104,10 @@ class StudyConfig:
             so the same study replays the same faults, while a
             different fault seed replays the same world under a
             different failure schedule.
+        scenario: Scenario pack (or built-in pack name) shaping the
+            world's weather (see :mod:`repro.scenarios`); None (the
+            default) runs the paper's weather — identical, byte for
+            byte, to naming the identity ``paper-weather`` pack.
     """
 
     seed: int = 7
@@ -117,6 +122,7 @@ class StudyConfig:
     member_fetch_cap: int = 5_000
     faults: Optional[Union[FaultPlan, str]] = None
     fault_seed: Optional[int] = None
+    scenario: Optional[Union[ScenarioPack, str]] = None
 
     def __post_init__(self) -> None:
         if not 0 <= self.join_day < self.n_days:
@@ -131,6 +137,17 @@ class StudyConfig:
             object.__setattr__(
                 self, "faults", FaultPlan.profile(self.faults)
             )
+        if isinstance(self.scenario, str):
+            object.__setattr__(
+                self, "scenario", ScenarioPack.named(self.scenario)
+            )
+
+    @property
+    def scenario_name(self) -> str:
+        """The active pack name (None resolves to ``paper-weather``)."""
+        if self.scenario is None:
+            return DEFAULT_PACK_NAME
+        return self.scenario.name
 
     def world_config(self) -> WorldConfig:
         """The world configuration implied by this study config."""
@@ -139,6 +156,7 @@ class StudyConfig:
             n_days=self.n_days,
             scale=self.scale,
             control_sample_rate=self.control_sample_rate,
+            scenario=self.scenario,
         )
 
 
@@ -593,6 +611,10 @@ class Study:
         dataset.joined = joined
         dataset.users = users
         dataset.health = self.health
+        dataset.scenario = config.scenario_name
+        # ``getattr``: anchors captured before the personas attribute
+        # existed restore without it.
+        dataset.personas = dict(getattr(self.world, "personas", {}))
         return dataset
 
     # -- checkpoint: resume and fork ---------------------------------------
@@ -660,6 +682,7 @@ class Study:
         seed: Optional[int] = None,
         fault_plan: Union[FaultPlan, str, None] = "keep",
         fault_seed: Optional[int] = None,
+        scenario: Union[ScenarioPack, str, None] = "keep",
         fork_dir: Optional[Union[str, os.PathLike]] = None,
     ) -> "Study":
         """Branch a checkpointed campaign at day ``day``.
@@ -676,6 +699,11 @@ class Study:
           ``"keep"`` (the default) keeps the parent's plan.
         * ``fault_seed``: reseeds the fault schedule (fresh
           per-endpoint call counters from the fork day).
+        * ``scenario``: a :class:`~repro.scenarios.ScenarioPack`, a
+          built-in pack name, or None to strip back to the paper's
+          weather; ``"keep"`` (the default) keeps the parent's pack.
+          The swap governs the fork's *future* days only — groups
+          already born keep their weather, exactly like a reseed.
 
         With no changes requested, the fork reproduces the parent's
         tail exactly.  ``fork_dir`` attaches a fresh run store (the
@@ -693,6 +721,8 @@ class Study:
                 study.config.faults if fault_plan == "keep" else fault_plan
             )
             study._apply_fault_plan(plan, fault_seed)
+        if scenario != "keep":
+            study._apply_scenario(scenario)
         if fork_dir is not None:
             study._store = RunStore.create(
                 fork_dir,
@@ -753,6 +783,15 @@ class Study:
             dc_api = FaultyDiscordAPI(dc_api, self.injector)
         self.monitor.replace_clients(wa_web, tg_web, dc_api)
         self.joiner.replace_injector(self.injector)
+
+    def _apply_scenario(
+        self, scenario: Union[ScenarioPack, str, None]
+    ) -> None:
+        """Swap the scenario pack in force (forks): future days only."""
+        if isinstance(scenario, str):
+            scenario = ScenarioPack.named(scenario)
+        self.config = replace(self.config, scenario=scenario)
+        self.world.set_scenario(self.config.scenario)
 
     def _collect_control(self, day: int, dataset: StudyDataset) -> None:
         """Sample-stream collection, excluding group-URL tweets.

@@ -20,6 +20,7 @@ from repro.reporting.figures import (
     render_interplay,
 )
 from repro.reporting.health import render_health
+from repro.reporting.scenarios import render_scenario_report, scenario_header
 from repro.reporting.integrity import (
     render_chaos_report,
     render_fsck_report,
@@ -43,6 +44,8 @@ __all__ = [
     "render_fsck_summary",
     "render_health",
     "render_repair_report",
+    "render_scenario_report",
+    "scenario_header",
     "render_fig1",
     "render_fig2",
     "render_fig3",

@@ -28,6 +28,13 @@ def render_health(dataset: StudyDataset, fsck=None) -> str:
     """
     health = dataset.health
     title = "Collection health (faults injected vs absorbed)"
+    # Scenario campaigns carry the pack identity in the header; the
+    # default paper-weather keeps the exact baseline output (CI diffs
+    # scenario-free runs byte-for-byte against goldens).
+    if getattr(dataset, "scenario", "paper-weather") != "paper-weather":
+        from repro.reporting.scenarios import scenario_header
+
+        title = f"{scenario_header(dataset)}\n{title}"
     if health is None or health.is_clean():
         lines = [
             f"{title}\nclean campaign: no faults, retries, trips, or misses"

@@ -1,0 +1,179 @@
+"""Scenario outcome report: per-pack / per-persona deltas vs baseline.
+
+Renders what a scenario pack did to the campaign, against the paper
+baseline every other table compares to: the Table 2 aggregates
+(URLs/tweets per platform, measured vs the paper's numbers scaled to
+the study), the revocation curve (measured revoked fraction vs the
+paper's Fig 6), a per-persona breakdown (group counts, share volume,
+revocation, net membership drift) and the health-ledger summary —
+compact enough to print after every scenario campaign.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.dataset import StudyDataset
+from repro.reporting import paper_values as paper
+from repro.reporting.tables import format_table
+
+__all__ = ["render_scenario_report", "scenario_header"]
+
+_PLATFORMS = ("whatsapp", "telegram", "discord")
+
+
+def scenario_header(dataset: StudyDataset) -> str:
+    """One line naming the active pack and its persona mix."""
+    name = getattr(dataset, "scenario", "paper-weather")
+    personas = getattr(dataset, "personas", {})
+    if not personas:
+        return f"scenario: {name} (personas: baseline)"
+    counts: Dict[str, int] = {}
+    for persona in personas.values():
+        counts[persona] = counts.get(persona, 0) + 1
+    total = sum(counts.values())
+    mix = ", ".join(
+        f"{persona} {100.0 * counts[persona] / total:.0f}%"
+        for persona in sorted(counts, key=lambda p: -counts[p])
+    )
+    return f"scenario: {name} (personas: {mix})"
+
+
+def _revoked_frac(dataset: StudyDataset, canonicals: List[str]) -> Optional[float]:
+    """Observed revoked fraction over a set of monitored URLs."""
+    n_urls = 0
+    n_revoked = 0
+    for canonical in canonicals:
+        snaps = dataset.snapshots.get(canonical)
+        if not snaps:
+            continue
+        n_urls += 1
+        last = snaps[-1]
+        if not last.alive and last.death_reason == "revoked":
+            n_revoked += 1
+    if n_urls == 0:
+        return None
+    return n_revoked / n_urls
+
+
+def _net_membership(dataset: StudyDataset, canonicals: List[str]) -> float:
+    """Mean (last - first) observed member count over a URL set."""
+    deltas: List[float] = []
+    for canonical in canonicals:
+        sizes = [
+            snap.size
+            for snap in dataset.snapshots.get(canonical, [])
+            if snap.alive and snap.size is not None
+        ]
+        if len(sizes) >= 2:
+            deltas.append(float(sizes[-1] - sizes[0]))
+    if not deltas:
+        return 0.0
+    return sum(deltas) / len(deltas)
+
+
+def _pct(value: Optional[float]) -> str:
+    return "-" if value is None else f"{100.0 * value:.1f}%"
+
+
+def _delta(measured: float, baseline: float) -> str:
+    if baseline <= 0:
+        return "-"
+    return f"{100.0 * (measured - baseline) / baseline:+.0f}%"
+
+
+def render_scenario_report(dataset: StudyDataset) -> str:
+    """The per-scenario / per-persona outcome report."""
+    lines = [
+        f"Scenario report — {scenario_header(dataset)}",
+        "",
+    ]
+
+    # -- platform aggregates vs the paper baseline (Table 2 + Fig 6) ----
+    scale = dataset.scale
+    rows = []
+    for platform in _PLATFORMS:
+        records = dataset.records_for(platform)
+        tweets = sum(record.n_shares for record in records)
+        paper_tweets, _users, paper_urls, *_ = paper.TABLE2[platform]
+        paper_revoked, _ = paper.FIG6[platform]
+        revoked = _revoked_frac(
+            dataset, [record.canonical for record in records]
+        )
+        rows.append(
+            [
+                platform,
+                f"{len(records):,}",
+                f"{paper_urls * scale:,.0f}",
+                _delta(len(records), paper_urls * scale),
+                f"{tweets:,}",
+                f"{paper_tweets * scale:,.0f}",
+                _delta(tweets, paper_tweets * scale),
+                _pct(revoked),
+                _pct(paper_revoked),
+            ]
+        )
+    lines.append(
+        format_table(
+            (
+                "platform", "urls", "paper*scale", "Δurls",
+                "tweets", "paper*scale", "Δtweets",
+                "revoked", "paper",
+            ),
+            rows,
+            title="Platform aggregates vs paper baseline (Table 2, Fig 6)",
+        )
+    )
+    lines.append("")
+
+    # -- per-persona breakdown ------------------------------------------
+    personas = getattr(dataset, "personas", {})
+    by_persona: Dict[str, List[str]] = {}
+    shares_by_persona: Dict[str, int] = {}
+    for record in dataset.records.values():
+        persona = personas.get(record.url, "baseline")
+        by_persona.setdefault(persona, []).append(record.canonical)
+        shares_by_persona[persona] = (
+            shares_by_persona.get(persona, 0) + record.n_shares
+        )
+    total_groups = sum(len(v) for v in by_persona.values())
+    persona_rows = []
+    for persona in sorted(by_persona, key=lambda p: -len(by_persona[p])):
+        canonicals = by_persona[persona]
+        persona_rows.append(
+            [
+                persona,
+                f"{len(canonicals):,}",
+                f"{100.0 * len(canonicals) / total_groups:.1f}%",
+                f"{shares_by_persona[persona]:,}",
+                _pct(_revoked_frac(dataset, canonicals)),
+                f"{_net_membership(dataset, canonicals):+.1f}",
+            ]
+        )
+    lines.append(
+        format_table(
+            ("persona", "groups", "share", "tweets", "revoked", "Δmembers"),
+            persona_rows,
+            title=(
+                "Per-persona outcomes (baseline = groups born on "
+                "phase-free days)"
+            ),
+        )
+    )
+    lines.append("")
+
+    # -- health one-liner ------------------------------------------------
+    health = dataset.health
+    if health is None or health.is_clean():
+        lines.append(
+            "health: clean campaign — no faults, retries, trips, or misses"
+        )
+    else:
+        totals = {
+            field: int(health.total(field))
+            for field in ("faults", "retries", "trips", "missed")
+            if health.total(field)
+        }
+        summary = ", ".join(f"{k} {v}" for k, v in totals.items())
+        lines.append(f"health: {summary} (full table: health report)")
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Declarative scenario packs and persona workload mixes.
+
+The campaign engine's "weather" layer: a persona registry
+(:mod:`~repro.scenarios.personas`) of behavioural parameter bundles
+over the seeded simulation distributions, composed into declarative
+:class:`ScenarioPack` definitions (:mod:`~repro.scenarios.packs`) —
+per-day-range weighted persona mixes plus event overlays — and
+interpreted deterministically by the
+:class:`~repro.scenarios.engine.ScenarioEngine` on the world's
+per-day seeded stream.
+
+The default ``paper-weather`` pack is the identity: zero extra RNG
+draws, exports byte-identical to the scenario-free pipeline.  Packs
+are part of a campaign's config identity (checkpoint manifests record
+them; resume refuses a mismatched store) and swappable at
+``Study.fork(scenario=...)`` exactly like fault plans.
+"""
+
+from repro.scenarios.engine import ScenarioEngine
+from repro.scenarios.packs import (
+    DEFAULT_PACK_NAME,
+    SCENARIO_PACKS,
+    EventOverlay,
+    ScenarioPack,
+    ScenarioPhase,
+    load_pack_file,
+    pack_names,
+)
+from repro.scenarios.personas import (
+    KNOBS,
+    PERSONAS,
+    Persona,
+    get_persona,
+    persona_names,
+    scale_calibration,
+)
+
+__all__ = [
+    "DEFAULT_PACK_NAME",
+    "KNOBS",
+    "PERSONAS",
+    "SCENARIO_PACKS",
+    "EventOverlay",
+    "Persona",
+    "ScenarioEngine",
+    "ScenarioPack",
+    "ScenarioPhase",
+    "get_persona",
+    "load_pack_file",
+    "pack_names",
+    "persona_names",
+    "scale_calibration",
+]

@@ -1,0 +1,177 @@
+"""The scenario engine: packs applied on the world's seeded stream.
+
+:class:`ScenarioEngine` is the only piece of the scenario subsystem
+that touches randomness, and even then only *borrowed* randomness:
+:meth:`draw_persona` consumes exactly one uniform draw from the
+per-day world stream the caller passes in, inside the spawn phase —
+before any tweet-phase draw — so parent worlds and parallel worker
+replicas (which advance through
+:meth:`~repro.simulation.world.World.generate_day_groups`) make the
+same draws in the same order.
+
+The identity pack (``paper-weather``, or any pack on a day no phase
+covers) is a strict no-op: :meth:`phase_for` returns None and the
+world takes the exact pre-scenario code path with **zero** extra RNG
+draws — which is what makes default exports byte-identical to the
+scenario-free pipeline, not just statistically equivalent.
+
+Everything else is deterministic arithmetic: per-phase cumulative
+draw tables and per-(phase, platform, persona) effective calibrations
+are computed once and cached.  Engines are cheap, picklable (they
+ride inside world anchors and worker bootstraps) and rebuildable from
+their pack alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.scenarios.packs import ScenarioPack, ScenarioPhase
+from repro.scenarios.personas import (
+    combine_knobs,
+    get_persona,
+    scale_calibration,
+)
+from repro.simulation.calibration import PlatformCalibration
+
+__all__ = ["ScenarioEngine"]
+
+
+class ScenarioEngine:
+    """Deterministic pack interpreter for one world.
+
+    ``pack`` may be None (identity — the paper's weather).
+    """
+
+    def __init__(self, pack: Optional[ScenarioPack]) -> None:
+        self.pack = pack
+        #: (phase_index) -> (persona names, cumulative draw thresholds).
+        self._draw_tables: Dict[
+            int, Tuple[Tuple[str, ...], Tuple[float, ...]]
+        ] = {}
+        #: (phase_index, platform, persona) -> effective calibration.
+        self._calibrations: Dict[
+            Tuple[int, str, str], PlatformCalibration
+        ] = {}
+        #: (phase_index, platform) -> spawn-rate multiplier.
+        self._spawn_mults: Dict[Tuple[int, str], float] = {}
+
+    @property
+    def is_identity(self) -> bool:
+        """True if no day can ever deviate from the baseline weather."""
+        return self.pack is None or self.pack.is_identity
+
+    @property
+    def name(self) -> str:
+        """The active pack name (the identity engine is paper-weather)."""
+        from repro.scenarios.packs import DEFAULT_PACK_NAME
+
+        return DEFAULT_PACK_NAME if self.pack is None else self.pack.name
+
+    def phase_for(self, day: int) -> Optional[Tuple[int, ScenarioPhase]]:
+        """The (index, phase) covering ``day``, or None (baseline day)."""
+        if self.pack is None:
+            return None
+        return self.pack.phase_for(day)
+
+    def _draw_table(
+        self, index: int, phase: ScenarioPhase
+    ) -> Tuple[Tuple[str, ...], Tuple[float, ...]]:
+        """The phase's cumulative persona-draw thresholds.
+
+        Draw weights are ``mix weight x persona url_rate_mult``: a
+        persona's invite-creation propensity scales how many of the
+        day's newborn groups it accounts for, exactly as the spawn
+        rate itself scales by the mix-weighted mean (see
+        :meth:`spawn_rate_mult`), so the two stay consistent.
+        """
+        table = self._draw_tables.get(index)
+        if table is not None:
+            return table
+        names = tuple(name for name, _ in phase.mix)
+        weights = [
+            weight * get_persona(name).url_rate_mult
+            for name, weight in phase.mix
+        ]
+        total = sum(weights)
+        cumulative = []
+        running = 0.0
+        for weight in weights:
+            running += weight / total
+            cumulative.append(running)
+        table = (names, tuple(cumulative))
+        self._draw_tables[index] = table
+        return table
+
+    def draw_persona(
+        self,
+        index: int,
+        phase: ScenarioPhase,
+        rng: np.random.Generator,
+    ) -> str:
+        """Draw a newborn group's persona: one uniform from ``rng``."""
+        names, cumulative = self._draw_table(index, phase)
+        roll = float(rng.random())
+        for name, threshold in zip(names, cumulative):
+            if roll < threshold:
+                return name
+        return names[-1]
+
+    def spawn_rate_mult(
+        self, index: int, phase: ScenarioPhase, platform: str
+    ) -> float:
+        """Multiplier on the platform's baseline new-groups-per-day rate.
+
+        The phase overlay's ``url_rate_mult`` (where it applies to the
+        platform) times the mix-weighted mean of the personas' own
+        ``url_rate_mult`` — so a spammer-heavy mix raises the URL
+        birth rate even without an overlay.
+        """
+        key = (index, platform)
+        cached = self._spawn_mults.get(key)
+        if cached is not None:
+            return cached
+        total = sum(weight for _, weight in phase.mix)
+        mix_mult = (
+            sum(
+                weight * get_persona(name).url_rate_mult
+                for name, weight in phase.mix
+            )
+            / total
+        )
+        overlay_mult = (
+            phase.overlay.url_rate_mult
+            if phase.overlay.applies_to(platform)
+            else 1.0
+        )
+        mult = mix_mult * overlay_mult
+        self._spawn_mults[key] = mult
+        return mult
+
+    def calibration(
+        self,
+        index: int,
+        phase: ScenarioPhase,
+        platform: str,
+        persona: str,
+        cal: PlatformCalibration,
+    ) -> PlatformCalibration:
+        """The effective calibration for one newborn group.
+
+        Persona knobs times the phase overlay's knobs (where the
+        overlay applies to the platform), applied once and cached per
+        (phase, platform, persona).  A baseline persona inside an
+        identity overlay returns ``cal`` itself.
+        """
+        key = (index, platform, persona)
+        cached = self._calibrations.get(key)
+        if cached is not None:
+            return cached
+        knob_maps = [get_persona(persona).knobs()]
+        if phase.overlay.applies_to(platform):
+            knob_maps.append(phase.overlay.knobs())
+        effective = scale_calibration(cal, combine_knobs(*knob_maps))
+        self._calibrations[key] = effective
+        return effective

@@ -1,0 +1,512 @@
+"""Declarative scenario packs: per-day-range persona mixes + overlays.
+
+A :class:`ScenarioPack` describes one campaign weather as a sequence
+of non-overlapping :class:`ScenarioPhase` windows.  Inside a phase,
+newborn groups draw a persona from the phase's weighted mix and an
+:class:`EventOverlay` multiplies platform-wide rates (an invite
+storm, an outage, a purge).  Days outside every phase — and the whole
+of the default ``paper-weather`` pack, which has no phases at all —
+run the paper's calibrated weather untouched.
+
+Packs are pure data, validated at parse time with
+:class:`~repro.errors.ConfigError`; every coin flip happens in
+:class:`~repro.scenarios.engine.ScenarioEngine` on the world's
+per-day seeded stream, so the same pack + seed always produces the
+same campaign.  The JSON encoding (:meth:`ScenarioPack.to_dict` /
+:meth:`from_dict` / :func:`load_pack_file`) is what the checkpoint
+manifest records and what ``--scenario-file`` parses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+from repro.errors import ConfigError
+from repro.scenarios.personas import KNOBS, PERSONAS, get_persona
+
+__all__ = [
+    "DEFAULT_PACK_NAME",
+    "EventOverlay",
+    "SCENARIO_PACKS",
+    "ScenarioPack",
+    "ScenarioPhase",
+    "load_pack_file",
+    "pack_names",
+]
+
+#: The identity pack: the paper's weather, no phases, no extra draws.
+DEFAULT_PACK_NAME = "paper-weather"
+
+
+@dataclass(frozen=True)
+class EventOverlay:
+    """Platform-wide rate multipliers in force during one phase.
+
+    The same knobs as a persona (see
+    :data:`~repro.scenarios.personas.KNOBS`), applied on top of the
+    drawn persona's shifts; ``platforms`` restricts the overlay to a
+    subset of platforms (empty = all).  The persona *mix* of a phase
+    always applies ecosystem-wide — only the overlay is targetable.
+    """
+
+    url_rate_mult: float = 1.0
+    shares_mult: float = 1.0
+    msg_rate_mult: float = 1.0
+    active_frac_mult: float = 1.0
+    churn_mult: float = 1.0
+    size_mult: float = 1.0
+    revoke_prob_mult: float = 1.0
+    revoke_delay_mult: float = 1.0
+    fresh_bias: float = 1.0
+    platforms: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for knob in KNOBS:
+            value = getattr(self, knob)
+            if not (isinstance(value, (int, float)) and value > 0.0):
+                raise ConfigError(
+                    f"overlay {knob} must be > 0, got {value!r}"
+                )
+        for platform in self.platforms:
+            if platform not in ("whatsapp", "telegram", "discord"):
+                raise ConfigError(
+                    f"overlay names unknown platform {platform!r}"
+                )
+
+    def applies_to(self, platform: str) -> bool:
+        """Whether this overlay is in force on ``platform``."""
+        return not self.platforms or platform in self.platforms
+
+    def knobs(self) -> Dict[str, float]:
+        return {knob: float(getattr(self, knob)) for knob in KNOBS}
+
+    @property
+    def is_identity(self) -> bool:
+        return all(getattr(self, knob) == 1.0 for knob in KNOBS)
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = dict(self.knobs())
+        payload["platforms"] = list(self.platforms)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "EventOverlay":
+        if not isinstance(payload, dict):
+            raise ConfigError(f"overlay must be an object, got {payload!r}")
+        unknown = set(payload) - set(KNOBS) - {"platforms"}
+        if unknown:
+            raise ConfigError(
+                f"overlay has unknown keys {sorted(unknown)} "
+                f"(known: {sorted(KNOBS)} + ['platforms'])"
+            )
+        kwargs: Dict[str, object] = {
+            knob: payload[knob] for knob in KNOBS if knob in payload
+        }
+        kwargs["platforms"] = tuple(payload.get("platforms", ()))
+        return cls(**kwargs)
+
+
+_IDENTITY_OVERLAY = EventOverlay()
+
+
+@dataclass(frozen=True)
+class ScenarioPhase:
+    """One day-range of a pack: a persona mix plus an event overlay.
+
+    Attributes:
+        start_day: First campaign day covered (inclusive, 0-based).
+        end_day: First day *not* covered (exclusive); None = open-ended.
+        mix: Weighted persona mix newborn groups draw from; names must
+            exist in the persona registry, weights must be positive.
+        overlay: Platform-wide multipliers in force during the phase.
+        label: Human label for ``scenarios describe`` and reports.
+    """
+
+    start_day: int
+    end_day: Optional[int]
+    mix: Tuple[Tuple[str, float], ...]
+    overlay: EventOverlay = field(default_factory=EventOverlay)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.start_day, int) or self.start_day < 0:
+            raise ConfigError(
+                f"phase start_day must be an int >= 0, got {self.start_day!r}"
+            )
+        if self.end_day is not None and (
+            not isinstance(self.end_day, int) or self.end_day <= self.start_day
+        ):
+            raise ConfigError(
+                f"phase window is empty: [{self.start_day}, {self.end_day})"
+            )
+        if not self.mix:
+            raise ConfigError("phase mix must name at least one persona")
+        for name, weight in self.mix:
+            get_persona(name)  # raises ConfigError on unknown names
+            if not (isinstance(weight, (int, float)) and weight > 0.0):
+                raise ConfigError(
+                    f"mix weight for {name!r} must be > 0, got {weight!r}"
+                )
+        if len({name for name, _ in self.mix}) != len(self.mix):
+            raise ConfigError("phase mix repeats a persona")
+        # Canonical (name-sorted) mix order: phases that mean the same
+        # thing compare equal and encode identically however they were
+        # written down.
+        object.__setattr__(
+            self, "mix", tuple(sorted(self.mix))
+        )
+
+    def covers(self, day: int) -> bool:
+        """Whether campaign day ``day`` falls inside the phase."""
+        if day < self.start_day:
+            return False
+        return self.end_day is None or day < self.end_day
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "start_day": self.start_day,
+            "end_day": self.end_day,
+            "mix": {name: weight for name, weight in sorted(self.mix)},
+            "overlay": self.overlay.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ScenarioPhase":
+        if not isinstance(payload, dict):
+            raise ConfigError(f"phase must be an object, got {payload!r}")
+        known = {"label", "start_day", "end_day", "mix", "overlay"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigError(
+                f"phase has unknown keys {sorted(unknown)} "
+                f"(known: {sorted(known)})"
+            )
+        if "start_day" not in payload or "mix" not in payload:
+            raise ConfigError("phase requires 'start_day' and 'mix'")
+        mix = payload["mix"]
+        if not isinstance(mix, dict):
+            raise ConfigError(
+                f"phase mix must be an object of persona: weight, got {mix!r}"
+            )
+        return cls(
+            start_day=payload["start_day"],
+            end_day=payload.get("end_day"),
+            mix=tuple(sorted(mix.items())),
+            overlay=EventOverlay.from_dict(payload.get("overlay", {})),
+            label=str(payload.get("label", "")),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioPack:
+    """A whole campaign weather: ordered, non-overlapping phases.
+
+    An empty ``phases`` tuple is the identity pack: the engine takes
+    the exact baseline code path with zero extra RNG draws, which is
+    what keeps ``paper-weather`` exports byte-identical to the
+    scenario-free pipeline.
+    """
+
+    name: str
+    description: str = ""
+    phases: Tuple[ScenarioPhase, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("scenario pack name must be non-empty")
+        previous: Optional[ScenarioPhase] = None
+        for phase in self.phases:
+            if previous is not None:
+                if previous.end_day is None:
+                    raise ConfigError(
+                        f"pack {self.name!r}: open-ended phase "
+                        f"[{previous.start_day}, ...) must come last"
+                    )
+                if phase.start_day < previous.end_day:
+                    raise ConfigError(
+                        f"pack {self.name!r}: phases overlap at day "
+                        f"{phase.start_day}"
+                    )
+            previous = phase
+
+    @property
+    def is_identity(self) -> bool:
+        """True if this pack never deviates from the paper's weather."""
+        return not self.phases
+
+    def phase_for(self, day: int) -> Optional[Tuple[int, ScenarioPhase]]:
+        """The (index, phase) covering ``day``, or None (baseline day)."""
+        for index, phase in enumerate(self.phases):
+            if phase.covers(day):
+                return index, phase
+        return None
+
+    def persona_mix(self) -> Dict[str, float]:
+        """The pack's aggregate persona mix, normalised to sum 1.
+
+        A structural summary (phase weights summed, not time-weighted
+        — open-ended phases have no duration) for manifests, status
+        and report headers.  The identity pack is all-baseline.
+        """
+        if not self.phases:
+            return {"baseline": 1.0}
+        totals: Dict[str, float] = {}
+        for phase in self.phases:
+            for name, weight in phase.mix:
+                totals[name] = totals.get(name, 0.0) + weight
+        grand = sum(totals.values())
+        return {
+            name: round(totals[name] / grand, 4) for name in sorted(totals)
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (checkpoint manifests, digests).
+
+        Phases keep their (validated, ordered) sequence; mix and
+        overlay keys are emitted sorted, so the encoding — and any
+        digest over it — is independent of construction order.
+        """
+        return {
+            "name": self.name,
+            "description": self.description,
+            "phases": [phase.to_dict() for phase in self.phases],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ScenarioPack":
+        if not isinstance(payload, dict):
+            raise ConfigError(
+                f"scenario pack must be an object, got {payload!r}"
+            )
+        known = {"name", "description", "phases"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigError(
+                f"scenario pack has unknown keys {sorted(unknown)} "
+                f"(known: {sorted(known)})"
+            )
+        if "name" not in payload:
+            raise ConfigError("scenario pack requires 'name'")
+        phases = payload.get("phases", [])
+        if not isinstance(phases, list):
+            raise ConfigError(f"pack phases must be a list, got {phases!r}")
+        return cls(
+            name=str(payload["name"]),
+            description=str(payload.get("description", "")),
+            phases=tuple(
+                ScenarioPhase.from_dict(phase) for phase in phases
+            ),
+        )
+
+    @classmethod
+    def named(cls, name: str) -> "ScenarioPack":
+        """Return one of the built-in packs (see :data:`SCENARIO_PACKS`)."""
+        try:
+            builder = SCENARIO_PACKS[name]
+        except KeyError:
+            raise ConfigError(
+                f"unknown scenario pack {name!r} "
+                f"(known: {sorted(SCENARIO_PACKS)})"
+            ) from None
+        return builder()
+
+
+def load_pack_file(path: Union[str, os.PathLike]) -> ScenarioPack:
+    """Parse a JSON scenario-pack file (the ``--scenario-file`` path)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise ConfigError(f"cannot read scenario file {path}: {exc}") from exc
+    except ValueError as exc:
+        raise ConfigError(
+            f"scenario file {path} is not valid JSON: {exc}"
+        ) from exc
+    return ScenarioPack.from_dict(payload)
+
+
+# -- built-in packs ----------------------------------------------------------
+
+
+def _pack_paper_weather() -> ScenarioPack:
+    """The paper's 38-day weather, untouched (the default)."""
+    return ScenarioPack(
+        name=DEFAULT_PACK_NAME,
+        description=(
+            "the paper's calibrated weather, no persona shifts, no "
+            "overlays — byte-identical to the scenario-free pipeline"
+        ),
+    )
+
+
+def _pack_invite_storm() -> ScenarioPack:
+    """A viral invite-creation spike, then a platform clean-up."""
+    return ScenarioPack(
+        name="invite-storm",
+        description=(
+            "days 2-4: a viral wave of new invite URLs dominated by "
+            "posters and spammers; afterwards the platforms clean up "
+            "(elevated revocation) while activity settles"
+        ),
+        phases=(
+            ScenarioPhase(
+                label="storm",
+                start_day=2,
+                end_day=5,
+                mix=(("poster", 0.45), ("spammer", 0.35), ("baseline", 0.2)),
+                overlay=EventOverlay(
+                    url_rate_mult=5.0, shares_mult=2.0, churn_mult=1.5
+                ),
+            ),
+            ScenarioPhase(
+                label="cleanup",
+                start_day=5,
+                end_day=None,
+                mix=(("baseline", 0.7), ("lurker", 0.3)),
+                overlay=EventOverlay(
+                    revoke_prob_mult=1.4, revoke_delay_mult=0.7
+                ),
+            ),
+        ),
+    )
+
+
+def _pack_outage_day() -> ScenarioPack:
+    """A platform-wide outage day followed by a catch-up burst."""
+    return ScenarioPack(
+        name="outage-day",
+        description=(
+            "day 3: an ecosystem-wide outage collapses invite "
+            "creation and messaging; days 4-5 see the deferred "
+            "activity return in a catch-up burst"
+        ),
+        phases=(
+            ScenarioPhase(
+                label="outage",
+                start_day=3,
+                end_day=4,
+                mix=(("lurker", 0.8), ("baseline", 0.2)),
+                overlay=EventOverlay(
+                    url_rate_mult=0.05, msg_rate_mult=0.05, shares_mult=0.3
+                ),
+            ),
+            ScenarioPhase(
+                label="recovery",
+                start_day=4,
+                end_day=6,
+                mix=(("poster", 0.5), ("baseline", 0.5)),
+                overlay=EventOverlay(url_rate_mult=1.8, msg_rate_mult=1.4),
+            ),
+        ),
+    )
+
+
+def _pack_spam_wave() -> ScenarioPack:
+    """A sustained coordinated link-farm campaign."""
+    return ScenarioPack(
+        name="spam-wave",
+        description=(
+            "from day 1: a coordinated link-farm wave — spammer-"
+            "dominated group creation, blanket tweet sharing, and "
+            "the platforms' takedowns racing behind"
+        ),
+        phases=(
+            ScenarioPhase(
+                label="wave",
+                start_day=1,
+                end_day=None,
+                mix=(("spammer", 0.55), ("poster", 0.15), ("baseline", 0.3)),
+                overlay=EventOverlay(
+                    shares_mult=1.8,
+                    revoke_prob_mult=1.5,
+                    revoke_delay_mult=0.5,
+                ),
+            ),
+        ),
+    )
+
+
+def _pack_mass_revocation() -> ScenarioPack:
+    """A calm start, then a coordinated moderation purge."""
+    return ScenarioPack(
+        name="mass-revocation",
+        description=(
+            "days 0-2 run the paper's weather; from day 3 a "
+            "coordinated purge — admin-led moderation, sharply "
+            "elevated revocation, invites dying within hours"
+        ),
+        phases=(
+            ScenarioPhase(
+                label="calm",
+                start_day=0,
+                end_day=3,
+                mix=(("baseline", 1.0),),
+            ),
+            ScenarioPhase(
+                label="purge",
+                start_day=3,
+                end_day=None,
+                mix=(("admin", 0.6), ("baseline", 0.4)),
+                overlay=EventOverlay(
+                    revoke_prob_mult=2.5,
+                    revoke_delay_mult=0.2,
+                    url_rate_mult=0.7,
+                ),
+            ),
+        ),
+    )
+
+
+def _pack_election_surge() -> ScenarioPack:
+    """An election-week surge on the phone-number platforms."""
+    return ScenarioPack(
+        name="election-surge",
+        description=(
+            "days 2-6: an election-week surge concentrated on "
+            "WhatsApp and Telegram — poster-heavy group creation, "
+            "multilingual message storms, churning memberships — "
+            "then a lurker-heavy aftermath"
+        ),
+        phases=(
+            ScenarioPhase(
+                label="surge",
+                start_day=2,
+                end_day=7,
+                mix=(("poster", 0.6), ("baseline", 0.25), ("spammer", 0.15)),
+                overlay=EventOverlay(
+                    url_rate_mult=3.0,
+                    msg_rate_mult=2.5,
+                    churn_mult=1.8,
+                    shares_mult=1.5,
+                    platforms=("whatsapp", "telegram"),
+                ),
+            ),
+            ScenarioPhase(
+                label="aftermath",
+                start_day=7,
+                end_day=None,
+                mix=(("lurker", 0.5), ("baseline", 0.5)),
+                overlay=EventOverlay(msg_rate_mult=0.7),
+            ),
+        ),
+    )
+
+
+#: Built-in pack name -> pack builder, in ``scenarios list`` order.
+SCENARIO_PACKS = {
+    DEFAULT_PACK_NAME: _pack_paper_weather,
+    "invite-storm": _pack_invite_storm,
+    "outage-day": _pack_outage_day,
+    "spam-wave": _pack_spam_wave,
+    "mass-revocation": _pack_mass_revocation,
+    "election-surge": _pack_election_surge,
+}
+
+
+def pack_names() -> Tuple[str, ...]:
+    """Built-in pack names, in listing order."""
+    return tuple(SCENARIO_PACKS)

@@ -1,0 +1,250 @@
+"""Behaviour personas: parameter bundles over the seeded distributions.
+
+A :class:`Persona` is a small set of multiplicative knobs applied to a
+:class:`~repro.simulation.calibration.PlatformCalibration` — the same
+calibrated distributions the paper's weather draws from, shifted
+towards one behavioural archetype (a lurker's quiet group, a
+spammer's throwaway invite churn, an admin's tightly-moderated room).
+Personas are pure data: no coin flips happen here.  The scenario
+engine draws which persona a newborn group belongs to from the
+per-day seeded stream and spawns it from the persona's *effective*
+calibration, so every persona-shifted draw stays inside the existing
+seeded-RNG facade.
+
+Grounded in the Telegram Group-verse / TeleScope observation that
+group populations decompose into distinct behavioural classes; the
+four non-baseline personas here are the minimal registry ROADMAP asks
+for (lurker/poster/spammer/admin).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, Mapping, Tuple
+
+from repro.errors import ConfigError
+from repro.simulation.calibration import PlatformCalibration
+
+__all__ = [
+    "KNOBS",
+    "PERSONAS",
+    "Persona",
+    "combine_knobs",
+    "get_persona",
+    "persona_names",
+    "scale_calibration",
+]
+
+#: Every multiplicative knob a persona (or event overlay) may turn.
+#: All default to 1.0 (= the paper's calibrated behaviour).
+KNOBS = (
+    "url_rate_mult",       # invite-creation propensity (new groups/day)
+    "shares_mult",         # link-sharing propensity on Twitter
+    "msg_rate_mult",       # in-group messages/day
+    "active_frac_mult",    # fraction of members who ever post
+    "churn_mult",          # join/leave slope magnitude
+    "size_mult",           # group size at first share
+    "revoke_prob_mult",    # probability the invite URL ever dies
+    "revoke_delay_mult",   # mean extra lifetime of later-revoked URLs
+    "fresh_bias",          # P(created the same day it is shared)
+)
+
+
+@dataclass(frozen=True)
+class Persona:
+    """One behavioural archetype as a bundle of distribution shifts.
+
+    Every knob is a multiplier on the corresponding calibrated
+    parameter (see :func:`scale_calibration` for the exact mapping);
+    1.0 everywhere reproduces the paper's behaviour exactly.
+    """
+
+    name: str
+    description: str
+    url_rate_mult: float = 1.0
+    shares_mult: float = 1.0
+    msg_rate_mult: float = 1.0
+    active_frac_mult: float = 1.0
+    churn_mult: float = 1.0
+    size_mult: float = 1.0
+    revoke_prob_mult: float = 1.0
+    revoke_delay_mult: float = 1.0
+    fresh_bias: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("persona name must be non-empty")
+        for knob in KNOBS:
+            value = getattr(self, knob)
+            if not (isinstance(value, (int, float)) and value > 0.0):
+                raise ConfigError(
+                    f"persona {self.name!r}: {knob} must be > 0, got {value!r}"
+                )
+
+    def knobs(self) -> Dict[str, float]:
+        """The knob values as a plain dict (engine composition input)."""
+        return {knob: float(getattr(self, knob)) for knob in KNOBS}
+
+    @property
+    def is_identity(self) -> bool:
+        """True if this persona changes nothing."""
+        return all(getattr(self, knob) == 1.0 for knob in KNOBS)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (manifests, ``scenarios describe``)."""
+        payload: Dict[str, object] = {
+            "name": self.name,
+            "description": self.description,
+        }
+        payload.update(self.knobs())
+        return payload
+
+
+def combine_knobs(*knob_maps: Mapping[str, float]) -> Dict[str, float]:
+    """Multiply knob maps together (persona x event overlay)."""
+    combined = {knob: 1.0 for knob in KNOBS}
+    for knobs in knob_maps:
+        for knob, value in knobs.items():
+            combined[knob] *= value
+    return combined
+
+
+def scale_calibration(
+    cal: PlatformCalibration, knobs: Mapping[str, float]
+) -> PlatformCalibration:
+    """Apply multiplicative knobs to a calibration.
+
+    Rates and probabilities scale linearly (clipped to stay valid);
+    lognormal medians shift by ``log(mult)`` on mu, which multiplies
+    the median while keeping the distribution's shape — the same
+    "shift the location, keep the tail" convention the calibration
+    constants themselves use.  The identity knob map returns ``cal``
+    unchanged (same object), so the baseline path allocates nothing.
+    """
+    changes: Dict[str, object] = {}
+    if knobs.get("url_rate_mult", 1.0) != 1.0:
+        changes["new_urls_per_day"] = (
+            cal.new_urls_per_day * knobs["url_rate_mult"]
+        )
+    if knobs.get("shares_mult", 1.0) != 1.0:
+        mult = knobs["shares_mult"]
+        # More sharing = fewer single-share URLs and a heavier tail.
+        changes["single_share_prob"] = min(
+            0.98, max(0.02, cal.single_share_prob / mult)
+        )
+        changes["share_tail_scale"] = cal.share_tail_scale * mult
+    if knobs.get("msg_rate_mult", 1.0) != 1.0:
+        mu, sigma = cal.msg_rate_lognorm
+        changes["msg_rate_lognorm"] = (
+            mu + math.log(knobs["msg_rate_mult"]), sigma
+        )
+    if knobs.get("active_frac_mult", 1.0) != 1.0:
+        a, b = cal.active_frac_beta
+        changes["active_frac_beta"] = (a * knobs["active_frac_mult"], b)
+    if knobs.get("churn_mult", 1.0) != 1.0:
+        mu, sigma = cal.growth_rate_lognorm
+        changes["growth_rate_lognorm"] = (
+            mu + math.log(knobs["churn_mult"]), sigma
+        )
+    if knobs.get("size_mult", 1.0) != 1.0:
+        mu, sigma = cal.size_lognorm
+        changes["size_lognorm"] = (mu + math.log(knobs["size_mult"]), sigma)
+    if knobs.get("revoke_prob_mult", 1.0) != 1.0:
+        changes["revoked_prob"] = min(
+            0.98, cal.revoked_prob * knobs["revoke_prob_mult"]
+        )
+    if knobs.get("revoke_delay_mult", 1.0) != 1.0:
+        changes["revoked_later_mean_days"] = max(
+            0.25, cal.revoked_later_mean_days * knobs["revoke_delay_mult"]
+        )
+    if knobs.get("fresh_bias", 1.0) != 1.0:
+        # Never push the same-day mass into the over-a-year mass.
+        changes["staleness_same_day_prob"] = min(
+            cal.staleness_same_day_prob * knobs["fresh_bias"],
+            max(0.0, 0.98 - cal.staleness_over_year_prob),
+        )
+    if not changes:
+        return cal
+    return replace(cal, **changes)
+
+
+#: The built-in persona registry, in reporting order.  ``baseline``
+#: is the identity persona: the paper's calibrated behaviour untouched.
+PERSONAS: Dict[str, Persona] = {
+    persona.name: persona
+    for persona in (
+        Persona(
+            name="baseline",
+            description="the paper's calibrated behaviour, unmodified",
+        ),
+        Persona(
+            name="lurker",
+            description=(
+                "quiet consumers: few invites, little posting, "
+                "slow-moving small groups"
+            ),
+            url_rate_mult=0.4,
+            shares_mult=0.6,
+            msg_rate_mult=0.2,
+            active_frac_mult=0.5,
+            churn_mult=0.5,
+            size_mult=0.8,
+        ),
+        Persona(
+            name="poster",
+            description=(
+                "high-output communities: heavy messaging, "
+                "aggressive link sharing, fast membership churn"
+            ),
+            url_rate_mult=1.2,
+            shares_mult=1.6,
+            msg_rate_mult=3.0,
+            active_frac_mult=1.4,
+            churn_mult=1.3,
+        ),
+        Persona(
+            name="spammer",
+            description=(
+                "link-farm operators: throwaway same-day groups, "
+                "blanket tweet sharing, fast platform takedowns"
+            ),
+            url_rate_mult=2.5,
+            shares_mult=4.0,
+            msg_rate_mult=2.0,
+            size_mult=0.6,
+            revoke_prob_mult=1.8,
+            revoke_delay_mult=0.4,
+            fresh_bias=1.3,
+        ),
+        Persona(
+            name="admin",
+            description=(
+                "tightly-moderated rooms: fewer invites, prompt "
+                "revocation, stable membership"
+            ),
+            url_rate_mult=0.8,
+            shares_mult=0.9,
+            msg_rate_mult=0.8,
+            active_frac_mult=0.8,
+            churn_mult=0.7,
+            revoke_prob_mult=1.5,
+            revoke_delay_mult=0.3,
+        ),
+    )
+}
+
+
+def persona_names() -> Tuple[str, ...]:
+    """Registry persona names, in reporting order."""
+    return tuple(PERSONAS)
+
+
+def get_persona(name: str) -> Persona:
+    """Look up a registry persona, raising :class:`ConfigError`."""
+    try:
+        return PERSONAS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown persona {name!r} (known: {sorted(PERSONAS)})"
+        ) from None

@@ -84,6 +84,12 @@ class CampaignDriver(threading.Thread):
         """Ask the campaign to drain at the next day boundary."""
         self.stop_event.set()
 
+    def scenario(self) -> Dict[str, Any]:
+        """The campaign's scenario identity, as the manifest records it."""
+        from repro.checkpoint.store import _scenario_block
+
+        return _scenario_block(self._study.config)
+
     # -- thread body -------------------------------------------------------
 
     def run(self) -> None:

@@ -218,6 +218,7 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
         body = {
             "phase": driver.phase,
             "error": driver.error,
+            "scenario": driver.scenario(),
             "latest_day": view.latest_day(),
             "published_days": len(view.days()),
             "store": view.directory,

@@ -1,17 +1,24 @@
 """Seeded load harness for the serve daemon.
 
 Replays deterministic client *personas* against a running daemon with
-stdlib threads and ``urllib`` — no external load tool:
+stdlib threads and ``urllib`` — no external load tool.  The persona
+names come from the scenario registry
+(:mod:`repro.scenarios.personas`): the same population the simulated
+groups are drawn from also drives the query-side load, each name
+mapped to the access pattern that behaviour implies:
 
-``timeline``
+``lurker``
+    light touch: occasional small day slices plus status polls;
+``poster``
     pages day slices (``/v1/day/{n}`` with varying ``limit`` and
     ``platform`` params) and the day index — the cache-heavy,
     unpickle-bound read path;
-``health``
-    polls ``/v1/status`` and ``/v1/health`` — what an operator
-    dashboard does;
-``metrics``
-    scrapes ``/metrics`` — what Prometheus does.
+``spammer``
+    hammers one fixed hot endpoint (the latest published day) — the
+    maximal-cache-contention fast path;
+``admin``
+    rotates status, health and metrics — what an operator dashboard
+    and a Prometheus scrape do.
 
 Every client owns a ``random.Random(seed, client-index)`` stream, so
 a given (seed, clients, requests, published days) replays the exact
@@ -33,6 +40,7 @@ from random import Random
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError
+from repro.scenarios import persona_names
 
 __all__ = [
     "LoadReport",
@@ -41,7 +49,11 @@ __all__ = [
     "run_load",
 ]
 
-PERSONAS = ("timeline", "health", "metrics")
+#: Load personas, drawn from the scenario registry (everything but the
+#: identity ``baseline``, which has no distinctive access pattern).
+PERSONAS = tuple(
+    name for name in persona_names() if name != "baseline"
+)
 
 _PLATFORMS = ("whatsapp", "telegram", "discord")
 
@@ -151,7 +163,7 @@ def _fetch(url: str, timeout: float) -> Tuple[int, Optional[str]]:
 def _persona_url(
     persona: str, base: str, rng: Random, days: List[int], step: int
 ) -> str:
-    if persona == "timeline":
+    if persona == "poster":
         if not days or step % 7 == 0:
             return f"{base}/v1/days"
         day = rng.choice(days)
@@ -161,12 +173,23 @@ def _persona_url(
         if roll < 0.6:
             return f"{base}/v1/day/{day}?limit={rng.choice((5, 10, 20))}"
         return f"{base}/v1/day/{day}?platform={rng.choice(_PLATFORMS)}"
-    if persona == "health":
-        if step % 3 == 0 and days:
+    if persona == "lurker":
+        if not days or step % 4 == 0:
+            return f"{base}/v1/status"
+        return f"{base}/v1/day/{rng.choice(days)}?limit=5"
+    if persona == "spammer":
+        # One fixed hot URL — every spammer client converges on the
+        # latest published day, the maximal cache-key contention path.
+        if not days:
+            return f"{base}/v1/days"
+        return f"{base}/v1/day/{max(days)}"
+    if persona == "admin":
+        roll = step % 3
+        if roll == 0 and days:
             return f"{base}/v1/health"
+        if roll == 1:
+            return f"{base}/metrics"
         return f"{base}/v1/status"
-    if persona == "metrics":
-        return f"{base}/metrics"
     raise ConfigError(f"unknown persona {persona!r}")
 
 
@@ -220,18 +243,18 @@ def run_load(
 ) -> LoadReport:
     """Drive ``clients`` persona threads against a running daemon.
 
-    Clients are dealt round-robin across the three personas
-    (timeline, health, metrics), each with its own seeded RNG; all
-    start together behind a barrier so the measured window is fully
-    concurrent.
+    Clients are dealt round-robin across the registry personas
+    (lurker, poster, spammer, admin), each with its own seeded RNG;
+    all start together behind a barrier so the measured window is
+    fully concurrent.
     """
     if clients < 1:
         raise ConfigError(f"clients must be >= 1, got {clients}")
     if requests < 1:
         raise ConfigError(f"requests must be >= 1, got {requests}")
     base = url.rstrip("/")
-    # One pre-flight fetch of the published day index: the timeline
-    # persona replays against a fixed day set, which also keeps the
+    # One pre-flight fetch of the published day index: the day-reading
+    # personas replay against a fixed day set, which also keeps the
     # request sequence deterministic for a given store state.
     days: List[int] = []
     try:

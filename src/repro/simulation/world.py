@@ -31,6 +31,7 @@ from repro.platforms.telegram import TelegramService
 from repro.platforms.telegram.service import TELEGRAM_CHANNEL_MAX_MEMBERS
 from repro.platforms.whatsapp import WhatsAppService
 from repro.rng import derive_rng
+from repro.scenarios import ScenarioEngine, ScenarioPack
 from repro.simulation.calibration import (
     CALIBRATIONS,
     CONTROL,
@@ -88,12 +89,17 @@ class WorldConfig:
             substitution).
         control_oversample: Background volume relative to the control
             target, i.e. 1 / control_sample_rate.
+        scenario: The scenario pack shaping group births (see
+            :mod:`repro.scenarios`); None — or the identity
+            ``paper-weather`` pack — runs the paper's weather with
+            zero extra RNG draws.
     """
 
     seed: int = 7
     n_days: int = STUDY_DAYS
     scale: float = 0.01
     control_sample_rate: float = 0.5
+    scenario: Optional[ScenarioPack] = None
 
     def __post_init__(self) -> None:
         if self.n_days < 1:
@@ -161,6 +167,12 @@ class World:
         self._tweet_seq = 0
         self._generated_through = -1
         self.truths: Dict[str, URLTruth] = {}
+        #: The pack interpreter (identity when no scenario is active).
+        self._scenario = ScenarioEngine(config.scenario)
+        #: invite URL -> persona name, recorded only for groups born
+        #: inside a scenario phase (baseline days leave no entry, so
+        #: the identity pack touches nothing).
+        self.personas: Dict[str, str] = {}
         # Scale the mega-URL cap with volume (see sample_shares_per_url).
         self._share_cap = max(300, int(MAX_SHARES_PER_URL * config.scale))
         # Cross-platform machinery: a shared author pool (users who
@@ -244,14 +256,42 @@ class World:
         """The spawn phase of day ``day``: birth the day's new groups.
 
         All spawn-phase draws come first on the day stream, strictly
-        before any tweet-composition draw, and no tweet-phase state
+        before any tweet-phase draw, and no tweet-phase state
         feeds back into spawning — which is what lets a worker replica
         advance group state alone via :meth:`generate_day_groups`.
+
+        On a day no scenario phase covers — every day of the identity
+        ``paper-weather`` pack — this is the exact baseline code path
+        with zero extra RNG draws, so default exports stay
+        byte-identical to the scenario-free pipeline.  Inside a phase,
+        each newborn group draws a persona (one uniform per group, on
+        this same stream) and spawns from the persona's effective
+        calibration; the draws happen identically in parent worlds
+        and worker replicas.
         """
+        phase = self._scenario.phase_for(day)
         for name, cal in CALIBRATIONS.items():
-            n_new = int(rng.poisson(cal.new_urls_per_day * self.config.scale))
+            if phase is None:
+                n_new = int(
+                    rng.poisson(cal.new_urls_per_day * self.config.scale)
+                )
+                for _ in range(n_new):
+                    self._spawn_group(day, name, cal, rng)
+                continue
+            index, spec = phase
+            rate = (
+                cal.new_urls_per_day
+                * self._scenario.spawn_rate_mult(index, spec, name)
+            )
+            n_new = int(rng.poisson(rate * self.config.scale))
             for _ in range(n_new):
-                self._spawn_group(day, name, cal, rng)
+                persona = self._scenario.draw_persona(index, spec, rng)
+                effective = self._scenario.calibration(
+                    index, spec, name, persona, cal
+                )
+                self._spawn_group(
+                    day, name, effective, rng, persona=persona
+                )
 
     def generate_day(self, day: int) -> None:
         """Generate all of day ``day``'s groups and tweets (in order)."""
@@ -319,6 +359,17 @@ class World:
         """
         self.config = replace(self.config, seed=seed)
 
+    def set_scenario(self, pack: Optional[ScenarioPack]) -> None:
+        """Swap the scenario pack for this world's *future* days (forks).
+
+        Group spawning is a pure per-day function of the pack, so —
+        exactly like :meth:`reseed` — the swap branches the world at
+        the current day: everything already generated keeps the old
+        weather, every day from here on spawns under ``pack``.
+        """
+        self.config = replace(self.config, scenario=pack)
+        self._scenario = ScenarioEngine(pack)
+
     def ground_truth(self) -> Dict[str, URLTruth]:
         """Per-URL ground truth (validation only; not pipeline input)."""
         return self.truths
@@ -331,6 +382,7 @@ class World:
         name: str,
         cal: PlatformCalibration,
         rng: np.random.Generator,
+        persona: Optional[str] = None,
     ) -> None:
         service = self.platforms[name]
         counter = self._group_counters[name]
@@ -372,6 +424,8 @@ class World:
         )
         record = service.register_group(plan)
         url = service.invite_url(gid)
+        if persona is not None:
+            self.personas[url] = persona
         recent = self._recent_urls[name]
         recent.append(url)
         if len(recent) > 200:

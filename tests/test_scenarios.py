@@ -1,0 +1,464 @@
+"""Tests for the scenario-pack / persona workload-mix subsystem.
+
+The acceptance properties (ISSUE 8):
+
+* the default ``paper-weather`` pack is *byte-identical* to the
+  scenario-free pipeline — same exports at any worker count, under
+  the ``none`` and ``hostile`` fault profiles, including after a
+  mid-campaign kill and resume;
+* every non-identity pack is deterministic: the same (seed, pack)
+  replays the exact same campaign, including the per-group persona
+  assignments, at any worker count;
+* ``Study.fork(scenario=...)`` swaps the weather mid-campaign with
+  deterministic replay, exactly like fault plans;
+* parse-time validation rejects malformed personas, phases, overlays
+  and pack files with :class:`~repro.errors.ConfigError`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.checkpoint import RunStore
+from repro.core.study import Study, StudyConfig
+from repro.errors import ConfigError
+from repro.io.export import export_all_csv
+from repro.scenarios import (
+    DEFAULT_PACK_NAME,
+    SCENARIO_PACKS,
+    EventOverlay,
+    Persona,
+    ScenarioEngine,
+    ScenarioPack,
+    ScenarioPhase,
+    get_persona,
+    load_pack_file,
+    pack_names,
+    persona_names,
+    scale_calibration,
+)
+from repro.serve import load as serve_load
+from repro.simulation.calibration import CALIBRATIONS
+
+pytestmark = pytest.mark.scenarios
+
+#: Campaign shape shared by the identity/determinism tests: small but
+#: complete — discovery, revocations, a join day, and enough days that
+#: every built-in pack has at least one phase in range.
+_SPEC = dict(
+    seed=11,
+    n_days=6,
+    scale=0.004,
+    message_scale=0.05,
+    join_day=3,
+)
+
+_EXTRA_PACKS = sorted(set(SCENARIO_PACKS) - {DEFAULT_PACK_NAME})
+
+
+def _config(scenario=None, faults=None) -> StudyConfig:
+    return StudyConfig(scenario=scenario, faults=faults, **_SPEC)
+
+
+def _export_tree(directory: Path) -> dict:
+    """Every exported file's bytes, keyed by name (SHA256SUMS included)."""
+    return {
+        path.name: path.read_bytes()
+        for path in sorted(directory.iterdir())
+        if path.is_file()
+    }
+
+
+def _run_and_export(config: StudyConfig, directory: Path, **run_kwargs):
+    dataset = Study(config).run(**run_kwargs)
+    directory.mkdir(parents=True, exist_ok=True)
+    export_all_csv(dataset, directory)
+    return dataset
+
+
+@pytest.fixture(scope="module")
+def golden(tmp_path_factory):
+    """Golden scenario-free sequential exports per fault profile."""
+    cache: dict = {}
+
+    def get(faults) -> Path:
+        if faults not in cache:
+            dataset = Study(_config(faults=faults)).run()
+            directory = tmp_path_factory.mktemp(f"golden-{faults}")
+            export_all_csv(dataset, directory)
+            cache[faults] = directory
+        return cache[faults]
+
+    return get
+
+
+# -- personas ----------------------------------------------------------------
+
+
+class TestPersonas:
+    def test_registry_covers_the_required_names(self):
+        assert {"baseline", "lurker", "poster", "spammer", "admin"} <= set(
+            persona_names()
+        )
+
+    def test_baseline_is_the_identity(self):
+        assert get_persona("baseline").is_identity
+        assert not get_persona("spammer").is_identity
+
+    def test_unknown_persona_rejected(self):
+        with pytest.raises(ConfigError, match="unknown persona"):
+            get_persona("influencer")
+
+    def test_non_positive_knob_rejected(self):
+        with pytest.raises(ConfigError, match="msg_rate_mult"):
+            Persona(name="broken", description="", msg_rate_mult=0.0)
+        with pytest.raises(ConfigError, match="size_mult"):
+            Persona(name="broken", description="", size_mult=-1.0)
+
+    def test_scale_calibration_identity_is_a_no_op(self):
+        cal = CALIBRATIONS["telegram"]
+        assert scale_calibration(cal, get_persona("baseline").knobs()) is cal
+
+    def test_spammer_shifts_the_calibration_the_right_way(self):
+        cal = CALIBRATIONS["whatsapp"]
+        scaled = scale_calibration(cal, get_persona("spammer").knobs())
+        # More revocation, faster takedowns, smaller groups.
+        assert scaled.revoked_prob > cal.revoked_prob
+        assert scaled.revoked_later_mean_days < cal.revoked_later_mean_days
+        assert scaled.size_lognorm[0] < cal.size_lognorm[0]
+        # Probabilities stay probabilities.
+        assert 0.0 < scaled.revoked_prob <= 0.98
+
+
+# -- packs and overlays ------------------------------------------------------
+
+
+class TestPacks:
+    def test_builtin_registry_shape(self):
+        assert DEFAULT_PACK_NAME in pack_names()
+        assert len(_EXTRA_PACKS) >= 4
+
+    def test_default_pack_is_the_identity(self):
+        pack = ScenarioPack.named(DEFAULT_PACK_NAME)
+        assert pack.is_identity
+        assert pack.phase_for(0) is None
+        assert pack.persona_mix() == {"baseline": 1.0}
+
+    def test_unknown_pack_rejected(self):
+        with pytest.raises(ConfigError, match="unknown scenario"):
+            ScenarioPack.named("heat-death")
+
+    def test_all_builtin_packs_roundtrip(self):
+        for name in pack_names():
+            pack = ScenarioPack.named(name)
+            assert ScenarioPack.from_dict(pack.to_dict()) == pack, name
+
+    def test_phase_windows_resolve(self):
+        pack = ScenarioPack.named("invite-storm")
+        assert pack.phase_for(0) is None
+        index, phase = pack.phase_for(2)
+        assert phase.covers(2) and not phase.covers(5)
+        assert pack.phase_for(40)[1].end_day is None
+        assert index == 0
+
+    def test_mix_order_is_canonical(self):
+        a = ScenarioPhase(
+            start_day=0, end_day=None,
+            mix=(("poster", 0.5), ("lurker", 0.5)),
+        )
+        b = ScenarioPhase(
+            start_day=0, end_day=None,
+            mix=(("lurker", 0.5), ("poster", 0.5)),
+        )
+        assert a == b
+
+    def test_phase_validation(self):
+        with pytest.raises(ConfigError, match="mix"):
+            ScenarioPhase(start_day=0, end_day=None, mix=())
+        with pytest.raises(ConfigError, match="weight"):
+            ScenarioPhase(
+                start_day=0, end_day=None, mix=(("poster", -0.2),)
+            )
+        with pytest.raises(ConfigError, match="unknown persona"):
+            ScenarioPhase(
+                start_day=0, end_day=None, mix=(("influencer", 1.0),)
+            )
+        with pytest.raises(ConfigError, match="window is empty"):
+            ScenarioPhase(start_day=3, end_day=3, mix=(("poster", 1.0),))
+
+    def test_pack_validation(self):
+        early = ScenarioPhase(
+            start_day=0, end_day=4, mix=(("poster", 1.0),)
+        )
+        overlapping = ScenarioPhase(
+            start_day=2, end_day=6, mix=(("lurker", 1.0),)
+        )
+        open_ended = ScenarioPhase(
+            start_day=1, end_day=None, mix=(("admin", 1.0),)
+        )
+        with pytest.raises(ConfigError, match="overlap"):
+            ScenarioPack(
+                name="x", description="", phases=(early, overlapping)
+            )
+        with pytest.raises(ConfigError, match="open-ended"):
+            ScenarioPack(
+                name="x", description="",
+                phases=(open_ended, overlapping),
+            )
+
+    def test_overlay_validation(self):
+        with pytest.raises(ConfigError, match="platform"):
+            EventOverlay(platforms=("myspace",))
+        with pytest.raises(ConfigError, match="url_rate_mult"):
+            EventOverlay(url_rate_mult=0.0)
+
+    def test_load_pack_file(self, tmp_path):
+        path = tmp_path / "pack.json"
+        pack = ScenarioPack.named("spam-wave")
+        path.write_text(json.dumps(pack.to_dict()))
+        assert load_pack_file(path) == pack
+
+        path.write_text("{not json")
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            load_pack_file(path)
+
+        bogus = pack.to_dict()
+        bogus["weather"] = "wet"
+        path.write_text(json.dumps(bogus))
+        with pytest.raises(ConfigError, match="unknown"):
+            load_pack_file(path)
+
+    def test_config_resolves_pack_names(self):
+        config = _config(scenario="invite-storm")
+        assert isinstance(config.scenario, ScenarioPack)
+        assert config.scenario_name == "invite-storm"
+        assert _config().scenario_name == DEFAULT_PACK_NAME
+
+
+# -- engine ------------------------------------------------------------------
+
+
+class TestEngine:
+    def test_identity_engine_has_no_phases(self):
+        engine = ScenarioEngine(None)
+        assert engine.is_identity
+        assert engine.phase_for(3) is None
+        assert engine.name == DEFAULT_PACK_NAME
+
+    def test_draw_consumes_exactly_one_uniform(self):
+        from repro.rng import derive_rng
+
+        engine = ScenarioEngine(ScenarioPack.named("invite-storm"))
+        index, phase = engine.phase_for(3)
+        a, b = derive_rng(5, "draw"), derive_rng(5, "draw")
+        engine.draw_persona(index, phase, a)
+        b.random()
+        # Both streams advanced by one draw: next values agree.
+        assert a.random() == b.random()
+
+    def test_draws_follow_the_mix(self):
+        from repro.rng import derive_rng
+
+        engine = ScenarioEngine(ScenarioPack.named("mass-revocation"))
+        index, phase = engine.phase_for(4)
+        rng = derive_rng(9, "mix")
+        drawn = {
+            engine.draw_persona(index, phase, rng) for _ in range(300)
+        }
+        assert drawn == {"admin", "baseline"}
+
+
+# -- byte-identity of the default pack ---------------------------------------
+
+
+class TestPaperWeatherByteIdentity:
+    @pytest.mark.parametrize("faults", [None, "hostile"])
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_identical_to_scenario_free_pipeline(
+        self, golden, tmp_path, faults, workers
+    ):
+        """Naming the default pack must change *nothing*: exports are
+        byte-identical to a config with no scenario at all, at any
+        worker count, under fault injection too."""
+        out = tmp_path / "export"
+        _run_and_export(
+            _config(scenario=DEFAULT_PACK_NAME, faults=faults),
+            out,
+            workers=workers,
+        )
+        assert _export_tree(out) == _export_tree(golden(faults))
+
+    def test_kill_and_resume_stays_identical(self, golden, tmp_path):
+        class _Boom(Exception):
+            pass
+
+        store_dir = tmp_path / "store"
+        study = Study(_config(scenario=DEFAULT_PACK_NAME))
+
+        def hook(day, stage):
+            if day == 4 and stage == "monitor":
+                raise _Boom()
+
+        study.stage_hook = hook
+        with pytest.raises(_Boom):
+            study.run(checkpoint_dir=store_dir, workers=4)
+
+        resumed = Study.resume(store_dir)
+        dataset = resumed.run(workers=4)
+        out = tmp_path / "export"
+        export_all_csv(dataset, out)
+        assert _export_tree(out) == _export_tree(golden(None))
+
+
+# -- determinism of the non-identity packs -----------------------------------
+
+
+class TestScenarioDeterminism:
+    @pytest.mark.parametrize("name", _EXTRA_PACKS)
+    def test_every_pack_replays_exactly(self, tmp_path, name):
+        first = Study(_config(scenario=name)).run()
+        second = Study(_config(scenario=name)).run()
+        assert first.scenario == name == second.scenario
+        assert first.personas, f"{name} assigned no personas"
+        assert first.personas == second.personas
+        out1, out2 = tmp_path / "a", tmp_path / "b"
+        for dataset, out in ((first, out1), (second, out2)):
+            out.mkdir()
+            export_all_csv(dataset, out)
+        assert _export_tree(out1) == _export_tree(out2)
+
+    def test_scenario_actually_changes_the_weather(self, golden, tmp_path):
+        out = tmp_path / "export"
+        dataset = _run_and_export(_config(scenario="invite-storm"), out)
+        assert _export_tree(out) != _export_tree(golden(None))
+        # At least three personas took part in a storm campaign.
+        assert len(set(dataset.personas.values())) >= 3
+
+    def test_worker_count_is_invisible_under_a_scenario(self, tmp_path):
+        seq, par = tmp_path / "seq", tmp_path / "par"
+        first = _run_and_export(_config(scenario="invite-storm"), seq)
+        second = _run_and_export(
+            _config(scenario="invite-storm"), par, workers=4
+        )
+        assert _export_tree(seq) == _export_tree(par)
+        assert first.personas == second.personas
+
+    def test_faults_and_scenario_compose_deterministically(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        _run_and_export(_config(scenario="spam-wave", faults="hostile"), a)
+        _run_and_export(_config(scenario="spam-wave", faults="hostile"), b)
+        assert _export_tree(a) == _export_tree(b)
+
+
+# -- fork-time scenario swap -------------------------------------------------
+
+
+class TestForkSwap:
+    def test_fork_swaps_the_scenario_with_deterministic_replay(
+        self, tmp_path
+    ):
+        store_dir = tmp_path / "store"
+        Study(_config()).run(checkpoint_dir=store_dir)
+
+        forks = []
+        for branch in ("a", "b"):
+            fork_dir = tmp_path / f"fork-{branch}"
+            fork = Study.fork(
+                store_dir, 3, scenario="mass-revocation",
+                fork_dir=fork_dir,
+            )
+            assert fork.config.scenario_name == "mass-revocation"
+            dataset = fork.run()
+            out = tmp_path / f"export-{branch}"
+            out.mkdir()
+            export_all_csv(dataset, out)
+            forks.append((fork_dir, out, dataset))
+
+        (_, out_a, data_a), (_, out_b, data_b) = forks
+        assert _export_tree(out_a) == _export_tree(out_b)
+        assert data_a.personas == data_b.personas
+        # The swap only touches the forked future: groups born on the
+        # shared days 0..3 carry no persona tag.
+        assert data_a.personas
+        assert data_a.scenario == "mass-revocation"
+
+        # The fork store records its own scenario identity...
+        manifest = RunStore.open(forks[0][0]).manifest
+        assert manifest["scenario"]["name"] == "mass-revocation"
+        assert "admin" in manifest["scenario"]["personas"]
+        # ...and the parent store still records the default.
+        parent = RunStore.open(store_dir).manifest
+        assert parent["scenario"]["name"] == DEFAULT_PACK_NAME
+
+        # A resumed fork replays to the same bytes.
+        resumed = Study.resume(forks[0][0]).run()
+        out = tmp_path / "export-resumed"
+        out.mkdir()
+        export_all_csv(resumed, out)
+        assert _export_tree(out) == _export_tree(out_a)
+
+    def test_fork_keeps_the_scenario_by_default(self, tmp_path):
+        store_dir = tmp_path / "store"
+        Study(_config(scenario="spam-wave")).run(
+            checkpoint_dir=store_dir
+        )
+        fork = Study.fork(
+            store_dir, 3, fork_dir=tmp_path / "fork",
+        )
+        assert fork.config.scenario_name == "spam-wave"
+        # And swapping back to the default strips the pack entirely.
+        fork2 = Study.fork(
+            store_dir, 3, scenario=DEFAULT_PACK_NAME,
+            fork_dir=tmp_path / "fork2",
+        )
+        assert fork2.config.scenario_name == DEFAULT_PACK_NAME
+
+
+# -- manifest and reporting --------------------------------------------------
+
+
+class TestManifestAndReporting:
+    def test_manifest_carries_the_scenario_block(self, tmp_path):
+        store_dir = tmp_path / "store"
+        Study(_config(scenario="invite-storm")).run(
+            checkpoint_dir=store_dir
+        )
+        manifest = RunStore.open(store_dir).manifest
+        block = manifest["scenario"]
+        assert block["name"] == "invite-storm"
+        assert pytest.approx(sum(block["personas"].values())) == 1.0
+        # The full pack definition rides in the config summary (and
+        # therefore the config digest).
+        assert manifest["config"]["scenario"]["name"] == "invite-storm"
+
+    def test_scenario_report_renders(self):
+        from repro.reporting import render_scenario_report
+
+        dataset = Study(_config(scenario="invite-storm")).run()
+        report = render_scenario_report(dataset)
+        assert "invite-storm" in report
+        assert "spammer" in report and "poster" in report
+        assert "paper baseline" in report
+
+    def test_health_header_names_non_default_scenarios_only(self):
+        from repro.reporting import render_health
+
+        scenario = Study(_config(scenario="spam-wave")).run()
+        assert render_health(scenario).startswith(
+            "scenario: spam-wave"
+        )
+        baseline = Study(_config()).run()
+        assert "scenario:" not in render_health(baseline)
+
+
+# -- serve-load registry consistency -----------------------------------------
+
+
+class TestServeLoadPersonas:
+    def test_load_personas_come_from_the_registry(self):
+        assert set(serve_load.PERSONAS) == (
+            set(persona_names()) - {"baseline"}
+        )

@@ -197,6 +197,10 @@ class TestLiveDaemon:
         assert payload["published_days"] == N_DAYS
         assert payload["response_cache"]["max_entries"] > 0
         assert payload["read_cache"]["enabled"] == 1
+        # The scenario identity rides on status (paper-weather here).
+        assert payload["scenario"] == {
+            "name": "paper-weather", "personas": {"baseline": 1.0},
+        }
 
         _, _, body = _get(url + "/v1/days")
         days = json.loads(body)["days"]
@@ -409,26 +413,32 @@ class TestLoadHarness:
         self, finished_daemon
     ):
         report = run_load(
-            finished_daemon.url, clients=3, requests=12, seed=11
+            finished_daemon.url, clients=4, requests=12, seed=11
         )
         assert report.total_errors == 0
-        assert report.total_requests == 3 * 12
-        assert set(report.personas) == {"timeline", "health", "metrics"}
-        # Every persona actually ran (3 clients round-robin the 3).
+        assert report.total_requests == 4 * 12
+        # The load personas come from the scenario registry (all of
+        # them except the identity baseline).
+        assert set(report.personas) == {
+            "lurker", "poster", "spammer", "admin",
+        }
+        # Every persona actually ran (4 clients round-robin the 4).
         assert all(
             s.requests == 12 for s in report.personas.values()
         )
-        # The timeline persona replays a fixed day set: repeats hit.
-        assert report.personas["timeline"].cache_hits > 0
+        # The poster persona replays a fixed day set: repeats hit,
+        # and the spammer hammers one hot day so it hits even harder.
+        assert report.personas["poster"].cache_hits > 0
+        assert report.personas["spammer"].cache_hits > 0
         table = report.format_table()
         assert "p99_ms" in table and "throughput" in table
         # Determinism: the same seed replays the same request mix, so
         # hit/miss tallies now come entirely from a warm cache.
         again = run_load(
-            finished_daemon.url, clients=3, requests=12, seed=11
+            finished_daemon.url, clients=4, requests=12, seed=11
         )
         assert again.total_errors == 0
-        assert again.personas["timeline"].cache_misses == 0
+        assert again.personas["poster"].cache_misses == 0
 
     def test_run_load_validates_inputs(self):
         with pytest.raises(ConfigError):
@@ -471,3 +481,25 @@ class TestServeConfigAndCLI:
     def test_daemon_without_store_or_dir_rejected(self):
         with pytest.raises(ConfigError, match="checkpoint directory"):
             ServeDaemon(Study(_config()), ServeConfig())
+
+    def test_serve_scenario_flags_validated(self, tmp_path):
+        from repro.__main__ import main
+
+        with pytest.raises(ConfigError, match="mutually exclusive"):
+            main(
+                [
+                    "serve",
+                    "--checkpoint-dir", str(tmp_path / "s"),
+                    "--scenario", "spam-wave",
+                    "--scenario-file", str(tmp_path / "pack.json"),
+                ]
+            )
+        with pytest.raises(ConfigError, match="fresh runs only"):
+            main(
+                [
+                    "serve",
+                    "--checkpoint-dir", str(tmp_path / "s"),
+                    "--resume",
+                    "--scenario", "spam-wave",
+                ]
+            )
