@@ -1,0 +1,177 @@
+"""Benchmark: fleet sweep speedup and supervision overhead.
+
+Two gates on the fleet supervisor, measured on one 4-cell sweep
+(4 seeds × the bare pipeline):
+
+* **Speedup** — the sweep at 4 workers must run at least
+  ``MIN_SPEEDUP`` (2×) faster than the same sweep at 1 worker.  As in
+  ``bench_parallel``, two numbers are measured: the **observed**
+  wall-clock ratio, and the **critical path** — the sequential sweep
+  wall over the slowest single cell's wall (the inherent serial cost
+  once a core exists per worker; cell walls come from the sequential
+  run, where they cannot count each other's timeslices).  Hosts with
+  at least 4 usable cores gate on observed wall; smaller hosts fall
+  back to the critical path, and the emitted table records the core
+  count so committed results are honest about which gate applied.
+
+* **Overhead** — the supervised sweep at 1 worker must cost at most
+  ``MAX_OVERHEAD`` (5%) more wall-clock than a bare loop that runs
+  the *same* cell subprocesses back to back with no supervision: no
+  ledger, no sentinels, no deadline bookkeeping.  What the fleet adds
+  (restartability, crash detection, the merged report's inputs) must
+  ride along nearly free.
+
+Smoke mode (``BENCH_FLEET_SMOKE=1``) runs a miniature sweep through
+the same measurement and gate arithmetic and only asserts the ratios
+parse as finite numbers — CI uses it to catch bit-rot in the gate
+itself.
+"""
+
+import json
+import math
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.fleet import FleetPolicy, FleetRunner, SweepMatrix
+from repro.io.atomic import atomic_write_text
+from repro.procs import child_environ
+from repro.reporting.tables import format_table
+
+pytestmark = pytest.mark.fleet
+
+SMOKE = os.environ.get("BENCH_FLEET_SMOKE") == "1"
+
+#: Per-cell campaign: big enough that a cell's work dwarfs process
+#: startup, small enough that three 4-cell sweeps stay quick.
+_BASE = dict(n_days=5, scale=0.01, message_scale=0.05, join_day=1)
+if SMOKE:
+    _BASE = dict(n_days=3, scale=0.003, message_scale=0.05, join_day=1)
+
+SEEDS = (3, 5, 7, 9)
+WORKERS = 4
+MIN_SPEEDUP = 2.0
+MAX_OVERHEAD = 0.05
+
+
+def _matrix() -> SweepMatrix:
+    return SweepMatrix(seeds=SEEDS, base=dict(_BASE))
+
+
+def _fleet_run(workdir, workers: int):
+    start = time.perf_counter()
+    result = FleetRunner(
+        _matrix(), workdir, policy=FleetPolicy(workers=workers)
+    ).run()
+    wall_s = time.perf_counter() - start
+    assert result.ok and not result.failed
+    return wall_s, result
+
+
+def _plain_run(workdir) -> float:
+    """The unsupervised baseline: the same cell subprocesses, run
+    back to back with a bare ``subprocess.run`` — no ledger, no exit
+    sentinels, no deadlines, no retry bookkeeping."""
+    workdir.mkdir(parents=True)
+    start = time.perf_counter()
+    for cell in _matrix().cells():
+        cell_dir = workdir / cell.cell_id
+        cell_dir.mkdir()
+        spec = {
+            "cell": cell.cell_id,
+            "digest": cell.digest,
+            "config": cell.config_kwargs(),
+            "store": str(cell_dir / "store"),
+            "summary": str(cell_dir / "summary.json"),
+            "anchor_every": 2,
+            "fork": None,
+            "attempt": 1,
+        }
+        spec_path = cell_dir / "spec.json"
+        atomic_write_text(spec_path, json.dumps(spec) + "\n")
+        with open(cell_dir / "log.txt", "ab") as log:
+            subprocess.run(
+                [
+                    sys.executable, "-m", "repro.fleet._child",
+                    str(spec_path),
+                ],
+                env=child_environ(),
+                stdout=log,
+                stderr=subprocess.STDOUT,
+                check=True,
+            )
+    return time.perf_counter() - start
+
+
+def test_fleet_speedup_and_supervision_overhead(emit, tmp_path):
+    plain_s = _plain_run(tmp_path / "plain")
+    seq_s, seq_result = _fleet_run(tmp_path / "seq", 1)
+    par_s, _ = _fleet_run(tmp_path / "par", WORKERS)
+
+    critical_s = max(o.duration_s for o in seq_result.outcomes)
+    observed = seq_s / par_s
+    critical = seq_s / critical_s
+    cores = len(os.sched_getaffinity(0))
+    wall_gated = cores >= WORKERS
+    speedup_gate = observed if wall_gated else critical
+    overhead = seq_s / plain_s - 1.0
+
+    rows = [
+        ("usable cores on host", str(cores), "-"),
+        ("cells in sweep", str(len(SEEDS)), "-"),
+        ("plain sequential loop (no supervision)", f"{plain_s:.3f} s",
+         "-"),
+        ("fleet, 1 worker", f"{seq_s:.3f} s", "1.00x"),
+        (
+            f"fleet, {WORKERS} workers (observed)",
+            f"{par_s:.3f} s",
+            f"{observed:.2f}x",
+        ),
+        (
+            "fleet critical path (slowest cell)",
+            f"{critical_s:.3f} s",
+            f"{critical:.2f}x",
+        ),
+        (
+            f"speedup gate ({'observed wall' if wall_gated else 'critical path'}"
+            f" >= {MIN_SPEEDUP:.0f}x)",
+            f"{speedup_gate:.2f}x",
+            "PASS" if speedup_gate >= MIN_SPEEDUP else "FAIL",
+        ),
+        (
+            f"supervision overhead gate (<= {MAX_OVERHEAD:.0%})",
+            f"{overhead:+.2%}",
+            "PASS" if overhead <= MAX_OVERHEAD else "FAIL",
+        ),
+    ]
+    emit(
+        "bench_fleet",
+        format_table(
+            ("measurement", "value", "ratio"),
+            rows,
+            title=(
+                f"Fleet sweep supervisor ({len(SEEDS)} cells x "
+                f"{_BASE['n_days']}-day campaigns, scale "
+                f"{_BASE['scale']}" + (", SMOKE" if SMOKE else "") + ")"
+            ),
+        ),
+    )
+
+    assert math.isfinite(observed) and observed > 0
+    assert math.isfinite(critical) and critical > 0
+    assert math.isfinite(overhead)
+    if SMOKE:
+        return  # gate arithmetic verified; thresholds need real scale
+    assert speedup_gate >= MIN_SPEEDUP, (
+        f"{'observed' if wall_gated else 'critical-path'} speedup "
+        f"{speedup_gate:.2f}x at {WORKERS} workers is below the "
+        f"{MIN_SPEEDUP:.0f}x gate ({cores} usable cores)"
+    )
+    assert overhead <= MAX_OVERHEAD, (
+        f"supervision overhead {overhead:.2%} exceeds the "
+        f"{MAX_OVERHEAD:.0%} gate (fleet {seq_s:.3f}s vs plain "
+        f"{plain_s:.3f}s)"
+    )

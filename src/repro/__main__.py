@@ -12,6 +12,7 @@ Subcommands ride alongside the flat campaign interface::
     python -m repro fsck DIR [--repair]   # verify (and heal) a run store
                                           # or exported CSV directory
     python -m repro chaos --workdir DIR   # kill-resume-verify harness
+    python -m repro fleet --workdir DIR --seeds 3 5 7   # sweep fleet
     python -m repro serve --checkpoint-dir DIR   # campaign query daemon
     python -m repro serve-load --url URL  # persona load harness
     python -m repro scenarios list        # built-in scenario packs
@@ -645,6 +646,248 @@ def chaos_main(argv) -> int:
     return 0 if report.ok else 1
 
 
+def build_fleet_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro fleet",
+        description=(
+            "Run a declarative sweep matrix — seeds x fault profiles x "
+            "scenario packs — as subprocess campaigns under a bounded, "
+            "self-healing worker pool. Every cell is recorded in a "
+            "restartable content-addressed ledger under --workdir; "
+            "--resume skips completed cells by digest and re-runs "
+            "in-flight ones from their checkpoints. Cells whose restart "
+            "budget runs out degrade to a 'failed' column in the merged "
+            "sensitivity report instead of aborting the sweep."
+        ),
+    )
+    parser.add_argument(
+        "--workdir", metavar="DIR", required=True,
+        help="sweep workdir: fleet manifest, per-cell ledger records, "
+             "run stores, summaries and the merged report",
+    )
+    parser.add_argument(
+        "--seeds", type=int, nargs="+", default=None, metavar="SEED",
+        help="study seeds, one campaign per seed per (faults, scenario) "
+             "pair",
+    )
+    parser.add_argument(
+        "--faults", nargs="+", choices=sorted(PROFILES), default=None,
+        help="fault profiles axis (default: none)",
+    )
+    parser.add_argument(
+        "--scenarios", nargs="+", choices=sorted(SCENARIO_PACKS),
+        default=None,
+        help="scenario packs axis (default: paper-weather)",
+    )
+    parser.add_argument(
+        "--sweep-file", metavar="PATH", default=None,
+        help="load the whole matrix from a JSON sweep file instead of "
+             "axis flags (keys: seeds, faults, scenarios, base, fork)",
+    )
+    parser.add_argument(
+        "--days", type=int, default=6,
+        help="campaign length per cell (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.004,
+        help="tweet-volume scale per cell (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--message-scale", type=float, default=0.05,
+        help="in-group message-volume scale (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--join-day", type=int, default=None, metavar="N",
+        help="day the join sample is drawn (default: day 10, clamped "
+             "into the campaign window)",
+    )
+    parser.add_argument(
+        "--fork-from", metavar="DIR", default=None,
+        help="branch every cell from this checkpointed parent store "
+             "(with --fork-day) instead of running fresh campaigns",
+    )
+    parser.add_argument(
+        "--fork-day", type=int, default=None, metavar="N",
+        help="with --fork-from: the branch day",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="concurrent cell subprocesses (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--cell-deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per cell attempt before it is declared "
+             "hung and stopped (default: 3600)",
+    )
+    parser.add_argument(
+        "--cell-restarts", type=int, default=None, metavar="K",
+        help="retry budget per cell before it degrades to 'failed' "
+             "(default: 2; 0 fails a cell on its first loss)",
+    )
+    parser.add_argument(
+        "--backoff-seed", type=int, default=0,
+        help="seed of the restart-backoff stream (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=2, metavar="N",
+        help="anchor cadence inside every cell's run store "
+             "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume the sweep recorded in --workdir: completed cells "
+             "are skipped by digest, interrupted ones finish from their "
+             "checkpoints, failed ones get a fresh budget",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the machine-readable merged report to PATH "
+             "(always written to WORKDIR/report.json)",
+    )
+    parser.add_argument(
+        "--telemetry-dir", metavar="DIR", default=None,
+        help="export fleet telemetry (cells started/completed/retried/"
+             "failed/skipped, backoff seconds, ledger writes) into DIR",
+    )
+    parser.add_argument(
+        "--log-level", choices=LOG_LEVELS, default="info",
+        help="stderr log verbosity (default: info)",
+    )
+    return parser
+
+
+def fleet_main(argv) -> int:
+    """``repro fleet --workdir DIR``: exit 0 iff the sweep completed."""
+    args = build_fleet_parser().parse_args(argv)
+    configure_logging(args.log_level)
+    from repro.fleet import (
+        FleetLedger,
+        FleetPolicy,
+        FleetRunner,
+        SweepMatrix,
+    )
+    from repro.io.atomic import atomic_write_text
+    from repro.reporting import fleet_report_dict, render_fleet_report
+    from repro.telemetry import Telemetry
+
+    matrix_flags = (
+        args.seeds is not None
+        or args.faults is not None
+        or args.scenarios is not None
+        or args.fork_from is not None
+    )
+    if args.resume and (matrix_flags or args.sweep_file):
+        raise ConfigError(
+            "--resume re-runs the sweep recorded in --workdir; matrix "
+            "flags and --sweep-file only apply to fresh sweeps"
+        )
+    if args.sweep_file and matrix_flags:
+        raise ConfigError(
+            "--sweep-file carries the whole matrix; it is mutually "
+            "exclusive with --seeds/--faults/--scenarios/--fork-from"
+        )
+    if (args.fork_from is None) != (args.fork_day is None):
+        raise ConfigError(
+            "--fork-from and --fork-day must be given together"
+        )
+    if args.cell_deadline is not None and args.cell_deadline <= 0:
+        raise ConfigError(
+            f"--cell-deadline must be positive, got {args.cell_deadline}"
+        )
+    if args.cell_restarts is not None and args.cell_restarts < 0:
+        raise ConfigError(
+            f"--cell-restarts must be >= 0, got {args.cell_restarts}"
+        )
+    if args.checkpoint_every < 1:
+        raise ConfigError(
+            f"--checkpoint-every must be >= 1, got {args.checkpoint_every}"
+        )
+
+    if args.resume:
+        matrix = FleetLedger.open(args.workdir).matrix
+    elif args.sweep_file:
+        matrix = SweepMatrix.from_file(args.sweep_file)
+    else:
+        if args.seeds is None:
+            raise ConfigError(
+                "a fresh sweep needs --seeds (or --sweep-file, or "
+                "--resume against an existing workdir)"
+            )
+        fork = None
+        if args.fork_from is not None:
+            fork = {"store": str(args.fork_from), "day": args.fork_day}
+        matrix = SweepMatrix(
+            seeds=args.seeds,
+            faults=args.faults or ("none",),
+            scenarios=args.scenarios or ("paper-weather",),
+            base={
+                "n_days": args.days,
+                "scale": args.scale,
+                "message_scale": args.message_scale,
+                "join_day": args.join_day,
+            },
+            fork=fork,
+        )
+
+    if matrix.fork is not None:
+        from repro.checkpoint import MANIFEST_NAME
+
+        fork_store = Path(matrix.fork["store"])
+        if not (fork_store / MANIFEST_NAME).exists():
+            raise ConfigError(
+                f"sweep fork store {fork_store} has no checkpoint "
+                "manifest; every cell would crash against it "
+                "(--fork-from needs a store written by "
+                "--checkpoint-dir)"
+            )
+
+    policy_kwargs = {"workers": args.workers,
+                     "backoff_seed": args.backoff_seed}
+    if args.cell_deadline is not None:
+        policy_kwargs["cell_deadline_s"] = args.cell_deadline
+    if args.cell_restarts is not None:
+        policy_kwargs["max_restarts"] = args.cell_restarts
+    policy = FleetPolicy(**policy_kwargs)
+
+    telemetry = Telemetry(enabled=bool(args.telemetry_dir))
+    logger.info(
+        "# Fleet: %d cells (%d seeds x %d faults x %d scenarios), "
+        "%d workers%s",
+        len(matrix), len(matrix.seeds), len(matrix.faults),
+        len(matrix.scenarios), policy.workers,
+        ", resuming" if args.resume else "",
+    )
+    start = time.time()
+    result = FleetRunner(
+        matrix,
+        args.workdir,
+        policy=policy,
+        telemetry=telemetry,
+        resume=args.resume,
+        anchor_every=args.checkpoint_every,
+    ).run()
+    logger.info(
+        "# Fleet complete in %.1fs: %d completed, %d failed",
+        time.time() - start, len(result.completed), len(result.failed),
+    )
+
+    report = render_fleet_report(result)
+    print(report, end="")
+    payload = (
+        json.dumps(fleet_report_dict(result), indent=2, sort_keys=True)
+        + "\n"
+    )
+    workdir = Path(args.workdir)
+    atomic_write_text(workdir / "report.txt", report)
+    atomic_write_text(workdir / "report.json", payload)
+    if args.json:
+        atomic_write_text(Path(args.json), payload)
+    if args.telemetry_dir:
+        export_telemetry(telemetry, args.telemetry_dir)
+        logger.info("# Telemetry written to %s", args.telemetry_dir)
+    return 0 if result.ok else 1
+
+
 def build_serve_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro serve",
@@ -935,6 +1178,8 @@ def main(argv=None) -> int:
         return fsck_main(argv[1:])
     if argv and argv[0] == "chaos":
         return chaos_main(argv[1:])
+    if argv and argv[0] == "fleet":
+        return fleet_main(argv[1:])
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
     if argv and argv[0] == "serve-load":

@@ -50,6 +50,7 @@ from repro.errors import CheckpointError, ReproError
 from repro.integrity import fsck_store
 from repro.io import export_all_csv, save_dataset
 from repro.io.sums import SHA256SUMS_NAME
+from repro.procs import child_environ
 
 __all__ = [
     "ChaosAbort",
@@ -251,19 +252,9 @@ class ChaosRunner:
             "anchor_every": self.anchor_every,
             "workers": self.workers,
         }))
-        # The child must import the same repro tree as this process,
-        # wherever it lives (src checkout, site-packages, ...).
-        import repro
-
-        package_root = str(Path(repro.__file__).resolve().parents[1])
-        env = dict(os.environ)
-        existing = env.get("PYTHONPATH")
-        env["PYTHONPATH"] = (
-            package_root + (os.pathsep + existing if existing else "")
-        )
         proc = subprocess.run(
             [sys.executable, "-m", "repro.chaos._child", str(spec_path)],
-            env=env,
+            env=child_environ(),
             capture_output=True,
         )
         return proc.returncode == -signal.SIGKILL

@@ -1,0 +1,42 @@
+"""Fault-tolerant campaign fleet: supervised sharded sweeps.
+
+``repro fleet`` runs a declarative sweep matrix — seed lists × fault
+profiles × scenario packs (:mod:`repro.fleet.matrix`) — as subprocess
+campaigns under a bounded, self-healing worker pool
+(:mod:`repro.fleet.runner`), recording every cell in a restartable
+content-addressed ledger (:mod:`repro.fleet.ledger`).  The merged
+cross-campaign report lives in :mod:`repro.reporting.fleet`.
+"""
+
+from repro.fleet.ledger import (
+    FLEET_FORMAT_VERSION,
+    FLEET_MANIFEST_NAME,
+    FleetLedger,
+)
+from repro.fleet.matrix import SweepCell, SweepMatrix
+from repro.fleet.runner import (
+    DEFAULT_CELL_DEADLINE_S,
+    DEFAULT_CELL_RESTARTS,
+    CellOutcome,
+    FleetPolicy,
+    FleetResult,
+    FleetRunner,
+)
+from repro.fleet.summary import PLATFORMS, SUMMARY_METRICS, cell_summary
+
+__all__ = [
+    "DEFAULT_CELL_DEADLINE_S",
+    "DEFAULT_CELL_RESTARTS",
+    "FLEET_FORMAT_VERSION",
+    "FLEET_MANIFEST_NAME",
+    "PLATFORMS",
+    "SUMMARY_METRICS",
+    "CellOutcome",
+    "FleetLedger",
+    "FleetPolicy",
+    "FleetResult",
+    "FleetRunner",
+    "SweepCell",
+    "SweepMatrix",
+    "cell_summary",
+]

@@ -1,0 +1,145 @@
+"""Subprocess entry point for one fleet sweep cell.
+
+``python -m repro.fleet._child <spec.json>`` runs one cell campaign —
+fresh, resumed from the cell's own run store, or forked from a parent
+store — writes the cell's metric summary atomically, and exits 0.
+The fleet supervisor treats any other exit (crash, signal, missing or
+unreadable summary) as a cell loss to retry.
+
+The spec file is JSON::
+
+    {
+      "cell":    "s7-hostile-paper-weather",
+      "digest":  "<cell content digest>",
+      "config":  {... StudyConfig kwargs, faults/scenario as names ...},
+      "store":   "/workdir/cells/<id>/store",
+      "summary": "/workdir/cells/<id>/summary.json",
+      "anchor_every": 2,                     # optional
+      "fork": {"store": "...", "day": 2}     # optional
+    }
+
+Resume-or-fresh follows the chaos harness: a store that already holds
+day records is resumed (that is how a cell killed mid-campaign — or
+orphaned by a SIGKILLed fleet — finishes from its checkpoints), an
+empty or absent one starts the campaign from day 0.
+
+Two env vars inject deterministic failures for tests and CI, in the
+``REPRO_PARALLEL_HANG`` style::
+
+    REPRO_FLEET_CRASH=<cell_id>:<day>[:<max_attempt>]
+        SIGKILL self at day's monitor stage while the spawn attempt
+        is <= max_attempt (default: every attempt, which exhausts the
+        cell's restart budget).
+    REPRO_FLEET_HANG=<cell_id>:<day>:<seconds>[:ignoreterm]
+        Sleep at day's monitor stage past the fleet's cell deadline;
+        with ``ignoreterm`` SIGTERM is ignored so the supervisor must
+        escalate to SIGKILL.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.checkpoint import MANIFEST_NAME, RunStore
+from repro.core.study import Study
+from repro.errors import CheckpointError
+from repro.fleet.summary import cell_summary, summary_bytes
+from repro.io.atomic import atomic_write_bytes
+
+CRASH_ENV = "REPRO_FLEET_CRASH"
+HANG_ENV = "REPRO_FLEET_HANG"
+
+
+def _injected_hook(cell_id: str, attempt: int) -> Optional[Callable]:
+    """The failure-injection stage hook, or None when not targeted."""
+    crash = os.environ.get(CRASH_ENV, "")
+    hang = os.environ.get(HANG_ENV, "")
+    crash_day = hang_day = None
+    hang_secs = 0.0
+    ignore_term = False
+    if crash:
+        parts = crash.split(":")
+        if parts[0] == cell_id:
+            max_attempt = int(parts[2]) if len(parts) > 2 else sys.maxsize
+            if attempt <= max_attempt:
+                crash_day = int(parts[1])
+    if hang:
+        parts = hang.split(":")
+        if parts[0] == cell_id:
+            hang_day = int(parts[1])
+            hang_secs = float(parts[2])
+            ignore_term = "ignoreterm" in parts[3:]
+    if crash_day is None and hang_day is None:
+        return None
+
+    def hook(day: int, stage: str) -> None:
+        if stage != "monitor":
+            return
+        if day == crash_day:
+            os.kill(os.getpid(), signal.SIGKILL)
+        if day == hang_day:
+            if ignore_term:
+                signal.signal(signal.SIGTERM, signal.SIG_IGN)
+            time.sleep(hang_secs)
+
+    return hook
+
+
+def _build_study(spec: dict) -> tuple:
+    """(study, run_kwargs) positioned per the spec: resumed > forked > fresh."""
+    store = Path(spec["store"])
+    if (store / MANIFEST_NAME).exists():
+        try:
+            has_days = bool(RunStore.open(store).days())
+        except CheckpointError:
+            has_days = False
+        if has_days:
+            return Study.resume(store), {}
+    fork = spec.get("fork")
+    if fork:
+        config = spec["config"]
+        study = Study.fork(
+            fork["store"],
+            fork["day"],
+            seed=config["seed"],
+            fault_plan=config["faults"],
+            scenario=config["scenario"],
+            fork_dir=store,
+        )
+        return study, {}
+    from repro.core.study import StudyConfig
+
+    study = Study(StudyConfig(**spec["config"]))
+    return study, {
+        "checkpoint_dir": store,
+        "anchor_every": spec.get("anchor_every"),
+    }
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print(
+            "usage: python -m repro.fleet._child <spec.json>",
+            file=sys.stderr,
+        )
+        return 2
+    spec = json.loads(Path(argv[0]).read_text())
+    study, run_kwargs = _build_study(spec)
+    hook = _injected_hook(spec["cell"], spec.get("attempt", 1))
+    if hook is not None:
+        study.stage_hook = hook
+    dataset = study.run(**run_kwargs)
+    summary = cell_summary(dataset, spec["cell"], spec["digest"])
+    atomic_write_bytes(Path(spec["summary"]), summary_bytes(summary))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

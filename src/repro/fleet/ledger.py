@@ -1,0 +1,253 @@
+"""The sweep ledger: what makes a fleet sweep restartable.
+
+Layout under the fleet workdir::
+
+    fleet.json                  sweep manifest: format, matrix, digest
+    cells/<cell_id>/
+        status.json             running | completed | failed record
+        spec.json               the cell subprocess's input
+        store/                  the cell campaign's run store
+        summary.json            the cell's metric summary (on success)
+        log.txt                 the cell subprocess's stdout+stderr
+
+Every record is written through :mod:`repro.io.atomic`, so a reader —
+including a resumed fleet after the supervisor was SIGKILLed — sees
+either the old complete record or the new complete one, never a torn
+file.  Records are pure functions of the matrix and the cell outcome
+(no wall-clock timestamps, no attempt counters), which is what lets
+the determinism tests demand a byte-identical ledger across reruns
+and across kill-and-resume.
+
+A ``completed`` record is trusted on resume only when three things
+still hold: its digest matches the cell the matrix would run today,
+the summary file exists, and the summary's bytes hash to the recorded
+``summary_digest`` — content addressing, the same discipline the run
+store uses for day records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.errors import CheckpointError
+from repro.fleet.matrix import SweepMatrix
+from repro.io.atomic import atomic_write_text
+from repro.telemetry import Telemetry
+
+__all__ = [
+    "FLEET_FORMAT_VERSION",
+    "FLEET_MANIFEST_NAME",
+    "FleetLedger",
+]
+
+logger = logging.getLogger(__name__)
+
+FLEET_MANIFEST_NAME = "fleet.json"
+FLEET_FORMAT_VERSION = 1
+_CELLS_DIR = "cells"
+_STATUS_NAME = "status.json"
+
+
+def _dump(payload: Dict[str, Any]) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+class FleetLedger:
+    """Manifest + per-cell status records for one sweep workdir."""
+
+    def __init__(
+        self,
+        directory: Union[str, os.PathLike],
+        matrix: SweepMatrix,
+        *,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.matrix = matrix
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+
+    # -- creation / opening ------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        directory: Union[str, os.PathLike],
+        matrix: SweepMatrix,
+        *,
+        telemetry: Optional[Telemetry] = None,
+    ) -> "FleetLedger":
+        """Create (or re-adopt) the ledger for ``matrix``.
+
+        An existing manifest for the *same* matrix is kept — rerunning
+        a sweep into its own workdir is always safe because every
+        record rewrite is deterministic.  A manifest for a different
+        matrix is refused: two sweeps must not interleave records in
+        one workdir.
+        """
+        directory = Path(directory)
+        ledger = cls(directory, matrix, telemetry=telemetry)
+        manifest_path = directory / FLEET_MANIFEST_NAME
+        if manifest_path.exists():
+            existing = cls.open(directory, telemetry=telemetry)
+            if existing.matrix.digest != matrix.digest:
+                raise CheckpointError(
+                    f"fleet workdir {directory} already holds a different "
+                    f"sweep (digest {existing.matrix.digest[:12]} != "
+                    f"{matrix.digest[:12]}); use a fresh --workdir"
+                )
+            return ledger
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "format_version": FLEET_FORMAT_VERSION,
+            "matrix": matrix.to_dict(),
+            "matrix_digest": matrix.digest,
+        }
+        atomic_write_text(manifest_path, _dump(manifest))
+        ledger.telemetry.count("fleet_ledger_writes_total")
+        return ledger
+
+    @classmethod
+    def open(
+        cls,
+        directory: Union[str, os.PathLike],
+        *,
+        telemetry: Optional[Telemetry] = None,
+    ) -> "FleetLedger":
+        """Open an existing ledger; unusable manifests raise."""
+        directory = Path(directory)
+        manifest_path = directory / FLEET_MANIFEST_NAME
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except OSError as exc:
+            raise CheckpointError(
+                f"no fleet ledger at {directory}: {exc}"
+            )
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"fleet manifest {manifest_path} is corrupt: {exc}"
+            )
+        version = manifest.get("format_version")
+        if version != FLEET_FORMAT_VERSION:
+            raise CheckpointError(
+                f"fleet manifest {manifest_path} has format version "
+                f"{version!r}; this build reads {FLEET_FORMAT_VERSION}"
+            )
+        matrix = SweepMatrix.from_dict(manifest["matrix"])
+        if matrix.digest != manifest.get("matrix_digest"):
+            raise CheckpointError(
+                f"fleet manifest {manifest_path} digest mismatch: the "
+                "recorded matrix and its recorded digest disagree"
+            )
+        return cls(directory, matrix, telemetry=telemetry)
+
+    # -- paths -------------------------------------------------------------
+
+    def cell_dir(self, cell_id: str) -> Path:
+        return self.directory / _CELLS_DIR / cell_id
+
+    def store_dir(self, cell_id: str) -> Path:
+        return self.cell_dir(cell_id) / "store"
+
+    def spec_path(self, cell_id: str) -> Path:
+        return self.cell_dir(cell_id) / "spec.json"
+
+    def summary_path(self, cell_id: str) -> Path:
+        return self.cell_dir(cell_id) / "summary.json"
+
+    def log_path(self, cell_id: str) -> Path:
+        return self.cell_dir(cell_id) / "log.txt"
+
+    def status_path(self, cell_id: str) -> Path:
+        return self.cell_dir(cell_id) / _STATUS_NAME
+
+    # -- records -----------------------------------------------------------
+
+    def write_status(self, record: Dict[str, Any]) -> None:
+        cell_id = record["cell"]
+        self.cell_dir(cell_id).mkdir(parents=True, exist_ok=True)
+        atomic_write_text(self.status_path(cell_id), _dump(record))
+        self.telemetry.count("fleet_ledger_writes_total")
+
+    def read_status(self, cell_id: str) -> Optional[Dict[str, Any]]:
+        """The cell's record, or None when absent/unreadable.
+
+        Atomic writes make a torn record impossible, but a ledger that
+        survived operator surgery should degrade to "re-run the cell",
+        never crash the sweep.
+        """
+        try:
+            record = json.loads(self.status_path(cell_id).read_text())
+        except OSError:
+            return None
+        except json.JSONDecodeError:
+            logger.warning(
+                "unreadable status record for cell %s; re-running it",
+                cell_id,
+            )
+            return None
+        return record if isinstance(record, dict) else None
+
+    def record_running(self, cell) -> None:
+        self.write_status({
+            "cell": cell.cell_id,
+            "digest": cell.digest,
+            "status": "running",
+        })
+
+    def record_completed(self, cell, summary_digest: str, days: int) -> None:
+        self.write_status({
+            "cell": cell.cell_id,
+            "digest": cell.digest,
+            "status": "completed",
+            "days": days,
+            "summary_digest": summary_digest,
+        })
+
+    def record_failed(self, cell, reason: str) -> None:
+        self.write_status({
+            "cell": cell.cell_id,
+            "digest": cell.digest,
+            "status": "failed",
+            "reason": reason,
+        })
+
+    # -- resume ------------------------------------------------------------
+
+    def completed_summary(self, cell) -> Optional[Dict[str, Any]]:
+        """The cell's verified summary iff its completed record holds.
+
+        Returns None — meaning "re-run the cell" — unless the record
+        says completed, the digest matches this matrix's cell, and the
+        summary bytes still hash to the recorded ``summary_digest``.
+        """
+        record = self.read_status(cell.cell_id)
+        if not record or record.get("status") != "completed":
+            return None
+        if record.get("digest") != cell.digest:
+            logger.warning(
+                "cell %s record is from a different sweep cell; "
+                "re-running it", cell.cell_id,
+            )
+            return None
+        try:
+            payload = self.summary_path(cell.cell_id).read_bytes()
+        except OSError:
+            return None
+        if hashlib.sha256(payload).hexdigest() != record.get(
+            "summary_digest"
+        ):
+            logger.warning(
+                "cell %s summary does not match its recorded digest; "
+                "re-running it", cell.cell_id,
+            )
+            return None
+        try:
+            summary = json.loads(payload)
+        except json.JSONDecodeError:
+            return None
+        return summary if isinstance(summary, dict) else None

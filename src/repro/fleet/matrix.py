@@ -1,0 +1,279 @@
+"""The declarative sweep matrix: seeds × fault profiles × scenarios.
+
+A :class:`SweepMatrix` is the whole sweep as plain data — which seeds,
+which fault profiles, which scenario packs, and the campaign knobs
+every cell shares — validated once at parse time so a typo costs a
+:class:`~repro.errors.ConfigError` before any process is spawned.  It
+expands deterministically into :class:`SweepCell`\\ s (seed-major,
+then fault, then scenario), and both the matrix and each cell carry a
+content digest over their canonical JSON encoding: the digests are
+what make the sweep ledger restartable — ``--resume`` trusts a
+completed cell record only if its digest still matches the matrix
+being resumed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.errors import ConfigError
+from repro.faults import PROFILES
+from repro.scenarios import SCENARIO_PACKS
+
+__all__ = ["SweepCell", "SweepMatrix"]
+
+#: Campaign knobs every cell shares, with their defaults (sized like
+#: the chaos harness's: small enough that a grid of them is cheap).
+_BASE_DEFAULTS: Dict[str, Any] = {
+    "n_days": 6,
+    "scale": 0.004,
+    "message_scale": 0.05,
+    "join_day": None,  # None = min(10, n_days - 1)
+}
+
+
+def _canonical(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _digest(payload: Any) -> str:
+    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One campaign of the sweep: a (seed, faults, scenario) point.
+
+    ``cell_id`` is the human-readable ledger key; ``digest`` is the
+    content address — SHA-256 over the cell's canonical JSON,
+    including the shared base knobs and any fork source — so a resumed
+    sweep can tell a completed cell of *this* matrix from a stale
+    record left by a different one.
+    """
+
+    seed: int
+    faults: str
+    scenario: str
+    base: Dict[str, Any] = field(default_factory=dict)
+    fork: Optional[Dict[str, Any]] = None
+
+    @property
+    def cell_id(self) -> str:
+        return f"s{self.seed}-{self.faults}-{self.scenario}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "faults": self.faults,
+            "scenario": self.scenario,
+            "base": dict(self.base),
+            "fork": dict(self.fork) if self.fork else None,
+        }
+
+    @property
+    def digest(self) -> str:
+        return _digest(self.to_dict())
+
+    def config_kwargs(self) -> Dict[str, Any]:
+        """:class:`~repro.core.study.StudyConfig` kwargs for this cell.
+
+        Faults and scenario stay plain names (``None`` for the bare
+        pipeline / paper weather) so the dict survives a JSON round
+        trip to the cell subprocess unchanged.
+        """
+        join_day = self.base["join_day"]
+        if join_day is None:
+            join_day = min(10, self.base["n_days"] - 1)
+        return {
+            "seed": self.seed,
+            "n_days": self.base["n_days"],
+            "scale": self.base["scale"],
+            "message_scale": self.base["message_scale"],
+            "join_day": join_day,
+            "faults": None if self.faults == "none" else self.faults,
+            "scenario": (
+                None if self.scenario == "paper-weather" else self.scenario
+            ),
+        }
+
+
+@dataclass(frozen=True)
+class SweepMatrix:
+    """A validated sweep: axis lists plus the shared campaign base.
+
+    Attributes:
+        seeds: Study seeds, one campaign per seed per (fault,
+            scenario) pair.  In fork mode each seed reseeds the
+            forked future (see ``fork``).
+        faults: Fault profile names (:data:`repro.faults.PROFILES`).
+        scenarios: Scenario pack names
+            (:data:`repro.scenarios.SCENARIO_PACKS`).
+        base: Shared campaign knobs (``n_days``, ``scale``,
+            ``message_scale``, ``join_day``).
+        fork: Optional ``{"store": path, "day": n}``: every cell
+            branches the checkpointed parent campaign at that day
+            (via :meth:`~repro.core.study.Study.fork`) instead of
+            running fresh, swapping in its own seed/faults/scenario
+            for the forked future.
+    """
+
+    seeds: Tuple[int, ...]
+    faults: Tuple[str, ...] = ("none",)
+    scenarios: Tuple[str, ...] = ("paper-weather",)
+    base: Dict[str, Any] = field(
+        default_factory=lambda: dict(_BASE_DEFAULTS)
+    )
+    fork: Optional[Dict[str, Any]] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "seeds", tuple(self.seeds))
+        object.__setattr__(self, "faults", tuple(self.faults))
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        base = dict(_BASE_DEFAULTS)
+        base.update(self.base)
+        object.__setattr__(self, "base", base)
+        self._validate()
+
+    def _validate(self) -> None:
+        for axis, values in (
+            ("seeds", self.seeds),
+            ("faults", self.faults),
+            ("scenarios", self.scenarios),
+        ):
+            if not values:
+                raise ConfigError(f"sweep {axis} must be non-empty")
+            if len(set(values)) != len(values):
+                raise ConfigError(
+                    f"sweep {axis} contains duplicates: {list(values)}"
+                )
+        for seed in self.seeds:
+            if not isinstance(seed, int) or isinstance(seed, bool):
+                raise ConfigError(
+                    f"sweep seeds must be integers, got {seed!r}"
+                )
+        for name in self.faults:
+            if name not in PROFILES:
+                raise ConfigError(
+                    f"unknown fault profile {name!r}; known: "
+                    f"{sorted(PROFILES)}"
+                )
+        for name in self.scenarios:
+            if name not in SCENARIO_PACKS:
+                raise ConfigError(
+                    f"unknown scenario pack {name!r}; known: "
+                    f"{sorted(SCENARIO_PACKS)}"
+                )
+        unknown = sorted(set(self.base) - set(_BASE_DEFAULTS))
+        if unknown:
+            raise ConfigError(
+                f"unknown sweep base knobs: {unknown}; known: "
+                f"{sorted(_BASE_DEFAULTS)}"
+            )
+        n_days = self.base["n_days"]
+        if not isinstance(n_days, int) or n_days < 1:
+            raise ConfigError(
+                f"sweep n_days must be a positive integer, got {n_days!r}"
+            )
+        if not self.base["scale"] > 0:
+            raise ConfigError(
+                f"sweep scale must be positive, got {self.base['scale']!r}"
+            )
+        if not 0.0 < self.base["message_scale"] <= 1.0:
+            raise ConfigError(
+                "sweep message_scale must be in (0, 1], got "
+                f"{self.base['message_scale']!r}"
+            )
+        join_day = self.base["join_day"]
+        if join_day is not None and not 0 <= join_day < n_days:
+            raise ConfigError(
+                f"sweep join_day must fall inside the window, got "
+                f"{join_day!r}"
+            )
+        if self.fork is not None:
+            unknown = sorted(set(self.fork) - {"store", "day"})
+            if unknown or not {"store", "day"} <= set(self.fork):
+                raise ConfigError(
+                    "sweep fork must be {'store': path, 'day': n}, got "
+                    f"{self.fork!r}"
+                )
+            day = self.fork["day"]
+            if not isinstance(day, int) or day < 0:
+                raise ConfigError(
+                    f"sweep fork day must be a non-negative integer, "
+                    f"got {day!r}"
+                )
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seeds": list(self.seeds),
+            "faults": list(self.faults),
+            "scenarios": list(self.scenarios),
+            "base": dict(self.base),
+            "fork": dict(self.fork) if self.fork else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SweepMatrix":
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"sweep spec must be a JSON object, got {type(data).__name__}"
+            )
+        unknown = sorted(
+            set(data) - {"seeds", "faults", "scenarios", "base", "fork"}
+        )
+        if unknown:
+            raise ConfigError(f"unknown sweep spec keys: {unknown}")
+        if "seeds" not in data:
+            raise ConfigError("sweep spec must name its seeds")
+        return cls(
+            seeds=data["seeds"],
+            faults=data.get("faults", ("none",)),
+            scenarios=data.get("scenarios", ("paper-weather",)),
+            base=data.get("base", {}),
+            fork=data.get("fork"),
+        )
+
+    @classmethod
+    def from_file(cls, path: Union[str, os.PathLike]) -> "SweepMatrix":
+        """Parse a sweep file; every failure mode is a ConfigError."""
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise ConfigError(f"cannot read sweep file {path}: {exc}")
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"sweep file {path} is not valid JSON: {exc}")
+        return cls.from_dict(data)
+
+    # -- expansion ---------------------------------------------------------
+
+    @property
+    def digest(self) -> str:
+        return _digest(self.to_dict())
+
+    def cells(self) -> List[SweepCell]:
+        """Every cell, in deterministic seed-major order."""
+        return [
+            SweepCell(
+                seed=seed,
+                faults=fault,
+                scenario=scenario,
+                base=dict(self.base),
+                fork=dict(self.fork) if self.fork else None,
+            )
+            for seed in self.seeds
+            for fault in self.faults
+            for scenario in self.scenarios
+        ]
+
+    def __len__(self) -> int:
+        return len(self.seeds) * len(self.faults) * len(self.scenarios)

@@ -1,0 +1,500 @@
+"""The fleet supervisor: a bounded pool of subprocess campaigns.
+
+:class:`FleetRunner` drives a :class:`~repro.fleet.matrix.SweepMatrix`
+to completion the way :class:`~repro.parallel.supervisor.
+SupervisedEngine` drives its worker pool — detection first, then
+bounded healing, then graceful degradation:
+
+* **Detection.**  Every cell subprocess carries an exit sentinel
+  (:func:`repro.procs.exit_sentinel`); the scheduler blocks in one
+  ``multiprocessing.connection.wait`` over all of them, sliced so
+  per-cell deadlines are honoured even when nothing fires.  A crashed
+  cell wakes the supervisor immediately; a hung one is stopped at its
+  deadline by SIGTERM→SIGKILL escalation
+  (:func:`repro.procs.terminate_escalate`).
+
+* **Bounded retry.**  A lost cell goes back in the queue with a
+  seeded simulated-time backoff — :func:`repro.resilience.retry.
+  backoff_hours` bookkeeping recorded in telemetry, never slept, like
+  every other delay in this codebase — until its restart budget runs
+  out.
+
+* **Graceful degradation.**  A budget-exhausted cell becomes a
+  ``failed`` ledger record and a ``failed`` column in the merged
+  report; the sweep itself completes and exits 0.  One bad cell must
+  not cost the other ninety-nine.
+
+Restartability rides on the ledger: cells are re-run through the
+resume-or-fresh logic of :mod:`repro.fleet._child`, so an interrupted
+cell (or one orphaned by a SIGKILLed fleet) finishes from its own
+checkpoints, and ``resume=True`` skips any cell whose completed
+record still verifies against the matrix.
+
+Counters: ``fleet_cells_started_total``, ``fleet_cells_completed_
+total``, ``fleet_cells_retried_total``, ``fleet_cells_failed_total``,
+``fleet_cells_skipped_total``, ``fleet_cell_losses_total`` (labelled
+by ``reason=crash|deadline``), ``fleet_restart_backoff_seconds_
+total`` and ``fleet_ledger_writes_total``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import subprocess
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _wait_connections
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.errors import ConfigError
+from repro.fleet.ledger import FleetLedger
+from repro.fleet.matrix import SweepCell, SweepMatrix
+from repro.io.atomic import atomic_write_text
+from repro.procs import child_environ, exit_sentinel, terminate_escalate
+from repro.resilience.retry import RetryPolicy, backoff_hours
+from repro.telemetry import Telemetry
+
+__all__ = [
+    "CellOutcome",
+    "DEFAULT_CELL_DEADLINE_S",
+    "DEFAULT_CELL_RESTARTS",
+    "FleetPolicy",
+    "FleetResult",
+    "FleetRunner",
+]
+
+logger = logging.getLogger(__name__)
+
+#: How long one cell campaign may run before it is declared hung.
+#: Generous: a harness-scale cell takes seconds.
+DEFAULT_CELL_DEADLINE_S = 3600.0
+
+#: Per-cell restart budget before the cell degrades to ``failed``.
+DEFAULT_CELL_RESTARTS = 2
+
+
+@dataclass(frozen=True)
+class FleetPolicy:
+    """The fleet supervisor's knobs, validated once at construction.
+
+    Attributes:
+        workers: Concurrent cell subprocesses (the pool bound).
+        cell_deadline_s: Wall-clock budget per cell attempt; past it
+            the cell is stopped and counted as a ``deadline`` loss.
+        max_restarts: Retry budget per cell; 0 fails a cell on its
+            first loss.
+        backoff_seed: Seed of the retry-backoff stream (recorded in
+            telemetry as simulated time, never slept).
+        wait_slice_s: Upper bound on one multiplexed wait, so
+            deadlines are honoured even if no sentinel ever fires.
+        term_grace_s: SIGTERM→SIGKILL escalation grace per cell.
+    """
+
+    workers: int = 2
+    cell_deadline_s: float = DEFAULT_CELL_DEADLINE_S
+    max_restarts: int = DEFAULT_CELL_RESTARTS
+    backoff_seed: int = 0
+    wait_slice_s: float = 0.2
+    term_grace_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if (
+            not isinstance(self.workers, int)
+            or isinstance(self.workers, bool)
+            or self.workers < 1
+        ):
+            raise ConfigError(
+                f"fleet workers must be a positive integer, got "
+                f"{self.workers!r}"
+            )
+        if not self.cell_deadline_s > 0:
+            raise ConfigError(
+                f"cell deadline must be positive, got "
+                f"{self.cell_deadline_s!r}"
+            )
+        if (
+            not isinstance(self.max_restarts, int)
+            or isinstance(self.max_restarts, bool)
+            or self.max_restarts < 0
+        ):
+            raise ConfigError(
+                "cell restart budget must be a non-negative integer, "
+                f"got {self.max_restarts!r}"
+            )
+        if not self.wait_slice_s > 0:
+            raise ConfigError(
+                f"wait slice must be positive, got {self.wait_slice_s!r}"
+            )
+        if not self.term_grace_s > 0:
+            raise ConfigError(
+                f"termination grace must be positive, got "
+                f"{self.term_grace_s!r}"
+            )
+
+
+@dataclass
+class CellOutcome:
+    """One cell's final state after the sweep."""
+
+    cell: SweepCell
+    status: str  # "completed" | "failed"
+    reason: str = ""
+    #: Verified metric summary; None for failed cells.
+    summary: Optional[Dict[str, Any]] = None
+    #: True when a resume trusted the ledger instead of running.
+    skipped: bool = False
+    #: Spawn attempts this run (0 when skipped).  Off the report path:
+    #: identical outcomes may differ here across interrupted runs.
+    attempts: int = 0
+    #: Wall-clock seconds this run spent on the cell (0 when skipped).
+    #: Off the report path, like ``attempts``.
+    duration_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "completed"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The deterministic, report-facing view of the outcome."""
+        return {
+            "cell": self.cell.cell_id,
+            "digest": self.cell.digest,
+            "status": self.status,
+            "reason": self.reason,
+            "summary": self.summary,
+        }
+
+
+@dataclass
+class FleetResult:
+    """The whole sweep's outcome, in matrix cell order."""
+
+    matrix: SweepMatrix
+    outcomes: List[CellOutcome] = field(default_factory=list)
+
+    @property
+    def completed(self) -> List[CellOutcome]:
+        return [o for o in self.outcomes if o.ok]
+
+    @property
+    def failed(self) -> List[CellOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def ok(self) -> bool:
+        """Every cell reached a final status (failed cells included):
+        the sweep itself completed."""
+        return len(self.outcomes) == len(self.matrix)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "matrix": self.matrix.to_dict(),
+            "matrix_digest": self.matrix.digest,
+            "cells": [o.to_dict() for o in self.outcomes],
+            "completed": len(self.completed),
+            "failed": len(self.failed),
+        }
+
+
+class _RunningCell:
+    """Bookkeeping for one live cell subprocess."""
+
+    __slots__ = ("cell", "proc", "sentinel", "attempt", "deadline_at",
+                 "started_at", "log_handle")
+
+    def __init__(self, cell, proc, sentinel, attempt, deadline_at,
+                 started_at, log_handle) -> None:
+        self.cell = cell
+        self.proc = proc
+        self.sentinel = sentinel
+        self.attempt = attempt
+        self.deadline_at = deadline_at
+        self.started_at = started_at
+        self.log_handle = log_handle
+
+
+class FleetRunner:
+    """Schedule a sweep matrix as supervised subprocess campaigns.
+
+    ``cell_hook`` is the test-injection point: called as
+    ``cell_hook(cell_id, status)`` right after each cell reaches a
+    final status this run (``completed`` / ``failed`` — skipped cells
+    don't fire it); an exception it raises aborts the sweep
+    mid-flight, which is how the determinism tests simulate a dead
+    fleet without arranging a real SIGKILL.
+    """
+
+    def __init__(
+        self,
+        matrix: SweepMatrix,
+        workdir: Union[str, os.PathLike],
+        *,
+        policy: Optional[FleetPolicy] = None,
+        telemetry: Optional[Telemetry] = None,
+        resume: bool = False,
+        anchor_every: Optional[int] = 2,
+        cell_hook: Optional[Callable[[str, str], None]] = None,
+    ) -> None:
+        self.matrix = matrix
+        self.workdir = Path(workdir)
+        self.policy = policy if policy is not None else FleetPolicy()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.resume = resume
+        self.anchor_every = anchor_every
+        self.cell_hook = cell_hook
+
+    # -- public ------------------------------------------------------------
+
+    def run(self) -> FleetResult:
+        """Drive every cell to a final status; returns the full result."""
+        ledger = FleetLedger.create(
+            self.workdir, self.matrix, telemetry=self.telemetry
+        )
+        cells = self.matrix.cells()
+        outcomes: Dict[str, CellOutcome] = {}
+        pending: deque = deque()
+
+        for cell in cells:
+            summary = (
+                ledger.completed_summary(cell) if self.resume else None
+            )
+            if summary is not None:
+                outcomes[cell.cell_id] = CellOutcome(
+                    cell=cell,
+                    status="completed",
+                    summary=summary,
+                    skipped=True,
+                )
+                self.telemetry.count("fleet_cells_skipped_total")
+            else:
+                pending.append((cell, 1))
+        skipped = len(cells) - len(pending)
+        if self.resume and skipped:
+            logger.info(
+                "resuming sweep: %d of %d completed cells skipped by "
+                "ledger digest", skipped, len(cells),
+            )
+
+        running: Dict[str, _RunningCell] = {}
+        try:
+            while pending or running:
+                while pending and len(running) < self.policy.workers:
+                    cell, attempt = pending.popleft()
+                    running[cell.cell_id] = self._launch(
+                        ledger, cell, attempt
+                    )
+                self._wait_one_sweep(ledger, running, pending, outcomes)
+        finally:
+            for rc in running.values():
+                terminate_escalate(rc.proc, self.policy.term_grace_s)
+                self._release(rc)
+
+        return FleetResult(
+            matrix=self.matrix,
+            outcomes=[
+                outcomes[c.cell_id] for c in cells if c.cell_id in outcomes
+            ],
+        )
+
+    # -- scheduling --------------------------------------------------------
+
+    def _launch(
+        self, ledger: FleetLedger, cell: SweepCell, attempt: int
+    ) -> _RunningCell:
+        cell_dir = ledger.cell_dir(cell.cell_id)
+        cell_dir.mkdir(parents=True, exist_ok=True)
+        spec = {
+            "cell": cell.cell_id,
+            "digest": cell.digest,
+            "config": cell.config_kwargs(),
+            "store": str(ledger.store_dir(cell.cell_id)),
+            "summary": str(ledger.summary_path(cell.cell_id)),
+            "anchor_every": self.anchor_every,
+            "fork": cell.fork,
+            "attempt": attempt,
+        }
+        atomic_write_text(
+            ledger.spec_path(cell.cell_id),
+            json.dumps(spec, indent=2, sort_keys=True) + "\n",
+        )
+        ledger.record_running(cell)
+        read_fd, write_fd = exit_sentinel()
+        log_handle = open(ledger.log_path(cell.cell_id), "ab")
+        try:
+            proc = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro.fleet._child",
+                    str(ledger.spec_path(cell.cell_id)),
+                ],
+                env=child_environ(),
+                stdout=log_handle,
+                stderr=subprocess.STDOUT,
+                pass_fds=(write_fd,),
+                close_fds=True,
+            )
+        except Exception:
+            os.close(read_fd)
+            log_handle.close()
+            raise
+        finally:
+            os.close(write_fd)
+        self.telemetry.count("fleet_cells_started_total")
+        now = time.monotonic()
+        logger.debug(
+            "cell %s attempt %d started (pid %d)",
+            cell.cell_id, attempt, proc.pid,
+        )
+        return _RunningCell(
+            cell=cell,
+            proc=proc,
+            sentinel=read_fd,
+            attempt=attempt,
+            deadline_at=now + self.policy.cell_deadline_s,
+            started_at=now,
+            log_handle=log_handle,
+        )
+
+    def _wait_one_sweep(
+        self,
+        ledger: FleetLedger,
+        running: Dict[str, _RunningCell],
+        pending: deque,
+        outcomes: Dict[str, CellOutcome],
+    ) -> None:
+        """One multiplexed wait over every live cell, then reap."""
+        now = time.monotonic()
+        soonest = min(rc.deadline_at for rc in running.values())
+        timeout = max(
+            0.0, min(self.policy.wait_slice_s, soonest - now)
+        )
+        by_sentinel = {rc.sentinel: rc for rc in running.values()}
+        ready = _wait_connections(list(by_sentinel), timeout=timeout)
+
+        for fd in ready:
+            rc = by_sentinel[fd]
+            rc.proc.wait()
+            del running[rc.cell.cell_id]
+            self._reap(ledger, rc, pending, outcomes, hung=False)
+
+        now = time.monotonic()
+        for cell_id in [
+            cid for cid, rc in running.items() if rc.deadline_at <= now
+        ]:
+            rc = running.pop(cell_id)
+            logger.warning(
+                "cell %s attempt %d exceeded its %.0fs deadline; "
+                "stopping it", cell_id, rc.attempt,
+                self.policy.cell_deadline_s,
+            )
+            terminate_escalate(rc.proc, self.policy.term_grace_s)
+            self._reap(ledger, rc, pending, outcomes, hung=True)
+
+    # -- reaping -----------------------------------------------------------
+
+    def _release(self, rc: _RunningCell) -> None:
+        os.close(rc.sentinel)
+        rc.log_handle.close()
+
+    def _reap(
+        self,
+        ledger: FleetLedger,
+        rc: _RunningCell,
+        pending: deque,
+        outcomes: Dict[str, CellOutcome],
+        *,
+        hung: bool,
+    ) -> None:
+        self._release(rc)
+        cell = rc.cell
+        duration = time.monotonic() - rc.started_at
+        summary = None
+        if not hung and rc.proc.returncode == 0:
+            # The exit code alone is not trusted: the summary must
+            # exist and verify, the same check a resume would make.
+            payload = self._verified_summary(ledger, cell)
+            if payload is not None:
+                summary = payload
+
+        if summary is not None:
+            digest = hashlib.sha256(
+                ledger.summary_path(cell.cell_id).read_bytes()
+            ).hexdigest()
+            ledger.record_completed(
+                cell, digest, cell.base["n_days"]
+            )
+            outcomes[cell.cell_id] = CellOutcome(
+                cell=cell,
+                status="completed",
+                summary=summary,
+                attempts=rc.attempt,
+                duration_s=duration,
+            )
+            self.telemetry.count("fleet_cells_completed_total")
+            logger.debug(
+                "cell %s completed on attempt %d (%.1fs)",
+                cell.cell_id, rc.attempt, duration,
+            )
+            if self.cell_hook is not None:
+                self.cell_hook(cell.cell_id, "completed")
+            return
+
+        reason = "deadline" if hung else "crash"
+        self.telemetry.count("fleet_cell_losses_total", reason=reason)
+        logger.warning(
+            "cell %s attempt %d lost (%s, exit %s)",
+            cell.cell_id, rc.attempt, reason, rc.proc.returncode,
+        )
+        if rc.attempt > self.policy.max_restarts:
+            ledger.record_failed(cell, "restart budget exhausted")
+            outcomes[cell.cell_id] = CellOutcome(
+                cell=cell,
+                status="failed",
+                reason=(
+                    f"restart budget exhausted after {rc.attempt} "
+                    f"attempts (last loss: {reason})"
+                ),
+                attempts=rc.attempt,
+                duration_s=duration,
+            )
+            self.telemetry.count("fleet_cells_failed_total")
+            if self.cell_hook is not None:
+                self.cell_hook(cell.cell_id, "failed")
+            return
+
+        # Seeded simulated-time backoff: recorded, never slept — the
+        # same bookkeeping the worker supervisor does.
+        delay_h = backoff_hours(
+            RetryPolicy(),
+            rc.attempt,
+            self.policy.backoff_seed,
+            f"fleet/{cell.cell_id}/restart",
+        )
+        self.telemetry.count(
+            "fleet_restart_backoff_seconds_total", delay_h * 3600.0
+        )
+        self.telemetry.count("fleet_cells_retried_total")
+        pending.append((cell, rc.attempt + 1))
+
+    def _verified_summary(
+        self, ledger: FleetLedger, cell: SweepCell
+    ) -> Optional[Dict[str, Any]]:
+        """The freshly-written summary iff it parses and names the cell."""
+        try:
+            payload = json.loads(
+                ledger.summary_path(cell.cell_id).read_text()
+            )
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (
+            isinstance(payload, dict)
+            and payload.get("cell") == cell.cell_id
+            and payload.get("digest") == cell.digest
+        ):
+            return payload
+        return None

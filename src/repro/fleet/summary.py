@@ -1,0 +1,65 @@
+"""Per-cell metric summaries: what the merged fleet report aggregates.
+
+A cell summary is the small, deterministic JSON the cell subprocess
+leaves behind on success — the per-platform aggregates behind Table 2
+(URLs, tweets, authors, joined groups, messages, users) and Fig 6
+(revocation fractions).  The fleet report computes its sensitivity
+bands from these summaries alone, so a resumed sweep never has to
+reload a completed cell's full dataset.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.analysis.revocation import revocation
+
+__all__ = ["PLATFORMS", "SUMMARY_METRICS", "cell_summary", "summary_bytes"]
+
+PLATFORMS = ("whatsapp", "telegram", "discord")
+
+#: Metric key -> human label, in report row order.
+SUMMARY_METRICS = {
+    "urls": "unique URLs",
+    "tweets": "tweets",
+    "authors": "authors",
+    "joined": "joined groups",
+    "messages": "messages",
+    "users": "users seen",
+    "revoked_frac": "revoked frac",
+    "dead_on_arrival_frac": "dead-at-first-obs frac",
+}
+
+
+def cell_summary(dataset, cell_id: str, digest: str) -> Dict[str, Any]:
+    """The cell's aggregate metrics as a JSON-ready dict."""
+    platforms: Dict[str, Dict[str, float]] = {}
+    for platform in PLATFORMS:
+        tweets = dataset.tweets_for(platform)
+        joined = dataset.joined_for(platform)
+        rev = revocation(dataset, platform)
+        platforms[platform] = {
+            "urls": len(dataset.records_for(platform)),
+            "tweets": len(tweets),
+            "authors": len({t.author_id for t in tweets}),
+            "joined": len(joined),
+            "messages": sum(g.n_messages for g in joined),
+            "users": len(dataset.users_for(platform)),
+            "revoked_frac": round(rev.revoked_frac, 6),
+            "dead_on_arrival_frac": round(rev.before_first_obs_frac, 6),
+        }
+    return {
+        "cell": cell_id,
+        "digest": digest,
+        "n_days": dataset.n_days,
+        "scenario": dataset.scenario,
+        "platforms": platforms,
+    }
+
+
+def summary_bytes(summary: Dict[str, Any]) -> bytes:
+    """The summary's canonical on-disk encoding."""
+    return (
+        json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    ).encode("utf-8")

@@ -1,0 +1,84 @@
+"""Subprocess plumbing shared by the chaos harness and the fleet.
+
+Both subsystems run campaigns in real child processes — the chaos
+harness so a campaign can ``SIGKILL`` itself mid-day, the fleet so a
+sweep cell's death cannot take the supervisor with it.  The pieces
+they share live here:
+
+* :func:`child_environ` — an environment whose ``PYTHONPATH`` puts
+  the parent's own ``repro`` package first, so the child imports the
+  exact tree the parent runs (src checkout, site-packages, tox venv —
+  wherever it lives).
+* :func:`exit_sentinel` — an inheritable pipe whose read end becomes
+  readable (EOF) the instant the child exits, however it died.
+  ``multiprocessing.connection.wait`` multiplexes any number of these
+  alongside ordinary pipes, which is how the fleet supervisor notices
+  a crashed cell immediately instead of on a poll tick.
+* :func:`terminate_escalate` — the polite-then-firm stop: SIGTERM,
+  a bounded grace period, then SIGKILL.  Used on hung cells and on
+  stragglers when a sweep unwinds.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+from typing import Dict, Optional, Tuple
+
+__all__ = ["child_environ", "exit_sentinel", "terminate_escalate"]
+
+
+def child_environ(
+    extra: Optional[Dict[str, str]] = None,
+) -> Dict[str, str]:
+    """A copy of ``os.environ`` that imports this process's ``repro``.
+
+    The package root (the directory *containing* ``repro/``) is
+    prepended to ``PYTHONPATH`` so a ``python -m repro...`` child
+    resolves the same code as the parent regardless of how the parent
+    was launched.  ``extra`` entries are laid on top.
+    """
+    import repro
+    from pathlib import Path
+
+    package_root = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        package_root + (os.pathsep + existing if existing else "")
+    )
+    if extra:
+        env.update(extra)
+    return env
+
+
+def exit_sentinel() -> Tuple[int, int]:
+    """A ``(read_fd, write_fd)`` pair acting as a child-exit sentinel.
+
+    Pass ``write_fd`` to the child via ``Popen(pass_fds=(write_fd,))``
+    and close it in the parent; the kernel closes the child's copy on
+    exit — clean, crashed, or SIGKILLed — which EOFs ``read_fd`` and
+    wakes any ``multiprocessing.connection.wait`` on it.  The caller
+    owns both fds: close ``write_fd`` right after spawning and
+    ``read_fd`` after reaping.
+    """
+    read_fd, write_fd = os.pipe()
+    os.set_inheritable(write_fd, True)
+    return read_fd, write_fd
+
+
+def terminate_escalate(
+    proc: "subprocess.Popen", grace_s: float = 5.0
+) -> int:
+    """Stop ``proc``: SIGTERM, wait up to ``grace_s``, then SIGKILL.
+
+    Returns the process's exit code.  Idempotent on an already-dead
+    process (it is simply reaped).
+    """
+    if proc.poll() is None:
+        proc.terminate()
+        try:
+            return proc.wait(timeout=grace_s)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+    return proc.wait()

@@ -19,6 +19,11 @@ from repro.reporting.figures import (
     render_fig9,
     render_interplay,
 )
+from repro.reporting.fleet import (
+    fleet_report_dict,
+    render_fleet_report,
+    sensitivity_bands,
+)
 from repro.reporting.health import render_health
 from repro.reporting.scenarios import render_scenario_report, scenario_header
 from repro.reporting.integrity import (
@@ -38,8 +43,11 @@ from repro.reporting.tables import (
 )
 
 __all__ = [
+    "fleet_report_dict",
     "format_table",
     "render_chaos_report",
+    "render_fleet_report",
+    "sensitivity_bands",
     "render_fsck_report",
     "render_fsck_summary",
     "render_health",

@@ -140,8 +140,13 @@ class ServeDaemon:
         """Run until signalled (or until the campaign ends, if not
         lingering); returns the process exit code.
 
-        SIGTERM/SIGINT request a drain; the teardown itself runs on
-        this thread, never in the signal handler.
+        SIGTERM and SIGINT are equivalent: both request a drain, and
+        either way the daemon checkpoints the day boundary and exits
+        0 — a Ctrl-C never leaves a torn store.  The teardown itself
+        runs on this thread, never in the signal handler; a raw
+        :class:`KeyboardInterrupt` (SIGINT delivered before the
+        handler is installed, or with ``install_signals=False``) is
+        absorbed into the same drain path.
         """
         if install_signals:
             for signum in (signal.SIGTERM, signal.SIGINT):
@@ -154,6 +159,8 @@ class ServeDaemon:
                 if self.driver.finished.is_set() and not self.config.linger:
                     break
                 self._stop.wait(0.2)
+        except KeyboardInterrupt:
+            logger.info("keyboard interrupt; draining")
         finally:
             self.close()
         phase = self.driver.phase

@@ -20,9 +20,11 @@ Routes::
 content-digest-keyed response cache; the ``X-Cache: HIT|MISS`` header
 reports the outcome per response.  Error mapping is uniform: unknown
 or unpublished days raise :class:`~repro.errors.CheckpointError` and
-map to 404, invalid query parameters map to 400, anything unexpected
-maps to 500 with a ``serve_errors_total`` count — never a raw
-traceback in the body.
+map to 404, invalid query parameters map to 400, a transient store
+read failure under an already-published day (a reader racing a
+write) maps to 503 with a ``Retry-After`` header, and anything
+unexpected maps to 500 with a ``serve_errors_total`` count — never a
+raw traceback in the body.
 """
 
 from __future__ import annotations
@@ -52,6 +54,20 @@ _PLATFORMS = ("whatsapp", "telegram", "discord")
 
 class _BadRequest(Exception):
     """Invalid query parameters; maps to HTTP 400."""
+
+
+class _TransientStore(Exception):
+    """A store read failed under a published day; maps to HTTP 503.
+
+    A day is only published after its record is durably on disk, so a
+    :class:`~repro.errors.CheckpointError` out of the *record read*
+    (as opposed to the entry lookup, whose failure means "no such
+    day") is transient — a reader racing a concurrent write or a
+    momentarily contended file.  The client is told to retry, not
+    shown a 500.
+    """
+
+    retry_after_s = 1
 
 
 def _json_body(obj: Any) -> bytes:
@@ -95,17 +111,28 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
         content_type: str,
         body: bytes,
         x_cache: Optional[str] = None,
+        retry_after: Optional[int] = None,
     ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         if x_cache is not None:
             self.send_header("X-Cache", x_cache)
+        if retry_after is not None:
+            self.send_header("Retry-After", str(retry_after))
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, message: str) -> None:
-        self._send(status, _JSON, _json_body({"error": message}))
+    def _send_error_json(
+        self,
+        status: int,
+        message: str,
+        retry_after: Optional[int] = None,
+    ) -> None:
+        self._send(
+            status, _JSON, _json_body({"error": message}),
+            retry_after=retry_after,
+        )
 
     # -- dispatch ----------------------------------------------------------
 
@@ -154,6 +181,13 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
                 "serve_errors_total", status="404"
             )
             self._send_error_json(404, str(exc))
+        except _TransientStore as exc:
+            self.server.serve_metrics.count(
+                "serve_errors_total", status="503"
+            )
+            self._send_error_json(
+                503, str(exc), retry_after=_TransientStore.retry_after_s
+            )
         except BrokenPipeError:
             pass  # client went away mid-write; nothing to send
         except Exception as exc:
@@ -199,6 +233,23 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
         status, content_type, body = build()
         self.server.cache.put(key, (status, content_type, body))
         self._send(status, content_type, body, x_cache="MISS")
+
+    @staticmethod
+    def _read_published(read: Callable[[], Dict[str, Any]]):
+        """Run a record read under a *published* day; 503 on failure.
+
+        The entry lookup already proved the day exists, so a
+        CheckpointError out of the actual store read is transient
+        (a reader racing a write) — mapped to 503 + ``Retry-After``
+        by :class:`_TransientStore`, never a 404 or a 500.
+        """
+        try:
+            return read()
+        except CheckpointError as exc:
+            raise _TransientStore(
+                f"published day record momentarily unreadable, "
+                f"retry shortly: {exc}"
+            )
 
     def _latest_entry(self) -> Tuple[int, Dict[str, Any]]:
         """The latest published day and its entry; 404 before day 0."""
@@ -260,7 +311,7 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
         entry = view.entry(day)
 
         def build() -> CachedResponse:
-            record = view.record(day)
+            record = self._read_published(lambda: view.record(day))
             if record["kind"] != "anchor":
                 body = {
                     "day": day,
@@ -335,7 +386,9 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
         latest, entry = self._latest_entry()
 
         def build() -> CachedResponse:
-            record = view.record_fresh(latest)
+            record = self._read_published(
+                lambda: view.record_fresh(latest)
+            )
             if record["kind"] != "anchor":
                 raise CheckpointError(
                     f"latest day {latest} is a replay marker; the report "

@@ -20,6 +20,13 @@ Layout:
 * :mod:`~repro.telemetry.exporters` — JSONL event log + Prometheus
   text format (the plain-text report renders in
   :mod:`repro.reporting.telemetry`).
+
+Each supervision layer threads its own counter family through the
+handle: the worker pool's ``parallel_*`` counters
+(:mod:`repro.parallel.supervisor`) and the sweep fleet's ``fleet_*``
+counters — cells started / completed / retried / failed / skipped,
+losses by reason, simulated restart-backoff seconds, and ledger
+writes (:mod:`repro.fleet.runner`).
 """
 
 from repro.telemetry.exporters import (

@@ -1,0 +1,608 @@
+"""Tests for the fleet: supervised sharded sweeps with a restartable ledger.
+
+The headline invariants:
+
+* the same sweep matrix produces a byte-identical ledger and merged
+  report across independent runs, across worker counts, and across a
+  kill-and-resume of the fleet supervisor;
+* ``--resume`` trusts a completed cell record only when its content
+  digest (and its summary's digest) still verify — everything else is
+  re-run from the cell's own checkpoints;
+* a crash-looping cell burns its restart budget and degrades to a
+  ``failed`` row in the report while the sweep itself completes and
+  reports honest coverage.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.__main__ import main
+from repro.errors import CheckpointError, ConfigError
+from repro.fleet import (
+    FLEET_FORMAT_VERSION,
+    FLEET_MANIFEST_NAME,
+    PLATFORMS,
+    SUMMARY_METRICS,
+    CellOutcome,
+    FleetLedger,
+    FleetPolicy,
+    FleetResult,
+    FleetRunner,
+    SweepCell,
+    SweepMatrix,
+)
+from repro.fleet._child import CRASH_ENV, HANG_ENV
+from repro.fleet.summary import summary_bytes
+from repro.reporting import (
+    fleet_report_dict,
+    render_fleet_report,
+    sensitivity_bands,
+)
+from repro.telemetry import Telemetry
+
+pytestmark = pytest.mark.fleet
+
+#: Small-but-complete cell campaign: seconds per cell, full pipeline.
+TINY_BASE = dict(n_days=3, scale=0.003, message_scale=0.05, join_day=1)
+
+#: The golden 2x2 sweep every determinism test compares against.
+GOLDEN_SPEC = dict(
+    seeds=(3, 5), faults=("none", "hostile"), base=dict(TINY_BASE)
+)
+
+
+def _report_bytes(result):
+    """The exact report.json bytes the CLI would write for ``result``."""
+    return (
+        json.dumps(fleet_report_dict(result), indent=2, sort_keys=True)
+        + "\n"
+    ).encode("utf-8")
+
+
+def _ledger_bytes(workdir):
+    """cell_id -> raw status.json bytes for every cell in the workdir."""
+    return {
+        path.name: (path / "status.json").read_bytes()
+        for path in sorted((workdir / "cells").iterdir())
+    }
+
+
+class _Golden:
+    def __init__(self, workdir, result, telemetry):
+        self.workdir = workdir
+        self.result = result
+        self.telemetry = telemetry
+        self.report = _report_bytes(result)
+        self.ledger = _ledger_bytes(workdir)
+
+
+@pytest.fixture(scope="module")
+def golden(tmp_path_factory):
+    """One uninterrupted golden sweep, shared by the determinism tests."""
+    for var in (CRASH_ENV, HANG_ENV):
+        assert var not in os.environ
+    workdir = tmp_path_factory.mktemp("fleet-golden")
+    telemetry = Telemetry(enabled=True)
+    result = FleetRunner(
+        SweepMatrix(**GOLDEN_SPEC),
+        workdir,
+        policy=FleetPolicy(workers=2),
+        telemetry=telemetry,
+    ).run()
+    return _Golden(workdir, result, telemetry)
+
+
+class TestSweepMatrix:
+    def test_defaults_expansion_and_order(self):
+        matrix = SweepMatrix(seeds=(3, 5), faults=("none", "hostile"))
+        assert len(matrix) == 4
+        assert matrix.scenarios == ("paper-weather",)
+        assert matrix.base["n_days"] == 6  # defaults merged in
+        assert [c.cell_id for c in matrix.cells()] == [
+            "s3-none-paper-weather",
+            "s3-hostile-paper-weather",
+            "s5-none-paper-weather",
+            "s5-hostile-paper-weather",
+        ]
+
+    def test_roundtrip_preserves_digest(self):
+        matrix = SweepMatrix(**GOLDEN_SPEC)
+        again = SweepMatrix.from_dict(matrix.to_dict())
+        assert again.digest == matrix.digest
+        assert SweepMatrix(seeds=(3, 7)).digest != matrix.digest
+
+    def test_cell_config_kwargs_map_sentinel_names(self):
+        matrix = SweepMatrix(
+            seeds=(3,), faults=("none",), scenarios=("paper-weather",)
+        )
+        kwargs = matrix.cells()[0].config_kwargs()
+        assert kwargs["faults"] is None
+        assert kwargs["scenario"] is None
+        assert kwargs["join_day"] == 5  # min(10, n_days - 1) for 6 days
+        surge = SweepMatrix(
+            seeds=(3,), scenarios=("election-surge",),
+            base=dict(TINY_BASE),
+        ).cells()[0].config_kwargs()
+        assert surge["scenario"] == "election-surge"
+        assert surge["join_day"] == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(seeds=()),
+            dict(seeds=(3, 3)),
+            dict(seeds=(True,)),
+            dict(seeds=("three",)),
+            dict(seeds=(3,), faults=("nope",)),
+            dict(seeds=(3,), scenarios=("nope",)),
+            dict(seeds=(3,), faults=("none", "none")),
+            dict(seeds=(3,), base={"bogus": 1}),
+            dict(seeds=(3,), base={"n_days": 0}),
+            dict(seeds=(3,), base={"scale": 0}),
+            dict(seeds=(3,), base={"message_scale": 0}),
+            dict(seeds=(3,), base={"message_scale": 1.5}),
+            dict(seeds=(3,), base={"n_days": 3, "join_day": 3}),
+            dict(seeds=(3,), fork={"store": "x"}),
+            dict(seeds=(3,), fork={"store": "x", "day": -1}),
+            dict(seeds=(3,), fork={"store": "x", "day": 1, "extra": 1}),
+        ],
+    )
+    def test_invalid_matrices_raise_at_parse_time(self, kwargs):
+        with pytest.raises(ConfigError):
+            SweepMatrix(**kwargs)
+
+    def test_from_dict_rejects_unknown_keys_and_missing_seeds(self):
+        with pytest.raises(ConfigError, match="unknown sweep spec"):
+            SweepMatrix.from_dict({"seeds": [3], "typo": 1})
+        with pytest.raises(ConfigError, match="seeds"):
+            SweepMatrix.from_dict({"faults": ["none"]})
+        with pytest.raises(ConfigError, match="JSON object"):
+            SweepMatrix.from_dict([3])
+
+    def test_from_file_failures_are_config_errors(self, tmp_path):
+        with pytest.raises(ConfigError, match="cannot read"):
+            SweepMatrix.from_file(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            SweepMatrix.from_file(bad)
+        good = tmp_path / "sweep.json"
+        good.write_text(json.dumps({
+            "seeds": [3, 5],
+            "faults": ["none", "hostile"],
+            "base": dict(TINY_BASE),
+        }))
+        assert (
+            SweepMatrix.from_file(good).digest
+            == SweepMatrix(**GOLDEN_SPEC).digest
+        )
+
+
+class TestFleetPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(workers=0),
+            dict(workers=True),
+            dict(workers=1.5),
+            dict(cell_deadline_s=0),
+            dict(max_restarts=-1),
+            dict(max_restarts=True),
+            dict(wait_slice_s=0),
+            dict(term_grace_s=0),
+        ],
+    )
+    def test_invalid_policies_raise(self, kwargs):
+        with pytest.raises(ConfigError):
+            FleetPolicy(**kwargs)
+
+
+class TestFleetLedger:
+    def _matrix(self):
+        return SweepMatrix(seeds=(3,), base=dict(TINY_BASE))
+
+    def test_create_open_and_readopt(self, tmp_path):
+        matrix = self._matrix()
+        FleetLedger.create(tmp_path, matrix)
+        assert (tmp_path / FLEET_MANIFEST_NAME).exists()
+        assert FleetLedger.open(tmp_path).matrix.digest == matrix.digest
+        # Re-adopting the same matrix is fine; a different one is not.
+        FleetLedger.create(tmp_path, matrix)
+        with pytest.raises(CheckpointError, match="different"):
+            FleetLedger.create(
+                tmp_path, SweepMatrix(seeds=(4,), base=dict(TINY_BASE))
+            )
+
+    def test_open_rejects_unusable_manifests(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no fleet ledger"):
+            FleetLedger.open(tmp_path / "nowhere")
+        workdir = tmp_path / "sweep"
+        FleetLedger.create(workdir, self._matrix())
+        manifest = workdir / FLEET_MANIFEST_NAME
+        payload = json.loads(manifest.read_text())
+        payload["format_version"] = FLEET_FORMAT_VERSION + 1
+        manifest.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="format version"):
+            FleetLedger.open(workdir)
+        manifest.write_text("{torn")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            FleetLedger.open(workdir)
+
+    def test_status_records_roundtrip_and_degrade(self, tmp_path):
+        matrix = self._matrix()
+        cell = matrix.cells()[0]
+        ledger = FleetLedger.create(tmp_path, matrix)
+        assert ledger.read_status(cell.cell_id) is None
+        ledger.record_running(cell)
+        assert ledger.read_status(cell.cell_id)["status"] == "running"
+        ledger.status_path(cell.cell_id).write_text("{torn")
+        assert ledger.read_status(cell.cell_id) is None
+
+    def test_completed_summary_is_content_addressed(self, tmp_path):
+        import hashlib
+
+        matrix = self._matrix()
+        cell = matrix.cells()[0]
+        ledger = FleetLedger.create(tmp_path, matrix)
+        payload = summary_bytes({"cell": cell.cell_id, "metrics": 1})
+        ledger.cell_dir(cell.cell_id).mkdir(parents=True, exist_ok=True)
+        ledger.summary_path(cell.cell_id).write_bytes(payload)
+        digest = hashlib.sha256(payload).hexdigest()
+
+        # running / failed records never count as completed
+        ledger.record_running(cell)
+        assert ledger.completed_summary(cell) is None
+        ledger.record_completed(cell, digest, days=3)
+        assert ledger.completed_summary(cell)["cell"] == cell.cell_id
+
+        # a record from a different sweep cell is re-run, not trusted
+        record = ledger.read_status(cell.cell_id)
+        record["digest"] = "0" * 64
+        ledger.write_status(record)
+        assert ledger.completed_summary(cell) is None
+
+        # tampered summary bytes fail the content address
+        ledger.record_completed(cell, digest, days=3)
+        ledger.summary_path(cell.cell_id).write_bytes(payload + b" ")
+        assert ledger.completed_summary(cell) is None
+
+
+class TestFleetRunner:
+    def test_sweep_completes_every_cell(self, golden):
+        result = golden.result
+        assert result.ok
+        assert len(result.completed) == 4 and not result.failed
+        cells = SweepMatrix(**GOLDEN_SPEC).cells()
+        assert [o.cell.cell_id for o in result.outcomes] == [
+            c.cell_id for c in cells
+        ]
+        for outcome in result.outcomes:
+            assert not outcome.skipped and outcome.attempts == 1
+            summary = outcome.summary
+            assert summary["cell"] == outcome.cell.cell_id
+            assert summary["digest"] == outcome.cell.digest
+            for platform in PLATFORMS:
+                assert set(summary["platforms"][platform]) == set(
+                    SUMMARY_METRICS
+                )
+        for record in _ledger_bytes(golden.workdir).values():
+            assert json.loads(record)["status"] == "completed"
+        metrics = golden.telemetry.metrics
+        assert metrics.counter("fleet_cells_started_total") == 4
+        assert metrics.counter("fleet_cells_completed_total") == 4
+        assert metrics.counter("fleet_cells_failed_total") == 0
+
+    def test_rerun_is_byte_identical_across_worker_counts(
+        self, golden, tmp_path
+    ):
+        result = FleetRunner(
+            SweepMatrix(**GOLDEN_SPEC),
+            tmp_path / "again",
+            policy=FleetPolicy(workers=1),
+        ).run()
+        assert _report_bytes(result) == golden.report
+        assert _ledger_bytes(tmp_path / "again") == golden.ledger
+
+    def test_resume_skips_completed_cells_by_digest(self, golden):
+        telemetry = Telemetry(enabled=True)
+        result = FleetRunner(
+            SweepMatrix(**GOLDEN_SPEC),
+            golden.workdir,
+            telemetry=telemetry,
+            resume=True,
+        ).run()
+        assert result.ok
+        assert all(o.skipped for o in result.outcomes)
+        assert _report_bytes(result) == golden.report
+        assert telemetry.metrics.counter("fleet_cells_skipped_total") == 4
+        assert telemetry.metrics.counter("fleet_cells_started_total") == 0
+
+    def test_dead_fleet_resume_is_byte_identical(self, golden, tmp_path):
+        """Abort the supervisor after its first completed cell (the
+        in-process stand-in for SIGKILLing the fleet), then resume:
+        same ledger, same report, completed work never re-run."""
+
+        class _FleetDied(RuntimeError):
+            pass
+
+        def die(cell_id, status):
+            raise _FleetDied(cell_id)
+
+        workdir = tmp_path / "interrupted"
+        with pytest.raises(_FleetDied):
+            FleetRunner(
+                SweepMatrix(**GOLDEN_SPEC),
+                workdir,
+                policy=FleetPolicy(workers=2),
+                cell_hook=die,
+            ).run()
+
+        telemetry = Telemetry(enabled=True)
+        result = FleetRunner(
+            SweepMatrix(**GOLDEN_SPEC),
+            workdir,
+            telemetry=telemetry,
+            resume=True,
+        ).run()
+        assert result.ok
+        assert telemetry.metrics.counter("fleet_cells_skipped_total") >= 1
+        assert any(o.skipped for o in result.outcomes)
+        assert _report_bytes(result) == golden.report
+        assert _ledger_bytes(workdir) == golden.ledger
+
+    def test_crashed_cell_retries_from_its_checkpoints(
+        self, golden, tmp_path, monkeypatch
+    ):
+        cell_id = "s3-hostile-paper-weather"
+        monkeypatch.setenv(CRASH_ENV, f"{cell_id}:1:1")  # attempt 1 only
+        telemetry = Telemetry(enabled=True)
+        result = FleetRunner(
+            SweepMatrix(seeds=(3,), faults=("hostile",),
+                        base=dict(TINY_BASE)),
+            tmp_path / "crashy",
+            policy=FleetPolicy(workers=1),
+            telemetry=telemetry,
+        ).run()
+        assert result.ok and not result.failed
+        outcome = result.outcomes[0]
+        assert outcome.attempts == 2
+        reference = next(
+            o for o in golden.result.outcomes
+            if o.cell.cell_id == cell_id
+        )
+        # The healed cell's summary matches the never-crashed run's.
+        assert outcome.summary == reference.summary
+        metrics = telemetry.metrics
+        assert metrics.counter("fleet_cell_losses_total", reason="crash") == 1
+        assert metrics.counter("fleet_cells_retried_total") == 1
+        assert metrics.counter("fleet_restart_backoff_seconds_total") > 0
+
+    def test_budget_exhaustion_degrades_cell_not_sweep(
+        self, tmp_path, monkeypatch
+    ):
+        doomed = "s5-none-paper-weather"
+        monkeypatch.setenv(CRASH_ENV, f"{doomed}:1")  # every attempt
+        workdir = tmp_path / "degraded"
+        result = FleetRunner(
+            SweepMatrix(seeds=(3, 5), base=dict(TINY_BASE)),
+            workdir,
+            policy=FleetPolicy(workers=2, max_restarts=1),
+        ).run()
+        assert result.ok  # the sweep completed; one cell degraded
+        assert [o.cell.cell_id for o in result.failed] == [doomed]
+        failure = result.failed[0]
+        assert failure.reason == (
+            "restart budget exhausted after 2 attempts (last loss: crash)"
+        )
+        assert failure.summary is None
+        assert len(result.completed) == 1
+        record = json.loads(
+            (workdir / "cells" / doomed / "status.json").read_text()
+        )
+        assert record["status"] == "failed"
+        report = render_fleet_report(result)
+        assert "coverage: 1/2 cells completed" in report
+        assert doomed in report and "restart budget exhausted" in report
+
+    def test_hung_cell_is_stopped_at_its_deadline(
+        self, tmp_path, monkeypatch
+    ):
+        cell_id = "s3-none-paper-weather"
+        monkeypatch.setenv(HANG_ENV, f"{cell_id}:1:600")
+        telemetry = Telemetry(enabled=True)
+        result = FleetRunner(
+            SweepMatrix(seeds=(3,), base=dict(TINY_BASE)),
+            tmp_path / "hung",
+            policy=FleetPolicy(
+                workers=1, cell_deadline_s=5.0, max_restarts=0,
+                term_grace_s=2.0,
+            ),
+            telemetry=telemetry,
+        ).run()
+        assert result.ok
+        assert [o.cell.cell_id for o in result.failed] == [cell_id]
+        assert "deadline" in result.failed[0].reason
+        assert telemetry.metrics.counter(
+            "fleet_cell_losses_total", reason="deadline"
+        ) == 1
+
+
+def _synthetic_result(values_by_cell, failed=()):
+    """A FleetResult over hand-built summaries: every platform/metric
+    carries the cell's value except ``users`` (pinned, always robust)
+    and ``revoked_frac`` (value / 1000, exercising the absolute-width
+    test for fractional metrics)."""
+    matrix = SweepMatrix(
+        seeds=tuple(range(1, len(values_by_cell) + len(failed) + 1)),
+        base=dict(TINY_BASE),
+    )
+    cells = matrix.cells()
+    outcomes = []
+    for cell, value in zip(cells, values_by_cell):
+        platforms = {
+            p: {
+                **{m: value for m in SUMMARY_METRICS},
+                "users": 50,
+                "revoked_frac": value / 1000.0,
+            }
+            for p in PLATFORMS
+        }
+        outcomes.append(CellOutcome(
+            cell=cell,
+            status="completed",
+            summary={
+                "cell": cell.cell_id,
+                "digest": cell.digest,
+                "platforms": platforms,
+            },
+        ))
+    for cell, reason in zip(cells[len(values_by_cell):], failed):
+        outcomes.append(
+            CellOutcome(cell=cell, status="failed", reason=reason)
+        )
+    return FleetResult(matrix=matrix, outcomes=outcomes)
+
+
+class TestFleetReport:
+    def test_bands_classify_tight_and_wide_metrics(self):
+        result = _synthetic_result([100, 102, 104])
+        bands = {
+            (b["platform"], b["metric"]): b
+            for b in sensitivity_bands(result)
+        }
+        spread = bands[("whatsapp", "tweets")]
+        assert (spread["min"], spread["median"], spread["max"]) == (
+            100, 102, 104
+        )
+        # (104 - 100) / 102 < 10%: robust
+        assert spread["verdict"] == "robust"
+        # pinned metric: zero spread, robust on every platform
+        assert bands[("discord", "users")]["spread"] == 0.0
+        assert bands[("discord", "users")]["verdict"] == "robust"
+        # 0.100 vs 0.104: absolute width 0.004 <= 0.05, robust
+        assert bands[("telegram", "revoked_frac")]["verdict"] == "robust"
+
+        wide = _synthetic_result([100, 200, 400])
+        bands = {
+            (b["platform"], b["metric"]): b
+            for b in sensitivity_bands(wide)
+        }
+        assert bands[("whatsapp", "tweets")]["verdict"] == (
+            "weather-dependent"
+        )
+        # frac metric: width 0.3 > 0.05, weather-dependent
+        assert bands[("whatsapp", "revoked_frac")]["verdict"] == (
+            "weather-dependent"
+        )
+
+    def test_zero_median_bands(self):
+        flat = _synthetic_result([0, 0, 0])
+        bands = sensitivity_bands(flat)
+        assert all(b["verdict"] == "robust" and b["spread"] == 0.0
+                   for b in bands if b["metric"] == "joined")
+        mixed = _synthetic_result([0, 0, 7])
+        band = next(
+            b for b in sensitivity_bands(mixed)
+            if b["platform"] == "whatsapp" and b["metric"] == "joined"
+        )
+        assert band["spread"] is None  # rendered as "inf"
+        assert band["verdict"] == "weather-dependent"
+        assert "inf" in render_fleet_report(mixed)
+
+    def test_report_is_honest_about_coverage(self):
+        result = _synthetic_result(
+            [100, 101], failed=["restart budget exhausted (crash)"]
+        )
+        report = render_fleet_report(result)
+        assert "coverage: 2/3 cells completed" in report
+        assert "restart budget exhausted (crash)" in report
+        payload = fleet_report_dict(result)
+        assert payload["coverage"]["total"] == 3
+        assert payload["coverage"]["completed"] == 2
+        assert payload["coverage"]["failed"][0]["reason"] == (
+            "restart budget exhausted (crash)"
+        )
+        # bands exist and cover completed cells only
+        assert all(b["n"] == 2 for b in payload["bands"])
+
+    def test_all_failed_report_has_no_bands(self):
+        result = _synthetic_result([], failed=["crash", "crash"])
+        assert sensitivity_bands(result) == []
+        assert "sensitivity bands unavailable" in render_fleet_report(
+            result
+        )
+
+
+class TestFleetCLI:
+    @pytest.mark.parametrize(
+        "argv, match",
+        [
+            (["--workdir", "w", "--resume", "--seeds", "1"], "--resume"),
+            (
+                ["--workdir", "w", "--sweep-file", "s.json",
+                 "--seeds", "1"],
+                "mutually exclusive",
+            ),
+            (
+                ["--workdir", "w", "--seeds", "1",
+                 "--fork-from", "parent"],
+                "--fork-day",
+            ),
+            (["--workdir", "w"], "needs --seeds"),
+            (
+                ["--workdir", "w", "--seeds", "1",
+                 "--cell-deadline", "0"],
+                "positive",
+            ),
+            (
+                ["--workdir", "w", "--seeds", "1",
+                 "--cell-restarts", "-1"],
+                ">= 0",
+            ),
+        ],
+    )
+    def test_flag_validation(self, argv, match):
+        with pytest.raises(ConfigError, match=match):
+            main(["fleet"] + argv)
+
+    def test_missing_fork_store_rejected_at_launch(self, tmp_path):
+        # A typo'd --fork-from must die as a ConfigError before any
+        # cell spawns, not by burning every cell's restart budget on
+        # an unfixable crash.
+        with pytest.raises(ConfigError, match="no checkpoint manifest"):
+            main([
+                "fleet", "--workdir", str(tmp_path / "w"),
+                "--seeds", "3", "--fork-from", str(tmp_path / "nope"),
+                "--fork-day", "2",
+            ])
+
+    def test_sweep_file_run_matches_golden_and_resumes(
+        self, golden, tmp_path, capsys
+    ):
+        sweep_file = tmp_path / "sweep.json"
+        sweep_file.write_text(json.dumps({
+            "seeds": [3, 5],
+            "faults": ["none", "hostile"],
+            "base": dict(TINY_BASE),
+        }))
+        workdir = tmp_path / "cli"
+        assert main([
+            "fleet", "--workdir", str(workdir),
+            "--sweep-file", str(sweep_file), "--workers", "1",
+        ]) == 0
+        stdout = capsys.readouterr().out
+        assert "Fleet sweep report" in stdout
+        assert "coverage: 4/4 cells completed" in stdout
+        assert (workdir / "report.json").read_bytes() == golden.report
+        assert (workdir / "report.txt").read_text() == (
+            render_fleet_report(golden.result)
+        )
+        assert _ledger_bytes(workdir) == golden.ledger
+
+        # --resume on the finished workdir skips everything, same bytes.
+        assert main([
+            "fleet", "--workdir", str(workdir), "--resume",
+        ]) == 0
+        assert (workdir / "report.json").read_bytes() == golden.report

@@ -399,6 +399,122 @@ class TestDrainAndResume:
         finished_daemon.close()
         finished_daemon.close()
 
+    def test_sigint_handler_requests_drain_like_sigterm(self, daemon):
+        """The installed handler maps SIGINT to the same drain request
+        SIGTERM gets: stop flag set, then a clean close."""
+        import signal
+
+        daemon._on_signal(signal.SIGINT, None)
+        assert daemon._stop.is_set()
+        daemon.close()
+        assert daemon.driver.phase in ("drained", "complete")
+
+    def test_keyboard_interrupt_drains_exactly_like_sigterm(
+        self, tmp_path
+    ):
+        """Ctrl-C is a drain, not a crash: the serve loop absorbs the
+        KeyboardInterrupt, exits 0, and leaves a resumable store that
+        finishes byte-identical to an uninterrupted run."""
+        import hashlib
+
+        from repro.io import save_dataset
+
+        def digest_of(dataset, name):
+            path = tmp_path / f"{name}.json"
+            save_dataset(dataset, path)
+            return hashlib.sha256(path.read_bytes()).hexdigest()
+
+        golden = digest_of(Study(_config()).run(), "golden")
+
+        store_dir = tmp_path / "store"
+        daemon = ServeDaemon(
+            Study(_config()), ServeConfig(), checkpoint_dir=store_dir
+        )
+        boundary = threading.Event()
+        original_after = daemon.driver._after_day
+
+        def mark(day):
+            original_after(day)
+            if day == 2:
+                boundary.set()
+
+        daemon.driver._after_day = mark
+        original_wait = daemon._stop.wait
+
+        def interrupted_wait(timeout=None):
+            # Simulate Ctrl-C landing in the serve loop's wait (SIGINT
+            # before the handler is installed raises right here).
+            if boundary.wait(120):
+                raise KeyboardInterrupt
+            return original_wait(timeout)
+
+        daemon._stop.wait = interrupted_wait
+        assert daemon.serve(install_signals=False) == 0
+        assert daemon.driver.phase in ("drained", "complete")
+        assert 2 in daemon.study.store.days()
+
+        resumed = Study.resume(store_dir)
+        assert digest_of(resumed.run(), "resumed") == golden
+
+
+class TestTransientStoreErrors:
+    """A published day whose record read fails is a retryable 503,
+    never a 500 — and never a 404, which is reserved for days that
+    genuinely aren't published."""
+
+    @staticmethod
+    def _get_503(url):
+        try:
+            urllib.request.urlopen(url, timeout=30)
+        except urllib.error.HTTPError as exc:
+            return exc.code, dict(exc.headers), json.loads(exc.read())
+        raise AssertionError(f"{url} unexpectedly succeeded")
+
+    def test_day_record_read_race_maps_to_503(
+        self, finished_daemon, monkeypatch
+    ):
+        url = finished_daemon.url
+
+        def torn_read(day):
+            raise CheckpointError(f"day {day} digest mismatch mid-read")
+
+        monkeypatch.setattr(finished_daemon.view, "record", torn_read)
+        status, headers, body = self._get_503(f"{url}/v1/day/2?limit=7")
+        assert status == 503
+        assert headers["Retry-After"] == "1"
+        assert "retry shortly" in body["error"]
+        # An unpublished day is still a 404, not dressed up as a 503.
+        status, body = _get_error(f"{url}/v1/day/999")
+        assert status == 404
+
+        # The 503 was never cached: once the store read heals, the
+        # same request succeeds as a plain cache MISS.
+        monkeypatch.undo()
+        status, headers, _ = _get(f"{url}/v1/day/2?limit=7")
+        assert status == 200
+        assert headers["X-Cache"] == "MISS"
+        assert "serve_errors_total{status=\"503\"} 1" in (
+            finished_daemon.render_metrics()
+        )
+
+    def test_report_record_read_race_maps_to_503(
+        self, finished_daemon, monkeypatch
+    ):
+        url = finished_daemon.url
+
+        def torn_read(day):
+            raise CheckpointError(f"day {day} record torn mid-read")
+
+        monkeypatch.setattr(
+            finished_daemon.view, "record_fresh", torn_read
+        )
+        status, headers, body = self._get_503(f"{url}/v1/report")
+        assert status == 503
+        assert headers["Retry-After"] == "1"
+        monkeypatch.undo()
+        status, _, report = _get(f"{url}/v1/report")
+        assert status == 200 and report
+
 
 class TestLoadHarness:
     def test_percentile_nearest_rank(self):
