@@ -1,0 +1,148 @@
+"""Benchmark: streaming analysis memory stays bounded as campaigns grow.
+
+The whole point of the streaming layer is the long-horizon campaign:
+the batch path materialises the full :class:`StudyDataset` (every
+tweet, snapshot, and message), so its footprint grows linearly with
+campaign length, while the streaming fold holds one day slice plus
+fixed-size accumulators and seeded reservoirs.  The gate: growing the
+campaign 10x must grow the streaming fold's peak traced memory by
+less than ``MAX_GROWTH_FACTOR`` (it is O(day), not O(campaign)), and
+at the long horizon the fold must stay under half the peak of simply
+*decoding* the batch state from the same store — otherwise the layer
+would not be earning its keep.
+"""
+
+import os
+import shutil
+import tempfile
+import tracemalloc
+
+import pytest
+
+from repro.analysis.streaming import StreamingAnalyzer
+from repro.checkpoint import RunStore
+from repro.core.study import Study, StudyConfig
+from repro.reporting import render_streaming_report
+from repro.reporting.tables import format_table
+
+pytestmark = pytest.mark.streaming
+
+SMOKE = os.environ.get("BENCH_STREAMING_SMOKE") == "1"
+
+#: Campaign lengths compared: the long horizon is 10x the short one
+#: (4x in CI smoke mode, to keep the leg quick).
+BASE_DAYS = 3 if SMOKE else 6
+FACTOR = 4 if SMOKE else 10
+
+_BASE = dict(
+    seed=7,
+    scale=0.004,
+    message_scale=0.05,
+    join_day=2,
+)
+
+#: Streaming fold peak may grow by at most this factor over a 10x
+#: longer campaign (a flat curve lands near 1.0; linear would be ~10).
+MAX_GROWTH_FACTOR = 3.0
+
+#: At the long horizon the fold must use at most this fraction of the
+#: peak taken by decoding the batch study state from the same store.
+MAX_FRAC_OF_BATCH = 0.5
+
+
+def _traced_peak(fn):
+    """(peak traced bytes, result) of one call, isolated per phase."""
+    tracemalloc.start()
+    try:
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+        return peak, result
+    finally:
+        tracemalloc.stop()
+
+
+def _campaign(n_days: int, workdir: str) -> str:
+    store_dir = os.path.join(workdir, f"store-{n_days}")
+    config = StudyConfig(n_days=n_days, **_BASE)
+    Study(config).run(checkpoint_dir=store_dir, slices=True)
+    return store_dir
+
+
+def _measure(n_days: int, workdir: str):
+    store_dir = _campaign(n_days, workdir)
+
+    def fold():
+        store = RunStore.open(store_dir)
+        analyzer = StreamingAnalyzer.from_store(store)
+        return analyzer, render_streaming_report(
+            analyzer, _BASE["scale"]
+        )
+
+    stream_peak, (analyzer, report) = _traced_peak(fold)
+    batch_peak, study = _traced_peak(lambda: Study.resume(store_dir))
+    assert analyzer.days_folded == n_days
+    assert "campaign rollup folded" in report
+    return {
+        "n_days": n_days,
+        "stream_peak": stream_peak,
+        "batch_peak": batch_peak,
+    }
+
+
+def _mib(n_bytes: int) -> str:
+    return f"{n_bytes / 2**20:.2f} MiB"
+
+
+def test_streaming_memory_bounded(emit):
+    workdir = tempfile.mkdtemp(prefix="bench-streaming-")
+    try:
+        short = _measure(BASE_DAYS, workdir)
+        long = _measure(BASE_DAYS * FACTOR, workdir)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    growth = long["stream_peak"] / short["stream_peak"]
+    frac = long["batch_peak"] / long["stream_peak"]
+    rows = [
+        [
+            f"{r['n_days']} days",
+            _mib(r["stream_peak"]),
+            _mib(r["batch_peak"]),
+            f"{r['batch_peak'] / r['stream_peak']:.1f}x",
+        ]
+        for r in (short, long)
+    ]
+    rows.append(
+        [
+            f"growth over {FACTOR}x days",
+            f"{growth:.2f}x (gate < {MAX_GROWTH_FACTOR}x)",
+            f"{long['batch_peak'] / short['batch_peak']:.2f}x",
+            "",
+        ]
+    )
+    emit(
+        "bench_streaming",
+        format_table(
+            [
+                "campaign",
+                "streaming fold peak",
+                "batch decode peak",
+                "batch/stream",
+            ],
+            rows,
+            title=(
+                "Streaming analysis memory (peak traced bytes: fold + "
+                "render vs decoding the batch state from the same store)"
+            ),
+        ),
+    )
+    assert growth < MAX_GROWTH_FACTOR, (
+        f"streaming fold peak grew {growth:.2f}x over a {FACTOR}x "
+        f"longer campaign (gate: < {MAX_GROWTH_FACTOR}x) — the fold "
+        "is no longer O(day)"
+    )
+    assert long["stream_peak"] < long["batch_peak"] * MAX_FRAC_OF_BATCH, (
+        f"streaming fold peak {_mib(long['stream_peak'])} is not under "
+        f"{MAX_FRAC_OF_BATCH:.0%} of the batch decode peak "
+        f"{_mib(long['batch_peak'])} at {long['n_days']} days"
+    )

@@ -11,6 +11,8 @@ Subcommands ride alongside the flat campaign interface::
 
     python -m repro fsck DIR [--repair]   # verify (and heal) a run store
                                           # or exported CSV directory
+    python -m repro report --from-store DIR      # streaming report from
+                                          # a --slices run store
     python -m repro chaos --workdir DIR   # kill-resume-verify harness
     python -m repro fleet --workdir DIR --seeds 3 5 7   # sweep fleet
     python -m repro serve --checkpoint-dir DIR   # campaign query daemon
@@ -238,6 +240,13 @@ def build_parser() -> argparse.ArgumentParser:
              "every day)",
     )
     parser.add_argument(
+        "--slices", action="store_true",
+        help="with --checkpoint-dir: also record a per-day analysis "
+             "slice and an end-of-campaign rollup, enabling the "
+             "bounded-memory 'repro report --from-store' path (fresh "
+             "runs only; a resumed store keeps its slice setting)",
+    )
+    parser.add_argument(
         "--resume", action="store_true",
         help="resume the campaign checkpointed in --checkpoint-dir "
              "from its latest day (or --from-day)",
@@ -329,6 +338,17 @@ def validate_args(args: argparse.Namespace) -> None:
             raise ConfigError(
                 f"--checkpoint-every must be >= 1, got "
                 f"{args.checkpoint_every}"
+            )
+    if args.slices:
+        if not args.checkpoint_dir:
+            raise ConfigError(
+                "--slices only makes sense with --checkpoint-dir "
+                "(analysis slices live in the run store)"
+            )
+        if args.resume or args.fork_day is not None:
+            raise ConfigError(
+                "--slices applies to fresh runs only; a resumed or "
+                "forked campaign keeps its store's slice setting"
             )
     for name, value in (
         ("--fork-seed", args.fork_seed),
@@ -479,6 +499,106 @@ def fsck_main(argv) -> int:
             Path(args.json), json.dumps(payload, indent=2) + "\n"
         )
     return 0 if ok else 1
+
+
+def build_report_parser() -> argparse.ArgumentParser:
+    from repro.reporting import STREAMING_SECTIONS
+
+    parser = argparse.ArgumentParser(
+        prog="repro report",
+        description=(
+            "Render the campaign report from a slice-enabled run store "
+            "by streaming: the per-day analysis slices are folded in a "
+            "single O(day)-memory pass (seeded reservoirs bound every "
+            "distribution sample), never materialising the dataset. "
+            "Below the reservoir threshold every section is "
+            "byte-identical to the batch report of the same campaign."
+        ),
+    )
+    parser.add_argument(
+        "--from-store", metavar="DIR", required=True,
+        help="run store directory written with --slices",
+    )
+    parser.add_argument(
+        "--only", nargs="*", choices=sorted(STREAMING_SECTIONS),
+        default=None,
+        help="render only these sections",
+    )
+    parser.add_argument(
+        "--through-day", type=int, default=None, metavar="N",
+        help="fold only days 0..N (default: every checkpointed day; "
+             "joined-group sections need the full window's rollup)",
+    )
+    parser.add_argument(
+        "--reservoir-threshold", type=int, default=None, metavar="N",
+        help="per-distribution reservoir capacity (default: 4096; "
+             "results are exact, byte-identical to batch, while every "
+             "sample fits its reservoir)",
+    )
+    parser.add_argument(
+        "--epoch-days", type=int, default=None, metavar="N",
+        help="epoch length for the per-epoch rollup section "
+             "(default: 38, the paper's campaign window)",
+    )
+    parser.add_argument(
+        "--log-level", choices=LOG_LEVELS, default="info",
+        help="stderr log verbosity (default: info)",
+    )
+    return parser
+
+
+def report_main(argv) -> int:
+    """``repro report --from-store DIR``: streaming campaign report."""
+    args = build_report_parser().parse_args(argv)
+    configure_logging(args.log_level)
+    from repro.analysis.streaming import (
+        DEFAULT_EPOCH_DAYS,
+        RESERVOIR_THRESHOLD,
+        StreamingAnalyzer,
+    )
+    from repro.reporting import render_streaming_report
+
+    if args.reservoir_threshold is not None and args.reservoir_threshold < 1:
+        raise ConfigError(
+            f"--reservoir-threshold must be >= 1, got "
+            f"{args.reservoir_threshold}"
+        )
+    if args.epoch_days is not None and args.epoch_days < 1:
+        raise ConfigError(
+            f"--epoch-days must be >= 1, got {args.epoch_days}"
+        )
+    if args.through_day is not None and args.through_day < 0:
+        raise ConfigError(
+            f"--through-day must be >= 0, got {args.through_day}"
+        )
+    store = RunStore.open(args.from_store)
+    analyzer = StreamingAnalyzer.from_store(
+        store,
+        reservoir_threshold=(
+            args.reservoir_threshold
+            if args.reservoir_threshold is not None
+            else RESERVOIR_THRESHOLD
+        ),
+        epoch_days=(
+            args.epoch_days
+            if args.epoch_days is not None
+            else DEFAULT_EPOCH_DAYS
+        ),
+        through_day=args.through_day,
+    )
+    config = store.manifest.get("config", {})
+    scale = float(config.get("scale", 1.0))
+    # Match the batch CLI: with a run store in play the health section
+    # carries a store-integrity line (a read-only fsck of the store).
+    from repro.integrity import fsck_store
+
+    fsck_report = fsck_store(args.from_store)
+    print(
+        render_streaming_report(
+            analyzer, scale, only=args.only, fsck=fsck_report
+        )
+    )
+    return 0
 
 
 def build_chaos_parser() -> argparse.ArgumentParser:
@@ -937,6 +1057,13 @@ def build_serve_parser() -> argparse.ArgumentParser:
              "directly decodable by /v1/day)",
     )
     parser.add_argument(
+        "--slices", action="store_true",
+        help="record per-day analysis slices in the served store, "
+             "enabling /v1/report?source=streaming and 'repro report "
+             "--from-store' (fresh runs only; a resumed store keeps "
+             "its slice setting)",
+    )
+    parser.add_argument(
         "--no-linger", action="store_true",
         help="exit once the campaign completes instead of continuing "
              "to serve the finished store",
@@ -1010,6 +1137,11 @@ def serve_main(argv) -> int:
             "--scenario/--scenario-file apply to fresh runs only; a "
             "resumed store keeps the scenario it was checkpointed with"
         )
+    if args.resume and args.slices:
+        raise ConfigError(
+            "--slices applies to fresh runs only; a resumed store "
+            "keeps its slice setting"
+        )
     if args.resume:
         study = Study.resume(args.checkpoint_dir)
     else:
@@ -1033,6 +1165,7 @@ def serve_main(argv) -> int:
         serve_config,
         checkpoint_dir=args.checkpoint_dir,
         anchor_every=args.checkpoint_every,
+        slices=args.slices,
         run_kwargs={"workers": args.workers} if args.workers > 1 else None,
     )
     logger.info(
@@ -1176,6 +1309,8 @@ def main(argv=None) -> int:
         return scenarios_main(argv[1:])
     if argv and argv[0] == "fsck":
         return fsck_main(argv[1:])
+    if argv and argv[0] == "report":
+        return report_main(argv[1:])
     if argv and argv[0] == "chaos":
         return chaos_main(argv[1:])
     if argv and argv[0] == "fleet":
@@ -1208,6 +1343,7 @@ def main(argv=None) -> int:
     dataset = study.run(
         checkpoint_dir=None if checkpointing else args.checkpoint_dir,
         anchor_every=None if checkpointing else args.checkpoint_every,
+        slices=False if checkpointing else args.slices,
         workers=args.workers,
         worker_deadline=args.worker_deadline,
         worker_restarts=args.worker_restarts,

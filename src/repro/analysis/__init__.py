@@ -23,6 +23,8 @@ Module             Reproduces
 ``privacy``        Tables 4 & 5 (PII exposure)
 ``lda``            Latent Dirichlet Allocation (collapsed Gibbs)
 ``stats``          ECDFs, quantiles, concentration shares
+``streaming``      All of the above, folded from day slices in
+                   O(day) memory (long-horizon campaigns)
 =================  =====================================================
 """
 
@@ -38,6 +40,7 @@ from repro.analysis import (
     sharing,
     staleness,
     stats,
+    streaming,
     topics,
 )
 
@@ -53,5 +56,6 @@ __all__ = [
     "sharing",
     "staleness",
     "stats",
+    "streaming",
     "topics",
 ]

@@ -51,8 +51,15 @@ def _shares(source: str, tweets: Sequence[Tweet]) -> LanguageShares:
         raise ValueError(f"no tweets to analyse for source {source!r}")
     counts = Counter(tweet.lang for tweet in tweets)
     n = len(tweets)
+    # Canonical tie-break (count desc, then language code) so the
+    # ordering is a function of the counts alone — the streaming fold
+    # reconstructs it from JSON aggregates, where insertion order is
+    # not preserved.
     ordered = tuple(
-        (lang, count / n) for lang, count in counts.most_common()
+        (lang, count / n)
+        for lang, count in sorted(
+            counts.items(), key=lambda item: (-item[1], item[0])
+        )
     )
     return LanguageShares(source=source, n_tweets=n, shares=ordered)
 

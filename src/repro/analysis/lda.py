@@ -16,11 +16,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["LDAResult", "fit_lda"]
+__all__ = ["LDAResult", "fit_lda", "fit_lda_minibatch"]
 
 
 @dataclass
@@ -172,6 +172,148 @@ def fit_lda(
         vocab=vocab,
         topic_word=np.asarray(tw, dtype=np.int64),
         doc_topic=np.asarray(dt, dtype=np.int64),
+        alpha=alpha,
+        beta=beta,
+    )
+
+
+def fit_lda_minibatch(
+    docs: Iterable[Sequence[str]],
+    n_topics: int = 10,
+    n_iter: int = 50,
+    alpha: float = 0.1,
+    beta: float = 0.01,
+    seed: int = 0,
+    batch_docs: int = 4096,
+) -> LDAResult:
+    """Fit LDA in sequential document mini-batches.
+
+    Memory holds one batch of token assignments at a time instead of
+    the whole corpus: each batch is encoded, initialised, and Gibbs
+    sampled against the topic-word counts *carried over* from earlier
+    batches (a streaming variant of collapsed Gibbs), then its
+    per-token assignments are freed.  What persists is bounded by the
+    vocabulary and the document count — (k, V) topic-word counts and
+    (D, k) document-topic rows — not by the token count.
+
+    When every document fits in one batch the computation reduces to
+    :func:`fit_lda` exactly (same RNG call sequence), so results are
+    identical below the batch size; with several batches the fit is a
+    deterministic approximation in which earlier documents are not
+    resampled against later vocabulary.
+
+    Args:
+        docs: Tokenised documents; any iterable (may be a generator —
+            it is consumed once).
+        n_topics / n_iter / alpha / beta / seed: As :func:`fit_lda`;
+            ``n_iter`` sweeps run over each batch.
+        batch_docs: Documents per mini-batch.
+
+    Returns:
+        The fitted :class:`LDAResult` covering every document.
+    """
+    if n_topics < 1:
+        raise ValueError(f"n_topics must be >= 1, got {n_topics}")
+    if n_iter < 1:
+        raise ValueError(f"n_iter must be >= 1, got {n_iter}")
+    if batch_docs < 1:
+        raise ValueError(f"batch_docs must be >= 1, got {batch_docs}")
+
+    word_index: Dict[str, int] = {}
+    tw: List[List[int]] = [[] for _ in range(n_topics)]
+    tt = [0] * n_topics
+    doc_topic_rows: List[List[int]] = []
+    rng = random.Random(seed)
+
+    def run_batch(batch: List[Sequence[str]]) -> None:
+        corpus: List[List[int]] = []
+        for doc in batch:
+            encoded = []
+            for word in doc:
+                idx = word_index.get(word)
+                if idx is None:
+                    idx = len(word_index)
+                    word_index[word] = idx
+                encoded.append(idx)
+            corpus.append(encoded)
+
+        n_words = len(word_index)
+        for row in tw:
+            row.extend([0] * (n_words - len(row)))
+
+        batch_dt = [[0] * n_topics for _ in corpus]
+        assignments: List[List[int]] = []
+        for d, doc in enumerate(corpus):
+            doc_assign = []
+            for w in doc:
+                z = rng.randrange(n_topics)
+                doc_assign.append(z)
+                batch_dt[d][z] += 1
+                tw[z][w] += 1
+                tt[z] += 1
+            assignments.append(doc_assign)
+
+        if n_words:
+            v_beta = n_words * beta
+            rand = rng.random
+            for _ in range(n_iter):
+                for d, doc in enumerate(corpus):
+                    doc_counts = batch_dt[d]
+                    doc_assign = assignments[d]
+                    for i, w in enumerate(doc):
+                        z = doc_assign[i]
+                        doc_counts[z] -= 1
+                        tw[z][w] -= 1
+                        tt[z] -= 1
+
+                        total = 0.0
+                        weights = [0.0] * n_topics
+                        for k in range(n_topics):
+                            p = (
+                                (doc_counts[k] + alpha)
+                                * (tw[k][w] + beta)
+                                / (tt[k] + v_beta)
+                            )
+                            total += p
+                            weights[k] = total
+                        target = rand() * total
+                        z_new = 0
+                        while weights[z_new] < target:
+                            z_new += 1
+
+                        doc_assign[i] = z_new
+                        doc_counts[z_new] += 1
+                        tw[z_new][w] += 1
+                        tt[z_new] += 1
+
+        doc_topic_rows.extend(batch_dt)
+
+    buffer: List[Sequence[str]] = []
+    for doc in docs:
+        buffer.append(doc)
+        if len(buffer) >= batch_docs:
+            run_batch(buffer)
+            buffer = []
+    if buffer:
+        run_batch(buffer)
+
+    n_words = len(word_index)
+    vocab = [""] * n_words
+    for word, idx in word_index.items():
+        vocab[idx] = word
+    topic_word = np.zeros((n_topics, max(n_words, 1)), dtype=np.int64)
+    for k, row in enumerate(tw):
+        if row:
+            topic_word[k, : len(row)] = row
+    doc_topic = (
+        np.asarray(doc_topic_rows, dtype=np.int64)
+        if doc_topic_rows
+        else np.zeros((0, n_topics), dtype=np.int64)
+    )
+    return LDAResult(
+        vocab=vocab,
+        topic_word=topic_word,
+        doc_topic=doc_topic,
         alpha=alpha,
         beta=beta,
     )

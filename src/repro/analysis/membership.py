@@ -27,6 +27,7 @@ from repro.privacy.phone import country_of_dialing_code
 __all__ = [
     "MembershipResult",
     "CreatorStats",
+    "growth_stats",
     "membership",
     "creator_stats",
     "whatsapp_countries",
@@ -42,21 +43,26 @@ class MembershipResult:
         size_cdf: ECDF of member counts at first observation (Fig 7a).
         online_frac_cdf: ECDF of online/total at first observation
             (Fig 7b; None for WhatsApp which exposes no online counts).
-        growth_cdf: ECDF of (last - first) member counts (Fig 7c).
-        growing_frac / flat_frac / shrinking_frac: Trend shares.
+        growth_cdf: ECDF of (last - first) member counts (Fig 7c);
+            empty when no group was observed twice.
+        growing_frac / flat_frac / shrinking_frac: Trend shares over
+            the real growth observations, or None when there are none —
+            a campaign with no twice-observed group has no trend, not a
+            100% flat one.
         at_cap_frac: Groups at the platform's member limit.
-        max_growth: Largest observed member-count change.
+        max_growth: Largest observed member-count change (None when no
+            growth was observed).
     """
 
     platform: str
     size_cdf: ECDF
     online_frac_cdf: Optional[ECDF]
     growth_cdf: ECDF
-    growing_frac: float
-    flat_frac: float
-    shrinking_frac: float
+    growing_frac: Optional[float]
+    flat_frac: Optional[float]
+    shrinking_frac: Optional[float]
     at_cap_frac: float
-    max_growth: float
+    max_growth: Optional[float]
 
 
 @dataclass(frozen=True)
@@ -100,7 +106,6 @@ def membership(
             growths.append(float(last.size - first.size))
     if not sizes:
         raise ValueError(f"no alive snapshots for {platform}")
-    growth_arr = np.asarray(growths) if growths else np.zeros(1)
     size_arr = np.asarray(sizes)
     at_cap = (
         float(np.mean(size_arr >= member_cap)) if member_cap else 0.0
@@ -109,13 +114,36 @@ def membership(
         platform=platform,
         size_cdf=ecdf(size_arr),
         online_frac_cdf=ecdf(online_fracs) if online_fracs else None,
-        growth_cdf=ecdf(growth_arr),
-        growing_frac=float(np.mean(growth_arr > 0)),
-        flat_frac=float(np.mean(growth_arr == 0)),
-        shrinking_frac=float(np.mean(growth_arr < 0)),
+        **growth_stats(growths),
         at_cap_frac=at_cap,
-        max_growth=float(np.abs(growth_arr).max()),
     )
+
+
+def growth_stats(growths: List[float]) -> Dict[str, object]:
+    """Trend statistics over real growth observations only.
+
+    With no twice-observed group there is no trend signal: every
+    fraction is None and the growth CDF is empty, rather than the
+    single fabricated zero observation (spurious ``flat_frac == 1.0``)
+    this function's inline predecessor reported.  Shared by the batch
+    and streaming membership paths so both report identically.
+    """
+    if not growths:
+        return {
+            "growth_cdf": ecdf([]),
+            "growing_frac": None,
+            "flat_frac": None,
+            "shrinking_frac": None,
+            "max_growth": None,
+        }
+    growth_arr = np.asarray(growths)
+    return {
+        "growth_cdf": ecdf(growth_arr),
+        "growing_frac": float(np.mean(growth_arr > 0)),
+        "flat_frac": float(np.mean(growth_arr == 0)),
+        "shrinking_frac": float(np.mean(growth_arr < 0)),
+        "max_growth": float(np.abs(growth_arr).max()),
+    }
 
 
 def _creator_keys(dataset: StudyDataset, platform: str) -> List[str]:

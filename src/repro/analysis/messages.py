@@ -16,7 +16,7 @@ user, which preserves the concentration shares the paper reports).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -100,10 +100,14 @@ def message_types(dataset: StudyDataset, platform: str) -> MessageTypeMix:
     n = sum(totals.values())
     if n == 0:
         raise ValueError(f"no messages collected for {platform}")
+    # Canonical tie-break (count desc, then type value) so the ordering
+    # is a function of the counts alone — the streaming fold
+    # reconstructs it from JSON aggregates, where insertion order is
+    # not preserved.
     ordered = tuple(
         (mtype, count / n)
         for mtype, count in sorted(
-            totals.items(), key=lambda item: item[1], reverse=True
+            totals.items(), key=lambda item: (-item[1], item[0].value)
         )
     )
     return MessageTypeMix(platform=platform, n_messages=n, fractions=ordered)
@@ -132,19 +136,27 @@ def group_activity(dataset: StudyDataset, platform: str) -> GroupActivity:
 def user_activity(dataset: StudyDataset, platform: str) -> UserActivity:
     """Compute Fig 9b for one platform."""
     per_user: Dict[str, int] = {}
+    # poster_frac must compare like with like: only groups whose member
+    # count is known contribute to the denominator, so only *their*
+    # posters may count in the numerator — mixing in posters from
+    # hidden-member-list groups can push the fraction past 1.0.
+    known_posters: Set[str] = set()
     n_members = 0
     members_known = False
     for data in dataset.joined_for(platform):
         for sender, count in data.sender_counts.items():
             per_user[sender] = per_user.get(sender, 0) + count
         if data.size_at_join is not None:
+            known_posters.update(data.sender_counts)
             n_members += data.size_at_join
             members_known = True
     if not per_user:
         raise ValueError(f"no posting users observed for {platform}")
     counts = np.asarray(list(per_user.values()), dtype=float)
     poster_frac = (
-        len(per_user) / n_members if members_known and n_members > 0 else None
+        len(known_posters) / n_members
+        if members_known and n_members > 0
+        else None
     )
     return UserActivity(
         platform=platform,

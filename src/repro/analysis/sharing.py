@@ -145,7 +145,12 @@ _CATEGORY_KEYWORDS: Tuple[Tuple[str, FrozenSet[str]], ...] = (
 def _classify_record(dataset: StudyDataset, record) -> str:
     votes: Dict[str, int] = {}
     for tweet_id, _ in record.shares[:50]:
-        tokens = set(tokenize_for_lda(dataset.tweets[tweet_id].text))
+        # Partial/streamed datasets may not retain every shared tweet;
+        # classify from the tweets that are present.
+        tweet = dataset.tweets.get(tweet_id)
+        if tweet is None:
+            continue
+        tokens = set(tokenize_for_lda(tweet.text))
         for category, keywords in _CATEGORY_KEYWORDS:
             if tokens & keywords:
                 votes[category] = votes.get(category, 0) + 1

@@ -1,0 +1,782 @@
+"""Streaming (single-pass, bounded-memory) Section 4-6 analyses.
+
+The batch analyses consume a fully materialised
+:class:`~repro.core.dataset.StudyDataset` — every tweet, share and
+snapshot object of the campaign in memory at once, O(campaign).  This
+module computes the same results by *folding* the per-day analysis
+slices a slice-enabled run store records (see
+:mod:`repro.checkpoint.slices`), holding only:
+
+* per-URL scalars (share counts, first-seen time, first/last sizes,
+  last snapshot state) — one small tuple per URL, never the objects;
+* per-platform aggregate counters (entity/language/type counts);
+* per-platform author-id sets (the irreducible dedup state of the
+  paper's Table 2 total row);
+* a short sliding window of per-day distinct-URL sets (shares can
+  arrive up to the search lookback after their calendar day); and
+* seeded :class:`StreamingECDF` reservoirs bounding every
+  distribution sample.
+
+Equality contract with the batch path: below the reservoir threshold
+every ECDF keeps its full sample and every scalar statistic is an
+exact count ratio, so streaming results — and the reports rendered
+from them — are byte-identical to the batch analyses of the same
+campaign.  Above the threshold, scalar statistics (fractions, means,
+maxima, counts) remain exact and only the distribution quantiles
+degrade to reservoir estimates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.content import EntityPrevalence
+from repro.analysis.language import LanguageShares
+from repro.analysis.interplay import InterplayResult
+from repro.analysis.membership import MembershipResult, growth_stats
+from repro.analysis.messages import (
+    GroupActivity,
+    MessageTypeMix,
+    UserActivity,
+)
+from repro.analysis.revocation import RevocationResult
+from repro.analysis.sharing import DailyDiscovery, ShareDistribution
+from repro.analysis.staleness import StalenessResult
+from repro.analysis.stats import ECDF, ecdf, share_of_top_fraction
+from repro.errors import CheckpointError
+from repro.platforms.base import MessageType
+from repro.resilience.health import CollectionHealth
+
+__all__ = [
+    "DEFAULT_EPOCH_DAYS",
+    "RESERVOIR_THRESHOLD",
+    "StreamingAnalyzer",
+    "StreamingECDF",
+    "iter_day_slices",
+]
+
+PLATFORMS = ("whatsapp", "telegram", "discord")
+
+#: Default reservoir capacity.  Below it the sampler keeps the full
+#: sample (exact mode, byte-identical to batch); above it, Algorithm R
+#: caps the buffer and quantiles become estimates.
+RESERVOIR_THRESHOLD = 4096
+
+#: Default epoch length for the per-epoch rollup series: the paper's
+#: own campaign window (38 days).
+DEFAULT_EPOCH_DAYS = 38
+
+#: Sliding-window length (days) for per-day distinct-URL sets.  Search
+#: polls look back up to 7 days after an outage, so a calendar day can
+#: keep receiving shares for that long; 15 is a comfortable margin and
+#: bounds the live sets to O(day) regardless of campaign length.
+_UNIQUE_WINDOW_DAYS = 15
+
+
+def _label_seed(root_seed: int, label: str) -> int:
+    """A stable per-distribution reservoir seed (hash-salt free)."""
+    digest = hashlib.sha256(f"{root_seed}:{label}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class StreamingECDF:
+    """A seeded reservoir sampler feeding the :class:`ECDF` API.
+
+    Exact below ``threshold``: the full sample is kept and
+    :meth:`to_ecdf` goes through the same :func:`ecdf` numpy path as
+    the batch analyses, so results are byte-identical.  Above it, the
+    buffer is a uniform Algorithm-R reservoir — deterministic given
+    (seed, feed order) — and quantiles become estimates while
+    :attr:`n` keeps the true count.
+    """
+
+    def __init__(
+        self, seed: int = 0, threshold: int = RESERVOIR_THRESHOLD
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self._threshold = int(threshold)
+        self._rng = random.Random(seed)
+        self._values: List[float] = []
+        self._n = 0
+
+    @property
+    def n(self) -> int:
+        """True number of values observed (not the buffer length)."""
+        return self._n
+
+    @property
+    def exact(self) -> bool:
+        """Whether the buffer still holds the complete sample."""
+        return self._n <= self._threshold
+
+    def add(self, value: float) -> None:
+        """Feed one value."""
+        self._n += 1
+        if len(self._values) < self._threshold:
+            self._values.append(float(value))
+            return
+        j = self._rng.randrange(self._n)
+        if j < self._threshold:
+            self._values[j] = float(value)
+
+    def extend(self, values) -> None:
+        """Feed an iterable of values in order."""
+        for value in values:
+            self.add(value)
+
+    def to_ecdf(self) -> ECDF:
+        """The (exact or reservoir-estimated) empirical CDF."""
+        return ecdf(self._values)
+
+
+def iter_day_slices(store) -> Iterator[Tuple[int, Dict[str, Any]]]:
+    """Yield ``(day, slice)`` for every campaign day, in day order.
+
+    Requires a slice-enabled store with contiguous coverage from day 0
+    through its latest checkpointed day; a gap raises
+    :class:`CheckpointError` naming the first missing day (a store
+    forked mid-campaign has no slices for its inherited past and is
+    reported this way).
+    """
+    from repro.checkpoint import decode_day_slice
+
+    if not store.slices_enabled:
+        raise CheckpointError(
+            f"checkpoint store {store.directory} records no analysis "
+            "slices; run the campaign with slices enabled "
+            "(repro run --slices)"
+        )
+    latest = store.latest_day()
+    for day in range(latest + 1):
+        if not store.has_slice(day):
+            raise CheckpointError(
+                f"checkpoint store {store.directory} has no analysis "
+                f"slice for day {day}; streaming analysis needs "
+                "contiguous slices from day 0"
+            )
+        yield day, decode_day_slice(store.read_slice(day))
+
+
+class _PlatformFold:
+    """Per-platform residual state of the streaming fold."""
+
+    def __init__(self) -> None:
+        # Discovery / sharing (Fig 1, Fig 2).
+        self.all_counts: Dict[int, int] = {}
+        self.unique_frozen: Dict[int, int] = {}
+        self.unique_window: Dict[int, Set[str]] = {}
+        self.share_counts: Dict[str, int] = {}
+        self.first_seen: Dict[str, float] = {}
+        # Tweets (Fig 3, Fig 4, Table 2).
+        self.n_tweets = 0
+        self.entity = {
+            "hashtag1": 0,
+            "hashtag2": 0,
+            "mention1": 0,
+            "mention2": 0,
+            "retweets": 0,
+        }
+        self.langs: Dict[str, int] = {}
+        self.authors: Set[int] = set()
+        # Monitor snapshots (Fig 5, Fig 6, Fig 7): one scalar tuple
+        # per URL — [first_size, first_online, last_size, n_alive,
+        # last_alive, last_state, last_day].
+        self.snap_state: Dict[str, List[Any]] = {}
+        self.created: Dict[str, float] = {}
+
+    def freeze_unique_through(self, day: int) -> None:
+        for tday in [d for d in self.unique_window if d <= day]:
+            self.unique_frozen[tday] = len(self.unique_window.pop(tday))
+
+
+class StreamingAnalyzer:
+    """Single-pass fold of day slices into the batch result types.
+
+    Feed slices through :meth:`fold` in day order (or use
+    :meth:`from_store`), optionally :meth:`fold_rollup`, then call the
+    result accessors — each mirrors its batch counterpart's semantics
+    (including the ``ValueError`` raised for a platform with no data).
+    """
+
+    def __init__(
+        self,
+        n_days: int,
+        seed: int = 0,
+        reservoir_threshold: int = RESERVOIR_THRESHOLD,
+        epoch_days: int = DEFAULT_EPOCH_DAYS,
+    ) -> None:
+        if n_days < 1:
+            raise ValueError(f"n_days must be >= 1, got {n_days}")
+        if epoch_days < 1:
+            raise ValueError(f"epoch_days must be >= 1, got {epoch_days}")
+        self.n_days = int(n_days)
+        self.seed = int(seed)
+        self.reservoir_threshold = int(reservoir_threshold)
+        self.epoch_days = int(epoch_days)
+        self._platforms: Dict[str, _PlatformFold] = {}
+        self._control = {
+            "n": 0,
+            "hashtag1": 0,
+            "hashtag2": 0,
+            "mention1": 0,
+            "mention2": 0,
+            "retweets": 0,
+        }
+        self._control_langs: Dict[str, int] = {}
+        self._interplay_multi = 0
+        self._interplay_pairs: Dict[Tuple[str, str], int] = {}
+        self._n_tweets_total = 0
+        self._n_snapshots = 0
+        self._n_missed = 0
+        self._health: Dict[str, Any] = {}
+        self._epochs: Dict[int, Dict[str, Any]] = {}
+        self._rollup: Optional[Dict[str, Any]] = None
+        self._days_folded = 0
+        self._last_day: Optional[int] = None
+
+    # -- folding -----------------------------------------------------------
+
+    @classmethod
+    def from_store(
+        cls,
+        store,
+        reservoir_threshold: int = RESERVOIR_THRESHOLD,
+        epoch_days: int = DEFAULT_EPOCH_DAYS,
+        through_day: Optional[int] = None,
+    ) -> "StreamingAnalyzer":
+        """Fold every slice (and the rollup, if present) of a store.
+
+        ``through_day`` bounds the fold to slices for days ``0`` to
+        ``through_day`` inclusive — the serve daemon uses it to fold
+        exactly the published prefix of a live store.  The rollup is
+        folded only when the bound covers the full campaign window.
+        """
+        config = store.manifest.get("config")
+        if not isinstance(config, dict) or "n_days" not in config:
+            raise CheckpointError(
+                f"checkpoint store {store.directory} has no config "
+                "summary in its manifest"
+            )
+        analyzer = cls(
+            n_days=int(config["n_days"]),
+            seed=int(config.get("seed", 0)),
+            reservoir_threshold=reservoir_threshold,
+            epoch_days=epoch_days,
+        )
+        for day, body in iter_day_slices(store):
+            if through_day is not None and day > through_day:
+                break
+            analyzer.fold(body)
+        complete = through_day is None or through_day >= analyzer.n_days - 1
+        if complete and store.has_rollup:
+            from repro.checkpoint import decode_rollup
+
+            analyzer.fold_rollup(decode_rollup(store.read_rollup()))
+        return analyzer
+
+    def _platform(self, platform: str) -> _PlatformFold:
+        fold = self._platforms.get(platform)
+        if fold is None:
+            fold = self._platforms[platform] = _PlatformFold()
+        return fold
+
+    def fold(self, body: Dict[str, Any]) -> None:
+        """Fold one day slice (must arrive in day order)."""
+        day = int(body["day"])
+        if self._last_day is not None and day <= self._last_day:
+            raise CheckpointError(
+                f"slice for day {day} folded after day {self._last_day}; "
+                "slices must be folded in ascending day order"
+            )
+        self._last_day = day
+        self._days_folded += 1
+        epoch = self._epoch(day)
+
+        for platform, block in body.get("discovery", {}).items():
+            fold = self._platform(platform)
+            for tday_str, count in block.get("per_day", {}).items():
+                tday = int(tday_str)
+                fold.all_counts[tday] = fold.all_counts.get(tday, 0) + count
+                epoch["shares"] += count
+            for canonical, tday in block.get("pairs", []):
+                fold.unique_window.setdefault(int(tday), set()).add(canonical)
+            for canonical, (count, min_t) in block.get(
+                "per_url", {}
+            ).items():
+                if canonical not in fold.share_counts:
+                    epoch["new_urls"] += 1
+                fold.share_counts[canonical] = (
+                    fold.share_counts.get(canonical, 0) + count
+                )
+                seen = fold.first_seen.get(canonical)
+                if seen is None or min_t < seen:
+                    fold.first_seen[canonical] = min_t
+            # Late shares reach back at most the search lookback;
+            # older per-day sets are frozen to bare counts.
+            fold.freeze_unique_through(day - _UNIQUE_WINDOW_DAYS)
+
+        tweets = body.get("tweets", {})
+        self._n_tweets_total += tweets.get("n_new", 0)
+        epoch["tweets"] += tweets.get("n_new", 0)
+        self._interplay_multi += tweets.get("multi_platform", 0)
+        for key, count in tweets.get("pairs", {}).items():
+            a, _, b = key.partition("|")
+            pair = (a, b)
+            self._interplay_pairs[pair] = (
+                self._interplay_pairs.get(pair, 0) + count
+            )
+        for platform, block in tweets.get("per_platform", {}).items():
+            fold = self._platform(platform)
+            fold.n_tweets += block.get("n", 0)
+            for field in fold.entity:
+                fold.entity[field] += block.get(field, 0)
+            for lang, count in block.get("langs", {}).items():
+                fold.langs[lang] = fold.langs.get(lang, 0) + count
+            fold.authors.update(block.get("authors", ()))
+
+        for platform, rows in body.get("snapshots", {}).items():
+            fold = self._platform(platform)
+            for canonical, alive, state, size, online, created_t in rows:
+                self._n_snapshots += 1
+                epoch["snapshots"] += 1
+                missed = state == "missed"
+                if missed:
+                    self._n_missed += 1
+                    epoch["missed"] += 1
+                state_row = fold.snap_state.get(canonical)
+                if state_row is None:
+                    state_row = fold.snap_state[canonical] = [
+                        None, None, None, 0, alive, state, day,
+                    ]
+                else:
+                    state_row[4] = alive
+                    state_row[5] = state
+                    state_row[6] = day
+                if alive and not missed:
+                    state_row[3] += 1
+                    if state_row[0] is None and state_row[3] == 1:
+                        state_row[0] = size
+                        state_row[1] = online
+                    state_row[2] = size
+                if (
+                    alive
+                    and created_t is not None
+                    and canonical not in fold.created
+                ):
+                    fold.created[canonical] = created_t
+
+        control = body.get("control", {})
+        self._control["n"] += control.get("n", 0)
+        for field in ("hashtag1", "hashtag2", "mention1", "mention2",
+                      "retweets"):
+            self._control[field] += control.get(field, 0)
+        for lang, count in control.get("langs", {}).items():
+            self._control_langs[lang] = (
+                self._control_langs.get(lang, 0) + count
+            )
+
+        health = body.get("health")
+        if isinstance(health, dict):
+            # Cumulative snapshot: the latest slice wins.
+            self._health = health
+
+    def fold_rollup(self, body: Dict[str, Any]) -> None:
+        """Attach the end-of-campaign rollup (joined-group results)."""
+        self._rollup = body
+        health = body.get("health")
+        if isinstance(health, dict) and health:
+            self._health = health
+
+    def _epoch(self, day: int) -> Dict[str, Any]:
+        index = day // self.epoch_days
+        epoch = self._epochs.get(index)
+        if epoch is None:
+            epoch = self._epochs[index] = {
+                "epoch": index,
+                "day_lo": index * self.epoch_days,
+                "day_hi": min(
+                    (index + 1) * self.epoch_days, self.n_days
+                ) - 1,
+                "shares": 0,
+                "tweets": 0,
+                "new_urls": 0,
+                "snapshots": 0,
+                "missed": 0,
+            }
+        return epoch
+
+    # -- reservoir plumbing ------------------------------------------------
+
+    def _reservoir(self, label: str) -> StreamingECDF:
+        return StreamingECDF(
+            seed=_label_seed(self.seed, label),
+            threshold=self.reservoir_threshold,
+        )
+
+    def _require_rollup(self) -> Dict[str, Any]:
+        if self._rollup is None:
+            raise CheckpointError(
+                "no campaign rollup folded: joined-group analyses need "
+                "the end-of-campaign rollup record (the campaign has "
+                "not finished, or the store predates slices)"
+            )
+        return self._rollup
+
+    def _joined_block(self, platform: str) -> Dict[str, Any]:
+        return self._require_rollup().get("joined", {}).get(platform, {})
+
+    # -- Section 4: sharing dynamics ---------------------------------------
+
+    def daily_discovery(self, platform: str) -> DailyDiscovery:
+        """Fig 1 series for one platform (exact)."""
+        fold = self._platform(platform)
+        fold.freeze_unique_through(self.n_days + 1)
+        all_counts = [0] * self.n_days
+        unique_counts = [0] * self.n_days
+        new_counts = [0] * self.n_days
+        for tday, count in fold.all_counts.items():
+            if 0 <= tday < self.n_days:
+                all_counts[tday] = count
+        for tday, count in fold.unique_frozen.items():
+            if 0 <= tday < self.n_days:
+                unique_counts[tday] = count
+        for min_t in fold.first_seen.values():
+            first_day = int(min_t)
+            if 0 <= first_day < self.n_days:
+                new_counts[first_day] += 1
+        return DailyDiscovery(
+            platform=platform,
+            days=list(range(self.n_days)),
+            all_counts=all_counts,
+            unique_counts=unique_counts,
+            new_counts=new_counts,
+        )
+
+    def tweets_per_url(self, platform: str) -> ShareDistribution:
+        """Fig 2 distribution for one platform."""
+        fold = self._platform(platform)
+        if not fold.share_counts:
+            raise ValueError(f"no URLs discovered for {platform}")
+        sampler = self._reservoir(f"tweets_per_url:{platform}")
+        n_single = 0
+        total = 0
+        max_shares = 0
+        for count in fold.share_counts.values():
+            sampler.add(count)
+            if count == 1:
+                n_single += 1
+            total += count
+            if count > max_shares:
+                max_shares = count
+        n = len(fold.share_counts)
+        return ShareDistribution(
+            platform=platform,
+            cdf=sampler.to_ecdf(),
+            single_share_frac=n_single / n,
+            mean_shares=total / n,
+            max_shares=max_shares,
+        )
+
+    # -- Fig 3 / Fig 4: tweet mechanisms and languages ---------------------
+
+    def entity_prevalence(self, platform: str) -> EntityPrevalence:
+        """Fig 3 statistics for one platform's tweets (exact)."""
+        fold = self._platform(platform)
+        return self._prevalence(platform, fold.n_tweets, fold.entity)
+
+    def control_prevalence(self) -> EntityPrevalence:
+        """Fig 3 statistics for the control dataset (exact)."""
+        return self._prevalence("control", self._control["n"], self._control)
+
+    @staticmethod
+    def _prevalence(
+        source: str, n: int, counts: Dict[str, int]
+    ) -> EntityPrevalence:
+        if n == 0:
+            raise ValueError(f"no tweets to analyse for source {source!r}")
+        return EntityPrevalence(
+            source=source,
+            n_tweets=n,
+            hashtag_frac=counts["hashtag1"] / n,
+            multi_hashtag_frac=counts["hashtag2"] / n,
+            mention_frac=counts["mention1"] / n,
+            multi_mention_frac=counts["mention2"] / n,
+            retweet_frac=counts["retweets"] / n,
+        )
+
+    def language_shares(self, platform: str) -> LanguageShares:
+        """Fig 4 language mix for one platform (exact)."""
+        fold = self._platform(platform)
+        return self._lang_shares(platform, fold.langs, fold.n_tweets)
+
+    def control_language_shares(self) -> LanguageShares:
+        """Language mix of the control dataset (exact)."""
+        return self._lang_shares(
+            "control", self._control_langs, self._control["n"]
+        )
+
+    @staticmethod
+    def _lang_shares(
+        source: str, langs: Dict[str, int], n: int
+    ) -> LanguageShares:
+        if n == 0:
+            raise ValueError(f"no tweets to analyse for source {source!r}")
+        ordered = tuple(
+            (lang, count / n)
+            for lang, count in sorted(
+                langs.items(), key=lambda item: (-item[1], item[0])
+            )
+        )
+        return LanguageShares(source=source, n_tweets=n, shares=ordered)
+
+    # -- Section 5: monitor-derived analyses -------------------------------
+
+    def staleness(self, platform: str) -> StalenessResult:
+        """Fig 5 statistics for one platform.
+
+        Discord creation dates come from the folded snapshots;
+        WhatsApp/Telegram ones only exist post-join and ride in the
+        rollup.
+        """
+        if platform == "discord":
+            fold = self._platform(platform)
+            values = [
+                max(fold.first_seen.get(canonical, created) - created, 0.0)
+                for canonical, created in fold.created.items()
+            ]
+        else:
+            values = list(self._joined_block(platform).get("staleness", ()))
+        if not values:
+            raise ValueError(f"no creation dates known for {platform}")
+        sampler = self._reservoir(f"staleness:{platform}")
+        n_same_day = 0
+        n_over_year = 0
+        max_value = values[0]
+        for value in values:
+            sampler.add(value)
+            if value < 1.0:
+                n_same_day += 1
+            if value > 365.0:
+                n_over_year += 1
+            if value > max_value:
+                max_value = value
+        n = len(values)
+        return StalenessResult(
+            platform=platform,
+            n_groups=n,
+            cdf=sampler.to_ecdf(),
+            same_day_frac=n_same_day / n,
+            over_year_frac=n_over_year / n,
+            max_staleness_days=float(max_value),
+        )
+
+    def revocation(self, platform: str) -> RevocationResult:
+        """Fig 6 statistics for one platform."""
+        fold = self._platform(platform)
+        if not fold.snap_state:
+            raise ValueError(f"no monitored URLs for {platform}")
+        sampler = self._reservoir(f"lifetimes:{platform}")
+        revoked_per_day: Dict[int, int] = {}
+        n_urls = 0
+        n_revoked = 0
+        n_before_first = 0
+        n_unknown = 0
+        n_lifetimes = 0
+        for state_row in fold.snap_state.values():
+            _f, _o, _l, n_alive, last_alive, last_state, last_day = state_row
+            n_urls += 1
+            if last_alive:
+                continue
+            if last_state == "unknown":
+                n_unknown += 1
+                continue
+            n_revoked += 1
+            revoked_per_day[last_day] = revoked_per_day.get(last_day, 0) + 1
+            if n_alive == 0:
+                n_before_first += 1
+            sampler.add(float(n_alive))
+            n_lifetimes += 1
+        return RevocationResult(
+            platform=platform,
+            n_urls=n_urls,
+            revoked_frac=n_revoked / n_urls,
+            before_first_obs_frac=n_before_first / n_urls,
+            lifetime_cdf=sampler.to_ecdf() if n_lifetimes else ecdf([]),
+            revoked_per_day=revoked_per_day,
+            n_unknown=n_unknown,
+        )
+
+    def membership(
+        self, platform: str, member_cap: Optional[int] = None
+    ) -> MembershipResult:
+        """Fig 7 statistics for one platform."""
+        fold = self._platform(platform)
+        sizes = self._reservoir(f"sizes:{platform}")
+        online = self._reservoir(f"online:{platform}")
+        growths: List[float] = []
+        n_sizes = 0
+        n_at_cap = 0
+        for state_row in fold.snap_state.values():
+            first_size, first_online, last_size, n_alive = state_row[:4]
+            if n_alive == 0 or first_size is None:
+                continue
+            n_sizes += 1
+            sizes.add(float(first_size))
+            if member_cap and first_size >= member_cap:
+                n_at_cap += 1
+            if first_online is not None and first_size > 0:
+                online.add(first_online / first_size)
+            if n_alive >= 2 and last_size is not None:
+                growths.append(float(last_size - first_size))
+        if n_sizes == 0:
+            raise ValueError(f"no alive snapshots for {platform}")
+        return MembershipResult(
+            platform=platform,
+            size_cdf=sizes.to_ecdf(),
+            online_frac_cdf=online.to_ecdf() if online.n else None,
+            **growth_stats(growths),
+            at_cap_frac=(n_at_cap / n_sizes if member_cap else 0.0),
+        )
+
+    # -- Section 5/6: joined-group analyses (rollup-backed) ----------------
+
+    def message_types(self, platform: str) -> MessageTypeMix:
+        """Fig 8 message-type mix for one platform (exact)."""
+        totals = self._joined_block(platform).get("type_counts", {})
+        n = sum(totals.values())
+        if n == 0:
+            raise ValueError(f"no messages collected for {platform}")
+        ordered = tuple(
+            (MessageType(key), count / n)
+            for key, count in sorted(
+                totals.items(), key=lambda item: (-item[1], item[0])
+            )
+        )
+        return MessageTypeMix(
+            platform=platform, n_messages=n, fractions=ordered
+        )
+
+    def group_activity(self, platform: str) -> GroupActivity:
+        """Fig 9a per-group message rates for one platform."""
+        rates = list(self._joined_block(platform).get("rates", ()))
+        if not rates:
+            raise ValueError(f"no joined groups for {platform}")
+        sampler = self._reservoir(f"group_rates:{platform}")
+        n_over = 0
+        max_rate = rates[0]
+        for rate in rates:
+            sampler.add(rate)
+            if rate > 10.0:
+                n_over += 1
+            if rate > max_rate:
+                max_rate = rate
+        return GroupActivity(
+            platform=platform,
+            rate_cdf=sampler.to_ecdf(),
+            over_10_frac=n_over / len(rates),
+            max_rate=float(max_rate),
+        )
+
+    def user_activity(self, platform: str) -> UserActivity:
+        """Fig 9b per-user message counts for one platform."""
+        block = self._joined_block(platform)
+        counts = list(block.get("user_counts", ()))
+        if not counts:
+            raise ValueError(f"no posting users observed for {platform}")
+        sampler = self._reservoir(f"user_counts:{platform}")
+        n_le_10 = 0
+        for count in counts:
+            sampler.add(count)
+            if count <= 10:
+                n_le_10 += 1
+        n_members = block.get("n_members")
+        poster_frac = (
+            block.get("n_known_posters", 0) / n_members
+            if n_members is not None and n_members > 0
+            else None
+        )
+        return UserActivity(
+            platform=platform,
+            count_cdf=sampler.to_ecdf(),
+            n_posters=block.get("n_posters", len(counts)),
+            n_members_observed=n_members,
+            poster_frac=poster_frac,
+            top1pct_share=share_of_top_fraction(counts, 0.01),
+            le_10_frac=n_le_10 / len(counts),
+        )
+
+    # -- cross-platform and campaign-level views ---------------------------
+
+    def interplay(self) -> InterplayResult:
+        """The cross-platform interplay statistics (exact)."""
+        all_authors: Set[int] = set()
+        author_platform_count: Dict[int, int] = {}
+        n_tweets_sum = 0
+        n_authors_sum = 0
+        for platform in PLATFORMS:
+            fold = self._platforms.get(platform)
+            if fold is None:
+                continue
+            n_tweets_sum += fold.n_tweets
+            n_authors_sum += len(fold.authors)
+            all_authors |= fold.authors
+            for author in fold.authors:
+                author_platform_count[author] = (
+                    author_platform_count.get(author, 0) + 1
+                )
+        cross_authors = sum(
+            1 for count in author_platform_count.values() if count >= 2
+        )
+        return InterplayResult(
+            n_tweets_total=self._n_tweets_total,
+            n_tweets_sum=n_tweets_sum,
+            multi_platform_tweets=self._interplay_multi,
+            n_authors_total=len(all_authors),
+            n_authors_sum=n_authors_sum,
+            cross_platform_authors=cross_authors,
+            platform_pair_tweets=dict(self._interplay_pairs),
+        )
+
+    def health(self) -> CollectionHealth:
+        """The campaign's health ledger as of the last folded slice."""
+        return CollectionHealth.from_dict(self._health)
+
+    @property
+    def n_snapshots(self) -> int:
+        """Total monitor snapshots folded (incl. missed)."""
+        return self._n_snapshots
+
+    @property
+    def n_missed(self) -> int:
+        """Missed (transiently failed) snapshots folded."""
+        return self._n_missed
+
+    @property
+    def has_rollup(self) -> bool:
+        """Whether the end-of-campaign rollup has been folded."""
+        return self._rollup is not None
+
+    @property
+    def days_folded(self) -> int:
+        """Number of day slices folded so far."""
+        return self._days_folded
+
+    def rollup(self) -> Dict[str, Any]:
+        """The raw end-of-campaign rollup record."""
+        return self._require_rollup()
+
+    def table2_counts(self, platform: str) -> Dict[str, int]:
+        """Table 2 per-platform counting inputs (exact)."""
+        fold = self._platform(platform)
+        return {
+            "n_tweets": fold.n_tweets,
+            "n_authors": len(fold.authors),
+            "n_records": len(fold.share_counts),
+        }
+
+    def epoch_rollups(self) -> List[Dict[str, Any]]:
+        """Per-epoch activity rollups, ascending by epoch index."""
+        return [self._epochs[index] for index in sorted(self._epochs)]

@@ -12,11 +12,11 @@ is labelled ``"(unmatched)"``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.analysis.lda import LDAResult, fit_lda
+from repro.analysis.lda import LDAResult, fit_lda, fit_lda_minibatch
 from repro.core.dataset import StudyDataset
 from repro.text.tokenize import tokenize_for_lda
 from repro.text.topicbank import PLATFORM_TOPICS, language_bank
@@ -97,12 +97,18 @@ def extract_topics(
     seed: int = 0,
     n_terms: int = 10,
     lang: str = "en",
+    batch_docs: Optional[int] = None,
 ) -> TopicModelResult:
     """Fit LDA on a platform's tweets in ``lang`` and summarise.
 
     ``lang="en"`` reproduces Table 3; the paper repeated the analysis
     for Spanish and Portuguese (results described in prose), which this
     function reproduces with ``lang="es"`` / ``lang="pt"``.
+
+    ``batch_docs`` switches to the mini-batch Gibbs sampler
+    (:func:`~repro.analysis.lda.fit_lda_minibatch`), bounding the
+    resident token assignments to one batch — identical results
+    whenever the corpus fits in a single batch.
     """
     docs: List[List[str]] = []
     for tweet in dataset.tweets_for(platform):
@@ -114,7 +120,16 @@ def extract_topics(
     if not docs:
         raise ValueError(f"no {lang} tweets for {platform}")
 
-    model = fit_lda(docs, n_topics=n_topics, n_iter=n_iter, seed=seed)
+    if batch_docs is not None:
+        model = fit_lda_minibatch(
+            docs,
+            n_topics=n_topics,
+            n_iter=n_iter,
+            seed=seed,
+            batch_docs=batch_docs,
+        )
+    else:
+        model = fit_lda(docs, n_topics=n_topics, n_iter=n_iter, seed=seed)
     shares = model.topic_doc_shares()
     labels = label_topics(model, platform, lang)
     topics = tuple(

@@ -32,9 +32,14 @@ entry points live on :class:`~repro.core.study.Study`:
 """
 
 from repro.checkpoint.state import (
+    SLICE_VERSION,
     STATE_VERSION,
     capture_campaign,
     decode_day_record,
+    decode_day_slice,
+    decode_rollup,
+    encode_day_slice,
+    encode_rollup,
     replay_marker,
     restore_campaign,
 )
@@ -60,11 +65,16 @@ __all__ = [
     "MANIFEST_NAME",
     "OBJECTS_DIR",
     "RunStore",
+    "SLICE_VERSION",
     "STATE_VERSION",
     "capture_campaign",
     "config_digest",
     "config_summary",
     "decode_day_record",
+    "decode_day_slice",
+    "decode_rollup",
+    "encode_day_slice",
+    "encode_rollup",
     "replay_marker",
     "restore_campaign",
 ]

@@ -1,0 +1,279 @@
+"""Per-day analysis-slice capture (the producer side of streaming).
+
+A *slice* is the analysis-relevant delta of one campaign day, emitted
+by the study right before the day's checkpoint record: the new shares
+per URL, aggregate counts over the day's newly collected tweets, the
+day's monitor snapshots, the control-tweet delta, and the cumulative
+health ledger.  Slices are tiny (aggregates and per-URL scalars, never
+tweet or snapshot objects) and JSON-encoded with a canonical byte
+encoding, so the deterministic re-emission after a kill-and-resume
+rewrites the identical content-addressed object.
+
+The *rollup* is the end-of-campaign companion record: joined-group and
+user aggregates only materialise when the joiner collects at campaign
+close, and their volume is bounded by the join targets — not the
+campaign length — so they ride in one final record instead of per-day
+slices.
+
+The fold side — turning a store's slices back into the Section 4-6
+analysis results — lives in :mod:`repro.analysis.streaming`; this
+module deliberately imports nothing from the analysis layer so the
+core study can capture slices without a layering cycle.
+
+Emission bookkeeping lives in :class:`SliceCursor`, which pickles
+inside every anchor: a resumed campaign replays the marker gap,
+re-emits the gap days' slices (idempotent rewrites), and continues
+with exactly the delta a never-killed campaign would have emitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import islice
+from typing import Any, Dict, List, Set
+
+from repro.core.patterns import extract_group_urls
+
+__all__ = ["SliceCursor", "capture_day_slice", "build_rollup"]
+
+_PLATFORMS = ("whatsapp", "telegram", "discord")
+
+
+@dataclass
+class SliceCursor:
+    """How much of the campaign's state has been emitted into slices.
+
+    Plain counters only, so the cursor pickles inside anchors and a
+    resume continues the emission exactly where the anchor left it.
+
+    Attributes:
+        share_counts: canonical -> number of that record's shares
+            already emitted (share lists are append-only).
+        n_tweets: Tweets already emitted, as a prefix length of the
+            discovery engine's insertion-ordered tweet dict.
+        n_control: Control tweets already emitted (append-only list).
+    """
+
+    share_counts: Dict[str, int] = field(default_factory=dict)
+    n_tweets: int = 0
+    n_control: int = 0
+
+
+def _tweet_entity_counts(tweets) -> Dict[str, Any]:
+    """Fig 3/4 aggregate counters over one batch of tweets."""
+    langs: Dict[str, int] = {}
+    counts = {
+        "n": 0,
+        "hashtag1": 0,
+        "hashtag2": 0,
+        "mention1": 0,
+        "mention2": 0,
+        "retweets": 0,
+    }
+    for tweet in tweets:
+        counts["n"] += 1
+        if len(tweet.hashtags) >= 1:
+            counts["hashtag1"] += 1
+        if len(tweet.hashtags) >= 2:
+            counts["hashtag2"] += 1
+        if len(tweet.mentions) >= 1:
+            counts["mention1"] += 1
+        if len(tweet.mentions) >= 2:
+            counts["mention2"] += 1
+        if tweet.is_retweet:
+            counts["retweets"] += 1
+        langs[tweet.lang] = langs.get(tweet.lang, 0) + 1
+    counts["langs"] = langs
+    return counts
+
+
+def capture_day_slice(study: Any, day: int) -> Dict[str, Any]:
+    """Build day ``day``'s analysis slice and advance the cursor.
+
+    Must be called exactly once per completed day, in day order — the
+    cursor advances as a side effect.  The discovery engine appends a
+    tweet's shares to every matching record at the single moment the
+    tweet is first collected, so the per-day deltas partition the
+    campaign's shares exactly (no share is emitted twice, none is
+    missed by late ``first_seen_t`` adjustments — those only *lower*
+    an already-emitted record's first-seen time, which the fold tracks
+    via per-slice share timestamps).
+    """
+    cursor = getattr(study, "_slice_cursor", None)
+    if cursor is None:
+        cursor = SliceCursor()
+        study._slice_cursor = cursor
+
+    # -- discovery deltas: new shares per record ---------------------------
+    discovery: Dict[str, Dict[str, Any]] = {}
+    for record in study.engine.records.values():
+        emitted = cursor.share_counts.get(record.canonical, 0)
+        fresh = record.shares[emitted:]
+        if not fresh:
+            continue
+        cursor.share_counts[record.canonical] = len(record.shares)
+        block = discovery.setdefault(
+            record.platform,
+            {"per_day": {}, "pairs": [], "per_url": {}},
+        )
+        per_day = block["per_day"]
+        days_seen: Set[int] = set()
+        min_t = None
+        for _tweet_id, t in fresh:
+            tday = int(t)
+            per_day[str(tday)] = per_day.get(str(tday), 0) + 1
+            days_seen.add(tday)
+            if min_t is None or t < min_t:
+                min_t = t
+        block["pairs"].extend(
+            [record.canonical, tday] for tday in sorted(days_seen)
+        )
+        block["per_url"][record.canonical] = [len(fresh), min_t]
+
+    # -- tweet deltas: aggregate counters, never tweet objects -------------
+    all_tweets = study.engine.tweets
+    fresh_tweets = list(
+        islice(all_tweets.values(), cursor.n_tweets, None)
+    )
+    cursor.n_tweets = len(all_tweets)
+    per_platform_tweets: Dict[str, List[Any]] = {}
+    per_platform_authors: Dict[str, Set[int]] = {}
+    multi_platform = 0
+    pair_counts: Dict[str, int] = {}
+    for tweet in fresh_tweets:
+        platforms = sorted(
+            {g.platform for g in extract_group_urls(tweet.urls)}
+        )
+        for platform in platforms:
+            per_platform_tweets.setdefault(platform, []).append(tweet)
+            per_platform_authors.setdefault(platform, set()).add(
+                tweet.author_id
+            )
+        if len(platforms) >= 2:
+            multi_platform += 1
+            for i, a in enumerate(platforms):
+                for b in platforms[i + 1:]:
+                    key = f"{a}|{b}"
+                    pair_counts[key] = pair_counts.get(key, 0) + 1
+    tweet_block: Dict[str, Any] = {
+        "n_new": len(fresh_tweets),
+        "multi_platform": multi_platform,
+        "pairs": pair_counts,
+        "per_platform": {},
+    }
+    for platform, tweets in per_platform_tweets.items():
+        counts = _tweet_entity_counts(tweets)
+        counts["authors"] = sorted(per_platform_authors[platform])
+        tweet_block["per_platform"][platform] = counts
+
+    # -- the day's monitor snapshots ---------------------------------------
+    snapshots: Dict[str, List[List[Any]]] = {}
+    for canonical, snaps in study.monitor.snapshots.items():
+        todays = []
+        for snap in reversed(snaps):
+            if snap.day != day:
+                break
+            todays.append(snap)
+        if not todays:
+            continue
+        record = study.engine.records.get(canonical)
+        platform = record.platform if record is not None else "unknown"
+        rows = snapshots.setdefault(platform, [])
+        rows.extend(
+            [
+                snap.canonical,
+                bool(snap.alive),
+                snap.state,
+                snap.size,
+                snap.online,
+                snap.created_t,
+            ]
+            for snap in reversed(todays)
+        )
+
+    # -- control-tweet delta ----------------------------------------------
+    control_tweets = study._dataset.control_tweets if study._dataset else []
+    fresh_control = control_tweets[cursor.n_control:]
+    cursor.n_control = len(control_tweets)
+
+    return {
+        "day": day,
+        "discovery": discovery,
+        "tweets": tweet_block,
+        "snapshots": snapshots,
+        "control": _tweet_entity_counts(fresh_control),
+        # Cumulative, not a delta: the ledger is already day-sparse and
+        # a mid-campaign fold needs the as-of-day view directly.
+        "health": study.health.to_dict(),
+    }
+
+
+def build_rollup(dataset: Any, config: Any) -> Dict[str, Any]:
+    """Build the end-of-campaign rollup from the finalised dataset.
+
+    Everything here is bounded by the join targets and the platform
+    count, independent of campaign length: per-joined-group scalars,
+    merged per-user message counts, user totals, the final health
+    ledger, and the staleness values that need joined-group creation
+    dates.
+    """
+    joined_block: Dict[str, Any] = {}
+    for platform in _PLATFORMS:
+        groups = dataset.joined_for(platform)
+        type_counts: Dict[str, int] = {}
+        rates: List[float] = []
+        per_user: Dict[str, int] = {}
+        known_posters: Set[str] = set()
+        n_members = 0
+        members_known = False
+        staleness_values: List[float] = []
+        n_messages_total = 0
+        for data in groups:
+            n_messages_total += data.n_messages
+            for mtype, count in data.type_counts.items():
+                key = mtype.value if hasattr(mtype, "value") else str(mtype)
+                type_counts[key] = type_counts.get(key, 0) + count
+            days = data.observation_days
+            if days <= 0:
+                rates.append(0.0)
+            else:
+                rates.append(
+                    data.n_messages / days / dataset.message_scale
+                )
+            for sender, count in data.sender_counts.items():
+                per_user[sender] = per_user.get(sender, 0) + count
+            if data.size_at_join is not None:
+                known_posters.update(data.sender_counts)
+                n_members += data.size_at_join
+                members_known = True
+            if data.created_t is not None:
+                record = dataset.records.get(data.canonical)
+                if record is not None:
+                    staleness_values.append(
+                        max(record.first_seen_t - data.created_t, 0.0)
+                    )
+        joined_block[platform] = {
+            "n_joined": len(groups),
+            "n_messages": n_messages_total,
+            "type_counts": type_counts,
+            "rates": rates,
+            "user_counts": list(per_user.values()),
+            "n_posters": len(per_user),
+            "n_members": n_members if members_known else None,
+            "n_known_posters": len(known_posters),
+            "staleness": staleness_values,
+            "n_users": len(dataset.users_for(platform)),
+        }
+    return {
+        "n_days": dataset.n_days,
+        "seed": config.seed,
+        "scale": dataset.scale,
+        "message_scale": dataset.message_scale,
+        "joined": joined_block,
+        "n_users_total": len(dataset.users),
+        "health": (
+            dataset.health.to_dict() if dataset.health is not None else {}
+        ),
+        "scenario": dataset.scenario,
+        "personas": dict(dataset.personas),
+    }

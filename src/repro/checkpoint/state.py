@@ -30,15 +30,21 @@ the state version covers what is inside a day record.
 
 from __future__ import annotations
 
+import json
 import pickle
 from typing import Any, Dict
 
 from repro.errors import CheckpointError
 
 __all__ = [
+    "SLICE_VERSION",
     "STATE_VERSION",
     "capture_campaign",
     "decode_day_record",
+    "decode_day_slice",
+    "decode_rollup",
+    "encode_day_slice",
+    "encode_rollup",
     "replay_marker",
     "restore_campaign",
 ]
@@ -105,6 +111,67 @@ def decode_day_record(payload: bytes) -> Dict[str, Any]:
         "checkpoint day record does not contain a campaign state "
         "envelope"
     )
+
+
+#: Bumped on any incompatible change to the analysis-slice payload
+#: (independent of :data:`STATE_VERSION`: slices are JSON, readable
+#: without unpickling a study graph).
+SLICE_VERSION = 1
+
+
+def _encode_json_record(kind: str, body: Dict[str, Any]) -> bytes:
+    envelope = dict(body)
+    envelope["slice_version"] = SLICE_VERSION
+    envelope["kind"] = kind
+    # Canonical encoding: a deterministic replay re-serialises to the
+    # identical bytes, so the content-addressed rewrite is a no-op.
+    payload = json.dumps(envelope, sort_keys=True, separators=(",", ":"))
+    return payload.encode("utf-8")
+
+
+def _decode_json_record(payload: bytes, kind: str) -> Dict[str, Any]:
+    try:
+        envelope = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise CheckpointError(
+            f"undecodable checkpoint {kind} record: {exc}"
+        ) from exc
+    if not isinstance(envelope, dict) or "slice_version" not in envelope:
+        raise CheckpointError(
+            f"checkpoint {kind} record does not contain a slice envelope"
+        )
+    version = envelope["slice_version"]
+    if version != SLICE_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint slice version {version!r} "
+            f"(expected {SLICE_VERSION})"
+        )
+    if envelope.get("kind") != kind:
+        raise CheckpointError(
+            f"checkpoint record is a {envelope.get('kind')!r} record, "
+            f"not a {kind}"
+        )
+    return envelope
+
+
+def encode_day_slice(body: Dict[str, Any]) -> bytes:
+    """Serialise one day's analysis slice to canonical JSON bytes."""
+    return _encode_json_record("slice", body)
+
+
+def decode_day_slice(payload: bytes) -> Dict[str, Any]:
+    """Decode and validate an analysis-slice record."""
+    return _decode_json_record(payload, "slice")
+
+
+def encode_rollup(body: Dict[str, Any]) -> bytes:
+    """Serialise the end-of-campaign rollup to canonical JSON bytes."""
+    return _encode_json_record("rollup", body)
+
+
+def decode_rollup(payload: bytes) -> Dict[str, Any]:
+    """Decode and validate an end-of-campaign rollup record."""
+    return _decode_json_record(payload, "rollup")
 
 
 def restore_campaign(payload: bytes) -> Any:

@@ -182,6 +182,7 @@ class RunStore:
         config: Any,
         forked_from: Optional[Dict[str, Any]] = None,
         anchor_every: int = DEFAULT_ANCHOR_EVERY,
+        slices: bool = False,
     ) -> "RunStore":
         """Create a run store for ``config`` under ``directory``.
 
@@ -191,6 +192,12 @@ class RunStore:
         records); a manifest for a different configuration raises
         :class:`CheckpointError` — resume it, or pick another
         directory.
+
+        ``slices=True`` additionally records per-day analysis slices
+        (see :mod:`repro.analysis.streaming`): the manifest grows a
+        ``slices`` table, and its presence is what re-enables slice
+        capture on resume — the knob is an execution choice, never
+        part of the config digest.
         """
         directory = Path(directory)
         manifest_path = directory / MANIFEST_NAME
@@ -220,6 +227,8 @@ class RunStore:
             "anchor_every": anchor_every,
             "days": {},
         }
+        if slices:
+            manifest["slices"] = {}
         if forked_from is not None:
             manifest["forked_from"] = forked_from
         store = cls(directory, manifest)
@@ -421,6 +430,140 @@ class RunStore:
                 kind=kind,
             )
         return payload
+
+    # -- analysis slices --------------------------------------------------
+
+    @property
+    def slices_enabled(self) -> bool:
+        """Whether this store records per-day analysis slices.
+
+        The knob is the manifest's ``slices`` table itself: created
+        with the store, its presence re-enables slice capture on
+        resume without touching the config digest.
+        """
+        return isinstance(self.manifest.get("slices"), dict)
+
+    def _slice_table(self) -> Dict[str, Any]:
+        """The manifest's slice table, or ``{}`` when absent/malformed.
+
+        Same tolerance contract as :meth:`_day_table`: concurrent
+        readers probe stores in every state and must never surface a
+        ``KeyError``.
+        """
+        slices = self.manifest.get("slices")
+        return slices if isinstance(slices, dict) else {}
+
+    def slice_days(self) -> List[int]:
+        """Days with a recorded analysis slice, ascending."""
+        try:
+            return sorted(int(day) for day in self._slice_table())
+        except (TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"corrupt checkpoint manifest in {self.directory}: "
+                f"non-numeric slice day key ({exc})"
+            ) from exc
+
+    def has_slice(self, day: int) -> bool:
+        """Whether day ``day`` has an analysis slice (never raises)."""
+        return str(day) in self._slice_table()
+
+    def write_slice(self, day: int, payload: bytes) -> str:
+        """Store ``payload`` as day ``day``'s analysis slice.
+
+        Content-addressed like day records, so the deterministic
+        rewrite after a kill-and-resume lands on the identical object
+        and the manifest entry is a no-op update.  Unlike day records,
+        the object file is rewritten even when present: slices are
+        tiny, and the unconditional write lets a resume heal a slice
+        object corrupted in place, not just one lost outright.
+        """
+        if not self.slices_enabled:
+            raise CheckpointError(
+                f"checkpoint store {self.directory} was created without "
+                "analysis slices; recreate it with slices enabled"
+            )
+        digest = _sha256(payload)
+        path = self._object_path(digest)
+        atomic_write_bytes(path, compress_record(payload))
+        self.manifest["slices"][str(day)] = {
+            "digest": digest,
+            "bytes": len(payload),
+            "kind": "slice",
+        }
+        self._write_manifest()
+        if self.telemetry is not None:
+            self.telemetry.count("checkpoint_records_total", kind="slice")
+            self.telemetry.count(
+                "checkpoint_payload_bytes_total", len(payload), kind="slice"
+            )
+        return digest
+
+    def slice_entry(self, day: int) -> Dict[str, Any]:
+        """The manifest entry for day ``day``'s slice.
+
+        Raises :class:`CheckpointError` — never ``KeyError`` — for a
+        missing or malformed entry.
+        """
+        entry = self._slice_table().get(str(day))
+        if entry is None:
+            raise CheckpointError(
+                f"day {day} has no analysis slice in {self.directory}"
+            )
+        if not isinstance(entry, dict) or not entry.get("digest"):
+            raise CheckpointError(
+                f"corrupt checkpoint manifest in {self.directory}: "
+                f"slice {day} entry carries no object digest"
+            )
+        return entry
+
+    def read_slice(self, day: int) -> bytes:
+        """Load and verify day ``day``'s analysis-slice payload."""
+        entry = self.slice_entry(day)
+        return self.read_object(entry["digest"], kind="slice")
+
+    @property
+    def has_rollup(self) -> bool:
+        """Whether the end-of-campaign rollup has been written."""
+        entry = self.manifest.get("rollup")
+        return isinstance(entry, dict) and bool(entry.get("digest"))
+
+    def write_rollup(self, payload: bytes) -> str:
+        """Store the end-of-campaign rollup record.
+
+        Written once, after the campaign finalises: joined-group and
+        user aggregates only materialise at collection close, so they
+        ride in one bounded record instead of per-day slices.  Always
+        rewrites the object file (heals in-place corruption, matching
+        :meth:`write_slice`).
+        """
+        if not self.slices_enabled:
+            raise CheckpointError(
+                f"checkpoint store {self.directory} was created without "
+                "analysis slices; recreate it with slices enabled"
+            )
+        digest = _sha256(payload)
+        path = self._object_path(digest)
+        atomic_write_bytes(path, compress_record(payload))
+        self.manifest["rollup"] = {
+            "digest": digest,
+            "bytes": len(payload),
+            "kind": "rollup",
+        }
+        self._write_manifest()
+        if self.telemetry is not None:
+            self.telemetry.count("checkpoint_records_total", kind="rollup")
+        return digest
+
+    def read_rollup(self) -> bytes:
+        """Load and verify the end-of-campaign rollup payload."""
+        entry = self.manifest.get("rollup")
+        if not isinstance(entry, dict) or not entry.get("digest"):
+            raise CheckpointError(
+                f"checkpoint store {self.directory} holds no campaign "
+                "rollup (the campaign has not finished, or slices were "
+                "not enabled)"
+            )
+        return self.read_object(entry["digest"], kind="rollup")
 
     # -- decompress cache -------------------------------------------------
 

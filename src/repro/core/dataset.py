@@ -180,9 +180,16 @@ class StudyDataset:
         return [u for u in self.users.values() if u.platform == platform]
 
     def tweets_for(self, platform: str) -> List[Tweet]:
-        """Distinct collected tweets sharing URLs of one platform."""
+        """Distinct collected tweets sharing URLs of one platform.
+
+        Share lists may reference tweets this dataset does not retain
+        (partial or streamed datasets); dangling ids are skipped rather
+        than escaping as a raw ``KeyError``.
+        """
         seen: Dict[int, Tweet] = {}
         for record in self.records_for(platform):
             for tid, _ in record.shares:
-                seen[tid] = self.tweets[tid]
+                tweet = self.tweets.get(tid)
+                if tweet is not None:
+                    seen[tid] = tweet
         return list(seen.values())

@@ -37,7 +37,14 @@ from repro.checkpoint import (
     RunStore,
     capture_campaign,
     decode_day_record,
+    encode_day_slice,
+    encode_rollup,
     replay_marker,
+)
+from repro.checkpoint.slices import (
+    SliceCursor,
+    build_rollup,
+    capture_day_slice,
 )
 from repro.clock import STUDY_DAYS
 from repro.core.dataset import StudyDataset
@@ -248,6 +255,10 @@ class Study:
         self._last_anchor: Optional[int] = None
         #: The in-flight dataset (accumulates control tweets day by day).
         self._dataset: Optional[StudyDataset] = None
+        #: Emission bookkeeping for per-day analysis slices (see
+        #: :mod:`repro.checkpoint.slices`); pickles inside anchors so
+        #: a resume continues the emission exactly where it stopped.
+        self._slice_cursor = SliceCursor()
         #: Attached run store (resume/fork); never serialised.
         self._store: Optional[RunStore] = None
         #: Supervised parallel probe engine, alive only inside a
@@ -305,6 +316,7 @@ class Study:
         self,
         checkpoint_dir: Union[str, os.PathLike],
         anchor_every: Optional[int] = None,
+        slices: bool = False,
     ) -> RunStore:
         """Create (or reset) and attach a run store without running.
 
@@ -314,6 +326,12 @@ class Study:
         read view over the store, then drives the campaign with a
         plain ``run()`` against the already-attached store (exactly
         the path a resumed study takes).
+
+        ``slices=True`` additionally records per-day analysis slices
+        and the end-of-campaign rollup (the inputs to
+        :mod:`repro.analysis.streaming`); like the anchor cadence it
+        is an execution choice outside the config digest, persisted
+        by the store itself so a resume keeps emitting slices.
         """
         self._store = RunStore.create(
             checkpoint_dir,
@@ -321,6 +339,7 @@ class Study:
             anchor_every=(
                 DEFAULT_ANCHOR_EVERY if anchor_every is None else anchor_every
             ),
+            slices=slices,
         )
         self._store.telemetry = self.telemetry
         # A marker may only defer to an anchor in the *same* store:
@@ -339,6 +358,7 @@ class Study:
         checkpoint_dir: Optional[Union[str, os.PathLike]] = None,
         *,
         anchor_every: Optional[int] = None,
+        slices: bool = False,
         workers: int = 1,
         worker_deadline: Optional[float] = None,
         worker_restarts: Optional[int] = None,
@@ -356,6 +376,11 @@ class Study:
         study obtained from :meth:`resume`/:meth:`fork` keeps
         checkpointing into its attached store without passing the
         directory again.
+
+        ``slices=True`` (requires ``checkpoint_dir``) additionally
+        emits a per-day analysis slice before each day record and an
+        end-of-campaign rollup, enabling the bounded-memory streaming
+        analyses (``repro analyze --streaming``) over the store.
 
         ``workers`` > 1 shards the daily monitor probe pass across
         that many worker processes (:mod:`repro.parallel`).  The
@@ -400,8 +425,13 @@ class Study:
             raise ConfigError(
                 "worker_deadline/worker_restarts require workers > 1"
             )
+        if slices and checkpoint_dir is None:
+            raise ConfigError(
+                "slices=True requires checkpoint_dir (slices live in "
+                "the run store)"
+            )
         if checkpoint_dir is not None:
-            self.attach_store(checkpoint_dir, anchor_every)
+            self.attach_store(checkpoint_dir, anchor_every, slices=slices)
         if self._store is not None:
             self._store.record_engine(workers)
         if self._dataset is None:
@@ -466,10 +496,30 @@ class Study:
                 self._parallel.close()
             self._parallel = None
 
-        return self._finalize(dataset)
+        dataset = self._finalize(dataset)
+        if self._store is not None and self._store.slices_enabled:
+            # Joined-group and user aggregates only materialise at
+            # collection close; they ride in one bounded rollup record
+            # (idempotent rewrite: a re-run lands on the same bytes).
+            self._store.write_rollup(
+                encode_rollup(build_rollup(dataset, config))
+            )
+        return dataset
+
+    def _write_day_slice(self, day: int, store: RunStore) -> None:
+        """Emit day ``day``'s analysis slice into ``store``.
+
+        Advances the slice cursor as a side effect, so it must run
+        *before* the day's anchor capture — the anchor then pickles
+        the advanced cursor and a resume emits exactly the deltas the
+        uninterrupted campaign would have.
+        """
+        store.write_slice(day, encode_day_slice(capture_day_slice(self, day)))
 
     def _checkpoint_day(self, day: int) -> None:
         """Write day ``day``'s record: an anchor on cadence, else a marker."""
+        if self._store.slices_enabled:
+            self._write_day_slice(day, self._store)
         due = (
             self._last_anchor is None
             or day - self._last_anchor >= self._store.anchor_every
@@ -667,6 +717,13 @@ class Study:
             for replay_day in range(study._next_day, day + 1):
                 study._run_day(replay_day, study._dataset)
                 study._next_day = replay_day + 1
+                if store.slices_enabled:
+                    # Re-emit the gap day's slice: the cursor restored
+                    # from the anchor must advance through the replayed
+                    # days, and the content-addressed rewrite is a
+                    # no-op for slices that already landed (it also
+                    # heals a slice lost to a crash mid-write).
+                    study._write_day_slice(replay_day, store)
         finally:
             study._replaying = False
         study._store = store

@@ -26,7 +26,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
-from repro.checkpoint.state import decode_day_record
+from repro.checkpoint.state import (
+    decode_day_record,
+    decode_day_slice,
+    decode_rollup,
+)
 from repro.checkpoint.store import (
     CHECKPOINT_FORMAT_VERSION,
     MANIFEST_CHECKSUM_NAME,
@@ -114,6 +118,7 @@ class FsckReport:
     days_checked: int = 0
     objects_checked: int = 0
     files_checked: int = 0
+    slices_checked: int = 0
 
     @property
     def ok(self) -> bool:
@@ -140,6 +145,7 @@ class FsckReport:
             "days_checked": self.days_checked,
             "objects_checked": self.objects_checked,
             "files_checked": self.files_checked,
+            "slices_checked": self.slices_checked,
             "findings": [f.to_dict() for f in self.findings],
         }
 
@@ -284,6 +290,138 @@ def _check_manifest_fields(
     return valid
 
 
+def _check_slice_entries(
+    manifest: Dict[str, Any], manifest_path: Path, report: FsckReport
+) -> Dict[str, Dict[str, Any]]:
+    """Validate the analysis-slice table and rollup entry, if present.
+
+    Returns the valid slice entries keyed by day string, with the
+    rollup (if any) under the ``"rollup"`` key — both feed the same
+    object-level verification as day records.
+    """
+
+    def flag(detail: str, day: Optional[int] = None) -> None:
+        report.findings.append(Finding(
+            DamageKind.MANIFEST_FIELD, detail,
+            path=str(manifest_path), day=day,
+        ))
+
+    def entry_ok(entry: Any, kind: str, label: str,
+                 day: Optional[int]) -> bool:
+        if not isinstance(entry, dict):
+            flag(f"{label} entry is not an object", day=day)
+            return False
+        digest = entry.get("digest")
+        if (
+            not isinstance(digest, str)
+            or len(digest) != 64
+            or any(c not in "0123456789abcdef" for c in digest)
+        ):
+            flag(f"{label} digest {digest!r} is not a SHA-256 hex "
+                 "digest", day=day)
+            return False
+        if entry.get("kind") != kind:
+            flag(f"{label} kind {entry.get('kind')!r} is not "
+                 f"{kind!r}", day=day)
+            return False
+        if not isinstance(entry.get("bytes"), int) or entry["bytes"] < 0:
+            flag(f"{label} payload size {entry.get('bytes')!r} is not "
+                 "a non-negative integer", day=day)
+            return False
+        return True
+
+    valid: Dict[str, Dict[str, Any]] = {}
+    slices = manifest.get("slices")
+    if slices is not None:
+        if not isinstance(slices, dict):
+            flag(f"slices table is {type(slices).__name__}, not an "
+                 "object")
+        else:
+            for key, entry in slices.items():
+                try:
+                    day = int(key)
+                except (TypeError, ValueError):
+                    flag(f"slice day key {key!r} is not an integer")
+                    continue
+                if entry_ok(entry, "slice", f"day {day} slice", day):
+                    valid[key] = entry
+    rollup = manifest.get("rollup")
+    if rollup is not None and entry_ok(rollup, "rollup", "rollup", None):
+        valid["rollup"] = rollup
+    return valid
+
+
+def _check_slice_record(
+    directory: Path,
+    label: str,
+    day: Optional[int],
+    entry: Dict[str, Any],
+    decoder,
+    report: FsckReport,
+) -> None:
+    """Verify one slice/rollup object: gunzip, digest, size, canonical
+    recompression, JSON envelope decode."""
+    path = directory / OBJECTS_DIR / f"{entry['digest']}.bin.gz"
+    if not path.exists():
+        report.findings.append(Finding(
+            DamageKind.MISSING_OBJECT,
+            f"{label} object file is missing",
+            path=str(path), day=day,
+        ))
+        return
+    raw = path.read_bytes()
+    try:
+        with gzip.open(io.BytesIO(raw), "rb") as handle:
+            payload = handle.read()
+    except EOFError as exc:
+        report.findings.append(Finding(
+            DamageKind.TRUNCATED_GZIP,
+            f"{label} record is truncated: {exc}",
+            path=str(path), day=day,
+        ))
+        return
+    except (OSError, zlib.error) as exc:
+        report.findings.append(Finding(
+            DamageKind.CORRUPT_RECORD,
+            f"{label} record has damaged gzip data: {exc}",
+            path=str(path), day=day,
+        ))
+        return
+    actual = hashlib.sha256(payload).hexdigest()
+    if actual != entry["digest"]:
+        report.findings.append(Finding(
+            DamageKind.CORRUPT_RECORD,
+            f"{label} payload hashes to {actual[:12]}…, manifest "
+            f"says {entry['digest'][:12]}…",
+            path=str(path), day=day,
+        ))
+        return
+    if len(payload) != entry["bytes"]:
+        report.findings.append(Finding(
+            DamageKind.CORRUPT_RECORD,
+            f"{label} payload is {len(payload)} bytes, manifest "
+            f"says {entry['bytes']}",
+            path=str(path), day=day,
+        ))
+        return
+    if compress_record(payload) != raw:
+        report.findings.append(Finding(
+            DamageKind.CORRUPT_RECORD,
+            f"{label} container bytes are not the canonical "
+            "compression of the verified payload",
+            path=str(path), day=day,
+        ))
+        return
+    try:
+        decoder(payload)
+    except CheckpointError as exc:
+        report.findings.append(Finding(
+            DamageKind.UNDECODABLE_RECORD,
+            f"{label} record does not decode: {exc}",
+            path=str(path), day=day,
+        ))
+
+
 def _check_day_record(
     directory: Path,
     day: int,
@@ -378,10 +516,14 @@ def _check_day_record(
 
 
 def _check_debris(
-    directory: Path, days: Dict[str, Dict[str, Any]], report: FsckReport
+    directory: Path,
+    days: Dict[str, Dict[str, Any]],
+    slices: Dict[str, Dict[str, Any]],
+    report: FsckReport,
 ) -> None:
     objects_dir = directory / OBJECTS_DIR
     referenced = {entry["digest"] for entry in days.values()}
+    referenced.update(entry["digest"] for entry in slices.values())
     if objects_dir.is_dir():
         for path in sorted(objects_dir.glob("*.bin.gz")):
             report.objects_checked += 1
@@ -411,10 +553,27 @@ def fsck_store(
     days = _check_manifest_fields(
         manifest, directory / MANIFEST_NAME, report
     )
+    slices = _check_slice_entries(
+        manifest, directory / MANIFEST_NAME, report
+    )
     for key in sorted(days, key=int):
         report.days_checked += 1
         _check_day_record(directory, int(key), days[key], days, report)
-    _check_debris(directory, days, report)
+    for key in sorted(
+        (k for k in slices if k != "rollup"), key=int
+    ):
+        report.slices_checked += 1
+        _check_slice_record(
+            directory, f"day {key} slice", int(key), slices[key],
+            decode_day_slice, report,
+        )
+    if "rollup" in slices:
+        report.slices_checked += 1
+        _check_slice_record(
+            directory, "rollup", None, slices["rollup"],
+            decode_rollup, report,
+        )
+    _check_debris(directory, days, slices, report)
     return _count_findings(report, telemetry)
 
 

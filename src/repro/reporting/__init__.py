@@ -24,8 +24,14 @@ from repro.reporting.fleet import (
     render_fleet_report,
     sensitivity_bands,
 )
-from repro.reporting.health import render_health
+from repro.reporting.health import health_from_results, render_health
 from repro.reporting.scenarios import render_scenario_report, scenario_header
+from repro.reporting.streaming import (
+    STREAMING_SECTIONS,
+    render_epoch_rollups,
+    render_streaming_report,
+    streaming_sections,
+)
 from repro.reporting.integrity import (
     render_chaos_report,
     render_fsck_report,
@@ -40,12 +46,16 @@ from repro.reporting.tables import (
     render_table3,
     render_table4,
     render_table5,
+    table2_from_results,
 )
 
 __all__ = [
+    "STREAMING_SECTIONS",
     "fleet_report_dict",
     "format_table",
+    "health_from_results",
     "render_chaos_report",
+    "render_epoch_rollups",
     "render_fleet_report",
     "sensitivity_bands",
     "render_fsck_report",
@@ -53,7 +63,10 @@ __all__ = [
     "render_health",
     "render_repair_report",
     "render_scenario_report",
+    "render_streaming_report",
     "scenario_header",
+    "streaming_sections",
+    "table2_from_results",
     "render_fig1",
     "render_fig2",
     "render_fig3",

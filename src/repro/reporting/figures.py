@@ -3,19 +3,37 @@
 Each renderer returns a text block with the figure's key statistics,
 its measured series (quantiles of the CDFs the paper plots), and the
 paper's published reference values for direct comparison.
+
+Every ``render_*`` function is a thin wrapper: it runs the batch
+analyses over a :class:`~repro.core.dataset.StudyDataset` and hands
+the result objects to a ``*_from_results`` formatter.  The streaming
+layer (:mod:`repro.analysis.streaming`) produces the same result
+dataclasses from folded day slices and calls the same formatters, so
+a streaming report is byte-identical to a batch report whenever the
+underlying results agree.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
-from repro.analysis.content import control_prevalence, entity_prevalence
-from repro.analysis.language import control_language_shares, language_shares
-from repro.analysis.membership import membership, whatsapp_countries
-from repro.analysis.messages import group_activity, message_types, user_activity
-from repro.analysis.revocation import revocation
-from repro.analysis.sharing import daily_discovery, tweets_per_url
-from repro.analysis.staleness import staleness
+from repro.analysis.content import (
+    EntityPrevalence, control_prevalence, entity_prevalence,
+)
+from repro.analysis.interplay import InterplayResult
+from repro.analysis.language import (
+    LanguageShares, control_language_shares, language_shares,
+)
+from repro.analysis.membership import MembershipResult, membership
+from repro.analysis.messages import (
+    GroupActivity, MessageTypeMix, UserActivity,
+    group_activity, message_types, user_activity,
+)
+from repro.analysis.revocation import RevocationResult, revocation
+from repro.analysis.sharing import (
+    DailyDiscovery, ShareDistribution, daily_discovery, tweets_per_url,
+)
+from repro.analysis.staleness import StalenessResult, staleness
 from repro.analysis.stats import ECDF
 from repro.core.dataset import StudyDataset
 from repro.platforms.whatsapp import WHATSAPP_MAX_MEMBERS
@@ -26,6 +44,10 @@ __all__ = [
     "render_fig1", "render_fig2", "render_fig3", "render_fig4",
     "render_fig5", "render_fig6", "render_fig7", "render_fig8",
     "render_fig9", "render_interplay",
+    "fig1_from_results", "fig2_from_results", "fig3_from_results",
+    "fig4_from_results", "fig5_from_results", "fig6_from_results",
+    "fig7_from_results", "fig8_from_results", "fig9_from_results",
+    "interplay_from_results",
 ]
 
 PLATFORMS = ("whatsapp", "telegram", "discord")
@@ -35,11 +57,8 @@ def _cdf_points(cdf: ECDF, quantiles: Sequence[float]) -> str:
     return "  ".join(f"p{int(q * 100)}={cdf.quantile(q):,.4g}" for q in quantiles)
 
 
-def render_interplay(dataset: StudyDataset) -> str:
-    """RQ1: cross-platform tweets and authors (Table 2's total row)."""
-    from repro.analysis.interplay import interplay
-
-    result = interplay(dataset)
+def interplay_from_results(result: InterplayResult) -> str:
+    """Format RQ1 from a computed :class:`InterplayResult`."""
     lines = [
         "Cross-platform interplay (RQ1)",
         f"  tweets:  {result.n_tweets_total:,} distinct vs "
@@ -56,18 +75,27 @@ def render_interplay(dataset: StudyDataset) -> str:
     return "\n".join(lines)
 
 
-def render_fig1(dataset: StudyDataset) -> str:
-    """Fig 1: group URLs discovered per day (all / unique / new)."""
+def render_interplay(dataset: StudyDataset) -> str:
+    """RQ1: cross-platform tweets and authors (Table 2's total row)."""
+    from repro.analysis.interplay import interplay
+
+    return interplay_from_results(interplay(dataset))
+
+
+def fig1_from_results(
+    results: Dict[str, DailyDiscovery], scale: float
+) -> str:
+    """Format Fig 1 from per-platform discovery series."""
     rows = []
     for platform in PLATFORMS:
-        series = daily_discovery(dataset, platform)
+        series = results[platform]
         rows.append(
             [
                 platform,
                 f"{series.median_all:,.0f}",
                 f"{series.median_unique:,.0f}",
                 f"{series.median_new:,.0f}",
-                f"{paper.FIG1_MEDIAN_NEW[platform] * dataset.scale:,.0f}",
+                f"{paper.FIG1_MEDIAN_NEW[platform] * scale:,.0f}",
             ]
         )
     return format_table(
@@ -78,11 +106,17 @@ def render_fig1(dataset: StudyDataset) -> str:
     )
 
 
-def render_fig2(dataset: StudyDataset) -> str:
-    """Fig 2: CDF of tweets per group URL."""
+def render_fig1(dataset: StudyDataset) -> str:
+    """Fig 1: group URLs discovered per day (all / unique / new)."""
+    results = {p: daily_discovery(dataset, p) for p in PLATFORMS}
+    return fig1_from_results(results, dataset.scale)
+
+
+def fig2_from_results(results: Dict[str, ShareDistribution]) -> str:
+    """Format Fig 2 from per-platform share distributions."""
     rows = []
     for platform in PLATFORMS:
-        dist = tweets_per_url(dataset, platform)
+        dist = results[platform]
         rows.append(
             [
                 platform,
@@ -100,11 +134,14 @@ def render_fig2(dataset: StudyDataset) -> str:
     )
 
 
-def render_fig3(dataset: StudyDataset) -> str:
-    """Fig 3: hashtag / mention / retweet prevalence vs control."""
+def render_fig2(dataset: StudyDataset) -> str:
+    """Fig 2: CDF of tweets per group URL."""
+    return fig2_from_results({p: tweets_per_url(dataset, p) for p in PLATFORMS})
+
+
+def fig3_from_results(results: Sequence[EntityPrevalence]) -> str:
+    """Format Fig 3 from prevalence results (platforms + control)."""
     rows = []
-    results = [entity_prevalence(dataset, p) for p in PLATFORMS]
-    results.append(control_prevalence(dataset))
     for res in results:
         p_hash, p_mention, p_rt = paper.FIG3[res.source]
         rows.append(
@@ -126,28 +163,44 @@ def render_fig3(dataset: StudyDataset) -> str:
     )
 
 
-def render_fig4(dataset: StudyDataset) -> str:
-    """Fig 4: tweet language shares."""
+def render_fig3(dataset: StudyDataset) -> str:
+    """Fig 3: hashtag / mention / retweet prevalence vs control."""
+    results = [entity_prevalence(dataset, p) for p in PLATFORMS]
+    results.append(control_prevalence(dataset))
+    return fig3_from_results(results)
+
+
+def fig4_from_results(
+    results: Dict[str, LanguageShares], control: LanguageShares
+) -> str:
+    """Format Fig 4 from per-platform + control language shares."""
     lines: List[str] = ["Fig 4: tweet languages (top 5 per source)"]
     for platform in PLATFORMS:
-        shares = language_shares(dataset, platform)
+        shares = results[platform]
         top = ", ".join(f"{lang} {frac:.0%}" for lang, frac in shares.shares[:5])
         ref = ", ".join(
             f"{lang} {frac:.0%}" for lang, frac in paper.FIG4_TOP_LANGS[platform]
         )
         lines.append(f"  {platform:<9} measured: {top}")
         lines.append(f"  {'':<9} paper:    {ref}")
-    control = control_language_shares(dataset)
     top = ", ".join(f"{lang} {frac:.0%}" for lang, frac in control.shares[:5])
     lines.append(f"  {'control':<9} measured: {top}")
     return "\n".join(lines)
 
 
-def render_fig5(dataset: StudyDataset) -> str:
-    """Fig 5: staleness (group age at first share)."""
+def render_fig4(dataset: StudyDataset) -> str:
+    """Fig 4: tweet language shares."""
+    return fig4_from_results(
+        {p: language_shares(dataset, p) for p in PLATFORMS},
+        control_language_shares(dataset),
+    )
+
+
+def fig5_from_results(results: Dict[str, StalenessResult]) -> str:
+    """Format Fig 5 from per-platform staleness results."""
     rows = []
     for platform in PLATFORMS:
-        res = staleness(dataset, platform)
+        res = results[platform]
         p_same, p_year = paper.FIG5[platform]
         rows.append(
             [
@@ -166,11 +219,16 @@ def render_fig5(dataset: StudyDataset) -> str:
     )
 
 
-def render_fig6(dataset: StudyDataset) -> str:
-    """Fig 6: URL lifetime and revocation."""
+def render_fig5(dataset: StudyDataset) -> str:
+    """Fig 5: staleness (group age at first share)."""
+    return fig5_from_results({p: staleness(dataset, p) for p in PLATFORMS})
+
+
+def fig6_from_results(results: Dict[str, RevocationResult]) -> str:
+    """Format Fig 6 from per-platform revocation results."""
     rows = []
     for platform in PLATFORMS:
-        res = revocation(dataset, platform)
+        res = results[platform]
         p_rev, p_before = paper.FIG6[platform]
         lifetime = (
             _cdf_points(res.lifetime_cdf, (0.5, 0.9))
@@ -194,26 +252,41 @@ def render_fig6(dataset: StudyDataset) -> str:
     )
 
 
-def render_fig7(dataset: StudyDataset) -> str:
-    """Fig 7: members, online fraction, and growth."""
+def render_fig6(dataset: StudyDataset) -> str:
+    """Fig 6: URL lifetime and revocation."""
+    return fig6_from_results({p: revocation(dataset, p) for p in PLATFORMS})
+
+
+def fig7_from_results(results: Dict[str, MembershipResult]) -> str:
+    """Format Fig 7 from per-platform membership results."""
     rows = []
     for platform in PLATFORMS:
-        cap = WHATSAPP_MAX_MEMBERS if platform == "whatsapp" else None
-        res = membership(dataset, platform, member_cap=cap)
+        res = results[platform]
         p_grow, p_shrink = paper.FIG7_TRENDS[platform]
         online = (
             _cdf_points(res.online_frac_cdf, (0.5, 0.9))
             if res.online_frac_cdf is not None
             else "n/a"
         )
+        # No twice-observed group means no trend signal at all — the
+        # fractions are None, not a fabricated 100% flat.
+        if res.growing_frac is None or res.shrinking_frac is None:
+            trend = f"n/a (paper {p_grow:.0%}/{p_shrink:.0%})"
+        else:
+            trend = (
+                f"{res.growing_frac:.0%}/{res.shrinking_frac:.0%} "
+                f"(paper {p_grow:.0%}/{p_shrink:.0%})"
+            )
+        max_growth = (
+            f"{res.max_growth:,.0f}" if res.max_growth is not None else "n/a"
+        )
         rows.append(
             [
                 platform,
                 _cdf_points(res.size_cdf, (0.5, 0.9, 0.99)),
                 online,
-                f"{res.growing_frac:.0%}/{res.shrinking_frac:.0%} "
-                f"(paper {p_grow:.0%}/{p_shrink:.0%})",
-                f"{res.max_growth:,.0f}",
+                trend,
+                max_growth,
             ]
         )
     return format_table(
@@ -224,11 +297,20 @@ def render_fig7(dataset: StudyDataset) -> str:
     )
 
 
-def render_fig8(dataset: StudyDataset) -> str:
-    """Fig 8: message-type mix."""
+def render_fig7(dataset: StudyDataset) -> str:
+    """Fig 7: members, online fraction, and growth."""
+    results = {}
+    for platform in PLATFORMS:
+        cap = WHATSAPP_MAX_MEMBERS if platform == "whatsapp" else None
+        results[platform] = membership(dataset, platform, member_cap=cap)
+    return fig7_from_results(results)
+
+
+def fig8_from_results(results: Dict[str, MessageTypeMix]) -> str:
+    """Format Fig 8 from per-platform message-type mixes."""
     rows = []
     for platform in PLATFORMS:
-        mix = message_types(dataset, platform)
+        mix = results[platform]
         top = "  ".join(
             f"{mtype.value}={frac:.1%}" for mtype, frac in mix.fractions[:5]
         )
@@ -248,12 +330,19 @@ def render_fig8(dataset: StudyDataset) -> str:
     )
 
 
-def render_fig9(dataset: StudyDataset) -> str:
-    """Fig 9: message volumes per group and per user."""
+def render_fig8(dataset: StudyDataset) -> str:
+    """Fig 8: message-type mix."""
+    return fig8_from_results({p: message_types(dataset, p) for p in PLATFORMS})
+
+
+def fig9_from_results(
+    groups: Dict[str, GroupActivity], users: Dict[str, UserActivity]
+) -> str:
+    """Format Fig 9 from per-platform group/user activity results."""
     rows = []
     for platform in PLATFORMS:
-        grp = group_activity(dataset, platform)
-        usr = user_activity(dataset, platform)
+        grp = groups[platform]
+        usr = users[platform]
         p_top1, p_le10, p_poster = paper.FIG9[platform]
         poster = (
             f"{usr.poster_frac:.0%} (paper {p_poster:.0%})"
@@ -275,4 +364,12 @@ def render_fig9(dataset: StudyDataset) -> str:
          "top-1% share", "<=10 msgs users", "posters/members"],
         rows,
         title="Fig 9: message volume per group and user",
+    )
+
+
+def render_fig9(dataset: StudyDataset) -> str:
+    """Fig 9: message volumes per group and per user."""
+    return fig9_from_results(
+        {p: group_activity(dataset, p) for p in PLATFORMS},
+        {p: user_activity(dataset, p) for p in PLATFORMS},
     )

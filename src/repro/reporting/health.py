@@ -5,36 +5,54 @@ at the pipeline and what the resilience layer did about it — as the
 same plain-text table style the paper tables use.  A clean campaign
 renders a one-line all-clear, so the report is safe to print
 unconditionally.
+
+:func:`health_from_results` is the formatter: it takes the ledger and
+the snapshot counts directly, so both the batch path (via
+:func:`render_health` over a dataset) and the streaming layer (via
+counters folded from day slices) render byte-identical reports.
 """
 
 from __future__ import annotations
+
+from types import SimpleNamespace
+from typing import Any, Dict, Optional
 
 from repro.core.dataset import StudyDataset
 from repro.reporting.tables import format_table
 from repro.resilience.health import HEALTH_FIELDS
 
-__all__ = ["render_health"]
+__all__ = ["health_from_results", "render_health"]
 
 _HEADERS = ("platform",) + HEALTH_FIELDS
 
 
-def render_health(dataset: StudyDataset, fsck=None) -> str:
-    """Render the collection-health report for one campaign.
+def health_from_results(
+    health,
+    n_snapshots: int,
+    n_missed: int,
+    scenario: str = "paper-weather",
+    personas: Optional[Dict[str, Any]] = None,
+    fsck=None,
+) -> str:
+    """Format the collection-health report from computed inputs.
 
-    ``fsck`` is an optional :class:`~repro.integrity.FsckReport` for
-    the campaign's run store; when given, a store-integrity line is
-    appended (the CLI passes one whenever ``--checkpoint-dir`` named
-    a store).
+    ``health`` is the campaign's
+    :class:`~repro.resilience.health.CollectionHealth` ledger (or
+    ``None``), ``n_snapshots``/``n_missed`` the monitor's total and
+    missed snapshot counts, and ``scenario``/``personas`` the
+    campaign's scenario identity.  ``fsck`` is an optional
+    :class:`~repro.integrity.FsckReport` for the campaign's run
+    store; when given, a store-integrity line is appended.
     """
-    health = dataset.health
     title = "Collection health (faults injected vs absorbed)"
     # Scenario campaigns carry the pack identity in the header; the
     # default paper-weather keeps the exact baseline output (CI diffs
     # scenario-free runs byte-for-byte against goldens).
-    if getattr(dataset, "scenario", "paper-weather") != "paper-weather":
+    if scenario != "paper-weather":
         from repro.reporting.scenarios import scenario_header
 
-        title = f"{scenario_header(dataset)}\n{title}"
+        shim = SimpleNamespace(scenario=scenario, personas=personas or {})
+        title = f"{scenario_header(shim)}\n{title}"
     if health is None or health.is_clean():
         lines = [
             f"{title}\nclean campaign: no faults, retries, trips, or misses"
@@ -43,7 +61,7 @@ def render_health(dataset: StudyDataset, fsck=None) -> str:
         lines = [
             format_table(_HEADERS, health.summary_rows(), title=title),
             "",
-            _survival_summary(dataset),
+            _survival_summary(n_snapshots, n_missed),
         ]
         worst = _worst_days(health)
         if worst:
@@ -55,12 +73,30 @@ def render_health(dataset: StudyDataset, fsck=None) -> str:
     return "\n".join(lines)
 
 
-def _survival_summary(dataset: StudyDataset) -> str:
-    """One line proving graceful degradation: observed vs missed."""
+def render_health(dataset: StudyDataset, fsck=None) -> str:
+    """Render the collection-health report for one campaign.
+
+    ``fsck`` is an optional :class:`~repro.integrity.FsckReport` for
+    the campaign's run store; when given, a store-integrity line is
+    appended (the CLI passes one whenever ``--checkpoint-dir`` named
+    a store).
+    """
     n_snapshots = sum(len(s) for s in dataset.snapshots.values())
     n_missed = sum(
         1 for snaps in dataset.snapshots.values() for s in snaps if s.missed
     )
+    return health_from_results(
+        dataset.health,
+        n_snapshots,
+        n_missed,
+        scenario=getattr(dataset, "scenario", "paper-weather"),
+        personas=getattr(dataset, "personas", {}),
+        fsck=fsck,
+    )
+
+
+def _survival_summary(n_snapshots: int, n_missed: int) -> str:
+    """One line proving graceful degradation: observed vs missed."""
     observed = n_snapshots - n_missed
     pct = 100.0 * observed / n_snapshots if n_snapshots else 100.0
     return (

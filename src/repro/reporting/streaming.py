@@ -1,0 +1,226 @@
+"""Streaming campaign report: Sections 4-6 rendered from day slices.
+
+Renders the same tables and figures the batch CLI prints, but from a
+:class:`~repro.analysis.streaming.StreamingAnalyzer` — i.e. from the
+per-day analysis slices of a slice-enabled run store, never from an
+in-memory :class:`~repro.core.dataset.StudyDataset`.  Every section
+goes through the exact ``*_from_results`` formatter the batch
+renderers use, so a section body is byte-identical to its batch
+counterpart whenever the underlying streaming results are exact
+(always, below the reservoir threshold).
+
+Sections that need data the fold does not have yet — the
+joined-group analyses before the end-of-campaign rollup lands, or a
+platform with no observations — render a one-line placeholder
+instead of raising, so the report is printable mid-campaign (the
+serve daemon's ``/v1/report?source=streaming`` view).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.analysis.streaming import StreamingAnalyzer
+from repro.errors import CheckpointError
+from repro.platforms.whatsapp import WHATSAPP_MAX_MEMBERS
+from repro.reporting.figures import (
+    fig1_from_results,
+    fig2_from_results,
+    fig3_from_results,
+    fig4_from_results,
+    fig5_from_results,
+    fig6_from_results,
+    fig7_from_results,
+    fig8_from_results,
+    fig9_from_results,
+    interplay_from_results,
+)
+from repro.reporting.health import health_from_results
+from repro.reporting.tables import (
+    format_table,
+    render_table1,
+    table2_from_results,
+)
+
+__all__ = [
+    "STREAMING_SECTIONS",
+    "render_epoch_rollups",
+    "render_streaming_report",
+    "streaming_sections",
+]
+
+_PLATFORMS = ("whatsapp", "telegram", "discord")
+
+#: Renderable section names, in report order (``--only`` vocabulary).
+STREAMING_SECTIONS = (
+    "epochs",
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+    "fig9", "health", "interplay", "table2",
+)
+
+
+def render_epoch_rollups(analyzer: StreamingAnalyzer) -> str:
+    """The per-epoch activity series (streaming-only section).
+
+    One row per epoch (default: 38-day windows, the paper's own
+    campaign length): tweets collected, group-URL shares, first-time
+    URLs, and the monitor's observed/missed snapshot split.
+    """
+    rows = []
+    for epoch in analyzer.epoch_rollups():
+        rows.append(
+            [
+                epoch["epoch"],
+                f"{epoch['day_lo']}-{epoch['day_hi']}",
+                f"{epoch['tweets']:,}",
+                f"{epoch['shares']:,}",
+                f"{epoch['new_urls']:,}",
+                f"{epoch['snapshots']:,}",
+                f"{epoch['missed']:,}",
+            ]
+        )
+    return format_table(
+        ["epoch", "days", "tweets", "shares", "new URLs",
+         "snapshots", "missed"],
+        rows,
+        title=(
+            f"Epoch rollups ({analyzer.epoch_days}-day windows, "
+            f"{analyzer.days_folded} day slices folded)"
+        ),
+    )
+
+
+def _joined_counts(analyzer: StreamingAnalyzer, platform: str) -> Dict:
+    if not analyzer.has_rollup:
+        return {"n_joined": 0, "n_messages": 0, "n_users": 0}
+    block = analyzer.rollup().get("joined", {}).get(platform, {})
+    return {
+        "n_joined": block.get("n_joined", 0),
+        "n_messages": block.get("n_messages", 0),
+        "n_users": block.get("n_users", 0),
+    }
+
+
+def _table2(analyzer: StreamingAnalyzer, scale: float) -> str:
+    counts: Dict[str, Dict[str, int]] = {}
+    for platform in _PLATFORMS:
+        entry = dict(analyzer.table2_counts(platform))
+        entry.update(_joined_counts(analyzer, platform))
+        counts[platform] = entry
+    # Canonical URLs are platform-qualified, so per-platform sums are
+    # the campaign totals (matching len(dataset.records) etc.).
+    totals = {
+        key: sum(counts[p][key] for p in _PLATFORMS)
+        for key in ("n_records", "n_joined", "n_messages", "n_users")
+    }
+    return table2_from_results(
+        counts, analyzer.interplay(), totals, scale
+    )
+
+
+def _health(analyzer: StreamingAnalyzer, fsck=None) -> str:
+    scenario = "paper-weather"
+    personas: Dict = {}
+    if analyzer.has_rollup:
+        rollup = analyzer.rollup()
+        scenario = rollup.get("scenario") or "paper-weather"
+        personas = rollup.get("personas") or {}
+    return health_from_results(
+        analyzer.health(),
+        analyzer.n_snapshots,
+        analyzer.n_missed,
+        scenario=scenario,
+        personas=personas,
+        fsck=fsck,
+    )
+
+
+def streaming_sections(
+    analyzer: StreamingAnalyzer, scale: float, fsck=None
+) -> Dict[str, Callable[[], str]]:
+    """Section name -> zero-argument builder, in report order."""
+    def fig7() -> str:
+        results = {}
+        for platform in _PLATFORMS:
+            cap = WHATSAPP_MAX_MEMBERS if platform == "whatsapp" else None
+            results[platform] = analyzer.membership(
+                platform, member_cap=cap
+            )
+        return fig7_from_results(results)
+
+    return {
+        "epochs": lambda: render_epoch_rollups(analyzer),
+        "fig1": lambda: fig1_from_results(
+            {p: analyzer.daily_discovery(p) for p in _PLATFORMS}, scale
+        ),
+        "fig2": lambda: fig2_from_results(
+            {p: analyzer.tweets_per_url(p) for p in _PLATFORMS}
+        ),
+        "fig3": lambda: fig3_from_results(
+            [analyzer.entity_prevalence(p) for p in _PLATFORMS]
+            + [analyzer.control_prevalence()]
+        ),
+        "fig4": lambda: fig4_from_results(
+            {p: analyzer.language_shares(p) for p in _PLATFORMS},
+            analyzer.control_language_shares(),
+        ),
+        "fig5": lambda: fig5_from_results(
+            {p: analyzer.staleness(p) for p in _PLATFORMS}
+        ),
+        "fig6": lambda: fig6_from_results(
+            {p: analyzer.revocation(p) for p in _PLATFORMS}
+        ),
+        "fig7": fig7,
+        "fig8": lambda: fig8_from_results(
+            {p: analyzer.message_types(p) for p in _PLATFORMS}
+        ),
+        "fig9": lambda: fig9_from_results(
+            {p: analyzer.group_activity(p) for p in _PLATFORMS},
+            {p: analyzer.user_activity(p) for p in _PLATFORMS},
+        ),
+        "health": lambda: _health(analyzer, fsck=fsck),
+        "interplay": lambda: interplay_from_results(analyzer.interplay()),
+        "table2": lambda: _table2(analyzer, scale),
+    }
+
+
+def render_streaming_report(
+    analyzer: StreamingAnalyzer,
+    scale: float,
+    only: Optional[Iterable[str]] = None,
+    fsck=None,
+) -> str:
+    """The full streaming campaign report.
+
+    ``only`` restricts to a subset of :data:`STREAMING_SECTIONS`
+    (unknown names raise ``ValueError``).  Sections whose inputs are
+    not foldable yet — joined-group figures before the rollup, or a
+    platform with no data — degrade to a one-line placeholder.
+    """
+    sections = streaming_sections(analyzer, scale, fsck=fsck)
+    if only is None:
+        names = list(STREAMING_SECTIONS)
+    else:
+        names = list(only)
+        unknown = sorted(set(names) - set(STREAMING_SECTIONS))
+        if unknown:
+            raise ValueError(
+                f"unknown streaming report sections: {unknown} "
+                f"(choose from {list(STREAMING_SECTIONS)})"
+            )
+    rollup_note = (
+        "campaign rollup folded"
+        if analyzer.has_rollup
+        else "no campaign rollup yet (mid-campaign view)"
+    )
+    blocks: List[str] = [
+        f"Streaming report: {analyzer.days_folded}/{analyzer.n_days} "
+        f"day slices folded, {rollup_note}",
+        render_table1(),
+    ]
+    for name in names:
+        try:
+            blocks.append(sections[name]())
+        except (ValueError, CheckpointError) as exc:
+            blocks.append(f"{name}: unavailable in streaming view ({exc})")
+    return "\n\n".join(blocks)

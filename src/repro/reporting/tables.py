@@ -30,6 +30,7 @@ __all__ = [
     "render_table3",
     "render_table4",
     "render_table5",
+    "table2_from_results",
 ]
 
 PLATFORMS = ("whatsapp", "telegram", "discord")
@@ -78,44 +79,52 @@ def render_table1() -> str:
     )
 
 
-def render_table2(dataset: StudyDataset) -> str:
-    """Table 2: dataset overview, measured vs paper (scaled)."""
-    scale = dataset.scale
+def table2_from_results(
+    counts: Dict[str, Dict[str, int]],
+    totals,
+    total_counts: Dict[str, int],
+    scale: float,
+) -> str:
+    """Format Table 2 from already-computed counting results.
+
+    ``counts`` maps each platform to its counting inputs —
+    ``n_tweets``, ``n_authors``, ``n_records``, ``n_joined``,
+    ``n_messages``, ``n_users`` — and ``total_counts`` carries the
+    whole-campaign ``n_records``/``n_joined``/``n_messages``/
+    ``n_users``.  ``totals`` is the campaign's
+    :class:`~repro.analysis.interplay.InterplayResult` (the total
+    row's dedup statistics).  The batch wrapper
+    :func:`render_table2` derives everything from the dataset; the
+    streaming layer supplies the same numbers from folded day slices,
+    so both paths render byte-identical tables.
+    """
     rows = []
     for platform in PLATFORMS:
-        records = dataset.records_for(platform)
-        tweets = dataset.tweets_for(platform)
-        authors = {t.author_id for t in tweets}
-        joined = dataset.joined_for(platform)
-        messages = sum(j.n_messages for j in joined)
-        users = dataset.users_for(platform)
+        c = counts[platform]
         p_tweets, p_users, p_urls, p_joined, p_msgs, p_gusers = paper.TABLE2[
             platform
         ]
         rows.append(
             [
                 platform,
-                f"{len(tweets):,} (paper*s {p_tweets * scale:,.0f})",
-                f"{len(authors):,} (paper*s {p_users * scale:,.0f})",
-                f"{len(records):,} (paper*s {p_urls * scale:,.0f})",
-                f"{len(joined):,} (paper {p_joined})",
-                f"{messages:,}",
-                f"{len(users):,}",
+                f"{c['n_tweets']:,} (paper*s {p_tweets * scale:,.0f})",
+                f"{c['n_authors']:,} (paper*s {p_users * scale:,.0f})",
+                f"{c['n_records']:,} (paper*s {p_urls * scale:,.0f})",
+                f"{c['n_joined']:,} (paper {p_joined})",
+                f"{c['n_messages']:,}",
+                f"{c['n_users']:,}",
             ]
         )
-    from repro.analysis.interplay import interplay  # local: avoid cycle
-
-    totals = interplay(dataset)
     rows.append(
         [
             "total",
             f"{totals.n_tweets_total:,} (dedup -{totals.tweet_dedup_frac:.1%})",
             f"{totals.n_authors_total:,} "
             f"(dedup -{totals.author_dedup_frac:.1%})",
-            f"{len(dataset.records):,}",
-            f"{len(dataset.joined):,}",
-            f"{sum(j.n_messages for j in dataset.joined):,}",
-            f"{len(dataset.users):,}",
+            f"{total_counts['n_records']:,}",
+            f"{total_counts['n_joined']:,}",
+            f"{total_counts['n_messages']:,}",
+            f"{total_counts['n_users']:,}",
         ]
     )
     return format_table(
@@ -124,6 +133,35 @@ def render_table2(dataset: StudyDataset) -> str:
         rows,
         title=f"Table 2: Dataset overview (scale={scale}, paper values "
         "scaled by s where volume-like)",
+    )
+
+
+def render_table2(dataset: StudyDataset) -> str:
+    """Table 2: dataset overview, measured vs paper (scaled)."""
+    counts: Dict[str, Dict[str, int]] = {}
+    for platform in PLATFORMS:
+        tweets = dataset.tweets_for(platform)
+        joined = dataset.joined_for(platform)
+        counts[platform] = {
+            "n_tweets": len(tweets),
+            "n_authors": len({t.author_id for t in tweets}),
+            "n_records": len(dataset.records_for(platform)),
+            "n_joined": len(joined),
+            "n_messages": sum(j.n_messages for j in joined),
+            "n_users": len(dataset.users_for(platform)),
+        }
+    from repro.analysis.interplay import interplay  # local: avoid cycle
+
+    return table2_from_results(
+        counts,
+        interplay(dataset),
+        {
+            "n_records": len(dataset.records),
+            "n_joined": len(dataset.joined),
+            "n_messages": sum(j.n_messages for j in dataset.joined),
+            "n_users": len(dataset.users),
+        },
+        dataset.scale,
     )
 
 

@@ -53,6 +53,7 @@ class ServeDaemon:
         *,
         checkpoint_dir=None,
         anchor_every: int = 1,
+        slices: bool = False,
         run_kwargs: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.config = config or ServeConfig()
@@ -68,7 +69,7 @@ class ServeDaemon:
                 )
             # Every day an anchor by default: each published day is
             # directly decodable by /v1/day without replay.
-            study.attach_store(checkpoint_dir, anchor_every)
+            study.attach_store(checkpoint_dir, anchor_every, slices=slices)
         store = study.store
         if self.config.read_cache_entries > 0:
             store.enable_read_cache(self.config.read_cache_entries)

@@ -13,7 +13,9 @@ Routes::
     GET /v1/days              published day index (digest, bytes, kind)
     GET /v1/day/{n}           decoded day slice; ?platform= ?limit= ?group=
     GET /v1/health            collection-health report (latest day)
-    GET /v1/report            dataset summary + Table 2 + health (latest day)
+    GET /v1/report            dataset summary + Table 2 + health (latest
+                              day); ?source=streaming folds the store's
+                              day slices instead of decoding an anchor
     GET /metrics              Prometheus text (campaign + serve registries)
 
 ``/v1/day``, ``/v1/health`` and ``/v1/report`` are fronted by the
@@ -38,7 +40,12 @@ from urllib.parse import parse_qsl, urlsplit
 
 from repro.errors import CheckpointError
 from repro.serve.cache import CachedResponse, cache_key
-from repro.serve.views import day_slice, health_body, report_body
+from repro.serve.views import (
+    day_slice,
+    health_body,
+    report_body,
+    streaming_report_body,
+)
 
 __all__ = ["ServeHTTPServer", "ServeRequestHandler"]
 
@@ -167,7 +174,7 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
                 self._handle_health()
             elif path == "/v1/report":
                 endpoint = "report"
-                self._handle_report()
+                self._handle_report(params)
             else:
                 endpoint = "unknown"
                 self._send_error_json(404, f"no such endpoint: {path}")
@@ -381,23 +388,59 @@ class ServeRequestHandler(BaseHTTPRequestHandler):
 
         self._respond_cached("health", entry["digest"], {}, build)
 
-    def _handle_report(self) -> None:
+    def _handle_report(self, raw: Dict[str, str]) -> None:
         view = self.server.view
         latest, entry = self._latest_entry()
+        unknown = sorted(set(raw) - {"source"})
+        if unknown:
+            raise _BadRequest(f"unknown query parameters: {unknown}")
+        source = raw.get("source", "batch")
+        if source not in ("batch", "streaming"):
+            raise _BadRequest(
+                f"source must be 'batch' or 'streaming', got {source!r}"
+            )
+        params = {"source": source} if source != "batch" else {}
 
         def build() -> CachedResponse:
-            record = self._read_published(
-                lambda: view.record_fresh(latest)
-            )
-            if record["kind"] != "anchor":
-                raise CheckpointError(
-                    f"latest day {latest} is a replay marker; the report "
-                    "needs an anchor (run serve with --checkpoint-every 1)"
+            if source == "streaming":
+                body = self._build_streaming_report(latest)
+            else:
+                record = self._read_published(
+                    lambda: view.record_fresh(latest)
                 )
-            body = report_body(record["study"], latest)
+                if record["kind"] != "anchor":
+                    raise CheckpointError(
+                        f"latest day {latest} is a replay marker; the "
+                        "report needs an anchor (run serve with "
+                        "--checkpoint-every 1)"
+                    )
+                body = report_body(record["study"], latest)
             return 200, _TEXT, body.encode("utf-8")
 
-        self._respond_cached("report", entry["digest"], {}, build)
+        self._respond_cached("report", entry["digest"], params, build)
+
+    def _build_streaming_report(self, latest: int) -> str:
+        """Fold the published slice prefix of the served store.
+
+        Re-opens the store read-only: the on-disk manifest lands by
+        atomic rename, so a fresh open is a consistent point-in-time
+        snapshot and never races the driver's in-place manifest dict.
+        A read failure under a published day is transient (503); a
+        store that records no slices at all is a plain 404.
+        """
+        from repro.checkpoint import RunStore
+
+        store = self._read_published(
+            lambda: RunStore.open(self.server.view.directory)
+        )
+        if not store.slices_enabled:
+            raise CheckpointError(
+                "this store records no analysis slices; run serve "
+                "with --slices to enable the streaming report"
+            )
+        return self._read_published(
+            lambda: streaming_report_body(store, latest)
+        )
 
     def _handle_metrics(self) -> None:
         campaign, lives = self.server.view.metrics_snapshot()

@@ -27,6 +27,7 @@ __all__ = [
     "health_body",
     "report_body",
     "snapshot_dict",
+    "streaming_report_body",
 ]
 
 #: Reporting order shared with the study.
@@ -184,4 +185,33 @@ def report_body(study, day: int) -> str:
             render_table2(dataset),
             render_health(dataset),
         ]
+    )
+
+
+def streaming_report_body(store, day: int) -> str:
+    """``/v1/report?source=streaming``: fold day slices and render.
+
+    Folds the store's analysis slices for days ``0..day`` (the
+    published prefix) through the bounded-memory streaming analyzer —
+    no anchor unpickle, no dataset materialisation — and renders the
+    full streaming report.  Joined-group sections appear once the
+    end-of-campaign rollup has landed; before that they degrade to
+    one-line placeholders.
+
+    ``store`` must be a freshly opened read-only
+    :class:`~repro.checkpoint.RunStore` (the manifest file lands by
+    atomic rename, so a fresh open is a consistent point-in-time
+    snapshot even while the driver keeps writing).
+    """
+    from repro.analysis.streaming import StreamingAnalyzer
+    from repro.reporting.streaming import render_streaming_report
+
+    analyzer = StreamingAnalyzer.from_store(store, through_day=day)
+    config = store.manifest.get("config", {})
+    header = (
+        f"Streaming campaign report as of day {day} "
+        f"(seed {config.get('seed')}, {config.get('n_days')}-day window)"
+    )
+    return header + "\n\n" + render_streaming_report(
+        analyzer, float(config.get("scale", 1.0))
     )

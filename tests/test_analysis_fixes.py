@@ -1,0 +1,164 @@
+"""Regression tests for analysis-layer correctness fixes.
+
+Each test here encodes a bug that used to exist: a fabricated growth
+observation when no group was seen twice, a poster fraction whose
+numerator and denominator counted different group populations, and
+raw ``KeyError`` escapes on share lists referencing unretained tweets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.membership import membership
+from repro.analysis.messages import user_activity
+from repro.analysis.sharing import top_shared_urls
+from repro.core.dataset import JoinedGroupData, Snapshot, StudyDataset
+from repro.core.discovery import URLRecord
+from repro.reporting.figures import render_fig7
+from repro.twitter.model import Tweet
+
+
+def _tweet(tid: int, text: str = "join my group") -> Tweet:
+    return Tweet(tweet_id=tid, author_id=tid * 10, t=1.0, text=text, lang="en")
+
+
+def _record(platform: str, code: str, shares) -> URLRecord:
+    return URLRecord(
+        canonical=f"{platform}:{code}",
+        platform=platform,
+        code=code,
+        url=f"https://example.com/{code}",
+        first_seen_t=min(t for _, t in shares) if shares else 0.0,
+        shares=list(shares),
+    )
+
+
+def _single_snapshot_dataset() -> StudyDataset:
+    """Every group observed alive exactly once: zero growth signal."""
+    dataset = StudyDataset(n_days=3, scale=0.01)
+    for i in range(4):
+        record = _record("telegram", f"g{i}", [(100 + i, 0.5)])
+        dataset.records[record.canonical] = record
+        dataset.tweets[100 + i] = _tweet(100 + i)
+        dataset.snapshots[record.canonical] = [
+            Snapshot(
+                canonical=record.canonical, day=0, t=0.6, alive=True, size=40
+            )
+        ]
+    return dataset
+
+
+class TestMembershipNoGrowthObservations:
+    """membership() used to fabricate a np.zeros(1) growth sample."""
+
+    def test_no_growth_sample_is_fabricated(self):
+        res = membership(_single_snapshot_dataset(), "telegram")
+        assert res.growth_cdf.n == 0
+        assert res.growing_frac is None
+        assert res.flat_frac is None
+        assert res.shrinking_frac is None
+        assert res.max_growth is None
+
+    def test_size_cdf_still_reported(self):
+        res = membership(_single_snapshot_dataset(), "telegram")
+        assert res.size_cdf.n == 4
+        assert res.size_cdf.median == 40.0
+
+    def test_real_growth_observations_unaffected(self):
+        dataset = _single_snapshot_dataset()
+        canonical = "telegram:g0"
+        dataset.snapshots[canonical].append(
+            Snapshot(canonical=canonical, day=1, t=1.6, alive=True, size=44)
+        )
+        res = membership(dataset, "telegram")
+        assert res.growth_cdf.n == 1
+        assert res.growing_frac == 1.0
+        assert res.flat_frac == 0.0
+        assert res.shrinking_frac == 0.0
+        assert res.max_growth == 4.0
+
+    def test_fig7_renders_na_trend(self):
+        dataset = StudyDataset(n_days=3, scale=0.01)
+        for platform in ("whatsapp", "telegram", "discord"):
+            record = _record(platform, "g0", [(7, 0.5)])
+            dataset.records[record.canonical] = record
+            dataset.snapshots[record.canonical] = [
+                Snapshot(
+                    canonical=record.canonical,
+                    day=0, t=0.6, alive=True, size=10, online=2,
+                )
+            ]
+        dataset.tweets[7] = _tweet(7)
+        text = render_fig7(dataset)
+        assert "n/a (paper" in text
+        # A single-observation campaign must not claim 100% flat.
+        assert "100%/0%" not in text
+
+
+class TestPosterFractionAccounting:
+    """poster_frac mixed hidden-list posters into the numerator."""
+
+    def test_poster_frac_cannot_exceed_one(self):
+        dataset = StudyDataset(n_days=3, scale=0.01)
+        dataset.joined.append(
+            JoinedGroupData(
+                platform="telegram", canonical="telegram:hidden",
+                gid="h1", join_t=1.0, size_at_join=None,
+                member_list_hidden=True, n_messages=5,
+                sender_counts={"u1": 2, "u2": 1, "u3": 1, "u4": 1},
+            )
+        )
+        dataset.joined.append(
+            JoinedGroupData(
+                platform="telegram", canonical="telegram:known",
+                gid="k1", join_t=1.0, size_at_join=2, n_messages=3,
+                sender_counts={"u5": 3},
+            )
+        )
+        res = user_activity(dataset, "telegram")
+        assert res.n_posters == 5
+        assert res.n_members_observed == 2
+        assert res.poster_frac is not None
+        # Before the fix: 5 posters / 2 members = 2.5.
+        assert res.poster_frac == pytest.approx(0.5)
+        assert res.poster_frac <= 1.0
+
+    def test_all_groups_hidden_reports_none(self):
+        dataset = StudyDataset(n_days=3, scale=0.01)
+        dataset.joined.append(
+            JoinedGroupData(
+                platform="telegram", canonical="telegram:hidden",
+                gid="h1", join_t=1.0, size_at_join=None,
+                member_list_hidden=True, n_messages=1,
+                sender_counts={"u1": 1},
+            )
+        )
+        res = user_activity(dataset, "telegram")
+        assert res.poster_frac is None
+        assert res.n_members_observed is None
+
+
+class TestDanglingTweetIds:
+    """Share lists referencing unretained tweets must not KeyError."""
+
+    def _partial_dataset(self) -> StudyDataset:
+        dataset = StudyDataset(n_days=3, scale=0.01)
+        record = _record(
+            "telegram", "g0", [(1, 0.2), (2, 0.4), (3, 0.6)]
+        )
+        dataset.records[record.canonical] = record
+        # Only tweet 2 is retained; 1 and 3 dangle (streamed/partial).
+        dataset.tweets[2] = _tweet(2, "bitcoin crypto airdrop token")
+        return dataset
+
+    def test_tweets_for_skips_dangling_ids(self):
+        dataset = self._partial_dataset()
+        tweets = dataset.tweets_for("telegram")
+        assert [t.tweet_id for t in tweets] == [2]
+
+    def test_top_shared_urls_skips_dangling_ids(self):
+        dataset = self._partial_dataset()
+        results = top_shared_urls(dataset, "telegram", n=5)
+        assert len(results) == 1
+        assert results[0].n_shares == 3

@@ -154,6 +154,15 @@ class TestArgumentValidation:
             ),
             (["--workers", "0"], "--workers"),
             (["--workers", "-2"], "--workers"),
+            (["--slices"], "--checkpoint-dir"),
+            (
+                ["--slices", "--checkpoint-dir", "x", "--resume"],
+                "fresh runs only",
+            ),
+            (
+                ["--slices", "--checkpoint-dir", "x", "--fork-day", "2"],
+                "fresh runs only",
+            ),
         ],
     )
     def test_rejected_at_parse_time(self, argv, fragment):
@@ -239,3 +248,69 @@ class TestWorkersFlag:
         assert main(base + ["--workers", "2"]) == 0
         parallel = capsys.readouterr().out
         assert parallel == sequential
+
+
+@pytest.mark.streaming
+class TestReportSubcommand:
+    """``repro report --from-store``: the streaming CLI path."""
+
+    def test_slices_run_then_streaming_report(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        base = [
+            "--seed", "3", "--scale", "0.003", "--days", "4",
+            "--message-scale", "0.05", "--only", "table2",
+        ]
+        assert main(base + ["--checkpoint-dir", str(store), "--slices"]) == 0
+        capsys.readouterr()
+        assert main(["report", "--from-store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "Streaming report: 4/4 day slices folded" in out
+        assert "campaign rollup folded" in out
+        assert "Epoch rollups" in out
+        assert "Table 2" in out
+        assert "store integrity: clean" in out
+
+    def test_report_only_and_through_day(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        base = [
+            "--seed", "3", "--scale", "0.003", "--days", "4",
+            "--message-scale", "0.05", "--only", "table2",
+        ]
+        assert main(base + ["--checkpoint-dir", str(store), "--slices"]) == 0
+        capsys.readouterr()
+        assert main(
+            [
+                "report", "--from-store", str(store),
+                "--only", "fig2", "--through-day", "1",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2/4 day slices folded" in out
+        assert "no campaign rollup yet" in out
+        assert "Fig 2" in out and "Fig 3" not in out
+
+    def test_report_flag_validation(self, tmp_path):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="--reservoir-threshold"):
+            main(
+                [
+                    "report", "--from-store", str(tmp_path),
+                    "--reservoir-threshold", "0",
+                ]
+            )
+        with pytest.raises(ConfigError, match="--epoch-days"):
+            main(
+                ["report", "--from-store", str(tmp_path), "--epoch-days", "0"]
+            )
+        with pytest.raises(ConfigError, match="--through-day"):
+            main(
+                [
+                    "report", "--from-store", str(tmp_path),
+                    "--through-day", "-1",
+                ]
+            )
+
+    def test_report_requires_store(self):
+        with pytest.raises(SystemExit):
+            main(["report"])

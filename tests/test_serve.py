@@ -619,3 +619,81 @@ class TestServeConfigAndCLI:
                     "--scenario", "spam-wave",
                 ]
             )
+
+
+class TestStreamingReportSource:
+    """``/v1/report?source=streaming``: the bounded-memory view."""
+
+    @pytest.fixture
+    def slices_daemon(self, tmp_path):
+        """A daemon whose store records per-day analysis slices."""
+        study = Study(_config())
+        instance = ServeDaemon(
+            study,
+            ServeConfig(),
+            checkpoint_dir=tmp_path / "store",
+            slices=True,
+        )
+        instance.start()
+        try:
+            assert instance.driver.finished.wait(180)
+            assert instance.driver.phase == "complete"
+            yield instance
+        finally:
+            instance.close()
+
+    def test_streaming_report_renders_and_caches(self, slices_daemon):
+        url = slices_daemon.url + "/v1/report?source=streaming"
+        status, headers, body = _get(url)
+        text = body.decode()
+        assert status == 200
+        assert headers["X-Cache"] == "MISS"
+        assert f"Streaming campaign report as of day {N_DAYS - 1}" in text
+        assert (
+            f"{N_DAYS}/{N_DAYS} day slices folded, campaign rollup "
+            "folded" in text
+        )
+        assert "Epoch rollups" in text
+        _, headers2, body2 = _get(url)
+        assert headers2["X-Cache"] == "HIT"
+        assert body2 == body
+
+    def test_batch_and_streaming_cache_separately(self, slices_daemon):
+        url = slices_daemon.url
+        _, _, streaming = _get(url + "/v1/report?source=streaming")
+        _, headers, batch = _get(url + "/v1/report")
+        # The explicit default is the same cache entry as no param.
+        assert headers["X-Cache"] == "MISS"
+        _, headers, batch2 = _get(url + "/v1/report?source=batch")
+        assert headers["X-Cache"] == "HIT"
+        assert batch2 == batch
+        assert batch != streaming
+
+    def test_source_validation(self, slices_daemon):
+        url = slices_daemon.url
+        code, body = _get_error(url + "/v1/report?source=nope")
+        assert code == 400
+        assert "source must be" in body["error"]
+        code, body = _get_error(url + "/v1/report?frobnicate=1")
+        assert code == 400
+        assert "unknown query parameters" in body["error"]
+
+    def test_sliceless_store_is_404(self, finished_daemon):
+        code, body = _get_error(
+            finished_daemon.url + "/v1/report?source=streaming"
+        )
+        assert code == 404
+        assert "--slices" in body["error"]
+
+    def test_serve_slices_flag_validated(self, tmp_path):
+        from repro.__main__ import main
+
+        with pytest.raises(ConfigError, match="fresh runs only"):
+            main(
+                [
+                    "serve",
+                    "--checkpoint-dir", str(tmp_path / "s"),
+                    "--resume",
+                    "--slices",
+                ]
+            )

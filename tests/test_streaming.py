@@ -1,0 +1,422 @@
+"""Tests for the bounded-memory streaming analysis layer.
+
+The headline invariant: folding a slice-enabled run store through
+:class:`~repro.analysis.streaming.StreamingAnalyzer` reproduces every
+batch analysis result **byte-identically** while every distribution
+sample fits its reservoir — same dataclasses, same ECDF arrays, same
+rendered report sections.  The ``-m streaming`` matrix extends the
+guarantee across worker counts, fault profiles, and a kill-and-resume
+mid-campaign, because the slices are part of the deterministic
+checkpoint stream.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    content,
+    interplay,
+    language,
+    membership,
+    messages,
+    revocation,
+    sharing,
+    staleness,
+)
+from repro.analysis.stats import ecdf
+from repro.analysis.streaming import (
+    DEFAULT_EPOCH_DAYS,
+    RESERVOIR_THRESHOLD,
+    StreamingAnalyzer,
+    StreamingECDF,
+    _label_seed,
+    iter_day_slices,
+)
+from repro.checkpoint import RunStore
+from repro.core.study import Study, StudyConfig
+from repro.errors import CheckpointError
+from repro.platforms.whatsapp import WHATSAPP_MAX_MEMBERS
+from repro.reporting import (
+    STREAMING_SECTIONS,
+    render_fig1,
+    render_fig2,
+    render_fig3,
+    render_fig4,
+    render_fig5,
+    render_fig6,
+    render_fig7,
+    render_fig8,
+    render_fig9,
+    render_health,
+    render_interplay,
+    render_streaming_report,
+    render_table2,
+    streaming_sections,
+)
+
+#: Same small-but-complete campaign the checkpoint suite uses:
+#: discovery, monitoring, a join day, and post-join days.
+N_DAYS = 6
+
+PLATFORMS = ("whatsapp", "telegram", "discord")
+
+#: Streaming section name -> the batch renderer it must reproduce.
+BATCH_RENDERERS = {
+    "fig1": render_fig1,
+    "fig2": render_fig2,
+    "fig3": render_fig3,
+    "fig4": render_fig4,
+    "fig5": render_fig5,
+    "fig6": render_fig6,
+    "fig7": render_fig7,
+    "fig8": render_fig8,
+    "fig9": render_fig9,
+    "health": render_health,
+    "interplay": render_interplay,
+    "table2": render_table2,
+}
+
+
+def _config(faults=None, **overrides):
+    base = dict(
+        seed=7,
+        n_days=N_DAYS,
+        scale=0.004,
+        message_scale=0.05,
+        join_day=3,
+        faults=faults,
+    )
+    base.update(overrides)
+    return StudyConfig(**base)
+
+
+def assert_same(a, b, path=""):
+    """Recursive equality that treats numpy arrays elementwise."""
+    where = path or "<root>"
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        np.testing.assert_array_equal(a, b, err_msg=where)
+    elif dataclasses.is_dataclass(a) and not isinstance(a, type):
+        assert type(a) is type(b), where
+        for field in dataclasses.fields(a):
+            assert_same(
+                getattr(a, field.name),
+                getattr(b, field.name),
+                f"{where}.{field.name}",
+            )
+    elif isinstance(a, dict):
+        assert isinstance(b, dict) and sorted(a) == sorted(b), where
+        for key in a:
+            assert_same(a[key], b[key], f"{where}[{key!r}]")
+    elif isinstance(a, (list, tuple)):
+        assert type(a) is type(b) and len(a) == len(b), where
+        for i, (x, y) in enumerate(zip(a, b)):
+            assert_same(x, y, f"{where}[{i}]")
+    else:
+        assert a == b, f"{where}: {a!r} != {b!r}"
+
+
+def _streaming_equals_batch(dataset, store_dir) -> None:
+    """Every overlapping report section, byte for byte."""
+    analyzer = StreamingAnalyzer.from_store(RunStore.open(store_dir))
+    builders = streaming_sections(analyzer, dataset.scale)
+    for name, batch_renderer in BATCH_RENDERERS.items():
+        try:
+            expected = batch_renderer(dataset)
+        except ValueError as exc:
+            with pytest.raises(ValueError, match=str(exc)):
+                builders[name]()
+            continue
+        assert builders[name]() == expected, f"section {name} diverged"
+
+
+# ---------------------------------------------------------------------------
+# The sampler itself: deterministic, exact below threshold.
+# ---------------------------------------------------------------------------
+
+
+class TestStreamingECDF:
+    def test_exact_below_threshold(self):
+        values = [3.0, 1.0, 2.0, 2.0, 5.0]
+        sampler = StreamingECDF(seed=11, threshold=8)
+        sampler.extend(values)
+        assert sampler.exact
+        assert sampler.n == 5
+        assert_same(sampler.to_ecdf(), ecdf(values))
+
+    def test_reservoir_bounds_memory(self):
+        sampler = StreamingECDF(seed=11, threshold=8)
+        sampler.extend(float(i) for i in range(1000))
+        assert not sampler.exact
+        assert sampler.n == 1000
+        result = sampler.to_ecdf()
+        assert len(result.values) == 8
+        assert set(result.values) <= {float(i) for i in range(1000)}
+
+    def test_reservoir_is_seed_deterministic(self):
+        def fill(seed):
+            sampler = StreamingECDF(seed=seed, threshold=16)
+            sampler.extend(float(i) for i in range(500))
+            return sampler.to_ecdf().values
+
+        np.testing.assert_array_equal(fill(3), fill(3))
+        assert not np.array_equal(fill(3), fill(4))
+
+    def test_label_seed_is_stable_and_distinct(self):
+        assert _label_seed(7, "fig2:whatsapp") == _label_seed(
+            7, "fig2:whatsapp"
+        )
+        assert _label_seed(7, "fig2:whatsapp") != _label_seed(
+            7, "fig2:telegram"
+        )
+        assert _label_seed(7, "fig2:whatsapp") != _label_seed(
+            8, "fig2:whatsapp"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Accessor-for-accessor parity against the batch analyses.
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def slice_run(tmp_path_factory):
+    """One campaign checkpointed with slices, plus its batch dataset."""
+    store_dir = tmp_path_factory.mktemp("streaming") / "store"
+    dataset = Study(_config()).run(checkpoint_dir=store_dir, slices=True)
+    return store_dir, dataset
+
+
+@pytest.fixture(scope="module")
+def analyzer(slice_run):
+    return StreamingAnalyzer.from_store(RunStore.open(slice_run[0]))
+
+
+class TestAccessorParity:
+    @pytest.mark.parametrize("platform", PLATFORMS)
+    def test_daily_discovery(self, analyzer, slice_run, platform):
+        assert_same(
+            analyzer.daily_discovery(platform),
+            sharing.daily_discovery(slice_run[1], platform),
+        )
+
+    @pytest.mark.parametrize("platform", PLATFORMS)
+    def test_tweets_per_url(self, analyzer, slice_run, platform):
+        assert_same(
+            analyzer.tweets_per_url(platform),
+            sharing.tweets_per_url(slice_run[1], platform),
+        )
+
+    @pytest.mark.parametrize("platform", PLATFORMS)
+    def test_entity_prevalence(self, analyzer, slice_run, platform):
+        assert_same(
+            analyzer.entity_prevalence(platform),
+            content.entity_prevalence(slice_run[1], platform),
+        )
+
+    def test_control_prevalence(self, analyzer, slice_run):
+        assert_same(
+            analyzer.control_prevalence(),
+            content.control_prevalence(slice_run[1]),
+        )
+
+    @pytest.mark.parametrize("platform", PLATFORMS)
+    def test_language_shares(self, analyzer, slice_run, platform):
+        assert_same(
+            analyzer.language_shares(platform),
+            language.language_shares(slice_run[1], platform),
+        )
+
+    def test_control_language_shares(self, analyzer, slice_run):
+        assert_same(
+            analyzer.control_language_shares(),
+            language.control_language_shares(slice_run[1]),
+        )
+
+    @pytest.mark.parametrize("platform", PLATFORMS)
+    def test_staleness(self, analyzer, slice_run, platform):
+        assert_same(
+            analyzer.staleness(platform),
+            staleness.staleness(slice_run[1], platform),
+        )
+
+    @pytest.mark.parametrize("platform", PLATFORMS)
+    def test_revocation(self, analyzer, slice_run, platform):
+        assert_same(
+            analyzer.revocation(platform),
+            revocation.revocation(slice_run[1], platform),
+        )
+
+    @pytest.mark.parametrize("platform", PLATFORMS)
+    def test_membership(self, analyzer, slice_run, platform):
+        cap = WHATSAPP_MAX_MEMBERS if platform == "whatsapp" else None
+        assert_same(
+            analyzer.membership(platform, member_cap=cap),
+            membership.membership(slice_run[1], platform, member_cap=cap),
+        )
+
+    @pytest.mark.parametrize("platform", PLATFORMS)
+    def test_message_types(self, analyzer, slice_run, platform):
+        assert_same(
+            analyzer.message_types(platform),
+            messages.message_types(slice_run[1], platform),
+        )
+
+    @pytest.mark.parametrize("platform", PLATFORMS)
+    def test_group_activity(self, analyzer, slice_run, platform):
+        assert_same(
+            analyzer.group_activity(platform),
+            messages.group_activity(slice_run[1], platform),
+        )
+
+    @pytest.mark.parametrize("platform", PLATFORMS)
+    def test_user_activity(self, analyzer, slice_run, platform):
+        assert_same(
+            analyzer.user_activity(platform),
+            messages.user_activity(slice_run[1], platform),
+        )
+
+    def test_interplay(self, analyzer, slice_run):
+        assert_same(
+            analyzer.interplay(), interplay.interplay(slice_run[1])
+        )
+
+    def test_health_and_survival(self, analyzer, slice_run):
+        dataset = slice_run[1]
+        assert_same(analyzer.health(), dataset.health)
+        expected_snapshots = sum(
+            len(series) for series in dataset.snapshots.values()
+        )
+        assert analyzer.n_snapshots == expected_snapshots
+        assert analyzer.days_folded == N_DAYS
+
+    @pytest.mark.parametrize("platform", PLATFORMS)
+    def test_table2_counts(self, analyzer, slice_run, platform):
+        dataset = slice_run[1]
+        tweets = dataset.tweets_for(platform)
+        counts = analyzer.table2_counts(platform)
+        assert counts["n_tweets"] == len(tweets)
+        assert counts["n_authors"] == len({t.author_id for t in tweets})
+        assert counts["n_records"] == len(dataset.records_for(platform))
+
+
+# ---------------------------------------------------------------------------
+# Rendered report: streaming sections byte-identical to batch.
+# ---------------------------------------------------------------------------
+
+
+class TestRenderedReport:
+    def test_sections_byte_identical(self, slice_run):
+        _streaming_equals_batch(slice_run[1], slice_run[0])
+
+    def test_full_report_contains_every_section(self, analyzer, slice_run):
+        report = render_streaming_report(analyzer, slice_run[1].scale)
+        assert "campaign rollup folded" in report
+        assert "Epoch rollups" in report
+        assert "unavailable in streaming view" not in report
+
+    def test_only_filters_and_validates(self, analyzer, slice_run):
+        report = render_streaming_report(
+            analyzer, slice_run[1].scale, only=["fig2"]
+        )
+        assert "Fig 2" in report and "Fig 3" not in report
+        with pytest.raises(ValueError, match="unknown streaming"):
+            render_streaming_report(
+                analyzer, slice_run[1].scale, only=["fig99"]
+            )
+
+    def test_epoch_rollups_cover_every_day(self, analyzer):
+        rollups = analyzer.epoch_rollups()
+        assert analyzer.epoch_days == DEFAULT_EPOCH_DAYS
+        assert [r["epoch"] for r in rollups] == list(
+            range(len(rollups))
+        )
+        assert sum(r["snapshots"] for r in rollups) == analyzer.n_snapshots
+
+    def test_mid_campaign_view_degrades_not_fails(self, slice_run):
+        store = RunStore.open(slice_run[0])
+        partial = StreamingAnalyzer.from_store(store, through_day=2)
+        assert partial.days_folded == 3
+        assert not partial.has_rollup
+        report = render_streaming_report(partial, slice_run[1].scale)
+        # Joined-group sections need the end-of-campaign rollup; they
+        # degrade to a one-line placeholder, never an exception.
+        assert "unavailable in streaming view" in report
+        assert "Fig 1" in report
+
+    def test_reservoir_mode_keeps_scalars_exact(self, slice_run):
+        store_dir, dataset = slice_run
+        tiny = StreamingAnalyzer.from_store(
+            RunStore.open(store_dir), reservoir_threshold=4
+        )
+        for platform in PLATFORMS:
+            batch = sharing.tweets_per_url(dataset, platform)
+            stream = tiny.tweets_per_url(platform)
+            # Scalars fold from exact counters; only the CDF samples.
+            assert stream.single_share_frac == batch.single_share_frac
+            assert stream.mean_shares == batch.mean_shares
+            assert stream.max_shares == batch.max_shares
+            assert len(stream.cdf.values) <= 4
+
+    def test_default_threshold_is_exact_at_this_scale(self, analyzer):
+        assert RESERVOIR_THRESHOLD == 4096
+        for platform in PLATFORMS:
+            assert analyzer.tweets_per_url(platform).cdf.n <= 4096
+
+
+# ---------------------------------------------------------------------------
+# Store plumbing: gates, gaps, and slice-less stores.
+# ---------------------------------------------------------------------------
+
+
+class TestStorePlumbing:
+    def test_sliceless_store_is_rejected(self, tmp_path):
+        store_dir = tmp_path / "plain"
+        Study(_config(n_days=3, join_day=1)).run(checkpoint_dir=store_dir)
+        store = RunStore.open(store_dir)
+        with pytest.raises(CheckpointError, match="slices"):
+            StreamingAnalyzer.from_store(store)
+
+    def test_iter_day_slices_is_ordered(self, slice_run):
+        days = [day for day, _ in iter_day_slices(RunStore.open(slice_run[0]))]
+        assert days == list(range(N_DAYS))
+
+
+# ---------------------------------------------------------------------------
+# The -m streaming matrix: workers x faults, plus kill-and-resume.
+# ---------------------------------------------------------------------------
+
+
+class _StopAfterDay(Exception):
+    pass
+
+
+@pytest.mark.streaming
+class TestStreamingMatrix:
+    @pytest.mark.parametrize("workers", [1, 4])
+    @pytest.mark.parametrize("faults", [None, "hostile"])
+    def test_matrix_streaming_equals_batch(self, tmp_path, workers, faults):
+        store_dir = tmp_path / "store"
+        dataset = Study(_config(faults=faults)).run(
+            checkpoint_dir=store_dir, slices=True, workers=workers
+        )
+        _streaming_equals_batch(dataset, store_dir)
+
+    def test_kill_and_resume_mid_campaign(self, tmp_path):
+        golden = Study(_config()).run()
+
+        def stop_after(day):
+            if day == 3:
+                raise _StopAfterDay
+
+        store_dir = tmp_path / "store"
+        with pytest.raises(_StopAfterDay):
+            Study(_config()).run(
+                checkpoint_dir=store_dir, slices=True, day_hook=stop_after
+            )
+        resumed = Study.resume(store_dir).run()
+        _streaming_equals_batch(resumed, store_dir)
+        _streaming_equals_batch(golden, store_dir)
